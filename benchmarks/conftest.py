@@ -1,0 +1,51 @@
+"""Shared scale parameters for the paper-experiment benchmarks.
+
+Every benchmark regenerates one table/figure of the paper's Section 6
+at a laptop/CI scale. ``SCALE`` divides the paper's table sizes
+(10M rows / SCALE); ``DURATION`` bounds each timed throughput run.
+Raise the scale via the environment for a longer, higher-fidelity run::
+
+    LSTORE_BENCH_SCALE=200 LSTORE_BENCH_DURATION=2.0 \
+        pytest benchmarks/ --benchmark-only
+"""
+
+import os
+import sys
+
+import pytest
+
+#: Divide the paper's 10M-row table by this factor (default: 10K rows).
+SCALE = int(os.environ.get("LSTORE_BENCH_SCALE", "1000"))
+#: Seconds per timed throughput run.
+DURATION = float(os.environ.get("LSTORE_BENCH_DURATION", "0.4"))
+#: Update-thread counts swept by the scalability benchmarks.
+THREAD_COUNTS = tuple(
+    int(n) for n in os.environ.get("LSTORE_BENCH_THREADS",
+                                   "1,2,4,8").split(","))
+
+# Reduce GIL convoy effects so multi-threaded throughput numbers are
+# less noisy (the default 5 ms switch interval starves short critical
+# sections under contention).
+sys.setswitchinterval(0.001)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> int:
+    """Scale divisor for the paper's table sizes."""
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_duration() -> float:
+    """Seconds per timed run."""
+    return DURATION
+
+
+def record_result(benchmark, result) -> None:
+    """Attach an ExperimentResult's rows to the benchmark report."""
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["rows"] = [
+        dict(zip(result.headers, row)) for row in result.rows
+    ]
+    print()
+    result.print()

@@ -1,0 +1,34 @@
+"""Figure 10 — mixed OLTP + OLAP: thread split between updates and scans.
+
+Paper shape: both workload classes make progress simultaneously;
+L-Store's contention-free merge keeps scan throughput healthy without
+stalling writers, whereas DBM's blocking merges hit both sides.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig10_mixed_workload
+
+from conftest import DURATION, SCALE, record_result
+
+TOTAL_THREADS = 5
+SCAN_COUNTS = (1, 2, 4)
+
+
+@pytest.mark.parametrize("contention", ["low", "medium"])
+def test_fig10(benchmark, contention):
+    result = benchmark.pedantic(
+        fig10_mixed_workload,
+        kwargs=dict(contention=contention, total_threads=TOTAL_THREADS,
+                    scan_thread_counts=SCAN_COUNTS, duration=DURATION,
+                    scale=SCALE),
+        rounds=1, iterations=1)
+    record_result(benchmark, result)
+    for engine in ("L-Store", "In-place Update + History",
+                   "Delta + Blocking Merge"):
+        txn_series = result.series("engine", "txn_per_sec", engine)
+        scan_series = result.series("engine", "scans_per_sec", engine)
+        assert len(txn_series) == len(SCAN_COUNTS)
+        # Both workload classes progressed at every split.
+        assert all(value > 0 for value in txn_series)
+        assert all(value > 0 for value in scan_series)

@@ -1,0 +1,29 @@
+"""Figure 8 — scan time vs tail records processed per merge.
+
+Paper shape: with a tiny merge batch the merge cannot keep up (and its
+fixed cost is amortised over few records), so scans chase long tail
+chains; very large batches delay consolidation slightly; the sweet spot
+sits around 50% of the update-range size.
+"""
+
+import pytest
+
+from repro.bench.experiments import BENCH_RANGE_SIZE, fig8_merge_scan
+
+from conftest import SCALE, record_result
+
+BATCHES = (BENCH_RANGE_SIZE // 8, BENCH_RANGE_SIZE // 4,
+           BENCH_RANGE_SIZE // 2, BENCH_RANGE_SIZE)
+
+
+def test_fig8(benchmark):
+    result = benchmark.pedantic(
+        fig8_merge_scan,
+        kwargs=dict(batch_sizes=BATCHES, update_thread_counts=(4, 8),
+                    scale=SCALE, scan_repeats=3),
+        rounds=1, iterations=1)
+    record_result(benchmark, result)
+    for threads in (4, 8):
+        series = result.series("update_threads", "scan_seconds", threads)
+        assert len(series) == len(BATCHES)
+        assert all(seconds > 0 for seconds in series)

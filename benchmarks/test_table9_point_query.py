@@ -1,0 +1,31 @@
+"""Table 9 — point-query throughput vs percentage of columns fetched.
+
+Paper: the columnar layout degrades gracefully as more columns are
+fetched (−33% at 100% of columns), while the row layout stays flat —
+it always materialises the whole row anyway.
+"""
+
+import pytest
+
+from repro.bench.experiments import table9_point_queries
+
+from conftest import SCALE, record_result
+
+FRACTIONS = (0.1, 0.2, 0.4, 0.8, 1.0)
+
+
+def test_table9(benchmark):
+    result = benchmark.pedantic(
+        table9_point_queries,
+        kwargs=dict(column_fractions=FRACTIONS, transactions=300,
+                    scale=SCALE),
+        rounds=1, iterations=1)
+    record_result(benchmark, result)
+    column_series = result.series("layout", "txn_per_sec",
+                                  "L-Store (Column)")
+    row_series = result.series("layout", "txn_per_sec", "L-Store (Row)")
+    assert len(column_series) == len(FRACTIONS)
+    assert all(value > 0 for value in column_series + row_series)
+    # Paper shape: the columnar layout is slower when fetching all
+    # columns than when fetching few (the paper measures a 33% drop).
+    assert column_series[-1] < max(column_series)

@@ -1,0 +1,70 @@
+"""Quickstart: create a table, write, read, merge, time-travel.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Database, EngineConfig
+
+
+def main() -> None:
+    # A small geometry so the merge machinery is visible in one run;
+    # production code would use the defaults or PAPER_CONFIG.
+    db = Database(EngineConfig(
+        records_per_page=64, records_per_tail_page=64,
+        update_range_size=128, merge_threshold=64, insert_range_size=128))
+
+    # A table of student grades: the classic L-Store teaching schema.
+    db.create_table("grades", num_columns=5, key_index=0,
+                    column_names=("student", "g1", "g2", "g3", "g4"))
+    grades = db.query("grades")
+
+    # --- OLTP: inserts and updates -----------------------------------
+    for student in range(256):
+        grades.insert(student, 70, 75, 80, 85)
+    print("inserted:", grades.count(), "records")
+
+    checkpoint = db.clock.now()
+
+    grades.update(7, None, 90, None, None, None)   # g1 := 90
+    grades.update(7, None, None, 95, None, None)   # g2 := 95
+    grades.increment(7, 4)                         # g4 += 1
+    grades.delete(200)
+
+    record = grades.select(7, 0, [1, 1, 1, 1, 1])[0]
+    print("student 7 latest:", record.columns)
+
+    # --- OLAP on the same data, no ETL --------------------------------
+    print("class total g1 :", grades.scan_sum(1))
+    print("class total g1 @checkpoint:", grades.scan_sum(1,
+                                                         as_of=checkpoint))
+
+    # --- versions ------------------------------------------------------
+    print("student 7, one version back:",
+          grades.select_version(7, 0, [1, 1, 1, 1, 1], -1)[0].columns)
+
+    # --- the lineage machinery at work -----------------------------------
+    table = db.get_table("grades")
+    print("tail records appended:", table.tail_record_count())
+    merged = db.run_merges()
+    print("merges run:", merged,
+          "| unmerged tail records left:", table.unmerged_tail_count())
+    print("student 7 after merge:",
+          grades.select(7, 0, [1, 1, 1, 1, 1])[0].columns)
+    print("class total g1 after merge:", grades.scan_sum(1))
+
+    # --- multi-statement transactions --------------------------------------
+    txn = db.begin_transaction()
+    txn.update(table, 3, {1: 100})
+    txn.update(table, 4, {1: 100})
+    txn.commit()
+    print("after txn, g1 of 3 and 4:",
+          grades.select(3, 0, None)[0][1],
+          grades.select(4, 0, None)[0][1])
+
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Time travel: historic queries over retained lineage + compression.
+
+L-Store never updates in place: every version of every record stays
+reachable through the tail pages, merges keep base pages fresh without
+destroying history (the snapshot records of Lemma 2), and the historic
+compression pass (Section 4.3) re-organises cold tail pages by record
+with inlined, delta-compressed versions.
+
+Run with::
+
+    python examples/time_travel.py
+"""
+
+from repro import Database, EngineConfig
+
+KEY, PRICE, STOCK = 0, 1, 2
+
+
+def main() -> None:
+    db = Database(EngineConfig(
+        records_per_page=32, records_per_tail_page=32,
+        update_range_size=64, merge_threshold=1024, insert_range_size=64))
+    db.create_table("products", num_columns=3, key_index=0,
+                    column_names=("sku", "price", "stock"))
+    products = db.query("products")
+    table = db.get_table("products")
+
+    for sku in range(64):
+        products.insert(sku, 100, 10)
+    db.run_merges()
+
+    # A week of repricing: remember the clock at each day's close.
+    closes = [db.clock.now()]
+    for day in range(1, 8):
+        for sku in range(0, 64, day):
+            products.update_columns(sku, {PRICE: 100 + day * 10})
+        closes.append(db.clock.now())
+
+    print("latest price of sku 0   :",
+          products.select(0, 0, None)[0][PRICE])
+    for day, close in enumerate(closes):
+        total = products.scan_sum(PRICE, as_of=close)
+        print("total catalogue price at close of day %d: %d"
+              % (day, total))
+
+    # Relative versions: the classic select_version API.
+    print("sku 0, latest 3 versions:",
+          [products.select_version(0, 0, None, -back)[0][PRICE]
+           for back in range(3)])
+
+    # Merge, then compress the historic tails.
+    from repro.core.merge import merge_update_range
+    for update_range in table.sorted_ranges():
+        merge_update_range(table, update_range)
+    compressed = db.compress_history()
+    db.epoch_manager.reclaim()
+    parts = sum(len(r.tail.compressed_parts)
+                for r in table.sorted_ranges() if r.tail is not None)
+    print("\nhistoric records compressed:", compressed,
+          "into", parts, "ordered, version-inlined parts")
+
+    # History still answers exactly after merge + compression.
+    day3 = products.scan_sum(PRICE, as_of=closes[3])
+    print("re-check day-3 total after compression:", day3)
+    print("sku 0 at day 1:",
+          products.select_as_of(0, 0, None, closes[1])[0][PRICE])
+
+    db.close()
+    print("OK — every historic version stayed reachable.")
+
+
+if __name__ == "__main__":
+    main()

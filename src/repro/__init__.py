@@ -1,0 +1,69 @@
+"""L-Store: a lineage-based real-time OLTP + OLAP storage engine.
+
+A from-scratch Python reproduction of *L-Store: A Real-time OLTP and
+OLAP System* (Sadoghi, Bhattacherjee, Bhattacharjee, Canim — EDBT 2018),
+including the two baseline engines the paper evaluates against and the
+micro-benchmark harness of its Section 6.
+
+Quickstart::
+
+    from repro import Database, EngineConfig
+
+    db = Database(EngineConfig(background_merge=True))
+    grades = db.create_table("grades", num_columns=5, key_index=0)
+    query = db.query("grades")
+    query.insert(42, 10, 20, 30, 40)
+    query.update(42, None, 11, None, None, None)
+    print(query.select(42, 0, [1, 1, 1, 1, 1]))
+"""
+
+from .core.config import EngineConfig, PAPER_CONFIG, TEST_CONFIG
+from .core.db import Database
+from .core.encoding import SchemaEncoding
+from .core.epoch import EpochManager
+from .core.merge import MergeEngine, merge_insert_range, merge_update_range
+from .core.page import Page, RowPage
+from .core.query import Query, Record
+from .core.schema import TableSchema
+from .core.table import DELETED, Table
+from .core.types import NULL, IsolationLevel, Layout
+from .errors import (DuplicateKeyError, KeyNotFoundError, LStoreError,
+                     RecordDeletedError, TransactionAborted,
+                     ValidationFailure, WriteWriteConflict)
+from .txn.manager import TransactionManager
+from .txn.transaction import Transaction
+from .txn.worker import TransactionWorker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "DELETED",
+    "DuplicateKeyError",
+    "EngineConfig",
+    "EpochManager",
+    "IsolationLevel",
+    "KeyNotFoundError",
+    "Layout",
+    "LStoreError",
+    "MergeEngine",
+    "NULL",
+    "PAPER_CONFIG",
+    "Page",
+    "Query",
+    "Record",
+    "RecordDeletedError",
+    "RowPage",
+    "SchemaEncoding",
+    "Table",
+    "TableSchema",
+    "TEST_CONFIG",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionManager",
+    "TransactionWorker",
+    "ValidationFailure",
+    "WriteWriteConflict",
+    "merge_insert_range",
+    "merge_update_range",
+]

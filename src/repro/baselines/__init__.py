@@ -1,0 +1,13 @@
+"""Baseline engines of the Section 6 comparison (IUH, DBM, L-Store)."""
+
+from .common import Engine, EngineTransaction, LStoreEngine
+from .delta_merge import DeltaMergeEngine
+from .inplace_history import InPlaceHistoryEngine
+
+__all__ = [
+    "DeltaMergeEngine",
+    "Engine",
+    "EngineTransaction",
+    "InPlaceHistoryEngine",
+    "LStoreEngine",
+]

@@ -1,0 +1,186 @@
+"""Common engine interface for the Section 6 comparison.
+
+The paper compares three storage architectures under one protocol
+umbrella: **L-Store**, **In-place Update + History** (IUH) and **Delta +
+Blocking Merge** (DBM). "For fairness, across all techniques, we have
+maintained columnar storage, maintained a single primary index for fast
+point lookup, and employed the embedded-indirection column" (Section
+6.1). This module defines the uniform :class:`Engine` surface the
+benchmark harness drives, plus the adapter that exposes the real
+L-Store implementation through it.
+
+Engines are single-table (the micro-benchmark uses one 10-column
+table) with integer columns, matching the benchmark of [18, 33].
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, Sequence
+
+from ..core.config import EngineConfig
+from ..core.db import Database
+from ..core.table import DELETED
+from ..core.types import IsolationLevel
+from ..errors import TransactionAborted
+
+
+class EngineTransaction(abc.ABC):
+    """One transaction against an engine (statement interface)."""
+
+    @abc.abstractmethod
+    def read(self, key: int,
+             columns: Sequence[int] | None = None) -> dict[int, int] | None:
+        """Read the visible version of *key* (None = not visible)."""
+
+    @abc.abstractmethod
+    def update(self, key: int, updates: dict[int, int]) -> None:
+        """Update columns of the record with *key*."""
+
+    @abc.abstractmethod
+    def insert(self, values: Sequence[int]) -> None:
+        """Insert a full row."""
+
+    @abc.abstractmethod
+    def delete(self, key: int) -> None:
+        """Delete the record with *key*."""
+
+    @abc.abstractmethod
+    def commit(self) -> bool:
+        """Commit; False when validation/conflict forced an abort."""
+
+    @abc.abstractmethod
+    def abort(self) -> None:
+        """Abort and roll back."""
+
+
+class Engine(abc.ABC):
+    """A single-table storage engine under benchmark."""
+
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def load(self, rows: Iterator[Sequence[int]] | list[Sequence[int]],
+             ) -> None:
+        """Bulk-load the initial table contents (not timed)."""
+
+    @abc.abstractmethod
+    def begin(self) -> EngineTransaction:
+        """Open a short (read-committed) transaction."""
+
+    @abc.abstractmethod
+    def scan_sum(self, column: int) -> int:
+        """Analytical SUM over one column (snapshot semantics)."""
+
+    def read_point(self, key: int,
+                   columns: Sequence[int] | None = None,
+                   ) -> dict[int, int] | None:
+        """Auto-commit point read (Table 9 workload)."""
+        txn = self.begin()
+        try:
+            values = txn.read(key, columns)
+        finally:
+            txn.commit()
+        return values
+
+    def maintenance(self) -> None:
+        """One synchronous maintenance step (merges), if applicable."""
+
+    def start_background(self) -> None:
+        """Start background maintenance threads, if applicable."""
+
+    def stop_background(self) -> None:
+        """Stop background maintenance threads."""
+
+    def close(self) -> None:
+        """Release resources."""
+        self.stop_background()
+
+    # -- shared observability -------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """Engine-specific statistics snapshot."""
+        return {"name": self.name}
+
+
+class LStoreEngine(Engine):
+    """The real L-Store implementation behind the uniform interface."""
+
+    name = "L-Store"
+
+    def __init__(self, num_columns: int, *,
+                 config: EngineConfig | None = None) -> None:
+        self.db = Database(config if config is not None else EngineConfig())
+        self.table = self.db.create_table("bench", num_columns, key_index=0)
+        self.num_columns = num_columns
+
+    def load(self, rows: Any) -> None:
+        """Bulk-load rows through the normal insert path."""
+        for row in rows:
+            self.table.insert(list(row))
+        # Materialise base pages for the loaded data so the benchmark
+        # starts from the paper's steady state (read-optimised bases).
+        self.db.run_merges()
+
+    def begin(self) -> EngineTransaction:
+        return _LStoreTxn(self)
+
+    def scan_sum(self, column: int) -> int:
+        return self.table.scan_sum(column)
+
+    def maintenance(self) -> None:
+        self.db.run_merges()
+
+    def start_background(self) -> None:
+        self.db.merge_engine.start()
+
+    def stop_background(self) -> None:
+        self.db.merge_engine.stop(drain=False)
+
+    def close(self) -> None:
+        self.db.close()
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "merges": self.db.merge_engine.stat_merges,
+            "insert_merges": self.db.merge_engine.stat_insert_merges,
+            "unmerged_tails": self.table.unmerged_tail_count(),
+            "updates": self.table.stat_updates,
+        }
+
+
+class _LStoreTxn(EngineTransaction):
+    """Adapter: EngineTransaction → repro.txn.Transaction."""
+
+    def __init__(self, engine: LStoreEngine) -> None:
+        from ..txn.transaction import Transaction
+        self._engine = engine
+        self._txn = Transaction(engine.db.txn_manager,
+                                isolation=IsolationLevel.READ_COMMITTED)
+
+    def read(self, key: int,
+             columns: Sequence[int] | None = None) -> dict[int, int] | None:
+        values = self._txn.select(self._engine.table, key, columns)
+        if values is None or values is DELETED:
+            return None
+        if columns is not None:
+            # select() fetches the key column for re-validation; hand
+            # back exactly what the caller asked for.
+            return {column: values[column] for column in columns}
+        return values
+
+    def update(self, key: int, updates: dict[int, int]) -> None:
+        self._txn.update(self._engine.table, key, updates)
+
+    def insert(self, values: Sequence[int]) -> None:
+        self._txn.insert(self._engine.table, list(values))
+
+    def delete(self, key: int) -> None:
+        self._txn.delete(self._engine.table, key)
+
+    def commit(self) -> bool:
+        return self._txn.commit()
+
+    def abort(self) -> None:
+        self._txn.abort()

@@ -1,0 +1,28 @@
+"""Micro-benchmark substrate for the Section 6 evaluation."""
+
+from .experiments import ALL_EXPERIMENTS, make_engine
+from .harness import (ThroughputResult, execute_transaction, load_engine,
+                      measure_scan_seconds, run_fixed_transactions,
+                      run_mixed_workload, run_scan_under_updates)
+from .reporting import ExperimentResult
+from .workload import (TransactionGenerator, WorkloadSpec, high_contention,
+                       initial_rows, low_contention, medium_contention)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "ThroughputResult",
+    "TransactionGenerator",
+    "WorkloadSpec",
+    "execute_transaction",
+    "high_contention",
+    "initial_rows",
+    "load_engine",
+    "low_contention",
+    "make_engine",
+    "measure_scan_seconds",
+    "medium_contention",
+    "run_fixed_transactions",
+    "run_mixed_workload",
+    "run_scan_under_updates",
+]

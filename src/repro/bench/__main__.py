@@ -1,0 +1,71 @@
+"""CLI experiment runner: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.bench --list
+    python -m repro.bench fig7 --contention high --scale 500
+    python -m repro.bench table8 table9
+    python -m repro.bench all --scale 2000 --duration 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import ALL_EXPERIMENTS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the L-Store paper's evaluation "
+                    "tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (fig7..fig10, table7..table9) "
+                             "or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--scale", type=int, default=1000,
+                        help="divide the paper's 10M-row table by this "
+                             "factor (default 1000)")
+    parser.add_argument("--duration", type=float, default=0.5,
+                        help="seconds per timed throughput run")
+    parser.add_argument("--contention", default=None,
+                        choices=("low", "medium", "high"),
+                        help="contention level for fig7/fig9/fig10 "
+                             "(default: the experiment's own default)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for name, fn in sorted(ALL_EXPERIMENTS.items()):
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print("  %-8s %s" % (name, summary))
+        return 0
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = sorted(ALL_EXPERIMENTS)
+    unknown = [name for name in names if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print("unknown experiment(s): %s" % ", ".join(unknown),
+              file=sys.stderr)
+        return 2
+    for name in names:
+        fn = ALL_EXPERIMENTS[name]
+        kwargs: dict = {"scale": args.scale}
+        if name in ("fig7", "fig9", "fig10"):
+            kwargs["duration"] = args.duration
+            if args.contention is not None:
+                kwargs["contention"] = args.contention
+        result = fn(**kwargs)
+        result.print()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,364 @@
+"""One driver per table/figure of the paper's evaluation (Section 6).
+
+Each ``figN_*`` / ``tableN_*`` function regenerates the corresponding
+result at a configurable scale and returns an
+:class:`~repro.bench.reporting.ExperimentResult` whose rows mirror the
+series the paper plots. Absolute numbers differ from the paper's Java
+prototype on a 24-thread Xeon; the *shapes* are the reproduction target
+(see EXPERIMENTS.md for the paper-vs-measured record).
+
+Scaling knobs: ``scale`` divides the paper's table sizes (default 1000:
+10M → 10K rows); ``duration`` bounds each timed run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..baselines.common import Engine, LStoreEngine
+from ..baselines.delta_merge import DeltaMergeEngine
+from ..baselines.inplace_history import InPlaceHistoryEngine
+from ..core.config import EngineConfig
+from ..core.types import Layout
+from .harness import (load_engine, measure_scan_seconds, run_fixed_transactions,
+                      run_mixed_workload, run_scan_under_updates)
+from .reporting import ExperimentResult
+from .workload import (WorkloadSpec, high_contention, low_contention,
+                       medium_contention, point_query_transaction)
+
+#: Engine page/range geometry used across experiments (power-of-two
+#: scaled versions of the paper's 32 KB pages / 4K-64K ranges).
+BENCH_RANGE_SIZE = 512
+BENCH_PAGE_SIZE = 256
+BENCH_MERGE_THRESHOLD = 256
+
+
+def _lstore_config(**overrides) -> EngineConfig:
+    base = dict(
+        records_per_page=BENCH_PAGE_SIZE,
+        records_per_tail_page=BENCH_PAGE_SIZE,
+        update_range_size=BENCH_RANGE_SIZE,
+        merge_threshold=BENCH_MERGE_THRESHOLD,
+        insert_range_size=BENCH_RANGE_SIZE,
+        background_merge=False,  # harness starts it explicitly
+    )
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+def make_engine(name: str, num_columns: int, **config_overrides) -> Engine:
+    """Factory for the three engines under test."""
+    if name == "lstore":
+        return LStoreEngine(num_columns,
+                            config=_lstore_config(**config_overrides))
+    if name == "lstore-row":
+        return LStoreEngine(
+            num_columns,
+            config=_lstore_config(layout=Layout.ROW,
+                                  compress_merged_pages=False,
+                                  **config_overrides))
+    if name == "iuh":
+        return InPlaceHistoryEngine(num_columns,
+                                    records_per_page=BENCH_PAGE_SIZE)
+    if name == "dbm":
+        return DeltaMergeEngine(num_columns, range_size=BENCH_RANGE_SIZE,
+                                merge_threshold=BENCH_MERGE_THRESHOLD)
+    raise ValueError("unknown engine %r" % name)
+
+
+_ENGINES = ("lstore", "iuh", "dbm")
+
+_CONTENTION = {
+    "low": low_contention,
+    "medium": medium_contention,
+    "high": high_contention,
+}
+
+
+def _spec_for(contention: str, scale: int) -> WorkloadSpec:
+    try:
+        return _CONTENTION[contention](scale)
+    except KeyError:
+        raise ValueError("contention must be low|medium|high") from None
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — Scalability under varying contention
+# ---------------------------------------------------------------------------
+
+def fig7_scalability(contention: str = "low", *,
+                     thread_counts: Sequence[int] = (1, 2, 4, 8),
+                     duration: float = 0.5,
+                     scale: int = 1000) -> ExperimentResult:
+    """Throughput vs. number of parallel short-update transactions.
+
+    Paper: Figure 7(a–c). One scan thread and the merge thread run
+    concurrently, as in the paper's default setup.
+    """
+    spec = _spec_for(contention, scale)
+    result = ExperimentResult(
+        "Figure 7(%s)" % contention,
+        "Throughput (txns/s) vs update threads, %s contention"
+        % contention,
+        ["engine", "threads", "txn_per_sec", "aborted"])
+    for name in _ENGINES:
+        engine = make_engine(name, spec.num_columns)
+        try:
+            load_engine(engine, spec)
+            for threads in thread_counts:
+                run = run_mixed_workload(engine, spec,
+                                         update_threads=threads,
+                                         scan_threads=1, duration=duration)
+                result.add_row(engine.name, threads,
+                               round(run.txn_per_sec, 1), run.aborted)
+                engine.maintenance()  # consolidate between sweeps
+        finally:
+            engine.close()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — Scan performance vs merge batch size
+# ---------------------------------------------------------------------------
+
+def fig8_merge_scan(*, batch_sizes: Sequence[int] = (32, 64, 128, 256, 512),
+                    update_thread_counts: Sequence[int] = (4, 16),
+                    scale: int = 1000,
+                    scan_repeats: int = 3) -> ExperimentResult:
+    """Scan time vs tail records processed per merge (L-Store only).
+
+    Paper: Figure 8 — larger merge batches amortise better until the
+    backlog of unmerged tails starts hurting; the paper's optimum is
+    ~50% of the update-range size.
+    """
+    spec = _spec_for("low", scale)
+    result = ExperimentResult(
+        "Figure 8", "Scan seconds vs tail records per merge",
+        ["update_threads", "merge_batch", "scan_seconds"])
+    for threads in update_thread_counts:
+        for batch in batch_sizes:
+            engine = make_engine("lstore", spec.num_columns,
+                                 merge_threshold=batch)
+            try:
+                load_engine(engine, spec)
+                seconds = run_scan_under_updates(
+                    engine, spec, update_threads=threads,
+                    scan_repeats=scan_repeats)
+                result.add_row(threads, batch, seconds)
+            finally:
+                engine.close()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — Read/write ratio sweep
+# ---------------------------------------------------------------------------
+
+def fig9_read_write_ratio(contention: str = "low", *,
+                          read_percentages: Sequence[int] = (0, 20, 40, 60,
+                                                             80, 100),
+                          threads: int = 8, duration: float = 0.5,
+                          scale: int = 1000) -> ExperimentResult:
+    """Throughput vs % of reads inside the short transactions.
+
+    Paper: Figure 9(a–b) — all engines speed up with more reads; the
+    gaps narrow at 100% reads (though IUH keeps paying read latches).
+    """
+    spec = _spec_for(contention, scale)
+    result = ExperimentResult(
+        "Figure 9(%s)" % contention,
+        "Throughput vs read percentage, %s contention" % contention,
+        ["engine", "read_pct", "txn_per_sec"])
+    statements = spec.reads_per_txn + spec.writes_per_txn
+    for name in _ENGINES:
+        engine = make_engine(name, spec.num_columns)
+        try:
+            load_engine(engine, spec)
+            for read_pct in read_percentages:
+                reads = round(statements * read_pct / 100)
+                writes = statements - reads
+                mixed = spec.with_read_write_mix(reads, writes)
+                # Unmeasured warmup: consolidates the previous point's
+                # tails and performs the one-time lazy commit-time
+                # stamping, so the measured window reflects steady state.
+                engine.maintenance()
+                run_mixed_workload(engine, mixed, update_threads=threads,
+                                   scan_threads=0, duration=duration / 3)
+                run = run_mixed_workload(engine, mixed,
+                                         update_threads=threads,
+                                         scan_threads=0, duration=duration)
+                result.add_row(engine.name, read_pct,
+                               round(run.txn_per_sec, 1))
+        finally:
+            engine.close()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — Mixed OLTP + OLAP thread split
+# ---------------------------------------------------------------------------
+
+def fig10_mixed_workload(contention: str = "low", *,
+                         total_threads: int = 9,
+                         scan_thread_counts: Sequence[int] | None = None,
+                         duration: float = 0.5,
+                         scale: int = 1000) -> ExperimentResult:
+    """Update and read-only throughput as the thread split varies.
+
+    Paper: Figure 10(a–d) — 17 threads split between short updates and
+    long read-only scans (scaled down here by default).
+    """
+    spec = _spec_for(contention, scale)
+    if scan_thread_counts is None:
+        scan_thread_counts = tuple(
+            n for n in (1, 2, 4, total_threads - 1) if n < total_threads)
+    result = ExperimentResult(
+        "Figure 10(%s)" % contention,
+        "Mixed workload split over %d threads, %s contention"
+        % (total_threads, contention),
+        ["engine", "scan_threads", "update_threads", "txn_per_sec",
+         "scans_per_sec"])
+    for name in _ENGINES:
+        engine = make_engine(name, spec.num_columns)
+        try:
+            load_engine(engine, spec)
+            for scans in scan_thread_counts:
+                updates = total_threads - scans
+                run = run_mixed_workload(engine, spec,
+                                         update_threads=updates,
+                                         scan_threads=scans,
+                                         duration=duration)
+                result.add_row(engine.name, scans, updates,
+                               round(run.txn_per_sec, 1),
+                               round(run.scans_per_sec, 2))
+                engine.maintenance()
+        finally:
+            engine.close()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 7 — Scan performance across engines
+# ---------------------------------------------------------------------------
+
+def table7_scan_performance(*, update_threads: int = 8, scale: int = 1000,
+                            scan_repeats: int = 3) -> ExperimentResult:
+    """Single-thread scan seconds under concurrent updaters.
+
+    Paper: Table 7 — L-Store 0.24s < IUH 0.28s < DBM 0.38s (16
+    updaters, low contention, 4K ranges).
+    """
+    spec = _spec_for("low", scale)
+    result = ExperimentResult(
+        "Table 7", "Scan seconds under %d update threads" % update_threads,
+        ["engine", "scan_seconds"])
+    for name in _ENGINES:
+        engine = make_engine(name, spec.num_columns)
+        try:
+            load_engine(engine, spec)
+            seconds = run_scan_under_updates(
+                engine, spec, update_threads=update_threads,
+                scan_repeats=scan_repeats)
+            result.add_row(engine.name, seconds)
+        finally:
+            engine.close()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 8 — Row vs columnar layout scans
+# ---------------------------------------------------------------------------
+
+def table8_row_vs_column(*, update_threads: int = 8, scale: int = 1000,
+                         scan_repeats: int = 5) -> ExperimentResult:
+    """Scan seconds for L-Store (Column) vs L-Store (Row).
+
+    Paper: Table 8 — columnar wins 4.56× with no updates and 2.75×
+    with 16 update threads. Because the two layouts commit updates at
+    different rates in Python, the "with updates" condition applies a
+    *fixed* unmerged-tail backlog (20% of the table) to both layouts
+    instead of free-running updaters — same pending work, fair scan
+    comparison. *update_threads* is retained for API compatibility.
+    """
+    from .harness import apply_fixed_update_backlog
+
+    spec = _spec_for("low", scale)
+    backlog = max(spec.table_size // 5, 100)
+    result = ExperimentResult(
+        "Table 8", "Scan seconds: columnar vs row layout",
+        ["layout", "updates", "scan_seconds"])
+    for layout_name, engine_name in (("L-Store (Column)", "lstore"),
+                                     ("L-Store (Row)", "lstore-row")):
+        engine = make_engine(engine_name, spec.num_columns)
+        try:
+            load_engine(engine, spec)
+            measure_scan_seconds(engine, repeats=1)  # warm caches
+            seconds = measure_scan_seconds(engine, repeats=scan_repeats)
+            result.add_row(layout_name, "without", seconds)
+            apply_fixed_update_backlog(engine, spec, backlog)
+            seconds = measure_scan_seconds(engine, repeats=scan_repeats)
+            result.add_row(layout_name, "with", seconds)
+        finally:
+            engine.close()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 9 — Point queries vs % of columns read
+# ---------------------------------------------------------------------------
+
+def table9_point_queries(*, column_fractions: Sequence[float] = (0.1, 0.2,
+                                                                 0.4, 0.8,
+                                                                 1.0),
+                         transactions: int = 500,
+                         scale: int = 1000) -> ExperimentResult:
+    """Point-query throughput vs fraction of columns fetched.
+
+    Paper: Table 9 — the columnar layout degrades gracefully (−33%
+    worst case at 100% of columns) while the row layout stays flat.
+    """
+    import random
+
+    from .harness import execute_transaction
+
+    spec = _spec_for("low", scale)
+    result = ExperimentResult(
+        "Table 9", "Point-query throughput vs %% of columns read",
+        ["layout", "columns_pct", "txn_per_sec"])
+    for layout_name, engine_name in (("L-Store (Column)", "lstore"),
+                                     ("L-Store (Row)", "lstore-row")):
+        engine = make_engine(engine_name, spec.num_columns)
+        try:
+            load_engine(engine, spec)
+            # Warm caches (page NumPy views, directories) unmeasured so
+            # the first swept fraction is not a cold-start outlier.
+            warmup_rng = random.Random(spec.seed + 1)
+            for _ in range(100):
+                execute_transaction(
+                    engine, point_query_transaction(warmup_rng, spec, 1.0))
+            for fraction in column_fractions:
+                rng = random.Random(spec.seed)
+                bodies = [point_query_transaction(rng, spec, fraction)
+                          for _ in range(transactions)]
+                import time
+                started = time.perf_counter()
+                for body in bodies:
+                    execute_transaction(engine, body)
+                elapsed = time.perf_counter() - started
+                result.add_row(layout_name, int(fraction * 100),
+                               round(transactions / elapsed, 1))
+        finally:
+            engine.close()
+    return result
+
+
+#: Registry used by the CLI runner and the pytest benches.
+ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig7": fig7_scalability,
+    "fig8": fig8_merge_scan,
+    "fig9": fig9_read_write_ratio,
+    "fig10": fig10_mixed_workload,
+    "table7": table7_scan_performance,
+    "table8": table8_row_vs_column,
+    "table9": table9_point_queries,
+}

@@ -1,0 +1,223 @@
+"""Benchmark harness: thread orchestration and throughput measurement.
+
+Mirrors the paper's measurement setup (Section 6.1): N update-worker
+threads each running a stream of short transactions, optional long
+read-only scan threads, and the engine's merge thread running in the
+background. Runs are time-boxed; results report committed transactions
+per second per workload class.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import KeyNotFoundError, TransactionAborted
+from .workload import (Operation, TransactionGenerator, WorkloadSpec,
+                       initial_rows)
+from ..baselines.common import Engine
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of one timed run."""
+
+    engine: str
+    update_threads: int
+    scan_threads: int
+    duration: float
+    committed: int = 0
+    aborted: int = 0
+    scans: int = 0
+    scan_seconds_total: float = 0.0
+
+    @property
+    def txn_per_sec(self) -> float:
+        """Committed short transactions per second."""
+        return self.committed / self.duration if self.duration else 0.0
+
+    @property
+    def scans_per_sec(self) -> float:
+        """Completed read-only scans per second."""
+        return self.scans / self.duration if self.duration else 0.0
+
+    @property
+    def scan_latency(self) -> float:
+        """Mean seconds per scan."""
+        return self.scan_seconds_total / self.scans if self.scans else 0.0
+
+
+def execute_transaction(engine: Engine,
+                        operations: Sequence[Operation]) -> bool:
+    """Run one generated transaction; True when it committed."""
+    txn = engine.begin()
+    try:
+        for op in operations:
+            if op[0] == "r":
+                txn.read(op[1], op[2])
+            else:
+                txn.update(op[1], op[2])
+    except TransactionAborted:
+        txn.abort()
+        return False
+    except KeyNotFoundError:
+        txn.abort()
+        return False
+    return txn.commit()
+
+
+def load_engine(engine: Engine, spec: WorkloadSpec) -> None:
+    """Populate *engine* with the initial table (not timed)."""
+    engine.load(initial_rows(spec))
+
+
+def run_mixed_workload(engine: Engine, spec: WorkloadSpec, *,
+                       update_threads: int, scan_threads: int = 0,
+                       duration: float = 1.0,
+                       background_merge: bool = True) -> ThroughputResult:
+    """Time-boxed mixed OLTP + OLAP run against a pre-loaded engine."""
+    stop = threading.Event()
+    result = ThroughputResult(engine=engine.name,
+                              update_threads=update_threads,
+                              scan_threads=scan_threads, duration=duration)
+    counters_lock = threading.Lock()
+
+    def update_loop(thread_id: int) -> None:
+        generator = TransactionGenerator(spec, thread_id)
+        committed = aborted = 0
+        while not stop.is_set():
+            if execute_transaction(engine, generator.next_transaction()):
+                committed += 1
+            else:
+                aborted += 1
+        with counters_lock:
+            result.committed += committed
+            result.aborted += aborted
+
+    def scan_loop(thread_id: int) -> None:
+        generator = TransactionGenerator(spec, 10_000 + thread_id)
+        scans = 0
+        seconds = 0.0
+        while not stop.is_set():
+            column = generator.scan_column()
+            started = time.perf_counter()
+            engine.scan_sum(column)
+            seconds += time.perf_counter() - started
+            scans += 1
+        with counters_lock:
+            result.scans += scans
+            result.scan_seconds_total += seconds
+
+    if background_merge:
+        engine.start_background()
+    threads = [
+        threading.Thread(target=update_loop, args=(i,), daemon=True)
+        for i in range(update_threads)
+    ] + [
+        threading.Thread(target=scan_loop, args=(i,), daemon=True)
+        for i in range(scan_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(duration)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    if background_merge:
+        engine.stop_background()
+    return result
+
+
+def run_fixed_transactions(engine: Engine, spec: WorkloadSpec, *,
+                           transactions: int,
+                           threads: int = 1) -> ThroughputResult:
+    """Run a fixed number of transactions (deterministic benches)."""
+    per_thread = transactions // max(threads, 1)
+    result = ThroughputResult(engine=engine.name, update_threads=threads,
+                              scan_threads=0, duration=0.0)
+    counters_lock = threading.Lock()
+
+    def worker(thread_id: int) -> None:
+        generator = TransactionGenerator(spec, thread_id)
+        committed = aborted = 0
+        for _ in range(per_thread):
+            if execute_transaction(engine, generator.next_transaction()):
+                committed += 1
+            else:
+                aborted += 1
+        with counters_lock:
+            result.committed += committed
+            result.aborted += aborted
+
+    started = time.perf_counter()
+    workers = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(threads)]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    result.duration = time.perf_counter() - started
+    return result
+
+
+def measure_scan_seconds(engine: Engine, column: int = 1, *,
+                         repeats: int = 3) -> float:
+    """Median wall-clock seconds of one full-column scan.
+
+    The median resists the GIL-scheduling outliers that plague
+    multi-threaded wall-clock measurements.
+    """
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        engine.scan_sum(column)
+        samples.append(time.perf_counter() - started)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def apply_fixed_update_backlog(engine: Engine, spec: WorkloadSpec,
+                               updates: int, *,
+                               maintenance: bool = False) -> None:
+    """Apply exactly *updates* committed update statements (single
+    thread), optionally without any merge — a deterministic tail
+    backlog for apples-to-apples scan comparisons (Table 8)."""
+    generator = TransactionGenerator(spec, 0)
+    applied = 0
+    while applied < updates:
+        operations = [op for op in generator.next_transaction()
+                      if op[0] == "w"]
+        if not operations:
+            continue
+        if execute_transaction(engine, operations):
+            applied += len(operations)
+    if maintenance:
+        engine.maintenance()
+
+
+def run_scan_under_updates(engine: Engine, spec: WorkloadSpec, *,
+                           update_threads: int, scan_repeats: int = 3,
+                           warmup: float = 0.1) -> float:
+    """Scan time while update threads run (Table 7 / Table 8 setup)."""
+    stop = threading.Event()
+
+    def update_loop(thread_id: int) -> None:
+        generator = TransactionGenerator(spec, thread_id)
+        while not stop.is_set():
+            execute_transaction(engine, generator.next_transaction())
+
+    engine.start_background()
+    threads = [threading.Thread(target=update_loop, args=(i,), daemon=True)
+               for i in range(update_threads)]
+    for thread in threads:
+        thread.start()
+    time.sleep(warmup)
+    try:
+        return measure_scan_seconds(engine, repeats=scan_repeats)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        engine.stop_background()

@@ -1,0 +1,61 @@
+"""Result containers and paper-style table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: id, axes, and the data series."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row of the result table."""
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def series(self, key_header: str, value_header: str,
+               key: Any) -> list[Any]:
+        """Values of *value_header* where *key_header* equals *key*."""
+        key_index = self.headers.index(key_header)
+        value_index = self.headers.index(value_header)
+        return [row[value_index] for row in self.rows
+                if row[key_index] == key]
+
+    def format(self) -> str:
+        """Render as a monospace table comparable to the paper's."""
+        def text(value: Any) -> str:
+            if isinstance(value, float):
+                return "%.4f" % value
+            return str(value)
+
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for i, value in enumerate(row):
+                widths[i] = max(widths[i], len(text(value)))
+        lines = ["%s — %s" % (self.experiment_id, self.title)]
+        lines.append("  ".join(header.ljust(widths[i])
+                               for i, header in enumerate(self.headers)))
+        lines.append("  ".join("-" * widths[i]
+                               for i in range(len(self.headers))))
+        for row in self.rows:
+            lines.append("  ".join(text(value).ljust(widths[i])
+                                   for i, value in enumerate(row)))
+        if self.notes:
+            lines.append("note: %s" % self.notes)
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - deliberate, mirrors notebooks
+        """Print the formatted table."""
+        print(self.format())

@@ -1,0 +1,141 @@
+"""The micro-benchmark of [Larson et al. VLDB'11] / [Sadoghi et al.
+VLDB'14] as used by the paper (Section 6.1).
+
+Workload anatomy:
+
+* a table with **10 columns** (key + 9 payload), integer-valued;
+* three **contention levels** set by the active-set size the
+  transactions touch — paper: 10M (low), 100K (medium), 10K (high);
+  scaled here by a configurable factor because a laptop-scale pure
+  Python run cannot hold 10M live Python objects comfortably;
+* **short update transactions**: 8 reads + 2 writes by default
+  (read-committed), each write updating ~40% of the columns;
+* **long read-only transactions**: analytical scans touching ~10% of
+  the table (snapshot isolation) — here full-column SUMs, the paper's
+  scan primitive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+#: Operation tuples produced by the generator: ("r", key, columns) or
+#: ("w", key, {column: value}).
+Operation = tuple
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One micro-benchmark configuration."""
+
+    #: Total rows loaded into the table.
+    table_size: int = 20_000
+    #: Keys the transactions touch (contention knob).
+    active_set: int = 20_000
+    #: Data columns (paper: 10).
+    num_columns: int = 10
+    #: Read statements per short transaction (paper default: 8).
+    reads_per_txn: int = 8
+    #: Write statements per short transaction (paper default: 2).
+    writes_per_txn: int = 2
+    #: Columns updated per write statement (paper: "on average 40% of
+    #: all columns are updated" → 4 of 10).
+    columns_per_write: int = 4
+    #: Fraction of the table a long read-only transaction touches.
+    scan_fraction: float = 0.10
+    #: RNG seed (per-thread streams derive from it).
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.active_set > self.table_size:
+            raise ValueError("active_set cannot exceed table_size")
+        if self.columns_per_write >= self.num_columns:
+            raise ValueError("writes must leave the key column alone")
+
+    def with_read_write_mix(self, reads: int,
+                            writes: int) -> "WorkloadSpec":
+        """Derive a spec with a different read/write statement mix."""
+        return replace(self, reads_per_txn=reads, writes_per_txn=writes)
+
+
+def low_contention(scale: int = 1000, **overrides) -> WorkloadSpec:
+    """Paper's low contention: active set = whole 10M table (scaled)."""
+    size = max(10_000_000 // scale, 1000)
+    return WorkloadSpec(table_size=size, active_set=size, **overrides)
+
+
+def medium_contention(scale: int = 1000, **overrides) -> WorkloadSpec:
+    """Paper's medium contention: 100K active set (scaled)."""
+    size = max(10_000_000 // scale, 1000)
+    active = max(100_000 // scale, 64)
+    return WorkloadSpec(table_size=size, active_set=active, **overrides)
+
+
+def high_contention(scale: int = 1000, **overrides) -> WorkloadSpec:
+    """Paper's high contention: 10K active set (scaled)."""
+    size = max(10_000_000 // scale, 1000)
+    active = max(10_000 // scale, 16)
+    return WorkloadSpec(table_size=size, active_set=active, **overrides)
+
+
+def initial_rows(spec: WorkloadSpec) -> Iterator[list[int]]:
+    """The initial table contents: key + deterministic payload."""
+    for key in range(spec.table_size):
+        yield [key] + [(key * 31 + column) % 1000
+                       for column in range(1, spec.num_columns)]
+
+
+class TransactionGenerator:
+    """Per-thread stream of short update transactions."""
+
+    def __init__(self, spec: WorkloadSpec, thread_id: int = 0) -> None:
+        self.spec = spec
+        self._rng = random.Random(spec.seed * 1_000_003 + thread_id)
+
+    def next_transaction(self) -> list[Operation]:
+        """Generate one transaction's operations (reads + writes).
+
+        Reads and writes are interleaved the way the paper describes
+        the 8r+2w short transactions: reads first, writes at the end of
+        the transaction (writes read their target via the read set).
+        """
+        spec = self.spec
+        rng = self._rng
+        operations: list[Operation] = []
+        payload_columns = range(1, spec.num_columns)
+        for _ in range(spec.reads_per_txn):
+            key = rng.randrange(spec.active_set)
+            columns = tuple(rng.sample(payload_columns,
+                                       spec.columns_per_write))
+            operations.append(("r", key, columns))
+        for _ in range(spec.writes_per_txn):
+            key = rng.randrange(spec.active_set)
+            updates = {
+                column: rng.randrange(1000)
+                for column in rng.sample(payload_columns,
+                                         spec.columns_per_write)
+            }
+            operations.append(("w", key, updates))
+        return operations
+
+    def scan_column(self) -> int:
+        """Pick the column a long read-only transaction aggregates."""
+        return self._rng.randrange(1, self.spec.num_columns)
+
+
+def point_query_transaction(rng: random.Random, spec: WorkloadSpec,
+                            columns_fraction: float) -> list[Operation]:
+    """A Table-9 style transaction: 10 point reads fetching a column %.
+
+    "each transaction now consists of 10 read statements, and each read
+    statement may read 10% to 100% of all columns."
+    """
+    count = max(1, round(spec.num_columns * columns_fraction))
+    operations: list[Operation] = []
+    for _ in range(10):
+        key = rng.randrange(spec.active_set)
+        columns = tuple(rng.sample(range(spec.num_columns), count))
+        operations.append(("r", key, columns))
+    return operations

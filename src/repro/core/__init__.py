@@ -1,0 +1,19 @@
+"""Core L-Store engine: lineage-based storage, merge, compression."""
+
+from .config import EngineConfig, PAPER_CONFIG, TEST_CONFIG
+from .db import Database
+from .query import Query, Record
+from .schema import TableSchema
+from .table import DELETED, Table
+
+__all__ = [
+    "Database",
+    "DELETED",
+    "EngineConfig",
+    "PAPER_CONFIG",
+    "Query",
+    "Record",
+    "Table",
+    "TableSchema",
+    "TEST_CONFIG",
+]

@@ -1,0 +1,448 @@
+"""Compression: merged-page codecs and historic tail compression.
+
+Two independent mechanisms, both from the paper:
+
+* **Merged-page codecs** — "Any compression algorithm (e.g., dictionary
+  encoding) can be applied on the consolidated pages (on column basis)"
+  (Algorithm 1, step 3). :func:`maybe_compress_page` picks dictionary or
+  run-length encoding when a column page compresses well, producing
+  read-only pages with the same interface as :class:`~repro.core.page.Page`
+  (including the NumPy scan view, so analytics stay fast).
+
+* **Historic tail compression** (Section 4.3) — committed, fully merged
+  tail pages that fall outside the oldest query snapshot are rewritten:
+  records are *re-ordered by base RID*, the different versions of one
+  record are *inlined contiguously* per column, per-version deltas are
+  compressed, and per-record back pointers disappear (one back pointer
+  per record chain survives to keep lineage walks working across the
+  compression boundary). Tombstones from aborted transactions are
+  finally reclaimed here (Section 5.1.3: "the space is not reclaimed
+  until the compression phase").
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..errors import StorageError
+from .encoding import SchemaEncoding
+from .page import Page
+from .schema import (BASE_RID_COLUMN, INDIRECTION_COLUMN,
+                     SCHEMA_ENCODING_COLUMN, START_TIME_COLUMN, TableSchema)
+from .types import NULL, PageKind, is_null
+
+# ---------------------------------------------------------------------------
+# Column codecs
+# ---------------------------------------------------------------------------
+
+
+def delta_encode(values: list[int]) -> tuple[int, list[int]]:
+    """Encode ints as (first, deltas). Inverse of :func:`delta_decode`."""
+    if not values:
+        return 0, []
+    deltas = [values[i] - values[i - 1] for i in range(1, len(values))]
+    return values[0], deltas
+
+
+def delta_decode(first: int, deltas: list[int]) -> list[int]:
+    """Decode the output of :func:`delta_encode`."""
+    values = [first]
+    for delta in deltas:
+        values.append(values[-1] + delta)
+    return values
+
+
+class DictionaryPage:
+    """A frozen, dictionary-encoded column page.
+
+    Stores one small ``values`` list plus a NumPy code array; exposes the
+    same read interface as :class:`~repro.core.page.Page` so the read
+    paths need not care which representation a chain holds.
+    """
+
+    __slots__ = ("page_id", "kind", "capacity", "column", "_codes",
+                 "_dictionary", "tps_rid", "merge_count", "deallocated",
+                 "_numpy_cache", "_lock")
+
+    def __init__(self, page_id: int, kind: PageKind, capacity: int,
+                 column: int | None, codes: np.ndarray,
+                 dictionary: list[Any]) -> None:
+        self.page_id = page_id
+        self.kind = kind
+        self.capacity = capacity
+        self.column = column
+        self._codes = codes
+        self._dictionary = dictionary
+        self.tps_rid = 0
+        self.merge_count = 0
+        self.deallocated = False
+        self._numpy_cache: np.ndarray | None = None
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_values(cls, page_id: int, kind: PageKind, capacity: int,
+                    column: int | None,
+                    values: list[Any]) -> "DictionaryPage":
+        """Build a dictionary page from raw values."""
+        dictionary: list[Any] = []
+        positions: dict[Any, int] = {}
+        codes = np.empty(len(values), dtype=np.int32)
+        for i, value in enumerate(values):
+            code = positions.get(value)
+            if code is None:
+                code = len(dictionary)
+                positions[value] = code
+                dictionary.append(value)
+            codes[i] = code
+        return cls(page_id, kind, capacity, column, codes, dictionary)
+
+    # -- Page interface ------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        """Dictionary pages are always read-only."""
+        return True
+
+    @property
+    def num_records(self) -> int:
+        """Number of encoded values."""
+        return len(self._codes)
+
+    @property
+    def has_capacity(self) -> bool:
+        """Read-only pages never accept appends."""
+        return False
+
+    def read_slot(self, slot: int) -> Any:
+        """Decode the value at *slot*."""
+        if not 0 <= slot < len(self._codes):
+            raise StorageError("slot %d out of dictionary page" % slot)
+        return self._dictionary[self._codes[slot]]
+
+    def is_written(self, slot: int) -> bool:
+        """True for every encoded slot."""
+        return 0 <= slot < len(self._codes)
+
+    def iter_values(self) -> Iterator[Any]:
+        """Yield decoded values in slot order."""
+        for code in self._codes:
+            yield self._dictionary[code]
+
+    def as_numpy(self) -> np.ndarray | None:
+        """Decoded int64 view (None when values are not all ints)."""
+        if self._numpy_cache is not None:
+            return self._numpy_cache
+        for value in self._dictionary:
+            if type(value) is not int:
+                return None
+        with self._lock:
+            if self._numpy_cache is None:
+                lookup = np.asarray(self._dictionary, dtype=np.int64)
+                self._numpy_cache = lookup[self._codes]
+        return self._numpy_cache
+
+    def fast_sum(self) -> int | None:
+        """SUM without decoding: Σ count(code) × value."""
+        for value in self._dictionary:
+            if type(value) is not int:
+                return None
+        counts = np.bincount(self._codes, minlength=len(self._dictionary))
+        lookup = np.asarray(self._dictionary, dtype=np.int64)
+        return int(np.dot(counts, lookup))
+
+    def set_lineage(self, tps_rid: int, merge_count: int) -> None:
+        """Stamp in-page lineage (same contract as Page)."""
+        self.tps_rid = tps_rid
+        self.merge_count = merge_count
+
+    @property
+    def distinct_values(self) -> int:
+        """Dictionary size (compression observability)."""
+        return len(self._dictionary)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return ("DictionaryPage(id=%d, col=%r, %d slots, %d distinct)"
+                % (self.page_id, self.column, len(self._codes),
+                   len(self._dictionary)))
+
+
+def maybe_compress_page(page: Page) -> Page | DictionaryPage:
+    """Dictionary-encode *page* when it compresses well, else keep it.
+
+    The heuristic mirrors real column stores: encode when the number of
+    distinct values is at most a quarter of the row count (so codes plus
+    dictionary are clearly smaller than raw values).
+    """
+    values = list(page.iter_values())
+    if len(values) < 8:
+        return page
+    try:
+        distinct = len(set(values))
+    except TypeError:  # unhashable user values: keep raw
+        return page
+    if distinct * 4 > len(values):
+        return page
+    compressed = DictionaryPage.from_values(
+        page.page_id, page.kind, page.capacity, page.column, values)
+    compressed.set_lineage(page.tps_rid, page.merge_count)
+    return compressed
+
+
+# ---------------------------------------------------------------------------
+# Historic tail compression (Section 4.3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _VersionGroup:
+    """All versions of one base record inside a compressed part.
+
+    Versions are inlined oldest→newest (the paper's "tightly packed and
+    ordered temporally"); ``first_backpointer`` is the single surviving
+    back pointer of the whole group (to the base record or to an older
+    tail record outside this part).
+    """
+
+    base_rid: int
+    offsets: list[int]
+    encodings: list[int]
+    start_first: int
+    start_deltas: list[int]
+    first_backpointer: int
+    #: data column -> (member indices with a value, encoded values)
+    columns: dict[int, tuple[list[int], tuple[int, list[int]] | list[Any]]]
+
+    def start_times(self) -> list[int]:
+        """Decode the inlined, delta-compressed start times."""
+        return delta_decode(self.start_first, self.start_deltas)
+
+    def column_value(self, member: int, data_column: int) -> Any:
+        """Value of *data_column* at *member*, or ∅ if unmaterialised."""
+        entry = self.columns.get(data_column)
+        if entry is None:
+            return NULL
+        members, encoded = entry
+        try:
+            position = members.index(member)
+        except ValueError:
+            return NULL
+        if isinstance(encoded, tuple):
+            first, deltas = encoded
+            return delta_decode(first, deltas)[position]
+        return encoded[position]
+
+
+class CompressedTailPart:
+    """A re-organised, read-only image of a consecutive tail region.
+
+    Replaces the raw tail pages for offsets ``[first_offset, end_offset)``
+    of one tail segment after they are fully merged and outside every
+    active snapshot. Serves the same ``record_cell`` lookups the raw
+    pages did, so lineage walks cross the compression boundary
+    transparently.
+    """
+
+    def __init__(self, first_offset: int, end_offset: int,
+                 schema: TableSchema) -> None:
+        self.first_offset = first_offset
+        self.end_offset = end_offset
+        self._schema = schema
+        self._groups: list[_VersionGroup] = []
+        #: offset -> (group index, member index)
+        self._locator: dict[int, tuple[int, int]] = {}
+        #: offsets of reclaimed tombstones -> original backpointer
+        self._tombstone_backpointers: dict[int, int] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(cls, segment: "Any", first_offset: int, end_offset: int,
+              schema: TableSchema,
+              resolve_time) -> "CompressedTailPart":
+        """Re-organise ``segment[first_offset:end_offset]``.
+
+        *resolve_time* maps a Start Time cell to its commit timestamp
+        (markers are resolved — compressed parts only store plain
+        times, enabling transaction-manager garbage collection).
+        """
+        part = cls(first_offset, end_offset, schema)
+        by_base: dict[int, list[int]] = {}
+        for offset in range(first_offset, end_offset):
+            if not segment.record_written(offset):
+                raise StorageError(
+                    "cannot compress unwritten tail offset %d" % offset)
+            if segment.is_tombstone(offset):
+                part._tombstone_backpointers[offset] = segment.record_cell(
+                    offset, INDIRECTION_COLUMN)
+                continue
+            base_rid = segment.record_cell(offset, BASE_RID_COLUMN)
+            by_base.setdefault(base_rid, []).append(offset)
+        # Paper: "tail records are ordered based on the RIDs of their
+        # corresponding base records".
+        for base_rid in sorted(by_base):
+            offsets = by_base[base_rid]  # ascending == oldest first
+            encodings = [segment.record_cell(o, SCHEMA_ENCODING_COLUMN)
+                         for o in offsets]
+            times = [resolve_time(segment.record_cell(o, START_TIME_COLUMN))
+                     for o in offsets]
+            first, deltas = delta_encode(times)
+            columns: dict[int, Any] = {}
+            for data_column in range(schema.num_columns):
+                physical = schema.physical_index(data_column)
+                members: list[int] = []
+                raw: list[Any] = []
+                for member, offset in enumerate(offsets):
+                    encoding = SchemaEncoding.from_int(
+                        schema.num_columns, encodings[member])
+                    if encoding.is_updated(data_column):
+                        value = segment.record_cell(offset, physical)
+                        if not is_null(value):
+                            members.append(member)
+                            raw.append(value)
+                if not members:
+                    continue
+                if all(type(v) is int for v in raw):
+                    columns[data_column] = (members, delta_encode(raw))
+                else:
+                    columns[data_column] = (members, raw)
+            group = _VersionGroup(
+                base_rid=base_rid,
+                offsets=offsets,
+                encodings=encodings,
+                start_first=first,
+                start_deltas=deltas,
+                first_backpointer=segment.record_cell(offsets[0],
+                                                      INDIRECTION_COLUMN),
+                columns=columns,
+            )
+            group_index = len(part._groups)
+            part._groups.append(group)
+            for member, offset in enumerate(offsets):
+                part._locator[offset] = (group_index, member)
+        return part
+
+    # -- lookups ------------------------------------------------------------
+
+    def covers(self, offset: int) -> bool:
+        """True when *offset* falls inside this part."""
+        return self.first_offset <= offset < self.end_offset
+
+    def is_tombstone(self, offset: int) -> bool:
+        """True when *offset* was a reclaimed aborted record."""
+        return offset in self._tombstone_backpointers
+
+    def record_cell(self, offset: int, column: int,
+                    rid_at) -> Any:
+        """Reconstruct one cell of the record at *offset*.
+
+        *rid_at* maps a tail offset back to its RID (needed to rebuild
+        the collapsed intra-group back pointers).
+        """
+        tombstone_back = self._tombstone_backpointers.get(offset)
+        if tombstone_back is not None:
+            if column == INDIRECTION_COLUMN:
+                return tombstone_back
+            if column == SCHEMA_ENCODING_COLUMN:
+                return SchemaEncoding.empty(
+                    self._schema.num_columns).to_int()
+            return NULL
+        try:
+            group_index, member = self._locator[offset]
+        except KeyError:
+            raise StorageError(
+                "offset %d not in compressed part" % offset) from None
+        group = self._groups[group_index]
+        if column == INDIRECTION_COLUMN:
+            if member == 0:
+                return group.first_backpointer
+            return rid_at(group.offsets[member - 1])
+        if column == SCHEMA_ENCODING_COLUMN:
+            return group.encodings[member]
+        if column == START_TIME_COLUMN:
+            return group.start_times()[member]
+        if column == BASE_RID_COLUMN:
+            return group.base_rid
+        data_column = self._schema.data_index(column)
+        return group.column_value(member, data_column)
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def num_groups(self) -> int:
+        """Number of base records with inlined version chains."""
+        return len(self._groups)
+
+    @property
+    def num_records(self) -> int:
+        """Live (non-tombstone) records covered."""
+        return len(self._locator)
+
+    @property
+    def reclaimed_tombstones(self) -> int:
+        """Aborted records whose space this part reclaimed."""
+        return len(self._tombstone_backpointers)
+
+    def groups(self) -> list[_VersionGroup]:
+        """The ordered version groups (tests/examples introspection)."""
+        return list(self._groups)
+
+
+def compress_historic_tails(table: "Any", update_range: "Any", *,
+                            horizon: int | None = None) -> int:
+    """Compress the fully merged tail pages of *update_range*.
+
+    Only whole pages below the merge watermark are eligible, and only
+    when they fall outside the oldest active query snapshot (*horizon*
+    defaults to the epoch manager's oldest active begin time). Returns
+    the number of tail records compressed. The raw pages are retired
+    through the epoch manager (Section 4.3 allows any reclamation scheme
+    here; we reuse the epoch queue).
+    """
+    tail = update_range.tail
+    if tail is None:
+        return 0
+    oldest = table.epoch_manager.oldest_active_begin()
+    if horizon is None:
+        horizon = oldest if oldest is not None else table.clock.now() + 1
+    else:
+        horizon = min(horizon,
+                      oldest if oldest is not None else horizon)
+    capacity = tail.page_capacity
+    start = tail.compressed_upto
+    boundary = (update_range.merged_upto // capacity) * capacity
+    # Respect the snapshot horizon: stop before the first record whose
+    # commit time is not strictly older than every active query.
+    end = start
+    while end < boundary:
+        if tail.is_tombstone(end):
+            end += 1
+            continue
+        resolved = table.resolve_cell(
+            tail.record_cell(end, START_TIME_COLUMN))
+        if not resolved.committed or resolved.time is None \
+                or resolved.time >= horizon:
+            break
+        end += 1
+    end = (end // capacity) * capacity
+    if end <= start:
+        return 0
+
+    def resolve_time(cell: int) -> int:
+        resolved = table.resolve_cell(cell)
+        if not resolved.committed or resolved.time is None:
+            raise StorageError("unresolved start cell in historic region")
+        return resolved.time
+
+    part = CompressedTailPart.build(tail, start, end, table.schema,
+                                    resolve_time)
+    old_pages = tail.pages_for_slots(start, end)
+    tail.install_compressed_part(part)
+    table.epoch_manager.retire(
+        old_pages, retired_at=table.clock.advance(),
+        on_reclaim=lambda page: table.page_directory.unregister(
+            page.page_id))
+    return end - start

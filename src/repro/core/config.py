@@ -1,0 +1,147 @@
+"""Engine configuration.
+
+All tunables named by the paper live here with the paper's defaults,
+scaled where the paper itself says a range is acceptable:
+
+* *update range size* — the virtual range partitioning of records used
+  to cluster updates into tail pages; the paper finds 2**12 .. 2**16
+  optimal (Section 4.4) and recommends a finer update range with a
+  coarser merge range.
+* *page size* — 32 KB in the paper (Section 6.1); here expressed in
+  *slots per page* because pages hold Python objects, with 4096 slots
+  matching 32 KB of 8-byte values.
+* *merge threshold* — how many committed tail records accumulate before
+  a merge is enqueued; the paper's Figure 8 sweeps this and finds ~50%
+  of the range size optimal.
+* *insert range size* — pre-allocated base-RID blocks for inserts,
+  "at least a million RIDs" at production scale (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from .types import Layout
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable configuration for a :class:`~repro.core.db.Database`.
+
+    The defaults are test-friendly (small pages, small ranges) so unit
+    tests exercise page-boundary and merge logic quickly; the benchmark
+    harness overrides them with paper-scale values.
+    """
+
+    #: Number of record slots per base page (paper: 32 KB / 8 B = 4096).
+    records_per_page: int = 512
+
+    #: Number of record slots per tail page. The paper permits smaller
+    #: tail pages (footnote 13: 4 KB tails vs 32 KB bases).
+    records_per_tail_page: int = 512
+
+    #: Update-range size: records per virtual range partition
+    #: (paper: 2**12 .. 2**16). Must be a multiple of records_per_page.
+    update_range_size: int = 1024
+
+    #: Merge-range granularity in update ranges: merges may take several
+    #: consecutive update ranges as one unit (Section 4.4 recommends e.g.
+    #: 2**4 ranges of 2**12 records merged as one 2**16 unit).
+    merge_ranges_per_merge: int = 1
+
+    #: Committed tail records accumulated in one range before a merge of
+    #: that range is scheduled (Figure 8 sweeps this knob; ~50% of the
+    #: update range size is the paper's sweet spot).
+    merge_threshold: int = 512
+
+    #: Pre-allocated base-RID block for the append-only insert path
+    #: (Section 3.2; paper uses >= 2**20 at scale).
+    insert_range_size: int = 1024
+
+    #: Whether updates are *cumulative*: each tail record repeats all
+    #: updated-so-far column values so readers stop after one hop
+    #: (Section 3.1). Non-cumulative tails store only the changed column.
+    cumulative_updates: bool = True
+
+    #: Record layout; ROW exists to reproduce Tables 8 and 9.
+    layout: Layout = Layout.COLUMNAR
+
+    #: Run the merge in a background thread (paper's deployment). When
+    #: False, merges run synchronously when triggered — deterministic,
+    #: used by most unit tests.
+    background_merge: bool = False
+
+    #: Apply dictionary/RLE compression to merged pages.
+    compress_merged_pages: bool = True
+
+    #: Seconds the background merge thread sleeps when its queue is empty.
+    merge_poll_interval: float = 0.001
+
+    #: Enable the write-ahead log (redo-only for tails, Section 5.1.3).
+    #: Section 6.1 turns logging off for all measured systems; tests and
+    #: the recovery example turn it on.
+    wal_enabled: bool = False
+
+    #: Directory for WAL segments and page files (None = in-memory only).
+    data_dir: str | None = None
+
+    #: Buffer-pool capacity in frames (None = unbounded, memory resident).
+    bufferpool_frames: int | None = None
+
+    #: Capacity threshold after which historic (fully merged) tail pages
+    #: become candidates for the Section 4.3 compression pass.
+    historic_compression_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.records_per_page <= 0:
+            raise ValueError("records_per_page must be positive")
+        if self.records_per_tail_page <= 0:
+            raise ValueError("records_per_tail_page must be positive")
+        if self.update_range_size % self.records_per_page != 0:
+            raise ValueError(
+                "update_range_size (%d) must be a multiple of "
+                "records_per_page (%d)"
+                % (self.update_range_size, self.records_per_page)
+            )
+        if self.insert_range_size % self.records_per_page != 0:
+            raise ValueError(
+                "insert_range_size (%d) must be a multiple of "
+                "records_per_page (%d)"
+                % (self.insert_range_size, self.records_per_page)
+            )
+        if self.merge_threshold <= 0:
+            raise ValueError("merge_threshold must be positive")
+        if self.merge_ranges_per_merge <= 0:
+            raise ValueError("merge_ranges_per_merge must be positive")
+
+    @property
+    def pages_per_range(self) -> int:
+        """Base pages per update range."""
+        return self.update_range_size // self.records_per_page
+
+    def with_overrides(self, **overrides: Any) -> "EngineConfig":
+        """Return a copy with *overrides* applied (config is immutable)."""
+        return replace(self, **overrides)
+
+
+#: Paper-scale configuration (Section 6.1): 32 KB pages as 4096 slots,
+#: 2**12 update ranges merged at 50% accumulation.
+PAPER_CONFIG = EngineConfig(
+    records_per_page=4096,
+    records_per_tail_page=4096,
+    update_range_size=4096,
+    merge_threshold=2048,
+    insert_range_size=65536,
+    background_merge=True,
+)
+
+#: Small deterministic configuration used across the test suite.
+TEST_CONFIG = EngineConfig(
+    records_per_page=8,
+    records_per_tail_page=8,
+    update_range_size=16,
+    merge_threshold=8,
+    insert_range_size=16,
+    background_merge=False,
+)

@@ -1,0 +1,136 @@
+"""Database front door: tables, shared clock, merge engine, transactions.
+
+``Database`` wires the subsystems together the way the paper's prototype
+does: one synchronized clock and one transaction manager for all tables,
+one merge engine (optionally a background thread, Figure 5), one epoch
+manager for contention-free de-allocation, and optional durability
+(write-ahead log + page files) when a data directory is configured.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from ..errors import LStoreError, SchemaMismatchError
+from ..txn.clock import SynchronizedClock
+from ..txn.manager import TransactionManager
+from ..txn.transaction import Transaction
+from .config import EngineConfig
+from .epoch import EpochManager
+from .merge import MergeEngine
+from .query import Query
+from .schema import TableSchema
+from .table import Table
+from .types import IsolationLevel
+
+
+class Database:
+    """A collection of L-Store tables sharing engine services."""
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.clock = SynchronizedClock()
+        self.epoch_manager = EpochManager()
+        self.txn_manager = TransactionManager(self.clock)
+        self.merge_engine = MergeEngine(
+            poll_interval=self.config.merge_poll_interval)
+        self.tables: dict[str, Table] = {}
+        self._wal = None
+        self._open = True
+        if self.config.background_merge:
+            self.merge_engine.start()
+        if self.config.wal_enabled and self.config.data_dir:
+            from ..wal.log import LogManager
+            from ..wal.records import TxnAbortRecord, TxnCommitRecord
+            os.makedirs(self.config.data_dir, exist_ok=True)
+            self._wal = LogManager(
+                os.path.join(self.config.data_dir, "wal.log"))
+            wal = self._wal
+            self.txn_manager.commit_sink = (
+                lambda txn_id, commit_time: wal.append(
+                    TxnCommitRecord(txn_id=txn_id, commit_time=commit_time)))
+            self.txn_manager.abort_sink = (
+                lambda txn_id: wal.append(TxnAbortRecord(txn_id=txn_id)))
+
+    # -- tables ------------------------------------------------------------
+
+    def create_table(self, name: str, num_columns: int, key_index: int = 0,
+                     column_names: tuple[str, ...] | None = None,
+                     config: EngineConfig | None = None) -> Table:
+        """Create a table and attach it to the engine services."""
+        if name in self.tables:
+            raise SchemaMismatchError("table %r already exists" % name)
+        schema = TableSchema(name=name, num_columns=num_columns,
+                             key_index=key_index,
+                             column_names=column_names or ())
+        table = Table(schema, config if config is not None else self.config,
+                      clock=self.clock, epoch_manager=self.epoch_manager,
+                      txn_source=self.txn_manager)
+        self.merge_engine.attach(table)
+        if self._wal is not None:
+            from ..wal.log import attach_table_logging
+            attach_table_logging(self._wal, table)
+        self.tables[name] = table
+        return table
+
+    def get_table(self, name: str) -> Table:
+        """Return the table called *name*."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise LStoreError("no table named %r" % name) from None
+
+    def drop_table(self, name: str) -> None:
+        """Drop the table called *name*."""
+        self.tables.pop(name, None)
+
+    def query(self, name: str) -> Query:
+        """Auto-commit query handle for table *name*."""
+        return Query(self.get_table(name))
+
+    # -- transactions ------------------------------------------------------------
+
+    def begin_transaction(
+            self, *,
+            isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
+    ) -> Transaction:
+        """Open a multi-statement transaction."""
+        return Transaction(self.txn_manager, isolation=isolation)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def run_merges(self) -> int:
+        """Drain the merge queue synchronously (deterministic mode)."""
+        return self.merge_engine.run_pending()
+
+    def compress_history(self) -> int:
+        """Run the historic tail compression pass over every table."""
+        from .compression import compress_historic_tails
+        compressed = 0
+        for table in self.tables.values():
+            for update_range in table.sorted_ranges():
+                compressed += compress_historic_tails(table, update_range)
+        return compressed
+
+    def vacuum_indexes(self) -> int:
+        """Vacuum deferred secondary-index entries on every table."""
+        oldest = self.epoch_manager.oldest_active_begin()
+        return sum(table.index.vacuum(oldest)
+                   for table in self.tables.values())
+
+    def close(self) -> None:
+        """Stop background services and flush durability state."""
+        if not self._open:
+            return
+        self.merge_engine.stop(drain=True)
+        if self._wal is not None:
+            self._wal.flush()
+            self._wal.close()
+        self._open = False
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

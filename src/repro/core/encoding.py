@@ -1,0 +1,154 @@
+"""Schema Encoding column: per-record bitmap of updated data columns.
+
+Section 2.2 of the paper: one bit per data column (metadata columns are
+excluded); bit = 1 when the column has been updated. Tail records that
+hold a *snapshot of the original values* — written on the first update
+of a column to make outdated base pages safely discardable (Lemma 2) —
+carry an extra flag rendered as an asterisk, e.g. ``0001*``.
+
+The bitmap is stored as a plain int so it fits the 64-bit cell model of
+the storage layer; the snapshot flag occupies one bit above the data
+columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class SchemaEncoding:
+    """Immutable bitmap over *num_columns* data columns plus a snapshot flag.
+
+    The textual form matches the paper: most-significant data column
+    first, e.g. ``SchemaEncoding.from_string("0101")`` flags columns 1
+    and 3 of a 4-column table (0-indexed from the left, as in Table 2
+    where columns are named A, B, C after the key).
+    """
+
+    __slots__ = ("num_columns", "_bits", "is_snapshot")
+
+    def __init__(self, num_columns: int, bits: int = 0,
+                 is_snapshot: bool = False) -> None:
+        if num_columns < 0:
+            raise ValueError("num_columns must be non-negative")
+        if bits < 0 or bits >= (1 << num_columns):
+            raise ValueError(
+                "bits %r out of range for %d columns" % (bits, num_columns))
+        self.num_columns = num_columns
+        self._bits = bits
+        self.is_snapshot = is_snapshot
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def empty(cls, num_columns: int) -> "SchemaEncoding":
+        """All-zero encoding: no column ever updated."""
+        return cls(num_columns, 0)
+
+    @classmethod
+    def from_columns(cls, num_columns: int, columns: Iterable[int],
+                     is_snapshot: bool = False) -> "SchemaEncoding":
+        """Encoding with the given 0-indexed *columns* flagged."""
+        bits = 0
+        for column in columns:
+            if not 0 <= column < num_columns:
+                raise ValueError(
+                    "column %d out of range [0, %d)" % (column, num_columns))
+            bits |= 1 << (num_columns - 1 - column)
+        return cls(num_columns, bits, is_snapshot)
+
+    @classmethod
+    def from_string(cls, text: str) -> "SchemaEncoding":
+        """Parse the paper's textual form, e.g. ``"0101"`` or ``"0001*"``."""
+        is_snapshot = text.endswith("*")
+        body = text[:-1] if is_snapshot else text
+        if body and set(body) - {"0", "1"}:
+            raise ValueError("invalid schema encoding string: %r" % text)
+        return cls(len(body), int(body, 2) if body else 0, is_snapshot)
+
+    @classmethod
+    def from_int(cls, num_columns: int, value: int) -> "SchemaEncoding":
+        """Decode the packed integer produced by :meth:`to_int`."""
+        snapshot_bit = 1 << num_columns
+        return cls(num_columns, value & (snapshot_bit - 1),
+                   bool(value & snapshot_bit))
+
+    # -- packed form ---------------------------------------------------
+
+    def to_int(self) -> int:
+        """Pack bitmap + snapshot flag into one int (storable in a cell)."""
+        value = self._bits
+        if self.is_snapshot:
+            value |= 1 << self.num_columns
+        return value
+
+    # -- queries -------------------------------------------------------
+
+    def is_updated(self, column: int) -> bool:
+        """True when 0-indexed data *column* is flagged as updated."""
+        if not 0 <= column < self.num_columns:
+            raise ValueError(
+                "column %d out of range [0, %d)" % (column, self.num_columns))
+        return bool(self._bits & (1 << (self.num_columns - 1 - column)))
+
+    def updated_columns(self) -> Iterator[int]:
+        """Yield the 0-indexed flagged columns, ascending."""
+        for column in range(self.num_columns):
+            if self.is_updated(column):
+                yield column
+
+    @property
+    def any_updated(self) -> bool:
+        """True when at least one column is flagged."""
+        return self._bits != 0
+
+    # -- algebra ---------------------------------------------------------
+
+    def with_column(self, column: int) -> "SchemaEncoding":
+        """Return a copy with *column* additionally flagged."""
+        if not 0 <= column < self.num_columns:
+            raise ValueError(
+                "column %d out of range [0, %d)" % (column, self.num_columns))
+        return SchemaEncoding(
+            self.num_columns,
+            self._bits | (1 << (self.num_columns - 1 - column)),
+            self.is_snapshot,
+        )
+
+    def union(self, other: "SchemaEncoding") -> "SchemaEncoding":
+        """Bitwise OR of two encodings (snapshot flag is dropped).
+
+        Used by the merge to populate the base-record Schema Encoding
+        "to reflect all the columns that have been changed" (Step 3).
+        """
+        if other.num_columns != self.num_columns:
+            raise ValueError("encodings cover different column counts")
+        return SchemaEncoding(self.num_columns, self._bits | other._bits)
+
+    def as_snapshot(self) -> "SchemaEncoding":
+        """Return a copy carrying the snapshot (asterisk) flag."""
+        return SchemaEncoding(self.num_columns, self._bits, True)
+
+    def without_snapshot(self) -> "SchemaEncoding":
+        """Return a copy with the snapshot flag cleared."""
+        return SchemaEncoding(self.num_columns, self._bits, False)
+
+    # -- dunder ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SchemaEncoding):
+            return NotImplemented
+        return (self.num_columns == other.num_columns
+                and self._bits == other._bits
+                and self.is_snapshot == other.is_snapshot)
+
+    def __hash__(self) -> int:
+        return hash((self.num_columns, self._bits, self.is_snapshot))
+
+    def __str__(self) -> str:
+        body = format(self._bits, "0%db" % self.num_columns) \
+            if self.num_columns else ""
+        return body + ("*" if self.is_snapshot else "")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SchemaEncoding(%r)" % str(self)

@@ -1,0 +1,147 @@
+"""Epoch-based, contention-free page de-allocation (Section 4.1.1, Fig. 6).
+
+Outdated base pages cannot be freed the moment a merge swaps them out of
+the page directory: an in-flight query may still hold references. The
+paper defines the epoch as "a time window in which the outdated base
+pages must be kept around as long as there is an active query that
+started before the merge process"; pointers are parked in a queue and
+reclaimed once those readers drain naturally — no transaction is ever
+blocked or drained forcibly (the defining contrast with the Delta +
+Blocking Merge baseline).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from .page import Page, RowPage
+
+AnyPage = Page | RowPage
+
+
+@dataclass(frozen=True)
+class QueryEpoch:
+    """Handle for one active query's membership in the epoch registry."""
+
+    token: int
+    begin_time: int
+
+
+@dataclass
+class _RetiredBatch:
+    """A batch of pages retired at one merge completion."""
+
+    pages: tuple[AnyPage, ...]
+    retired_at: int
+    on_reclaim: Callable[[AnyPage], None] | None = field(default=None)
+
+
+class EpochManager:
+    """Tracks active queries and reclaims retired pages safely.
+
+    ``enter_query`` / ``exit_query`` bracket every reader (scans and
+    point lookups alike). ``retire`` parks outdated pages stamped with
+    the retirement time; ``reclaim`` frees every batch whose retirement
+    time precedes the begin time of all still-active queries.
+
+    Reclamation is opportunistic: it runs whenever a query exits or a
+    batch is retired, so no dedicated vacuum thread is needed (one may
+    still call :meth:`reclaim` explicitly, e.g. from tests).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._active: dict[int, int] = {}
+        self._next_token = 0
+        self._retired: list[_RetiredBatch] = []
+        self._reclaimed_pages = 0
+
+    # -- query registry ----------------------------------------------------
+
+    def enter_query(self, begin_time: int) -> QueryEpoch:
+        """Register a query that begins at *begin_time*."""
+        with self._lock:
+            token = self._next_token
+            self._next_token += 1
+            self._active[token] = begin_time
+            return QueryEpoch(token=token, begin_time=begin_time)
+
+    def exit_query(self, epoch: QueryEpoch) -> None:
+        """Deregister a query; opportunistically reclaim."""
+        with self._lock:
+            self._active.pop(epoch.token, None)
+        self.reclaim()
+
+    def oldest_active_begin(self) -> int | None:
+        """Begin time of the longest-running active query, or None."""
+        with self._lock:
+            if not self._active:
+                return None
+            return min(self._active.values())
+
+    @property
+    def active_queries(self) -> int:
+        """Number of currently registered queries."""
+        with self._lock:
+            return len(self._active)
+
+    # -- retirement ------------------------------------------------------------
+
+    def retire(self, pages: Iterable[AnyPage], retired_at: int,
+               on_reclaim: Callable[[AnyPage], None] | None = None) -> None:
+        """Park *pages* for reclamation once pre-merge readers drain.
+
+        *on_reclaim* (e.g. page-directory unregistration) runs once per
+        page at reclamation time.
+        """
+        batch = _RetiredBatch(tuple(pages), retired_at, on_reclaim)
+        if not batch.pages:
+            return
+        with self._lock:
+            self._retired.append(batch)
+        self.reclaim()
+
+    def reclaim(self) -> int:
+        """Free every batch no active query could still reference.
+
+        Returns the number of pages reclaimed by this call.
+        """
+        with self._lock:
+            horizon = min(self._active.values()) if self._active else None
+            ready: list[_RetiredBatch] = []
+            remaining: list[_RetiredBatch] = []
+            for batch in self._retired:
+                # Safe when every active query began after the pages were
+                # retired (it can only have seen the new chain), or when
+                # no query is active at all.
+                if horizon is None or batch.retired_at < horizon:
+                    ready.append(batch)
+                else:
+                    remaining.append(batch)
+            self._retired = remaining
+        count = 0
+        for batch in ready:
+            for page in batch.pages:
+                page.deallocated = True
+                if batch.on_reclaim is not None:
+                    batch.on_reclaim(page)
+                count += 1
+        with self._lock:
+            self._reclaimed_pages += count
+        return count
+
+    # -- observability ------------------------------------------------------------
+
+    @property
+    def pending_pages(self) -> int:
+        """Pages retired but not yet reclaimed."""
+        with self._lock:
+            return sum(len(batch.pages) for batch in self._retired)
+
+    @property
+    def reclaimed_pages(self) -> int:
+        """Total pages reclaimed over the manager's lifetime."""
+        with self._lock:
+            return self._reclaimed_pages

@@ -1,0 +1,202 @@
+"""Indexes that only ever reference base RIDs (Section 3.1).
+
+"Indexes always point to base records (i.e., base RIDs), and they never
+directly point to any tail records" — updates therefore touch only the
+indexes of the columns they change, and even those keep pointing at the
+same base RID. When a column value changes, the new value is *added* to
+the index while the old entry is retained for a while (footnote 3:
+removal is deferred so snapshot queries keep finding historic values);
+readers re-evaluate their predicate against the visible version after
+the lookup, exactly as Section 3.1 prescribes.
+
+The primary index is unique (key → base RID); secondary indexes are
+multimaps (value → set of base RIDs).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable, Iterable, Iterator
+
+from ..errors import DuplicateKeyError
+from .schema import TableSchema
+
+
+class PrimaryIndex:
+    """Unique hash index over the primary-key column."""
+
+    def __init__(self) -> None:
+        self._map: dict[Hashable, int] = {}
+        self._lock = threading.Lock()
+
+    def insert(self, key: Hashable, rid: int) -> None:
+        """Map *key* to *rid*; raise on duplicates."""
+        with self._lock:
+            if key in self._map:
+                raise DuplicateKeyError("duplicate primary key %r" % (key,))
+            self._map[key] = rid
+
+    def replace(self, key: Hashable, rid: int) -> None:
+        """Re-point *key* at *rid* (re-insert after a committed delete)."""
+        with self._lock:
+            self._map[key] = rid
+
+    def get(self, key: Hashable) -> int | None:
+        """Return the base RID for *key*, or None."""
+        return self._map.get(key)
+
+    def remove(self, key: Hashable) -> None:
+        """Drop *key* (called when a delete's deferral window closes)."""
+        with self._lock:
+            self._map.pop(key, None)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def keys(self) -> Iterator[Hashable]:
+        """Iterate over the indexed keys (snapshot copy)."""
+        with self._lock:
+            return iter(list(self._map.keys()))
+
+    def items(self) -> list[tuple[Hashable, int]]:
+        """Snapshot of (key, rid) pairs."""
+        with self._lock:
+            return list(self._map.items())
+
+
+class SecondaryIndex:
+    """Non-unique hash index: value → base RIDs that *may* match.
+
+    Entries are only added, never eagerly removed; lookups return
+    candidates and the read path re-checks the predicate on the visible
+    version (deferred-removal semantics of footnote 3). :meth:`vacuum`
+    implements the eventual removal "until the changed entries fall
+    outside the snapshot of all relevant active queries".
+    """
+
+    def __init__(self, column: int) -> None:
+        self.column = column
+        self._map: dict[Hashable, set[int]] = {}
+        self._lock = threading.Lock()
+        #: (value, rid, superseded_at) triples eligible for vacuum.
+        self._stale: list[tuple[Hashable, int, int]] = []
+
+    def insert(self, value: Hashable, rid: int) -> None:
+        """Add candidate mapping value → rid."""
+        with self._lock:
+            self._map.setdefault(value, set()).add(rid)
+
+    def mark_stale(self, value: Hashable, rid: int, superseded_at: int) -> None:
+        """Record that (value, rid) stopped being current at a timestamp."""
+        with self._lock:
+            self._stale.append((value, rid, superseded_at))
+
+    def lookup(self, value: Hashable) -> frozenset[int]:
+        """Candidate base RIDs whose column may equal *value*."""
+        with self._lock:
+            rids = self._map.get(value)
+            return frozenset(rids) if rids else frozenset()
+
+    def lookup_range(self, low: Hashable, high: Hashable) -> frozenset[int]:
+        """Candidates with low <= value <= high (hash index: full scan)."""
+        result: set[int] = set()
+        with self._lock:
+            for value, rids in self._map.items():
+                if low <= value <= high:  # type: ignore[operator]
+                    result.update(rids)
+        return frozenset(result)
+
+    def vacuum(self, oldest_active_begin: int | None) -> int:
+        """Drop stale entries no active snapshot can still need.
+
+        *oldest_active_begin* is the begin time of the longest-running
+        active query (None = no active queries). Returns entries dropped.
+        """
+        dropped = 0
+        with self._lock:
+            keep: list[tuple[Hashable, int, int]] = []
+            for value, rid, superseded_at in self._stale:
+                if oldest_active_begin is None \
+                        or superseded_at < oldest_active_begin:
+                    rids = self._map.get(value)
+                    if rids is not None:
+                        rids.discard(rid)
+                        if not rids:
+                            del self._map[value]
+                    dropped += 1
+                else:
+                    keep.append((value, rid, superseded_at))
+            self._stale = keep
+        return dropped
+
+    @property
+    def stale_entries(self) -> int:
+        """Number of entries awaiting vacuum."""
+        with self._lock:
+            return len(self._stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(rids) for rids in self._map.values())
+
+
+class IndexManager:
+    """All indexes of one table: the primary plus optional secondaries."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self._schema = schema
+        self.primary = PrimaryIndex()
+        self._secondary: dict[int, SecondaryIndex] = {}
+        self._lock = threading.Lock()
+
+    def create_secondary(self, data_column: int) -> SecondaryIndex:
+        """Create (or return) the secondary index on *data_column*."""
+        if data_column == self._schema.key_index:
+            raise ValueError(
+                "the key column already has the primary index")
+        with self._lock:
+            index = self._secondary.get(data_column)
+            if index is None:
+                index = SecondaryIndex(data_column)
+                self._secondary[data_column] = index
+            return index
+
+    def drop_secondary(self, data_column: int) -> None:
+        """Drop the secondary index on *data_column*."""
+        with self._lock:
+            self._secondary.pop(data_column, None)
+
+    def secondary(self, data_column: int) -> SecondaryIndex | None:
+        """Return the secondary index on *data_column*, if any."""
+        return self._secondary.get(data_column)
+
+    def secondaries(self) -> Iterable[SecondaryIndex]:
+        """Snapshot of all secondary indexes."""
+        with self._lock:
+            return list(self._secondary.values())
+
+    def on_insert(self, rid: int, values: list[Any]) -> None:
+        """Index a freshly inserted row (all columns)."""
+        for index in self.secondaries():
+            index.insert(values[index.column], rid)
+
+    def on_update(self, rid: int, data_column: int, old_value: Any,
+                  new_value: Any, superseded_at: int) -> None:
+        """Maintain the affected secondary index after an update.
+
+        Adds the new entry immediately; the old entry is only marked for
+        deferred removal (footnote 3).
+        """
+        index = self._secondary.get(data_column)
+        if index is None:
+            return
+        index.insert(new_value, rid)
+        index.mark_stale(old_value, rid, superseded_at)
+
+    def vacuum(self, oldest_active_begin: int | None) -> int:
+        """Vacuum every secondary index; return total entries dropped."""
+        return sum(index.vacuum(oldest_active_begin)
+                   for index in self.secondaries())

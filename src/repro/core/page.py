@@ -1,0 +1,319 @@
+"""Physical pages: fixed-slot columnar (and row) pages with lineage.
+
+Section 2.1/2.2: data lives in fixed-size pages. *Base pages* are
+read-only and compressed; *tail pages* are append-only and write-once —
+once a slot is written it is never overwritten, even if the writing
+transaction aborts (aborted tail records become tombstones, Section
+5.1.3). Merged pages carry their lineage in-page as a *tail-page
+sequence number* (TPS, Section 4.2) recording how many tail records have
+been consolidated into them.
+
+Because this reproduction stores Python objects, "32 KB page" becomes
+"N slots per page". Read-only integer pages expose a cached NumPy view
+(:meth:`Page.as_numpy`) so analytical scans enjoy the columnar-layout
+speedup the paper measures in Table 8.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import PageFullError, PageImmutableError
+from .types import NULL, NULL_RID, PageKind, is_null
+
+
+class _Unwritten:
+    """Sentinel for a slot that was never written (≠ the special null ∅)."""
+
+    _instance: "_Unwritten | None" = None
+
+    def __new__(cls) -> "_Unwritten":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unwritten>"
+
+
+#: Slot content before any write.
+UNWRITTEN = _Unwritten()
+
+
+class Page:
+    """A fixed-capacity page holding one column's values.
+
+    Parameters
+    ----------
+    page_id:
+        Unique id within the owning table (page-directory key).
+    kind:
+        Role of the page (base / tail / merged / compressed tail).
+    capacity:
+        Number of record slots.
+    column:
+        Physical column index stored by this page (purely informational;
+        the page directory keys pages by column).
+
+    Write-once discipline: :meth:`write_slot` raises
+    :class:`~repro.errors.PageImmutableError` when the target slot was
+    already written or when the page is frozen. Base and merged pages
+    are written fully by their creator (insert-merge or merge) and then
+    frozen; tail pages accumulate slots and are implicitly immutable per
+    slot.
+    """
+
+    __slots__ = (
+        "page_id", "kind", "capacity", "column", "_values", "_num_written",
+        "_frozen", "tps_rid", "merge_count", "_numpy_cache", "_lock",
+        "deallocated",
+    )
+
+    def __init__(self, page_id: int, kind: PageKind, capacity: int,
+                 column: int | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError("page capacity must be positive")
+        self.page_id = page_id
+        self.kind = kind
+        self.capacity = capacity
+        self.column = column
+        self._values: list[Any] = [UNWRITTEN] * capacity
+        self._num_written = 0
+        self._frozen = False
+        #: Lineage: RID of the most recent tail record merged into this
+        #: page (tail RIDs descend, so smaller == newer). NULL_RID means
+        #: no merge has touched this page (TPS 0 in the paper).
+        self.tps_rid: int = NULL_RID
+        #: Lineage: number of merges this page has been through.
+        self.merge_count: int = 0
+        self._numpy_cache: np.ndarray | None = None
+        self._lock = threading.Lock()
+        #: Set by the epoch manager when the page is reclaimed.
+        self.deallocated = False
+
+    # -- writes ----------------------------------------------------------
+
+    def write_slot(self, slot: int, value: Any) -> None:
+        """Write *value* into *slot* exactly once."""
+        if self._frozen:
+            raise PageImmutableError(
+                "page %d is frozen (%s)" % (self.page_id, self.kind.value))
+        if not 0 <= slot < self.capacity:
+            raise PageFullError(
+                "slot %d out of range for capacity %d"
+                % (slot, self.capacity))
+        with self._lock:
+            if self._values[slot] is not UNWRITTEN:
+                raise PageImmutableError(
+                    "slot %d of page %d already written (write-once)"
+                    % (slot, self.page_id))
+            self._values[slot] = value
+            self._num_written += 1
+
+    def fill(self, values: Sequence[Any]) -> None:
+        """Bulk-write a fresh page (merge fast path); then freeze it."""
+        if self._num_written:
+            raise PageImmutableError(
+                "fill() requires an empty page; %d slots already written"
+                % self._num_written)
+        if len(values) > self.capacity:
+            raise PageFullError(
+                "%d values exceed capacity %d" % (len(values), self.capacity))
+        with self._lock:
+            for slot, value in enumerate(values):
+                self._values[slot] = value
+            self._num_written = len(values)
+        self.freeze()
+
+    def freeze(self) -> None:
+        """Mark the page read-only (base/merged pages after creation)."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        """True when the page accepts no further writes."""
+        return self._frozen
+
+    # -- reads -----------------------------------------------------------
+
+    def read_slot(self, slot: int) -> Any:
+        """Return the value at *slot* (may be the special null ∅)."""
+        if not 0 <= slot < self.capacity:
+            raise PageFullError(
+                "slot %d out of range for capacity %d"
+                % (slot, self.capacity))
+        value = self._values[slot]
+        if value is UNWRITTEN:
+            raise PageImmutableError(
+                "slot %d of page %d was never written"
+                % (slot, self.page_id))
+        return value
+
+    def is_written(self, slot: int) -> bool:
+        """True when *slot* holds a value."""
+        if not 0 <= slot < self.capacity:
+            return False
+        return self._values[slot] is not UNWRITTEN
+
+    def iter_values(self) -> Iterator[Any]:
+        """Yield the written prefix of the page, in slot order."""
+        for value in self._values:
+            if value is UNWRITTEN:
+                break
+            yield value
+
+    @property
+    def num_records(self) -> int:
+        """Number of written slots."""
+        return self._num_written
+
+    @property
+    def has_capacity(self) -> bool:
+        """True when at least one slot is free."""
+        return self._num_written < self.capacity
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of slots written (space-utilisation metric, §4.4)."""
+        return self._num_written / self.capacity
+
+    # -- analytics fast path ----------------------------------------------
+
+    def as_numpy(self) -> np.ndarray | None:
+        """Return a cached int64 view of a frozen all-int page.
+
+        Returns None when the page is mutable or holds non-integer
+        values (e.g. ∅ from deletions); callers then fall back to the
+        Python read path. This is the read-optimised representation that
+        gives columnar scans their bandwidth advantage (Table 8).
+        """
+        if not self._frozen:
+            return None
+        if self._numpy_cache is not None:
+            return self._numpy_cache
+        prefix = self._values[:self._num_written]
+        for value in prefix:
+            if type(value) is not int:
+                return None
+        with self._lock:
+            if self._numpy_cache is None:
+                self._numpy_cache = np.asarray(prefix, dtype=np.int64)
+        return self._numpy_cache
+
+    # -- lineage -----------------------------------------------------------
+
+    def set_lineage(self, tps_rid: int, merge_count: int) -> None:
+        """Stamp in-page lineage after a merge (Section 4.2)."""
+        self.tps_rid = tps_rid
+        self.merge_count = merge_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return ("Page(id=%d, kind=%s, col=%r, %d/%d slots, tps=%d)"
+                % (self.page_id, self.kind.value, self.column,
+                   self._num_written, self.capacity, self.tps_rid))
+
+
+class RowPage:
+    """A fixed-capacity page holding full physical rows as tuples.
+
+    Used by the ``Layout.ROW`` variant of L-Store that Tables 8 and 9
+    compare against the columnar default. The interface mirrors
+    :class:`Page` but every slot stores one tuple spanning all physical
+    columns.
+    """
+
+    __slots__ = ("page_id", "kind", "capacity", "width", "_rows",
+                 "_num_written", "_frozen", "tps_rid", "merge_count",
+                 "_lock", "deallocated", "column")
+
+    def __init__(self, page_id: int, kind: PageKind, capacity: int,
+                 width: int) -> None:
+        if capacity <= 0:
+            raise ValueError("page capacity must be positive")
+        if width <= 0:
+            raise ValueError("row width must be positive")
+        self.page_id = page_id
+        self.kind = kind
+        self.capacity = capacity
+        self.width = width
+        self.column: int | None = None
+        self._rows: list[tuple | None] = [None] * capacity
+        self._num_written = 0
+        self._frozen = False
+        self.tps_rid: int = NULL_RID
+        self.merge_count: int = 0
+        self._lock = threading.Lock()
+        self.deallocated = False
+
+    def write_row(self, slot: int, row: Sequence[Any]) -> None:
+        """Write the full physical *row* into *slot* exactly once."""
+        if self._frozen:
+            raise PageImmutableError("row page %d is frozen" % self.page_id)
+        if len(row) != self.width:
+            raise PageImmutableError(
+                "row width %d != page width %d" % (len(row), self.width))
+        if not 0 <= slot < self.capacity:
+            raise PageFullError("slot %d out of range" % slot)
+        with self._lock:
+            if self._rows[slot] is not None:
+                raise PageImmutableError(
+                    "slot %d of row page %d already written"
+                    % (slot, self.page_id))
+            self._rows[slot] = tuple(row)
+            self._num_written += 1
+
+    def read_row(self, slot: int) -> tuple:
+        """Return the tuple at *slot*."""
+        row = self._rows[slot]
+        if row is None:
+            raise PageImmutableError(
+                "slot %d of row page %d was never written"
+                % (slot, self.page_id))
+        return row
+
+    def read_cell(self, slot: int, column: int) -> Any:
+        """Return one cell of the row at *slot*."""
+        return self.read_row(slot)[column]
+
+    def is_written(self, slot: int) -> bool:
+        """True when *slot* holds a row."""
+        return 0 <= slot < self.capacity and self._rows[slot] is not None
+
+    def freeze(self) -> None:
+        """Mark the page read-only."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        """True when the page accepts no further writes."""
+        return self._frozen
+
+    @property
+    def num_records(self) -> int:
+        """Number of written slots."""
+        return self._num_written
+
+    @property
+    def has_capacity(self) -> bool:
+        """True when at least one slot is free."""
+        return self._num_written < self.capacity
+
+    def set_lineage(self, tps_rid: int, merge_count: int) -> None:
+        """Stamp in-page lineage after a merge."""
+        self.tps_rid = tps_rid
+        self.merge_count = merge_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return ("RowPage(id=%d, kind=%s, %d/%d slots)"
+                % (self.page_id, self.kind.value,
+                   self._num_written, self.capacity))
+
+
+def page_values_equal(a: Any, b: Any) -> bool:
+    """Value equality that treats the special null ∅ as equal to itself."""
+    if is_null(a) and is_null(b):
+        return True
+    return a == b

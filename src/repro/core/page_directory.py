@@ -1,0 +1,126 @@
+"""Page directory: the only structure the merge updates in foreground.
+
+Section 4.1.1 step 4: after a merge builds consolidated pages, "the only
+foreground action taken by the merge process ... is simply to swap and
+update pointers in the page directory". Readers resolve
+``(update range, column)`` to the current chain of base pages through
+this directory; the swap is atomic per chain, and outdated chains are
+handed to the epoch manager for deferred reclamation (step 5).
+
+Every page — base, tail, merged, compressed — is also registered here by
+page id, reflecting the paper's "both base and tail pages are referenced
+through the database page directory ... and persisted identically".
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Iterator
+
+from ..errors import StorageError
+from .page import Page, RowPage
+
+AnyPage = Page | RowPage
+
+
+class PageDirectory:
+    """Registry of all pages plus the base-page chains per range/column.
+
+    Chain reads take no lock: a chain is an immutable tuple and Python
+    reference assignment is atomic, mirroring the paper's pointer-swap
+    (a CAS per directory entry, Section 5.1.2). Structural mutations
+    (registering pages, swapping chains) take a short mutex.
+    """
+
+    def __init__(self) -> None:
+        self._pages: dict[int, AnyPage] = {}
+        self._base_chains: dict[tuple[int, int], tuple[AnyPage, ...]] = {}
+        self._lock = threading.Lock()
+        self._swap_count = 0
+
+    # -- page registry ----------------------------------------------------
+
+    def register(self, page: AnyPage) -> None:
+        """Register *page* under its page id."""
+        with self._lock:
+            if page.page_id in self._pages:
+                raise StorageError(
+                    "page id %d already registered" % page.page_id)
+            self._pages[page.page_id] = page
+
+    def register_many(self, pages: Iterable[AnyPage]) -> None:
+        """Register several pages atomically."""
+        pages = list(pages)
+        with self._lock:
+            for page in pages:
+                if page.page_id in self._pages:
+                    raise StorageError(
+                        "page id %d already registered" % page.page_id)
+            for page in pages:
+                self._pages[page.page_id] = page
+
+    def get(self, page_id: int) -> AnyPage:
+        """Return the page registered under *page_id*."""
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise StorageError("unknown page id %d" % page_id) from None
+
+    def unregister(self, page_id: int) -> None:
+        """Drop *page_id* from the registry (after epoch reclamation)."""
+        with self._lock:
+            self._pages.pop(page_id, None)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    # -- base chains --------------------------------------------------------
+
+    def set_base_chain(self, range_id: int, column: int,
+                       pages: Iterable[AnyPage]) -> None:
+        """Install the base-page chain for ``(range_id, column)``."""
+        chain = tuple(pages)
+        with self._lock:
+            self._base_chains[(range_id, column)] = chain
+
+    def base_chain(self, range_id: int,
+                   column: int) -> tuple[AnyPage, ...] | None:
+        """Current chain for ``(range_id, column)``; None if absent.
+
+        Lock-free: returns the immutable tuple reference current at call
+        time. A concurrent swap does not invalidate the returned chain —
+        the epoch manager keeps those pages alive while any query that
+        could hold them is active.
+        """
+        return self._base_chains.get((range_id, column))
+
+    def swap_base_chain(self, range_id: int, column: int,
+                        new_pages: Iterable[AnyPage],
+                        ) -> tuple[AnyPage, ...]:
+        """Atomically replace a chain; return the outdated chain.
+
+        This is the merge's foreground pointer swap (step 4). The caller
+        passes the outdated chain to the epoch manager for deferred
+        de-allocation (step 5).
+        """
+        chain = tuple(new_pages)
+        with self._lock:
+            old = self._base_chains.get((range_id, column), ())
+            self._base_chains[(range_id, column)] = chain
+            self._swap_count += 1
+            return old
+
+    def base_columns(self, range_id: int) -> Iterator[int]:
+        """Yield the columns that have a base chain for *range_id*."""
+        with self._lock:
+            keys = [key for key in self._base_chains if key[0] == range_id]
+        for _, column in keys:
+            yield column
+
+    @property
+    def swap_count(self) -> int:
+        """Number of chain swaps performed (merge observability)."""
+        return self._swap_count

@@ -1,0 +1,226 @@
+"""Statement-style query API (auto-commit).
+
+A thin, ergonomic layer over :class:`~repro.core.table.Table` matching
+the classic L-Store interface (insert / select / select_version /
+update / delete / sum / sum_version / increment) plus analytics helpers
+(full-column scans, time-travel reads). Every call is an auto-commit
+statement; multi-statement transactions go through
+:class:`~repro.txn.transaction.Transaction` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from ..errors import KeyNotFoundError
+from .table import DELETED, Table
+from .version import visible_as_of, visible_latest_committed
+
+
+@dataclass(frozen=True)
+class Record:
+    """One materialised record returned by a query."""
+
+    rid: int
+    key: Any
+    columns: tuple[Any, ...]
+
+    def __getitem__(self, data_column: int) -> Any:
+        return self.columns[data_column]
+
+
+class Query:
+    """Auto-commit statements against one table."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    # -- helpers ------------------------------------------------------------
+
+    def _projection_columns(self, projection: Sequence[int] | None,
+                            ) -> list[int]:
+        if projection is None:
+            return list(range(self.table.schema.num_columns))
+        self.table.schema.validate_projection(projection)
+        return [i for i, flag in enumerate(projection) if flag]
+
+    def _materialize(self, rid: int, values: dict[int, Any],
+                     requested: Sequence[int]) -> Record:
+        """Shape fetched values into a Record: unprojected columns are None."""
+        schema = self.table.schema
+        key = values.get(schema.key_index)
+        if key is None and schema.key_index not in values:
+            key_values = self.table.read_latest(rid, (schema.key_index,))
+            if isinstance(key_values, dict):
+                key = key_values[schema.key_index]
+        wanted = set(requested)
+        columns = tuple(values.get(column) if column in wanted else None
+                        for column in range(schema.num_columns))
+        return Record(rid=rid, key=key, columns=columns)
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, *columns: Any) -> int:
+        """Insert a row (one positional value per data column)."""
+        return self.table.insert(list(columns))
+
+    def update(self, key: Any, *columns: Any) -> int:
+        """Update the record with *key*; None values mean "unchanged".
+
+        Mirrors the classic API: ``update(key, None, 5, None)`` sets
+        data column 1 to 5.
+        """
+        self.table.schema.validate_row(columns)
+        updates = {i: value for i, value in enumerate(columns)
+                   if value is not None}
+        rid = self._rid(key)
+        return self.table.update(rid, updates)
+
+    def update_columns(self, key: Any, updates: dict[int, Any]) -> int:
+        """Update by explicit ``{data_column: value}`` mapping."""
+        rid = self._rid(key)
+        return self.table.update(rid, dict(updates))
+
+    def delete(self, key: Any) -> int:
+        """Delete the record with *key*."""
+        rid = self._rid(key)
+        return self.table.delete(rid)
+
+    def increment(self, key: Any, data_column: int, delta: int = 1) -> int:
+        """Add *delta* to one column of the record with *key*."""
+        rid = self._rid(key)
+        current = self.table.read_latest(rid, (data_column,))
+        if current is None or current is DELETED:
+            raise KeyNotFoundError("key %r has no visible version" % (key,))
+        return self.table.update(
+            rid, {data_column: current[data_column] + delta})
+
+    def _rid(self, key: Any) -> int:
+        rid = self.table.index.primary.get(key)
+        if rid is None:
+            raise KeyNotFoundError(
+                "no record with key %r in table %r"
+                % (key, self.table.schema.name))
+        return rid
+
+    # -- point reads ----------------------------------------------------------
+
+    def select(self, search_key: Any, search_column: int,
+               projection: Sequence[int] | None = None) -> list[Record]:
+        """Records whose *search_column* equals *search_key*.
+
+        Uses the primary index for the key column, a secondary index if
+        one exists, and a scan otherwise. Matches are re-validated
+        against the visible version (deferred index maintenance).
+        """
+        columns = self._projection_columns(projection)
+        fetch = sorted(set(columns) | {search_column})
+        records: list[Record] = []
+        for rid in self._candidates(search_key, search_column):
+            values = self.table.read_latest(rid, fetch)
+            if values is None or values is DELETED:
+                continue
+            if values[search_column] != search_key:
+                continue
+            records.append(self._materialize(rid, values, columns))
+        return records
+
+    def _candidates(self, search_key: Any,
+                    search_column: int) -> Iterator[int]:
+        schema = self.table.schema
+        if search_column == schema.key_index:
+            rid = self.table.index.primary.get(search_key)
+            if rid is not None:
+                yield rid
+            return
+        index = self.table.index.secondary(search_column)
+        if index is not None:
+            yield from index.lookup(search_key)
+            return
+        for rid, _ in self.table.scan_records((search_column,)):
+            yield rid
+
+    def select_version(self, search_key: Any, search_column: int,
+                       projection: Sequence[int] | None,
+                       relative_version: int) -> list[Record]:
+        """Like :meth:`select` but *relative_version* steps in the past.
+
+        ``relative_version=0`` is the latest committed version, ``-1``
+        the one before it, and so on (classic L-Store convention).
+        """
+        columns = self._projection_columns(projection)
+        fetch = sorted(set(columns) | {search_column})
+        records: list[Record] = []
+        for rid in self._candidates(search_key, search_column):
+            values = self.table.read_relative_version(rid, fetch,
+                                                      relative_version)
+            if values is None or values is DELETED:
+                continue
+            records.append(self._materialize(rid, values, columns))
+        return records
+
+    def select_as_of(self, search_key: Any, search_column: int,
+                     projection: Sequence[int] | None,
+                     as_of: int) -> list[Record]:
+        """Time-travel select: the version visible at timestamp *as_of*."""
+        columns = self._projection_columns(projection)
+        fetch = sorted(set(columns) | {search_column})
+        predicate = visible_as_of(as_of)
+        records: list[Record] = []
+        for rid in self._candidates(search_key, search_column):
+            values = self.table.assemble_version(rid, fetch, predicate)
+            if values is None or values is DELETED:
+                continue
+            if values[search_column] != search_key:
+                continue
+            records.append(self._materialize(rid, values, columns))
+        return records
+
+    # -- aggregates ------------------------------------------------------------
+
+    def sum(self, start_key: Any, end_key: Any, data_column: int) -> int:
+        """SUM of *data_column* over keys in ``[start_key, end_key]``."""
+        total = 0
+        found = False
+        for key, rid in self.table.index.primary.items():
+            if not start_key <= key <= end_key:
+                continue
+            values = self.table.read_latest(rid, (data_column,))
+            if values is None or values is DELETED:
+                continue
+            total += values[data_column]
+            found = True
+        if not found:
+            return 0
+        return total
+
+    def sum_version(self, start_key: Any, end_key: Any, data_column: int,
+                    relative_version: int) -> int:
+        """Historic SUM at *relative_version* steps in the past."""
+        total = 0
+        for key, rid in self.table.index.primary.items():
+            if not start_key <= key <= end_key:
+                continue
+            values = self.table.read_relative_version(
+                rid, (data_column,), relative_version)
+            if values is None or values is DELETED:
+                continue
+            total += values[data_column]
+        return total
+
+    def scan_sum(self, data_column: int, *, as_of: int | None = None) -> int:
+        """Full-column analytical SUM (the Section 6 scan workload)."""
+        return self.table.scan_sum(data_column, as_of=as_of)
+
+    def scan(self, projection: Sequence[int] | None = None,
+             ) -> Iterator[Record]:
+        """Yield every visible record (analytics iteration)."""
+        columns = self._projection_columns(projection)
+        for rid, values in self.table.scan_records(columns):
+            yield self._materialize(rid, values, columns)
+
+    def count(self) -> int:
+        """Number of visible records."""
+        return sum(1 for _ in self.table.scan_records(
+            (self.table.schema.key_index,)))

@@ -1,0 +1,160 @@
+"""RID allocation: ascending base RIDs, descending tail RIDs.
+
+Section 3.2: inserts draw base RIDs from pre-allocated *insert ranges*;
+Section 4.4: upon the first update of an update range, a block of unused
+tail RIDs is pre-allocated for that range, and tail RIDs are assigned in
+reverse order from the top of the 64-bit space so page-directory scans
+for base pages never visit tail entries.
+
+Both allocators are thread-safe: benchmark workloads allocate RIDs from
+many writer threads concurrently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from ..errors import StorageError
+from .types import BASE_RID_MAX, TAIL_RID_MAX, is_tail_rid
+
+
+@dataclass
+class TailBlock:
+    """A contiguous block of tail RIDs owned by one update range.
+
+    RIDs inside the block descend from :attr:`start_rid`; the *i*-th
+    record appended to the range's tail pages receives
+    ``start_rid - i``. Offsets therefore increase in time order even
+    though RIDs decrease, which keeps tail-page slots append-only.
+    """
+
+    start_rid: int
+    size: int
+    _used: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def allocate(self) -> int | None:
+        """Return the next RID of this block, or None when exhausted."""
+        with self._lock:
+            if self._used >= self.size:
+                return None
+            rid = self.start_rid - self._used
+            self._used += 1
+            return rid
+
+    def contains(self, rid: int) -> bool:
+        """True when *rid* belongs to this block."""
+        return self.start_rid - self.size < rid <= self.start_rid
+
+    def offset_of(self, rid: int) -> int:
+        """Time-ordered offset (0-based) of *rid* within the block."""
+        if not self.contains(rid):
+            raise ValueError("rid %d not in block %r" % (rid, self))
+        return self.start_rid - rid
+
+    def rid_at(self, offset: int) -> int:
+        """Inverse of :meth:`offset_of`."""
+        if not 0 <= offset < self.size:
+            raise ValueError("offset %d out of block range" % offset)
+        return self.start_rid - offset
+
+    @property
+    def used(self) -> int:
+        """Number of RIDs handed out so far."""
+        with self._lock:
+            return self._used
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no RID is left in the block."""
+        with self._lock:
+            return self._used >= self.size
+
+
+class RIDAllocator:
+    """Hands out base-RID ranges and tail-RID blocks for one table.
+
+    Base RIDs ascend from 1 in fixed-size *insert ranges* (Section 3.2);
+    tail RIDs descend from ``TAIL_RID_MAX`` in per-update-range blocks
+    (Section 4.4). Both spaces never overlap by construction
+    (:mod:`repro.core.types`).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next_base_start = 1
+        self._next_tail_start = TAIL_RID_MAX
+
+    def reserve_base_range(self, size: int) -> int:
+        """Reserve *size* consecutive base RIDs; return the first one."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        with self._lock:
+            first = self._next_base_start
+            if first + size - 1 > BASE_RID_MAX:
+                raise StorageError("base RID space exhausted")
+            self._next_base_start += size
+            return first
+
+    def reserve_tail_block(self, size: int) -> TailBlock:
+        """Reserve a descending block of *size* tail RIDs."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        with self._lock:
+            start = self._next_tail_start
+            if not is_tail_rid(start - size + 1):
+                raise StorageError("tail RID space exhausted")
+            self._next_tail_start -= size
+            return TailBlock(start_rid=start, size=size)
+
+    def advance_base_to(self, next_start: int) -> None:
+        """Raise the base cursor to *next_start* (recovery replay)."""
+        with self._lock:
+            if next_start > self._next_base_start:
+                self._next_base_start = next_start
+
+    def advance_tail_below(self, next_start: int) -> None:
+        """Lower the tail cursor to *next_start* (recovery replay)."""
+        with self._lock:
+            if next_start < self._next_tail_start:
+                self._next_tail_start = next_start
+
+    @property
+    def base_rids_allocated(self) -> int:
+        """Total base RIDs reserved so far."""
+        with self._lock:
+            return self._next_base_start - 1
+
+    @property
+    def tail_rids_allocated(self) -> int:
+        """Total tail RIDs reserved so far."""
+        with self._lock:
+            return TAIL_RID_MAX - self._next_tail_start
+
+
+class MonotonicCounter:
+    """A tiny thread-safe monotonically increasing counter.
+
+    Used for page ids, merge batch ids, and other identifiers that only
+    need uniqueness and order.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+        self._last = start - 1
+
+    def next(self) -> int:
+        """Return the next value."""
+        with self._lock:
+            self._last = next(self._counter)
+            return self._last
+
+    @property
+    def last(self) -> int:
+        """Most recently returned value."""
+        with self._lock:
+            return self._last

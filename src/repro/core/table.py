@@ -1,0 +1,1745 @@
+"""The lineage-based table: update ranges, tail segments, read paths.
+
+This module implements Sections 2 and 3 of the paper:
+
+* records are virtually partitioned into fixed-size **update ranges**;
+  each range owns append-only **tail pages** for its updates
+  (:class:`TailSegment`);
+* new records are appended through **insert ranges** whose actual data
+  lives in *table-level tail pages* until a simplified merge materialises
+  read-only base pages (Section 3.2, Table 3);
+* every update appends a tail record; the first update of a column also
+  appends a *snapshot* tail record holding the original value, which is
+  what makes outdated base pages safely discardable (Lemma 2);
+* the only in-place mutable word per record is the **Indirection**
+  column, held in a CAS-only :class:`~repro.txn.latch.IndirectionVector`;
+* reads reach the latest version in at most two hops via the indirection
+  and the in-page TPS lineage (Section 4.2), and any historic version by
+  walking the backpointer chain.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator, Sequence
+
+from ..errors import (DuplicateKeyError, InconsistentReadError,
+                      KeyNotFoundError, RecordDeletedError,
+                      SchemaMismatchError, StorageError, WriteWriteConflict)
+from ..txn.latch import IndirectionVector
+from ..txn.clock import SynchronizedClock
+from .config import EngineConfig
+from .encoding import SchemaEncoding
+from .epoch import EpochManager
+from .index import IndexManager
+from .page import Page, RowPage, UNWRITTEN
+from .page_directory import PageDirectory
+from .rid import MonotonicCounter, RIDAllocator, TailBlock
+from .schema import (BASE_RID_COLUMN, INDIRECTION_COLUMN, LAST_UPDATED_COLUMN,
+                     NUM_METADATA_COLUMNS, SCHEMA_ENCODING_COLUMN,
+                     START_TIME_COLUMN, TableSchema)
+from .types import (NULL, NULL_RID, TXN_ID_FLAG, Layout, PageKind,
+                    TransactionState, is_base_rid, is_null, is_tail_rid)
+from .version import (ResolvedTime, TxnStateSource, VisibilityPredicate,
+                      resolve_start_cell, visible_latest_committed)
+
+#: Pseudo column index under which row-layout page chains are registered.
+ROW_CHAIN_COLUMN = -1
+
+
+class Deleted:
+    """Singleton returned when the visible version of a record is a delete."""
+
+    _instance: "Deleted | None" = None
+
+    def __new__(cls) -> "Deleted":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<deleted>"
+
+
+#: Marker: the record's visible version is a delete.
+DELETED = Deleted()
+
+
+def tps_applied(tps_rid: int, tail_rid: int) -> bool:
+    """True when the merge watermark *tps_rid* covers *tail_rid*.
+
+    Tail RIDs descend over time, so a record is covered when its RID is
+    *at least* the watermark (Section 4.4: "tail RIDs will be
+    monotonically decreasing, and the TPS logic must be reversed").
+    A NULL watermark covers nothing.
+    """
+    return tps_rid != NULL_RID and tail_rid >= tps_rid
+
+
+class TailSegment:
+    """Append-only, write-once tail storage for one update range.
+
+    One instance serves either the *regular* tail pages of an update
+    range or the *table-level* tail pages of an insert range (Section
+    3.2 stresses both are structurally identical). Columns are allocated
+    lazily — "a column that has never been updated does not even have to
+    be materialized" — and reads of unmaterialised cells return the
+    implicit special null ∅.
+    """
+
+    def __init__(self, *, range_id: int, layout: Layout, width: int,
+                 page_capacity: int, block_size: int,
+                 rid_allocator: RIDAllocator, page_counter: MonotonicCounter,
+                 page_directory: PageDirectory,
+                 kind: PageKind = PageKind.TAIL,
+                 segment_ref: tuple[str, int] | None = None,
+                 wal: Any | None = None) -> None:
+        self.range_id = range_id
+        #: WAL address of this segment: ("tail", range_id) for regular
+        #: tails, ("insert", insert_range_index) for table-level tails.
+        self.segment_ref = segment_ref if segment_ref is not None \
+            else ("tail", range_id)
+        self.wal = wal
+        self.layout = layout
+        self.width = width
+        self.page_capacity = page_capacity
+        self.block_size = block_size
+        self.kind = kind
+        self._rid_allocator = rid_allocator
+        self._page_counter = page_counter
+        self._page_directory = page_directory
+        self._lock = threading.Lock()
+        self._blocks: list[tuple[int, TailBlock]] = []
+        self._pages: dict[int, list[Page]] = {}
+        self._row_pages: list[RowPage] = []
+        self._tombstones: set[int] = set()
+        #: Historic compression (Section 4.3): parts replace raw pages
+        #: for offsets below ``compressed_upto``.
+        self.compressed_parts: list[Any] = []
+        self.compressed_upto = 0
+
+    # -- RID / offset bookkeeping ------------------------------------------
+
+    def allocate(self) -> tuple[int, int]:
+        """Reserve the next tail RID; return ``(rid, offset)``.
+
+        Offsets increase in allocation order while RIDs decrease, so tail
+        slots stay append-only (Section 4.4).
+        """
+        while True:
+            blocks = self._blocks
+            if blocks:
+                base_offset, block = blocks[-1]
+                rid = block.allocate()
+                if rid is not None:
+                    return rid, base_offset + block.offset_of(rid)
+            with self._lock:
+                # Re-check under the lock: a racing thread may have
+                # extended the block list already.
+                if not self._blocks or self._blocks[-1][1].exhausted:
+                    next_offset = self.num_reserved_slots()
+                    block = self._rid_allocator.reserve_tail_block(
+                        self.block_size)
+                    self._blocks = self._blocks + [(next_offset, block)]
+                    if self.wal is not None \
+                            and self.segment_ref[0] == "tail":
+                        self.wal.tail_block_reserved(
+                            self.range_id, block.start_rid, block.size)
+
+    def adopt_block(self, block: TailBlock) -> None:
+        """Install a pre-reserved *block* (aligned insert segments)."""
+        with self._lock:
+            next_offset = self.num_reserved_slots()
+            self._blocks = self._blocks + [(next_offset, block)]
+
+    def num_reserved_slots(self) -> int:
+        """Total slots covered by all blocks."""
+        return sum(block.size for _, block in self._blocks)
+
+    def num_allocated(self) -> int:
+        """Total RIDs handed out so far (time-ordered offsets)."""
+        return sum(block.used for _, block in self._blocks)
+
+    def contains_rid(self, rid: int) -> bool:
+        """True when *rid* belongs to one of this segment's blocks."""
+        return any(block.contains(rid) for _, block in self._blocks)
+
+    def locate(self, rid: int) -> int:
+        """Offset of *rid* within the segment."""
+        for base_offset, block in self._blocks:
+            if block.contains(rid):
+                return base_offset + block.offset_of(rid)
+        raise StorageError("rid %d not in tail segment of range %d"
+                           % (rid, self.range_id))
+
+    def rid_at(self, offset: int) -> int:
+        """Inverse of :meth:`locate`."""
+        for base_offset, block in self._blocks:
+            if base_offset <= offset < base_offset + block.size:
+                return block.rid_at(offset - base_offset)
+        raise StorageError("offset %d not reserved in range %d"
+                           % (offset, self.range_id))
+
+    # -- tombstones -------------------------------------------------------
+
+    def mark_tombstone(self, offset: int) -> None:
+        """Invalidate the record at *offset* (aborted transaction)."""
+        with self._lock:
+            self._tombstones.add(offset)
+
+    def is_tombstone(self, offset: int) -> bool:
+        """True when the record at *offset* was aborted."""
+        if offset < self.compressed_upto:
+            part = self._part_for(offset)
+            if part is not None:
+                return part.is_tombstone(offset)
+        return offset in self._tombstones
+
+    # -- historic compression hooks ------------------------------------------
+
+    def _part_for(self, offset: int) -> Any | None:
+        for part in self.compressed_parts:
+            if part.covers(offset):
+                return part
+        return None
+
+    def install_compressed_part(self, part: Any) -> None:
+        """Replace raw pages with a :class:`CompressedTailPart`.
+
+        Reclaims the tombstone set for the covered region ("the space is
+        not reclaimed until the compression phase", Section 5.1.3).
+        """
+        with self._lock:
+            self.compressed_parts.append(part)
+            self.compressed_upto = max(self.compressed_upto,
+                                       part.end_offset)
+            self._tombstones = {
+                offset for offset in self._tombstones
+                if not part.covers(offset)
+            }
+
+    # -- columnar IO -------------------------------------------------------
+
+    def _page_for_write(self, column: int, page_index: int) -> Page:
+        pages = self._pages.get(column)
+        if pages is None or page_index >= len(pages):
+            with self._lock:
+                pages = self._pages.setdefault(column, [])
+                while page_index >= len(pages):
+                    page = Page(self._page_counter.next(), self.kind,
+                                self.page_capacity, column)
+                    self._page_directory.register(page)
+                    pages.append(page)
+        return self._pages[column][page_index]
+
+    def write_cell(self, offset: int, column: int, value: Any) -> None:
+        """Write one cell (write-once) at *offset* for *column*."""
+        page = self._page_for_write(column, offset // self.page_capacity)
+        page.write_slot(offset % self.page_capacity, value)
+
+    def has_value(self, offset: int, column: int) -> bool:
+        """True when the cell was explicitly written."""
+        pages = self._pages.get(column)
+        if pages is None:
+            return False
+        page_index = offset // self.page_capacity
+        if page_index >= len(pages):
+            return False
+        return pages[page_index].is_written(offset % self.page_capacity)
+
+    def read_cell(self, offset: int, column: int) -> Any:
+        """Read one cell; unmaterialised cells are the implicit ∅."""
+        pages = self._pages.get(column)
+        if pages is None:
+            return NULL
+        page_index = offset // self.page_capacity
+        if page_index >= len(pages):
+            return NULL
+        page = pages[page_index]
+        slot = offset % self.page_capacity
+        if not page.is_written(slot):
+            return NULL
+        return page.read_slot(slot)
+
+    def replace_cell(self, offset: int, column: int, expected: Any,
+                     value: Any) -> bool:
+        """Refine a cell in place (lazy commit-time stamping only)."""
+        pages = self._pages.get(column)
+        if pages is None:
+            return False
+        page = pages[offset // self.page_capacity]
+        slot = offset % self.page_capacity
+        with page._lock:
+            if page._values[slot] == expected:
+                page._values[slot] = value
+                return True
+            return False
+
+    # -- row IO -------------------------------------------------------------
+
+    def _row_page_for_write(self, page_index: int) -> RowPage:
+        if page_index >= len(self._row_pages):
+            with self._lock:
+                while page_index >= len(self._row_pages):
+                    page = RowPage(self._page_counter.next(), self.kind,
+                                   self.page_capacity, self.width)
+                    self._page_directory.register(page)
+                    self._row_pages.append(page)
+        return self._row_pages[page_index]
+
+    def write_row(self, offset: int, row: Sequence[Any]) -> None:
+        """Row-layout: write the full physical row at *offset*."""
+        page = self._row_page_for_write(offset // self.page_capacity)
+        page.write_row(offset % self.page_capacity, row)
+
+    def read_row_cell(self, offset: int, column: int) -> Any:
+        """Row-layout: read one cell of the row at *offset*."""
+        page_index = offset // self.page_capacity
+        if page_index >= len(self._row_pages):
+            return NULL
+        page = self._row_pages[page_index]
+        slot = offset % self.page_capacity
+        if not page.is_written(slot):
+            return NULL
+        return page.read_cell(slot, column)
+
+    def row_written(self, offset: int) -> bool:
+        """Row-layout: True when the row at *offset* was written."""
+        page_index = offset // self.page_capacity
+        return page_index < len(self._row_pages) \
+            and self._row_pages[page_index].is_written(
+                offset % self.page_capacity)
+
+    # -- unified record IO ---------------------------------------------------
+
+    def write_record(self, offset: int, cells: dict[int, Any]) -> None:
+        """Write a tail record: metadata + materialised data cells.
+
+        Columnar layout writes each provided column; row layout expands
+        to a full-width row with ∅ for unmaterialised columns.
+        """
+        if self.wal is not None:
+            self.wal.record_written(self.segment_ref, offset, cells)
+        if self.layout is Layout.ROW:
+            row = [NULL] * self.width
+            for column, value in cells.items():
+                row[column] = value
+            self.write_row(offset, row)
+        else:
+            capacity = self.page_capacity
+            page_index = offset // capacity
+            slot = offset % capacity
+            pages_map = self._pages
+            for column, value in cells.items():
+                pages = pages_map.get(column)
+                if pages is None or page_index >= len(pages):
+                    self._page_for_write(column, page_index)
+                    pages = pages_map[column]
+                pages[page_index].write_slot(slot, value)
+
+    def record_cell(self, offset: int, column: int) -> Any:
+        """Read one cell of the record at *offset*."""
+        if offset < self.compressed_upto:
+            part = self._part_for(offset)
+            if part is not None:
+                return part.record_cell(offset, column, self.rid_at)
+        if self.layout is Layout.ROW:
+            return self.read_row_cell(offset, column)
+        return self.read_cell(offset, column)
+
+    def record_written(self, offset: int) -> bool:
+        """True when the record at *offset* is (at least partially) written.
+
+        The Start Time cell is written by every record, so its presence
+        marks the record as materialised.
+        """
+        if offset < self.compressed_upto and self._part_for(offset):
+            return True
+        if self.layout is Layout.ROW:
+            return self.row_written(offset)
+        return self.has_value(offset, START_TIME_COLUMN)
+
+    # -- page enumeration (merge / compression / epoch) -------------------------
+
+    def pages_for_column(self, column: int) -> list[Page]:
+        """Snapshot of the pages materialised for *column*."""
+        with self._lock:
+            return list(self._pages.get(column, []))
+
+    def materialized_columns(self) -> list[int]:
+        """Columns with at least one tail page."""
+        with self._lock:
+            return list(self._pages.keys())
+
+    def all_pages(self) -> list[Page | RowPage]:
+        """Every page of the segment (epoch retirement of insert tails)."""
+        with self._lock:
+            pages: list[Page | RowPage] = []
+            for page_list in self._pages.values():
+                pages.extend(page_list)
+            pages.extend(self._row_pages)
+            return pages
+
+    def pages_for_slots(self, first_offset: int,
+                        last_offset: int) -> list[Page | RowPage]:
+        """Pages fully covered by ``[first_offset, last_offset)``."""
+        first_page = first_offset // self.page_capacity
+        last_page = last_offset // self.page_capacity
+        result: list[Page | RowPage] = []
+        with self._lock:
+            for page_list in self._pages.values():
+                result.extend(page_list[first_page:last_page])
+            result.extend(self._row_pages[first_page:last_page])
+        return result
+
+
+class InsertRange:
+    """A pre-allocated block of base RIDs plus its table-level tail pages.
+
+    Section 3.2: base RIDs and table-level tail RIDs are reserved in
+    equal, aligned sets so the i-th base RID maps to the i-th tail slot.
+    The only materialised base column before the insert merge is the
+    Indirection column (owned by the covering :class:`UpdateRange`\\ s).
+    """
+
+    def __init__(self, start_rid: int, size: int,
+                 segment: TailSegment) -> None:
+        self.start_rid = start_rid
+        self.size = size
+        self.segment = segment
+        self._allocated = 0
+        self._lock = threading.Lock()
+
+    def allocate_slot(self) -> int | None:
+        """Reserve the next aligned offset, or None when full."""
+        with self._lock:
+            if self._allocated >= self.size:
+                return None
+            offset = self._allocated
+            self._allocated += 1
+            return offset
+
+    @property
+    def allocated(self) -> int:
+        """Number of base RIDs handed out."""
+        with self._lock:
+            return self._allocated
+
+    @property
+    def is_full(self) -> bool:
+        """True when every slot is reserved."""
+        return self.allocated >= self.size
+
+    def offset_of(self, rid: int) -> int:
+        """Offset of base RID *rid* within this insert range."""
+        if not self.start_rid <= rid < self.start_rid + self.size:
+            raise StorageError("rid %d outside insert range" % rid)
+        return rid - self.start_rid
+
+
+class UpdateRange:
+    """One virtual update-range partition of a table (Section 2.1).
+
+    Owns the in-place-updatable Indirection vector, the lazily created
+    regular tail segment, and the merge lineage watermarks. Base data
+    lives either in the parent insert range's table-level tails (before
+    the insert merge) or in read-only base/merged page chains registered
+    in the page directory.
+    """
+
+    def __init__(self, range_id: int, start_rid: int, size: int,
+                 insert_range: InsertRange) -> None:
+        self.range_id = range_id
+        self.start_rid = start_rid
+        self.size = size
+        self.insert_range = insert_range
+        self.indirection = IndirectionVector(size)
+        #: Per-record bitmap of data columns ever updated (write-latch
+        #: protected; the paper's optional base-record Schema Encoding
+        #: maintained "as part of the update process").
+        self.updated_bits = [0] * size
+        self.tail: TailSegment | None = None
+        #: True once base pages exist (insert merge done).
+        self.merged = False
+        #: Base offsets whose insert aborted (holes in merged pages).
+        self.base_tombstones: set[int] = set()
+        #: Next regular-tail offset the merge will consume.
+        self.merged_upto = 0
+        #: Range-level TPS: RID of the newest merged tail record.
+        self.tps_rid = NULL_RID
+        self.merge_count = 0
+        self._tail_lock = threading.Lock()
+        #: Set while the range sits in the merge queue (dedup).
+        self.merge_pending = False
+        self.lock = threading.Lock()
+        #: Serialises merges of this range (the paper runs one merge
+        #: thread; this keeps direct merge calls safe alongside it).
+        self.merge_lock = threading.Lock()
+
+    def insert_offset(self, offset: int) -> int:
+        """Translate a range offset into the parent insert-range offset."""
+        return (self.start_rid - self.insert_range.start_rid) + offset
+
+    def ensure_tail(self, factory: Callable[[], TailSegment]) -> TailSegment:
+        """Lazily create the regular tail segment (Section 3.1)."""
+        tail = self.tail
+        if tail is None:
+            with self._tail_lock:
+                if self.tail is None:
+                    self.tail = factory()
+                tail = self.tail
+        return tail
+
+    def locate_tail(self, rid: int) -> tuple[TailSegment, int]:
+        """Locate a tail RID in the regular or table-level segment."""
+        tail = self.tail
+        if tail is not None and tail.contains_rid(rid):
+            return tail, tail.locate(rid)
+        segment = self.insert_range.segment
+        if segment.contains_rid(rid):
+            return segment, segment.locate(rid)
+        raise StorageError("tail rid %d not found in range %d"
+                           % (rid, self.range_id))
+
+    def unmerged_tail_count(self) -> int:
+        """Tail records appended but not yet consolidated."""
+        tail = self.tail
+        if tail is None:
+            return 0
+        return max(0, tail.num_allocated() - self.merged_upto)
+
+
+class Table:
+    """One L-Store table: the public storage-level API.
+
+    Higher layers compose on top: :class:`~repro.core.query.Query` for
+    statement-style access and :mod:`repro.txn.occ` for multi-statement
+    transactions. The granular latch/append/install primitives exist so
+    the OCC layer can interleave conflict detection exactly as the paper
+    prescribes (Section 5.1.1, *write w(x)*).
+    """
+
+    def __init__(self, schema: TableSchema, config: EngineConfig, *,
+                 clock: SynchronizedClock | None = None,
+                 epoch_manager: EpochManager | None = None,
+                 txn_source: TxnStateSource | None = None,
+                 snapshot_on_delete: bool = True) -> None:
+        self.schema = schema
+        self.config = config
+        self.clock = clock if clock is not None else SynchronizedClock()
+        self.epoch_manager = epoch_manager if epoch_manager is not None \
+            else EpochManager()
+        self.txn_source = txn_source
+        #: Snapshot never-updated columns before a delete so historic
+        #: reads survive the merge (Section 3.1's "alternative design";
+        #: turn off to reproduce the paper's Table 2 byte-for-byte).
+        self.snapshot_on_delete = snapshot_on_delete
+        self.page_directory = PageDirectory()
+        self.rid_allocator = RIDAllocator()
+        self.index = IndexManager(schema)
+        self.page_counter = MonotonicCounter()
+        self.ranges: dict[int, UpdateRange] = {}
+        self.insert_ranges: list[InsertRange] = []
+        self._insert_lock = threading.Lock()
+        self._range_lock = threading.Lock()
+        #: Callback the merge engine installs: fn(table, range_id, kind).
+        self.merge_notifier: Callable[["Table", int, str], None] | None = None
+        #: Optional write-ahead-log adapter (see repro.wal.log.TableWAL).
+        self.wal: Any | None = None
+        # Statistics (observability; used by benchmarks and tests).
+        self.stat_inserts = 0
+        self.stat_updates = 0
+        self.stat_deletes = 0
+        self.stat_aborted_tails = 0
+        self._stat_lock = threading.Lock()
+        self._layout = config.layout
+        self._records_per_page = config.records_per_page
+
+    # ------------------------------------------------------------------
+    # Range plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def layout(self) -> Layout:
+        """Record layout (columnar by default)."""
+        return self._layout
+
+    def _new_tail_segment(self, range_id: int,
+                          segment_ref: tuple[str, int] | None = None,
+                          page_capacity: int | None = None) -> TailSegment:
+        if page_capacity is None:
+            page_capacity = self.config.records_per_tail_page
+        return TailSegment(
+            range_id=range_id,
+            layout=self.layout,
+            width=self.schema.total_columns,
+            page_capacity=page_capacity,
+            block_size=self.config.update_range_size,
+            rid_allocator=self.rid_allocator,
+            page_counter=self.page_counter,
+            page_directory=self.page_directory,
+            kind=PageKind.TAIL,
+            segment_ref=segment_ref,
+            wal=self.wal,
+        )
+
+    def _create_insert_range(self) -> InsertRange:
+        size = self.config.insert_range_size
+        start_rid = self.rid_allocator.reserve_base_range(size)
+        first_range_id = (start_rid - 1) // self.config.update_range_size
+        segment = self._new_tail_segment(
+            first_range_id, segment_ref=("insert", len(self.insert_ranges)),
+            page_capacity=self.config.records_per_page)
+        block = self.rid_allocator.reserve_tail_block(size)
+        segment.adopt_block(block)
+        if self.wal is not None:
+            self.wal.insert_range_created(start_rid, size, block.start_rid)
+        insert_range = InsertRange(start_rid, size, segment)
+        # Materialise the covering update ranges eagerly: the insert
+        # range size is a multiple of the update range size by config
+        # validation, so coverage is exact.
+        with self._range_lock:
+            rid = start_rid
+            while rid < start_rid + size:
+                range_id = (rid - 1) // self.config.update_range_size
+                self.ranges[range_id] = UpdateRange(
+                    range_id, rid, self.config.update_range_size,
+                    insert_range)
+                rid += self.config.update_range_size
+            self.insert_ranges.append(insert_range)
+        return insert_range
+
+    def locate(self, rid: int) -> tuple[UpdateRange, int]:
+        """Resolve a base RID to its update range and range offset."""
+        if not is_base_rid(rid):
+            raise StorageError("%d is not a base RID" % rid)
+        range_id = (rid - 1) // self.config.update_range_size
+        update_range = self.ranges.get(range_id)
+        if update_range is None:
+            raise KeyNotFoundError("base rid %d not allocated" % rid)
+        return update_range, rid - update_range.start_rid
+
+    def update_range_of(self, range_id: int) -> UpdateRange:
+        """Return the update range with *range_id*."""
+        try:
+            return self.ranges[range_id]
+        except KeyError:
+            raise KeyNotFoundError("unknown range id %d" % range_id) from None
+
+    def sorted_ranges(self) -> list[UpdateRange]:
+        """All update ranges in RID order."""
+        with self._range_lock:
+            return [self.ranges[key] for key in sorted(self.ranges)]
+
+    # ------------------------------------------------------------------
+    # Start-time resolution
+    # ------------------------------------------------------------------
+
+    def resolve_cell(self, cell: int) -> ResolvedTime:
+        """Resolve a Start Time cell against the transaction manager."""
+        return resolve_start_cell(cell, self.txn_source)
+
+    def committed_time(self, cell: int) -> int | None:
+        """Commit time of a Start Time cell, or None when uncommitted.
+
+        Allocation-free fast path of :meth:`resolve_cell` for the scan
+        and conflict-check hot loops.
+        """
+        if not cell & TXN_ID_FLAG:
+            return cell
+        if self.txn_source is None:
+            return None
+        state, commit_time = self.txn_source.lookup(cell & ~TXN_ID_FLAG)
+        if state is TransactionState.COMMITTED:
+            return commit_time
+        return None
+
+    def _tail_committed_time(self, segment: TailSegment, tail_offset: int,
+                             cell: int) -> int | None:
+        """:meth:`committed_time` plus lazy commit-time stamping.
+
+        "Swapping the transaction ID with commit time is done lazily by
+        future readers" (Section 5.1.1) — once a marker resolves to a
+        commit time, the cell is refined in place so later readers skip
+        the transaction-manager lookup entirely.
+        """
+        if not cell & TXN_ID_FLAG:
+            return cell
+        commit_time = self.committed_time(cell)
+        if commit_time is not None and self._layout is Layout.COLUMNAR \
+                and tail_offset >= segment.compressed_upto:
+            segment.replace_cell(tail_offset, START_TIME_COLUMN, cell,
+                                 commit_time)
+        return commit_time
+
+    # ------------------------------------------------------------------
+    # Insert procedure (Section 3.2)
+    # ------------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any], *,
+               start_cell: int | None = None) -> int:
+        """Insert a row; return its (stable) base RID.
+
+        *start_cell* is either a commit timestamp (auto-commit default:
+        the clock advanced) or a transaction marker installed by the OCC
+        layer; in the latter case visibility is deferred to commit.
+        """
+        self.schema.validate_row(values)
+        key = values[self.schema.key_index]
+        existing = self.index.primary.get(key)
+        if existing is not None and not self._key_slot_reusable(existing):
+            raise DuplicateKeyError("duplicate primary key %r" % (key,))
+        if start_cell is None:
+            start_cell = self.clock.advance()
+        with self._insert_lock:
+            insert_range = self.insert_ranges[-1] \
+                if self.insert_ranges else None
+            offset = insert_range.allocate_slot() \
+                if insert_range is not None else None
+            if offset is None:
+                insert_range = self._create_insert_range()
+                offset = insert_range.allocate_slot()
+                assert offset is not None
+        rid = insert_range.start_rid + offset
+        cells: dict[int, Any] = {
+            INDIRECTION_COLUMN: NULL_RID,
+            SCHEMA_ENCODING_COLUMN: SchemaEncoding.empty(
+                self.schema.num_columns).to_int(),
+            START_TIME_COLUMN: start_cell,
+            LAST_UPDATED_COLUMN: start_cell,
+            BASE_RID_COLUMN: rid,
+        }
+        for data_column, value in enumerate(values):
+            cells[self.schema.physical_index(data_column)] = value
+        insert_range.segment.write_record(offset, cells)
+        if existing is not None:
+            self.index.primary.replace(key, rid)
+        else:
+            try:
+                self.index.primary.insert(key, rid)
+            except DuplicateKeyError:
+                # Lost an insert race on the same key: the slot is burnt
+                # (tails are write-once) but never becomes visible.
+                insert_range.segment.mark_tombstone(offset)
+                raise
+        self.index.on_insert(rid, list(values))
+        with self._stat_lock:
+            self.stat_inserts += 1
+        if insert_range.is_full and self.merge_notifier is not None:
+            first_range_id = (insert_range.start_rid - 1) \
+                // self.config.update_range_size
+            count = insert_range.size // self.config.update_range_size
+            for range_id in range(first_range_id, first_range_id + count):
+                self.merge_notifier(self, range_id, "insert")
+        return rid
+
+    def _key_slot_reusable(self, rid: int) -> bool:
+        """True when *rid*'s latest committed version is a delete."""
+        try:
+            result = self.read_latest(rid, data_columns=())
+        except KeyNotFoundError:
+            return True
+        return result is DELETED or result is None
+
+    def remove_key_mapping(self, key: Any, rid: int) -> None:
+        """Drop a primary-index entry (aborted insert rollback)."""
+        if self.index.primary.get(key) == rid:
+            self.index.primary.remove(key)
+
+    # ------------------------------------------------------------------
+    # Update / delete procedure (Section 3.1)
+    # ------------------------------------------------------------------
+
+    def try_latch(self, rid: int) -> bool:
+        """CAS the latch bit of *rid*'s indirection word."""
+        update_range, offset = self.locate(rid)
+        return update_range.indirection.try_latch(offset)
+
+    def unlatch(self, rid: int) -> None:
+        """Release the indirection latch bit of *rid*."""
+        update_range, offset = self.locate(rid)
+        update_range.indirection.unlatch(offset)
+
+    def latest_start_cell(self, rid: int) -> int:
+        """Start Time cell of the newest version (tail or base).
+
+        Used by the write protocol's second conflict check ("the start
+        time of the latest version of the record is checked").
+        """
+        update_range, offset = self.locate(rid)
+        indirection = update_range.indirection.read(offset)
+        if indirection == NULL_RID:
+            return self._read_base_cell(update_range, offset,
+                                        START_TIME_COLUMN)
+        segment, tail_offset = update_range.locate_tail(indirection)
+        return segment.record_cell(tail_offset, START_TIME_COLUMN)
+
+    def install_indirection(self, rid: int, tail_rid: int) -> None:
+        """Point *rid* at *tail_rid* and release the latch (one CAS)."""
+        update_range, offset = self.locate(rid)
+        if self.wal is not None:
+            self.wal.indirection_written(rid, tail_rid)
+        update_range.indirection.set_and_unlatch(offset, tail_rid)
+
+    def append_update(self, rid: int, updates: dict[int, Any],
+                      start_cell: int, *, is_delete: bool = False) -> int:
+        """Append tail record(s) for an update; return the new tail RID.
+
+        Caller must hold the indirection latch of *rid* (the auto-commit
+        :meth:`update` wrapper and the OCC layer both do). Appends the
+        snapshot tail record for first-updated columns, then the actual
+        update (or delete) record, per Section 3.1. Does **not** install
+        the indirection — the caller does, so a transaction can abort
+        between append and install without corrupting the chain.
+        """
+        update_range, offset = self.locate(rid)
+        tail = update_range.ensure_tail(
+            lambda: self._new_tail_segment(update_range.range_id))
+        num_columns = self.schema.num_columns
+        for data_column in updates:
+            if not 0 <= data_column < num_columns:
+                raise SchemaMismatchError(
+                    "data column %d out of range" % data_column)
+        previous = update_range.indirection.read(offset)
+        ever_bits = update_range.updated_bits[offset]
+
+        if is_delete:
+            snapshot_columns = [
+                column for column in range(num_columns)
+                if self.snapshot_on_delete
+                and not ever_bits & (1 << (num_columns - 1 - column))
+            ]
+        else:
+            snapshot_columns = [
+                column for column in updates
+                if not ever_bits & (1 << (num_columns - 1 - column))
+            ]
+
+        if snapshot_columns:
+            previous = self._append_snapshot(
+                update_range, offset, rid, tail, previous,
+                sorted(snapshot_columns))
+
+        new_rid, new_offset = tail.allocate()
+        backpointer = previous if previous != NULL_RID else rid
+        if is_delete:
+            encoding = SchemaEncoding.empty(num_columns)
+            materialized: dict[int, Any] = {}
+        elif self.config.cumulative_updates:
+            carried_bits, carried_values = self._cumulation_source(
+                update_range, previous)
+            bits = carried_bits
+            materialized = dict(carried_values)
+            for data_column, value in updates.items():
+                bits |= 1 << (num_columns - 1 - data_column)
+                materialized[data_column] = value
+            encoding = SchemaEncoding(num_columns, bits)
+        else:
+            encoding = SchemaEncoding.from_columns(num_columns, updates)
+            materialized = dict(updates)
+
+        cells: dict[int, Any] = {
+            INDIRECTION_COLUMN: backpointer,
+            SCHEMA_ENCODING_COLUMN: encoding.to_int(),
+            START_TIME_COLUMN: start_cell,
+            BASE_RID_COLUMN: rid,
+        }
+        for data_column, value in materialized.items():
+            cells[self.schema.physical_index(data_column)] = value
+        tail.write_record(new_offset, cells)
+
+        if not is_delete:
+            bits_delta = 0
+            for data_column in updates:
+                bits_delta |= 1 << (num_columns - 1 - data_column)
+            update_range.updated_bits[offset] = ever_bits | bits_delta
+        with self._stat_lock:
+            if is_delete:
+                self.stat_deletes += 1
+            else:
+                self.stat_updates += 1
+        return new_rid
+
+    def _append_snapshot(self, update_range: UpdateRange, offset: int,
+                         rid: int, tail: TailSegment, previous: int,
+                         columns: list[int]) -> int:
+        """Append the original-value snapshot record (Lemma 2)."""
+        snap_rid, snap_offset = tail.allocate()
+        base_start = self._read_base_cell(update_range, offset,
+                                          START_TIME_COLUMN)
+        encoding = SchemaEncoding.from_columns(
+            self.schema.num_columns, columns, is_snapshot=True)
+        cells: dict[int, Any] = {
+            INDIRECTION_COLUMN: previous if previous != NULL_RID else rid,
+            SCHEMA_ENCODING_COLUMN: encoding.to_int(),
+            START_TIME_COLUMN: base_start,
+            BASE_RID_COLUMN: rid,
+        }
+        for data_column in columns:
+            original = self._read_base_cell(
+                update_range, offset, self.schema.physical_index(data_column))
+            cells[self.schema.physical_index(data_column)] = original
+        tail.write_record(snap_offset, cells)
+        return snap_rid
+
+    def _cumulation_source(self, update_range: UpdateRange,
+                           previous: int) -> tuple[int, dict[int, Any]]:
+        """Carried bits/values for a cumulative update (Section 3.1).
+
+        Walks back from *previous*, skipping snapshots and tombstones,
+        until the first regular tail record *newer than the last merge*
+        (older records are already consolidated — the TPS-based
+        cumulation reset of Section 4.2, Table 5).
+        """
+        tps = update_range.tps_rid
+        cursor = previous
+        while is_tail_rid(cursor):
+            if tps_applied(tps, cursor):
+                break  # merged already: cumulation resets here
+            segment, tail_offset = update_range.locate_tail(cursor)
+            encoding = SchemaEncoding.from_int(
+                self.schema.num_columns,
+                segment.record_cell(tail_offset, SCHEMA_ENCODING_COLUMN))
+            if not segment.is_tombstone(tail_offset) \
+                    and not encoding.is_snapshot:
+                values = {
+                    column: segment.record_cell(
+                        tail_offset, self.schema.physical_index(column))
+                    for column in encoding.updated_columns()
+                }
+                return encoding.to_int() & ((1 << self.schema.num_columns)
+                                            - 1), values
+            cursor = segment.record_cell(tail_offset, INDIRECTION_COLUMN)
+        return 0, {}
+
+    # -- auto-commit wrappers -------------------------------------------------
+
+    def update(self, rid: int, updates: dict[int, Any], *,
+               start_cell: int | None = None) -> int:
+        """Latch, append, install: the full auto-commit update."""
+        if not updates:
+            raise SchemaMismatchError("update requires at least one column")
+        if self.schema.key_index in updates:
+            raise SchemaMismatchError("primary key updates are not supported")
+        from ..errors import WriteWriteConflict
+        if not self.try_latch(rid):
+            raise WriteWriteConflict("record %d is write-latched" % rid)
+        try:
+            indexed = [column for column in updates
+                       if self.index.secondary(column) is not None]
+            old_values = self.read_latest(rid, data_columns=indexed)
+            if old_values is DELETED:
+                raise RecordDeletedError("record %d is deleted" % rid)
+            if start_cell is None:
+                start_cell = self.clock.advance()
+            tail_rid = self.append_update(rid, updates, start_cell)
+        except BaseException:
+            self.unlatch(rid)
+            raise
+        self.install_indirection(rid, tail_rid)  # releases the latch
+        self._maintain_secondary_indexes(rid, updates, old_values or {},
+                                         start_cell)
+        self._maybe_notify_merge(rid)
+        return tail_rid
+
+    def delete(self, rid: int, *, start_cell: int | None = None) -> int:
+        """Latch, append a delete record, install (Section 3.1)."""
+        from ..errors import WriteWriteConflict
+        if not self.try_latch(rid):
+            raise WriteWriteConflict("record %d is write-latched" % rid)
+        try:
+            latest = self.read_latest(rid, data_columns=())
+            if latest is DELETED:
+                raise RecordDeletedError("record %d is already deleted" % rid)
+            if start_cell is None:
+                start_cell = self.clock.advance()
+            tail_rid = self.append_update(rid, {}, start_cell,
+                                          is_delete=True)
+        except BaseException:
+            self.unlatch(rid)
+            raise
+        self.install_indirection(rid, tail_rid)
+        self._maybe_notify_merge(rid)
+        return tail_rid
+
+    def _maintain_secondary_indexes(self, rid: int, updates: dict[int, Any],
+                                    old_values: dict[int, Any],
+                                    superseded_at: int) -> None:
+        """Add new index entries; defer removal of old ones (footnote 3)."""
+        for data_column, new_value in updates.items():
+            index = self.index.secondary(data_column)
+            if index is None:
+                continue
+            index.insert(new_value, rid)
+            if data_column in old_values \
+                    and not is_null(old_values[data_column]):
+                index.mark_stale(old_values[data_column], rid, superseded_at)
+
+    def _maybe_notify_merge(self, rid: int) -> None:
+        if self.merge_notifier is None:
+            return
+        update_range, _ = self.locate(rid)
+        if update_range.merge_pending:
+            return
+        if update_range.unmerged_tail_count() >= self.config.merge_threshold:
+            update_range.merge_pending = True
+            self.merge_notifier(self, update_range.range_id, "update")
+
+    def mark_tail_tombstone(self, base_rid: int, tail_rid: int) -> None:
+        """Tombstone an aborted tail record (redo-only abort path)."""
+        update_range, _ = self.locate(base_rid)
+        segment, tail_offset = update_range.locate_tail(tail_rid)
+        encoding = SchemaEncoding.from_int(
+            self.schema.num_columns,
+            segment.record_cell(tail_offset, SCHEMA_ENCODING_COLUMN))
+        if encoding.is_snapshot:
+            # Snapshot records carry committed original values and stay
+            # valid regardless of the writing transaction's fate.
+            return
+        segment.mark_tombstone(tail_offset)
+        if self.wal is not None:
+            self.wal.tombstoned(base_rid, tail_rid)
+        with self._stat_lock:
+            self.stat_aborted_tails += 1
+
+    def mark_insert_tombstone(self, rid: int) -> None:
+        """Tombstone an aborted insert (the slot never becomes visible)."""
+        update_range, offset = self.locate(rid)
+        segment = update_range.insert_range.segment
+        segment.mark_tombstone(update_range.insert_offset(offset))
+        if self.wal is not None:
+            self.wal.insert_tombstoned(rid)
+
+    # ------------------------------------------------------------------
+    # Base-cell access
+    # ------------------------------------------------------------------
+
+    def _base_chain(self, update_range: UpdateRange,
+                    physical_column: int) -> tuple[Page, ...] | None:
+        key_column = ROW_CHAIN_COLUMN if self._layout is Layout.ROW \
+            else physical_column
+        return self.page_directory.base_chain(update_range.range_id,
+                                              key_column)
+
+    def _read_base_cell(self, update_range: UpdateRange, offset: int,
+                        physical_column: int) -> Any:
+        if update_range.merged:
+            chain = self._base_chain(update_range, physical_column)
+            if chain is None:
+                raise StorageError(
+                    "range %d merged but no chain for column %d"
+                    % (update_range.range_id, physical_column))
+            page = chain[offset // self._records_per_page]
+            slot = offset % self._records_per_page
+            if self._layout is Layout.ROW:
+                return page.read_cell(slot, physical_column)
+            return page.read_slot(slot)
+        segment = update_range.insert_range.segment
+        return segment.record_cell(update_range.insert_offset(offset),
+                                   physical_column)
+
+    def _read_base_values(self, update_range: UpdateRange, offset: int,
+                          physical_columns: Sequence[int]) -> list[Any]:
+        """Batched base-cell read: one locate, N cells (read hot path)."""
+        if update_range.merged:
+            page_index = offset // self._records_per_page
+            slot = offset % self._records_per_page
+            if self._layout is Layout.ROW:
+                chain = self.page_directory.base_chain(
+                    update_range.range_id, ROW_CHAIN_COLUMN)
+                row = chain[page_index].read_row(slot)
+                return [row[column] for column in physical_columns]
+            directory = self.page_directory
+            range_id = update_range.range_id
+            return [
+                directory.base_chain(range_id, column)[page_index]
+                .read_slot(slot)
+                for column in physical_columns
+            ]
+        segment = update_range.insert_range.segment
+        insert_offset = update_range.insert_offset(offset)
+        return [segment.record_cell(insert_offset, column)
+                for column in physical_columns]
+
+    def base_record_exists(self, update_range: UpdateRange,
+                           offset: int) -> bool:
+        """True when the base slot holds a (possibly uncommitted) record."""
+        if update_range.merged:
+            return offset not in update_range.base_tombstones
+        segment = update_range.insert_range.segment
+        insert_offset = update_range.insert_offset(offset)
+        return segment.record_written(insert_offset) \
+            and not segment.is_tombstone(insert_offset)
+
+    # ------------------------------------------------------------------
+    # Read paths
+    # ------------------------------------------------------------------
+
+    def read_latest_fast(self, rid: int,
+                         data_columns: Sequence[int] | None = None,
+                         txn_id: int | None = None,
+                         ) -> dict[int, Any] | Deleted | None:
+        """Latest-committed read, allocation-lean (read-committed path).
+
+        Semantically equivalent to :meth:`read_latest` with the
+        latest-committed predicate (plus own-writes visibility when
+        *txn_id* is given), but works on raw encoding ints and walks at
+        most base + one tail record under cumulative updates — the
+        paper's 2-hop guarantee.
+        """
+        update_range, offset = self.locate(rid)
+        if data_columns is None:
+            data_columns = range(self.schema.num_columns)
+        indirection = update_range.indirection.read(offset)
+        if indirection == NULL_RID:
+            if not self.base_record_exists(update_range, offset):
+                raise KeyNotFoundError("base rid %d has no record" % rid)
+            physicals = [START_TIME_COLUMN,
+                         NUM_METADATA_COLUMNS + self.schema.key_index]
+            physicals.extend(NUM_METADATA_COLUMNS + column
+                             for column in data_columns)
+            cells = self._read_base_values(update_range, offset, physicals)
+            start_cell = cells[0]
+            own_write = txn_id is not None \
+                and start_cell == (TXN_ID_FLAG | txn_id)
+            if not own_write and self.committed_time(start_cell) is None:
+                return None
+            if is_null(cells[1]):
+                return None
+            return dict(zip(data_columns, cells[2:]))
+        num_columns = self.schema.num_columns
+        mask = (1 << num_columns) - 1
+        snapshot_bit = 1 << num_columns
+        cumulative = self.config.cumulative_updates
+        remaining = dict.fromkeys(data_columns)
+        values: dict[int, Any] = {}
+        cursor = indirection
+        found_version = False
+        while is_tail_rid(cursor):
+            segment, tail_offset = update_range.locate_tail(cursor)
+            encoding = segment.record_cell(tail_offset,
+                                           SCHEMA_ENCODING_COLUMN)
+            if not encoding & snapshot_bit \
+                    and not segment.is_tombstone(tail_offset):
+                start_cell = segment.record_cell(tail_offset,
+                                                 START_TIME_COLUMN)
+                visible = self._tail_committed_time(
+                    segment, tail_offset, start_cell) is not None \
+                    or (txn_id is not None
+                        and start_cell == (TXN_ID_FLAG | txn_id))
+                if visible:
+                    bits = encoding & mask
+                    if not found_version:
+                        found_version = True
+                        if not bits:
+                            return DELETED
+                    for data_column in list(remaining):
+                        if bits & (1 << (num_columns - 1 - data_column)):
+                            values[data_column] = segment.record_cell(
+                                tail_offset,
+                                NUM_METADATA_COLUMNS + data_column)
+                            del remaining[data_column]
+                    if cumulative or not remaining:
+                        break
+            cursor = segment.record_cell(tail_offset, INDIRECTION_COLUMN)
+        if not found_version:
+            # No visible tail version: the base record is the version.
+            return self.read_latest(rid, data_columns)
+        if remaining:
+            physicals = [NUM_METADATA_COLUMNS + column
+                         for column in remaining]
+            cells = self._read_base_values(update_range, offset, physicals)
+            for data_column, value in zip(remaining, cells):
+                values[data_column] = value
+        return values
+
+    def read_latest(self, rid: int,
+                    data_columns: Sequence[int] | None = None,
+                    predicate: VisibilityPredicate | None = None,
+                    ) -> dict[int, Any] | Deleted | None:
+        """Read the visible version of *rid* (2-hop fast path).
+
+        Returns ``{data_column: value}`` for the requested columns (all
+        when *data_columns* is None), :data:`DELETED` when the visible
+        version is a delete, or None when no version is visible under
+        *predicate* (default: latest committed).
+        """
+        if predicate is None:
+            predicate = visible_latest_committed
+        update_range, offset = self.locate(rid)
+        if not self.base_record_exists(update_range, offset):
+            raise KeyNotFoundError("base rid %d has no record" % rid)
+        if data_columns is None:
+            data_columns = range(self.schema.num_columns)
+        indirection = update_range.indirection.read(offset)
+
+        if indirection == NULL_RID:
+            return self._read_base_version(update_range, offset,
+                                           data_columns, predicate)
+
+        if update_range.merged \
+                and tps_applied(update_range.tps_rid, indirection):
+            # 1 hop: every update is consolidated into the base pages.
+            try:
+                result = self._read_merged_current(
+                    update_range, offset, data_columns, predicate)
+                if result is not None:
+                    return result
+                # The merged state is too new for this predicate (as-of
+                # reads): walk the chain for the older version.
+            except InconsistentReadError:
+                # Lemma 3 fired (decoupled per-column merge in flight):
+                # repair via the always-correct chain walk (Theorem 2).
+                pass
+        return self.assemble_version(rid, data_columns, predicate)
+
+    def _read_base_version(self, update_range: UpdateRange, offset: int,
+                           data_columns: Sequence[int],
+                           predicate: VisibilityPredicate,
+                           ) -> dict[int, Any] | None:
+        start_cell = self._read_base_cell(update_range, offset,
+                                          START_TIME_COLUMN)
+        if not predicate(self.resolve_cell(start_cell)):
+            return None
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        physicals = [key_physical]
+        physicals.extend(NUM_METADATA_COLUMNS + column
+                         for column in data_columns)
+        cells = self._read_base_values(update_range, offset, physicals)
+        if is_null(cells[0]):
+            # A merged hole (aborted insert) — never a visible record.
+            return None
+        return {column: cells[i + 1]
+                for i, column in enumerate(data_columns)}
+
+    def _read_merged_current(self, update_range: UpdateRange, offset: int,
+                             data_columns: Sequence[int],
+                             predicate: VisibilityPredicate,
+                             ) -> dict[int, Any] | Deleted | None:
+        last_updated = self._read_base_cell(update_range, offset,
+                                            LAST_UPDATED_COLUMN)
+        if not predicate(self.resolve_cell(last_updated)):
+            return None
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        page_index = offset // self._records_per_page
+        slot = offset % self._records_per_page
+        values: dict[int, Any] = {}
+        if self._layout is Layout.ROW:
+            chain = self.page_directory.base_chain(update_range.range_id,
+                                                   ROW_CHAIN_COLUMN)
+            row = chain[page_index].read_row(slot)
+            if is_null(row[key_physical]):
+                return DELETED
+            return {column: row[NUM_METADATA_COLUMNS + column]
+                    for column in data_columns}
+        directory = self.page_directory
+        range_id = update_range.range_id
+        key_page = directory.base_chain(range_id, key_physical)[page_index]
+        if is_null(key_page.read_slot(slot)):
+            return DELETED
+        seen_tps = key_page.tps_rid
+        for data_column in data_columns:
+            page = directory.base_chain(
+                range_id, NUM_METADATA_COLUMNS + data_column)[page_index]
+            if page.tps_rid != seen_tps:
+                # Lemma 3: detectable TPS mismatch across columns.
+                raise InconsistentReadError(
+                    "TPS mismatch across columns: %d vs %d"
+                    % (page.tps_rid, seen_tps))
+            values[data_column] = page.read_slot(slot)
+        return values
+
+    def assemble_version(self, rid: int, data_columns: Sequence[int],
+                         predicate: VisibilityPredicate,
+                         *, skip_newest: int = 0,
+                         ) -> dict[int, Any] | Deleted | None:
+        """General chain-walk read: correct for any snapshot/version.
+
+        Selects the newest chain entry visible under *predicate*
+        (optionally skipping *skip_newest* visible versions, for
+        relative-version reads), then assembles column values walking
+        the full lineage newest→oldest; snapshot records supply original
+        values for columns whose updates are all newer than the target
+        (this is why Lemma 2 requires them). Falls back to base pages
+        only for columns with no tail entry at all, which the merge
+        never changes — so the fallback is always safe.
+        """
+        update_range, offset = self.locate(rid)
+        indirection = update_range.indirection.read(offset)
+        num_columns = self.schema.num_columns
+
+        # Phase 1: pick the target version.
+        target_is_base = False
+        target_rid = None
+        to_skip = skip_newest
+        cursor = indirection
+        while is_tail_rid(cursor):
+            segment, tail_offset = update_range.locate_tail(cursor)
+            encoding = SchemaEncoding.from_int(
+                num_columns,
+                segment.record_cell(tail_offset, SCHEMA_ENCODING_COLUMN))
+            if not segment.is_tombstone(tail_offset) \
+                    and not encoding.is_snapshot:
+                resolved = self.resolve_cell(
+                    segment.record_cell(tail_offset, START_TIME_COLUMN))
+                if predicate(resolved):
+                    if to_skip == 0:
+                        target_rid = cursor
+                        break
+                    to_skip -= 1
+            cursor = segment.record_cell(tail_offset, INDIRECTION_COLUMN)
+        if target_rid is None:
+            base_start = self._read_base_cell(update_range, offset,
+                                              START_TIME_COLUMN)
+            if not predicate(self.resolve_cell(base_start)):
+                return None
+            target_is_base = True
+
+        if not target_is_base:
+            segment, tail_offset = update_range.locate_tail(target_rid)
+            encoding = SchemaEncoding.from_int(
+                num_columns,
+                segment.record_cell(tail_offset, SCHEMA_ENCODING_COLUMN))
+            if not encoding.any_updated and not encoding.is_snapshot:
+                return DELETED
+
+        # Phase 2: assemble values newest→oldest along the full chain.
+        # A regular record contributes values only when it is visible
+        # *and* at least `skip_newest` visible versions precede it in
+        # the walk (so relative-version reads exclude newer versions).
+        remaining = set(data_columns)
+        values: dict[int, Any] = {}
+        if not remaining:
+            return values
+        cursor = indirection
+        visible_seen = 0
+        while is_tail_rid(cursor) and remaining:
+            segment, tail_offset = update_range.locate_tail(cursor)
+            encoding = SchemaEncoding.from_int(
+                num_columns,
+                segment.record_cell(tail_offset, SCHEMA_ENCODING_COLUMN))
+            backpointer = segment.record_cell(tail_offset,
+                                              INDIRECTION_COLUMN)
+            if segment.is_tombstone(tail_offset):
+                cursor = backpointer
+                continue
+            if encoding.is_snapshot:
+                # Snapshot = original values; valid whenever no visible
+                # regular update of the column precedes it in the walk.
+                for data_column in list(remaining):
+                    if encoding.is_updated(data_column):
+                        values[data_column] = segment.record_cell(
+                            tail_offset,
+                            self.schema.physical_index(data_column))
+                        remaining.discard(data_column)
+            else:
+                resolved = self.resolve_cell(
+                    segment.record_cell(tail_offset, START_TIME_COLUMN))
+                if predicate(resolved):
+                    visible_seen += 1
+                    if visible_seen > skip_newest:
+                        for data_column in list(remaining):
+                            if encoding.is_updated(data_column):
+                                values[data_column] = segment.record_cell(
+                                    tail_offset,
+                                    self.schema.physical_index(data_column))
+                                remaining.discard(data_column)
+            cursor = backpointer
+        for data_column in remaining:
+            values[data_column] = self._read_base_cell(
+                update_range, offset, self.schema.physical_index(data_column))
+        return values
+
+    def visible_version_rid(self, rid: int,
+                            predicate: VisibilityPredicate) -> int | None:
+        """RID of the version of *rid* visible under *predicate*.
+
+        Returns the tail RID of the newest visible tail record, the base
+        RID itself when only the base version is visible, or None when
+        no version is visible. This is the quantity OCC validation
+        compares between begin time and commit time (Section 5.1.1,
+        *validate reads*).
+        """
+        update_range, offset = self.locate(rid)
+        cursor = update_range.indirection.read(offset)
+        num_columns = self.schema.num_columns
+        while is_tail_rid(cursor):
+            segment, tail_offset = update_range.locate_tail(cursor)
+            encoding = SchemaEncoding.from_int(
+                num_columns,
+                segment.record_cell(tail_offset, SCHEMA_ENCODING_COLUMN))
+            if not segment.is_tombstone(tail_offset) \
+                    and not encoding.is_snapshot:
+                resolved = self.resolve_cell(
+                    segment.record_cell(tail_offset, START_TIME_COLUMN))
+                if predicate(resolved):
+                    return cursor
+            cursor = segment.record_cell(tail_offset, INDIRECTION_COLUMN)
+        if not self.base_record_exists(update_range, offset):
+            return None
+        base_start = self._read_base_cell(update_range, offset,
+                                          START_TIME_COLUMN)
+        if predicate(self.resolve_cell(base_start)):
+            return rid
+        return None
+
+    def check_write_conflict(self, rid: int, txn_id: int | None) -> None:
+        """The paper's second write check, in one chain walk.
+
+        Caller holds the indirection latch. Raises
+        :class:`~repro.errors.WriteWriteConflict` when the latest
+        version belongs to a live competing transaction, and
+        :class:`~repro.errors.RecordDeletedError` when the latest
+        committed-or-own version is a delete.
+        """
+        update_range, offset = self.locate(rid)
+        num_columns = self.schema.num_columns
+        mask = (1 << num_columns) - 1
+        snapshot_bit = 1 << num_columns
+        cursor = update_range.indirection.read(offset)
+        first = True
+        while is_tail_rid(cursor):
+            segment, tail_offset = update_range.locate_tail(cursor)
+            encoding = segment.record_cell(tail_offset,
+                                           SCHEMA_ENCODING_COLUMN)
+            if not encoding & snapshot_bit:
+                start_cell = segment.record_cell(tail_offset,
+                                                 START_TIME_COLUMN)
+                own = txn_id is not None \
+                    and start_cell == (TXN_ID_FLAG | txn_id)
+                committed = self._tail_committed_time(
+                    segment, tail_offset, start_cell) is not None
+                if first and not committed and not own \
+                        and not segment.is_tombstone(tail_offset):
+                    # Live writer from another transaction.
+                    resolved = self.resolve_cell(start_cell)
+                    if resolved.state in (TransactionState.ACTIVE,
+                                          TransactionState.PRE_COMMIT):
+                        raise WriteWriteConflict(
+                            "record %d has uncommitted writer %r"
+                            % (rid, resolved.txn_id))
+                first = False
+                if (committed or own) \
+                        and not segment.is_tombstone(tail_offset):
+                    if not encoding & mask:
+                        raise RecordDeletedError(
+                            "record %d is deleted" % rid)
+                    return
+            cursor = segment.record_cell(tail_offset, INDIRECTION_COLUMN)
+
+    def latest_is_delete(self, rid: int) -> bool:
+        """True when the newest committed version of *rid* is a delete.
+
+        Lightweight walk used by the write protocol (delete check)
+        instead of a full :meth:`read_latest`.
+        """
+        update_range, offset = self.locate(rid)
+        num_columns = self.schema.num_columns
+        mask = (1 << num_columns) - 1
+        snapshot_bit = 1 << num_columns
+        cursor = update_range.indirection.read(offset)
+        while is_tail_rid(cursor):
+            segment, tail_offset = update_range.locate_tail(cursor)
+            encoding = segment.record_cell(tail_offset,
+                                           SCHEMA_ENCODING_COLUMN)
+            if not encoding & snapshot_bit \
+                    and not segment.is_tombstone(tail_offset):
+                committed = self._tail_committed_time(
+                    segment, tail_offset,
+                    segment.record_cell(tail_offset, START_TIME_COLUMN))
+                if committed is not None:
+                    return not encoding & mask
+            cursor = segment.record_cell(tail_offset, INDIRECTION_COLUMN)
+        return False
+
+    def latest_column_value(self, update_range: UpdateRange, offset: int,
+                            data_column: int) -> Any:
+        """Latest committed value of one column (scan patch fast path).
+
+        Returns the value, :data:`DELETED`, or None when no version is
+        visible. Allocation-free: raw encoding ints, no predicates.
+        With cumulative updates (the default) the walk stops at the
+        first committed regular record — its bitmap covers every column
+        updated since the last merge, so a missing bit proves the base
+        (merged) page already holds the latest committed value.
+        """
+        num_columns = self.schema.num_columns
+        mask = (1 << num_columns) - 1
+        snapshot_bit = 1 << num_columns
+        column_bit = 1 << (num_columns - 1 - data_column)
+        physical = NUM_METADATA_COLUMNS + data_column
+        cumulative = self.config.cumulative_updates
+        cursor = update_range.indirection.read(offset)
+        while is_tail_rid(cursor):
+            segment, tail_offset = update_range.locate_tail(cursor)
+            encoding = segment.record_cell(tail_offset,
+                                           SCHEMA_ENCODING_COLUMN)
+            if not encoding & snapshot_bit \
+                    and not segment.is_tombstone(tail_offset):
+                committed = self._tail_committed_time(
+                    segment, tail_offset,
+                    segment.record_cell(tail_offset, START_TIME_COLUMN))
+                if committed is not None:
+                    bits = encoding & mask
+                    if not bits:
+                        return DELETED
+                    if bits & column_bit:
+                        return segment.record_cell(tail_offset, physical)
+                    if cumulative:
+                        break  # base page is current for this column
+            cursor = segment.record_cell(tail_offset, INDIRECTION_COLUMN)
+        # Base fallback.
+        if not self.base_record_exists(update_range, offset):
+            return None
+        if self.committed_time(self._read_base_cell(
+                update_range, offset, START_TIME_COLUMN)) is None:
+            return None
+        value = self._read_base_cell(update_range, offset, physical)
+        return value
+
+    def read_relative_version(self, rid: int,
+                              data_columns: Sequence[int] | None,
+                              relative_version: int,
+                              predicate: VisibilityPredicate | None = None,
+                              ) -> dict[int, Any] | Deleted | None:
+        """Read the version *relative_version* steps behind the visible one.
+
+        ``relative_version=0`` is the visible version, ``-1`` one older,
+        matching the classic L-Store ``select_version`` convention.
+        """
+        if predicate is None:
+            predicate = visible_latest_committed
+        if data_columns is None:
+            data_columns = range(self.schema.num_columns)
+        return self.assemble_version(rid, data_columns, predicate,
+                                     skip_newest=-relative_version)
+
+    # ------------------------------------------------------------------
+    # Scans (Section 6: SUM aggregations over one column)
+    # ------------------------------------------------------------------
+
+    def scan_sum(self, data_column: int,
+                 predicate: VisibilityPredicate | None = None,
+                 as_of: int | None = None) -> int:
+        """SUM over every visible record's *data_column*.
+
+        The fast path sums read-only base pages through their NumPy
+        views and patches only the records whose tail chains carry
+        newer-than-TPS versions — so the cost grows with the number of
+        unmerged tail records, which is exactly the effect Figure 8
+        measures.
+        """
+        from .version import visible_as_of
+        fast = predicate is None and as_of is None
+        if predicate is None:
+            predicate = visible_as_of(as_of) if as_of is not None \
+                else visible_latest_committed
+        physical = self.schema.physical_index(data_column)
+        total = 0
+        epoch = self.epoch_manager.enter_query(self.clock.now())
+        try:
+            for update_range in self.sorted_ranges():
+                if update_range.merged:
+                    total += self._scan_merged_range(
+                        update_range, data_column, physical, predicate,
+                        as_of, fast)
+                else:
+                    total += self._scan_unmerged_range(
+                        update_range, data_column, predicate, fast)
+        finally:
+            self.epoch_manager.exit_query(epoch)
+        return total
+
+    def _tail_patch_offsets(self, update_range: UpdateRange,
+                            since_offset: int) -> set[int]:
+        """Range offsets touched by tail records from *since_offset* on."""
+        tail = update_range.tail
+        if tail is None:
+            return set()
+        affected: set[int] = set()
+        limit = tail.num_allocated()
+        start_rid = update_range.start_rid
+        if self.layout is not Layout.ROW and since_offset >= \
+                tail.compressed_upto:
+            # Fast path: walk the Base RID column pages directly.
+            capacity = tail.page_capacity
+            pages = tail._pages.get(BASE_RID_COLUMN, [])
+            for tail_offset in range(since_offset, limit):
+                page_index = tail_offset // capacity
+                if page_index >= len(pages):
+                    break
+                value = pages[page_index]._values[tail_offset % capacity]
+                if type(value) is int:
+                    affected.add(value - start_rid)
+            return affected
+        for tail_offset in range(since_offset, limit):
+            if not tail.record_written(tail_offset):
+                continue
+            base_rid = tail.record_cell(tail_offset, BASE_RID_COLUMN)
+            if is_null(base_rid):
+                continue
+            affected.add(base_rid - start_rid)
+        return affected
+
+    def _scan_merged_range(self, update_range: UpdateRange, data_column: int,
+                           physical: int, predicate: VisibilityPredicate,
+                           as_of: int | None, fast: bool) -> int:
+        chain = self._base_chain(update_range, physical)
+        patch = self._tail_patch_offsets(update_range,
+                                         update_range.merged_upto)
+        if as_of is not None:
+            patch.update(self._post_snapshot_offsets(update_range, as_of))
+        total = 0
+        records_per_page = self.config.records_per_page
+        if self.layout is Layout.ROW:
+            for offset in range(update_range.size):
+                page = chain[offset // records_per_page]
+                value = page.read_cell(offset % records_per_page, physical)
+                if offset in patch:
+                    continue
+                if not is_null(value):
+                    total += value
+        else:
+            for page in chain:
+                array = page.as_numpy()
+                if array is not None:
+                    total += int(array.sum())
+                    continue
+                for value in page.iter_values():
+                    if not is_null(value):
+                        total += value
+            # Subtract base contributions of patched records.
+            for offset in patch:
+                page = chain[offset // records_per_page]
+                value = page.read_slot(offset % records_per_page)
+                if not is_null(value):
+                    total -= value
+        for offset in patch:
+            if fast:
+                value = self.latest_column_value(update_range, offset,
+                                                 data_column)
+                if value is None or value is DELETED or is_null(value):
+                    continue
+                total += value
+                continue
+            rid = update_range.start_rid + offset
+            visible = self.assemble_version(rid, (data_column,), predicate)
+            if visible is None or visible is DELETED:
+                continue
+            value = visible[data_column]
+            if not is_null(value):
+                total += value
+        return total
+
+    def _post_snapshot_offsets(self, update_range: UpdateRange,
+                               as_of: int) -> set[int]:
+        """Offsets whose merged state is newer than *as_of* (re-walk)."""
+        affected: set[int] = set()
+        for offset in range(update_range.size):
+            last_updated = self._read_base_cell(update_range, offset,
+                                                LAST_UPDATED_COLUMN)
+            resolved = self.resolve_cell(last_updated)
+            if not resolved.committed or resolved.time is None \
+                    or resolved.time > as_of:
+                affected.add(offset)
+        return affected
+
+    def _scan_unmerged_range(self, update_range: UpdateRange,
+                             data_column: int,
+                             predicate: VisibilityPredicate,
+                             fast: bool) -> int:
+        segment = update_range.insert_range.segment
+        physical = self.schema.physical_index(data_column)
+        total = 0
+        indirection = update_range.indirection
+        for offset in range(update_range.size):
+            insert_offset = update_range.insert_offset(offset)
+            if not segment.record_written(insert_offset):
+                continue
+            if segment.is_tombstone(insert_offset):
+                continue
+            if fast:
+                if indirection.read(offset) != NULL_RID:
+                    value = self.latest_column_value(update_range, offset,
+                                                     data_column)
+                    if value is None or value is DELETED or is_null(value):
+                        continue
+                    total += value
+                    continue
+                if self.committed_time(segment.record_cell(
+                        insert_offset, START_TIME_COLUMN)) is None:
+                    continue
+                value = segment.record_cell(insert_offset, physical)
+                if not is_null(value):
+                    total += value
+                continue
+            rid = update_range.start_rid + offset
+            if indirection.read(offset) != NULL_RID:
+                visible = self.assemble_version(rid, (data_column,),
+                                                predicate)
+            else:
+                visible = self._read_base_version(update_range, offset,
+                                                  (data_column,), predicate)
+            if visible is None or visible is DELETED:
+                continue
+            value = visible[data_column]
+            if not is_null(value):
+                total += value
+        return total
+
+    def scan_records(self, data_columns: Sequence[int] | None = None,
+                     predicate: VisibilityPredicate | None = None,
+                     ) -> Iterator[tuple[int, dict[int, Any]]]:
+        """Yield ``(rid, values)`` for every visible record."""
+        if predicate is None:
+            predicate = visible_latest_committed
+        if data_columns is None:
+            data_columns = range(self.schema.num_columns)
+        for update_range in self.sorted_ranges():
+            for offset in range(update_range.size):
+                if not self.base_record_exists(update_range, offset):
+                    continue
+                if not update_range.merged:
+                    insert_offset = update_range.insert_offset(offset)
+                    if update_range.insert_range.segment.is_tombstone(
+                            insert_offset):
+                        continue
+                rid = update_range.start_rid + offset
+                visible = self.read_latest(rid, data_columns, predicate)
+                if visible is None or visible is DELETED:
+                    continue
+                yield rid, visible
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+
+    def create_index(self, data_column: int):
+        """Create a secondary index on *data_column*, backfilled.
+
+        Existing records are indexed from their latest visible version;
+        subsequent updates maintain the index incrementally with
+        deferred removal (Section 3.1, footnote 3).
+        """
+        index = self.index.create_secondary(data_column)
+        for rid, values in self.scan_records((data_column,)):
+            index.insert(values[data_column], rid)
+        return index
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def num_records(self) -> int:
+        """Rows ever inserted (including deleted ones)."""
+        return self.stat_inserts
+
+    def tail_record_count(self) -> int:
+        """Total tail records appended across all update ranges."""
+        return sum(r.tail.num_allocated() for r in self.sorted_ranges()
+                   if r.tail is not None)
+
+    def unmerged_tail_count(self) -> int:
+        """Tail records not yet consolidated (merge back-pressure)."""
+        return sum(r.unmerged_tail_count() for r in self.sorted_ranges())

@@ -1,0 +1,167 @@
+"""Core value types, RID spaces, and sentinels.
+
+The paper assigns record identifiers (RIDs) for base and tail records
+from one 64-bit key space (Section 2.2) and recommends allocating tail
+RIDs *descending* from the top of the space so that page-directory scans
+for base pages never have to skip tail entries (Section 4.4). One bit of
+the 8-byte indirection value is reserved as a write latch (Section 5.1.1).
+
+Layout of the 64-bit space used here::
+
+    bit 63          : indirection write-latch bit (never part of a RID)
+    [2**62, 2**63)  : tail RIDs, allocated descending from 2**63 - 1
+    [1, 2**62)      : base RIDs, allocated ascending from 1
+    0               : NULL_RID (the paper's null indirection, shown as ⊥)
+
+The paper starts tail RIDs at 2**64; we start one bit lower so the latch
+bit and the RID can share a single Python int exactly as they would share
+a hardware word. TPS comparisons are reversed accordingly (Section 4.4:
+"tail RIDs will be monotonically decreasing, and the TPS logic must be
+reversed").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+# ---------------------------------------------------------------------------
+# Special values
+# ---------------------------------------------------------------------------
+
+
+class _SpecialNull:
+    """The implicit special null value, printed as ``∅`` in the paper.
+
+    Pre-assigned to non-updated columns of tail records (Section 2.1).
+    Distinct from Python ``None`` so user data may legally store ``None``.
+    A singleton: identity comparison (``value is NULL``) is always valid.
+    """
+
+    _instance: "_SpecialNull | None" = None
+
+    def __new__(cls) -> "_SpecialNull":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "∅"
+
+    def __reduce__(self):
+        return (_SpecialNull, ())
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The special null (∅) stored in never-updated columns of tail records.
+NULL = _SpecialNull()
+
+
+def is_null(value: Any) -> bool:
+    """Return True when *value* is the special null ∅."""
+    return value is NULL
+
+
+# ---------------------------------------------------------------------------
+# RID space
+# ---------------------------------------------------------------------------
+
+#: Null RID — the ⊥ indirection of a never-updated base record.
+NULL_RID = 0
+
+#: Bit 63: reserved write-latch bit inside the indirection word.
+LATCH_BIT = 1 << 63
+
+#: RIDs at or above this value are tail RIDs.
+TAIL_RID_SPLIT = 1 << 62
+
+#: First (largest) tail RID; allocation descends from here.
+TAIL_RID_MAX = (1 << 63) - 1
+
+#: Largest base RID that can ever be allocated.
+BASE_RID_MAX = TAIL_RID_SPLIT - 1
+
+
+def is_base_rid(rid: int) -> bool:
+    """Return True when *rid* identifies a base record."""
+    return 0 < rid < TAIL_RID_SPLIT
+
+
+def is_tail_rid(rid: int) -> bool:
+    """Return True when *rid* identifies a tail record."""
+    return TAIL_RID_SPLIT <= rid <= TAIL_RID_MAX
+
+
+def tail_rid_newer(a: int, b: int) -> bool:
+    """Return True when tail RID *a* was allocated after tail RID *b*.
+
+    Tail RIDs descend over time, so *newer* means *numerically smaller*.
+    """
+    return a < b
+
+
+# ---------------------------------------------------------------------------
+# Timestamps and transaction identifiers
+# ---------------------------------------------------------------------------
+
+#: Bit 61 marks a Start Time cell that temporarily holds a transaction id
+#: rather than a commit time (Section 5.1.1: "The Start Time column may
+#: also hold transaction ID"). Readers detect the flag and consult the
+#: transaction manager; the swap to a real commit time happens lazily.
+TXN_ID_FLAG = 1 << 61
+
+
+def make_txn_marker(txn_id: int) -> int:
+    """Encode *txn_id* so it can be stored inside a Start Time cell."""
+    return TXN_ID_FLAG | txn_id
+
+
+def is_txn_marker(value: int) -> bool:
+    """Return True when a Start Time cell holds a transaction id."""
+    return isinstance(value, int) and bool(value & TXN_ID_FLAG)
+
+
+def txn_id_from_marker(value: int) -> int:
+    """Extract the transaction id from a marked Start Time cell."""
+    return value & ~TXN_ID_FLAG
+
+
+# ---------------------------------------------------------------------------
+# Enumerations
+# ---------------------------------------------------------------------------
+
+
+class PageKind(enum.Enum):
+    """Physical role of a page in the lineage-based layout."""
+
+    BASE = "base"
+    TAIL = "tail"
+    MERGED = "merged"
+    COMPRESSED_TAIL = "compressed_tail"
+
+
+class IsolationLevel(enum.Enum):
+    """Isolation levels supported by the OCC layer (Section 5.1.1)."""
+
+    READ_COMMITTED = "read_committed"
+    SNAPSHOT = "snapshot"
+    REPEATABLE_READ = "repeatable_read"
+    SERIALIZABLE = "serializable"
+
+
+class TransactionState(enum.Enum):
+    """Lifecycle of a transaction (Section 5.1.1)."""
+
+    ACTIVE = "active"
+    PRE_COMMIT = "pre-commit"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Layout(enum.Enum):
+    """Record layout of a table: columnar (default) or row (Tables 8-9)."""
+
+    COLUMNAR = "columnar"
+    ROW = "row"

@@ -1,0 +1,110 @@
+"""Start-time resolution and version-visibility predicates.
+
+A Start Time cell holds either a real commit timestamp or a transaction
+id behind the ``TXN_ID_FLAG`` marker (Section 5.1.1: the swap from txn
+id to commit time is done lazily by readers). Resolving a cell therefore
+may require consulting the transaction manager; the storage layer stays
+decoupled from the concurrency layer through the tiny
+:class:`TxnStateSource` protocol defined here.
+
+Visibility predicates implement the paper's read rules:
+
+* *latest committed* — read-committed statement-level reads;
+* *as-of T* — snapshot-isolation reads at a begin time;
+* *own-or-committed* — a transaction sees its own uncommitted writes;
+* *speculative* — additionally sees pre-commit state writes ([18]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from .types import (TransactionState, is_txn_marker, txn_id_from_marker)
+
+
+class TxnStateSource(Protocol):
+    """What the storage layer needs to know about transactions."""
+
+    def lookup(self, txn_id: int) -> tuple[TransactionState, int | None]:
+        """Return (state, commit_time or None) for *txn_id*."""
+        ...
+
+
+@dataclass(frozen=True)
+class ResolvedTime:
+    """Outcome of resolving one Start Time cell."""
+
+    #: True when the version is committed (commit time known).
+    committed: bool
+    #: Commit time (committed) / begin-less marker resolution, else None.
+    time: int | None
+    #: Writing transaction id when the cell still holds a marker.
+    txn_id: int | None
+    #: Transaction state for marker cells (None for plain timestamps).
+    state: TransactionState | None = None
+
+
+def resolve_start_cell(cell: int,
+                       txn_source: TxnStateSource | None) -> ResolvedTime:
+    """Resolve a Start Time *cell* into commit status and time."""
+    if not is_txn_marker(cell):
+        return ResolvedTime(committed=True, time=cell, txn_id=None)
+    txn_id = txn_id_from_marker(cell)
+    if txn_source is None:
+        # No transaction manager: markers belong to vanished transactions
+        # (e.g. pre-crash); treat as uncommitted.
+        return ResolvedTime(committed=False, time=None, txn_id=txn_id)
+    state, commit_time = txn_source.lookup(txn_id)
+    if state is TransactionState.COMMITTED:
+        return ResolvedTime(committed=True, time=commit_time, txn_id=txn_id,
+                            state=state)
+    return ResolvedTime(committed=False, time=None, txn_id=txn_id,
+                        state=state)
+
+
+#: A visibility predicate: resolved start time -> is this version visible?
+VisibilityPredicate = Callable[[ResolvedTime], bool]
+
+
+def visible_latest_committed(resolved: ResolvedTime) -> bool:
+    """Latest-committed visibility (read committed)."""
+    return resolved.committed
+
+
+def visible_as_of(as_of: int) -> VisibilityPredicate:
+    """Snapshot visibility: committed with commit time <= *as_of*."""
+
+    def predicate(resolved: ResolvedTime) -> bool:
+        return resolved.committed and resolved.time is not None \
+            and resolved.time <= as_of
+
+    return predicate
+
+
+def visible_to_txn(txn_id: int,
+                   base: VisibilityPredicate) -> VisibilityPredicate:
+    """Own uncommitted writes are visible on top of *base* visibility."""
+
+    def predicate(resolved: ResolvedTime) -> bool:
+        if resolved.txn_id == txn_id \
+                and resolved.state is not TransactionState.ABORTED:
+            return True
+        return base(resolved)
+
+    return predicate
+
+
+def visible_speculative(base: VisibilityPredicate) -> VisibilityPredicate:
+    """Speculative reads ([18]): pre-commit-state writes are also visible.
+
+    "The speculative read ... allows reading updated/inserted records by
+    those transactions that are in the pre-commit state" (Section 5.1.1).
+    """
+
+    def predicate(resolved: ResolvedTime) -> bool:
+        if resolved.state is TransactionState.PRE_COMMIT:
+            return True
+        return base(resolved)
+
+    return predicate

@@ -1,0 +1,127 @@
+"""Exception hierarchy for the L-Store reproduction.
+
+Every error raised by the library derives from :class:`LStoreError` so
+that callers can catch one base class. Sub-hierarchies mirror the layers
+of the system (storage, transactions, merge, recovery).
+"""
+
+from __future__ import annotations
+
+
+class LStoreError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+class StorageError(LStoreError):
+    """Base class for storage-layer failures."""
+
+
+class PageFullError(StorageError):
+    """Raised when appending to a page that has no free slot left."""
+
+
+class PageImmutableError(StorageError):
+    """Raised on an attempt to overwrite a written slot of a write-once page.
+
+    Tail pages in L-Store are strictly append-only and follow a
+    write-once policy (Section 2.1 of the paper): once a value is written
+    it is never overwritten, even if the writing transaction aborts.
+    """
+
+
+class PageDeallocatedError(StorageError):
+    """Raised when reading a page that the epoch manager already reclaimed."""
+
+
+class BufferPoolFullError(StorageError):
+    """Raised when every frame of the buffer pool is pinned."""
+
+
+class SerializationError(StorageError):
+    """Raised when a page image cannot be encoded or decoded."""
+
+
+# ---------------------------------------------------------------------------
+# Table / query layer
+# ---------------------------------------------------------------------------
+
+class TableError(LStoreError):
+    """Base class for logical table-level failures."""
+
+
+class DuplicateKeyError(TableError):
+    """Raised when inserting a primary key that already exists."""
+
+
+class KeyNotFoundError(TableError):
+    """Raised when a primary-key lookup finds no record."""
+
+
+class RecordDeletedError(TableError):
+    """Raised when reading a record whose latest version is a delete."""
+
+
+class SchemaMismatchError(TableError):
+    """Raised when a statement does not match the table schema."""
+
+
+class InconsistentReadError(TableError):
+    """Raised when column pages of one range expose different TPS values.
+
+    Lemma 3 of the paper guarantees such reads are always *detectable*;
+    Theorem 2 guarantees they are always *repairable*. The read path
+    raises this error internally and then repairs the snapshot, so user
+    code normally never observes it.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Transaction layer
+# ---------------------------------------------------------------------------
+
+class TransactionError(LStoreError):
+    """Base class for concurrency-control failures."""
+
+
+class TransactionAborted(TransactionError):
+    """Raised when a transaction was aborted (by conflict or explicitly)."""
+
+
+class WriteWriteConflict(TransactionAborted):
+    """Raised when two in-flight transactions try to update one record."""
+
+
+class ValidationFailure(TransactionAborted):
+    """Raised when OCC read validation fails at pre-commit."""
+
+
+class IllegalTransactionState(TransactionError):
+    """Raised when an operation is invalid for the transaction's state."""
+
+
+# ---------------------------------------------------------------------------
+# Merge / lineage layer
+# ---------------------------------------------------------------------------
+
+class MergeError(LStoreError):
+    """Base class for merge-process failures."""
+
+
+class LineageError(MergeError):
+    """Raised when TPS lineage would move backwards (monotonicity breach)."""
+
+
+# ---------------------------------------------------------------------------
+# Durability layer
+# ---------------------------------------------------------------------------
+
+class WALError(LStoreError):
+    """Base class for write-ahead-log failures."""
+
+
+class RecoveryError(WALError):
+    """Raised when crash recovery meets a log it cannot replay."""

@@ -1,0 +1,13 @@
+"""Storage substrate: page serialization, page files, buffer pool."""
+
+from .bufferpool import BufferPool, Frame
+from .disk import PageFile
+from .serialization import deserialize_page, serialize_page
+
+__all__ = [
+    "BufferPool",
+    "Frame",
+    "PageFile",
+    "deserialize_page",
+    "serialize_page",
+]

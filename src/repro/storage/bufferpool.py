@@ -1,0 +1,181 @@
+"""Buffer pool: pinned frames over a page file, LRU eviction, stealing.
+
+The paper's prototype is memory resident, but its WAL discussion
+(Section 5.2) reasons explicitly about the bufferpool *steal* policy —
+dirty pages may be written out before their transactions commit — so
+the substrate exists here, exercised by the durability tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..core.page import Page, RowPage
+from ..errors import BufferPoolFullError, StorageError
+from .disk import PageFile
+
+AnyPage = Page | RowPage
+
+
+@dataclass
+class Frame:
+    """One resident page with pin and dirty bookkeeping."""
+
+    page: AnyPage
+    pin_count: int = 0
+    dirty: bool = False
+    last_used: int = 0
+
+
+class BufferPool:
+    """Fixed-capacity page cache with LRU eviction and steal policy.
+
+    ``fetch`` pins; callers must ``unpin`` (ideally via the ``pinned``
+    context manager). Evicting a dirty page writes it back first —
+    the *steal* policy; set ``allow_steal=False`` for a no-steal pool
+    (eviction then skips dirty pages).
+    """
+
+    def __init__(self, page_file: PageFile, capacity: int, *,
+                 allow_steal: bool = True) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._file = page_file
+        self._capacity = capacity
+        self._allow_steal = allow_steal
+        self._frames: dict[int, Frame] = {}
+        self._clock = 0
+        self._lock = threading.Lock()
+        self.stat_hits = 0
+        self.stat_misses = 0
+        self.stat_evictions = 0
+        self.stat_steals = 0
+
+    # -- core operations -----------------------------------------------------
+
+    def put(self, page: AnyPage, *, dirty: bool = True) -> None:
+        """Insert a freshly created page (pinned by the caller? no: unpinned)."""
+        with self._lock:
+            if page.page_id in self._frames:
+                raise StorageError(
+                    "page %d already resident" % page.page_id)
+            self._ensure_capacity()
+            self._clock += 1
+            self._frames[page.page_id] = Frame(page=page, dirty=dirty,
+                                               last_used=self._clock)
+
+    def fetch(self, page_id: int) -> AnyPage:
+        """Return the page, loading from disk on a miss; pins the frame."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stat_hits += 1
+                frame.pin_count += 1
+                self._clock += 1
+                frame.last_used = self._clock
+                return frame.page
+            self.stat_misses += 1
+            self._ensure_capacity()
+        page = self._file.read_page(page_id)
+        with self._lock:
+            existing = self._frames.get(page_id)
+            if existing is not None:
+                existing.pin_count += 1
+                return existing.page
+            self._clock += 1
+            self._frames[page_id] = Frame(page=page, pin_count=1,
+                                          last_used=self._clock)
+            return page
+
+    def unpin(self, page_id: int, *, dirty: bool = False) -> None:
+        """Release one pin; optionally mark the frame dirty."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pin_count <= 0:
+                raise StorageError("unpin of unpinned page %d" % page_id)
+            frame.pin_count -= 1
+            if dirty:
+                frame.dirty = True
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Mark a resident page dirty."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise StorageError("page %d not resident" % page_id)
+            frame.dirty = True
+
+    # -- eviction ------------------------------------------------------------
+
+    def _ensure_capacity(self) -> None:
+        """Evict (LRU) until a frame is free; caller holds the lock."""
+        while len(self._frames) >= self._capacity:
+            victim_id = None
+            victim_used = None
+            for page_id, frame in self._frames.items():
+                if frame.pin_count > 0:
+                    continue
+                if frame.dirty and not self._allow_steal:
+                    continue
+                if victim_used is None or frame.last_used < victim_used:
+                    victim_id = page_id
+                    victim_used = frame.last_used
+            if victim_id is None:
+                raise BufferPoolFullError(
+                    "all %d frames pinned (or dirty with no-steal)"
+                    % self._capacity)
+            frame = self._frames.pop(victim_id)
+            self.stat_evictions += 1
+            if frame.dirty:
+                self.stat_steals += 1
+                self._file.write_page(frame.page)
+
+    # -- durability ------------------------------------------------------------
+
+    def flush_all(self) -> int:
+        """Write every dirty frame back; return the count written."""
+        written = 0
+        with self._lock:
+            for frame in self._frames.values():
+                if frame.dirty:
+                    self._file.write_page(frame.page)
+                    frame.dirty = False
+                    written += 1
+        self._file.sync()
+        return written
+
+    # -- context helper ------------------------------------------------------------
+
+    class _Pinned:
+        def __init__(self, pool: "BufferPool", page_id: int) -> None:
+            self._pool = pool
+            self._page_id = page_id
+            self.page: AnyPage | None = None
+
+        def __enter__(self) -> AnyPage:
+            self.page = self._pool.fetch(self._page_id)
+            return self.page
+
+        def __exit__(self, *exc: object) -> None:
+            self._pool.unpin(self._page_id)
+
+    def pinned(self, page_id: int) -> "_Pinned":
+        """``with pool.pinned(pid) as page:`` fetch/unpin bracket."""
+        return self._Pinned(self, page_id)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def resident(self) -> int:
+        """Number of frames in use."""
+        return len(self._frames)
+
+    @property
+    def capacity(self) -> int:
+        """Total frames."""
+        return self._capacity
+
+    def is_resident(self, page_id: int) -> bool:
+        """True when *page_id* currently has a frame."""
+        return page_id in self._frames

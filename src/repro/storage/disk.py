@@ -1,0 +1,121 @@
+"""Page-file manager: variable-length page slots with a sidecar index.
+
+One data file per table holds serialized pages appended back to back; a
+sidecar index file maps page id → (offset, length). Page rewrites append
+a new image and re-point the index (pages are read-only or append-only
+in L-Store, so stale images are garbage until :meth:`compact`). The
+index is rewritten atomically on :meth:`sync`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from typing import Iterator
+
+from ..core.page import Page, RowPage
+from ..errors import StorageError
+from .serialization import deserialize_page, serialize_page
+
+
+class PageFile:
+    """On-disk store of serialized pages for one table."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.index_path = path + ".idx"
+        self._lock = threading.Lock()
+        self._index: dict[int, tuple[int, int]] = {}
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        self._file = open(path, mode)
+        if os.path.exists(self.index_path):
+            with open(self.index_path, "rb") as handle:
+                self._index = pickle.load(handle)
+        self.stat_writes = 0
+        self.stat_reads = 0
+
+    # -- IO ------------------------------------------------------------
+
+    def write_page(self, page: Page | RowPage) -> None:
+        """Persist *page* (appends a fresh image, re-points the index)."""
+        image = serialize_page(page)
+        with self._lock:
+            self._file.seek(0, os.SEEK_END)
+            offset = self._file.tell()
+            self._file.write(image)
+            self._index[page.page_id] = (offset, len(image))
+            self.stat_writes += 1
+
+    def read_page(self, page_id: int) -> Page | RowPage:
+        """Load the page stored under *page_id*."""
+        with self._lock:
+            entry = self._index.get(page_id)
+            if entry is None:
+                raise StorageError("page %d not on disk" % page_id)
+            offset, length = entry
+            self._file.seek(offset)
+            image = self._file.read(length)
+            self.stat_reads += 1
+        return deserialize_page(image)
+
+    def delete_page(self, page_id: int) -> None:
+        """Drop *page_id* from the index (space reclaimed by compact)."""
+        with self._lock:
+            self._index.pop(page_id, None)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._index
+
+    def page_ids(self) -> Iterator[int]:
+        """Iterate the page ids currently stored."""
+        with self._lock:
+            return iter(list(self._index.keys()))
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # -- durability ------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Flush data and rewrite the sidecar index atomically."""
+        with self._lock:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            tmp_path = self.index_path + ".tmp"
+            with open(tmp_path, "wb") as handle:
+                pickle.dump(self._index, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.index_path)
+
+    def compact(self) -> int:
+        """Rewrite the data file dropping stale images; return bytes saved."""
+        with self._lock:
+            old_size = os.path.getsize(self.path)
+            entries = sorted(self._index.items(), key=lambda kv: kv[1][0])
+            tmp_path = self.path + ".tmp"
+            new_index: dict[int, tuple[int, int]] = {}
+            with open(tmp_path, "wb") as out:
+                for page_id, (offset, length) in entries:
+                    self._file.seek(offset)
+                    image = self._file.read(length)
+                    new_index[page_id] = (out.tell(), length)
+                    out.write(image)
+                out.flush()
+                os.fsync(out.fileno())
+            self._file.close()
+            os.replace(tmp_path, self.path)
+            self._file = open(self.path, "r+b")
+            self._index = new_index
+        self.sync()
+        return old_size - os.path.getsize(self.path)
+
+    def close(self) -> None:
+        """Sync and close."""
+        self.sync()
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()

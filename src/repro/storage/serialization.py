@@ -1,0 +1,108 @@
+"""Page serialization: columnar pages ⇄ bytes.
+
+The paper persists base and tail pages "identically" through the page
+directory; this module provides that on-disk image. All-integer pages
+(the common case for the micro-benchmark schema) take a packed struct
+fast path; mixed pages (∅ cells, arbitrary Python values) fall back to
+pickle. The special null ∅ is preserved across round trips.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any
+
+from ..core.page import Page, RowPage
+from ..core.types import NULL, PageKind, is_null
+from ..errors import SerializationError
+
+_MAGIC = b"LSPG"
+_HEADER = struct.Struct("<4sBBqiiqqi")
+# magic, format, kind, page_id, capacity, column(+1, 0=None),
+# tps_rid, merge_count, num_records
+
+_FORMAT_INT64 = 1
+_FORMAT_PICKLE = 2
+_FORMAT_ROW_PICKLE = 3
+
+_KIND_CODES = {kind: code for code, kind in enumerate(PageKind)}
+_KIND_FROM_CODE = {code: kind for kind, code in _KIND_CODES.items()}
+
+#: Sentinel used inside the int64 fast path for the special null ∅.
+_NULL_SENTINEL = -(1 << 62) + 7
+
+
+def serialize_page(page: Page | RowPage) -> bytes:
+    """Encode *page* (and its lineage) into a byte string."""
+    if isinstance(page, RowPage):
+        rows = [page.read_row(slot) if page.is_written(slot) else None
+                for slot in range(page.capacity)]
+        payload = pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL)
+        fmt = _FORMAT_ROW_PICKLE
+        column = -1
+    else:
+        values = list(page.iter_values())
+        fmt = _FORMAT_INT64
+        for value in values:
+            if type(value) is not int and not is_null(value):
+                fmt = _FORMAT_PICKLE
+                break
+            if type(value) is int and not (-(1 << 62) < value < (1 << 63)):
+                fmt = _FORMAT_PICKLE
+                break
+        if fmt == _FORMAT_INT64:
+            packed = struct.pack(
+                "<%dq" % len(values),
+                *(_NULL_SENTINEL if is_null(v) else v for v in values))
+            payload = packed
+        else:
+            payload = pickle.dumps(values,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        column = -1 if page.column is None else page.column
+    header = _HEADER.pack(
+        _MAGIC, fmt, _KIND_CODES[page.kind], page.page_id, page.capacity,
+        column, page.tps_rid, page.merge_count, page.num_records)
+    return header + payload
+
+
+def deserialize_page(data: bytes) -> Page | RowPage:
+    """Decode the output of :func:`serialize_page`."""
+    if len(data) < _HEADER.size:
+        raise SerializationError("page image truncated")
+    (magic, fmt, kind_code, page_id, capacity, column, tps_rid,
+     merge_count, num_records) = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise SerializationError("bad page magic %r" % magic)
+    kind = _KIND_FROM_CODE.get(kind_code)
+    if kind is None:
+        raise SerializationError("unknown page kind code %d" % kind_code)
+    payload = data[_HEADER.size:]
+    if fmt == _FORMAT_ROW_PICKLE:
+        rows = pickle.loads(payload)
+        page = RowPage(page_id, kind, capacity,
+                       width=len(next((r for r in rows if r is not None),
+                                      (None,))))
+        for slot, row in enumerate(rows):
+            if row is not None:
+                page.write_row(slot, row)
+        page.set_lineage(tps_rid, merge_count)
+        if kind in (PageKind.BASE, PageKind.MERGED):
+            page.freeze()
+        return page
+    if fmt == _FORMAT_INT64:
+        raw = struct.unpack("<%dq" % num_records,
+                            payload[:8 * num_records])
+        values = [NULL if v == _NULL_SENTINEL else v for v in raw]
+    elif fmt == _FORMAT_PICKLE:
+        values = pickle.loads(payload)
+    else:
+        raise SerializationError("unknown page format %d" % fmt)
+    page = Page(page_id, kind, capacity,
+                None if column < 0 else column)
+    for slot, value in enumerate(values):
+        page.write_slot(slot, value)
+    page.set_lineage(tps_rid, merge_count)
+    if kind in (PageKind.BASE, PageKind.MERGED):
+        page.freeze()
+    return page

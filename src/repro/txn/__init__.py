@@ -1,0 +1,22 @@
+"""Transaction layer: OCC, latches, clock, workers (Section 5)."""
+
+from .clock import SynchronizedClock, TransactionIdSource
+from .latch import (AtomicCell, AtomicCounter, IndirectionVector,
+                    SharedExclusiveLatch)
+from .manager import TransactionManager, TxnEntry
+from .transaction import Transaction
+from .worker import TransactionWorker, WorkerStats
+
+__all__ = [
+    "AtomicCell",
+    "AtomicCounter",
+    "IndirectionVector",
+    "SharedExclusiveLatch",
+    "SynchronizedClock",
+    "Transaction",
+    "TransactionIdSource",
+    "TransactionManager",
+    "TransactionWorker",
+    "TxnEntry",
+    "WorkerStats",
+]

@@ -1,0 +1,58 @@
+"""Synchronised logical clock and transaction-id source (Section 5.1.1).
+
+"When a transaction starts, it receives a begin time from a synchronized
+clock (time is advanced before it is returned) and is assigned a unique
+monotonically increasing transaction ID." Begin and commit times come
+from the same clock, so the total order over timestamps is exactly the
+order the clock handed them out in.
+
+Timestamps are plain ints; transaction ids are drawn from the same clock
+(the paper notes the begin time can seed the transaction id) and are
+stored in Start Time cells with the ``TXN_ID_FLAG`` marker
+(:mod:`repro.core.types`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class SynchronizedClock:
+    """Monotone logical clock shared by all transactions of a database."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = start
+        self._lock = threading.Lock()
+
+    def advance(self) -> int:
+        """Advance the clock and return the new time.
+
+        This is the paper's "time is advanced before it is returned":
+        two calls never return the same value, and the values order
+        exactly like the calls.
+        """
+        with self._lock:
+            self._now += 1
+            return self._now
+
+    def now(self) -> int:
+        """Peek at the current time without advancing."""
+        with self._lock:
+            return self._now
+
+    def advance_to(self, value: int) -> None:
+        """Raise the clock to *value* (recovery restores the clock)."""
+        with self._lock:
+            if value > self._now:
+                self._now = value
+
+
+class TransactionIdSource:
+    """Unique, monotonically increasing transaction ids."""
+
+    def __init__(self, clock: SynchronizedClock) -> None:
+        self._clock = clock
+
+    def next_id(self) -> int:
+        """Return a fresh transaction id (also usable as the begin seed)."""
+        return self._clock.advance()

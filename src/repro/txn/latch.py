@@ -1,0 +1,305 @@
+"""Low-level synchronisation primitives (Section 5.1.2).
+
+The paper's protocol relies on three hardware-ish primitives that we
+emulate faithfully in Python:
+
+* an atomic **compare-and-swap** cell (:class:`AtomicCell`) — one winner,
+  losers observe failure and retry or abort;
+* the **indirection latch bit**: bit 63 of the 8-byte indirection value
+  doubles as a write latch, set by CAS during write-write conflict
+  detection (:class:`IndirectionVector`);
+* **shared/exclusive latches** with conditional promotion, used by the
+  In-place Update + History baseline for its page latches and by the
+  Ownership Relaying WAL protocol (:class:`SharedExclusiveLatch`).
+
+Lock striping keeps the per-slot CAS emulation cheap for ranges with
+tens of thousands of records.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from ..core.types import LATCH_BIT, NULL_RID
+
+
+class AtomicCell:
+    """A single mutable cell with get / set / compare-and-swap."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: Any = None) -> None:
+        self._value = value
+        self._lock = threading.Lock()
+
+    def get(self) -> Any:
+        """Return the current value."""
+        return self._value
+
+    def set(self, value: Any) -> None:
+        """Unconditionally store *value*."""
+        with self._lock:
+            self._value = value
+
+    def compare_and_swap(self, expected: Any, new: Any) -> bool:
+        """Atomically set *new* iff the cell equals *expected*."""
+        with self._lock:
+            if self._value == expected:
+                self._value = new
+                return True
+            return False
+
+    def update(self, fn: Callable[[Any], Any]) -> Any:
+        """Atomically apply *fn* to the value; return the new value."""
+        with self._lock:
+            self._value = fn(self._value)
+            return self._value
+
+
+class AtomicCounter:
+    """Thread-safe integer counter with add/increment."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: int = 0) -> None:
+        self._value = value
+        self._lock = threading.Lock()
+
+    def increment(self, delta: int = 1) -> int:
+        """Add *delta*; return the new value."""
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    def get(self) -> int:
+        """Return the current value."""
+        return self._value
+
+    def max_update(self, candidate: int) -> bool:
+        """Monotonically raise the counter to *candidate* if larger."""
+        with self._lock:
+            if candidate > self._value:
+                self._value = candidate
+                return True
+            return False
+
+
+class IndirectionVector:
+    """The in-place-updated Indirection column of one update range.
+
+    Stores one 64-bit word per base record: the forward pointer (tail
+    RID of the latest version, or ``NULL_RID`` ⊥) with bit 63 reserved
+    as the write latch. All mutation is CAS-based; readers never latch
+    (Section 5.1.2: "readers do not have to latch ... writers can simply
+    rely on atomic compare-and-swap").
+
+    Lock striping (``_STRIPES`` mutexes) emulates word-level CAS without
+    one mutex per record.
+    """
+
+    _STRIPES = 64
+
+    def __init__(self, size: int) -> None:
+        self._words = [NULL_RID] * size
+        self._locks = [threading.Lock() for _ in range(self._STRIPES)]
+
+    def _lock_for(self, slot: int) -> threading.Lock:
+        return self._locks[slot % self._STRIPES]
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    # -- reads (latch-free) -------------------------------------------------
+
+    def read(self, slot: int) -> int:
+        """Return the indirection RID at *slot*, masking the latch bit."""
+        return self._words[slot] & ~LATCH_BIT
+
+    def is_latched(self, slot: int) -> bool:
+        """True when the latch bit of *slot* is currently set."""
+        return bool(self._words[slot] & LATCH_BIT)
+
+    # -- writes (CAS emulation) ----------------------------------------------
+
+    def try_latch(self, slot: int) -> bool:
+        """Set the latch bit by CAS; False signals a write-write conflict.
+
+        First step of the paper's write protocol: "the latch bit of the
+        indirection value is set using atomic compare-and-swap. If
+        setting the latch bit fails, then it is an indicator of
+        write-write conflict, and the transaction aborts."
+        """
+        with self._lock_for(slot):
+            word = self._words[slot]
+            if word & LATCH_BIT:
+                return False
+            self._words[slot] = word | LATCH_BIT
+            return True
+
+    def unlatch(self, slot: int) -> None:
+        """Clear the latch bit."""
+        with self._lock_for(slot):
+            self._words[slot] &= ~LATCH_BIT
+
+    def set_and_unlatch(self, slot: int, rid: int) -> None:
+        """Install a new forward pointer and release the latch."""
+        if rid & LATCH_BIT:
+            raise ValueError("rid collides with the latch bit")
+        with self._lock_for(slot):
+            self._words[slot] = rid
+
+    def set(self, slot: int, rid: int) -> None:
+        """Install a forward pointer without touching the latch bit.
+
+        Used by recovery and by single-threaded fast paths where the
+        latch protocol is not needed.
+        """
+        if rid & LATCH_BIT:
+            raise ValueError("rid collides with the latch bit")
+        with self._lock_for(slot):
+            latch = self._words[slot] & LATCH_BIT
+            self._words[slot] = rid | latch
+
+    def compare_and_swap(self, slot: int, expected: int, new: int) -> bool:
+        """Raw CAS on the full word (latch bit included)."""
+        with self._lock_for(slot):
+            if self._words[slot] == expected:
+                self._words[slot] = new
+                return True
+            return False
+
+    def snapshot(self) -> list[int]:
+        """Copy of all forward pointers (latch bits masked)."""
+        return [word & ~LATCH_BIT for word in self._words]
+
+
+class SharedExclusiveLatch:
+    """A reader-writer latch with conditional shared→exclusive promotion.
+
+    Writer-preferring to avoid writer starvation. ``promote()`` upgrades
+    one shared holder to exclusive once it is the only holder left —
+    exactly the promotion step of the Ownership Relaying protocol
+    (Section 5.2) — and fails (returns False) when a second holder also
+    requests promotion (deadlock avoidance).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._shared = 0
+        self._exclusive = False
+        self._writers_waiting = 0
+        self._promoting = False
+
+    # -- shared -------------------------------------------------------------
+
+    def acquire_shared(self, timeout: float | None = None) -> bool:
+        """Acquire in shared mode."""
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._exclusive and not self._writers_waiting,
+                timeout)
+            if not ok:
+                return False
+            self._shared += 1
+            return True
+
+    def release_shared(self) -> None:
+        """Release one shared hold."""
+        with self._cond:
+            if self._shared <= 0:
+                raise RuntimeError("release_shared without hold")
+            self._shared -= 1
+            self._cond.notify_all()
+
+    # -- exclusive ------------------------------------------------------------
+
+    def acquire_exclusive(self, timeout: float | None = None) -> bool:
+        """Acquire in exclusive mode."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._exclusive and self._shared == 0
+                    and not self._promoting,
+                    timeout)
+                if not ok:
+                    return False
+                self._exclusive = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_exclusive(self) -> None:
+        """Release the exclusive hold."""
+        with self._cond:
+            if not self._exclusive:
+                raise RuntimeError("release_exclusive without hold")
+            self._exclusive = False
+            self._cond.notify_all()
+
+    # -- promotion ------------------------------------------------------------
+
+    def promote(self, timeout: float | None = None) -> bool:
+        """Upgrade the caller's shared hold to exclusive.
+
+        Returns False if another holder is already promoting (the caller
+        keeps its shared hold) or on timeout.
+        """
+        with self._cond:
+            if self._shared <= 0:
+                raise RuntimeError("promote without a shared hold")
+            if self._promoting:
+                return False
+            self._promoting = True
+            try:
+                ok = self._cond.wait_for(lambda: self._shared == 1, timeout)
+                if not ok:
+                    return False
+                self._shared = 0
+                self._exclusive = True
+                return True
+            finally:
+                self._promoting = False
+                self._cond.notify_all()
+
+    def demote(self) -> None:
+        """Downgrade exclusive back to shared."""
+        with self._cond:
+            if not self._exclusive:
+                raise RuntimeError("demote without exclusive hold")
+            self._exclusive = False
+            self._shared = 1
+            self._cond.notify_all()
+
+    # -- context helpers ---------------------------------------------------------
+
+    class _SharedGuard:
+        def __init__(self, latch: "SharedExclusiveLatch") -> None:
+            self._latch = latch
+
+        def __enter__(self) -> "SharedExclusiveLatch":
+            self._latch.acquire_shared()
+            return self._latch
+
+        def __exit__(self, *exc: object) -> None:
+            self._latch.release_shared()
+
+    class _ExclusiveGuard:
+        def __init__(self, latch: "SharedExclusiveLatch") -> None:
+            self._latch = latch
+
+        def __enter__(self) -> "SharedExclusiveLatch":
+            self._latch.acquire_exclusive()
+            return self._latch
+
+        def __exit__(self, *exc: object) -> None:
+            self._latch.release_exclusive()
+
+    def shared(self) -> "_SharedGuard":
+        """``with latch.shared():`` context manager."""
+        return self._SharedGuard(self)
+
+    def exclusive(self) -> "_ExclusiveGuard":
+        """``with latch.exclusive():`` context manager."""
+        return self._ExclusiveGuard(self)

@@ -1,0 +1,173 @@
+"""Transaction manager: states, begin/commit times (Section 5.1.1).
+
+"The transaction manager also maintains the state of each transaction
+and its begin/commit time in a hashtable. Each transaction has four
+states: active, pre-commit, committed, and aborted."
+
+The manager implements the :class:`~repro.core.version.TxnStateSource`
+protocol, so Start Time cells holding transaction markers resolve
+against it lazily — the paper's deferred txn-id→commit-time swap.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..core.types import TransactionState
+from ..errors import IllegalTransactionState
+from .clock import SynchronizedClock
+
+
+@dataclass
+class TxnEntry:
+    """One row of the transaction manager's hashtable."""
+
+    txn_id: int
+    state: TransactionState
+    begin_time: int
+    commit_time: int | None = None
+
+
+class TransactionManager:
+    """Hashtable of transaction states keyed by transaction id."""
+
+    def __init__(self, clock: SynchronizedClock | None = None) -> None:
+        self.clock = clock if clock is not None else SynchronizedClock()
+        self._entries: dict[int, TxnEntry] = {}
+        self._lock = threading.Lock()
+        self.stat_begun = 0
+        self.stat_committed = 0
+        self.stat_aborted = 0
+        #: Optional WAL sinks: called as sink(txn_id, commit_time) /
+        #: sink(txn_id) after the state transition (group commit point).
+        self.commit_sink = None
+        self.abort_sink = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(self) -> TxnEntry:
+        """Start a transaction: fresh id + begin time from the clock.
+
+        The begin time doubles as the seed of the transaction id (the
+        paper permits exactly this), keeping both monotone.
+        """
+        begin_time = self.clock.advance()
+        entry = TxnEntry(txn_id=begin_time, state=TransactionState.ACTIVE,
+                         begin_time=begin_time)
+        with self._lock:
+            self._entries[entry.txn_id] = entry
+            self.stat_begun += 1
+        return entry
+
+    def enter_precommit(self, txn_id: int) -> int:
+        """Move ACTIVE → PRE_COMMIT and assign the commit time.
+
+        "A commit timestamp is acquired for the transaction and the
+        transaction state is changed from active to pre-commit; both
+        changes are reflected atomically in the transaction manager's
+        hashtable."
+        """
+        with self._lock:
+            entry = self._require(txn_id)
+            if entry.state is not TransactionState.ACTIVE:
+                raise IllegalTransactionState(
+                    "txn %d is %s, cannot enter pre-commit"
+                    % (txn_id, entry.state.value))
+            commit_time = self.clock.advance()
+            entry.state = TransactionState.PRE_COMMIT
+            entry.commit_time = commit_time
+            return commit_time
+
+    def commit(self, txn_id: int) -> int:
+        """Move PRE_COMMIT → COMMITTED; return the commit time."""
+        with self._lock:
+            entry = self._require(txn_id)
+            if entry.state is not TransactionState.PRE_COMMIT:
+                raise IllegalTransactionState(
+                    "txn %d is %s, cannot commit"
+                    % (txn_id, entry.state.value))
+            entry.state = TransactionState.COMMITTED
+            self.stat_committed += 1
+            assert entry.commit_time is not None
+            commit_time = entry.commit_time
+        if self.commit_sink is not None:
+            self.commit_sink(txn_id, commit_time)
+        return commit_time
+
+    def abort(self, txn_id: int) -> None:
+        """Move any live state → ABORTED."""
+        with self._lock:
+            entry = self._require(txn_id)
+            if entry.state is TransactionState.COMMITTED:
+                raise IllegalTransactionState(
+                    "txn %d already committed" % txn_id)
+            entry.state = TransactionState.ABORTED
+            self.stat_aborted += 1
+        if self.abort_sink is not None:
+            self.abort_sink(txn_id)
+
+    def _require(self, txn_id: int) -> TxnEntry:
+        entry = self._entries.get(txn_id)
+        if entry is None:
+            raise IllegalTransactionState("unknown txn id %d" % txn_id)
+        return entry
+
+    # -- TxnStateSource protocol ------------------------------------------------
+
+    def lookup(self, txn_id: int) -> tuple[TransactionState, int | None]:
+        """Resolve a transaction marker (state, commit time).
+
+        Lock-free: dict reads are atomic under the GIL, and the state
+        machine guarantees the commit time is installed *before* the
+        COMMITTED state becomes visible, so readers never observe a
+        committed transaction without its commit time. Keeping this
+        path mutex-free matters — every read of a marker cell lands
+        here, and a shared lock would convoy reader threads.
+        """
+        entry = self._entries.get(txn_id)
+        if entry is None:
+            # Unknown id: a pre-crash transaction that never committed
+            # (redo-only recovery tombstones its records).
+            return TransactionState.ABORTED, None
+        return entry.state, entry.commit_time
+
+    # -- introspection ------------------------------------------------------------
+
+    def state_of(self, txn_id: int) -> TransactionState:
+        """Current state of *txn_id*."""
+        with self._lock:
+            return self._require(txn_id).state
+
+    def entry(self, txn_id: int) -> TxnEntry:
+        """Copy of the manager entry for *txn_id*."""
+        with self._lock:
+            source = self._require(txn_id)
+            return TxnEntry(source.txn_id, source.state, source.begin_time,
+                            source.commit_time)
+
+    @property
+    def active_count(self) -> int:
+        """Transactions in ACTIVE or PRE_COMMIT state."""
+        with self._lock:
+            return sum(1 for entry in self._entries.values()
+                       if entry.state in (TransactionState.ACTIVE,
+                                          TransactionState.PRE_COMMIT))
+
+    def gc(self, before: int) -> int:
+        """Drop finished entries whose commit time precedes *before*.
+
+        Safe only once every Start Time marker of those transactions has
+        been lazily stamped or compressed away; exposed for long-running
+        benchmark loops that would otherwise grow without bound.
+        """
+        with self._lock:
+            doomed = [
+                txn_id for txn_id, entry in self._entries.items()
+                if entry.state is TransactionState.COMMITTED
+                and entry.commit_time is not None
+                and entry.commit_time < before
+            ]
+            for txn_id in doomed:
+                del self._entries[txn_id]
+            return len(doomed)

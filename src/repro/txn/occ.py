@@ -1,0 +1,201 @@
+"""The optimistic concurrency protocol of Section 5.1.1.
+
+Free functions implementing the five operations the paper formalises —
+``read``, ``speculative-read``, ``write``, ``validate reads`` and
+``commit`` — against the storage primitives of
+:class:`~repro.core.table.Table`. :class:`~repro.txn.transaction.Transaction`
+is the stateful wrapper users see; these functions are the protocol
+itself, kept separate so they can be tested and reasoned about in
+isolation.
+
+The write path is verbatim from the paper: (1) CAS the latch bit of the
+base record's indirection word — failure is a write-write conflict;
+(2) with the latch held, check whether the latest version's start time
+holds a competing uncommitted transaction id — if so, release and
+abort; (3) append the new tail record, install its RID in the
+indirection word, release the latch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..core.table import DELETED, Table
+from ..core.types import (IsolationLevel, TransactionState, make_txn_marker)
+from ..core.version import (VisibilityPredicate, visible_as_of,
+                            visible_latest_committed, visible_speculative,
+                            visible_to_txn)
+from ..errors import (RecordDeletedError, ValidationFailure,
+                      WriteWriteConflict)
+
+
+@dataclass(frozen=True)
+class ReadEntry:
+    """One readset entry: which version RID the transaction observed."""
+
+    table: Table
+    rid: int
+    observed_version: int | None
+    speculative: bool = False
+
+
+@dataclass(frozen=True)
+class WriteEntry:
+    """One writeset entry: the tail record a transaction appended."""
+
+    table: Table
+    rid: int
+    tail_rid: int
+    is_delete: bool = False
+
+
+@dataclass(frozen=True)
+class InsertEntry:
+    """One inserted record (rolled back via tombstone on abort)."""
+
+    table: Table
+    rid: int
+    key: Any
+
+
+@dataclass
+class TxnContext:
+    """Mutable OCC state of one transaction."""
+
+    txn_id: int
+    begin_time: int
+    isolation: IsolationLevel
+    readset: list[ReadEntry] = field(default_factory=list)
+    writeset: list[WriteEntry] = field(default_factory=list)
+    insertset: list[InsertEntry] = field(default_factory=list)
+    _predicate_cache: dict[bool, VisibilityPredicate] = field(
+        default_factory=dict, repr=False)
+
+    @property
+    def needs_validation(self) -> bool:
+        """Repeatable read / serializable validate the whole readset;
+        snapshot isolation validates only speculative reads."""
+        if self.isolation in (IsolationLevel.REPEATABLE_READ,
+                              IsolationLevel.SERIALIZABLE):
+            return bool(self.readset)
+        return any(entry.speculative for entry in self.readset)
+
+    def base_predicate(self) -> VisibilityPredicate:
+        """Statement visibility for this isolation level."""
+        if self.isolation is IsolationLevel.READ_COMMITTED:
+            return visible_latest_committed
+        return visible_as_of(self.begin_time)
+
+    def read_predicate(self, speculative: bool = False,
+                       ) -> VisibilityPredicate:
+        """Visibility including the transaction's own writes (cached)."""
+        predicate = self._predicate_cache.get(speculative)
+        if predicate is None:
+            predicate = visible_to_txn(self.txn_id, self.base_predicate())
+            if speculative:
+                predicate = visible_speculative(predicate)
+            self._predicate_cache[speculative] = predicate
+        return predicate
+
+
+# ---------------------------------------------------------------------------
+# Protocol operations
+# ---------------------------------------------------------------------------
+
+def occ_read(ctx: TxnContext, table: Table, rid: int,
+             data_columns: Sequence[int] | None = None, *,
+             speculative: bool = False) -> dict[int, Any] | None:
+    """``read r(x)`` / ``speculative-read r(x)``.
+
+    Returns the visible version's columns, None when the record is
+    invisible, and records the observed version RID in the readset when
+    the isolation level will validate it.
+    """
+    track = speculative or ctx.isolation in (
+        IsolationLevel.REPEATABLE_READ, IsolationLevel.SERIALIZABLE)
+    if not track and ctx.isolation is IsolationLevel.READ_COMMITTED:
+        # Allocation-lean 2-hop path for the common statement read.
+        values = table.read_latest_fast(rid, data_columns, ctx.txn_id)
+        return None if values is DELETED else values
+    predicate = ctx.read_predicate(speculative)
+    values = table.read_latest(rid, data_columns, predicate)
+    if values is DELETED:
+        values = None
+    if track:
+        observed = table.visible_version_rid(rid, predicate)
+        ctx.readset.append(ReadEntry(table, rid, observed, speculative))
+    return values
+
+
+def occ_write(ctx: TxnContext, table: Table, rid: int,
+              updates: dict[int, Any], *, is_delete: bool = False) -> int:
+    """``write w(x)``: latch-bit CAS, conflict check, append, install."""
+    if not table.try_latch(rid):
+        raise WriteWriteConflict(
+            "txn %d: record %d latch held by a competing writer"
+            % (ctx.txn_id, rid))
+    try:
+        table.check_write_conflict(rid, ctx.txn_id)
+        tail_rid = table.append_update(
+            rid, updates, make_txn_marker(ctx.txn_id), is_delete=is_delete)
+    except BaseException:
+        table.unlatch(rid)
+        raise
+    table.install_indirection(rid, tail_rid)  # releases the latch
+    ctx.writeset.append(WriteEntry(table, rid, tail_rid, is_delete))
+    return tail_rid
+
+
+def occ_insert(ctx: TxnContext, table: Table,
+               values: Sequence[Any]) -> int:
+    """Transactional insert: marker start cell, rollback via tombstone."""
+    rid = table.insert(values, start_cell=make_txn_marker(ctx.txn_id))
+    key = values[table.schema.key_index]
+    ctx.insertset.append(InsertEntry(table, rid, key))
+    return rid
+
+
+def occ_validate(ctx: TxnContext, commit_time: int) -> None:
+    """``validate reads``: re-resolve every observed version at commit time.
+
+    Raises :class:`~repro.errors.ValidationFailure` when any read is no
+    longer current — "if the currently committed and visible RID based
+    on the commit time ... is equal to the [observed one] then the
+    validation is satisfied; otherwise ... the transaction is aborted".
+    """
+    if ctx.isolation in (IsolationLevel.READ_COMMITTED,):
+        entries = [entry for entry in ctx.readset if entry.speculative]
+    elif ctx.isolation is IsolationLevel.SNAPSHOT:
+        entries = [entry for entry in ctx.readset if entry.speculative]
+    else:
+        entries = ctx.readset
+    for entry in entries:
+        predicate = visible_as_of(commit_time)
+        if entry.speculative:
+            predicate = visible_speculative(predicate)
+        current = entry.table.visible_version_rid(entry.rid, predicate)
+        if current != entry.observed_version:
+            raise ValidationFailure(
+                "txn %d: record %d changed (observed %r, now %r)"
+                % (ctx.txn_id, entry.rid, entry.observed_version, current))
+
+
+def occ_rollback(ctx: TxnContext) -> None:
+    """Undo by tombstoning: appended tails are never physically removed.
+
+    "Aborted transactions do not physically remove the aborted tail
+    records as they are only marked as tombstones" (Section 5.1.3).
+    Indirection words keep pointing at tombstones — readers skip them.
+    """
+    for entry in reversed(ctx.writeset):
+        entry.table.mark_tail_tombstone(entry.rid, entry.tail_rid)
+    for entry in reversed(ctx.insertset):
+        entry.table.mark_insert_tombstone(entry.rid)
+        entry.table.remove_key_mapping(entry.key, entry.rid)
+
+
+def occ_post_commit(ctx: TxnContext) -> None:
+    """After commit: nudge the merge scheduler for the touched ranges."""
+    for entry in ctx.writeset:
+        entry.table._maybe_notify_merge(entry.rid)

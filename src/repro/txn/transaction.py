@@ -1,0 +1,226 @@
+"""Multi-statement transactions over the OCC protocol.
+
+:class:`Transaction` is the user-facing handle: statements address
+records by primary key, reads respect the isolation level, and commit
+runs the paper's validate→commit sequence against the transaction
+manager. Statement errors that abort the transaction raise subclasses
+of :class:`~repro.errors.TransactionAborted`, which the
+:class:`~repro.txn.worker.TransactionWorker` treats as retryable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..core.table import DELETED, Table
+from ..core.types import IsolationLevel, TransactionState
+from ..errors import (IllegalTransactionState, KeyNotFoundError,
+                      TransactionAborted)
+from .manager import TransactionManager
+from .occ import (TxnContext, occ_insert, occ_post_commit, occ_read,
+                  occ_rollback, occ_validate, occ_write)
+
+
+class Transaction:
+    """One ACID transaction (Section 5.1.1 lifecycle).
+
+    Use imperatively::
+
+        txn = Transaction(manager)
+        row = txn.select(table, key=42)
+        txn.update(table, 42, {1: row[1] + 1})
+        txn.commit()
+
+    or as a context manager (commits on success, aborts on error)::
+
+        with Transaction(manager) as txn:
+            txn.insert(table, [42, 0, 0])
+    """
+
+    def __init__(self, manager: TransactionManager, *,
+                 isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
+                 ) -> None:
+        self.manager = manager
+        entry = manager.begin()
+        self.ctx = TxnContext(txn_id=entry.txn_id,
+                              begin_time=entry.begin_time,
+                              isolation=isolation)
+        self._finished = False
+        self.commit_time: int | None = None
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def txn_id(self) -> int:
+        """Unique, monotonically increasing transaction id."""
+        return self.ctx.txn_id
+
+    @property
+    def begin_time(self) -> int:
+        """Begin time from the synchronized clock."""
+        return self.ctx.begin_time
+
+    @property
+    def state(self) -> TransactionState:
+        """Current state in the transaction manager."""
+        return self.manager.state_of(self.txn_id)
+
+    def _check_active(self) -> None:
+        if self._finished:
+            raise IllegalTransactionState(
+                "txn %d already finished" % self.txn_id)
+
+    def _rid_for_key(self, table: Table, key: Any) -> int:
+        rid = table.index.primary.get(key)
+        if rid is None:
+            raise KeyNotFoundError(
+                "no record with key %r in table %r"
+                % (key, table.schema.name))
+        return rid
+
+    # -- statements ------------------------------------------------------------
+
+    def insert(self, table: Table, values: Sequence[Any]) -> int:
+        """Insert a row; visible to others only after commit."""
+        self._check_active()
+        try:
+            return occ_insert(self.ctx, table, values)
+        except TransactionAborted:
+            self.abort()
+            raise
+
+    def select(self, table: Table, key: Any,
+               data_columns: Sequence[int] | None = None, *,
+               speculative: bool = False) -> dict[int, Any] | None:
+        """Read the visible version of the record with *key*.
+
+        Returns None when the key exists in the index but no version is
+        visible (e.g. deleted, or inserted after this snapshot).
+        """
+        self._check_active()
+        rid = table.index.primary.get(key)
+        if rid is None:
+            return None
+        key_index = table.schema.key_index
+        fetch = data_columns
+        if fetch is not None and key_index not in fetch:
+            fetch = tuple(fetch) + (key_index,)
+        values = occ_read(self.ctx, table, rid, fetch,
+                          speculative=speculative)
+        if values is None:
+            return None
+        # Deferred index maintenance: re-check the key predicate on the
+        # visible version (Section 3.1's re-evaluation after lookup).
+        if values[key_index] != key:
+            return None
+        return values
+
+    def select_rid(self, table: Table, rid: int,
+                   data_columns: Sequence[int] | None = None, *,
+                   speculative: bool = False) -> dict[int, Any] | None:
+        """Read a record by base RID (scan-style access)."""
+        self._check_active()
+        return occ_read(self.ctx, table, rid, data_columns,
+                        speculative=speculative)
+
+    def update(self, table: Table, key: Any,
+               updates: dict[int, Any]) -> int:
+        """Update the record with *key*; aborts this txn on conflict."""
+        self._check_active()
+        try:
+            rid = self._rid_for_key(table, key)
+            return occ_write(self.ctx, table, rid, updates)
+        except (TransactionAborted, KeyNotFoundError):
+            self.abort()
+            raise
+
+    def delete(self, table: Table, key: Any) -> int:
+        """Delete the record with *key* (an all-∅ tail record)."""
+        self._check_active()
+        try:
+            rid = self._rid_for_key(table, key)
+            return occ_write(self.ctx, table, rid, {}, is_delete=True)
+        except (TransactionAborted, KeyNotFoundError):
+            self.abort()
+            raise
+
+    def increment(self, table: Table, key: Any, data_column: int,
+                  delta: int = 1) -> int:
+        """Read-modify-write of one column (the classic OCC stressor)."""
+        self._check_active()
+        try:
+            rid = self._rid_for_key(table, key)
+            values = occ_read(self.ctx, table, rid, (data_column,))
+            if values is None:
+                raise KeyNotFoundError(
+                    "key %r has no visible version" % (key,))
+            return occ_write(self.ctx, table, rid,
+                             {data_column: values[data_column] + delta})
+        except (TransactionAborted, KeyNotFoundError):
+            self.abort()
+            raise
+
+    def sum(self, table: Table, key_low: Any, key_high: Any,
+            data_column: int) -> int:
+        """SUM of *data_column* over keys in ``[key_low, key_high]``."""
+        self._check_active()
+        predicate = self.ctx.read_predicate()
+        total = 0
+        for key, rid in table.index.primary.items():
+            if not key_low <= key <= key_high:
+                continue
+            values = table.read_latest(rid, (data_column,), predicate)
+            if values is None or values is DELETED:
+                continue
+            total += values[data_column]
+        return total
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def commit(self) -> bool:
+        """Validate and commit; returns False (aborted) on validation failure.
+
+        Note the paper's observation that commit must stay short: the
+        transaction id is *not* swapped for the commit time in the tail
+        records — readers resolve markers lazily via the manager.
+        """
+        self._check_active()
+        try:
+            commit_time = self.manager.enter_precommit(self.txn_id)
+            occ_validate(self.ctx, commit_time)
+        except TransactionAborted:
+            self._do_abort()
+            return False
+        self.manager.commit(self.txn_id)
+        self.commit_time = commit_time
+        self._finished = True
+        occ_post_commit(self.ctx)
+        return True
+
+    def abort(self) -> None:
+        """Abort and roll back (tombstones only — no physical removal)."""
+        if self._finished:
+            return
+        self._do_abort()
+
+    def _do_abort(self) -> None:
+        state = self.manager.state_of(self.txn_id)
+        if state in (TransactionState.ACTIVE, TransactionState.PRE_COMMIT):
+            self.manager.abort(self.txn_id)
+        occ_rollback(self.ctx)
+        self._finished = True
+
+    # -- context manager ---------------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type: type | None, exc: BaseException | None,
+                 tb: object | None) -> bool:
+        if exc_type is None:
+            if not self._finished:
+                self.commit()
+            return False
+        if not self._finished:
+            self.abort()
+        return False

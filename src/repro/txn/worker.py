@@ -1,0 +1,115 @@
+"""Transaction workers: threads that run batches of transactions.
+
+The benchmark harness (Section 6.1) assigns each stream of short update
+transactions to one thread; :class:`TransactionWorker` is that thread.
+A transaction body is a callable receiving the open
+:class:`~repro.txn.transaction.Transaction`; conflict aborts
+(write-write, validation) are retried up to a bound, mirroring the
+paper's assumption that "roll backs are inexpensive and conflicts are
+rare".
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.types import IsolationLevel
+from ..errors import TransactionAborted
+from .manager import TransactionManager
+from .transaction import Transaction
+
+#: A transaction body: receives the open transaction, issues statements.
+TransactionBody = Callable[[Transaction], None]
+
+
+@dataclass
+class WorkerStats:
+    """Outcome counters of one worker run."""
+
+    committed: int = 0
+    aborted: int = 0
+    retries: int = 0
+    gave_up: int = 0
+
+    def merge(self, other: "WorkerStats") -> None:
+        """Accumulate *other* into self."""
+        self.committed += other.committed
+        self.aborted += other.aborted
+        self.retries += other.retries
+        self.gave_up += other.gave_up
+
+
+class TransactionWorker:
+    """Runs transaction bodies, one at a time, with bounded retries."""
+
+    def __init__(self, manager: TransactionManager, *,
+                 isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
+                 max_retries: int = 16, name: str | None = None) -> None:
+        self.manager = manager
+        self.isolation = isolation
+        self.max_retries = max_retries
+        self.name = name
+        self._bodies: list[TransactionBody] = []
+        self._thread: threading.Thread | None = None
+        self.stats = WorkerStats()
+        #: Set by the harness to stop a time-boxed run early.
+        self.stop_event = threading.Event()
+
+    def add(self, body: TransactionBody) -> None:
+        """Queue one transaction body for execution."""
+        self._bodies.append(body)
+
+    def extend(self, bodies: list[TransactionBody]) -> None:
+        """Queue several transaction bodies."""
+        self._bodies.extend(bodies)
+
+    # -- synchronous execution --------------------------------------------------
+
+    def run_one(self, body: TransactionBody) -> bool:
+        """Run one body with retries; True when it committed."""
+        attempts = 0
+        while attempts <= self.max_retries:
+            if self.stop_event.is_set():
+                return False
+            txn = Transaction(self.manager, isolation=self.isolation)
+            try:
+                body(txn)
+            except TransactionAborted:
+                self.stats.aborted += 1
+                self.stats.retries += 1
+                attempts += 1
+                continue
+            if txn.commit():
+                self.stats.committed += 1
+                return True
+            self.stats.aborted += 1
+            self.stats.retries += 1
+            attempts += 1
+        self.stats.gave_up += 1
+        return False
+
+    def run(self) -> WorkerStats:
+        """Run every queued body in order (in the calling thread)."""
+        for body in self._bodies:
+            if self.stop_event.is_set():
+                break
+            self.run_one(body)
+        return self.stats
+
+    # -- threaded execution --------------------------------------------------------
+
+    def start(self) -> None:
+        """Run the queued bodies in a background thread."""
+        if self._thread is not None:
+            raise RuntimeError("worker already started")
+        self._thread = threading.Thread(target=self.run, daemon=True,
+                                        name=self.name or "lstore-worker")
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> WorkerStats:
+        """Wait for the background run to finish; return the stats."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+        return self.stats

@@ -1,0 +1,14 @@
+"""Durability: redo-only WAL, OR protocol, crash recovery (Section 5)."""
+
+from .log import LogManager, TableWAL, attach_table_logging
+from .ownership import OwnershipRelay, PageLSNTracker
+from .recovery import recover_database
+
+__all__ = [
+    "LogManager",
+    "OwnershipRelay",
+    "PageLSNTracker",
+    "TableWAL",
+    "attach_table_logging",
+    "recover_database",
+]

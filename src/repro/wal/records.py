@@ -1,0 +1,127 @@
+"""Write-ahead-log record types (Section 5.1.3).
+
+L-Store's logging is *redo-only* for everything except the page
+directory: base pages are read-only (nothing to log), tail pages are
+append-only and write-once (no undo — aborted records become
+tombstones), and the in-place Indirection column can continue pointing
+at tombstones so even it needs only redo. The merge is idempotent and
+gets operational logging only.
+
+Records are plain dataclasses serialised with pickle frames by
+:class:`~repro.wal.log.LogManager`. ``lsn`` is assigned at append time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class LogRecord:
+    """Base class: every record carries its LSN once appended."""
+
+    lsn: int = field(default=-1, init=False)
+
+
+@dataclass
+class CreateTableRecord(LogRecord):
+    """A table was created (schema metadata for recovery)."""
+
+    name: str
+    num_columns: int
+    key_index: int
+    column_names: tuple[str, ...]
+
+
+@dataclass
+class InsertRangeRecord(LogRecord):
+    """An insert range was allocated: aligned base + tail RID blocks."""
+
+    table: str
+    start_rid: int
+    size: int
+    tail_block_start: int
+
+
+@dataclass
+class TailBlockRecord(LogRecord):
+    """A regular tail segment reserved a block of descending tail RIDs."""
+
+    table: str
+    range_id: int
+    start_rid: int
+    size: int
+
+
+@dataclass
+class RecordWriteRecord(LogRecord):
+    """Redo for one tail-record write (insert or update path).
+
+    ``segment`` addresses the target: ``("insert", insert_range_index)``
+    for table-level tails, ``("tail", range_id)`` for regular tails.
+    ``cells`` maps physical column index → value exactly as written.
+    """
+
+    table: str
+    segment: tuple[str, int]
+    offset: int
+    cells: dict[int, Any]
+
+
+@dataclass
+class IndirectionRecord(LogRecord):
+    """Redo for the in-place Indirection update of one base record."""
+
+    table: str
+    rid: int
+    tail_rid: int
+
+
+@dataclass
+class TombstoneRecord(LogRecord):
+    """An aborted tail record was tombstoned (abort rollback)."""
+
+    table: str
+    base_rid: int
+    tail_rid: int
+
+
+@dataclass
+class InsertTombstoneRecord(LogRecord):
+    """An aborted insert was tombstoned."""
+
+    table: str
+    rid: int
+
+
+@dataclass
+class TxnCommitRecord(LogRecord):
+    """A transaction committed (forces a group-commit flush)."""
+
+    txn_id: int
+    commit_time: int
+
+
+@dataclass
+class TxnAbortRecord(LogRecord):
+    """A transaction aborted (informational; tombstones carry the redo)."""
+
+    txn_id: int
+
+
+@dataclass
+class MergeNoteRecord(LogRecord):
+    """Operational log of a completed merge (idempotent, not replayed)."""
+
+    table: str
+    range_id: int
+    merged_upto: int
+    tps_rid: int
+
+
+@dataclass
+class CheckpointRecord(LogRecord):
+    """Marks a clean shutdown; recovery may start from the last one."""
+
+    clock: int

@@ -1,0 +1,240 @@
+"""Crash recovery: redo replay + indirection rebuild (Section 5.1.3).
+
+Recovery replays the redo log into a fresh database:
+
+1. **Analysis** — collect committed transactions (commit records) so
+   transaction markers in Start Time cells can be resolved; everything
+   without a commit record is treated as aborted ("for any uncommitted
+   transactions ... the tail record is marked as invalid").
+2. **Redo** — recreate tables, insert ranges and tail blocks with their
+   original RIDs, then re-apply every tail-record write physically (the
+   log carries the exact cells, including backpointers and Base RIDs).
+3. **Indirection** — either replay the Indirection redo records
+   (``option 1`` in the paper) or rebuild the column from the Base RID
+   column of the tails (``option 2``); both are implemented and
+   equivalent.
+4. **Derived state** — primary/secondary indexes, per-record
+   updated-bits, allocator watermarks and the clock are rebuilt by
+   scanning, never logged.
+
+Merges are *not* replayed: they are idempotent and simply re-run after
+recovery (the paper's operational logging).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.db import Database
+from ..core.rid import TailBlock
+from ..core.schema import (BASE_RID_COLUMN, INDIRECTION_COLUMN,
+                           SCHEMA_ENCODING_COLUMN, START_TIME_COLUMN)
+from ..core.table import InsertRange, Table, UpdateRange
+from ..core.types import (NULL_RID, is_tail_rid, is_txn_marker,
+                          txn_id_from_marker)
+from ..core.encoding import SchemaEncoding
+from ..errors import RecoveryError
+from .log import LogManager
+from .records import (CreateTableRecord, IndirectionRecord,
+                      InsertRangeRecord, InsertTombstoneRecord,
+                      RecordWriteRecord, TailBlockRecord, TombstoneRecord,
+                      TxnCommitRecord)
+
+
+def recover_database(log_path: str, *, config: Any = None,
+                     rebuild_indirection: bool = False) -> Database:
+    """Replay *log_path* into a new :class:`~repro.core.db.Database`.
+
+    With ``rebuild_indirection=True`` the Indirection redo records are
+    ignored and the column is reconstructed from the tails (the paper's
+    recovery option 2).
+    """
+    records = list(LogManager.read_records(log_path))
+
+    # -- Phase 1: analysis -------------------------------------------------
+    committed: dict[int, int] = {}
+    max_time = 0
+    for record in records:
+        if isinstance(record, TxnCommitRecord):
+            committed[record.txn_id] = record.commit_time
+            max_time = max(max_time, record.commit_time)
+
+    def resolve_cell(cell: Any) -> tuple[bool, Any]:
+        """Map a logged start cell to (keep, resolved value)."""
+        if not isinstance(cell, int) or not is_txn_marker(cell):
+            return True, cell
+        txn_id = txn_id_from_marker(cell)
+        commit_time = committed.get(txn_id)
+        if commit_time is None:
+            return False, cell  # uncommitted at crash: tombstone it
+        return True, commit_time  # stamp the commit time eagerly
+
+    # -- Phase 2: redo ----------------------------------------------------
+    database = Database(config) if config is not None else Database()
+    pending_tombstones: list[tuple[Table, tuple[str, int], int]] = []
+    for record in records:
+        if isinstance(record, CreateTableRecord):
+            if record.name not in database.tables:
+                table = database.create_table(
+                    record.name, record.num_columns, record.key_index,
+                    column_names=record.column_names or None)
+                table.wal = None  # do not re-log the replay itself
+        elif isinstance(record, InsertRangeRecord):
+            table = database.get_table(record.table)
+            _replay_insert_range(table, record)
+        elif isinstance(record, TailBlockRecord):
+            table = database.get_table(record.table)
+            _replay_tail_block(table, record)
+        elif isinstance(record, RecordWriteRecord):
+            table = database.get_table(record.table)
+            segment = _segment_for(table, record.segment)
+            cells = dict(record.cells)
+            start = cells.get(START_TIME_COLUMN)
+            keep, resolved = resolve_cell(start)
+            cells[START_TIME_COLUMN] = resolved if keep else 0
+            if isinstance(resolved, int):
+                max_time = max(max_time, resolved if keep else 0)
+            segment.write_record(record.offset, cells)
+            if not keep:
+                pending_tombstones.append(
+                    (table, record.segment, record.offset))
+        elif isinstance(record, IndirectionRecord):
+            if rebuild_indirection:
+                continue
+            table = database.get_table(record.table)
+            update_range, offset = table.locate(record.rid)
+            update_range.indirection.set(offset, record.tail_rid)
+        elif isinstance(record, TombstoneRecord):
+            table = database.get_table(record.table)
+            update_range, _ = table.locate(record.base_rid)
+            segment, tail_offset = update_range.locate_tail(record.tail_rid)
+            segment.mark_tombstone(tail_offset)
+        elif isinstance(record, InsertTombstoneRecord):
+            table = database.get_table(record.table)
+            update_range, offset = table.locate(record.rid)
+            update_range.insert_range.segment.mark_tombstone(
+                update_range.insert_offset(offset))
+    for table, segment_ref, offset in pending_tombstones:
+        _segment_for(table, segment_ref).mark_tombstone(offset)
+
+    # -- Phase 3 + 4: indirection and derived state -------------------------
+    for table in database.tables.values():
+        _rebuild_derived_state(table, rebuild_indirection)
+        table.clock.advance_to(max_time)
+    database.clock.advance_to(max_time)
+    # Re-enable logging for post-recovery work when the target database
+    # itself carries a WAL (the replay ran with logging suppressed).
+    if database._wal is not None:
+        from .log import attach_table_logging
+        for table in database.tables.values():
+            attach_table_logging(database._wal, table)
+    return database
+
+
+def _segment_for(table: Table, segment_ref: tuple[str, int]) -> Any:
+    kind, index = segment_ref
+    if kind == "insert":
+        try:
+            return table.insert_ranges[index].segment
+        except IndexError:
+            raise RecoveryError(
+                "log references insert range %d before its creation"
+                % index) from None
+    update_range = table.ranges.get(index)
+    if update_range is None or update_range.tail is None:
+        raise RecoveryError(
+            "log references tail segment of range %d before its block"
+            % index)
+    return update_range.tail
+
+
+def _replay_insert_range(table: Table, record: InsertRangeRecord) -> None:
+    """Recreate an insert range with its original RIDs."""
+    table.rid_allocator.advance_base_to(record.start_rid + record.size)
+    table.rid_allocator.advance_tail_below(
+        record.tail_block_start - record.size)
+    segment = table._new_tail_segment(
+        (record.start_rid - 1) // table.config.update_range_size,
+        segment_ref=("insert", len(table.insert_ranges)),
+        page_capacity=table.config.records_per_page)
+    segment.wal = None
+    segment.adopt_block(TailBlock(start_rid=record.tail_block_start,
+                                  size=record.size))
+    insert_range = InsertRange(record.start_rid, record.size, segment)
+    rid = record.start_rid
+    while rid < record.start_rid + record.size:
+        range_id = (rid - 1) // table.config.update_range_size
+        table.ranges[range_id] = UpdateRange(
+            range_id, rid, table.config.update_range_size, insert_range)
+        rid += table.config.update_range_size
+    table.insert_ranges.append(insert_range)
+
+
+def _replay_tail_block(table: Table, record: TailBlockRecord) -> None:
+    """Recreate one regular tail block with its original RIDs."""
+    table.rid_allocator.advance_tail_below(record.start_rid - record.size)
+    update_range = table.ranges.get(record.range_id)
+    if update_range is None:
+        raise RecoveryError(
+            "tail block for unknown range %d" % record.range_id)
+    tail = update_range.ensure_tail(
+        lambda: table._new_tail_segment(update_range.range_id))
+    tail.wal = None
+    tail.adopt_block(TailBlock(start_rid=record.start_rid,
+                               size=record.size))
+
+
+def _rebuild_derived_state(table: Table, rebuild_indirection: bool) -> None:
+    """Rebuild indexes, updated-bits, allocator cursors, indirections."""
+    num_columns = table.schema.num_columns
+    key_physical = table.schema.physical_index(table.schema.key_index)
+    for insert_range in table.insert_ranges:
+        segment = insert_range.segment
+        # Restore the allocation cursor: slots are handed out in order.
+        allocated = 0
+        for offset in range(insert_range.size):
+            if segment.record_written(offset):
+                allocated = offset + 1
+        insert_range._allocated = allocated
+        for offset in range(allocated):
+            if segment.is_tombstone(offset):
+                continue
+            key = segment.record_cell(offset, key_physical)
+            rid = insert_range.start_rid + offset
+            table.index.primary.replace(key, rid)
+            table.stat_inserts += 1
+    for update_range in table.sorted_ranges():
+        tail = update_range.tail
+        if tail is None:
+            continue
+        newest_per_record: dict[int, int] = {}
+        limit = tail.num_reserved_slots()
+        used = 0
+        for tail_offset in range(limit):
+            if not tail.record_written(tail_offset):
+                continue
+            used = tail_offset + 1
+            encoding = SchemaEncoding.from_int(
+                num_columns,
+                tail.record_cell(tail_offset, SCHEMA_ENCODING_COLUMN))
+            base_rid = tail.record_cell(tail_offset, BASE_RID_COLUMN)
+            offset = base_rid - update_range.start_rid
+            bits = encoding.to_int() & ((1 << num_columns) - 1)
+            update_range.updated_bits[offset] |= bits
+            if not encoding.is_snapshot:
+                newest_per_record[offset] = tail.rid_at(tail_offset)
+        _restore_block_cursors(tail, used)
+        if rebuild_indirection:
+            for offset, tail_rid in newest_per_record.items():
+                update_range.indirection.set(offset, tail_rid)
+
+
+def _restore_block_cursors(segment: Any, used_slots: int) -> None:
+    """Advance tail-block allocation cursors past the replayed records."""
+    remaining = used_slots
+    for _, block in segment._blocks:
+        take = min(block.size, remaining)
+        block._used = take
+        remaining -= take
+        if remaining <= 0:
+            break

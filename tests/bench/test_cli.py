@@ -1,0 +1,34 @@
+"""The python -m repro.bench experiment runner."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig7", "fig8", "fig9", "fig10",
+                     "table7", "table8", "table9"):
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_one_experiment(self, capsys):
+        assert main(["table8", "--scale", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 8" in out
+        assert "L-Store (Column)" in out
+        assert "L-Store (Row)" in out
+
+    def test_contention_flag(self, capsys):
+        assert main(["fig7", "--scale", "5000", "--duration", "0.05",
+                     "--contention", "high"]) == 0
+        assert "Figure 7(high)" in capsys.readouterr().out

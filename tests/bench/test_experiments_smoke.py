@@ -1,0 +1,64 @@
+"""Smoke-run every experiment driver at tiny scale (fast CI coverage).
+
+The real measurements live under ``benchmarks/``; these tests verify
+each driver produces a structurally complete result quickly, so a
+broken experiment fails in the unit suite and not only in a long
+benchmark run.
+"""
+
+import pytest
+
+from repro.bench.experiments import (fig7_scalability, fig8_merge_scan,
+                                     fig9_read_write_ratio,
+                                     fig10_mixed_workload,
+                                     table7_scan_performance,
+                                     table8_row_vs_column,
+                                     table9_point_queries)
+
+TINY = dict(scale=10_000)  # 1000-row table
+
+
+class TestDriversProduceCompleteResults:
+    def test_fig7(self):
+        result = fig7_scalability("high", thread_counts=(1, 2),
+                                  duration=0.05, **TINY)
+        assert len(result.rows) == 6  # 3 engines × 2 thread counts
+        assert set(result.column("threads")) == {1, 2}
+
+    def test_fig8(self):
+        result = fig8_merge_scan(batch_sizes=(64, 256),
+                                 update_thread_counts=(2,),
+                                 scan_repeats=1, **TINY)
+        assert len(result.rows) == 2
+        assert all(row[2] > 0 for row in result.rows)
+
+    def test_fig9(self):
+        result = fig9_read_write_ratio("low", read_percentages=(0, 100),
+                                       threads=2, duration=0.05, **TINY)
+        assert len(result.rows) == 6
+
+    def test_fig10(self):
+        result = fig10_mixed_workload("low", total_threads=3,
+                                      scan_thread_counts=(1,),
+                                      duration=0.05, **TINY)
+        assert len(result.rows) == 3
+        assert all(row[2] == 2 for row in result.rows)  # update threads
+
+    def test_table7(self):
+        result = table7_scan_performance(update_threads=2,
+                                         scan_repeats=1, **TINY)
+        assert len(result.rows) == 3
+
+    def test_table8(self):
+        result = table8_row_vs_column(scan_repeats=1, **TINY)
+        assert len(result.rows) == 4
+        assert {row[1] for row in result.rows} == {"with", "without"}
+
+    def test_table9(self):
+        result = table9_point_queries(column_fractions=(0.1, 1.0),
+                                      transactions=30, **TINY)
+        assert len(result.rows) == 4
+
+    def test_bad_contention(self):
+        with pytest.raises(ValueError):
+            fig7_scalability("extreme")

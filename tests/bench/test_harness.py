@@ -1,0 +1,78 @@
+"""Harness: transaction execution, timed runs, engine factory."""
+
+import pytest
+
+from repro.bench.experiments import make_engine
+from repro.bench.harness import (execute_transaction, load_engine,
+                                 measure_scan_seconds,
+                                 run_fixed_transactions, run_mixed_workload)
+from repro.bench.reporting import ExperimentResult
+from repro.bench.workload import WorkloadSpec
+
+
+@pytest.fixture
+def spec():
+    return WorkloadSpec(table_size=256, active_set=64)
+
+
+@pytest.fixture(params=["lstore", "iuh", "dbm", "lstore-row"])
+def engine(request, spec):
+    instance = make_engine(request.param, spec.num_columns)
+    load_engine(instance, spec)
+    yield instance
+    instance.close()
+
+
+class TestExecution:
+    def test_execute_transaction(self, engine, spec):
+        from repro.bench.workload import TransactionGenerator
+        generator = TransactionGenerator(spec, 0)
+        assert execute_transaction(engine, generator.next_transaction())
+
+    def test_run_fixed(self, engine, spec):
+        result = run_fixed_transactions(engine, spec, transactions=20,
+                                        threads=2)
+        assert result.committed + result.aborted == 20
+        assert result.duration > 0
+        assert result.txn_per_sec > 0
+
+    def test_scan_measurement(self, engine):
+        seconds = measure_scan_seconds(engine, repeats=2)
+        assert seconds > 0
+
+    def test_timed_mixed_run(self, engine, spec):
+        result = run_mixed_workload(engine, spec, update_threads=2,
+                                    scan_threads=1, duration=0.15)
+        assert result.committed > 0
+        assert result.scans > 0
+        assert result.scans_per_sec > 0
+        assert result.scan_latency > 0
+
+
+class TestReporting:
+    def test_format_table(self):
+        result = ExperimentResult("Fig X", "demo", ["a", "b"])
+        result.add_row("one", 1.5)
+        result.add_row("two", 2)
+        text = result.format()
+        assert "Fig X" in text and "one" in text and "1.5000" in text
+
+    def test_column_and_series(self):
+        result = ExperimentResult("T", "demo", ["engine", "value"])
+        result.add_row("x", 1)
+        result.add_row("y", 2)
+        result.add_row("x", 3)
+        assert result.column("value") == [1, 2, 3]
+        assert result.series("engine", "value", "x") == [1, 3]
+
+
+class TestEngineFactory:
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            make_engine("nope", 10)
+
+    def test_row_layout_engine(self):
+        from repro.core.types import Layout
+        engine = make_engine("lstore-row", 4)
+        assert engine.table.layout is Layout.ROW
+        engine.close()

@@ -1,0 +1,81 @@
+"""Micro-benchmark generators: contention levels, transaction shapes."""
+
+import pytest
+
+from repro.bench.workload import (TransactionGenerator, WorkloadSpec,
+                                  high_contention, initial_rows,
+                                  low_contention, medium_contention,
+                                  point_query_transaction)
+
+
+class TestSpecs:
+    def test_contention_ordering(self):
+        low = low_contention(1000)
+        medium = medium_contention(1000)
+        high = high_contention(1000)
+        assert low.active_set > medium.active_set > high.active_set
+        assert low.active_set == low.table_size  # paper: whole table
+
+    def test_paper_defaults(self):
+        spec = WorkloadSpec()
+        assert spec.num_columns == 10
+        assert spec.reads_per_txn == 8
+        assert spec.writes_per_txn == 2
+        # 40% of columns per write (4 of 10).
+        assert spec.columns_per_write == 4
+        assert spec.scan_fraction == pytest.approx(0.10)
+
+    def test_active_set_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(table_size=10, active_set=20)
+
+    def test_mix_override(self):
+        spec = WorkloadSpec().with_read_write_mix(5, 5)
+        assert spec.reads_per_txn == 5
+        assert spec.writes_per_txn == 5
+
+
+class TestGenerator:
+    def test_transaction_shape(self):
+        spec = WorkloadSpec(table_size=1000, active_set=100)
+        generator = TransactionGenerator(spec, thread_id=0)
+        operations = generator.next_transaction()
+        reads = [op for op in operations if op[0] == "r"]
+        writes = [op for op in operations if op[0] == "w"]
+        assert len(reads) == 8
+        assert len(writes) == 2
+        for op in reads:
+            assert 0 <= op[1] < 100
+            assert len(op[2]) == 4
+        for op in writes:
+            assert len(op[2]) == 4
+            assert 0 not in op[2]  # never the key column
+
+    def test_deterministic_per_thread(self):
+        spec = WorkloadSpec(table_size=1000, active_set=100)
+        a = TransactionGenerator(spec, 1).next_transaction()
+        b = TransactionGenerator(spec, 1).next_transaction()
+        c = TransactionGenerator(spec, 2).next_transaction()
+        assert a == b
+        assert a != c
+
+    def test_scan_column_never_key(self):
+        spec = WorkloadSpec(table_size=1000, active_set=100)
+        generator = TransactionGenerator(spec, 0)
+        assert all(1 <= generator.scan_column() < 10 for _ in range(50))
+
+    def test_initial_rows(self):
+        spec = WorkloadSpec(table_size=20, active_set=20)
+        rows = list(initial_rows(spec))
+        assert len(rows) == 20
+        assert all(len(row) == 10 for row in rows)
+        assert [row[0] for row in rows] == list(range(20))
+
+    def test_point_query_transaction(self):
+        import random
+        spec = WorkloadSpec(table_size=1000, active_set=100)
+        ops = point_query_transaction(random.Random(0), spec, 0.4)
+        assert len(ops) == 10
+        assert all(op[0] == "r" and len(op[2]) == 4 for op in ops)
+        full = point_query_transaction(random.Random(0), spec, 1.0)
+        assert all(len(op[2]) == 10 for op in full)

@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic engine configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.core.query import Query
+
+
+@pytest.fixture
+def config() -> EngineConfig:
+    """Small page/range geometry: exercises boundaries quickly."""
+    return EngineConfig(
+        records_per_page=8,
+        records_per_tail_page=8,
+        update_range_size=16,
+        merge_threshold=8,
+        insert_range_size=16,
+        background_merge=False,
+    )
+
+
+@pytest.fixture
+def db(config: EngineConfig):
+    """A database with the small test configuration."""
+    database = Database(config)
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def table(db: Database):
+    """A 5-column table: key + 4 payload columns."""
+    return db.create_table("test", num_columns=5, key_index=0)
+
+
+@pytest.fixture
+def query(table) -> Query:
+    """Auto-commit query handle over the test table."""
+    return Query(table)
+
+
+@pytest.fixture
+def loaded(db, table, query):
+    """Table pre-loaded with 40 rows: key k -> (k, k*10, k*100, k*3, 7)."""
+    for key in range(40):
+        query.insert(key, key * 10, key * 100, key * 3, 7)
+    return query

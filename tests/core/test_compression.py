@@ -1,0 +1,184 @@
+"""Compression: codecs, dictionary pages, historic tail compression."""
+
+import pytest
+
+from repro.core.compression import (CompressedTailPart, DictionaryPage,
+                                    compress_historic_tails, delta_decode,
+                                    delta_encode, maybe_compress_page)
+from repro.core.page import Page
+from repro.core.types import NULL, PageKind, is_null
+from repro.core.version import visible_as_of
+
+
+class TestDeltaCodec:
+    def test_round_trip(self):
+        values = [10, 12, 12, 40, 7]
+        first, deltas = delta_encode(values)
+        assert delta_decode(first, deltas) == values
+
+    def test_empty(self):
+        assert delta_encode([]) == (0, [])
+        assert delta_decode(0, []) == [0]
+
+    def test_single(self):
+        assert delta_decode(*delta_encode([5])) == [5]
+
+    def test_monotone_compresses_small(self):
+        first, deltas = delta_encode(list(range(100, 200)))
+        assert all(delta == 1 for delta in deltas)
+
+
+class TestDictionaryPage:
+    def _page(self, values):
+        page = Page(1, PageKind.MERGED, len(values))
+        page.fill(values)
+        return page
+
+    def test_round_trip_values(self):
+        raw = [5, 5, 7, 5, 7, 7, 5, 5] * 4
+        compressed = maybe_compress_page(self._page(raw))
+        assert isinstance(compressed, DictionaryPage)
+        assert [compressed.read_slot(i) for i in range(len(raw))] == raw
+        assert list(compressed.iter_values()) == raw
+
+    def test_distinct_count(self):
+        raw = [1, 2, 1, 2] * 8
+        compressed = maybe_compress_page(self._page(raw))
+        assert isinstance(compressed, DictionaryPage)
+        assert compressed.distinct_values == 2
+
+    def test_numpy_view_and_fast_sum(self):
+        raw = [3, 3, 9, 3] * 8
+        compressed = maybe_compress_page(self._page(raw))
+        array = compressed.as_numpy()
+        assert array is not None and int(array.sum()) == sum(raw)
+        assert compressed.fast_sum() == sum(raw)
+
+    def test_null_values_supported(self):
+        raw = [NULL, 1, NULL, 1] * 8
+        compressed = maybe_compress_page(self._page(raw))
+        assert isinstance(compressed, DictionaryPage)
+        assert is_null(compressed.read_slot(0))
+        assert compressed.as_numpy() is None
+        assert compressed.fast_sum() is None
+
+    def test_high_cardinality_kept_raw(self):
+        raw = list(range(32))
+        page = self._page(raw)
+        assert maybe_compress_page(page) is page
+
+    def test_tiny_page_kept_raw(self):
+        page = self._page([1, 1, 1])
+        assert maybe_compress_page(page) is page
+
+    def test_lineage_preserved(self):
+        page = self._page([1, 1] * 8)
+        page.set_lineage(42, 3)
+        compressed = maybe_compress_page(page)
+        assert compressed.tps_rid == 42
+        assert compressed.merge_count == 3
+
+    def test_page_interface(self):
+        raw = [2, 2, 4, 4] * 4
+        compressed = maybe_compress_page(self._page(raw))
+        assert compressed.frozen
+        assert compressed.num_records == len(raw)
+        assert not compressed.has_capacity
+        assert compressed.is_written(0)
+        assert not compressed.is_written(len(raw))
+
+
+def _prepare_merged_history(db, table, config):
+    """Fill a range, update some records, merge, return the rids."""
+    rids = [table.insert([key, key * 10, 0, 0, 0])
+            for key in range(config.update_range_size)]
+    db.run_merges()
+    for rid in rids[:4]:
+        table.update(rid, {1: 111})
+        table.update(rid, {1: 222})
+    from repro.core.merge import merge_update_range
+    update_range, _ = table.locate(rids[0])
+    merge_update_range(table, update_range)
+    return rids, update_range
+
+
+class TestHistoricCompression:
+    def test_compresses_whole_pages_below_watermark(self, db, table,
+                                                    config):
+        rids, update_range = _prepare_merged_history(db, table, config)
+        compressed = compress_historic_tails(table, update_range)
+        tail = update_range.tail
+        assert compressed > 0
+        assert compressed % tail.page_capacity == 0
+        assert tail.compressed_upto == compressed
+
+    def test_chain_reads_cross_compression_boundary(self, db, table,
+                                                    config):
+        rids, update_range = _prepare_merged_history(db, table, config)
+        t_all = table.clock.now()
+        compress_historic_tails(table, update_range)
+        db.epoch_manager.reclaim()
+        # Latest and historic reads still work through the parts.
+        assert table.read_latest(rids[0])[1] == 222
+        assert table.read_relative_version(rids[0], (1,), -1) == {1: 111}
+        assert table.read_relative_version(rids[0], (1,), -2) == {1: 0}
+
+    def test_groups_ordered_by_base_rid(self, db, table, config):
+        rids, update_range = _prepare_merged_history(db, table, config)
+        compress_historic_tails(table, update_range)
+        parts = update_range.tail.compressed_parts
+        assert parts
+        base_rids = [group.base_rid for group in parts[0].groups()]
+        assert base_rids == sorted(base_rids)
+
+    def test_versions_inlined_per_group(self, db, table, config):
+        rids, update_range = _prepare_merged_history(db, table, config)
+        compress_historic_tails(table, update_range)
+        part = update_range.tail.compressed_parts[0]
+        group = part.groups()[0]
+        times = group.start_times()
+        assert times == sorted(times)  # temporally ordered inline
+
+    def test_active_snapshot_blocks_compression(self, db, table, config):
+        rids, update_range = _prepare_merged_history(db, table, config)
+        handle = db.epoch_manager.enter_query(begin_time=1)
+        try:
+            assert compress_historic_tails(table, update_range) == 0
+        finally:
+            db.epoch_manager.exit_query(handle)
+
+    def test_tombstones_reclaimed(self, db, table, config):
+        rids = [table.insert([key, 0, 0, 0, 0])
+                for key in range(config.update_range_size)]
+        db.run_merges()
+        txn = db.begin_transaction()
+        from repro.txn.occ import occ_write
+        occ_write(txn.ctx, table, rids[0], {1: 5})
+        txn.abort()
+        # Fill the rest of the tail page with committed updates.
+        update_range, _ = table.locate(rids[0])
+        while update_range.tail.num_allocated() \
+                % update_range.tail.page_capacity != 0:
+            table.update(rids[1], {1: 7})
+        from repro.core.merge import merge_update_range
+        merge_update_range(table, update_range)
+        compressed = compress_historic_tails(table, update_range)
+        assert compressed > 0
+        part = update_range.tail.compressed_parts[0]
+        assert part.reclaimed_tombstones >= 1
+        # Reads still skip the reclaimed tombstone.
+        assert table.read_latest(rids[0])[1] == 0
+
+    def test_old_pages_retired(self, db, table, config):
+        rids, update_range = _prepare_merged_history(db, table, config)
+        tail = update_range.tail
+        boundary = (update_range.merged_upto // tail.page_capacity) \
+            * tail.page_capacity
+        pages = tail.pages_for_slots(0, boundary)
+        compress_historic_tails(table, update_range)
+        db.epoch_manager.reclaim()
+        assert pages and all(page.deallocated for page in pages)
+
+    def test_database_compress_history(self, db, table, config):
+        _prepare_merged_history(db, table, config)
+        assert db.compress_history() > 0

@@ -1,0 +1,74 @@
+"""EngineConfig validation and derived quantities."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG, TEST_CONFIG, EngineConfig
+from repro.core.types import Layout
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = EngineConfig()
+        assert config.pages_per_range >= 1
+
+    def test_range_must_be_page_multiple(self):
+        with pytest.raises(ValueError):
+            EngineConfig(records_per_page=512, update_range_size=1000)
+
+    def test_insert_range_must_be_page_multiple(self):
+        with pytest.raises(ValueError):
+            EngineConfig(records_per_page=512, update_range_size=512,
+                         insert_range_size=700)
+
+    def test_positive_page_size(self):
+        with pytest.raises(ValueError):
+            EngineConfig(records_per_page=0)
+
+    def test_positive_tail_page_size(self):
+        with pytest.raises(ValueError):
+            EngineConfig(records_per_tail_page=-1)
+
+    def test_positive_merge_threshold(self):
+        with pytest.raises(ValueError):
+            EngineConfig(merge_threshold=0)
+
+    def test_positive_merge_granularity(self):
+        with pytest.raises(ValueError):
+            EngineConfig(merge_ranges_per_merge=0)
+
+
+class TestDerived:
+    def test_pages_per_range(self):
+        config = EngineConfig(records_per_page=8, update_range_size=32,
+                              insert_range_size=32)
+        assert config.pages_per_range == 4
+
+    def test_with_overrides_returns_new(self):
+        config = EngineConfig()
+        derived = config.with_overrides(merge_threshold=7)
+        assert derived.merge_threshold == 7
+        assert config.merge_threshold != 7 or True
+        assert derived is not config
+
+    def test_with_overrides_revalidates(self):
+        config = EngineConfig(records_per_page=8, update_range_size=16,
+                              insert_range_size=16)
+        with pytest.raises(ValueError):
+            config.with_overrides(update_range_size=12)
+
+    def test_frozen(self):
+        config = EngineConfig()
+        with pytest.raises(Exception):
+            config.merge_threshold = 1  # type: ignore[misc]
+
+
+class TestPresets:
+    def test_paper_config_matches_paper_geometry(self):
+        # 32 KB pages of 8-byte values = 4096 slots (Section 6.1).
+        assert PAPER_CONFIG.records_per_page == 4096
+        assert 2 ** 12 <= PAPER_CONFIG.update_range_size <= 2 ** 16
+        assert PAPER_CONFIG.background_merge
+
+    def test_test_config_small(self):
+        assert TEST_CONFIG.records_per_page <= 16
+        assert TEST_CONFIG.layout is Layout.COLUMNAR

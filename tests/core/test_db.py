@@ -1,0 +1,114 @@
+"""Database wiring: tables, transactions, maintenance entry points."""
+
+import pytest
+
+from repro import Database, EngineConfig, IsolationLevel
+from repro.errors import LStoreError, SchemaMismatchError
+
+
+class TestTables:
+    def test_create_get(self, db):
+        table = db.create_table("a", num_columns=2)
+        assert db.get_table("a") is table
+        assert db.query("a").table is table
+
+    def test_duplicate_name(self, db):
+        db.create_table("a", num_columns=2)
+        with pytest.raises(SchemaMismatchError):
+            db.create_table("a", num_columns=2)
+
+    def test_unknown_table(self, db):
+        with pytest.raises(LStoreError):
+            db.get_table("nope")
+
+    def test_drop(self, db):
+        db.create_table("a", num_columns=2)
+        db.drop_table("a")
+        with pytest.raises(LStoreError):
+            db.get_table("a")
+
+    def test_shared_clock(self, db):
+        a = db.create_table("a", num_columns=2)
+        b = db.create_table("b", num_columns=2)
+        assert a.clock is b.clock is db.clock
+
+    def test_per_table_config_override(self, db, config):
+        custom = config.with_overrides(merge_threshold=3)
+        table = db.create_table("a", num_columns=2, config=custom)
+        assert table.config.merge_threshold == 3
+
+    def test_named_columns(self, db):
+        table = db.create_table("a", num_columns=2,
+                                column_names=("id", "value"))
+        assert table.schema.column_index("value") == 1
+
+
+class TestTransactions:
+    def test_cross_table_transaction(self, db):
+        a = db.create_table("a", num_columns=2)
+        b = db.create_table("b", num_columns=2)
+        txn = db.begin_transaction()
+        txn.insert(a, [1, 10])
+        txn.insert(b, [1, 20])
+        assert txn.commit()
+        assert db.query("a").select(1, 0, None)[0][1] == 10
+        assert db.query("b").select(1, 0, None)[0][1] == 20
+
+    def test_cross_table_abort(self, db):
+        a = db.create_table("a", num_columns=2)
+        b = db.create_table("b", num_columns=2)
+        txn = db.begin_transaction()
+        txn.insert(a, [1, 10])
+        txn.insert(b, [1, 20])
+        txn.abort()
+        assert db.query("a").select(1, 0, None) == []
+        assert db.query("b").select(1, 0, None) == []
+
+    def test_isolation_parameter(self, db):
+        db.create_table("a", num_columns=2)
+        txn = db.begin_transaction(isolation=IsolationLevel.SNAPSHOT)
+        assert txn.ctx.isolation is IsolationLevel.SNAPSHOT
+        txn.abort()
+
+
+class TestMaintenance:
+    def test_run_merges(self, db, config):
+        table = db.create_table("a", num_columns=2)
+        for key in range(config.insert_range_size):
+            table.insert([key, 0])
+        assert db.run_merges() > 0
+
+    def test_vacuum_indexes(self, db):
+        table = db.create_table("a", num_columns=2)
+        table.index.create_secondary(1)
+        table.insert([1, 10])
+        table.update(1, {1: 11})
+        assert db.vacuum_indexes() == 1
+
+    def test_close_idempotent(self, config):
+        db = Database(config)
+        db.close()
+        db.close()
+
+    def test_context_manager(self, config):
+        with Database(config) as db:
+            db.create_table("a", num_columns=2)
+
+    def test_background_merge_config(self):
+        config = EngineConfig(background_merge=True,
+                              records_per_page=8,
+                              records_per_tail_page=8,
+                              update_range_size=16,
+                              merge_threshold=8, insert_range_size=16)
+        db = Database(config)
+        try:
+            table = db.create_table("a", num_columns=2)
+            import time
+            for key in range(config.insert_range_size):
+                table.insert([key, 1])
+            deadline = time.time() + 5.0
+            while not table.ranges[0].merged and time.time() < deadline:
+                time.sleep(0.01)
+            assert table.ranges[0].merged
+        finally:
+            db.close()

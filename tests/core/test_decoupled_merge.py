@@ -1,0 +1,107 @@
+"""Decoupled per-column merges: Lemma 3 detection, Theorem 2 repair."""
+
+import pytest
+
+from repro.core.merge import merge_columns, merge_update_range
+from repro.core.table import DELETED
+from repro.errors import InconsistentReadError
+
+
+@pytest.fixture
+def merged(db, table, config):
+    """A merged range with updates on columns 1 and 3."""
+    rids = [table.insert([key, key, 0, key * 2, 0])
+            for key in range(config.update_range_size)]
+    db.run_merges()
+    for rid in rids[:6]:
+        table.update(rid, {1: 100, 3: 200})
+    return rids, table.ranges[0]
+
+
+class TestMergeColumns:
+    def test_merges_only_requested_columns(self, db, table, merged):
+        rids, update_range = merged
+        result = merge_columns(table, update_range, [1])
+        assert result.performed
+        physical1 = table.schema.physical_index(1)
+        physical3 = table.schema.physical_index(3)
+        chain1 = table.page_directory.base_chain(update_range.range_id,
+                                                 physical1)
+        chain3 = table.page_directory.base_chain(update_range.range_id,
+                                                 physical3)
+        # Column 1's pages advanced; column 3's pages did not.
+        assert chain1[0].tps_rid != chain3[0].tps_rid
+        assert chain1[0].read_slot(0) == 100   # applied
+        assert chain3[0].read_slot(0) == 0     # untouched
+
+    def test_range_watermark_not_advanced(self, db, table, merged):
+        rids, update_range = merged
+        before = (update_range.merged_upto, update_range.tps_rid)
+        merge_columns(table, update_range, [1])
+        assert (update_range.merged_upto, update_range.tps_rid) == before
+
+    def test_lemma3_mismatch_detected(self, db, table, merged):
+        rids, update_range = merged
+        merge_columns(table, update_range, [1])
+        offset = 0
+        with pytest.raises(InconsistentReadError):
+            table._read_merged_current(
+                update_range, offset, (1, 3),
+                lambda resolved: resolved.committed)
+
+    def test_theorem2_reads_repaired(self, db, table, merged):
+        # The public read path must silently repair the inconsistency.
+        rids, update_range = merged
+        merge_columns(table, update_range, [1])
+        for rid in rids[:6]:
+            assert table.read_latest(rid, (1, 3)) == {1: 100, 3: 200}
+        for rid in rids[6:10]:
+            values = table.read_latest(rid, (1, 3))
+            key = rid - update_range.start_rid
+            assert values == {1: key, 3: key * 2}
+
+    def test_scans_stay_exact(self, db, table, merged):
+        rids, update_range = merged
+        expected_1 = 6 * 100 + sum(range(6, len(rids)))
+        expected_3 = 6 * 200 + sum(key * 2 for key in range(6, len(rids)))
+        merge_columns(table, update_range, [1])
+        assert table.scan_sum(1) == expected_1
+        assert table.scan_sum(3) == expected_3
+
+    def test_full_merge_converges_lineage(self, db, table, merged):
+        rids, update_range = merged
+        merge_columns(table, update_range, [1])
+        result = merge_update_range(table, update_range)
+        assert result.performed
+        physical1 = table.schema.physical_index(1)
+        physical3 = table.schema.physical_index(3)
+        chain1 = table.page_directory.base_chain(update_range.range_id,
+                                                 physical1)
+        chain3 = table.page_directory.base_chain(update_range.range_id,
+                                                 physical3)
+        assert chain1[0].tps_rid == chain3[0].tps_rid \
+            == update_range.tps_rid
+        # Idempotent re-application: values unchanged.
+        assert table.read_latest(rids[0], (1, 3)) == {1: 100, 3: 200}
+
+    def test_deletes_respected(self, db, table, merged):
+        rids, update_range = merged
+        table.delete(rids[10])
+        merge_columns(table, update_range, [1])
+        assert table.read_latest(rids[10]) is DELETED
+        from repro.core.types import is_null
+        physical1 = table.schema.physical_index(1)
+        chain1 = table.page_directory.base_chain(update_range.range_id,
+                                                 physical1)
+        assert is_null(chain1[10 // table.config.records_per_page]
+                       .read_slot(10 % table.config.records_per_page))
+
+    def test_unmerged_range_retries(self, db, table, config):
+        table.insert([0, 0, 0, 0, 0])
+        assert merge_columns(table, table.ranges[0], [1]).retry
+
+    def test_nothing_to_merge(self, db, table, config):
+        rids = [table.insert([key, 0, 0, 0, 0])
+                for key in range(config.update_range_size)]
+        db.run_merges()
+        assert not merge_columns(table, table.ranges[0], [1]).performed

@@ -1,0 +1,103 @@
+"""Schema Encoding bitmaps: the paper's "0101" / "0001*" notation."""
+
+import pytest
+
+from repro.core.encoding import SchemaEncoding
+
+
+class TestConstruction:
+    def test_empty(self):
+        encoding = SchemaEncoding.empty(4)
+        assert str(encoding) == "0000"
+        assert not encoding.any_updated
+
+    def test_from_columns(self):
+        # Table 2 of the paper: updating columns A and C of (A, B, C)
+        # preceded by the key gives "0101" over (key, A, B, C).
+        encoding = SchemaEncoding.from_columns(4, [1, 3])
+        assert str(encoding) == "0101"
+
+    def test_from_string(self):
+        encoding = SchemaEncoding.from_string("0101")
+        assert encoding.num_columns == 4
+        assert list(encoding.updated_columns()) == [1, 3]
+
+    def test_snapshot_flag_string(self):
+        encoding = SchemaEncoding.from_string("0001*")
+        assert encoding.is_snapshot
+        assert str(encoding) == "0001*"
+
+    def test_invalid_string(self):
+        with pytest.raises(ValueError):
+            SchemaEncoding.from_string("01x1")
+
+    def test_out_of_range_column(self):
+        with pytest.raises(ValueError):
+            SchemaEncoding.from_columns(3, [3])
+
+    def test_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            SchemaEncoding(2, 4)
+
+
+class TestPackedForm:
+    def test_round_trip(self):
+        for text in ("0000", "1010", "0001*", "1111*", "0100"):
+            encoding = SchemaEncoding.from_string(text)
+            packed = encoding.to_int()
+            assert SchemaEncoding.from_int(encoding.num_columns,
+                                           packed) == encoding
+
+    def test_snapshot_bit_is_msb_plus_one(self):
+        encoding = SchemaEncoding.from_string("1111*")
+        assert encoding.to_int() == 0b11111
+
+    def test_zero_columns(self):
+        encoding = SchemaEncoding.empty(0)
+        assert str(encoding) == ""
+        assert encoding.to_int() == 0
+
+
+class TestQueries:
+    def test_is_updated(self):
+        encoding = SchemaEncoding.from_string("0101")
+        assert not encoding.is_updated(0)
+        assert encoding.is_updated(1)
+        assert not encoding.is_updated(2)
+        assert encoding.is_updated(3)
+
+    def test_is_updated_bounds(self):
+        encoding = SchemaEncoding.from_string("01")
+        with pytest.raises(ValueError):
+            encoding.is_updated(2)
+
+
+class TestAlgebra:
+    def test_with_column(self):
+        encoding = SchemaEncoding.from_string("0100")
+        assert str(encoding.with_column(3)) == "0101"
+
+    def test_union(self):
+        a = SchemaEncoding.from_string("0100")
+        b = SchemaEncoding.from_string("0001")
+        assert str(a.union(b)) == "0101"
+
+    def test_union_drops_snapshot(self):
+        a = SchemaEncoding.from_string("0100*")
+        assert not a.union(SchemaEncoding.empty(4)).is_snapshot
+
+    def test_union_size_mismatch(self):
+        with pytest.raises(ValueError):
+            SchemaEncoding.empty(3).union(SchemaEncoding.empty(4))
+
+    def test_as_snapshot_round_trip(self):
+        encoding = SchemaEncoding.from_string("0011")
+        assert encoding.as_snapshot().is_snapshot
+        assert not encoding.as_snapshot().without_snapshot().is_snapshot
+
+    def test_equality_and_hash(self):
+        a = SchemaEncoding.from_string("0101")
+        b = SchemaEncoding.from_string("0101")
+        c = SchemaEncoding.from_string("0101*")
+        assert a == b and hash(a) == hash(b)
+        assert a != c

@@ -1,0 +1,106 @@
+"""Epoch-based de-allocation: pages survive until pre-merge readers drain."""
+
+from repro.core.epoch import EpochManager
+from repro.core.page import Page
+from repro.core.types import PageKind
+
+
+def _pages(*ids: int) -> list[Page]:
+    return [Page(page_id, PageKind.BASE, 4) for page_id in ids]
+
+
+class TestQueryRegistry:
+    def test_enter_exit(self):
+        epoch = EpochManager()
+        handle = epoch.enter_query(begin_time=10)
+        assert epoch.active_queries == 1
+        assert epoch.oldest_active_begin() == 10
+        epoch.exit_query(handle)
+        assert epoch.active_queries == 0
+        assert epoch.oldest_active_begin() is None
+
+    def test_oldest_of_several(self):
+        epoch = EpochManager()
+        epoch.enter_query(30)
+        epoch.enter_query(10)
+        epoch.enter_query(20)
+        assert epoch.oldest_active_begin() == 10
+
+    def test_exit_idempotent(self):
+        epoch = EpochManager()
+        handle = epoch.enter_query(1)
+        epoch.exit_query(handle)
+        epoch.exit_query(handle)
+
+
+class TestRetireReclaim:
+    def test_immediate_reclaim_with_no_queries(self):
+        epoch = EpochManager()
+        pages = _pages(1, 2)
+        epoch.retire(pages, retired_at=5)
+        assert all(page.deallocated for page in pages)
+        assert epoch.reclaimed_pages == 2
+        assert epoch.pending_pages == 0
+
+    def test_active_old_query_blocks_reclaim(self):
+        epoch = EpochManager()
+        handle = epoch.enter_query(begin_time=3)
+        pages = _pages(1)
+        epoch.retire(pages, retired_at=5)
+        # The query began before the merge retired the pages: it may
+        # still hold references, so the pages must survive.
+        assert not pages[0].deallocated
+        assert epoch.pending_pages == 1
+        epoch.exit_query(handle)
+        assert pages[0].deallocated
+
+    def test_young_query_does_not_block(self):
+        epoch = EpochManager()
+        epoch.enter_query(begin_time=10)
+        pages = _pages(1)
+        # Retired before the only active query began: that query can
+        # only have seen the new chain.
+        epoch.retire(pages, retired_at=5)
+        assert pages[0].deallocated
+
+    def test_on_reclaim_callback(self):
+        epoch = EpochManager()
+        reclaimed = []
+        pages = _pages(7)
+        epoch.retire(pages, retired_at=1,
+                     on_reclaim=lambda page: reclaimed.append(page.page_id))
+        assert reclaimed == [7]
+
+    def test_retire_empty_is_noop(self):
+        epoch = EpochManager()
+        epoch.retire([], retired_at=1)
+        assert epoch.pending_pages == 0
+
+    def test_multiple_batches_ordered_reclaim(self):
+        epoch = EpochManager()
+        old_query = epoch.enter_query(begin_time=4)
+        first = _pages(1)
+        second = _pages(2)
+        epoch.retire(first, retired_at=3)   # before the query began
+        epoch.retire(second, retired_at=6)  # after the query began
+        assert first[0].deallocated
+        assert not second[0].deallocated
+        epoch.exit_query(old_query)
+        assert second[0].deallocated
+
+    def test_boundary_equal_times_not_reclaimed(self):
+        # A query that began exactly at the retirement time may have
+        # raced the pointer swap: keep the pages.
+        epoch = EpochManager()
+        epoch.enter_query(begin_time=5)
+        pages = _pages(1)
+        epoch.retire(pages, retired_at=5)
+        assert not pages[0].deallocated
+
+    def test_reclaim_returns_count(self):
+        epoch = EpochManager()
+        handle = epoch.enter_query(1)
+        epoch.retire(_pages(1, 2, 3), retired_at=2)
+        assert epoch.reclaim() == 0
+        epoch.exit_query(handle)
+        assert epoch.pending_pages == 0

@@ -1,0 +1,131 @@
+"""Indexes: primary uniqueness, secondary deferred removal, vacuum."""
+
+import pytest
+
+from repro.core.index import IndexManager, PrimaryIndex, SecondaryIndex
+from repro.core.schema import TableSchema
+from repro.errors import DuplicateKeyError
+
+
+class TestPrimaryIndex:
+    def test_insert_get(self):
+        index = PrimaryIndex()
+        index.insert(5, 100)
+        assert index.get(5) == 100
+        assert 5 in index
+        assert len(index) == 1
+
+    def test_duplicate(self):
+        index = PrimaryIndex()
+        index.insert(5, 100)
+        with pytest.raises(DuplicateKeyError):
+            index.insert(5, 101)
+
+    def test_replace(self):
+        index = PrimaryIndex()
+        index.insert(5, 100)
+        index.replace(5, 200)
+        assert index.get(5) == 200
+
+    def test_remove(self):
+        index = PrimaryIndex()
+        index.insert(5, 100)
+        index.remove(5)
+        assert index.get(5) is None
+        index.remove(5)  # idempotent
+
+    def test_items_snapshot(self):
+        index = PrimaryIndex()
+        index.insert(1, 10)
+        index.insert(2, 20)
+        assert sorted(index.items()) == [(1, 10), (2, 20)]
+
+
+class TestSecondaryIndex:
+    def test_lookup_candidates(self):
+        index = SecondaryIndex(column=2)
+        index.insert("x", 1)
+        index.insert("x", 2)
+        index.insert("y", 3)
+        assert index.lookup("x") == frozenset({1, 2})
+        assert index.lookup("z") == frozenset()
+
+    def test_stale_entries_kept_until_vacuum(self):
+        # Footnote 3: removal of superseded values is deferred so
+        # snapshot queries can keep using the index.
+        index = SecondaryIndex(column=1)
+        index.insert("old", 1)
+        index.insert("new", 1)
+        index.mark_stale("old", 1, superseded_at=100)
+        assert index.lookup("old") == frozenset({1})
+        assert index.stale_entries == 1
+
+    def test_vacuum_respects_active_snapshots(self):
+        index = SecondaryIndex(column=1)
+        index.insert("old", 1)
+        index.mark_stale("old", 1, superseded_at=100)
+        # A query from before the supersession is still active.
+        assert index.vacuum(oldest_active_begin=50) == 0
+        assert index.lookup("old") == frozenset({1})
+        # Once every active query began after the supersession, drop it.
+        assert index.vacuum(oldest_active_begin=150) == 1
+        assert index.lookup("old") == frozenset()
+
+    def test_vacuum_with_no_queries(self):
+        index = SecondaryIndex(column=1)
+        index.insert("old", 1)
+        index.mark_stale("old", 1, superseded_at=100)
+        assert index.vacuum(None) == 1
+
+    def test_range_lookup(self):
+        index = SecondaryIndex(column=1)
+        for value in (1, 5, 9):
+            index.insert(value, value * 10)
+        assert index.lookup_range(2, 9) == frozenset({50, 90})
+
+    def test_len_counts_entries(self):
+        index = SecondaryIndex(column=1)
+        index.insert("a", 1)
+        index.insert("a", 2)
+        index.insert("b", 3)
+        assert len(index) == 3
+
+
+class TestIndexManager:
+    def _manager(self) -> IndexManager:
+        return IndexManager(TableSchema("t", num_columns=3, key_index=0))
+
+    def test_create_secondary(self):
+        manager = self._manager()
+        index = manager.create_secondary(1)
+        assert manager.secondary(1) is index
+        assert manager.create_secondary(1) is index  # idempotent
+
+    def test_key_column_rejected(self):
+        manager = self._manager()
+        with pytest.raises(ValueError):
+            manager.create_secondary(0)
+
+    def test_on_insert_populates_all(self):
+        manager = self._manager()
+        manager.create_secondary(1)
+        manager.create_secondary(2)
+        manager.on_insert(7, [0, "a", "b"])
+        assert manager.secondary(1).lookup("a") == frozenset({7})
+        assert manager.secondary(2).lookup("b") == frozenset({7})
+
+    def test_on_update_adds_new_marks_old(self):
+        manager = self._manager()
+        manager.create_secondary(1)
+        manager.on_insert(7, [0, "a", "b"])
+        manager.on_update(7, 1, "a", "a2", superseded_at=10)
+        assert manager.secondary(1).lookup("a2") == frozenset({7})
+        assert manager.secondary(1).lookup("a") == frozenset({7})
+        assert manager.vacuum(None) == 1
+        assert manager.secondary(1).lookup("a") == frozenset()
+
+    def test_drop_secondary(self):
+        manager = self._manager()
+        manager.create_secondary(1)
+        manager.drop_secondary(1)
+        assert manager.secondary(1) is None

@@ -1,0 +1,273 @@
+"""The contention-free merge (Section 4.1, Algorithm 1)."""
+
+import pytest
+
+from repro.core.merge import (MergeEngine, merge_insert_range,
+                              merge_update_range)
+from repro.core.schema import LAST_UPDATED_COLUMN, START_TIME_COLUMN
+from repro.core.table import DELETED, tps_applied
+from repro.core.types import NULL_RID, make_txn_marker
+from repro.core.version import visible_as_of
+
+
+def _fill_range(table, config, payload=0):
+    """Insert one full update range; return the rids."""
+    return [table.insert([key, key * 10, payload, 0, 0])
+            for key in range(config.update_range_size)]
+
+
+class TestTpsApplied:
+    def test_null_watermark_covers_nothing(self):
+        assert not tps_applied(NULL_RID, 12345)
+
+    def test_reversed_ordering(self):
+        # Tail RIDs descend: a watermark covers all larger (older) RIDs.
+        assert tps_applied(100, 150)
+        assert tps_applied(100, 100)
+        assert not tps_applied(100, 99)
+
+
+class TestInsertMerge:
+    def test_materializes_base_pages(self, db, table, config):
+        rids = _fill_range(table, config)
+        update_range, _ = table.locate(rids[0])
+        assert not update_range.merged
+        db.run_merges()
+        assert update_range.merged
+        assert table.read_latest(rids[3])[1] == 30
+
+    def test_partial_range_not_merged(self, db, table, config):
+        table.insert([0, 0, 0, 0, 0])
+        db.run_merges()
+        update_range, _ = table.locate(table.index.primary.get(0))
+        assert not update_range.merged
+
+    def test_retry_when_uncommitted(self, db, table, config):
+        for key in range(config.update_range_size - 1):
+            table.insert([key, 0, 0, 0, 0])
+        # The last insert carries an unresolved transaction marker.
+        txn = db.begin_transaction()
+        from repro.txn.occ import occ_insert
+        occ_insert(txn.ctx, table, [999, 0, 0, 0, 0])
+        update_range = table.ranges[0]
+        result = merge_insert_range(table, update_range)
+        assert result.retry and not result.performed
+        txn.commit()
+        result = merge_insert_range(table, update_range)
+        assert result.performed
+        assert update_range.merged
+
+    def test_start_times_resolved_to_commit_times(self, db, table, config):
+        txn = db.begin_transaction()
+        from repro.txn.occ import occ_insert
+        for key in range(config.update_range_size):
+            occ_insert(txn.ctx, table, [key, 0, 0, 0, 0])
+        txn.commit()
+        db.run_merges()
+        update_range = table.ranges[0]
+        assert update_range.merged
+        start = table._read_base_cell(update_range, 0, START_TIME_COLUMN)
+        assert start == txn.commit_time
+
+    def test_aborted_insert_becomes_hole(self, db, table, config):
+        txn = db.begin_transaction()
+        from repro.txn.occ import occ_insert
+        occ_insert(txn.ctx, table, [0, 5, 0, 0, 0])
+        txn.abort()
+        for key in range(1, config.update_range_size):
+            table.insert([key, 5, 0, 0, 0])
+        db.run_merges()
+        update_range = table.ranges[0]
+        assert update_range.merged
+        assert 0 in update_range.base_tombstones
+        assert table.scan_sum(1) == 5 * (config.update_range_size - 1)
+
+    def test_table_level_tails_retired(self, db, table, config):
+        rids = _fill_range(table, config)
+        update_range, _ = table.locate(rids[0])
+        segment_pages = update_range.insert_range.segment.pages_for_slots(
+            0, config.update_range_size)
+        db.run_merges()
+        # No active queries: the pages must be reclaimed immediately.
+        assert all(page.deallocated for page in segment_pages)
+
+
+class TestRegularMerge:
+    def test_consolidates_latest_values(self, db, table, config):
+        rids = _fill_range(table, config)
+        db.run_merges()
+        for rid in rids[:4]:
+            table.update(rid, {1: 777})
+        update_range, _ = table.locate(rids[0])
+        result = merge_update_range(table, update_range)
+        assert result.performed
+        # Base pages now hold the updated values directly.
+        assert table._read_base_cell(
+            update_range, 0, table.schema.physical_index(1)) == 777
+
+    def test_tps_advances_monotonically(self, db, table, config):
+        rids = _fill_range(table, config)
+        db.run_merges()
+        update_range, _ = table.locate(rids[0])
+        table.update(rids[0], {1: 1})
+        merge_update_range(table, update_range)
+        first_tps = update_range.tps_rid
+        table.update(rids[1], {1: 2})
+        merge_update_range(table, update_range)
+        # Descending tail RIDs: newer watermark is numerically smaller.
+        assert update_range.tps_rid < first_tps
+
+    def test_merge_skips_intermediate_versions(self, db, table, config):
+        rids = _fill_range(table, config)
+        db.run_merges()
+        for value in (1, 2, 3):
+            table.update(rids[0], {1: value})
+        update_range, _ = table.locate(rids[0])
+        merge_update_range(table, update_range)
+        assert table._read_base_cell(
+            update_range, 0, table.schema.physical_index(1)) == 3
+
+    def test_merge_ignores_snapshot_records(self, db, table, config):
+        rids = _fill_range(table, config)
+        db.run_merges()
+        table.update(rids[0], {1: 111})
+        update_range, _ = table.locate(rids[0])
+        merge_update_range(table, update_range)
+        # The snapshot held the original 0*10; the merged page must
+        # show the update, not the snapshot.
+        assert table._read_base_cell(
+            update_range, 0, table.schema.physical_index(1)) == 111
+
+    def test_merge_skips_uncommitted_suffix(self, db, table, config):
+        rids = _fill_range(table, config)
+        db.run_merges()
+        table.update(rids[0], {1: 5})
+        txn = db.begin_transaction()
+        from repro.txn.occ import occ_write
+        occ_write(txn.ctx, table, rids[1], {1: 6})
+        update_range, _ = table.locate(rids[0])
+        result = merge_update_range(table, update_range)
+        assert result.performed
+        # Only the committed prefix was consumed.
+        assert update_range.merged_upto < update_range.tail.num_allocated()
+        txn.commit()
+
+    def test_merge_applies_delete(self, db, table, config):
+        rids = _fill_range(table, config)
+        db.run_merges()
+        table.delete(rids[2])
+        update_range, _ = table.locate(rids[0])
+        merge_update_range(table, update_range)
+        from repro.core.types import is_null
+        value = table._read_base_cell(
+            update_range, 2, table.schema.physical_index(1))
+        assert is_null(value)
+        assert table.read_latest(rids[2]) is DELETED
+
+    def test_last_updated_time_populated(self, db, table, config):
+        rids = _fill_range(table, config)
+        db.run_merges()
+        before = table.clock.now()
+        table.update(rids[0], {1: 5})
+        update_range, _ = table.locate(rids[0])
+        merge_update_range(table, update_range)
+        last_updated = table._read_base_cell(update_range, 0,
+                                             LAST_UPDATED_COLUMN)
+        assert last_updated > before
+
+    def test_start_time_preserved(self, db, table, config):
+        rids = _fill_range(table, config)
+        db.run_merges()
+        update_range, _ = table.locate(rids[0])
+        original = table._read_base_cell(update_range, 0, START_TIME_COLUMN)
+        table.update(rids[0], {1: 5})
+        merge_update_range(table, update_range)
+        assert table._read_base_cell(update_range, 0, START_TIME_COLUMN) \
+            == original
+
+    def test_indirection_untouched_by_merge(self, db, table, config):
+        rids = _fill_range(table, config)
+        db.run_merges()
+        tail_rid = table.update(rids[0], {1: 5})
+        update_range, offset = table.locate(rids[0])
+        merge_update_range(table, update_range)
+        assert update_range.indirection.read(offset) == tail_rid
+
+    def test_nothing_to_merge(self, db, table, config):
+        rids = _fill_range(table, config)
+        db.run_merges()
+        update_range, _ = table.locate(rids[0])
+        assert not merge_update_range(table, update_range).performed
+
+    def test_requires_insert_merge_first(self, table, config):
+        table.insert([0, 0, 0, 0, 0])
+        update_range = table.ranges[0]
+        result = merge_update_range(table, update_range)
+        assert result.retry
+
+    def test_historic_reads_survive_merge(self, db, table, config):
+        # Lemma 2: snapshots make outdated base pages discardable.
+        rids = _fill_range(table, config)
+        db.run_merges()
+        t1 = table.clock.now()
+        table.update(rids[0], {1: 999})
+        update_range, _ = table.locate(rids[0])
+        merge_update_range(table, update_range)
+        db.epoch_manager.reclaim()
+        old = table.assemble_version(rids[0], (1,), visible_as_of(t1))
+        assert old == {1: 0}
+
+    def test_merge_idempotent_inputs(self, db, table, config):
+        # Re-merging with no new tails changes nothing (Section 5.1.3).
+        rids = _fill_range(table, config)
+        db.run_merges()
+        table.update(rids[0], {1: 5})
+        update_range, _ = table.locate(rids[0])
+        merge_update_range(table, update_range)
+        state = (update_range.merged_upto, update_range.tps_rid,
+                 update_range.merge_count)
+        assert not merge_update_range(table, update_range).performed
+        assert (update_range.merged_upto, update_range.tps_rid,
+                update_range.merge_count) == state
+
+
+class TestMergeEngine:
+    def test_notifier_dedup(self, db, table):
+        engine = MergeEngine()
+        engine.attach(table)
+        engine.notifier(table, 0, "update")
+        engine.notifier(table, 0, "update")
+        assert engine.queue_length == 1
+
+    def test_run_pending_terminates_on_retry(self, db, table, config):
+        engine = MergeEngine()
+        engine.attach(table)
+        table.insert([0, 0, 0, 0, 0])
+        engine.notifier(table, 0, "update")  # not mergeable yet
+        completed = engine.run_pending()
+        assert completed == 0
+        assert engine.stat_retries >= 1
+
+    def test_background_thread_processes(self, db, table, config):
+        import time
+        engine = db.merge_engine
+        engine.start()
+        try:
+            rids = _fill_range(table, config)
+            deadline = time.time() + 5.0
+            update_range, _ = table.locate(rids[0])
+            while not update_range.merged and time.time() < deadline:
+                time.sleep(0.01)
+            assert update_range.merged
+        finally:
+            engine.stop()
+
+    def test_threshold_triggers_via_notifier(self, db, table, config):
+        rids = _fill_range(table, config)
+        db.run_merges()
+        for _ in range(config.merge_threshold):
+            table.update(rids[0], {1: 1 + _})
+        assert db.merge_engine.queue_length >= 1
+        db.run_merges()
+        update_range, _ = table.locate(rids[0])
+        assert update_range.merged_upto > 0

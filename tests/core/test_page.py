@@ -1,0 +1,186 @@
+"""Pages: write-once discipline, freezing, NumPy views, lineage."""
+
+import numpy as np
+import pytest
+
+from repro.core.page import Page, RowPage, UNWRITTEN, page_values_equal
+from repro.core.types import NULL, PageKind
+from repro.errors import PageFullError, PageImmutableError
+
+
+class TestPageWrites:
+    def test_write_and_read(self):
+        page = Page(1, PageKind.TAIL, 4, column=2)
+        page.write_slot(0, 42)
+        assert page.read_slot(0) == 42
+        assert page.num_records == 1
+
+    def test_write_once_enforced(self):
+        page = Page(1, PageKind.TAIL, 4)
+        page.write_slot(0, 1)
+        with pytest.raises(PageImmutableError):
+            page.write_slot(0, 2)
+
+    def test_write_once_even_same_value(self):
+        page = Page(1, PageKind.TAIL, 4)
+        page.write_slot(1, 7)
+        with pytest.raises(PageImmutableError):
+            page.write_slot(1, 7)
+
+    def test_out_of_range_slot(self):
+        page = Page(1, PageKind.TAIL, 4)
+        with pytest.raises(PageFullError):
+            page.write_slot(4, 1)
+        with pytest.raises(PageFullError):
+            page.write_slot(-1, 1)
+
+    def test_frozen_rejects_writes(self):
+        page = Page(1, PageKind.BASE, 4)
+        page.write_slot(0, 1)
+        page.freeze()
+        with pytest.raises(PageImmutableError):
+            page.write_slot(1, 2)
+
+    def test_fill_freezes(self):
+        page = Page(1, PageKind.MERGED, 4)
+        page.fill([1, 2, 3])
+        assert page.frozen
+        assert page.num_records == 3
+        assert [page.read_slot(i) for i in range(3)] == [1, 2, 3]
+
+    def test_fill_requires_empty(self):
+        page = Page(1, PageKind.MERGED, 4)
+        page.write_slot(0, 9)
+        with pytest.raises(PageImmutableError):
+            page.fill([1, 2])
+
+    def test_fill_capacity(self):
+        page = Page(1, PageKind.MERGED, 2)
+        with pytest.raises(PageFullError):
+            page.fill([1, 2, 3])
+
+    def test_unwritten_read_raises(self):
+        page = Page(1, PageKind.TAIL, 4)
+        with pytest.raises(PageImmutableError):
+            page.read_slot(0)
+
+    def test_is_written(self):
+        page = Page(1, PageKind.TAIL, 4)
+        page.write_slot(2, NULL)
+        assert page.is_written(2)
+        assert not page.is_written(0)
+        assert not page.is_written(99)
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            Page(1, PageKind.TAIL, 0)
+
+
+class TestPageIteration:
+    def test_iter_values_stops_at_gap(self):
+        page = Page(1, PageKind.TAIL, 4)
+        page.write_slot(0, 1)
+        page.write_slot(1, 2)
+        page.write_slot(3, 4)  # gap at 2
+        assert list(page.iter_values()) == [1, 2]
+
+    def test_utilization(self):
+        page = Page(1, PageKind.TAIL, 4)
+        page.write_slot(0, 1)
+        assert page.utilization == 0.25
+        assert page.has_capacity
+
+
+class TestNumpyView:
+    def test_requires_frozen(self):
+        page = Page(1, PageKind.TAIL, 4)
+        page.write_slot(0, 1)
+        assert page.as_numpy() is None
+
+    def test_int_page(self):
+        page = Page(1, PageKind.BASE, 4)
+        page.fill([1, 2, 3, 4])
+        array = page.as_numpy()
+        assert array is not None
+        assert array.dtype == np.int64
+        assert int(array.sum()) == 10
+
+    def test_cached(self):
+        page = Page(1, PageKind.BASE, 4)
+        page.fill([1, 2])
+        assert page.as_numpy() is page.as_numpy()
+
+    def test_null_values_fall_back(self):
+        page = Page(1, PageKind.BASE, 4)
+        page.fill([1, NULL, 3])
+        assert page.as_numpy() is None
+
+    def test_bool_is_not_int(self):
+        # bool is an int subclass; the view must reject it to avoid
+        # silently summing booleans.
+        page = Page(1, PageKind.BASE, 4)
+        page.fill([True, False])
+        assert page.as_numpy() is None
+
+
+class TestLineage:
+    def test_set_lineage(self):
+        page = Page(1, PageKind.MERGED, 4)
+        page.set_lineage(123, 2)
+        assert page.tps_rid == 123
+        assert page.merge_count == 2
+
+    def test_fresh_page_has_zero_tps(self):
+        assert Page(1, PageKind.BASE, 4).tps_rid == 0
+
+
+class TestRowPage:
+    def test_write_read_row(self):
+        page = RowPage(1, PageKind.BASE, 2, width=3)
+        page.write_row(0, (1, 2, 3))
+        assert page.read_row(0) == (1, 2, 3)
+        assert page.read_cell(0, 1) == 2
+
+    def test_write_once(self):
+        page = RowPage(1, PageKind.BASE, 2, width=2)
+        page.write_row(0, (1, 2))
+        with pytest.raises(PageImmutableError):
+            page.write_row(0, (3, 4))
+
+    def test_width_check(self):
+        page = RowPage(1, PageKind.BASE, 2, width=2)
+        with pytest.raises(PageImmutableError):
+            page.write_row(0, (1, 2, 3))
+
+    def test_frozen(self):
+        page = RowPage(1, PageKind.BASE, 2, width=2)
+        page.write_row(0, (1, 2))
+        page.freeze()
+        with pytest.raises(PageImmutableError):
+            page.write_row(1, (3, 4))
+
+    def test_unwritten_read(self):
+        page = RowPage(1, PageKind.BASE, 2, width=2)
+        with pytest.raises(PageImmutableError):
+            page.read_row(1)
+        assert not page.is_written(1)
+
+    def test_counts(self):
+        page = RowPage(1, PageKind.BASE, 2, width=2)
+        assert page.has_capacity
+        page.write_row(0, (1, 2))
+        page.write_row(1, (3, 4))
+        assert page.num_records == 2
+        assert not page.has_capacity
+
+
+class TestValueEquality:
+    def test_null_equals_null(self):
+        assert page_values_equal(NULL, NULL)
+
+    def test_null_not_equal_value(self):
+        assert not page_values_equal(NULL, 0)
+
+    def test_plain_equality(self):
+        assert page_values_equal(3, 3)
+        assert not page_values_equal(3, 4)

@@ -1,0 +1,88 @@
+"""Page directory: registry and atomic base-chain swaps."""
+
+import pytest
+
+from repro.core.page import Page
+from repro.core.page_directory import PageDirectory
+from repro.core.types import PageKind
+from repro.errors import StorageError
+
+
+def _page(page_id: int) -> Page:
+    return Page(page_id, PageKind.BASE, 4)
+
+
+class TestRegistry:
+    def test_register_get(self):
+        directory = PageDirectory()
+        page = _page(1)
+        directory.register(page)
+        assert directory.get(1) is page
+        assert 1 in directory
+        assert len(directory) == 1
+
+    def test_duplicate_rejected(self):
+        directory = PageDirectory()
+        directory.register(_page(1))
+        with pytest.raises(StorageError):
+            directory.register(_page(1))
+
+    def test_register_many_atomic(self):
+        directory = PageDirectory()
+        directory.register(_page(2))
+        with pytest.raises(StorageError):
+            directory.register_many([_page(3), _page(2)])
+        # Nothing from the failed batch must have been registered.
+        assert 3 not in directory
+
+    def test_unknown_get(self):
+        with pytest.raises(StorageError):
+            PageDirectory().get(99)
+
+    def test_unregister(self):
+        directory = PageDirectory()
+        directory.register(_page(1))
+        directory.unregister(1)
+        assert 1 not in directory
+        directory.unregister(1)  # idempotent
+
+
+class TestChains:
+    def test_set_and_read_chain(self):
+        directory = PageDirectory()
+        pages = (_page(1), _page(2))
+        directory.set_base_chain(0, 5, pages)
+        assert directory.base_chain(0, 5) == pages
+
+    def test_missing_chain_is_none(self):
+        assert PageDirectory().base_chain(0, 0) is None
+
+    def test_swap_returns_old(self):
+        directory = PageDirectory()
+        old = (_page(1),)
+        new = (_page(2),)
+        directory.set_base_chain(0, 5, old)
+        returned = directory.swap_base_chain(0, 5, new)
+        assert returned == old
+        assert directory.base_chain(0, 5) == new
+        assert directory.swap_count == 1
+
+    def test_swap_without_existing(self):
+        directory = PageDirectory()
+        assert directory.swap_base_chain(1, 2, (_page(9),)) == ()
+
+    def test_chain_immutable_snapshot(self):
+        # A reader holding the old tuple is unaffected by a swap.
+        directory = PageDirectory()
+        old = (_page(1),)
+        directory.set_base_chain(0, 0, old)
+        held = directory.base_chain(0, 0)
+        directory.swap_base_chain(0, 0, (_page(2),))
+        assert held == old
+
+    def test_base_columns(self):
+        directory = PageDirectory()
+        directory.set_base_chain(3, 5, (_page(1),))
+        directory.set_base_chain(3, 7, (_page(2),))
+        directory.set_base_chain(4, 5, (_page(3),))
+        assert sorted(directory.base_columns(3)) == [5, 7]

@@ -1,0 +1,123 @@
+"""The statement-level Query API (classic L-Store interface)."""
+
+import pytest
+
+from repro.core.query import Query, Record
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+
+
+class TestInsertSelect:
+    def test_insert_select(self, query):
+        query.insert(1, 10, 20, 30, 40)
+        records = query.select(1, 0, [1, 1, 1, 1, 1])
+        assert len(records) == 1
+        assert records[0].columns == (1, 10, 20, 30, 40)
+        assert records[0].key == 1
+
+    def test_projection(self, query):
+        query.insert(1, 10, 20, 30, 40)
+        record = query.select(1, 0, [0, 1, 0, 1, 0])[0]
+        assert record[1] == 10
+        assert record[3] == 30
+        assert record[0] is None  # not projected
+
+    def test_select_missing_key(self, query):
+        assert query.select(99, 0, None) == []
+
+    def test_select_by_non_key_column_scan(self, loaded):
+        records = loaded.select(100, 2, None)  # key 1 has col2 = 100
+        assert [record.key for record in records] == [1]
+
+    def test_select_with_secondary_index(self, table, loaded):
+        table.create_index(4)
+        table.update(table.index.primary.get(5), {4: 1234})
+        records = loaded.select(1234, 4, None)
+        assert [record.key for record in records] == [5]
+
+    def test_secondary_index_stale_entry_revalidated(self, table, loaded):
+        index = table.create_index(1)
+        loaded.update(3, None, 999, None, None, None)
+        # The old value 30 still has a (stale) index entry...
+        assert index.lookup(30)
+        # ...but select re-validates against the visible version.
+        assert loaded.select(30, 1, None) == []
+        assert [r.key for r in loaded.select(999, 1, None)] == [3]
+
+
+class TestUpdateDelete:
+    def test_positional_update(self, loaded):
+        loaded.update(3, None, 555, None, None, None)
+        assert loaded.select(3, 0, None)[0].columns == (3, 555, 300, 9, 7)
+
+    def test_update_columns_mapping(self, loaded):
+        loaded.update_columns(3, {2: 1, 4: 2})
+        assert loaded.select(3, 0, None)[0].columns == (3, 30, 1, 9, 2)
+
+    def test_update_missing_key(self, query):
+        with pytest.raises(KeyNotFoundError):
+            query.update(99, None, 1, None, None, None)
+
+    def test_delete(self, loaded):
+        loaded.delete(3)
+        assert loaded.select(3, 0, None) == []
+        assert loaded.count() == 39
+
+    def test_increment(self, loaded):
+        loaded.increment(3, 1, delta=5)
+        assert loaded.select(3, 0, None)[0][1] == 35
+
+    def test_increment_missing(self, query):
+        with pytest.raises(KeyNotFoundError):
+            query.increment(99, 1)
+
+
+class TestVersions:
+    def test_select_version(self, loaded):
+        loaded.update(3, None, 100, None, None, None)
+        loaded.update(3, None, 200, None, None, None)
+        assert loaded.select_version(3, 0, None, 0)[0][1] == 200
+        assert loaded.select_version(3, 0, None, -1)[0][1] == 100
+        assert loaded.select_version(3, 0, None, -2)[0][1] == 30
+
+    def test_select_as_of(self, loaded, table):
+        t1 = table.clock.now()
+        loaded.update(3, None, 100, None, None, None)
+        records = loaded.select_as_of(3, 0, None, t1)
+        assert records[0][1] == 30
+
+    def test_sum_version(self, loaded):
+        base = loaded.sum(0, 39, 1)
+        loaded.update(3, None, 1000, None, None, None)
+        assert loaded.sum_version(0, 39, 1, -1) == base
+        assert loaded.sum(0, 39, 1) == base - 30 + 1000
+
+
+class TestAggregates:
+    def test_sum_range(self, loaded):
+        assert loaded.sum(0, 9, 1) == sum(k * 10 for k in range(10))
+
+    def test_sum_partial_range(self, loaded):
+        assert loaded.sum(5, 7, 1) == 50 + 60 + 70
+
+    def test_sum_empty_range(self, loaded):
+        assert loaded.sum(100, 200, 1) == 0
+
+    def test_sum_skips_deleted(self, loaded):
+        loaded.delete(5)
+        assert loaded.sum(0, 9, 1) == sum(k * 10 for k in range(10)) - 50
+
+    def test_scan_sum_matches_sum(self, loaded):
+        assert loaded.scan_sum(1) == loaded.sum(0, 39, 1)
+
+    def test_scan_iterator(self, loaded):
+        keys = sorted(record.key for record in loaded.scan())
+        assert keys == list(range(40))
+
+    def test_count(self, loaded):
+        assert loaded.count() == 40
+
+
+class TestRecord:
+    def test_getitem(self):
+        record = Record(rid=1, key=5, columns=(5, 6, 7))
+        assert record[2] == 7

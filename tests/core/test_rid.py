@@ -1,0 +1,160 @@
+"""RID allocation: ascending base ranges, descending tail blocks."""
+
+import threading
+
+import pytest
+
+from repro.core.rid import MonotonicCounter, RIDAllocator, TailBlock
+from repro.core.types import TAIL_RID_MAX, is_base_rid, is_tail_rid
+from repro.errors import StorageError
+
+
+class TestRIDAllocator:
+    def test_base_ranges_ascend_contiguously(self):
+        allocator = RIDAllocator()
+        first = allocator.reserve_base_range(100)
+        second = allocator.reserve_base_range(50)
+        assert first == 1
+        assert second == 101
+        assert allocator.base_rids_allocated == 150
+
+    def test_tail_blocks_descend(self):
+        allocator = RIDAllocator()
+        block_a = allocator.reserve_tail_block(10)
+        block_b = allocator.reserve_tail_block(10)
+        assert block_a.start_rid == TAIL_RID_MAX
+        assert block_b.start_rid == TAIL_RID_MAX - 10
+        assert allocator.tail_rids_allocated == 20
+
+    def test_all_rids_in_correct_space(self):
+        allocator = RIDAllocator()
+        base = allocator.reserve_base_range(5)
+        block = allocator.reserve_tail_block(5)
+        for i in range(5):
+            assert is_base_rid(base + i)
+            rid = block.allocate()
+            assert rid is not None and is_tail_rid(rid)
+
+    def test_size_validation(self):
+        allocator = RIDAllocator()
+        with pytest.raises(ValueError):
+            allocator.reserve_base_range(0)
+        with pytest.raises(ValueError):
+            allocator.reserve_tail_block(-1)
+
+    def test_advance_cursors(self):
+        allocator = RIDAllocator()
+        allocator.advance_base_to(1000)
+        assert allocator.reserve_base_range(1) == 1000
+        allocator.advance_tail_below(TAIL_RID_MAX - 500)
+        assert allocator.reserve_tail_block(1).start_rid \
+            == TAIL_RID_MAX - 500
+
+    def test_advance_never_regresses(self):
+        allocator = RIDAllocator()
+        allocator.advance_base_to(100)
+        allocator.advance_base_to(50)
+        assert allocator.reserve_base_range(1) == 100
+
+    def test_concurrent_base_reservations_disjoint(self):
+        allocator = RIDAllocator()
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(50):
+                start = allocator.reserve_base_range(10)
+                with lock:
+                    results.append(start)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        starts = sorted(results)
+        for a, b in zip(starts, starts[1:]):
+            assert b - a >= 10  # ranges never overlap
+
+
+class TestTailBlock:
+    def test_allocation_descends_offsets_ascend(self):
+        block = TailBlock(start_rid=1000, size=3)
+        rids = [block.allocate() for _ in range(3)]
+        assert rids == [1000, 999, 998]
+        assert [block.offset_of(rid) for rid in rids] == [0, 1, 2]
+
+    def test_exhaustion(self):
+        block = TailBlock(start_rid=10, size=1)
+        assert block.allocate() == 10
+        assert block.allocate() is None
+        assert block.exhausted
+
+    def test_contains(self):
+        block = TailBlock(start_rid=100, size=10)
+        assert block.contains(100)
+        assert block.contains(91)
+        assert not block.contains(90)
+        assert not block.contains(101)
+
+    def test_rid_at_inverse_of_offset_of(self):
+        block = TailBlock(start_rid=500, size=8)
+        for offset in range(8):
+            assert block.offset_of(block.rid_at(offset)) == offset
+
+    def test_offset_of_outside_raises(self):
+        block = TailBlock(start_rid=500, size=8)
+        with pytest.raises(ValueError):
+            block.offset_of(501)
+        with pytest.raises(ValueError):
+            block.rid_at(8)
+
+    def test_concurrent_allocation_unique(self):
+        block = TailBlock(start_rid=10_000, size=400)
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                rid = block.allocate()
+                if rid is None:
+                    return
+                with lock:
+                    seen.append(rid)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(seen) == 400
+        assert len(set(seen)) == 400
+
+
+class TestMonotonicCounter:
+    def test_sequence(self):
+        counter = MonotonicCounter()
+        assert [counter.next() for _ in range(3)] == [0, 1, 2]
+        assert counter.last == 2
+
+    def test_start(self):
+        counter = MonotonicCounter(10)
+        assert counter.next() == 10
+
+    def test_thread_safety(self):
+        counter = MonotonicCounter()
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(200):
+                value = counter.next()
+                with lock:
+                    seen.append(value)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(seen)) == 800

@@ -1,0 +1,140 @@
+"""Analytical scans: SUM correctness across merges, patches, layouts."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.types import Layout
+
+
+class TestScanSum:
+    def test_basic(self, db, table):
+        for key in range(20):
+            table.insert([key, key, 2, 0, 0])
+        assert table.scan_sum(1) == sum(range(20))
+        assert table.scan_sum(2) == 40
+
+    def test_updates_visible_before_merge(self, db, table):
+        for key in range(20):
+            table.insert([key, key, 0, 0, 0])
+        table.update(table.index.primary.get(3), {1: 1000})
+        assert table.scan_sum(1) == sum(range(20)) - 3 + 1000
+
+    def test_updates_visible_after_merge(self, db, table, config):
+        for key in range(config.update_range_size):
+            table.insert([key, key, 0, 0, 0])
+        db.run_merges()
+        table.update(table.index.primary.get(3), {1: 1000})
+        expected = sum(range(config.update_range_size)) - 3 + 1000
+        assert table.scan_sum(1) == expected
+        from repro.core.merge import merge_update_range
+        merge_update_range(table, table.ranges[0])
+        assert table.scan_sum(1) == expected
+
+    def test_deletes_excluded(self, db, table):
+        for key in range(20):
+            table.insert([key, 5, 0, 0, 0])
+        table.delete(table.index.primary.get(7))
+        assert table.scan_sum(1) == 95
+
+    def test_uncommitted_updates_invisible(self, db, table):
+        for key in range(20):
+            table.insert([key, 1, 0, 0, 0])
+        txn = db.begin_transaction()
+        from repro.txn.occ import occ_write
+        occ_write(txn.ctx, table, table.index.primary.get(0), {1: 1000})
+        assert table.scan_sum(1) == 20
+        txn.commit()
+        assert table.scan_sum(1) == 1019
+
+    def test_aborted_updates_invisible(self, db, table):
+        for key in range(20):
+            table.insert([key, 1, 0, 0, 0])
+        txn = db.begin_transaction()
+        from repro.txn.occ import occ_write
+        occ_write(txn.ctx, table, table.index.primary.get(0), {1: 1000})
+        txn.abort()
+        assert table.scan_sum(1) == 20
+
+    def test_as_of_scan(self, db, table, config):
+        for key in range(config.update_range_size):
+            table.insert([key, 1, 0, 0, 0])
+        t1 = table.clock.now()
+        table.update(table.index.primary.get(0), {1: 500})
+        expected_before = config.update_range_size
+        assert table.scan_sum(1, as_of=t1) == expected_before
+        assert table.scan_sum(1) == expected_before - 1 + 500
+
+    def test_as_of_scan_after_merge(self, db, table, config):
+        for key in range(config.update_range_size):
+            table.insert([key, 1, 0, 0, 0])
+        db.run_merges()
+        t1 = table.clock.now()
+        table.update(table.index.primary.get(0), {1: 500})
+        from repro.core.merge import merge_update_range
+        merge_update_range(table, table.ranges[0])
+        # The merged page is newer than t1; the scan must walk back.
+        assert table.scan_sum(1, as_of=t1) == config.update_range_size
+
+    def test_empty_table(self, table):
+        assert table.scan_sum(1) == 0
+
+
+class TestRowLayoutScan:
+    @pytest.fixture
+    def row_db(self):
+        from repro import Database
+        config = EngineConfig(
+            records_per_page=8, records_per_tail_page=8,
+            update_range_size=16, merge_threshold=8, insert_range_size=16,
+            layout=Layout.ROW, compress_merged_pages=False,
+            background_merge=False)
+        database = Database(config)
+        yield database
+        database.close()
+
+    def test_row_layout_scan_matches(self, row_db):
+        table = row_db.create_table("row", num_columns=3, key_index=0)
+        for key in range(32):
+            table.insert([key, key * 2, 7])
+        assert table.scan_sum(1) == sum(key * 2 for key in range(32))
+        row_db.run_merges()
+        assert table.scan_sum(1) == sum(key * 2 for key in range(32))
+
+    def test_row_layout_update_and_merge(self, row_db):
+        table = row_db.create_table("row", num_columns=3, key_index=0)
+        for key in range(16):
+            table.insert([key, 1, 0])
+        row_db.run_merges()
+        table.update(table.index.primary.get(0), {1: 100})
+        from repro.core.merge import merge_update_range
+        merge_update_range(table, table.ranges[0])
+        assert table.scan_sum(1) == 16 - 1 + 100
+        assert table.read_latest(table.index.primary.get(0))[1] == 100
+
+    def test_row_layout_delete(self, row_db):
+        table = row_db.create_table("row", num_columns=3, key_index=0)
+        for key in range(16):
+            table.insert([key, 1, 0])
+        row_db.run_merges()
+        table.delete(table.index.primary.get(5))
+        assert table.scan_sum(1) == 15
+        from repro.core.merge import merge_update_range
+        merge_update_range(table, table.ranges[0])
+        assert table.scan_sum(1) == 15
+
+
+class TestScanWithCompressedMergedPages:
+    def test_dictionary_pages_scanned(self, db, config):
+        # A constant column compresses to a dictionary page; scans must
+        # still be exact.
+        table = db.create_table("c", num_columns=2, key_index=0)
+        for key in range(config.update_range_size):
+            table.insert([key, 9])
+        db.run_merges()
+        update_range = table.ranges[0]
+        assert update_range.merged
+        from repro.core.compression import DictionaryPage
+        chain = table.page_directory.base_chain(
+            0, table.schema.physical_index(1))
+        assert any(isinstance(page, DictionaryPage) for page in chain)
+        assert table.scan_sum(1) == 9 * config.update_range_size

@@ -1,0 +1,81 @@
+"""TableSchema: physical layout, names, validation."""
+
+import pytest
+
+from repro.core.schema import (BASE_RID_COLUMN, INDIRECTION_COLUMN,
+                               LAST_UPDATED_COLUMN, NUM_METADATA_COLUMNS,
+                               SCHEMA_ENCODING_COLUMN, START_TIME_COLUMN,
+                               TableSchema)
+from repro.errors import SchemaMismatchError
+
+
+class TestMetadataLayout:
+    def test_metadata_columns_are_distinct_and_first(self):
+        columns = {INDIRECTION_COLUMN, SCHEMA_ENCODING_COLUMN,
+                   START_TIME_COLUMN, LAST_UPDATED_COLUMN, BASE_RID_COLUMN}
+        assert columns == set(range(NUM_METADATA_COLUMNS))
+
+
+class TestSchema:
+    def test_basic(self):
+        schema = TableSchema("t", num_columns=3, key_index=0)
+        assert schema.total_columns == NUM_METADATA_COLUMNS + 3
+        assert schema.column_names == ("col0", "col1", "col2")
+
+    def test_physical_data_round_trip(self):
+        schema = TableSchema("t", num_columns=4)
+        for data_column in range(4):
+            physical = schema.physical_index(data_column)
+            assert physical >= NUM_METADATA_COLUMNS
+            assert schema.data_index(physical) == data_column
+
+    def test_physical_out_of_range(self):
+        schema = TableSchema("t", num_columns=2)
+        with pytest.raises(SchemaMismatchError):
+            schema.physical_index(2)
+        with pytest.raises(SchemaMismatchError):
+            schema.data_index(0)  # a metadata column
+
+    def test_named_columns(self):
+        schema = TableSchema("t", num_columns=2,
+                             column_names=("id", "balance"))
+        assert schema.column_name(1) == "balance"
+        assert schema.column_index("id") == 0
+
+    def test_unknown_name(self):
+        schema = TableSchema("t", num_columns=1)
+        with pytest.raises(SchemaMismatchError):
+            schema.column_index("nope")
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(SchemaMismatchError):
+            TableSchema("t", num_columns=2, column_names=("only",))
+
+    def test_key_index_bounds(self):
+        with pytest.raises(SchemaMismatchError):
+            TableSchema("t", num_columns=2, key_index=2)
+
+    def test_at_least_one_column(self):
+        with pytest.raises(SchemaMismatchError):
+            TableSchema("t", num_columns=0)
+
+    def test_data_column_indices(self):
+        schema = TableSchema("t", num_columns=2)
+        assert list(schema.data_column_indices()) == [
+            NUM_METADATA_COLUMNS, NUM_METADATA_COLUMNS + 1]
+
+
+class TestValidation:
+    def test_validate_row(self):
+        schema = TableSchema("t", num_columns=3)
+        schema.validate_row([1, 2, 3])
+        with pytest.raises(SchemaMismatchError):
+            schema.validate_row([1, 2])
+
+    def test_validate_projection(self):
+        schema = TableSchema("t", num_columns=3)
+        schema.validate_projection([1, 0, 1])
+        with pytest.raises(SchemaMismatchError):
+            schema.validate_projection([1, 0])
+        with pytest.raises(SchemaMismatchError):
+            schema.validate_projection([1, 2, 0])

@@ -1,0 +1,113 @@
+"""Insert procedure (Section 3.2): insert ranges, table-level tails."""
+
+import pytest
+
+from repro.core.schema import (BASE_RID_COLUMN, INDIRECTION_COLUMN,
+                               START_TIME_COLUMN)
+from repro.core.table import DELETED
+from repro.core.types import NULL_RID
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+
+
+class TestInsertBasics:
+    def test_insert_returns_stable_ascending_rids(self, table):
+        rids = [table.insert([k, 0, 0, 0, 0]) for k in range(5)]
+        assert rids == sorted(rids)
+        assert len(set(rids)) == 5
+
+    def test_primary_index_updated(self, table):
+        rid = table.insert([42, 1, 2, 3, 4])
+        assert table.index.primary.get(42) == rid
+
+    def test_duplicate_key_rejected(self, table):
+        table.insert([42, 0, 0, 0, 0])
+        with pytest.raises(DuplicateKeyError):
+            table.insert([42, 1, 1, 1, 1])
+
+    def test_read_back(self, table):
+        rid = table.insert([42, 1, 2, 3, 4])
+        values = table.read_latest(rid)
+        assert values == {0: 42, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_row_width_validated(self, table):
+        with pytest.raises(Exception):
+            table.insert([1, 2])
+
+    def test_record_count(self, table):
+        for k in range(3):
+            table.insert([k, 0, 0, 0, 0])
+        assert table.num_records == 3
+
+
+class TestInsertRangeMechanics:
+    def test_data_lives_in_table_level_tails_before_merge(self, table):
+        rid = table.insert([7, 1, 2, 3, 4])
+        update_range, offset = table.locate(rid)
+        assert not update_range.merged
+        segment = update_range.insert_range.segment
+        insert_offset = update_range.insert_offset(offset)
+        # The paper's Table 3: the tt record holds all columns...
+        assert segment.record_cell(insert_offset, BASE_RID_COLUMN) == rid
+        # ...while the base record materialises only the Indirection.
+        assert update_range.indirection.read(offset) == NULL_RID
+
+    def test_aligned_rid_spaces(self, table, config):
+        rids = [table.insert([k, 0, 0, 0, 0])
+                for k in range(config.insert_range_size)]
+        update_range, _ = table.locate(rids[0])
+        segment = update_range.insert_range.segment
+        # i-th base RID ↔ i-th table-level tail slot (Section 3.2).
+        for i, rid in enumerate(rids[:config.update_range_size]):
+            assert segment.record_cell(i, BASE_RID_COLUMN) == rid
+
+    def test_new_insert_range_created_when_full(self, table, config):
+        total = config.insert_range_size + 1
+        for k in range(total):
+            table.insert([k, 0, 0, 0, 0])
+        assert len(table.insert_ranges) == 2
+
+    def test_all_covering_update_ranges_created(self, table, config):
+        table.insert([0, 0, 0, 0, 0])
+        expected = config.insert_range_size // config.update_range_size
+        assert len(table.ranges) == expected
+
+    def test_start_time_recorded(self, table):
+        before = table.clock.now()
+        rid = table.insert([1, 0, 0, 0, 0])
+        update_range, offset = table.locate(rid)
+        segment = update_range.insert_range.segment
+        start = segment.record_cell(update_range.insert_offset(offset),
+                                    START_TIME_COLUMN)
+        assert start > before
+
+
+class TestReinsertAfterDelete:
+    def test_reinsert_same_key(self, table):
+        old_rid = table.insert([5, 1, 1, 1, 1])
+        table.delete(old_rid)
+        new_rid = table.insert([5, 2, 2, 2, 2])
+        assert new_rid != old_rid
+        assert table.index.primary.get(5) == new_rid
+        assert table.read_latest(new_rid)[1] == 2
+
+    def test_reinsert_live_key_rejected(self, table):
+        table.insert([5, 1, 1, 1, 1])
+        with pytest.raises(DuplicateKeyError):
+            table.insert([5, 2, 2, 2, 2])
+
+    def test_old_rid_still_reads_deleted(self, table):
+        old_rid = table.insert([5, 1, 1, 1, 1])
+        table.delete(old_rid)
+        table.insert([5, 2, 2, 2, 2])
+        assert table.read_latest(old_rid) is DELETED
+
+
+class TestLocate:
+    def test_unallocated_rid(self, table):
+        with pytest.raises(KeyNotFoundError):
+            table.locate(999999)
+
+    def test_non_base_rid(self, table):
+        from repro.errors import StorageError
+        with pytest.raises(StorageError):
+            table.locate(0)

@@ -1,0 +1,127 @@
+"""Read paths: versions, visibility, fast path equivalence."""
+
+import pytest
+
+from repro.core.table import DELETED
+from repro.core.version import visible_as_of
+from repro.errors import KeyNotFoundError
+
+
+class TestRelativeVersions:
+    def test_version_zero_is_latest(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.update(rid, {1: 11})
+        assert table.read_relative_version(rid, (1,), 0) == {1: 11}
+
+    def test_walk_back_versions(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        for value in (11, 12, 13):
+            table.update(rid, {1: value})
+        assert table.read_relative_version(rid, (1,), -1) == {1: 12}
+        assert table.read_relative_version(rid, (1,), -2) == {1: 11}
+        assert table.read_relative_version(rid, (1,), -3) == {1: 10}
+
+    def test_beyond_history_clamps_to_base(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.update(rid, {1: 11})
+        assert table.read_relative_version(rid, (1,), -10) == {1: 10}
+
+    def test_other_columns_from_base(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.update(rid, {1: 11})
+        table.update(rid, {3: 33})
+        assert table.read_relative_version(rid, (1, 3), -1) \
+            == {1: 11, 3: 30}
+
+
+class TestAsOfReads:
+    def test_snapshot_read(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        t1 = table.clock.now()
+        table.update(rid, {1: 11})
+        t2 = table.clock.now()
+        table.update(rid, {1: 12})
+        assert table.assemble_version(rid, (1,), visible_as_of(t1)) \
+            == {1: 10}
+        assert table.assemble_version(rid, (1,), visible_as_of(t2)) \
+            == {1: 11}
+
+    def test_before_insert_invisible(self, table):
+        t0 = table.clock.now()
+        rid = table.insert([1, 10, 20, 30, 40])
+        assert table.assemble_version(rid, (1,), visible_as_of(t0)) is None
+
+    def test_deleted_version_selection(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        t1 = table.clock.now()
+        table.delete(rid)
+        assert table.assemble_version(
+            rid, (1,), visible_as_of(table.clock.now())) is DELETED
+        assert table.assemble_version(rid, (1,), visible_as_of(t1)) \
+            == {1: 10}
+
+
+class TestFastPathEquivalence:
+    def test_matches_general_path(self, table):
+        rids = []
+        for key in range(10):
+            rids.append(table.insert([key, key * 10, 0, 0, 0]))
+        for rid in rids[::2]:
+            table.update(rid, {1: 999})
+        table.delete(rids[3])
+        for rid in rids:
+            general = table.read_latest(rid)
+            fast = table.read_latest_fast(rid)
+            assert general == fast or (general is DELETED
+                                       and fast is DELETED)
+
+    def test_after_merge(self, db, table):
+        rids = [table.insert([key, key, 0, 0, 0]) for key in range(16)]
+        for rid in rids:
+            table.update(rid, {1: 7})
+        db.run_merges()
+        for rid in rids:
+            assert table.read_latest(rid) == table.read_latest_fast(rid)
+
+    def test_missing_record(self, table):
+        table.insert([0, 0, 0, 0, 0])  # allocates the insert range
+        unused_rid = table.insert_ranges[0].start_rid + 5
+        with pytest.raises(KeyNotFoundError):
+            table.read_latest_fast(unused_rid)
+
+
+class TestVisibleVersionRid:
+    def test_base_version(self, table):
+        rid = table.insert([1, 0, 0, 0, 0])
+        now = visible_as_of(table.clock.now())
+        assert table.visible_version_rid(rid, now) == rid
+
+    def test_tail_version(self, table):
+        rid = table.insert([1, 0, 0, 0, 0])
+        tail_rid = table.update(rid, {1: 5})
+        now = visible_as_of(table.clock.now())
+        assert table.visible_version_rid(rid, now) == tail_rid
+
+    def test_invisible(self, table):
+        t0 = table.clock.now()
+        rid = table.insert([1, 0, 0, 0, 0])
+        assert table.visible_version_rid(rid, visible_as_of(t0)) is None
+
+    def test_moves_with_updates(self, table):
+        rid = table.insert([1, 0, 0, 0, 0])
+        first = table.update(rid, {1: 5})
+        t1 = table.clock.now()
+        second = table.update(rid, {1: 6})
+        assert table.visible_version_rid(rid, visible_as_of(t1)) == first
+        now = visible_as_of(table.clock.now())
+        assert table.visible_version_rid(rid, now) == second
+
+
+class TestScanRecords:
+    def test_yields_visible_only(self, table):
+        for key in range(5):
+            table.insert([key, key, 0, 0, 0])
+        table.delete(table.index.primary.get(2))
+        rows = dict(table.scan_records((0, 1)))
+        keys = sorted(values[0] for values in rows.values())
+        assert keys == [0, 1, 3, 4]

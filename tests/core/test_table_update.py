@@ -1,0 +1,233 @@
+"""Update/delete procedure (Section 3.1): tails, snapshots, cumulation."""
+
+import pytest
+
+from repro.core.encoding import SchemaEncoding
+from repro.core.schema import (INDIRECTION_COLUMN, SCHEMA_ENCODING_COLUMN,
+                               START_TIME_COLUMN)
+from repro.core.table import DELETED
+from repro.core.types import NULL, NULL_RID, is_tail_rid
+from repro.errors import (RecordDeletedError, SchemaMismatchError,
+                          WriteWriteConflict)
+
+
+def _tail_record(table, rid, tail_rid):
+    """(segment, offset) of a tail record for inspection."""
+    update_range, _ = table.locate(rid)
+    return update_range.locate_tail(tail_rid)
+
+
+class TestFirstUpdate:
+    def test_creates_snapshot_plus_update(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.update(rid, {1: 11})
+        update_range, offset = table.locate(rid)
+        tail = update_range.tail
+        assert tail is not None
+        # Two tail records: the original-value snapshot, then the update.
+        assert tail.num_allocated() == 2
+        snap_enc = SchemaEncoding.from_int(
+            5, tail.record_cell(0, SCHEMA_ENCODING_COLUMN))
+        assert snap_enc.is_snapshot
+        assert list(snap_enc.updated_columns()) == [1]
+        upd_enc = SchemaEncoding.from_int(
+            5, tail.record_cell(1, SCHEMA_ENCODING_COLUMN))
+        assert not upd_enc.is_snapshot
+        assert list(upd_enc.updated_columns()) == [1]
+
+    def test_snapshot_holds_original_value(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.update(rid, {1: 11})
+        update_range, _ = table.locate(rid)
+        tail = update_range.tail
+        assert tail.record_cell(0, table.schema.physical_index(1)) == 10
+
+    def test_snapshot_start_time_is_original(self, table):
+        # Paper Table 2: t1's start time equals b2's insertion time.
+        rid = table.insert([1, 10, 20, 30, 40])
+        update_range, offset = table.locate(rid)
+        segment = update_range.insert_range.segment
+        insert_time = segment.record_cell(update_range.insert_offset(offset),
+                                          START_TIME_COLUMN)
+        table.update(rid, {1: 11})
+        assert update_range.tail.record_cell(0, START_TIME_COLUMN) \
+            == insert_time
+
+    def test_backpointers(self, table):
+        # Snapshot points at the base record; update points at snapshot.
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.update(rid, {1: 11})
+        update_range, offset = table.locate(rid)
+        tail = update_range.tail
+        assert tail.record_cell(0, INDIRECTION_COLUMN) == rid
+        assert tail.record_cell(1, INDIRECTION_COLUMN) == tail.rid_at(0)
+        assert update_range.indirection.read(offset) == tail.rid_at(1)
+
+    def test_lazy_tail_allocation(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        update_range, _ = table.locate(rid)
+        assert update_range.tail is None  # no update yet (Section 3.1)
+        table.update(rid, {1: 11})
+        assert update_range.tail is not None
+
+
+class TestSubsequentUpdates:
+    def test_single_record_per_update(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.update(rid, {1: 11})
+        count = table.locate(rid)[0].tail.num_allocated()
+        table.update(rid, {1: 12})
+        assert table.locate(rid)[0].tail.num_allocated() == count + 1
+
+    def test_first_update_of_second_column_snapshots_it(self, table):
+        # Paper Table 2: updating C after A produced t4 (snapshot) + t5.
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.update(rid, {1: 11})
+        before = table.locate(rid)[0].tail.num_allocated()
+        table.update(rid, {3: 31})
+        tail = table.locate(rid)[0].tail
+        assert tail.num_allocated() == before + 2
+        snap_enc = SchemaEncoding.from_int(
+            5, tail.record_cell(before, SCHEMA_ENCODING_COLUMN))
+        assert snap_enc.is_snapshot
+        assert list(snap_enc.updated_columns()) == [3]
+
+    def test_read_latest_after_updates(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.update(rid, {1: 11})
+        table.update(rid, {3: 31})
+        assert table.read_latest(rid) == {0: 1, 1: 11, 2: 20, 3: 31, 4: 40}
+
+
+class TestCumulativeUpdates:
+    def test_cumulative_record_repeats_prior_columns(self, table):
+        # Paper Table 2: t5 repeats A=a22 while adding C=c21.
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.update(rid, {1: 11})
+        table.update(rid, {3: 31})
+        update_range, offset = table.locate(rid)
+        tail = update_range.tail
+        latest = update_range.indirection.read(offset)
+        _, tail_offset = update_range.locate_tail(latest)
+        encoding = SchemaEncoding.from_int(
+            5, tail.record_cell(tail_offset, SCHEMA_ENCODING_COLUMN))
+        assert sorted(encoding.updated_columns()) == [1, 3]
+        assert tail.record_cell(tail_offset,
+                                table.schema.physical_index(1)) == 11
+
+    def test_two_hop_read(self, table):
+        # Latest read touches the base record plus one tail record.
+        rid = table.insert([1, 10, 20, 30, 40])
+        for i in range(5):
+            table.update(rid, {1: 100 + i})
+        values = table.read_latest_fast(rid, (1, 2))
+        assert values == {1: 104, 2: 20}
+
+
+class TestNonCumulativeUpdates:
+    @pytest.fixture
+    def nc_table(self, db, config):
+        nc_config = config.with_overrides(cumulative_updates=False)
+        return db.create_table("nc", 5, 0, config=nc_config)
+
+    def test_records_hold_only_changed_column(self, nc_table):
+        rid = nc_table.insert([1, 10, 20, 30, 40])
+        nc_table.update(rid, {1: 11})
+        nc_table.update(rid, {3: 31})
+        update_range, offset = nc_table.locate(rid)
+        latest = update_range.indirection.read(offset)
+        _, tail_offset = update_range.locate_tail(latest)
+        encoding = SchemaEncoding.from_int(
+            5, update_range.tail.record_cell(tail_offset,
+                                             SCHEMA_ENCODING_COLUMN))
+        assert list(encoding.updated_columns()) == [3]
+
+    def test_reader_walks_back_chain(self, nc_table):
+        # "readers are simply forced to walk back the chain" (§3.1).
+        rid = nc_table.insert([1, 10, 20, 30, 40])
+        nc_table.update(rid, {1: 11})
+        nc_table.update(rid, {3: 31})
+        assert nc_table.read_latest(rid) == {0: 1, 1: 11, 2: 20, 3: 31,
+                                             4: 40}
+        assert nc_table.read_latest_fast(rid) == {0: 1, 1: 11, 2: 20,
+                                                  3: 31, 4: 40}
+
+
+class TestDelete:
+    def test_delete_appends_empty_encoding_record(self, table):
+        table.snapshot_on_delete = False
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.delete(rid)
+        update_range, offset = table.locate(rid)
+        tail = update_range.tail
+        assert tail.num_allocated() == 1
+        encoding = SchemaEncoding.from_int(
+            5, tail.record_cell(0, SCHEMA_ENCODING_COLUMN))
+        assert not encoding.any_updated and not encoding.is_snapshot
+        assert tail.record_cell(0, table.schema.physical_index(1)) is NULL
+
+    def test_delete_with_snapshot_preserves_originals(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.delete(rid)
+        update_range, _ = table.locate(rid)
+        tail = update_range.tail
+        # snapshot record first, then the delete record
+        assert tail.num_allocated() == 2
+        snap_enc = SchemaEncoding.from_int(
+            5, tail.record_cell(0, SCHEMA_ENCODING_COLUMN))
+        assert snap_enc.is_snapshot
+        assert tail.record_cell(0, table.schema.physical_index(1)) == 10
+
+    def test_read_after_delete(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.delete(rid)
+        assert table.read_latest(rid) is DELETED
+        assert table.read_latest_fast(rid) is DELETED
+
+    def test_double_delete_rejected(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.delete(rid)
+        with pytest.raises(RecordDeletedError):
+            table.delete(rid)
+
+    def test_update_after_delete_rejected(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.delete(rid)
+        with pytest.raises(RecordDeletedError):
+            table.update(rid, {1: 5})
+
+
+class TestUpdateValidation:
+    def test_empty_update_rejected(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        with pytest.raises(SchemaMismatchError):
+            table.update(rid, {})
+
+    def test_primary_key_update_rejected(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        with pytest.raises(SchemaMismatchError):
+            table.update(rid, {0: 2})
+
+    def test_out_of_range_column(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        with pytest.raises(SchemaMismatchError):
+            table.update(rid, {9: 1})
+
+    def test_latched_record_conflicts(self, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        assert table.try_latch(rid)
+        with pytest.raises(WriteWriteConflict):
+            table.update(rid, {1: 5})
+        table.unlatch(rid)
+        table.update(rid, {1: 5})  # succeeds once released
+
+
+class TestWriteOnceTails:
+    def test_tail_cells_never_overwritten(self, table):
+        from repro.errors import PageImmutableError
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.update(rid, {1: 11})
+        update_range, _ = table.locate(rid)
+        tail = update_range.tail
+        with pytest.raises(PageImmutableError):
+            tail.write_cell(0, SCHEMA_ENCODING_COLUMN, 0)

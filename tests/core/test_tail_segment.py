@@ -1,0 +1,135 @@
+"""TailSegment mechanics: blocks, offsets, lazy columns, implicit nulls."""
+
+import threading
+
+import pytest
+
+from repro.core.page import Page
+from repro.core.page_directory import PageDirectory
+from repro.core.rid import MonotonicCounter, RIDAllocator
+from repro.core.schema import (BASE_RID_COLUMN, SCHEMA_ENCODING_COLUMN,
+                               START_TIME_COLUMN)
+from repro.core.table import TailSegment
+from repro.core.types import Layout, is_null
+from repro.errors import StorageError
+
+
+def _segment(page_capacity=4, block_size=8, layout=Layout.COLUMNAR,
+             width=9) -> TailSegment:
+    return TailSegment(
+        range_id=0, layout=layout, width=width,
+        page_capacity=page_capacity, block_size=block_size,
+        rid_allocator=RIDAllocator(), page_counter=MonotonicCounter(),
+        page_directory=PageDirectory())
+
+
+class TestAllocation:
+    def test_offsets_ascend_rids_descend(self):
+        segment = _segment()
+        pairs = [segment.allocate() for _ in range(5)]
+        offsets = [offset for _, offset in pairs]
+        rids = [rid for rid, _ in pairs]
+        assert offsets == list(range(5))
+        assert rids == sorted(rids, reverse=True)
+
+    def test_block_extension_preserves_mapping(self):
+        segment = _segment(block_size=4)
+        pairs = [segment.allocate() for _ in range(10)]  # 3 blocks
+        assert segment.num_reserved_slots() == 12
+        for rid, offset in pairs:
+            assert segment.locate(rid) == offset
+            assert segment.rid_at(offset) == rid
+
+    def test_unknown_rid(self):
+        segment = _segment()
+        segment.allocate()
+        with pytest.raises(StorageError):
+            segment.locate(123)
+
+    def test_unreserved_offset(self):
+        segment = _segment(block_size=4)
+        with pytest.raises(StorageError):
+            segment.rid_at(4)
+
+    def test_concurrent_allocations_unique(self):
+        segment = _segment(block_size=16)
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(50):
+                pair = segment.allocate()
+                with lock:
+                    results.append(pair)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        rids = [rid for rid, _ in results]
+        offsets = [offset for _, offset in results]
+        assert len(set(rids)) == 200
+        assert len(set(offsets)) == 200
+
+
+class TestCellIO:
+    def test_lazy_column_materialisation(self):
+        # "A column that has never been updated does not even have to
+        # be materialized" (Section 3.1).
+        segment = _segment()
+        segment.allocate()
+        segment.write_record(0, {SCHEMA_ENCODING_COLUMN: 1,
+                                 START_TIME_COLUMN: 5,
+                                 BASE_RID_COLUMN: 1,
+                                 7: 42})
+        assert segment.materialized_columns() == [SCHEMA_ENCODING_COLUMN,
+                                                  START_TIME_COLUMN,
+                                                  BASE_RID_COLUMN, 7]
+        assert segment.record_cell(0, 7) == 42
+        # Never-touched column: implicit special null.
+        assert is_null(segment.record_cell(0, 8))
+        assert not segment.has_value(0, 8)
+
+    def test_record_written_via_start_time(self):
+        segment = _segment()
+        segment.allocate()
+        assert not segment.record_written(0)
+        segment.write_record(0, {START_TIME_COLUMN: 5})
+        assert segment.record_written(0)
+
+    def test_pages_span_offsets(self):
+        segment = _segment(page_capacity=2, block_size=8)
+        for offset in range(6):
+            segment.allocate()
+            segment.write_record(offset, {START_TIME_COLUMN: offset})
+        pages = segment.pages_for_column(START_TIME_COLUMN)
+        assert len(pages) == 3
+        covered = segment.pages_for_slots(0, 4)
+        assert len(covered) == 2
+
+    def test_row_layout_full_width(self):
+        segment = _segment(layout=Layout.ROW, width=6)
+        segment.allocate()
+        segment.write_record(0, {START_TIME_COLUMN: 9, 5: 1})
+        assert segment.record_cell(0, 5) == 1
+        assert is_null(segment.record_cell(0, 4))
+        assert segment.record_written(0)
+
+    def test_replace_cell_refines_in_place(self):
+        segment = _segment()
+        segment.allocate()
+        segment.write_record(0, {START_TIME_COLUMN: 77})
+        assert segment.replace_cell(0, START_TIME_COLUMN, 77, 99)
+        assert segment.record_cell(0, START_TIME_COLUMN) == 99
+        # CAS semantics: stale expectation fails.
+        assert not segment.replace_cell(0, START_TIME_COLUMN, 77, 11)
+
+
+class TestTombstones:
+    def test_mark_and_check(self):
+        segment = _segment()
+        segment.allocate()
+        assert not segment.is_tombstone(0)
+        segment.mark_tombstone(0)
+        assert segment.is_tombstone(0)

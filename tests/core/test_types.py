@@ -1,0 +1,76 @@
+"""RID spaces, transaction markers, and the special null sentinel."""
+
+import pickle
+
+from repro.core import types
+from repro.core.types import (BASE_RID_MAX, LATCH_BIT, NULL, NULL_RID,
+                              TAIL_RID_MAX, TAIL_RID_SPLIT, is_base_rid,
+                              is_null, is_tail_rid, is_txn_marker,
+                              make_txn_marker, tail_rid_newer,
+                              txn_id_from_marker)
+
+
+class TestNullSentinel:
+    def test_singleton(self):
+        assert types._SpecialNull() is NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NULL)) is NULL
+
+    def test_repr(self):
+        assert repr(NULL) == "∅"
+
+
+class TestRIDSpaces:
+    def test_null_rid_is_neither(self):
+        assert not is_base_rid(NULL_RID)
+        assert not is_tail_rid(NULL_RID)
+
+    def test_base_rid_range(self):
+        assert is_base_rid(1)
+        assert is_base_rid(BASE_RID_MAX)
+        assert not is_base_rid(BASE_RID_MAX + 1)
+
+    def test_tail_rid_range(self):
+        assert is_tail_rid(TAIL_RID_SPLIT)
+        assert is_tail_rid(TAIL_RID_MAX)
+        assert not is_tail_rid(TAIL_RID_MAX + 1)
+        assert not is_tail_rid(TAIL_RID_SPLIT - 1)
+
+    def test_spaces_disjoint(self):
+        for rid in (1, 1000, TAIL_RID_SPLIT - 1, TAIL_RID_SPLIT,
+                    TAIL_RID_MAX):
+            assert is_base_rid(rid) != is_tail_rid(rid)
+
+    def test_latch_bit_above_all_rids(self):
+        assert LATCH_BIT > TAIL_RID_MAX
+        assert TAIL_RID_MAX & LATCH_BIT == 0
+
+    def test_tail_rid_newer_is_reversed(self):
+        # Tail RIDs descend over time: smaller is newer (Section 4.4).
+        assert tail_rid_newer(TAIL_RID_MAX - 1, TAIL_RID_MAX)
+        assert not tail_rid_newer(TAIL_RID_MAX, TAIL_RID_MAX - 1)
+
+
+class TestTxnMarkers:
+    def test_round_trip(self):
+        marker = make_txn_marker(12345)
+        assert is_txn_marker(marker)
+        assert txn_id_from_marker(marker) == 12345
+
+    def test_plain_timestamp_is_not_marker(self):
+        assert not is_txn_marker(0)
+        assert not is_txn_marker(10_000_000)
+
+    def test_marker_not_a_valid_rid(self):
+        marker = make_txn_marker(1)
+        assert not is_base_rid(marker) or marker >= types.TXN_ID_FLAG

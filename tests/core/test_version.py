@@ -1,0 +1,84 @@
+"""Start-time resolution and visibility predicates."""
+
+import pytest
+
+from repro.core.types import TransactionState, make_txn_marker
+from repro.core.version import (ResolvedTime, resolve_start_cell,
+                                visible_as_of, visible_latest_committed,
+                                visible_speculative, visible_to_txn)
+
+
+class _FakeManager:
+    """Minimal TxnStateSource for predicate tests."""
+
+    def __init__(self) -> None:
+        self.entries: dict[int, tuple[TransactionState, int | None]] = {}
+
+    def lookup(self, txn_id):
+        return self.entries.get(txn_id, (TransactionState.ABORTED, None))
+
+
+class TestResolution:
+    def test_plain_timestamp(self):
+        resolved = resolve_start_cell(42, None)
+        assert resolved == ResolvedTime(committed=True, time=42,
+                                        txn_id=None)
+
+    def test_marker_without_manager_is_uncommitted(self):
+        resolved = resolve_start_cell(make_txn_marker(7), None)
+        assert not resolved.committed
+        assert resolved.txn_id == 7
+
+    def test_marker_states(self):
+        manager = _FakeManager()
+        for state, commit_time, expect_committed in (
+                (TransactionState.ACTIVE, None, False),
+                (TransactionState.PRE_COMMIT, 99, False),
+                (TransactionState.COMMITTED, 99, True),
+                (TransactionState.ABORTED, None, False)):
+            manager.entries[7] = (state, commit_time)
+            resolved = resolve_start_cell(make_txn_marker(7), manager)
+            assert resolved.committed == expect_committed
+            assert resolved.state is state
+            if expect_committed:
+                assert resolved.time == 99
+
+
+class TestPredicates:
+    def _committed(self, time):
+        return ResolvedTime(committed=True, time=time, txn_id=None)
+
+    def _uncommitted(self, txn_id, state=TransactionState.ACTIVE):
+        return ResolvedTime(committed=False, time=None, txn_id=txn_id,
+                            state=state)
+
+    def test_latest_committed(self):
+        assert visible_latest_committed(self._committed(5))
+        assert not visible_latest_committed(self._uncommitted(1))
+
+    def test_as_of(self):
+        predicate = visible_as_of(10)
+        assert predicate(self._committed(10))
+        assert predicate(self._committed(9))
+        assert not predicate(self._committed(11))
+        assert not predicate(self._uncommitted(1))
+
+    def test_own_writes(self):
+        predicate = visible_to_txn(7, visible_as_of(10))
+        assert predicate(self._uncommitted(7))       # own write
+        assert not predicate(self._uncommitted(8))   # someone else's
+        assert predicate(self._committed(5))         # base rule
+        assert not predicate(self._committed(50))
+
+    def test_own_aborted_writes_invisible(self):
+        predicate = visible_to_txn(7, visible_latest_committed)
+        aborted = self._uncommitted(7, TransactionState.ABORTED)
+        assert not predicate(aborted)
+
+    def test_speculative(self):
+        predicate = visible_speculative(visible_latest_committed)
+        precommit = self._uncommitted(9, TransactionState.PRE_COMMIT)
+        active = self._uncommitted(9, TransactionState.ACTIVE)
+        assert predicate(precommit)
+        assert not predicate(active)
+        assert predicate(self._committed(1))

@@ -1,0 +1,136 @@
+"""The full durability stack: pages → page file → buffer pool → WAL.
+
+Exercises the storage substrate end to end: merged pages serialized to
+disk, read back through a small buffer pool with evictions, while the
+logical state is recoverable from the WAL — the deployment shape the
+paper's Section 5.2 (bufferpool steal policy) reasons about.
+"""
+
+import os
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.storage.bufferpool import BufferPool
+from repro.storage.disk import PageFile
+from repro.wal.recovery import recover_database
+
+
+def _config(tmp_path=None) -> EngineConfig:
+    return EngineConfig(
+        records_per_page=16, records_per_tail_page=16,
+        update_range_size=32, merge_threshold=16, insert_range_size=32,
+        wal_enabled=tmp_path is not None,
+        data_dir=str(tmp_path) if tmp_path else None)
+
+
+class TestPagePersistenceRoundTrip:
+    def test_merged_pages_survive_disk_round_trip(self, tmp_path):
+        db = Database(_config())
+        table = db.create_table("t", num_columns=3)
+        for key in range(64):
+            table.insert([key, key * 2, 7])
+        db.run_merges()
+        # Persist every registered page of the table.
+        page_file = PageFile(str(tmp_path / "t.pages"))
+        pages = [table.page_directory.get(page_id)
+                 for page_id in list(table.page_directory._pages)]
+        for page in pages:
+            if page.num_records and not hasattr(page, "_codes"):
+                page_file.write_page(page)
+        page_file.sync()
+        # Read a base page back and compare cell for cell.
+        chain = table.page_directory.base_chain(
+            0, table.schema.physical_index(1))
+        original = chain[0]
+        restored = page_file.read_page(original.page_id)
+        for slot in range(original.num_records):
+            assert restored.read_slot(slot) == original.read_slot(slot)
+        assert restored.tps_rid == original.tps_rid
+        page_file.close()
+        db.close()
+
+    def test_bufferpool_serves_evicted_pages(self, tmp_path):
+        db = Database(_config())
+        table = db.create_table("t", num_columns=2)
+        for key in range(64):
+            table.insert([key, key])
+        db.run_merges()
+        page_file = PageFile(str(tmp_path / "t.pages"))
+        pool = BufferPool(page_file, capacity=2)
+        chain = table.page_directory.base_chain(
+            0, table.schema.physical_index(1))
+        page_ids = []
+        for page in chain:
+            if hasattr(page, "_codes"):
+                continue  # dictionary pages: persisted via raw form
+            pool.put(page, dirty=True)
+            page_ids.append(page.page_id)
+        pool.flush_all()
+        # Thrash the pool: every page must come back intact even after
+        # eviction to disk.
+        for _ in range(3):
+            for page_id in page_ids:
+                with pool.pinned(page_id) as page:
+                    assert page.num_records > 0
+        assert pool.stat_evictions > 0 or len(page_ids) <= 2
+        page_file.close()
+        db.close()
+
+
+class TestWalPlusMergeLifecycle:
+    def test_crash_after_merge_recovers_from_tails(self, tmp_path):
+        # Merged pages are volatile (not logged); recovery rebuilds the
+        # pre-merge state from the WAL and simply re-merges.
+        db = Database(_config(tmp_path))
+        table = db.create_table("t", num_columns=3)
+        for key in range(32):
+            table.insert([key, 1, 0])
+        db.run_merges()
+        for key in range(32):
+            table.update(table.index.primary.get(key), {1: 2})
+        db.run_merges()
+        db._wal.flush()
+        expected = db.query("t").scan_sum(1)
+
+        recovered = recover_database(
+            os.path.join(str(tmp_path), "wal.log"), config=_config())
+        assert recovered.query("t").scan_sum(1) == expected
+        recovered.run_merges()
+        assert recovered.query("t").scan_sum(1) == expected
+        recovered.close()
+        db.close()
+
+    def test_two_generations_of_crashes(self, tmp_path):
+        # Crash, recover into a NEW WAL, crash again, recover from the
+        # concatenated log chain (frames are self-delimiting, so the
+        # two generations splice byte-for-byte).
+        first_dir = tmp_path / "gen1"
+        db = Database(_config(first_dir))
+        table = db.create_table("t", num_columns=2)
+        for key in range(16):
+            table.insert([key, 1])
+        db._wal.flush()
+        recovered = recover_database(
+            os.path.join(str(first_dir), "wal.log"),
+            config=_config(tmp_path / "gen2"))
+        # The recovered database logs new work to its own WAL segment
+        # automatically (recovery re-attaches logging at the end).
+        query = recovered.query("t")
+        query.update(0, None, 99)
+        query.insert(100, 5)
+        recovered._wal.flush()
+        # Second crash: splice the generations and recover everything.
+        combined = tmp_path / "combined.log"
+        with open(combined, "wb") as out:
+            for gen_dir in (first_dir, tmp_path / "gen2"):
+                with open(os.path.join(str(gen_dir), "wal.log"),
+                          "rb") as src:
+                    out.write(src.read())
+        third = recover_database(str(combined), config=_config())
+        final = third.query("t")
+        assert final.select(0, 0, None)[0][1] == 99
+        assert final.select(100, 0, None)[0][1] == 5
+        assert final.count() == 17
+        recovered.close()
+        db.close()

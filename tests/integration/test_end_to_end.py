@@ -1,0 +1,116 @@
+"""End-to-end lifecycle: load → update → merge → compress → time-travel."""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.core.merge import merge_update_range
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig(
+        records_per_page=16, records_per_tail_page=16,
+        update_range_size=32, merge_threshold=16, insert_range_size=32,
+        background_merge=False))
+    yield database
+    database.close()
+
+
+class TestFullLifecycle:
+    def test_oltp_olap_cycle(self, db):
+        table = db.create_table("orders", num_columns=4,
+                                column_names=("id", "qty", "price",
+                                              "status"))
+        query = db.query("orders")
+        # OLTP: load and mutate.
+        for key in range(96):
+            query.insert(key, 1, key % 7, 0)
+        db.run_merges()
+        checkpoint = db.clock.now()
+        for key in range(0, 96, 3):
+            query.update_columns(key, {1: 2, 3: 1})
+        for key in range(90, 96):
+            query.delete(key)
+        # OLAP on the same data, no ETL.
+        expected_qty = sum(2 if key % 3 == 0 else 1 for key in range(90))
+        assert query.scan_sum(1) == expected_qty
+        # Merge everything and re-check.
+        for update_range in table.sorted_ranges():
+            merge_update_range(table, update_range)
+        assert query.scan_sum(1) == expected_qty
+        # Historic query at the checkpoint: every row still qty=1.
+        assert query.scan_sum(1, as_of=checkpoint) == 96
+        # Compress history and re-run both.
+        db.compress_history()
+        db.epoch_manager.reclaim()
+        assert query.scan_sum(1) == expected_qty
+        assert query.scan_sum(1, as_of=checkpoint) == 96
+
+    def test_repeated_merge_rounds(self, db):
+        table = db.create_table("t", num_columns=2)
+        query = db.query("t")
+        for key in range(32):
+            query.insert(key, 0)
+        db.run_merges()
+        # Ten rounds of update-everything + merge; reads always exact.
+        for round_number in range(1, 11):
+            for key in range(32):
+                query.update(key, None, round_number)
+            for update_range in table.sorted_ranges():
+                merge_update_range(table, update_range)
+            assert query.scan_sum(1) == 32 * round_number
+            assert query.select(5, 0, None)[0][1] == round_number
+        # Version history survived all ten merges.
+        assert query.select_version(5, 0, None, -3)[0][1] == 7
+
+    def test_mixed_transactions_and_maintenance(self, db):
+        table = db.create_table("t", num_columns=3)
+        for key in range(64):
+            table.insert([key, 100, 0])
+        db.run_merges()
+        for i in range(20):
+            txn = db.begin_transaction()
+            txn.update(table, i, {1: 200})
+            txn.insert(table, [1000 + i, 50, 0])
+            if i % 3 == 0:
+                txn.abort()
+            else:
+                assert txn.commit()
+            if i % 5 == 0:
+                db.run_merges()
+        committed = [i for i in range(20) if i % 3 != 0]
+        query = db.query("t")
+        expected = 64 * 100 + len(committed) * 100 + len(committed) * 50
+        assert query.scan_sum(1) == expected
+        # Aborted inserts are invisible.
+        assert query.select(1000, 0, None) == []
+        assert query.select(1001, 0, None)[0][1] == 50
+
+    def test_epoch_reclaims_after_queries_finish(self, db):
+        table = db.create_table("t", num_columns=2)
+        for key in range(32):
+            table.insert([key, 1])
+        db.run_merges()
+        handle = db.epoch_manager.enter_query(db.clock.now())
+        for key in range(32):
+            table.update(table.index.primary.get(key), {1: 2})
+        for update_range in table.sorted_ranges():
+            merge_update_range(table, update_range)
+        pending_before = db.epoch_manager.pending_pages
+        assert pending_before > 0  # the old query pins outdated pages
+        db.epoch_manager.exit_query(handle)
+        assert db.epoch_manager.pending_pages == 0
+
+    def test_update_heavy_page_growth_bounded(self, db):
+        # Tail blocks extend as updates accumulate; directory and RID
+        # spaces stay coherent across many blocks.
+        table = db.create_table("t", num_columns=2)
+        table.insert([0, 0])
+        rid = table.index.primary.get(0)
+        for i in range(200):  # >> update_range_size tail records
+            table.update(rid, {1: i})
+        assert table.read_latest(rid, (1,))[1] == 199
+        update_range, _ = table.locate(rid)
+        assert update_range.tail.num_allocated() >= 200
+        # Several tail blocks were chained; all remain addressable.
+        assert len(update_range.tail._blocks) > 1

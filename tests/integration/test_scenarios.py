@@ -1,0 +1,135 @@
+"""Scenario tests mirroring the runnable examples (deterministic)."""
+
+import pytest
+
+from repro import Database, EngineConfig, IsolationLevel
+from repro.errors import TransactionAborted
+
+
+@pytest.fixture
+def db():
+    database = Database(EngineConfig(
+        records_per_page=32, records_per_tail_page=32,
+        update_range_size=64, merge_threshold=32, insert_range_size=64))
+    yield database
+    database.close()
+
+
+class TestAdAuctionScenario:
+    """The paper's mobile-advertising motivation, single-threaded."""
+
+    def test_purchases_feed_next_auction(self, db):
+        shoppers = db.create_table(
+            "shoppers", num_columns=4,
+            column_names=("id", "zone", "purchases", "spend"))
+        for shopper in range(128):
+            shoppers.insert([shopper, shopper % 8, 0, 0])
+        db.run_merges()
+
+        # Auction 1 sees zero spend.
+        assert shoppers.scan_sum(3) == 0
+        # A purchase commits...
+        txn = db.begin_transaction()
+        profile = txn.select(shoppers, 42, (2, 3))
+        txn.update(shoppers, 42, {2: profile[2] + 1,
+                                  3: profile[3] + 75})
+        assert txn.commit()
+        # ...and the very next auction sees it: no ETL gap.
+        assert shoppers.scan_sum(3) == 75
+        assert shoppers.scan_sum(2) == 1
+
+    def test_bid_contention_one_winner(self, db):
+        ads = db.create_table("slots", num_columns=3,
+                              column_names=("slot", "winner", "bid"))
+        ads.insert([1, 0, 0])
+        first = db.begin_transaction()
+        second = db.begin_transaction()
+        first.update(ads, 1, {1: 100, 2: 50})
+        with pytest.raises(TransactionAborted):
+            second.update(ads, 1, {1: 200, 2: 60})
+        assert first.commit()
+        query = db.query("slots")
+        assert query.select(1, 0, None)[0].columns == (1, 100, 50)
+
+
+class TestFraudScenario:
+    """Analytics inside the approving transaction."""
+
+    def test_limit_never_exceeded(self, db):
+        cards = db.create_table("cards", num_columns=2,
+                                column_names=("card", "spend"))
+        cards.insert([7, 0])
+        limit = 100
+
+        def authorize(amount: int) -> bool:
+            txn = db.begin_transaction(
+                isolation=IsolationLevel.REPEATABLE_READ)
+            try:
+                spend = txn.select(cards, 7, (1,))[1]
+                if spend + amount > limit:
+                    txn.abort()
+                    return False
+                txn.update(cards, 7, {1: spend + amount})
+                return txn.commit()
+            except TransactionAborted:
+                return False
+
+        results = [authorize(30) for _ in range(5)]
+        assert results == [True, True, True, False, False]
+        assert db.query("cards").select(7, 0, None)[0][1] == 90
+
+    def test_declines_recorded_for_analytics(self, db):
+        cards = db.create_table("cards", num_columns=3,
+                                column_names=("card", "spend", "flags"))
+        for card in range(16):
+            cards.insert([card, 0, 0])
+        for card in (3, 3, 9):
+            flags = db.query("cards").select(card, 0, None)[0][2]
+            db.query("cards").update_columns(card, {2: flags + 1})
+        assert db.query("cards").scan_sum(2) == 3
+        flagged = [record.key for record in db.query("cards").scan()
+                   if record[2] > 0]
+        assert flagged == [3, 9]
+
+
+class TestInventoryScenario:
+    """Classic stock management: oversell prevention + restock audit."""
+
+    def test_no_oversell_under_interleaving(self, db):
+        stock = db.create_table("stock", num_columns=2,
+                                column_names=("sku", "units"))
+        stock.insert([1, 3])
+
+        def sell() -> bool:
+            txn = db.begin_transaction(
+                isolation=IsolationLevel.REPEATABLE_READ)
+            try:
+                units = txn.select(stock, 1, (1,))[1]
+                if units <= 0:
+                    txn.abort()
+                    return False
+                txn.update(stock, 1, {1: units - 1})
+                return txn.commit()
+            except TransactionAborted:
+                return False
+
+        sales = sum(1 for _ in range(6) if sell())
+        assert sales == 3
+        assert db.query("stock").select(1, 0, None)[0][1] == 0
+
+    def test_restock_audit_trail(self, db):
+        stock = db.create_table("stock", num_columns=2,
+                                column_names=("sku", "units"))
+        stock.insert([1, 0])
+        query = db.query("stock")
+        for delivery in (10, 25, 5):
+            query.increment(1, 1, delta=delivery)
+        # The full audit trail is one select_version sweep.
+        history = [query.select_version(1, 0, None, -back)[0][1]
+                   for back in range(4)]
+        assert history == [40, 35, 10, 0]
+        db.run_merges()
+        history_after_merge = [
+            query.select_version(1, 0, None, -back)[0][1]
+            for back in range(4)]
+        assert history_after_merge == history

@@ -1,0 +1,187 @@
+"""Model-based property tests on the lineage storage.
+
+A random interleaving of inserts, updates, deletes and merges is
+mirrored against a plain-dict model; the table must agree with the
+model on every read — latest values, historic versions, and scans —
+regardless of where merges landed (lineage completeness)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, EngineConfig
+from repro.core.merge import merge_update_range
+from repro.core.table import DELETED
+
+NUM_COLUMNS = 4
+KEYS = list(range(12))
+
+
+def _database() -> Database:
+    return Database(EngineConfig(
+        records_per_page=8, records_per_tail_page=8,
+        update_range_size=16, merge_threshold=1000, insert_range_size=16,
+        background_merge=False))
+
+
+operation = st.one_of(
+    st.tuples(st.just("insert"), st.sampled_from(KEYS)),
+    st.tuples(st.just("update"), st.sampled_from(KEYS),
+              st.integers(1, NUM_COLUMNS - 1), st.integers(0, 99)),
+    st.tuples(st.just("delete"), st.sampled_from(KEYS)),
+    st.tuples(st.just("merge")),
+    st.tuples(st.just("compress")),
+)
+
+
+class _Model:
+    """Reference implementation: dict of versions per key."""
+
+    def __init__(self) -> None:
+        self.versions: dict[int, list[dict[int, int] | None]] = {}
+
+    def live(self, key: int) -> bool:
+        versions = self.versions.get(key)
+        return bool(versions) and versions[-1] is not None
+
+    def insert(self, key: int) -> None:
+        row = {column: key * 10 + column for column in range(NUM_COLUMNS)}
+        row[0] = key
+        self.versions[key] = [row]
+
+    def update(self, key: int, column: int, value: int) -> None:
+        current = dict(self.versions[key][-1])
+        current[column] = value
+        self.versions[key].append(current)
+
+    def delete(self, key: int) -> None:
+        self.versions[key].append(None)
+
+    def latest(self, key: int):
+        versions = self.versions.get(key)
+        if not versions:
+            return None
+        return versions[-1]
+
+    def scan_sum(self, column: int) -> int:
+        total = 0
+        for versions in self.versions.values():
+            if versions and versions[-1] is not None:
+                total += versions[-1][column]
+        return total
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(operation, max_size=60))
+def test_table_agrees_with_model(operations):
+    db = _database()
+    try:
+        table = db.create_table("prop", num_columns=NUM_COLUMNS)
+        model = _Model()
+        for op in operations:
+            kind = op[0]
+            if kind == "insert":
+                key = op[1]
+                if model.live(key):
+                    continue
+                row = {column: key * 10 + column
+                       for column in range(NUM_COLUMNS)}
+                row[0] = key
+                table.insert([row[c] for c in range(NUM_COLUMNS)])
+                model.insert(key)
+            elif kind == "update":
+                _, key, column, value = op
+                if not model.live(key):
+                    continue
+                table.update(table.index.primary.get(key),
+                             {column: value})
+                model.update(key, column, value)
+            elif kind == "delete":
+                key = op[1]
+                if not model.live(key):
+                    continue
+                table.delete(table.index.primary.get(key))
+                model.delete(key)
+            elif kind == "merge":
+                db.run_merges()
+                for update_range in table.sorted_ranges():
+                    merge_update_range(table, update_range)
+            else:  # compress
+                db.compress_history()
+
+        # Latest reads agree.
+        for key in KEYS:
+            expected = model.latest(key)
+            rid = table.index.primary.get(key)
+            if expected is None:
+                if rid is not None and model.versions.get(key):
+                    actual = table.read_latest(rid)
+                    assert actual is DELETED or actual is None
+                continue
+            actual = table.read_latest(rid)
+            assert actual == expected
+            assert table.read_latest_fast(rid) == expected
+        # Scans agree.
+        for column in range(1, NUM_COLUMNS):
+            assert table.scan_sum(column) == model.scan_sum(column)
+    finally:
+        db.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, NUM_COLUMNS - 1),
+                          st.integers(0, 99)),
+                max_size=20),
+       st.integers(0, 25))
+def test_every_version_reachable_across_merges(updates, merge_after):
+    """select_version(-k) equals the k-th most recent model version,
+    no matter where a merge was injected in the middle."""
+    db = _database()
+    try:
+        table = db.create_table("prop", num_columns=NUM_COLUMNS)
+        rid = table.insert([5, 50, 51, 52])
+        expected_versions = [{0: 5, 1: 50, 2: 51, 3: 52}]
+        for step, (column, value) in enumerate(updates):
+            if step == merge_after:
+                db.run_merges()
+                for update_range in table.sorted_ranges():
+                    merge_update_range(table, update_range)
+            table.update(rid, {column: value})
+            version = dict(expected_versions[-1])
+            version[column] = value
+            expected_versions.append(version)
+        for back, expected in enumerate(reversed(expected_versions)):
+            actual = table.read_relative_version(
+                rid, range(NUM_COLUMNS), -back)
+            assert actual == expected
+    finally:
+        db.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, NUM_COLUMNS - 1),
+                          st.integers(0, 99)),
+                min_size=1, max_size=15))
+def test_as_of_reads_match_history(updates):
+    """A snapshot read at any recorded timestamp sees exactly the state
+    that was current then, even after merging and compressing."""
+    from repro.core.version import visible_as_of
+    db = _database()
+    try:
+        table = db.create_table("prop", num_columns=NUM_COLUMNS)
+        rid = table.insert([5, 50, 51, 52])
+        history = [(db.clock.now(), {0: 5, 1: 50, 2: 51, 3: 52})]
+        for column, value in updates:
+            table.update(rid, {column: value})
+            version = dict(history[-1][1])
+            version[column] = value
+            history.append((db.clock.now(), version))
+        db.run_merges()
+        for update_range in table.sorted_ranges():
+            merge_update_range(table, update_range)
+        db.compress_history()
+        for timestamp, expected in history:
+            actual = table.assemble_version(rid, range(NUM_COLUMNS),
+                                            visible_as_of(timestamp))
+            assert actual == expected
+    finally:
+        db.close()

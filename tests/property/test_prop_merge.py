@@ -1,0 +1,133 @@
+"""Merge invariants: TPS monotonicity, stability, read preservation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, EngineConfig
+from repro.core.merge import merge_update_range
+from repro.core.table import DELETED, tps_applied
+from repro.core.types import NULL_RID
+from repro.core.version import visible_latest_committed
+
+
+def _database() -> Database:
+    return Database(EngineConfig(
+        records_per_page=8, records_per_tail_page=8,
+        update_range_size=16, merge_threshold=1000, insert_range_size=16,
+        background_merge=False))
+
+
+def _loaded_table(db, keys=16):
+    table = db.create_table("t", num_columns=3)
+    for key in range(keys):
+        table.insert([key, key, 0])
+    db.run_merges()
+    return table
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 99)),
+                min_size=1, max_size=40),
+       st.lists(st.integers(1, 10), min_size=1, max_size=5))
+def test_tps_monotone_across_partial_merges(updates, merge_batches):
+    """Any sequence of partial merges keeps TPS strictly advancing and
+    reads exact."""
+    db = _database()
+    try:
+        table = _loaded_table(db)
+        update_range = table.ranges[0]
+        expected = {key: key for key in range(16)}
+        for key, value in updates:
+            table.update(table.index.primary.get(key), {1: value})
+            expected[key] = value
+        previous_tps = update_range.tps_rid
+        for batch in merge_batches:
+            result = merge_update_range(table, update_range,
+                                        max_records=batch)
+            if result.performed:
+                if previous_tps != NULL_RID:
+                    assert update_range.tps_rid < previous_tps
+                previous_tps = update_range.tps_rid
+        for key, value in expected.items():
+            rid = table.index.primary.get(key)
+            assert table.read_latest(rid)[1] == value
+        assert table.scan_sum(1) == sum(expected.values())
+    finally:
+        db.close()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 99)),
+                min_size=1, max_size=30))
+def test_merge_equivalent_to_no_merge(updates):
+    """The merged table answers every read exactly like an unmerged one."""
+    db_a = _database()
+    db_b = _database()
+    try:
+        table_a = _loaded_table(db_a)
+        table_b = _loaded_table(db_b)
+        for key, value in updates:
+            table_a.update(table_a.index.primary.get(key), {1: value})
+            table_b.update(table_b.index.primary.get(key), {1: value})
+        merge_update_range(table_a, table_a.ranges[0])
+        for key in range(16):
+            rid_a = table_a.index.primary.get(key)
+            rid_b = table_b.index.primary.get(key)
+            assert table_a.read_latest(rid_a) == table_b.read_latest(rid_b)
+            for back in range(3):
+                assert table_a.read_relative_version(rid_a, (1,), -back) \
+                    == table_b.read_relative_version(rid_b, (1,), -back)
+        assert table_a.scan_sum(1) == table_b.scan_sum(1)
+    finally:
+        db_a.close()
+        db_b.close()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.integers(0, 15), min_size=1, max_size=8))
+def test_deletes_survive_merge(deleted_keys):
+    db = _database()
+    try:
+        table = _loaded_table(db)
+        for key in deleted_keys:
+            table.delete(table.index.primary.get(key))
+        merge_update_range(table, table.ranges[0])
+        for key in range(16):
+            rid = table.index.primary.get(key)
+            result = table.read_latest(rid)
+            if key in deleted_keys:
+                assert result is DELETED
+            else:
+                assert result[1] == key
+        assert table.scan_sum(1) \
+            == sum(key for key in range(16) if key not in deleted_keys)
+    finally:
+        db.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(1, 2),
+                          st.integers(0, 99)),
+                min_size=1, max_size=30))
+def test_applied_watermark_consistent(updates):
+    """After a full merge, every installed indirection is TPS-covered,
+    and the 1-hop read path (merged base pages) serves the same values
+    as the chain walk."""
+    db = _database()
+    try:
+        table = _loaded_table(db)
+        update_range = table.ranges[0]
+        for key, column, value in updates:
+            table.update(table.index.primary.get(key), {column: value})
+        merge_update_range(table, update_range)
+        for offset in range(update_range.size):
+            indirection = update_range.indirection.read(offset)
+            if indirection != NULL_RID:
+                assert tps_applied(update_range.tps_rid, indirection)
+        for key in range(16):
+            rid = table.index.primary.get(key)
+            via_chain = table.assemble_version(rid, (1, 2),
+                                               visible_latest_committed)
+            assert table.read_latest(rid, (1, 2)) == via_chain
+    finally:
+        db.close()

@@ -1,0 +1,117 @@
+"""Concurrency-protocol properties: atomicity and isolation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, EngineConfig, IsolationLevel
+from repro.errors import TransactionAborted
+from repro.txn.transaction import Transaction
+
+
+def _database() -> Database:
+    return Database(EngineConfig(
+        records_per_page=8, records_per_tail_page=8,
+        update_range_size=16, merge_threshold=1000, insert_range_size=16,
+        background_merge=False))
+
+
+statement = st.one_of(
+    st.tuples(st.just("update"), st.integers(0, 7), st.integers(0, 99)),
+    st.tuples(st.just("read"), st.integers(0, 7)),
+    st.tuples(st.just("insert"), st.integers(100, 120)),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(statement, min_size=1, max_size=10), st.booleans())
+def test_atomicity_all_or_nothing(statements, commit):
+    """Either every statement's effect is visible, or none is."""
+    db = _database()
+    try:
+        table = db.create_table("t", num_columns=2)
+        for key in range(8):
+            table.insert([key, 0])
+        baseline = {key: table.read_latest(
+            table.index.primary.get(key))[1] for key in range(8)}
+        txn = Transaction(db.txn_manager)
+        expected = dict(baseline)
+        inserted: set[int] = set()
+        try:
+            for op in statements:
+                if op[0] == "update":
+                    txn.update(table, op[1], {1: op[2]})
+                    expected[op[1]] = op[2]
+                elif op[0] == "read":
+                    txn.select(table, op[1])
+                else:
+                    if op[1] in inserted:
+                        continue
+                    txn.insert(table, [op[1], 1])
+                    inserted.add(op[1])
+        except TransactionAborted:
+            commit = False
+        if commit:
+            assert txn.commit()
+            for key, value in expected.items():
+                assert table.read_latest(
+                    table.index.primary.get(key))[1] == value
+            for key in inserted:
+                assert table.index.primary.get(key) is not None
+        else:
+            txn.abort()
+            for key, value in baseline.items():
+                assert table.read_latest(
+                    table.index.primary.get(key))[1] == value
+            for key in inserted:
+                assert table.index.primary.get(key) is None
+    finally:
+        db.close()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(1, 99)),
+                min_size=1, max_size=8))
+def test_snapshot_isolation_immune_to_later_commits(writes):
+    """A snapshot transaction's reads never change, whatever commits
+    after its begin time."""
+    db = _database()
+    try:
+        table = db.create_table("t", num_columns=2)
+        for key in range(8):
+            table.insert([key, 0])
+        snapshot_txn = Transaction(db.txn_manager,
+                                   isolation=IsolationLevel.SNAPSHOT)
+        first_reads = {key: snapshot_txn.select(table, key)[1]
+                       for key in range(8)}
+        for key, value in writes:
+            table.update(table.index.primary.get(key), {1: value})
+        second_reads = {key: snapshot_txn.select(table, key)[1]
+                        for key in range(8)}
+        assert first_reads == second_reads == {key: 0 for key in range(8)}
+        snapshot_txn.commit()
+    finally:
+        db.close()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 7), st.integers(1, 99), st.integers(1, 99))
+def test_first_writer_wins_second_aborts(key, first_value, second_value):
+    db = _database()
+    try:
+        table = db.create_table("t", num_columns=2)
+        for k in range(8):
+            table.insert([k, 0])
+        txn_a = Transaction(db.txn_manager)
+        txn_b = Transaction(db.txn_manager)
+        txn_a.update(table, key, {1: first_value})
+        try:
+            txn_b.update(table, key, {1: second_value})
+            conflicted = False
+        except TransactionAborted:
+            conflicted = True
+        assert conflicted
+        assert txn_a.commit()
+        rid = table.index.primary.get(key)
+        assert table.read_latest(rid)[1] == first_value
+    finally:
+        db.close()

@@ -1,0 +1,88 @@
+"""Property tests on the storage primitives (pages, encodings, codecs)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compression import (delta_decode, delta_encode,
+                                    maybe_compress_page)
+from repro.core.encoding import SchemaEncoding
+from repro.core.page import Page
+from repro.core.types import NULL, PageKind, is_null
+from repro.storage.serialization import deserialize_page, serialize_page
+
+values_strategy = st.one_of(
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+    st.just(NULL),
+    st.text(max_size=8),
+)
+
+
+class TestEncodingProperties:
+    @given(st.integers(1, 16), st.data())
+    def test_column_round_trip(self, num_columns, data):
+        columns = data.draw(st.sets(
+            st.integers(0, num_columns - 1)))
+        snapshot = data.draw(st.booleans())
+        encoding = SchemaEncoding.from_columns(num_columns, columns,
+                                               snapshot)
+        assert set(encoding.updated_columns()) == columns
+        assert encoding.is_snapshot == snapshot
+
+    @given(st.integers(1, 16), st.data())
+    def test_packed_round_trip(self, num_columns, data):
+        bits = data.draw(st.integers(0, (1 << num_columns) - 1))
+        snapshot = data.draw(st.booleans())
+        encoding = SchemaEncoding(num_columns, bits, snapshot)
+        assert SchemaEncoding.from_int(num_columns,
+                                       encoding.to_int()) == encoding
+
+    @given(st.integers(1, 12), st.data())
+    def test_union_is_bitwise_or(self, num_columns, data):
+        a_cols = data.draw(st.sets(st.integers(0, num_columns - 1)))
+        b_cols = data.draw(st.sets(st.integers(0, num_columns - 1)))
+        a = SchemaEncoding.from_columns(num_columns, a_cols)
+        b = SchemaEncoding.from_columns(num_columns, b_cols)
+        assert set(a.union(b).updated_columns()) == a_cols | b_cols
+
+
+class TestDeltaCodecProperties:
+    @given(st.lists(st.integers(min_value=-(2 ** 50),
+                                max_value=2 ** 50)))
+    def test_round_trip(self, values):
+        if not values:
+            return
+        assert delta_decode(*delta_encode(values)) == values
+
+
+class TestPageProperties:
+    @given(st.lists(values_strategy, min_size=1, max_size=64))
+    def test_serialization_round_trip(self, values):
+        page = Page(1, PageKind.TAIL, max(len(values), 1))
+        for slot, value in enumerate(values):
+            page.write_slot(slot, value)
+        restored = deserialize_page(serialize_page(page))
+        for slot, value in enumerate(values):
+            restored_value = restored.read_slot(slot)
+            if is_null(value):
+                assert is_null(restored_value)
+            else:
+                assert restored_value == value
+
+    @given(st.lists(st.integers(0, 3), min_size=8, max_size=64))
+    def test_dictionary_compression_lossless(self, values):
+        page = Page(1, PageKind.MERGED, len(values))
+        page.fill(values)
+        compressed = maybe_compress_page(page)
+        assert [compressed.read_slot(i) for i in range(len(values))] \
+            == values
+        array = compressed.as_numpy()
+        assert array is not None and list(array) == values
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=32))
+    def test_numpy_view_matches_values(self, values):
+        page = Page(1, PageKind.BASE, len(values))
+        page.fill(values)
+        array = page.as_numpy()
+        assert array is not None
+        assert list(array) == values
+        assert int(array.sum()) == sum(values)

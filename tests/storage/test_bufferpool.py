@@ -1,0 +1,143 @@
+"""Buffer pool: pinning, LRU eviction, steal policy."""
+
+import pytest
+
+from repro.core.page import Page
+from repro.core.types import PageKind
+from repro.errors import BufferPoolFullError, StorageError
+from repro.storage.bufferpool import BufferPool
+from repro.storage.disk import PageFile
+
+
+def _page(page_id: int, value: int = 0) -> Page:
+    page = Page(page_id, PageKind.TAIL, 4)
+    page.write_slot(0, value)
+    return page
+
+
+@pytest.fixture
+def pool(tmp_path):
+    page_file = PageFile(str(tmp_path / "t.pages"))
+    pool = BufferPool(page_file, capacity=3)
+    yield pool
+    page_file.close()
+
+
+class TestFetchPin:
+    def test_put_fetch(self, pool):
+        pool.put(_page(1, 42))
+        page = pool.fetch(1)
+        assert page.read_slot(0) == 42
+        assert pool.stat_hits == 1
+        pool.unpin(1)
+
+    def test_miss_loads_from_disk(self, pool):
+        pool._file.write_page(_page(7, 9))
+        page = pool.fetch(7)
+        assert page.read_slot(0) == 9
+        assert pool.stat_misses == 1
+        pool.unpin(7)
+
+    def test_unknown_page(self, pool):
+        with pytest.raises(StorageError):
+            pool.fetch(99)
+
+    def test_duplicate_put(self, pool):
+        pool.put(_page(1))
+        with pytest.raises(StorageError):
+            pool.put(_page(1))
+
+    def test_unpin_without_pin(self, pool):
+        pool.put(_page(1))
+        with pytest.raises(StorageError):
+            pool.unpin(1)
+
+    def test_pinned_context(self, pool):
+        pool.put(_page(1, 5))
+        with pool.pinned(1) as page:
+            assert page.read_slot(0) == 5
+        pool.unpin(1) if False else None
+        # fully unpinned: eviction is possible again
+        pool.put(_page(2))
+        pool.put(_page(3))
+        pool.put(_page(4))  # would raise if page 1 were still pinned
+
+
+class TestEviction:
+    def test_lru_eviction_writes_dirty(self, pool):
+        for page_id in (1, 2, 3):
+            pool.put(_page(page_id, page_id))
+        pool.put(_page(4, 4))  # evicts page 1 (LRU), steal-writes it
+        assert pool.stat_evictions == 1
+        assert pool.stat_steals == 1
+        assert not pool.is_resident(1)
+        # The stolen page is readable back from disk.
+        page = pool.fetch(1)
+        assert page.read_slot(0) == 1
+        pool.unpin(1)
+
+    def test_pinned_pages_not_evicted(self, pool):
+        pool.put(_page(1))
+        pool.fetch(1)  # pin
+        pool.put(_page(2))
+        pool.put(_page(3))
+        pool.put(_page(4))  # must evict 2 or 3, never 1
+        assert pool.is_resident(1)
+        pool.unpin(1)
+
+    def test_all_pinned_raises(self, pool):
+        for page_id in (1, 2, 3):
+            pool.put(_page(page_id))
+            pool.fetch(page_id)
+        with pytest.raises(BufferPoolFullError):
+            pool.put(_page(4))
+
+    def test_recently_used_survives(self, pool):
+        for page_id in (1, 2, 3):
+            pool.put(_page(page_id))
+        pool.fetch(1)
+        pool.unpin(1)  # 1 is now most recently used
+        pool.put(_page(4))  # evicts 2 (the oldest unpinned)
+        assert pool.is_resident(1)
+        assert not pool.is_resident(2)
+
+
+class TestNoSteal:
+    def test_dirty_pages_not_stolen(self, tmp_path):
+        page_file = PageFile(str(tmp_path / "ns.pages"))
+        pool = BufferPool(page_file, capacity=2, allow_steal=False)
+        pool.put(_page(1), dirty=True)
+        pool.put(_page(2), dirty=False)
+        pool.put(_page(3))  # can only evict the clean page 2
+        assert pool.is_resident(1)
+        assert not pool.is_resident(2)
+        page_file.close()
+
+    def test_all_dirty_raises(self, tmp_path):
+        page_file = PageFile(str(tmp_path / "ns.pages"))
+        pool = BufferPool(page_file, capacity=2, allow_steal=False)
+        pool.put(_page(1), dirty=True)
+        pool.put(_page(2), dirty=True)
+        with pytest.raises(BufferPoolFullError):
+            pool.put(_page(3))
+        page_file.close()
+
+
+class TestFlush:
+    def test_flush_all(self, pool):
+        pool.put(_page(1, 11), dirty=True)
+        pool.put(_page(2, 22), dirty=True)
+        assert pool.flush_all() == 2
+        assert pool.flush_all() == 0  # now clean
+        assert pool._file.read_page(1).read_slot(0) == 11
+
+    def test_mark_dirty(self, pool):
+        pool.put(_page(1), dirty=False)
+        pool.mark_dirty(1)
+        assert pool.flush_all() == 1
+
+    def test_capacity_validation(self, tmp_path):
+        page_file = PageFile(str(tmp_path / "x.pages"))
+        with pytest.raises(ValueError):
+            BufferPool(page_file, capacity=0)
+        page_file.close()

@@ -1,0 +1,89 @@
+"""Page files: persistence, re-pointing, compaction."""
+
+import os
+
+import pytest
+
+from repro.core.page import Page
+from repro.core.types import PageKind
+from repro.errors import StorageError
+from repro.storage.disk import PageFile
+
+
+def _page(page_id: int, values) -> Page:
+    page = Page(page_id, PageKind.TAIL, max(len(values), 1))
+    for slot, value in enumerate(values):
+        page.write_slot(slot, value)
+    return page
+
+
+@pytest.fixture
+def page_file(tmp_path):
+    pf = PageFile(str(tmp_path / "table.pages"))
+    yield pf
+    pf.close()
+
+
+class TestReadWrite:
+    def test_round_trip(self, page_file):
+        page_file.write_page(_page(1, [1, 2, 3]))
+        restored = page_file.read_page(1)
+        assert [restored.read_slot(i) for i in range(3)] == [1, 2, 3]
+
+    def test_missing_page(self, page_file):
+        with pytest.raises(StorageError):
+            page_file.read_page(42)
+
+    def test_contains_len(self, page_file):
+        page_file.write_page(_page(1, [1]))
+        page_file.write_page(_page(2, [2]))
+        assert 1 in page_file and 2 in page_file
+        assert len(page_file) == 2
+        assert sorted(page_file.page_ids()) == [1, 2]
+
+    def test_rewrite_repoints(self, page_file):
+        page_file.write_page(_page(1, [1]))
+        page_file.write_page(_page(1, [9, 9]))
+        restored = page_file.read_page(1)
+        assert restored.read_slot(0) == 9
+
+    def test_delete(self, page_file):
+        page_file.write_page(_page(1, [1]))
+        page_file.delete_page(1)
+        assert 1 not in page_file
+
+
+class TestDurability:
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "t.pages")
+        pf = PageFile(path)
+        pf.write_page(_page(1, [5, 6]))
+        pf.close()
+        pf2 = PageFile(path)
+        assert pf2.read_page(1).read_slot(1) == 6
+        pf2.close()
+
+    def test_compact_reclaims_space(self, tmp_path):
+        path = str(tmp_path / "t.pages")
+        pf = PageFile(path)
+        for round_number in range(5):
+            pf.write_page(_page(1, [round_number] * 8))
+        before = os.path.getsize(path)
+        saved = pf.compact()
+        assert saved > 0
+        assert os.path.getsize(path) < before
+        assert pf.read_page(1).read_slot(0) == 4  # latest version kept
+        pf.close()
+
+    def test_compact_then_reopen(self, tmp_path):
+        path = str(tmp_path / "t.pages")
+        pf = PageFile(path)
+        pf.write_page(_page(1, [1]))
+        pf.write_page(_page(2, [2]))
+        pf.write_page(_page(1, [3]))
+        pf.compact()
+        pf.close()
+        pf2 = PageFile(path)
+        assert pf2.read_page(1).read_slot(0) == 3
+        assert pf2.read_page(2).read_slot(0) == 2
+        pf2.close()

@@ -1,0 +1,80 @@
+"""Page serialization round trips."""
+
+import pytest
+
+from repro.core.page import Page, RowPage
+from repro.core.types import NULL, PageKind, is_null
+from repro.errors import SerializationError
+from repro.storage.serialization import deserialize_page, serialize_page
+
+
+class TestColumnPages:
+    def test_int_round_trip(self):
+        page = Page(7, PageKind.BASE, 8, column=3)
+        page.fill([1, 2, 3, 4])
+        page.set_lineage(99, 2)
+        restored = deserialize_page(serialize_page(page))
+        assert restored.page_id == 7
+        assert restored.kind is PageKind.BASE
+        assert restored.capacity == 8
+        assert restored.column == 3
+        assert restored.tps_rid == 99
+        assert restored.merge_count == 2
+        assert [restored.read_slot(i) for i in range(4)] == [1, 2, 3, 4]
+        assert restored.frozen  # base pages come back read-only
+
+    def test_null_round_trip(self):
+        page = Page(1, PageKind.TAIL, 4)
+        page.write_slot(0, NULL)
+        page.write_slot(1, 5)
+        restored = deserialize_page(serialize_page(page))
+        assert is_null(restored.read_slot(0))
+        assert restored.read_slot(1) == 5
+        assert not restored.frozen  # tail pages stay appendable
+
+    def test_large_ints_fall_back_to_pickle(self):
+        page = Page(1, PageKind.TAIL, 4)
+        page.write_slot(0, 1 << 70)
+        restored = deserialize_page(serialize_page(page))
+        assert restored.read_slot(0) == 1 << 70
+
+    def test_arbitrary_values(self):
+        page = Page(1, PageKind.TAIL, 4)
+        page.write_slot(0, "text")
+        page.write_slot(1, (1, 2))
+        restored = deserialize_page(serialize_page(page))
+        assert restored.read_slot(0) == "text"
+        assert restored.read_slot(1) == (1, 2)
+
+    def test_no_column(self):
+        page = Page(1, PageKind.TAIL, 4, column=None)
+        page.write_slot(0, 1)
+        assert deserialize_page(serialize_page(page)).column is None
+
+
+class TestRowPages:
+    def test_round_trip(self):
+        page = RowPage(3, PageKind.MERGED, 4, width=3)
+        page.write_row(0, (1, 2, 3))
+        page.write_row(2, (4, NULL, 6))
+        page.set_lineage(5, 1)
+        restored = deserialize_page(serialize_page(page))
+        assert isinstance(restored, RowPage)
+        assert restored.read_row(0) == (1, 2, 3)
+        assert is_null(restored.read_row(2)[1])
+        assert not restored.is_written(1)
+        assert restored.tps_rid == 5
+
+
+class TestErrors:
+    def test_truncated(self):
+        with pytest.raises(SerializationError):
+            deserialize_page(b"xx")
+
+    def test_bad_magic(self):
+        page = Page(1, PageKind.TAIL, 4)
+        page.write_slot(0, 1)
+        data = bytearray(serialize_page(page))
+        data[0:4] = b"NOPE"
+        with pytest.raises(SerializationError):
+            deserialize_page(bytes(data))

@@ -1,0 +1,62 @@
+"""Synchronized clock: advance-before-return semantics."""
+
+import threading
+
+from repro.txn.clock import SynchronizedClock, TransactionIdSource
+
+
+class TestClock:
+    def test_advance_monotone(self):
+        clock = SynchronizedClock()
+        values = [clock.advance() for _ in range(5)]
+        assert values == sorted(values)
+        assert len(set(values)) == 5
+
+    def test_advance_before_return(self):
+        clock = SynchronizedClock()
+        now = clock.now()
+        assert clock.advance() > now
+
+    def test_now_does_not_advance(self):
+        clock = SynchronizedClock()
+        clock.advance()
+        assert clock.now() == clock.now()
+
+    def test_advance_to(self):
+        clock = SynchronizedClock()
+        clock.advance_to(100)
+        assert clock.now() == 100
+        clock.advance_to(50)  # never regresses
+        assert clock.now() == 100
+
+    def test_start_value(self):
+        clock = SynchronizedClock(start=1000)
+        assert clock.advance() == 1001
+
+    def test_concurrent_unique(self):
+        clock = SynchronizedClock()
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(500):
+                value = clock.advance()
+                with lock:
+                    seen.append(value)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(seen)) == 2000
+
+
+class TestTransactionIdSource:
+    def test_ids_share_clock_order(self):
+        clock = SynchronizedClock()
+        source = TransactionIdSource(clock)
+        first = source.next_id()
+        timestamp = clock.advance()
+        second = source.next_id()
+        assert first < timestamp < second

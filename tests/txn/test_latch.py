@@ -1,0 +1,222 @@
+"""Low-level synchronisation: CAS cells, indirection latch, SX latch."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.types import LATCH_BIT, NULL_RID
+from repro.txn.latch import (AtomicCell, AtomicCounter, IndirectionVector,
+                             SharedExclusiveLatch)
+
+
+class TestAtomicCell:
+    def test_get_set(self):
+        cell = AtomicCell(1)
+        assert cell.get() == 1
+        cell.set(2)
+        assert cell.get() == 2
+
+    def test_cas_success_failure(self):
+        cell = AtomicCell(1)
+        assert cell.compare_and_swap(1, 2)
+        assert not cell.compare_and_swap(1, 3)
+        assert cell.get() == 2
+
+    def test_update(self):
+        cell = AtomicCell(10)
+        assert cell.update(lambda value: value + 5) == 15
+
+    def test_single_cas_winner(self):
+        cell = AtomicCell(0)
+        winners = []
+        lock = threading.Lock()
+
+        def worker(i):
+            if cell.compare_and_swap(0, i):
+                with lock:
+                    winners.append(i)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(1, 9)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(winners) == 1
+
+
+class TestAtomicCounter:
+    def test_increment(self):
+        counter = AtomicCounter()
+        assert counter.increment() == 1
+        assert counter.increment(5) == 6
+
+    def test_max_update(self):
+        counter = AtomicCounter(10)
+        assert counter.max_update(15)
+        assert not counter.max_update(12)
+        assert counter.get() == 15
+
+
+class TestIndirectionVector:
+    def test_initial_null(self):
+        vector = IndirectionVector(4)
+        assert len(vector) == 4
+        assert vector.read(0) == NULL_RID
+        assert not vector.is_latched(0)
+
+    def test_latch_protocol(self):
+        vector = IndirectionVector(4)
+        assert vector.try_latch(1)
+        assert vector.is_latched(1)
+        # Second latch attempt = write-write conflict indicator.
+        assert not vector.try_latch(1)
+        vector.set_and_unlatch(1, 12345)
+        assert not vector.is_latched(1)
+        assert vector.read(1) == 12345
+
+    def test_read_masks_latch_bit(self):
+        vector = IndirectionVector(2)
+        vector.set(0, 777)
+        vector.try_latch(0)
+        assert vector.read(0) == 777  # latch bit invisible to readers
+
+    def test_unlatch(self):
+        vector = IndirectionVector(2)
+        vector.try_latch(0)
+        vector.unlatch(0)
+        assert vector.try_latch(0)
+
+    def test_set_preserves_latch(self):
+        vector = IndirectionVector(2)
+        vector.try_latch(0)
+        vector.set(0, 5)
+        assert vector.is_latched(0)
+        assert vector.read(0) == 5
+
+    def test_rid_with_latch_bit_rejected(self):
+        vector = IndirectionVector(2)
+        with pytest.raises(ValueError):
+            vector.set(0, LATCH_BIT | 1)
+
+    def test_raw_cas(self):
+        vector = IndirectionVector(2)
+        assert vector.compare_and_swap(0, NULL_RID, 9)
+        assert not vector.compare_and_swap(0, NULL_RID, 10)
+
+    def test_snapshot(self):
+        vector = IndirectionVector(3)
+        vector.set(1, 5)
+        vector.try_latch(2)
+        assert vector.snapshot() == [0, 5, 0]
+
+    def test_one_latch_winner_per_slot(self):
+        vector = IndirectionVector(1)
+        winners = []
+        lock = threading.Lock()
+
+        def worker():
+            if vector.try_latch(0):
+                with lock:
+                    winners.append(threading.get_ident())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(winners) == 1
+
+
+class TestSharedExclusiveLatch:
+    def test_multiple_shared(self):
+        latch = SharedExclusiveLatch()
+        assert latch.acquire_shared()
+        assert latch.acquire_shared()
+        latch.release_shared()
+        latch.release_shared()
+
+    def test_exclusive_excludes_shared(self):
+        latch = SharedExclusiveLatch()
+        latch.acquire_exclusive()
+        assert not latch.acquire_shared(timeout=0.02)
+        latch.release_exclusive()
+        assert latch.acquire_shared(timeout=0.5)
+
+    def test_shared_blocks_exclusive(self):
+        latch = SharedExclusiveLatch()
+        latch.acquire_shared()
+        assert not latch.acquire_exclusive(timeout=0.02)
+        latch.release_shared()
+        assert latch.acquire_exclusive(timeout=0.5)
+
+    def test_writer_preference(self):
+        latch = SharedExclusiveLatch()
+        latch.acquire_shared()
+        acquired = []
+
+        def writer():
+            latch.acquire_exclusive()
+            acquired.append("writer")
+            latch.release_exclusive()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.02)
+        # A waiting writer blocks new readers.
+        assert not latch.acquire_shared(timeout=0.02)
+        latch.release_shared()
+        thread.join(timeout=2.0)
+        assert acquired == ["writer"]
+
+    def test_promotion(self):
+        latch = SharedExclusiveLatch()
+        latch.acquire_shared()
+        assert latch.promote()
+        latch.release_exclusive()
+
+    def test_promotion_waits_for_other_readers(self):
+        latch = SharedExclusiveLatch()
+        latch.acquire_shared()
+        latch.acquire_shared()
+
+        done = []
+
+        def promoter():
+            if latch.promote(timeout=2.0):
+                done.append(True)
+                latch.release_exclusive()
+
+        thread = threading.Thread(target=promoter)
+        thread.start()
+        time.sleep(0.02)
+        latch.release_shared()  # the other reader leaves
+        thread.join(timeout=2.0)
+        assert done == [True]
+
+    def test_promote_requires_shared(self):
+        latch = SharedExclusiveLatch()
+        with pytest.raises(RuntimeError):
+            latch.promote()
+
+    def test_demote(self):
+        latch = SharedExclusiveLatch()
+        latch.acquire_exclusive()
+        latch.demote()
+        latch.release_shared()
+        assert latch.acquire_exclusive(timeout=0.5)
+
+    def test_release_without_hold(self):
+        latch = SharedExclusiveLatch()
+        with pytest.raises(RuntimeError):
+            latch.release_shared()
+        with pytest.raises(RuntimeError):
+            latch.release_exclusive()
+
+    def test_context_managers(self):
+        latch = SharedExclusiveLatch()
+        with latch.shared():
+            pass
+        with latch.exclusive():
+            pass

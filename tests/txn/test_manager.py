@@ -1,0 +1,127 @@
+"""Transaction manager: the four-state lifecycle hashtable."""
+
+import pytest
+
+from repro.core.types import TransactionState
+from repro.errors import IllegalTransactionState
+from repro.txn.clock import SynchronizedClock
+from repro.txn.manager import TransactionManager
+
+
+class TestLifecycle:
+    def test_begin(self):
+        manager = TransactionManager()
+        entry = manager.begin()
+        assert entry.state is TransactionState.ACTIVE
+        assert entry.txn_id == entry.begin_time
+        assert manager.active_count == 1
+
+    def test_ids_monotone(self):
+        manager = TransactionManager()
+        a = manager.begin()
+        b = manager.begin()
+        assert b.txn_id > a.txn_id
+        assert b.begin_time > a.begin_time
+
+    def test_precommit_assigns_commit_time(self):
+        manager = TransactionManager()
+        entry = manager.begin()
+        commit_time = manager.enter_precommit(entry.txn_id)
+        assert commit_time > entry.begin_time
+        assert manager.state_of(entry.txn_id) is TransactionState.PRE_COMMIT
+
+    def test_commit(self):
+        manager = TransactionManager()
+        entry = manager.begin()
+        commit_time = manager.enter_precommit(entry.txn_id)
+        assert manager.commit(entry.txn_id) == commit_time
+        assert manager.state_of(entry.txn_id) is TransactionState.COMMITTED
+        assert manager.active_count == 0
+        assert manager.stat_committed == 1
+
+    def test_abort_from_active(self):
+        manager = TransactionManager()
+        entry = manager.begin()
+        manager.abort(entry.txn_id)
+        assert manager.state_of(entry.txn_id) is TransactionState.ABORTED
+
+    def test_abort_from_precommit(self):
+        manager = TransactionManager()
+        entry = manager.begin()
+        manager.enter_precommit(entry.txn_id)
+        manager.abort(entry.txn_id)
+        assert manager.state_of(entry.txn_id) is TransactionState.ABORTED
+
+    def test_invalid_transitions(self):
+        manager = TransactionManager()
+        entry = manager.begin()
+        with pytest.raises(IllegalTransactionState):
+            manager.commit(entry.txn_id)  # not in pre-commit
+        manager.enter_precommit(entry.txn_id)
+        manager.commit(entry.txn_id)
+        with pytest.raises(IllegalTransactionState):
+            manager.abort(entry.txn_id)  # already committed
+        with pytest.raises(IllegalTransactionState):
+            manager.enter_precommit(entry.txn_id)
+
+    def test_unknown_txn(self):
+        manager = TransactionManager()
+        with pytest.raises(IllegalTransactionState):
+            manager.commit(999)
+
+
+class TestLookup:
+    def test_lookup_states(self):
+        manager = TransactionManager()
+        entry = manager.begin()
+        assert manager.lookup(entry.txn_id) \
+            == (TransactionState.ACTIVE, None)
+        commit_time = manager.enter_precommit(entry.txn_id)
+        assert manager.lookup(entry.txn_id) \
+            == (TransactionState.PRE_COMMIT, commit_time)
+        manager.commit(entry.txn_id)
+        assert manager.lookup(entry.txn_id) \
+            == (TransactionState.COMMITTED, commit_time)
+
+    def test_unknown_id_treated_as_aborted(self):
+        # Pre-crash markers with no surviving entry resolve as aborted.
+        manager = TransactionManager()
+        assert manager.lookup(424242) == (TransactionState.ABORTED, None)
+
+
+class TestSinks:
+    def test_commit_sink_called(self):
+        manager = TransactionManager()
+        events = []
+        manager.commit_sink = lambda txn_id, ct: events.append((txn_id, ct))
+        entry = manager.begin()
+        commit_time = manager.enter_precommit(entry.txn_id)
+        manager.commit(entry.txn_id)
+        assert events == [(entry.txn_id, commit_time)]
+
+    def test_abort_sink_called(self):
+        manager = TransactionManager()
+        events = []
+        manager.abort_sink = events.append
+        entry = manager.begin()
+        manager.abort(entry.txn_id)
+        assert events == [entry.txn_id]
+
+
+class TestGC:
+    def test_gc_drops_old_committed(self):
+        manager = TransactionManager()
+        entry = manager.begin()
+        manager.enter_precommit(entry.txn_id)
+        manager.commit(entry.txn_id)
+        live = manager.begin()
+        dropped = manager.gc(before=manager.clock.now() + 1)
+        assert dropped == 1
+        # Live transactions survive GC.
+        assert manager.state_of(live.txn_id) is TransactionState.ACTIVE
+
+    def test_shared_clock(self):
+        clock = SynchronizedClock()
+        manager = TransactionManager(clock)
+        entry = manager.begin()
+        assert clock.now() == entry.begin_time

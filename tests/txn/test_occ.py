@@ -1,0 +1,194 @@
+"""The OCC protocol operations (Section 5.1.1) in isolation."""
+
+import pytest
+
+from repro.core.types import IsolationLevel, TransactionState
+from repro.errors import (RecordDeletedError, ValidationFailure,
+                          WriteWriteConflict)
+from repro.txn.occ import (TxnContext, occ_insert, occ_read, occ_rollback,
+                           occ_validate, occ_write)
+from repro.txn.transaction import Transaction
+
+
+def _ctx(db, isolation=IsolationLevel.READ_COMMITTED) -> TxnContext:
+    entry = db.txn_manager.begin()
+    return TxnContext(txn_id=entry.txn_id, begin_time=entry.begin_time,
+                      isolation=isolation)
+
+
+def _finish(db, ctx, *, abort=False):
+    if abort:
+        db.txn_manager.abort(ctx.txn_id)
+        occ_rollback(ctx)
+    else:
+        db.txn_manager.enter_precommit(ctx.txn_id)
+        db.txn_manager.commit(ctx.txn_id)
+
+
+class TestRead:
+    def test_read_committed_sees_latest(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        ctx = _ctx(db)
+        assert occ_read(ctx, table, rid, (1,)) == {1: 10}
+
+    def test_own_writes_visible(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        ctx = _ctx(db)
+        occ_write(ctx, table, rid, {1: 99})
+        assert occ_read(ctx, table, rid, (1,)) == {1: 99}
+        _finish(db, ctx)
+
+    def test_other_uncommitted_invisible(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        writer = _ctx(db)
+        occ_write(writer, table, rid, {1: 99})
+        reader = _ctx(db)
+        assert occ_read(reader, table, rid, (1,)) == {1: 10}
+        _finish(db, writer)
+        assert occ_read(reader, table, rid, (1,)) == {1: 99}
+
+    def test_snapshot_isolation_frozen_view(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        reader = _ctx(db, IsolationLevel.SNAPSHOT)
+        writer = _ctx(db)
+        occ_write(writer, table, rid, {1: 99})
+        _finish(db, writer)
+        # Snapshot reader began before the writer committed.
+        assert occ_read(reader, table, rid, (1,)) == {1: 10}
+
+    def test_speculative_read_sees_precommit(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        writer = _ctx(db)
+        occ_write(writer, table, rid, {1: 99})
+        db.txn_manager.enter_precommit(writer.txn_id)
+        reader = _ctx(db)
+        assert occ_read(reader, table, rid, (1,)) == {1: 10}
+        assert occ_read(reader, table, rid, (1,),
+                        speculative=True) == {1: 99}
+        db.txn_manager.commit(writer.txn_id)
+
+    def test_readset_tracked_for_repeatable_read(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        ctx = _ctx(db, IsolationLevel.REPEATABLE_READ)
+        occ_read(ctx, table, rid, (1,))
+        assert len(ctx.readset) == 1
+        assert ctx.readset[0].observed_version == rid
+
+    def test_readset_not_tracked_for_read_committed(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        ctx = _ctx(db)
+        occ_read(ctx, table, rid, (1,))
+        assert ctx.readset == []
+
+
+class TestWrite:
+    def test_write_installs_indirection(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        ctx = _ctx(db)
+        tail_rid = occ_write(ctx, table, rid, {1: 99})
+        update_range, offset = table.locate(rid)
+        assert update_range.indirection.read(offset) == tail_rid
+        assert not update_range.indirection.is_latched(offset)
+
+    def test_write_write_conflict_aborts_second(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        first = _ctx(db)
+        second = _ctx(db)
+        occ_write(first, table, rid, {1: 1})
+        with pytest.raises(WriteWriteConflict):
+            occ_write(second, table, rid, {1: 2})
+        _finish(db, first)
+
+    def test_latch_released_after_conflict(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        first = _ctx(db)
+        occ_write(first, table, rid, {1: 1})
+        second = _ctx(db)
+        with pytest.raises(WriteWriteConflict):
+            occ_write(second, table, rid, {1: 2})
+        _finish(db, first)
+        # The failed attempt must not leave the latch set.
+        third = _ctx(db)
+        occ_write(third, table, rid, {1: 3})
+        _finish(db, third)
+
+    def test_write_after_abort_succeeds(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        first = _ctx(db)
+        occ_write(first, table, rid, {1: 1})
+        _finish(db, first, abort=True)
+        # Aborted writer is not competing (tombstoned record).
+        second = _ctx(db)
+        occ_write(second, table, rid, {1: 2})
+        _finish(db, second)
+        assert table.read_latest(rid)[1] == 2
+
+    def test_same_txn_multiple_writes(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        ctx = _ctx(db)
+        occ_write(ctx, table, rid, {1: 1})
+        occ_write(ctx, table, rid, {1: 2})
+        _finish(db, ctx)
+        # Only the final update is visible (Section 3.1).
+        assert table.read_latest(rid)[1] == 2
+
+    def test_write_deleted_rejected(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        table.delete(rid)
+        ctx = _ctx(db)
+        with pytest.raises(RecordDeletedError):
+            occ_write(ctx, table, rid, {1: 5})
+
+
+class TestRollback:
+    def test_rollback_tombstones_updates(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        ctx = _ctx(db)
+        occ_write(ctx, table, rid, {1: 99})
+        _finish(db, ctx, abort=True)
+        assert table.read_latest(rid)[1] == 10
+        assert table.stat_aborted_tails == 1
+
+    def test_rollback_inserts(self, db, table):
+        ctx = _ctx(db)
+        rid = occ_insert(ctx, table, [7, 1, 2, 3, 4])
+        _finish(db, ctx, abort=True)
+        assert table.index.primary.get(7) is None
+
+    def test_indirection_may_point_at_tombstone(self, db, table):
+        # Section 5.1.3: "it is acceptable for the Indirection column to
+        # continue pointing to tombstones".
+        rid = table.insert([1, 10, 0, 0, 0])
+        ctx = _ctx(db)
+        tail_rid = occ_write(ctx, table, rid, {1: 99})
+        _finish(db, ctx, abort=True)
+        update_range, offset = table.locate(rid)
+        assert update_range.indirection.read(offset) == tail_rid
+        assert table.read_latest(rid)[1] == 10
+
+
+class TestValidation:
+    def test_validation_passes_when_unchanged(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        ctx = _ctx(db, IsolationLevel.REPEATABLE_READ)
+        occ_read(ctx, table, rid, (1,))
+        commit_time = db.txn_manager.enter_precommit(ctx.txn_id)
+        occ_validate(ctx, commit_time)  # no exception
+        db.txn_manager.commit(ctx.txn_id)
+
+    def test_validation_fails_on_concurrent_change(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        ctx = _ctx(db, IsolationLevel.REPEATABLE_READ)
+        occ_read(ctx, table, rid, (1,))
+        table.update(rid, {1: 55})  # concurrent committed change
+        commit_time = db.txn_manager.enter_precommit(ctx.txn_id)
+        with pytest.raises(ValidationFailure):
+            occ_validate(ctx, commit_time)
+
+    def test_read_committed_skips_validation(self, db, table):
+        rid = table.insert([1, 10, 0, 0, 0])
+        ctx = _ctx(db)
+        occ_read(ctx, table, rid, (1,))
+        table.update(rid, {1: 55})
+        commit_time = db.txn_manager.enter_precommit(ctx.txn_id)
+        occ_validate(ctx, commit_time)  # no exception: nothing tracked

@@ -1,0 +1,149 @@
+"""Multi-statement Transaction API."""
+
+import pytest
+
+from repro.core.types import IsolationLevel, TransactionState
+from repro.errors import (IllegalTransactionState, KeyNotFoundError,
+                          TransactionAborted, WriteWriteConflict)
+from repro.txn.transaction import Transaction
+
+
+class TestLifecycle:
+    def test_commit(self, db, table):
+        txn = Transaction(db.txn_manager)
+        txn.insert(table, [1, 10, 0, 0, 0])
+        assert txn.commit()
+        assert txn.state is TransactionState.COMMITTED
+        assert txn.commit_time is not None
+
+    def test_abort(self, db, table):
+        txn = Transaction(db.txn_manager)
+        txn.insert(table, [1, 10, 0, 0, 0])
+        txn.abort()
+        assert txn.state is TransactionState.ABORTED
+        assert table.index.primary.get(1) is None
+
+    def test_no_statements_after_finish(self, db, table):
+        txn = Transaction(db.txn_manager)
+        txn.commit()
+        with pytest.raises(IllegalTransactionState):
+            txn.insert(table, [1, 0, 0, 0, 0])
+
+    def test_abort_idempotent(self, db, table):
+        txn = Transaction(db.txn_manager)
+        txn.abort()
+        txn.abort()
+
+    def test_context_manager_commits(self, db, table):
+        with Transaction(db.txn_manager) as txn:
+            txn.insert(table, [1, 10, 0, 0, 0])
+        assert db.query("test").select(1, 0, None)[0][1] == 10
+
+    def test_context_manager_aborts_on_error(self, db, table):
+        with pytest.raises(RuntimeError):
+            with Transaction(db.txn_manager) as txn:
+                txn.insert(table, [1, 10, 0, 0, 0])
+                raise RuntimeError("boom")
+        assert db.query("test").select(1, 0, None) == []
+
+
+class TestStatements:
+    def test_select_by_key(self, db, loaded, table):
+        txn = Transaction(db.txn_manager)
+        assert txn.select(table, 3, (1,))[1] == 30
+        txn.commit()
+
+    def test_select_missing_key(self, db, table):
+        txn = Transaction(db.txn_manager)
+        assert txn.select(table, 99) is None
+        txn.commit()
+
+    def test_update_by_key(self, db, loaded, table):
+        txn = Transaction(db.txn_manager)
+        txn.update(table, 3, {1: 999})
+        txn.commit()
+        assert loaded.select(3, 0, None)[0][1] == 999
+
+    def test_update_missing_key_aborts(self, db, table):
+        txn = Transaction(db.txn_manager)
+        with pytest.raises(KeyNotFoundError):
+            txn.update(table, 99, {1: 1})
+        assert txn.state is TransactionState.ABORTED
+
+    def test_delete_by_key(self, db, loaded, table):
+        txn = Transaction(db.txn_manager)
+        txn.delete(table, 3)
+        txn.commit()
+        assert loaded.select(3, 0, None) == []
+
+    def test_increment(self, db, loaded, table):
+        txn = Transaction(db.txn_manager)
+        txn.increment(table, 3, 1, delta=7)
+        txn.commit()
+        assert loaded.select(3, 0, None)[0][1] == 37
+
+    def test_sum(self, db, loaded, table):
+        txn = Transaction(db.txn_manager)
+        assert txn.sum(table, 0, 9, 1) == sum(k * 10 for k in range(10))
+        txn.commit()
+
+    def test_sum_sees_own_writes(self, db, loaded, table):
+        txn = Transaction(db.txn_manager)
+        txn.update(table, 0, {1: 1000})
+        assert txn.sum(table, 0, 9, 1) \
+            == sum(k * 10 for k in range(1, 10)) + 1000
+        txn.abort()
+
+    def test_select_rid(self, db, loaded, table):
+        rid = table.index.primary.get(5)
+        txn = Transaction(db.txn_manager)
+        assert txn.select_rid(table, rid, (1,))[1] == 50
+        txn.commit()
+
+
+class TestConflictAbort:
+    def test_conflicting_update_aborts_whole_txn(self, db, loaded, table):
+        blocker = Transaction(db.txn_manager)
+        blocker.update(table, 5, {1: 1})
+        victim = Transaction(db.txn_manager)
+        victim.update(table, 6, {1: 2})  # fine
+        with pytest.raises(WriteWriteConflict):
+            victim.update(table, 5, {1: 3})  # conflict → abort
+        assert victim.state is TransactionState.ABORTED
+        blocker.commit()
+        # The victim's earlier write was rolled back too.
+        assert loaded.select(6, 0, None)[0][1] == 60
+
+    def test_validation_failure_returns_false(self, db, loaded, table):
+        txn = Transaction(db.txn_manager,
+                          isolation=IsolationLevel.REPEATABLE_READ)
+        txn.select(table, 5, (1,))
+        loaded.update(5, None, 999, None, None, None)
+        assert txn.commit() is False
+        assert txn.state is TransactionState.ABORTED
+
+
+class TestIsolationLevels:
+    def test_read_committed_sees_fresh_commits(self, db, loaded, table):
+        txn = Transaction(db.txn_manager)
+        first = txn.select(table, 5, (1,))[1]
+        loaded.update(5, None, 999, None, None, None)
+        second = txn.select(table, 5, (1,))[1]
+        assert (first, second) == (50, 999)
+        txn.commit()
+
+    def test_snapshot_stays_frozen(self, db, loaded, table):
+        txn = Transaction(db.txn_manager,
+                          isolation=IsolationLevel.SNAPSHOT)
+        first = txn.select(table, 5, (1,))[1]
+        loaded.update(5, None, 999, None, None, None)
+        second = txn.select(table, 5, (1,))[1]
+        assert (first, second) == (50, 50)
+        txn.commit()
+
+    def test_snapshot_insert_invisible(self, db, loaded, table):
+        txn = Transaction(db.txn_manager,
+                          isolation=IsolationLevel.SNAPSHOT)
+        loaded.insert(100, 1, 2, 3, 4)
+        assert txn.select(table, 100) is None
+        txn.commit()

@@ -1,0 +1,86 @@
+"""Transaction workers: retries, threading, stats."""
+
+import pytest
+
+from repro.errors import TransactionAborted, WriteWriteConflict
+from repro.txn.worker import TransactionWorker, WorkerStats
+
+
+class TestRunOne:
+    def test_commits(self, db, table):
+        worker = TransactionWorker(db.txn_manager)
+        assert worker.run_one(lambda txn: txn.insert(table,
+                                                     [1, 0, 0, 0, 0]))
+        assert worker.stats.committed == 1
+        assert db.query("test").select(1, 0, None)
+
+    def test_retries_on_conflict(self, db, loaded, table):
+        attempts = []
+        blocker = db.begin_transaction()
+        blocker.update(table, 5, {1: 1})
+
+        def body(txn):
+            attempts.append(1)
+            if len(attempts) == 1:
+                # First attempt conflicts with the open blocker.
+                txn.update(table, 5, {1: 2})
+            else:
+                blocker.commit()
+                txn.update(table, 5, {1: 3})
+
+        worker = TransactionWorker(db.txn_manager)
+        assert worker.run_one(body)
+        assert worker.stats.retries == 1
+        assert worker.stats.committed == 1
+
+    def test_gives_up_after_max_retries(self, db, loaded, table):
+        blocker = db.begin_transaction()
+        blocker.update(table, 5, {1: 1})
+        worker = TransactionWorker(db.txn_manager, max_retries=2)
+        assert not worker.run_one(lambda txn: txn.update(table, 5, {1: 2}))
+        assert worker.stats.gave_up == 1
+        assert worker.stats.aborted == 3  # initial try + 2 retries
+        blocker.abort()
+
+
+class TestBatchRun:
+    def test_run_all(self, db, table):
+        worker = TransactionWorker(db.txn_manager)
+        for key in range(5):
+            worker.add(
+                lambda txn, key=key: txn.insert(table, [key, 0, 0, 0, 0]))
+        stats = worker.run()
+        assert stats.committed == 5
+        assert db.query("test").count() == 5
+
+    def test_threaded_run(self, db, table):
+        for key in range(10):
+            table.insert([key, 0, 0, 0, 0])
+        workers = []
+        for i in range(3):
+            worker = TransactionWorker(db.txn_manager, name="w%d" % i)
+            for key in range(10):
+                worker.add(lambda txn, key=key:
+                           txn.increment(table, key, 1))
+            worker.start()
+            workers.append(worker)
+        total = WorkerStats()
+        for worker in workers:
+            total.merge(worker.join(timeout=30.0))
+        assert total.committed + total.gave_up == 30
+        # Every committed increment is reflected exactly once.
+        assert db.query("test").sum(0, 9, 1) == total.committed
+
+    def test_start_twice_rejected(self, db):
+        worker = TransactionWorker(db.txn_manager)
+        worker.start()
+        with pytest.raises(RuntimeError):
+            worker.start()
+        worker.join()
+
+    def test_stop_event(self, db, table):
+        worker = TransactionWorker(db.txn_manager)
+        worker.stop_event.set()
+        worker.add(lambda txn: txn.insert(table, [1, 0, 0, 0, 0]))
+        stats = worker.run()
+        assert stats.committed == 0

@@ -1,0 +1,102 @@
+"""Log manager: framing, LSNs, group commit, torn-tail tolerance."""
+
+import os
+
+import pytest
+
+from repro.wal.log import LogManager
+from repro.wal.records import (CreateTableRecord, RecordWriteRecord,
+                               TxnCommitRecord)
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return str(tmp_path / "wal.log")
+
+
+class TestAppendRead:
+    def test_lsns_assigned_in_order(self, log_path):
+        log = LogManager(log_path)
+        first = log.append(CreateTableRecord(name="a", num_columns=1,
+                                             key_index=0, column_names=()))
+        second = log.append(CreateTableRecord(name="b", num_columns=1,
+                                              key_index=0, column_names=()))
+        assert (first, second) == (1, 2)
+        assert log.last_lsn == 2
+        log.close()
+
+    def test_round_trip(self, log_path):
+        log = LogManager(log_path)
+        log.append(RecordWriteRecord(table="t", segment=("tail", 3),
+                                     offset=7, cells={2: 99, 5: None}))
+        log.close()
+        records = list(LogManager.read_records(log_path))
+        assert len(records) == 1
+        record = records[0]
+        assert isinstance(record, RecordWriteRecord)
+        assert record.segment == ("tail", 3)
+        assert record.cells == {2: 99, 5: None}
+        assert record.lsn == 1
+
+    def test_read_missing_file(self, tmp_path):
+        assert list(LogManager.read_records(str(tmp_path / "none"))) == []
+
+
+class TestGroupCommit:
+    def test_commit_record_forces_flush(self, log_path):
+        log = LogManager(log_path)
+        log.append(CreateTableRecord(name="a", num_columns=1, key_index=0,
+                                     column_names=()))
+        # Buffered, nothing durable yet.
+        assert list(LogManager.read_records(log_path)) == []
+        log.append(TxnCommitRecord(txn_id=1, commit_time=5))
+        assert len(list(LogManager.read_records(log_path))) == 2
+        log.close()
+
+    def test_threshold_flush(self, log_path):
+        log = LogManager(log_path, flush_threshold=64)
+        for i in range(10):
+            log.append(RecordWriteRecord(table="t", segment=("tail", 0),
+                                         offset=i, cells={0: i}))
+        assert log.stat_flushes >= 1
+        log.close()
+
+    def test_explicit_flush(self, log_path):
+        log = LogManager(log_path)
+        log.append(CreateTableRecord(name="a", num_columns=1, key_index=0,
+                                     column_names=()))
+        log.flush()
+        assert len(list(LogManager.read_records(log_path))) == 1
+        log.close()
+
+
+class TestTornTail:
+    def test_truncated_frame_discarded(self, log_path):
+        log = LogManager(log_path)
+        log.append(TxnCommitRecord(txn_id=1, commit_time=5))
+        log.append(TxnCommitRecord(txn_id=2, commit_time=6))
+        log.close()
+        size = os.path.getsize(log_path)
+        with open(log_path, "r+b") as handle:
+            handle.truncate(size - 3)  # tear the last frame
+        records = list(LogManager.read_records(log_path))
+        assert len(records) == 1
+        assert records[0].txn_id == 1
+
+    def test_torn_header_discarded(self, log_path):
+        log = LogManager(log_path)
+        log.append(TxnCommitRecord(txn_id=1, commit_time=5))
+        log.close()
+        with open(log_path, "ab") as handle:
+            handle.write(b"\x05\x00")  # 2 of 4 header bytes
+        records = list(LogManager.read_records(log_path))
+        assert len(records) == 1
+
+    def test_append_after_reopen(self, log_path):
+        log = LogManager(log_path)
+        log.append(TxnCommitRecord(txn_id=1, commit_time=5))
+        log.close()
+        log2 = LogManager(log_path)
+        log2.append(TxnCommitRecord(txn_id=2, commit_time=6))
+        log2.close()
+        assert len(list(LogManager.read_records(log_path))) == 2

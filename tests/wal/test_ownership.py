@@ -1,0 +1,111 @@
+"""Ownership Relaying protocol: pageLSN consistency (Section 5.2)."""
+
+import threading
+
+from repro.wal.ownership import OwnershipRelay, PageLSNTracker
+
+
+class TestSingleWriter:
+    def test_owner_stamps_page_lsn(self):
+        relay = OwnershipRelay()
+        with relay.write(page_id=1, lsn=10):
+            pass
+        assert relay.page_lsn(1) == 10
+        assert relay.stat_stamps == 1
+
+    def test_sequential_writers_monotone(self):
+        relay = OwnershipRelay()
+        for lsn in (5, 9, 12):
+            with relay.write(1, lsn):
+                pass
+        assert relay.page_lsn(1) == 12
+
+    def test_out_of_order_lsn_relayed(self):
+        relay = OwnershipRelay()
+        with relay.write(1, 10):
+            pass
+        with relay.write(1, 7):  # lower LSN: someone newer already owned
+            pass
+        assert relay.page_lsn(1) == 10
+
+    def test_pages_independent(self):
+        relay = OwnershipRelay()
+        with relay.write(1, 10):
+            pass
+        with relay.write(2, 20):
+            pass
+        assert relay.page_lsn(1) == 10
+        assert relay.page_lsn(2) == 20
+
+    def test_exception_releases_latch(self):
+        relay = OwnershipRelay()
+        try:
+            with relay.write(1, 5):
+                raise RuntimeError("statement failed")
+        except RuntimeError:
+            pass
+        # The latch must be free for the next writer.
+        with relay.write(1, 6):
+            pass
+        assert relay.page_lsn(1) == 6
+
+
+class TestConcurrentWriters:
+    def test_page_lsn_reaches_max(self):
+        relay = OwnershipRelay()
+        lsns = list(range(1, 101))
+
+        def writer(lsn: int) -> None:
+            with relay.write(1, lsn):
+                pass
+
+        threads = [threading.Thread(target=writer, args=(lsn,))
+                   for lsn in lsns]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # The defining invariant: after all writers drain, the pageLSN
+        # equals the highest LSN that touched the page.
+        assert relay.page_lsn(1) == 100
+        assert relay.tracker(1).is_consistent()
+
+    def test_fewer_stamps_than_writers(self):
+        # The point of OR: one exclusive stamp serves many writers.
+        relay = OwnershipRelay()
+        barrier = threading.Barrier(8)
+
+        def writer(lsn: int) -> None:
+            barrier.wait()
+            with relay.write(1, lsn):
+                pass
+
+        threads = [threading.Thread(target=writer, args=(lsn,))
+                   for lsn in range(1, 9)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert relay.stat_stamps + relay.stat_relayed >= 8
+        assert relay.page_lsn(1) == 8
+
+
+class TestForcedFlush:
+    def test_flush_page(self):
+        relay = OwnershipRelay()
+        with relay.write(1, 10):
+            pass
+        assert relay.flush_page(1) == 10
+        assert relay.stat_forced_flushes == 1
+
+    def test_theta_bound_triggers_flush(self):
+        relay = OwnershipRelay(theta_shared=4)
+        for lsn in range(1, 10):
+            with relay.write(1, lsn):
+                pass
+        assert relay.stat_forced_flushes >= 1
+        assert relay.page_lsn(1) == 9
+
+    def test_tracker_reuse(self):
+        relay = OwnershipRelay()
+        assert relay.tracker(5) is relay.tracker(5)

@@ -1,0 +1,199 @@
+"""Crash recovery: redo replay, both indirection options (Section 5.1.3)."""
+
+import os
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.wal.recovery import recover_database
+
+
+def _wal_config(tmp_path) -> EngineConfig:
+    return EngineConfig(
+        records_per_page=8, records_per_tail_page=8,
+        update_range_size=16, merge_threshold=8, insert_range_size=16,
+        wal_enabled=True, data_dir=str(tmp_path))
+
+
+def _plain_config() -> EngineConfig:
+    return EngineConfig(
+        records_per_page=8, records_per_tail_page=8,
+        update_range_size=16, merge_threshold=8, insert_range_size=16)
+
+
+@pytest.fixture
+def wal_db(tmp_path):
+    db = Database(_wal_config(tmp_path))
+    yield db, os.path.join(str(tmp_path), "wal.log")
+    db.close()
+
+
+def _recover(log_path, **kwargs):
+    return recover_database(log_path, config=_plain_config(), **kwargs)
+
+
+class TestBasicRecovery:
+    def test_inserts_survive(self, wal_db):
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=3)
+        for key in range(20):
+            table.insert([key, key * 10, 7])
+        db._wal.flush()
+        recovered = _recover(log_path)
+        query = recovered.query("t")
+        assert query.count() == 20
+        assert query.select(3, 0, None)[0].columns == (3, 30, 7)
+
+    def test_updates_and_deletes_survive(self, wal_db):
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=3)
+        for key in range(20):
+            table.insert([key, key * 10, 7])
+        table.update(table.index.primary.get(3), {1: 999})
+        table.delete(table.index.primary.get(7))
+        db._wal.flush()
+        recovered = _recover(log_path)
+        query = recovered.query("t")
+        assert query.select(3, 0, None)[0][1] == 999
+        assert query.select(7, 0, None) == []
+        assert query.count() == 19
+
+    def test_version_history_survives(self, wal_db):
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=3)
+        table.insert([1, 10, 0])
+        table.update(table.index.primary.get(1), {1: 20})
+        table.update(table.index.primary.get(1), {1: 30})
+        db._wal.flush()
+        recovered = _recover(log_path)
+        query = recovered.query("t")
+        assert query.select_version(1, 0, None, -1)[0][1] == 20
+        assert query.select_version(1, 0, None, -2)[0][1] == 10
+
+    def test_multiple_tables(self, wal_db):
+        db, log_path = wal_db
+        a = db.create_table("a", num_columns=2)
+        b = db.create_table("b", num_columns=2)
+        a.insert([1, 10])
+        b.insert([1, 20])
+        db._wal.flush()
+        recovered = _recover(log_path)
+        assert recovered.query("a").select(1, 0, None)[0][1] == 10
+        assert recovered.query("b").select(1, 0, None)[0][1] == 20
+
+
+class TestTransactionalRecovery:
+    def test_committed_txn_replayed(self, wal_db):
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=3)
+        for key in range(5):
+            table.insert([key, 0, 0])
+        txn = db.begin_transaction()
+        txn.update(table, 2, {1: 77})
+        txn.insert(table, [50, 1, 2])
+        assert txn.commit()
+        db._wal.flush()
+        recovered = _recover(log_path)
+        query = recovered.query("t")
+        assert query.select(2, 0, None)[0][1] == 77
+        assert query.select(50, 0, None)[0].columns == (50, 1, 2)
+
+    def test_uncommitted_txn_tombstoned(self, wal_db):
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=3)
+        for key in range(5):
+            table.insert([key, 0, 0])
+        txn = db.begin_transaction()
+        txn.update(table, 2, {1: 999})
+        txn.insert(table, [50, 1, 2])
+        db._wal.flush()  # crash before commit
+        recovered = _recover(log_path)
+        query = recovered.query("t")
+        assert query.select(2, 0, None)[0][1] == 0
+        assert query.select(50, 0, None) == []
+
+    def test_aborted_txn_not_replayed(self, wal_db):
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=3)
+        table.insert([1, 10, 0])
+        txn = db.begin_transaction()
+        txn.update(table, 1, {1: 999})
+        txn.abort()
+        db._wal.flush()
+        recovered = _recover(log_path)
+        assert recovered.query("t").select(1, 0, None)[0][1] == 10
+
+    def test_committed_markers_stamped(self, wal_db):
+        # Replay resolves txn markers to commit times so the recovered
+        # database needs no pre-crash transaction manager entries.
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=2)
+        txn = db.begin_transaction()
+        txn.insert(table, [1, 5])
+        txn.commit()
+        db._wal.flush()
+        recovered = _recover(log_path)
+        rid = recovered.get_table("t").index.primary.get(1)
+        values = recovered.get_table("t").read_latest(rid)
+        assert values == {0: 1, 1: 5}
+
+
+class TestIndirectionRebuild:
+    def test_option2_equivalent(self, wal_db):
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=3)
+        for key in range(10):
+            table.insert([key, key, 0])
+        for key in range(0, 10, 2):
+            table.update(table.index.primary.get(key), {1: key + 100})
+        db._wal.flush()
+        via_log = _recover(log_path)
+        rebuilt = _recover(log_path, rebuild_indirection=True)
+        for key in range(10):
+            a = via_log.query("t").select(key, 0, None)[0].columns
+            b = rebuilt.query("t").select(key, 0, None)[0].columns
+            assert a == b
+
+    def test_clock_advanced_past_log(self, wal_db):
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=2)
+        table.insert([1, 5])
+        pre_crash_now = db.clock.now()
+        db._wal.flush()
+        recovered = _recover(log_path)
+        assert recovered.clock.now() >= pre_crash_now - 1
+
+    def test_recovered_database_accepts_new_work(self, wal_db):
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=2)
+        for key in range(20):
+            table.insert([key, 1])
+        table.update(table.index.primary.get(0), {1: 2})
+        db._wal.flush()
+        recovered = _recover(log_path)
+        query = recovered.query("t")
+        query.insert(100, 5)
+        query.update(0, None, 7)
+        query.delete(1)
+        assert query.select(100, 0, None)[0][1] == 5
+        assert query.select(0, 0, None)[0][1] == 7
+        assert query.count() == 20
+        recovered.run_merges()
+        assert query.select(0, 0, None)[0][1] == 7
+
+
+class TestMergeInteraction:
+    def test_recovery_then_merge(self, wal_db):
+        # Merges are not logged (idempotent); they re-run after replay.
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=2)
+        for key in range(16):
+            table.insert([key, 1])
+        db.run_merges()
+        table.update(table.index.primary.get(0), {1: 42})
+        db._wal.flush()
+        recovered = _recover(log_path)
+        recovered.run_merges()
+        query = recovered.query("t")
+        assert query.select(0, 0, None)[0][1] == 42
+        assert query.scan_sum(1) == 15 + 42
