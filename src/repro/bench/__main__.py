@@ -6,12 +6,21 @@ Usage::
     python -m repro.bench fig7 --contention high --scale 500
     python -m repro.bench table8 table9
     python -m repro.bench all --scale 2000 --duration 0.3
+    python -m repro.bench all --json BENCH_PR1.json --repeats 3
+
+``--json`` writes a benchmark-trajectory file: per-experiment median
+wall-clock seconds (over ``--repeats`` runs) plus the result rows of
+the last run, so successive PRs can diff performance against the
+committed baseline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import statistics
 import sys
+import time
 
 from .experiments import ALL_EXPERIMENTS
 
@@ -22,8 +31,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Regenerate the L-Store paper's evaluation "
                     "tables and figures.")
     parser.add_argument("experiments", nargs="*",
-                        help="experiment ids (fig7..fig10, table7..table9) "
-                             "or 'all'")
+                        help="experiment ids (fig7..fig10, table7..table9, "
+                             "sums) or 'all'")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
     parser.add_argument("--scale", type=int, default=1000,
@@ -35,6 +44,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=("low", "medium", "high"),
                         help="contention level for fig7/fig9/fig10 "
                              "(default: the experiment's own default)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        metavar="PATH",
+                        help="write a benchmark-trajectory JSON with "
+                             "per-experiment median seconds and result "
+                             "rows")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="runs per experiment for the median "
+                             "(default 1; use >= 3 with --json)")
     return parser
 
 
@@ -54,6 +71,14 @@ def main(argv: list[str] | None = None) -> int:
         print("unknown experiment(s): %s" % ", ".join(unknown),
               file=sys.stderr)
         return 2
+    repeats = max(args.repeats, 1)
+    trajectory: dict = {
+        "tool": "repro.bench",
+        "scale": args.scale,
+        "duration": args.duration,
+        "repeats": repeats,
+        "experiments": {},
+    }
     for name in names:
         fn = ALL_EXPERIMENTS[name]
         kwargs: dict = {"scale": args.scale}
@@ -61,9 +86,26 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["duration"] = args.duration
             if args.contention is not None:
                 kwargs["contention"] = args.contention
-        result = fn(**kwargs)
+        samples: list[float] = []
+        result = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = fn(**kwargs)
+            samples.append(time.perf_counter() - started)
+        assert result is not None
         result.print()
         print()
+        trajectory["experiments"][name] = {
+            "median_seconds": round(statistics.median(samples), 4),
+            "samples_seconds": [round(sample, 4) for sample in samples],
+            "headers": result.headers,
+            "rows": result.rows,
+        }
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as stream:
+            json.dump(trajectory, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print("wrote %s" % args.json_path)
     return 0
 
 

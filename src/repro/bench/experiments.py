@@ -304,6 +304,55 @@ def table8_row_vs_column(*, update_threads: int = 8, scale: int = 1000,
 
 
 # ---------------------------------------------------------------------------
+# Range SUMs — ordered primary index vs hash-index walk
+# ---------------------------------------------------------------------------
+
+def sums_range_queries(*, range_spans: Sequence[int] = (16, 256, 2048),
+                       queries: int = 100,
+                       scale: int = 1000) -> ExperimentResult:
+    """Range-SUM throughput: ordered+batched read path vs hash walk.
+
+    Not a paper table — the regression guard for this repo's ordered
+    primary index and batched point reads. ``Query.sum`` over a k-key
+    range must cost O(log N + k); the hash-walk configuration re-scans
+    the whole primary index per query, which is what the paper's range
+    workloads (Section 6) are *not* supposed to pay.
+    """
+    import random
+    import time
+
+    from ..core.query import Query
+
+    spec = _spec_for("low", scale)
+    result = ExperimentResult(
+        "Sums", "Range-SUM queries/s: ordered index vs hash walk",
+        ["index", "range_size", "queries_per_sec"])
+    configurations = (
+        ("ordered+batched", {}),
+        ("hash-walk", {"ordered_primary_index": False,
+                       "ordered_secondary_index": False,
+                       "batched_reads": False}),
+    )
+    for label, overrides in configurations:
+        engine = make_engine("lstore", spec.num_columns, **overrides)
+        try:
+            load_engine(engine, spec)
+            query = Query(engine.table)
+            for span in range_spans:
+                span = min(span, spec.table_size)
+                rng = random.Random(spec.seed)
+                started = time.perf_counter()
+                for _ in range(queries):
+                    low = rng.randrange(spec.table_size - span + 1)
+                    query.sum(low, low + span - 1, 3)
+                elapsed = time.perf_counter() - started
+                result.add_row(label, span, round(queries / elapsed, 1))
+        finally:
+            engine.close()
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Table 9 — Point queries vs % of columns read
 # ---------------------------------------------------------------------------
 
@@ -361,4 +410,5 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table7": table7_scan_performance,
     "table8": table8_row_vs_column,
     "table9": table9_point_queries,
+    "sums": sums_range_queries,
 }

@@ -93,6 +93,28 @@ class EngineConfig:
     #: become candidates for the Section 4.3 compression pass.
     historic_compression_enabled: bool = True
 
+    #: Keep the primary index sorted (array + bisect) so key-range reads
+    #: (``Query.sum``/``select_range``) cost O(log N + k) instead of a
+    #: full index walk. Off = plain hash index with filtering ranges.
+    ordered_primary_index: bool = True
+
+    #: Keep each secondary index's value domain sorted so
+    #: ``lookup_range`` bisects instead of scanning the whole multimap.
+    ordered_secondary_index: bool = True
+
+    #: Serve multi-record reads through
+    #: :meth:`~repro.core.table.Table.read_latest_many`: records with no
+    #: unmerged tail activity read straight from the base/merged page
+    #: chains (one chain lookup per range and column), only dirty
+    #: records take the per-record 2-hop walk.
+    batched_reads: bool = True
+
+    #: Maintain the per-range dirty-offset set incrementally on every
+    #: tail append and prune it when a merge installs, instead of
+    #: re-walking all unmerged tail records on every scan. Scan cost
+    #: then tracks the unmerged-update count exactly (Figure 8).
+    incremental_dirty_sets: bool = True
+
     def __post_init__(self) -> None:
         if self.records_per_page <= 0:
             raise ValueError("records_per_page must be positive")

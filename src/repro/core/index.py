@@ -16,10 +16,69 @@ multimaps (value → set of base RIDs).
 from __future__ import annotations
 
 import threading
-from typing import Any, Hashable, Iterable, Iterator
+from bisect import bisect_left, bisect_right
+from heapq import merge as _sorted_merge
+from typing import TYPE_CHECKING, Any, Hashable, Iterable, Iterator
 
 from ..errors import DuplicateKeyError
 from .schema import TableSchema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .config import EngineConfig
+
+#: Distinct-from-everything marker for duplicate-skip comparisons.
+_NO_KEY = object()
+
+
+class _LazySortedDomain:
+    """Sorted view over comparable values, compacted lazily.
+
+    Appends go to a pending buffer; :meth:`compact` sorts the buffer
+    and merges it into the sorted array — O(k log k + N) per batch of k
+    appends instead of O(N) per append. Removed values stay in the
+    array as tombstones (the owner's liveness lookup filters them, and
+    :meth:`iter_range` skips re-append duplicates) until they outnumber
+    half the array, when it is rebuilt from the live set. The owner
+    synchronises access with its own lock.
+    """
+
+    __slots__ = ("_sorted", "_pending", "_stale")
+
+    def __init__(self) -> None:
+        self._sorted: list[Any] = []
+        self._pending: list[Any] = []
+        self._stale = 0
+
+    def append(self, value: Any) -> None:
+        self._pending.append(value)
+
+    def mark_stale(self) -> None:
+        self._stale += 1
+
+    def compact(self, live: Iterable[Any]) -> None:
+        """Fold pending appends in; rebuild from *live* past threshold."""
+        if self._pending:
+            self._pending.sort()
+            if self._sorted:
+                self._sorted = list(_sorted_merge(self._sorted,
+                                                  self._pending))
+            else:
+                self._sorted = self._pending
+            self._pending = []
+        if self._stale > 64 and self._stale * 2 > len(self._sorted):
+            self._sorted = sorted(live)
+            self._stale = 0
+
+    def iter_range(self, low: Any, high: Any) -> Iterator[Any]:
+        """Values in ``[low, high]``, adjacent duplicates skipped."""
+        lo = bisect_left(self._sorted, low)
+        hi = bisect_right(self._sorted, high)
+        previous: Any = _NO_KEY
+        for value in self._sorted[lo:hi]:
+            if previous is not _NO_KEY and value == previous:
+                continue  # re-appended after removal: duplicate entry
+            previous = value
+            yield value
 
 
 class PrimaryIndex:
@@ -66,6 +125,70 @@ class PrimaryIndex:
         with self._lock:
             return list(self._map.items())
 
+    def range_items(self, low: Hashable,
+                    high: Hashable) -> list[tuple[Hashable, int]]:
+        """(key, rid) pairs with ``low <= key <= high``, in key order.
+
+        Hash index: full filter walk plus a sort. The
+        :class:`OrderedPrimaryIndex` override is O(log N + k) and
+        returns the same key order.
+        """
+        with self._lock:
+            return sorted((key, rid) for key, rid in self._map.items()
+                          if low <= key <= high)  # type: ignore[operator]
+
+
+class OrderedPrimaryIndex(PrimaryIndex):
+    """Unique primary index with an ordered view for range reads.
+
+    The hash map stays the ground truth for point lookups; alongside it
+    a sorted key array is maintained *lazily*: inserts append to a
+    pending buffer, and the first range read after a batch of inserts
+    merges the (sorted) buffer into the array — O(k log k + N) once per
+    batch instead of O(N) per insert. Removed keys stay in the array as
+    tombstones (the map lookup filters them) until they outnumber half
+    the live keys, when the array is rebuilt.
+
+    This is the structure that makes ``Query.sum`` over ``[low, high]``
+    cost O(log N + k) as the paper's Section 6 range workloads assume,
+    instead of a full primary-index walk.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._domain = _LazySortedDomain()
+
+    def insert(self, key: Hashable, rid: int) -> None:
+        with self._lock:
+            if key in self._map:
+                raise DuplicateKeyError("duplicate primary key %r" % (key,))
+            self._map[key] = rid
+            self._domain.append(key)
+
+    def replace(self, key: Hashable, rid: int) -> None:
+        with self._lock:
+            if key not in self._map:
+                self._domain.append(key)
+            self._map[key] = rid
+
+    def remove(self, key: Hashable) -> None:
+        with self._lock:
+            if self._map.pop(key, None) is not None:
+                self._domain.mark_stale()
+
+    def range_items(self, low: Hashable,
+                    high: Hashable) -> list[tuple[Hashable, int]]:
+        """(key, rid) pairs with ``low <= key <= high``, in key order."""
+        with self._lock:
+            self._domain.compact(self._map)
+            get = self._map.get
+            items: list[tuple[Hashable, int]] = []
+            for key in self._domain.iter_range(low, high):
+                rid = get(key)
+                if rid is not None:
+                    items.append((key, rid))
+            return items
+
 
 class SecondaryIndex:
     """Non-unique hash index: value → base RIDs that *may* match.
@@ -77,17 +200,26 @@ class SecondaryIndex:
     outside the snapshot of all relevant active queries".
     """
 
-    def __init__(self, column: int) -> None:
+    def __init__(self, column: int, *, ordered: bool = False) -> None:
         self.column = column
+        self.ordered = ordered
         self._map: dict[Hashable, set[int]] = {}
         self._lock = threading.Lock()
         #: (value, rid, superseded_at) triples eligible for vacuum.
         self._stale: list[tuple[Hashable, int, int]] = []
+        #: Ordered mode: lazily maintained sorted value domain.
+        self._domain = _LazySortedDomain() if ordered else None
 
     def insert(self, value: Hashable, rid: int) -> None:
         """Add candidate mapping value → rid."""
         with self._lock:
-            self._map.setdefault(value, set()).add(rid)
+            rids = self._map.get(value)
+            if rids is None:
+                self._map[value] = {rid}
+                if self._domain is not None:
+                    self._domain.append(value)
+            else:
+                rids.add(rid)
 
     def mark_stale(self, value: Hashable, rid: int, superseded_at: int) -> None:
         """Record that (value, rid) stopped being current at a timestamp."""
@@ -101,9 +233,21 @@ class SecondaryIndex:
             return frozenset(rids) if rids else frozenset()
 
     def lookup_range(self, low: Hashable, high: Hashable) -> frozenset[int]:
-        """Candidates with low <= value <= high (hash index: full scan)."""
+        """Candidates with ``low <= value <= high``.
+
+        Ordered mode bisects the sorted value domain (O(log V + hits));
+        the plain hash index falls back to a full multimap walk.
+        """
         result: set[int] = set()
         with self._lock:
+            if self._domain is not None:
+                self._domain.compact(self._map)
+                get = self._map.get
+                for value in self._domain.iter_range(low, high):
+                    rids = get(value)
+                    if rids:
+                        result.update(rids)
+                return frozenset(result)
             for value, rids in self._map.items():
                 if low <= value <= high:  # type: ignore[operator]
                     result.update(rids)
@@ -126,6 +270,8 @@ class SecondaryIndex:
                         rids.discard(rid)
                         if not rids:
                             del self._map[value]
+                            if self._domain is not None:
+                                self._domain.mark_stale()
                     dropped += 1
                 else:
                     keep.append((value, rid, superseded_at))
@@ -146,9 +292,14 @@ class SecondaryIndex:
 class IndexManager:
     """All indexes of one table: the primary plus optional secondaries."""
 
-    def __init__(self, schema: TableSchema) -> None:
+    def __init__(self, schema: TableSchema,
+                 config: "EngineConfig | None" = None) -> None:
         self._schema = schema
-        self.primary = PrimaryIndex()
+        self._config = config
+        self.primary: PrimaryIndex = (
+            OrderedPrimaryIndex()
+            if config is None or config.ordered_primary_index
+            else PrimaryIndex())
         self._secondary: dict[int, SecondaryIndex] = {}
         self._lock = threading.Lock()
 
@@ -157,10 +308,12 @@ class IndexManager:
         if data_column == self._schema.key_index:
             raise ValueError(
                 "the key column already has the primary index")
+        ordered = self._config is None \
+            or self._config.ordered_secondary_index
         with self._lock:
             index = self._secondary.get(data_column)
             if index is None:
-                index = SecondaryIndex(data_column)
+                index = SecondaryIndex(data_column, ordered=ordered)
                 self._secondary[data_column] = index
             return index
 

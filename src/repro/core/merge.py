@@ -499,6 +499,14 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
         update_range.merge_count = new_merge_count
         update_range.base_tombstones -= deleted  # deletes now materialised
 
+    # Release the consumed prefix from the incremental scan patch-set —
+    # strictly after the chain swap and watermark advance, so a
+    # concurrent scan that already snapshotted the patch-set can only
+    # over-patch against the new pages, never under-patch.
+    update_range.prune_dirty(
+        base_rid - update_range.start_rid
+        for _, base_rid in tail.iter_base_rids(start_offset, end_offset))
+
     # -- Step 5: epoch-based de-allocation of the outdated pages.
     table.epoch_manager.retire(
         old_pages, retired_at=table.clock.advance(),

@@ -158,6 +158,14 @@ class Page:
             return False
         return self._values[slot] is not UNWRITTEN
 
+    def peek_slot(self, slot: int) -> Any:
+        """Value at *slot*, or :data:`UNWRITTEN` (non-raising read).
+
+        Single-lookup combination of :meth:`is_written` +
+        :meth:`read_slot` for hot enumeration loops.
+        """
+        return self._values[slot]
+
     def iter_values(self) -> Iterator[Any]:
         """Yield the written prefix of the page, in slot order."""
         for value in self._values:

@@ -380,6 +380,40 @@ class TailSegment:
             pages.extend(self._row_pages)
             return pages
 
+    def iter_base_rids(self, since_offset: int = 0,
+                       until_offset: int | None = None,
+                       ) -> Iterator[tuple[int, int]]:
+        """Yield ``(offset, base_rid)`` for written records in order.
+
+        Public accessor for the scan patch-set and merge bookkeeping:
+        covers ``[since_offset, until_offset or num_allocated())``,
+        skipping unwritten slots. The columnar fast path walks the Base
+        RID column pages directly; compressed regions and the row layout
+        fall back to :meth:`record_cell`.
+        """
+        limit = self.num_allocated() if until_offset is None \
+            else min(until_offset, self.num_allocated())
+        if self.layout is not Layout.ROW \
+                and since_offset >= self.compressed_upto:
+            capacity = self.page_capacity
+            with self._lock:
+                pages = list(self._pages.get(BASE_RID_COLUMN, []))
+            for offset in range(since_offset, limit):
+                page_index = offset // capacity
+                if page_index >= len(pages):
+                    break
+                value = pages[page_index].peek_slot(offset % capacity)
+                if type(value) is int:
+                    yield offset, value
+            return
+        for offset in range(since_offset, limit):
+            if not self.record_written(offset):
+                continue
+            base_rid = self.record_cell(offset, BASE_RID_COLUMN)
+            if is_null(base_rid):
+                continue
+            yield offset, base_rid
+
     def pages_for_slots(self, first_offset: int,
                         last_offset: int) -> list[Page | RowPage]:
         """Pages fully covered by ``[first_offset, last_offset)``."""
@@ -469,6 +503,14 @@ class UpdateRange:
         self.tps_rid = NULL_RID
         self.merge_count = 0
         self._tail_lock = threading.Lock()
+        #: Incrementally maintained scan patch-set: range offset →
+        #: number of unmerged tail records for that record. Incremented
+        #: on every tail append, decremented when the merge consumes the
+        #: record's tail prefix — so ``dirty_offsets()`` is always a
+        #: superset of the records whose base pages are stale, and scan
+        #: cost tracks the unmerged-update count (Figure 8).
+        self.dirty_counts: dict[int, int] = {}
+        self._dirty_lock = threading.Lock()
         #: Set while the range sits in the merge queue (dedup).
         self.merge_pending = False
         self.lock = threading.Lock()
@@ -508,6 +550,37 @@ class UpdateRange:
             return 0
         return max(0, tail.num_allocated() - self.merged_upto)
 
+    # -- incremental scan patch-set ----------------------------------------
+
+    def note_tail_append(self, offset: int) -> None:
+        """Count one unmerged tail record for the record at *offset*.
+
+        Called *before* the tail record's cells are written, so a merge
+        that observes the written record is guaranteed to see (and later
+        prune) its dirty count.
+        """
+        with self._dirty_lock:
+            counts = self.dirty_counts
+            counts[offset] = counts.get(offset, 0) + 1
+
+    def prune_dirty(self, offsets: Iterator[int] | list[int]) -> None:
+        """Release dirty counts for tail records a merge consumed."""
+        with self._dirty_lock:
+            counts = self.dirty_counts
+            for offset in offsets:
+                count = counts.get(offset)
+                if count is None:
+                    continue
+                if count <= 1:
+                    del counts[offset]
+                else:
+                    counts[offset] = count - 1
+
+    def dirty_offsets(self) -> set[int]:
+        """Snapshot of offsets with at least one unmerged tail record."""
+        with self._dirty_lock:
+            return set(self.dirty_counts)
+
 
 class Table:
     """One L-Store table: the public storage-level API.
@@ -536,7 +609,7 @@ class Table:
         self.snapshot_on_delete = snapshot_on_delete
         self.page_directory = PageDirectory()
         self.rid_allocator = RIDAllocator()
-        self.index = IndexManager(schema)
+        self.index = IndexManager(schema, config)
         self.page_counter = MonotonicCounter()
         self.ranges: dict[int, UpdateRange] = {}
         self.insert_ranges: list[InsertRange] = []
@@ -821,6 +894,7 @@ class Table:
                 sorted(snapshot_columns))
 
         new_rid, new_offset = tail.allocate()
+        update_range.note_tail_append(offset)
         backpointer = previous if previous != NULL_RID else rid
         if is_delete:
             encoding = SchemaEncoding.empty(num_columns)
@@ -865,6 +939,7 @@ class Table:
                          columns: list[int]) -> int:
         """Append the original-value snapshot record (Lemma 2)."""
         snap_rid, snap_offset = tail.allocate()
+        update_range.note_tail_append(offset)
         base_start = self._read_base_cell(update_range, offset,
                                           START_TIME_COLUMN)
         encoding = SchemaEncoding.from_columns(
@@ -1152,6 +1227,103 @@ class Table:
             for data_column, value in zip(remaining, cells):
                 values[data_column] = value
         return values
+
+    def read_latest_many(self, rids: Sequence[int],
+                         data_columns: Sequence[int] | None = None,
+                         txn_id: int | None = None,
+                         ) -> dict[int, dict[int, Any] | Deleted | None]:
+        """Batched :meth:`read_latest_fast` over many base RIDs.
+
+        Groups *rids* by update range and serves *clean* records —
+        merged columnar ranges where the indirection is NULL or covered
+        by the range TPS — straight from the base/merged page chains:
+        one page-directory lookup per (range, column) instead of one
+        locate + chain resolution + dict/zip per record. Records with
+        live unmerged tail activity (and row-layout / unmerged ranges)
+        fall back to the per-record 2-hop walk, so the result agrees
+        with :meth:`read_latest_fast` on every rid.
+
+        Returns ``{rid: values | DELETED | None}``; raises
+        :class:`~repro.errors.KeyNotFoundError` like the per-rid path
+        when a rid has no record.
+        """
+        if data_columns is None:
+            data_columns = range(self.schema.num_columns)
+        data_columns = tuple(data_columns)
+        results: dict[int, dict[int, Any] | Deleted | None] = {}
+        if not self.config.batched_reads:
+            for rid in rids:
+                results[rid] = self.read_latest_fast(rid, data_columns,
+                                                     txn_id)
+            return results
+        range_size = self.config.update_range_size
+        groups: dict[int, list[int]] = {}
+        for rid in rids:
+            if not is_base_rid(rid):
+                raise StorageError("%d is not a base RID" % rid)
+            groups.setdefault((rid - 1) // range_size, []).append(rid)
+        records_per_page = self._records_per_page
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        physicals = [NUM_METADATA_COLUMNS + column
+                     for column in data_columns]
+        directory = self.page_directory
+        for range_id, group in groups.items():
+            update_range = self.ranges.get(range_id)
+            if update_range is None:
+                raise KeyNotFoundError(
+                    "base rid %d not allocated" % group[0])
+            if not update_range.merged or self._layout is Layout.ROW:
+                for rid in group:
+                    results[rid] = self.read_latest_fast(rid, data_columns,
+                                                         txn_id)
+                continue
+            # Snapshot the TPS watermark BEFORE resolving the chains: a
+            # concurrent merge swaps chains first and advances tps_rid
+            # afterwards, so a stale tps can only misclassify a
+            # just-consolidated record as dirty (harmless fallback) —
+            # the reverse order could pair the new tps with pre-merge
+            # pages and read stale values as "clean".
+            tps = update_range.tps_rid
+            tombstones = set(update_range.base_tombstones)
+            key_chain = directory.base_chain(range_id, key_physical)
+            data_chains = [directory.base_chain(range_id, physical)
+                           for physical in physicals]
+            indirection = update_range.indirection
+            start_rid = update_range.start_rid
+            for rid in group:
+                offset = rid - start_rid
+                ind = indirection.read(offset)
+                if (ind != NULL_RID and not tps_applied(tps, ind)) \
+                        or offset in tombstones:
+                    # Unmerged tail activity (or a base hole): the
+                    # per-record walk handles visibility exactly.
+                    results[rid] = self.read_latest_fast(rid, data_columns,
+                                                         txn_id)
+                    continue
+                page_index = offset // records_per_page
+                slot = offset % records_per_page
+                key_page = key_chain[page_index]
+                seen_tps = key_page.tps_rid
+                if is_null(key_page.read_slot(slot)):
+                    # Merged delete (ind points at the delete record).
+                    results[rid] = DELETED if ind != NULL_RID else None
+                    continue
+                values: dict[int, Any] = {}
+                consistent = True
+                for data_column, chain in zip(data_columns, data_chains):
+                    page = chain[page_index]
+                    if page.tps_rid != seen_tps:
+                        # Lemma 3: decoupled per-column merge in flight;
+                        # repair via the always-correct chain walk.
+                        consistent = False
+                        break
+                    values[data_column] = page.read_slot(slot)
+                if consistent:
+                    results[rid] = values
+                else:
+                    results[rid] = self.read_latest_fast(rid, data_columns,
+                                                         txn_id)
+        return results
 
     def read_latest(self, rid: int,
                     data_columns: Sequence[int] | None = None,
@@ -1552,41 +1724,37 @@ class Table:
 
     def _tail_patch_offsets(self, update_range: UpdateRange,
                             since_offset: int) -> set[int]:
-        """Range offsets touched by tail records from *since_offset* on."""
+        """Range offsets touched by tail records from *since_offset* on.
+
+        Re-walk fallback for ``incremental_dirty_sets=False`` and for
+        state rebuilds; the scan hot path uses the incrementally
+        maintained :meth:`UpdateRange.dirty_offsets` instead.
+        """
         tail = update_range.tail
         if tail is None:
             return set()
-        affected: set[int] = set()
-        limit = tail.num_allocated()
         start_rid = update_range.start_rid
-        if self.layout is not Layout.ROW and since_offset >= \
-                tail.compressed_upto:
-            # Fast path: walk the Base RID column pages directly.
-            capacity = tail.page_capacity
-            pages = tail._pages.get(BASE_RID_COLUMN, [])
-            for tail_offset in range(since_offset, limit):
-                page_index = tail_offset // capacity
-                if page_index >= len(pages):
-                    break
-                value = pages[page_index]._values[tail_offset % capacity]
-                if type(value) is int:
-                    affected.add(value - start_rid)
-            return affected
-        for tail_offset in range(since_offset, limit):
-            if not tail.record_written(tail_offset):
-                continue
-            base_rid = tail.record_cell(tail_offset, BASE_RID_COLUMN)
-            if is_null(base_rid):
-                continue
-            affected.add(base_rid - start_rid)
-        return affected
+        return {base_rid - start_rid
+                for _, base_rid in tail.iter_base_rids(since_offset)}
+
+    def _scan_patch_offsets(self, update_range: UpdateRange) -> set[int]:
+        """Records whose base-page values a scan must patch."""
+        if self.config.incremental_dirty_sets:
+            return update_range.dirty_offsets()
+        return self._tail_patch_offsets(update_range,
+                                        update_range.merged_upto)
 
     def _scan_merged_range(self, update_range: UpdateRange, data_column: int,
                            physical: int, predicate: VisibilityPredicate,
                            as_of: int | None, fast: bool) -> int:
+        # Snapshot the patch-set BEFORE resolving the page chain: the
+        # merge swaps chains first and advances merged_upto / prunes the
+        # dirty set afterwards, so this order can only over-patch
+        # (harmless) — the reverse order could pair a pruned patch-set
+        # with the pre-merge chain and drop consolidated updates from
+        # the total (a torn scan).
+        patch = self._scan_patch_offsets(update_range)
         chain = self._base_chain(update_range, physical)
-        patch = self._tail_patch_offsets(update_range,
-                                         update_range.merged_upto)
         if as_of is not None:
             patch.update(self._post_snapshot_offsets(update_range, as_of))
         total = 0

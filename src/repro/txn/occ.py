@@ -119,13 +119,22 @@ def occ_read(ctx: TxnContext, table: Table, rid: int,
         values = table.read_latest_fast(rid, data_columns, ctx.txn_id)
         return None if values is DELETED else values
     predicate = ctx.read_predicate(speculative)
-    values = table.read_latest(rid, data_columns, predicate)
-    if values is DELETED:
-        values = None
-    if track:
+    if not track:
+        values = table.read_latest(rid, data_columns, predicate)
+        return None if values is DELETED else values
+    # Tracked read: the observed version RID and the returned values
+    # must describe the SAME version, or validation can certify a stale
+    # read. A competing transaction whose commit time precedes this
+    # snapshot may flip PRE_COMMIT -> COMMITTED between two chain
+    # walks, making its version newly visible; re-walk until the
+    # visible version is stable on both sides of the value read.
+    while True:
         observed = table.visible_version_rid(rid, predicate)
-        ctx.readset.append(ReadEntry(table, rid, observed, speculative))
-    return values
+        values = table.read_latest(rid, data_columns, predicate)
+        if table.visible_version_rid(rid, predicate) == observed:
+            break
+    ctx.readset.append(ReadEntry(table, rid, observed, speculative))
+    return None if values is DELETED else values
 
 
 def occ_write(ctx: TxnContext, table: Table, rid: int,

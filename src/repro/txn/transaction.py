@@ -162,13 +162,16 @@ class Transaction:
 
     def sum(self, table: Table, key_low: Any, key_high: Any,
             data_column: int) -> int:
-        """SUM of *data_column* over keys in ``[key_low, key_high]``."""
+        """SUM of *data_column* over keys in ``[key_low, key_high]``.
+
+        Candidates come from the ordered primary index (O(log N + k)
+        instead of a full index walk); each is read under this
+        transaction's visibility predicate.
+        """
         self._check_active()
         predicate = self.ctx.read_predicate()
         total = 0
-        for key, rid in table.index.primary.items():
-            if not key_low <= key <= key_high:
-                continue
+        for _, rid in table.index.primary.range_items(key_low, key_high):
             values = table.read_latest(rid, (data_column,), predicate)
             if values is None or values is DELETED:
                 continue

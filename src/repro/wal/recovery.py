@@ -221,6 +221,9 @@ def _rebuild_derived_state(table: Table, rebuild_indirection: bool) -> None:
             offset = base_rid - update_range.start_rid
             bits = encoding.to_int() & ((1 << num_columns) - 1)
             update_range.updated_bits[offset] |= bits
+            # Recovered ranges start unmerged, so every replayed tail
+            # record re-enters the incremental scan patch-set.
+            update_range.note_tail_append(offset)
             if not encoding.is_snapshot:
                 newest_per_record[offset] = tail.rid_at(tail_offset)
         _restore_block_cursors(tail, used)

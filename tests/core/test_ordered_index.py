@@ -1,0 +1,144 @@
+"""Ordered indexes: range reads must match brute-force filtering.
+
+The ordered primary/secondary indexes keep a lazily compacted sorted
+array next to the hash map; these properties drive random interleavings
+of inserts, replaces, removes and range queries (so compaction,
+pending buffers and stale-key tombstones all get exercised mid-stream)
+and check every range result against a model dict.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EngineConfig
+from repro.core.index import (IndexManager, OrderedPrimaryIndex,
+                              PrimaryIndex, SecondaryIndex)
+from repro.core.schema import TableSchema
+from repro.errors import DuplicateKeyError
+
+KEYS = st.integers(min_value=0, max_value=40)
+
+primary_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), KEYS, st.integers(1, 10_000)),
+        st.tuples(st.just("replace"), KEYS, st.integers(1, 10_000)),
+        st.tuples(st.just("remove"), KEYS, st.just(0)),
+        st.tuples(st.just("range"), KEYS, KEYS),
+    ),
+    max_size=300,
+)
+
+
+class TestOrderedPrimaryIndexProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=primary_ops, low=KEYS, high=KEYS)
+    def test_range_items_matches_brute_force(self, ops, low, high):
+        index = OrderedPrimaryIndex()
+        model = {}
+        for op, a, b in ops:
+            if op == "insert":
+                if a in model:
+                    with pytest.raises(DuplicateKeyError):
+                        index.insert(a, b)
+                else:
+                    index.insert(a, b)
+                    model[a] = b
+            elif op == "replace":
+                index.replace(a, b)
+                model[a] = b
+            elif op == "remove":
+                index.remove(a)
+                model.pop(a, None)
+            else:  # interleaved range query: forces mid-stream compaction
+                expected = sorted((key, rid) for key, rid in model.items()
+                                  if a <= key <= b)
+                assert index.range_items(a, b) == expected
+        expected = sorted((key, rid) for key, rid in model.items()
+                          if low <= key <= high)
+        assert index.range_items(low, high) == expected
+        assert len(index) == len(model)
+        for key, rid in model.items():
+            assert index.get(key) == rid
+
+
+secondary_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), KEYS, st.integers(1, 50)),
+        st.tuples(st.just("supersede"), KEYS, st.integers(1, 50)),
+        st.tuples(st.just("range"), KEYS, KEYS),
+    ),
+    max_size=300,
+)
+
+
+class TestOrderedSecondaryIndexProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=secondary_ops, low=KEYS, high=KEYS)
+    def test_lookup_range_matches_brute_force(self, ops, low, high):
+        index = SecondaryIndex(column=1, ordered=True)
+        model: dict[int, set[int]] = {}
+        for op, value, rid in ops:
+            if op == "insert":
+                index.insert(value, rid)
+                model.setdefault(value, set()).add(rid)
+            elif op == "supersede":
+                # Deferred removal (footnote 3) followed by an eager
+                # vacuum: drops the entry, possibly the whole value.
+                index.mark_stale(value, rid, superseded_at=1)
+                index.vacuum(oldest_active_begin=None)
+                rids = model.get(value)
+                if rids is not None:
+                    rids.discard(rid)
+                    if not rids:
+                        del model[value]
+            else:
+                expected = set()
+                for candidate, rids in model.items():
+                    if value <= candidate <= rid:
+                        expected.update(rids)
+                assert index.lookup_range(value, rid) == expected
+        expected = set()
+        for value, rids in model.items():
+            if low <= value <= high:
+                expected.update(rids)
+        assert index.lookup_range(low, high) == expected
+
+
+class TestOrderedIndexUnits:
+    def test_reinserted_key_not_duplicated(self):
+        index = OrderedPrimaryIndex()
+        index.insert(5, 100)
+        index.remove(5)
+        index.insert(5, 200)
+        assert index.range_items(0, 10) == [(5, 200)]
+
+    def test_stale_rebuild_threshold(self):
+        index = OrderedPrimaryIndex()
+        for key in range(200):
+            index.insert(key, key)
+        assert len(index.range_items(0, 199)) == 200
+        for key in range(150):
+            index.remove(key)
+        assert index.range_items(0, 199) == [(key, key)
+                                             for key in range(150, 200)]
+
+    def test_ordered_matches_hash_semantics(self):
+        ordered, plain = OrderedPrimaryIndex(), PrimaryIndex()
+        for index in (ordered, plain):
+            index.insert(3, 30)
+            index.insert(1, 10)
+            index.insert(2, 20)
+            index.remove(2)
+        assert ordered.range_items(1, 3) \
+            == sorted(plain.range_items(1, 3)) == [(1, 10), (3, 30)]
+
+    def test_manager_respects_config_flags(self):
+        schema = TableSchema("t", num_columns=3, key_index=0)
+        on = IndexManager(schema, EngineConfig())
+        assert isinstance(on.primary, OrderedPrimaryIndex)
+        assert on.create_secondary(1).ordered
+        off = IndexManager(schema, EngineConfig(
+            ordered_primary_index=False, ordered_secondary_index=False))
+        assert not isinstance(off.primary, OrderedPrimaryIndex)
+        assert not off.create_secondary(1).ordered

@@ -1,0 +1,145 @@
+"""Batched reads and the incremental scan patch-set.
+
+``Table.read_latest_many`` must agree with per-rid
+``read_latest_fast`` on any mix of clean (merged, TPS-covered) and
+dirty (live unmerged tail) records; the per-range dirty-offset set must
+grow with tail appends and shrink when merges consume them, keeping
+``scan_sum`` exact.
+"""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.core.merge import merge_update_range
+from repro.core.table import DELETED
+from repro.errors import KeyNotFoundError
+from repro.txn.transaction import Transaction
+
+
+@pytest.fixture
+def bank(db, table, query):
+    """32 rows across two insert ranges, base pages materialised."""
+    for key in range(32):
+        query.insert(key, key * 2, key * 3, key * 5, 7)
+    db.run_merges()
+    return query
+
+
+def mixed_state(db, table, query):
+    """Create clean, merged-dirty, re-dirty, deleted and in-flight rids."""
+    for key in range(6):
+        query.update(key, None, key + 100, None, None, None)
+        query.update(key, None, None, key + 200, None, None)
+    query.delete(7)
+    query.update(20, None, 777, None, None, None)
+    # Consolidate range 0 only; range 1 keeps its unmerged tail.
+    rid0 = table.index.primary.get(0)
+    merge_update_range(table, table.locate(rid0)[0])
+    # Re-dirty one consolidated record.
+    query.update(1, None, None, None, 999, None)
+    # An uncommitted writer: visible to nobody yet.
+    txn = Transaction(db.txn_manager)
+    txn.update(table, 3, {1: 12345})
+    return txn
+
+
+class TestReadLatestMany:
+    def test_agrees_with_read_latest_fast(self, db, table, bank):
+        txn = mixed_state(db, table, bank)
+        try:
+            rids = [table.index.primary.get(key) for key in range(32)]
+            for projection in ((1,), (1, 3), None):
+                many = table.read_latest_many(rids, projection)
+                for rid in rids:
+                    assert many[rid] \
+                        == table.read_latest_fast(rid, projection), rid
+        finally:
+            txn.abort()
+
+    def test_deleted_record_reported(self, db, table, bank):
+        bank.delete(7)
+        rid = table.index.primary.get(7)
+        assert table.read_latest_many([rid], (1,))[rid] is DELETED
+        merge_update_range(table, table.locate(rid)[0])
+        assert table.read_latest_many([rid], (1,))[rid] is DELETED
+
+    def test_unknown_rid_raises(self, db, table, bank):
+        with pytest.raises(KeyNotFoundError):
+            table.read_latest_many([10**6 + 1], (1,))
+
+    def test_flag_off_matches(self, bank):
+        db = Database(EngineConfig(
+            records_per_page=8, records_per_tail_page=8,
+            update_range_size=16, merge_threshold=8, insert_range_size=16,
+            background_merge=False, batched_reads=False))
+        try:
+            table = db.create_table("plain", num_columns=5)
+            from repro.core.query import Query
+            query = Query(table)
+            for key in range(20):
+                query.insert(key, key, key, key, key)
+            db.run_merges()
+            query.update(3, None, 42, None, None, None)
+            rids = [table.index.primary.get(key) for key in range(20)]
+            many = table.read_latest_many(rids, (1, 2))
+            for rid in rids:
+                assert many[rid] == table.read_latest_fast(rid, (1, 2))
+        finally:
+            db.close()
+
+
+class TestIncrementalDirtySets:
+    def test_appends_grow_and_merge_prunes(self, db, table, bank):
+        rid = table.index.primary.get(2)
+        update_range, offset = table.locate(rid)
+        assert update_range.dirty_offsets() == set()
+        # First update appends the Lemma-2 snapshot plus the update.
+        bank.update(2, None, 11, None, None, None)
+        assert update_range.dirty_counts[offset] == 2
+        # A second update of the same column appends only the update;
+        # a first-touch of another column would snapshot it first.
+        bank.update(2, None, 22, None, None, None)
+        assert update_range.dirty_counts[offset] == 3
+        assert update_range.dirty_offsets() == {offset}
+        merge_update_range(table, update_range)
+        assert update_range.dirty_offsets() == set()
+
+    def test_dirty_set_matches_tail_rewalk(self, db, table, bank):
+        for key in (0, 1, 5, 9, 12):
+            bank.update(key, None, key, None, None, None)
+        bank.delete(14)
+        for update_range in table.sorted_ranges():
+            assert update_range.dirty_offsets() \
+                == table._tail_patch_offsets(update_range,
+                                             update_range.merged_upto)
+
+    def test_scan_sum_exact_across_merges(self, db, table, bank):
+        expected = sum(key * 2 for key in range(32))
+        assert table.scan_sum(1) == expected
+        bank.update(4, None, 1000, None, None, None)
+        expected += 1000 - 8
+        assert table.scan_sum(1) == expected
+        db.run_merges()
+        assert table.scan_sum(1) == expected
+        bank.delete(9)
+        expected -= 18
+        assert table.scan_sum(1) == expected
+        db.run_merges()
+        assert table.scan_sum(1) == expected
+
+    def test_scan_sum_with_flag_off(self):
+        db = Database(EngineConfig(
+            records_per_page=8, records_per_tail_page=8,
+            update_range_size=16, merge_threshold=8, insert_range_size=16,
+            background_merge=False, incremental_dirty_sets=False))
+        try:
+            table = db.create_table("legacy", num_columns=3)
+            from repro.core.query import Query
+            query = Query(table)
+            for key in range(16):
+                query.insert(key, key, 0)
+            db.run_merges()
+            query.update(3, None, 100, None)
+            assert table.scan_sum(1) == sum(range(16)) + 100 - 3
+        finally:
+            db.close()
