@@ -30,6 +30,7 @@ from .core.types import NULL, IsolationLevel, Layout
 from .errors import (DuplicateKeyError, KeyNotFoundError, LStoreError,
                      RecordDeletedError, TransactionAborted,
                      ValidationFailure, WriteWriteConflict)
+from .exec.executor import ScanExecutor, execute_scan
 from .txn.manager import TransactionManager
 from .txn.transaction import Transaction
 from .txn.worker import TransactionWorker
@@ -58,7 +59,9 @@ __all__ = [
     "Table",
     "TableSchema",
     "TEST_CONFIG",
+    "ScanExecutor",
     "Transaction",
+    "execute_scan",
     "TransactionAborted",
     "TransactionManager",
     "TransactionWorker",

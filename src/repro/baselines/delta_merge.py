@@ -68,10 +68,13 @@ class DeltaMergeEngine(Engine):
 
     def __init__(self, num_columns: int, *, range_size: int = 4096,
                  merge_threshold: int = 2048,
+                 scan_parallelism: int = 1,
                  clock: SynchronizedClock | None = None) -> None:
+        from ..exec.executor import ScanExecutor
         self.num_columns = num_columns
         self.range_size = range_size
         self.merge_threshold = merge_threshold
+        self._scan_executor = ScanExecutor(scan_parallelism)
         self.clock = clock if clock is not None else SynchronizedClock()
         #: Same transaction-manager protocol as L-Store (paper fairness:
         #: all engines run the concurrency model of [33]).
@@ -245,53 +248,69 @@ class DeltaMergeEngine(Engine):
         return _DBMTxn(self)
 
     def scan_sum(self, column: int) -> int:
-        """Snapshot SUM under the shared gate (blocks merges meanwhile)."""
+        """Snapshot SUM under the shared gate (blocks merges meanwhile).
+
+        Range stores are independent, so the per-store partials run
+        through the shared scan executor — the same partitioned plan
+        shape as L-Store's executor, minus the epochs (the shared gate
+        already blocks merges for the duration).
+        """
+        from functools import partial
         self.gate.acquire_shared()
         try:
-            total = 0
-            for store in self._ranges:
-                alive = store.exists & ~store.deleted
-                total += int(store.main[column][alive].sum())
-                with store.lock:
-                    latest = dict(store.delta_latest)
-                for rid, entry_index in latest.items():
-                    slot = rid % self.range_size
-                    main_part = int(store.main[column][slot]) \
-                        if alive[slot] else 0
-                    # Resolve the delta-visible value of this record.
-                    visible: int | None = None  # None = fall to main
-                    is_deleted = False
-                    row_exists = bool(alive[slot])
-                    index: int | None = entry_index
-                    newest_seen = False
-                    while index is not None:
-                        entry = store.delta[index]
-                        if entry.valid:
-                            if not newest_seen:
-                                newest_seen = True
-                                if entry.is_delete:
-                                    is_deleted = True
-                                    break
-                            if column in entry.values and visible is None:
-                                visible = entry.values[column]
-                            if entry.is_insert:
-                                row_exists = True
-                                break
-                        index = entry.prev
-                    if is_deleted:
-                        total -= main_part
-                    elif not row_exists:
-                        continue  # aborted insert: contributes nothing
-                    elif visible is not None:
-                        total += visible - main_part
-                    elif not alive[slot]:
-                        # Inserted row whose column came only from main
-                        # defaults (cannot happen: inserts carry all
-                        # columns) — defensive no-op.
-                        continue
-            return total
+            stores = list(self._ranges)
+            tasks = [partial(self._scan_store_sum, store, column)
+                     for store in stores]
+            return sum(self._scan_executor.map(tasks))
         finally:
             self.gate.release_shared()
+
+    def _scan_store_sum(self, store: _RangeStore, column: int) -> int:
+        """Partition unit: main-array SUM plus delta corrections."""
+        alive = store.exists & ~store.deleted
+        total = int(store.main[column][alive].sum())
+        with store.lock:
+            latest = dict(store.delta_latest)
+        for rid, entry_index in latest.items():
+            slot = rid % self.range_size
+            main_part = int(store.main[column][slot]) \
+                if alive[slot] else 0
+            # Resolve the delta-visible value of this record.
+            visible: int | None = None  # None = fall to main
+            is_deleted = False
+            row_exists = bool(alive[slot])
+            index: int | None = entry_index
+            newest_seen = False
+            while index is not None:
+                entry = store.delta[index]
+                if entry.valid:
+                    if not newest_seen:
+                        newest_seen = True
+                        if entry.is_delete:
+                            is_deleted = True
+                            break
+                    if column in entry.values and visible is None:
+                        visible = entry.values[column]
+                    if entry.is_insert:
+                        row_exists = True
+                        break
+                index = entry.prev
+            if is_deleted:
+                total -= main_part
+            elif not row_exists:
+                continue  # aborted insert: contributes nothing
+            elif visible is not None:
+                total += visible - main_part
+            elif not alive[slot]:
+                # Inserted row whose column came only from main
+                # defaults (cannot happen: inserts carry all
+                # columns) — defensive no-op.
+                continue
+        return total
+
+    def close(self) -> None:
+        self.stop_background()
+        self._scan_executor.close()
 
     def describe(self) -> dict[str, Any]:
         return {

@@ -90,11 +90,14 @@ class InPlaceHistoryEngine(Engine):
     name = "In-place Update + History"
 
     def __init__(self, num_columns: int, *, records_per_page: int = 4096,
+                 scan_parallelism: int = 1,
                  clock: SynchronizedClock | None = None) -> None:
+        from ..exec.executor import ScanExecutor
         if num_columns < 1:
             raise ValueError("need at least the key column")
         self.num_columns = num_columns
         self.records_per_page = records_per_page
+        self._scan_executor = ScanExecutor(scan_parallelism)
         self.clock = clock if clock is not None else SynchronizedClock()
         #: Same transaction-manager protocol as L-Store (paper fairness:
         #: all engines run the concurrency model of [33]).
@@ -267,16 +270,25 @@ class InPlaceHistoryEngine(Engine):
         return _IUHTxn(self)
 
     def scan_sum(self, column: int) -> int:
-        """Snapshot SUM: latched page sums + history corrections."""
+        """Snapshot SUM: latched page sums + history corrections.
+
+        The per-page partials run through the shared scan executor
+        (pages are independent under their own latches); the history
+        correction pass stays serial — it is proportional to recent
+        changes, not table size.
+        """
+        from functools import partial
         as_of = self.clock.now()
-        total = 0
-        for page_index, page in enumerate(self._pages):
+
+        def page_sum(page: _MainPage) -> int:
             page.latch.acquire_shared()
             try:
-                n = page.num_records
-                total += int(page.columns[column][:n].sum())
+                return int(page.columns[column][:page.num_records].sum())
             finally:
                 page.latch.release_shared()
+
+        tasks = [partial(page_sum, page) for page in list(self._pages)]
+        total = sum(self._scan_executor.map(tasks))
         # Correct records that changed after the snapshot began.
         with self._recent_lock:
             recent = [(rid, t) for rid, t in self._recent if t > as_of]
@@ -298,6 +310,10 @@ class InPlaceHistoryEngine(Engine):
         with self._recent_lock:
             self._recent = [(rid, t) for rid, t in self._recent
                             if t > horizon - 10_000]
+
+    def close(self) -> None:
+        self.stop_background()
+        self._scan_executor.close()
 
     def describe(self) -> dict[str, Any]:
         return {

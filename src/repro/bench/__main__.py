@@ -6,12 +6,17 @@ Usage::
     python -m repro.bench fig7 --contention high --scale 500
     python -m repro.bench table8 table9
     python -m repro.bench all --scale 2000 --duration 0.3
-    python -m repro.bench all --json BENCH_PR1.json --repeats 3
+    python -m repro.bench all --json BENCH_PR2.json --repeats 3
+    python -m repro.bench all --json BENCH_PR2.json --diff BENCH_PR1.json
+    python -m repro.bench --diff BENCH_PR1.json --against BENCH_PR2.json
 
 ``--json`` writes a benchmark-trajectory file: per-experiment median
 wall-clock seconds (over ``--repeats`` runs) plus the result rows of
 the last run, so successive PRs can diff performance against the
-committed baseline.
+committed baseline. ``--diff BASELINE`` compares the freshly run (or
+``--against``-loaded) trajectory's result series against the baseline
+and prints a regression summary — per-row txn/s and the sums/table
+series, never the sleep-dominated wall seconds (see ROADMAP).
 """
 
 from __future__ import annotations
@@ -52,11 +57,38 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--repeats", type=int, default=1,
                         help="runs per experiment for the median "
                              "(default 1; use >= 3 with --json)")
+    parser.add_argument("--diff", dest="diff_baseline", default=None,
+                        metavar="BASELINE",
+                        help="compare result series against a baseline "
+                             "trajectory JSON and print a regression "
+                             "summary")
+    parser.add_argument("--against", dest="diff_against", default=None,
+                        metavar="PATH",
+                        help="with --diff: compare this trajectory file "
+                             "instead of running experiments")
+    parser.add_argument("--diff-threshold", type=float, default=0.25,
+                        help="relative change flagged by --diff "
+                             "(default 0.25 = ±25%%)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.diff_against and not args.diff_baseline:
+        print("--against requires --diff BASELINE", file=sys.stderr)
+        return 2
+    if args.diff_baseline and args.diff_against:
+        if args.experiments:
+            print("--against compares two existing trajectory files; "
+                  "drop the experiment arguments or drop --against to "
+                  "run them fresh", file=sys.stderr)
+            return 2
+        from .diffing import diff_trajectories, load_trajectory
+        report = diff_trajectories(load_trajectory(args.diff_baseline),
+                                   load_trajectory(args.diff_against),
+                                   threshold=args.diff_threshold)
+        print(report.format())
+        return 0
     if args.list or not args.experiments:
         print("available experiments:")
         for name, fn in sorted(ALL_EXPERIMENTS.items()):
@@ -82,9 +114,9 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         fn = ALL_EXPERIMENTS[name]
         kwargs: dict = {"scale": args.scale}
-        if name in ("fig7", "fig9", "fig10"):
+        if name in ("fig7", "fig9", "fig10", "analytics"):
             kwargs["duration"] = args.duration
-            if args.contention is not None:
+            if name != "analytics" and args.contention is not None:
                 kwargs["contention"] = args.contention
         samples: list[float] = []
         result = None
@@ -106,6 +138,12 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(trajectory, stream, indent=2, sort_keys=True)
             stream.write("\n")
         print("wrote %s" % args.json_path)
+    if args.diff_baseline:
+        from .diffing import diff_trajectories, load_trajectory
+        report = diff_trajectories(load_trajectory(args.diff_baseline),
+                                   trajectory,
+                                   threshold=args.diff_threshold)
+        print(report.format())
     return 0
 
 

@@ -1,0 +1,119 @@
+"""Benchmark-trajectory diffing: compare two ``--json`` files.
+
+The ROADMAP's measurement rule: fig7/fig9/fig10 *wall seconds* are
+dominated by fixed timed-window sleeps (duration × engines × sweep
+points), so trajectories are compared on the **result series** — the
+per-row throughput (``*_per_sec``, higher is better) and scan-latency
+(``*_seconds``, lower is better) metrics — never on an experiment's
+wall-clock ``median_seconds``.
+
+Rows are matched by their non-metric "key" columns (engine, threads,
+range size, …); a row is flagged as a regression or improvement when a
+metric moves beyond the threshold ratio.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Metric header suffixes and their direction (+1 higher is better).
+_METRIC_DIRECTIONS = (("_per_sec", +1), ("_seconds", -1))
+
+
+def _metric_direction(header: str) -> int | None:
+    for suffix, direction in _METRIC_DIRECTIONS:
+        if header.endswith(suffix):
+            return direction
+    return None
+
+
+@dataclass
+class DiffReport:
+    """Outcome of comparing two trajectories."""
+
+    lines: list[str] = field(default_factory=list)
+    compared: int = 0
+    regressions: int = 0
+    improvements: int = 0
+
+    def format(self) -> str:
+        return "\n".join(self.lines)
+
+
+def load_trajectory(path: str) -> dict[str, Any]:
+    """Load a ``python -m repro.bench --json`` trajectory file."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+def _index_rows(headers: list[str], rows: list[list[Any]],
+                key_indices: list[int],
+                ) -> dict[tuple, list[Any]]:
+    indexed: dict[tuple, list[Any]] = {}
+    for row in rows:
+        indexed[tuple(row[i] for i in key_indices)] = row
+    return indexed
+
+
+def diff_trajectories(baseline: dict[str, Any], current: dict[str, Any], *,
+                      threshold: float = 0.25) -> DiffReport:
+    """Compare *current* against *baseline*; flag metric moves beyond
+    ``threshold`` (e.g. 0.25 = ±25%).
+
+    Only experiments present in both trajectories are compared, and
+    only rows whose key columns match; metric columns are recognised by
+    their ``*_per_sec`` / ``*_seconds`` suffix.
+    """
+    report = DiffReport()
+    base_experiments = baseline.get("experiments", {})
+    current_experiments = current.get("experiments", {})
+    shared = sorted(set(base_experiments) & set(current_experiments))
+    skipped = sorted(set(base_experiments) ^ set(current_experiments))
+    for name in shared:
+        base = base_experiments[name]
+        now = current_experiments[name]
+        headers = base.get("headers", [])
+        if headers != now.get("headers", []):
+            report.lines.append(
+                "%-10s headers changed — series not comparable" % name)
+            continue
+        metric_indices = [(i, _metric_direction(header), header)
+                          for i, header in enumerate(headers)
+                          if _metric_direction(header) is not None]
+        key_indices = [i for i, header in enumerate(headers)
+                       if _metric_direction(header) is None]
+        base_rows = _index_rows(headers, base.get("rows", []), key_indices)
+        now_rows = _index_rows(headers, now.get("rows", []), key_indices)
+        for key in base_rows:
+            if key not in now_rows:
+                continue
+            for index, direction, header in metric_indices:
+                old = base_rows[key][index]
+                new = now_rows[key][index]
+                if not isinstance(old, (int, float)) \
+                        or not isinstance(new, (int, float)) or old == 0:
+                    continue
+                report.compared += 1
+                ratio = new / old
+                gain = ratio - 1.0 if direction > 0 else 1.0 - ratio
+                label = " ".join(str(part) for part in key)
+                detail = "%-10s %-28s %-14s %10.4g -> %-10.4g (%+.0f%%)" % (
+                    name, label, header, old, new, gain * 100)
+                if gain <= -threshold:
+                    report.regressions += 1
+                    report.lines.append("REGRESSION  " + detail)
+                elif gain >= threshold:
+                    report.improvements += 1
+                    report.lines.append("improved    " + detail)
+    if skipped:
+        report.lines.append(
+            "(only in one trajectory, skipped: %s)" % ", ".join(skipped))
+    report.lines.append(
+        "diff summary: %d series compared, %d regression(s), "
+        "%d improvement(s) at ±%.0f%% (wall seconds ignored — "
+        "fig7/fig9/fig10 are sleep-dominated)"
+        % (report.compared, report.regressions, report.improvements,
+           threshold * 100))
+    return report

@@ -20,7 +20,8 @@ from ..baselines.delta_merge import DeltaMergeEngine
 from ..baselines.inplace_history import InPlaceHistoryEngine
 from ..core.config import EngineConfig
 from ..core.types import Layout
-from .harness import (load_engine, measure_scan_seconds, run_fixed_transactions,
+from .harness import (load_engine, measure_scan_seconds,
+                      run_analytics_scans, run_fixed_transactions,
                       run_mixed_workload, run_scan_under_updates)
 from .reporting import ExperimentResult
 from .workload import (WorkloadSpec, high_contention, low_contention,
@@ -353,6 +354,43 @@ def sums_range_queries(*, range_spans: Sequence[int] = (16, 256, 2048),
 
 
 # ---------------------------------------------------------------------------
+# Analytics — filtered group-by scans under a concurrent update stream
+# ---------------------------------------------------------------------------
+
+def analytics_scans(*, parallelism_levels: Sequence[int] = (1, 2, 4),
+                    update_threads: int = 2, duration: float = 0.5,
+                    scale: int = 1000) -> ExperimentResult:
+    """Executor group-by scan throughput vs ``scan_parallelism``.
+
+    Not a paper table — the regression guard for the analytical scan
+    executor (this repo's real-time OLAP claim): a filtered single-column
+    group-by SUM planned into per-update-range partitions, running
+    against a live short-transaction update stream. Rows report
+    analytical scans/s, groups produced, and the concurrent OLTP
+    throughput, per executor parallelism level.
+    """
+    spec = _spec_for("low", scale)
+    result = ExperimentResult(
+        "Analytics",
+        "Filtered group-by scans/s under %d update threads"
+        % update_threads,
+        ["parallelism", "scans_per_sec", "groups", "txn_per_sec"])
+    for parallelism in parallelism_levels:
+        engine = make_engine("lstore", spec.num_columns,
+                             scan_parallelism=parallelism)
+        try:
+            load_engine(engine, spec)
+            scans_per_sec, groups, txn_per_sec = run_analytics_scans(
+                engine, spec, update_threads=update_threads,
+                duration=duration)
+            result.add_row(parallelism, round(scans_per_sec, 2), groups,
+                           round(txn_per_sec, 1))
+        finally:
+            engine.close()
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Table 9 — Point queries vs % of columns read
 # ---------------------------------------------------------------------------
 
@@ -403,6 +441,7 @@ def table9_point_queries(*, column_fractions: Sequence[float] = (0.1, 0.2,
 
 #: Registry used by the CLI runner and the pytest benches.
 ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "analytics": analytics_scans,
     "fig7": fig7_scalability,
     "fig8": fig8_merge_scan,
     "fig9": fig9_read_write_ratio,

@@ -115,6 +115,20 @@ class EngineConfig:
     #: then tracks the unmerged-update count exactly (Figure 8).
     incremental_dirty_sets: bool = True
 
+    #: Worker threads of the shared analytical scan executor
+    #: (:mod:`repro.exec`). 1 = run every scan partition inline on the
+    #: calling thread; >1 = run partitions on a shared pool. Threads
+    #: are correctness-safe under the GIL (partitions register their
+    #: own epochs) and give real speedup on free-threaded builds and on
+    #: the NumPy page-sum fast path, which releases the GIL.
+    scan_parallelism: int = 1
+
+    #: Transaction-manager entries that may accumulate before the
+    #: automatic epoch-wired GC sweeps the entry table
+    #: (:meth:`~repro.txn.manager.TransactionManager.gc`). 0 disables
+    #: auto-GC (entries then grow until a manual ``gc(before)`` call).
+    txn_gc_threshold: int = 4096
+
     def __post_init__(self) -> None:
         if self.records_per_page <= 0:
             raise ValueError("records_per_page must be positive")
@@ -136,6 +150,10 @@ class EngineConfig:
             raise ValueError("merge_threshold must be positive")
         if self.merge_ranges_per_merge <= 0:
             raise ValueError("merge_ranges_per_merge must be positive")
+        if self.scan_parallelism < 1:
+            raise ValueError("scan_parallelism must be >= 1")
+        if self.txn_gc_threshold < 0:
+            raise ValueError("txn_gc_threshold must be >= 0")
 
     @property
     def pages_per_range(self) -> int:

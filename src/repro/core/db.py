@@ -35,9 +35,16 @@ class Database:
         self.txn_manager = TransactionManager(self.clock)
         self.merge_engine = MergeEngine(
             poll_interval=self.config.merge_poll_interval)
+        from ..exec.executor import ScanExecutor
+        #: Shared analytical scan executor: all tables' scan partitions
+        #: run on one bounded worker pool (config.scan_parallelism).
+        self.scan_executor = ScanExecutor(self.config.scan_parallelism)
         self.tables: dict[str, Table] = {}
         self._wal = None
         self._open = True
+        if self.config.txn_gc_threshold:
+            self.txn_manager.enable_auto_gc(
+                self.epoch_manager, threshold=self.config.txn_gc_threshold)
         if self.config.background_merge:
             self.merge_engine.start()
         if self.config.wal_enabled and self.config.data_dir:
@@ -67,6 +74,8 @@ class Database:
         table = Table(schema, config if config is not None else self.config,
                       clock=self.clock, epoch_manager=self.epoch_manager,
                       txn_source=self.txn_manager)
+        table.scan_executor = self.scan_executor
+        self.txn_manager.register_stamp_source(table.stamp_tail_markers)
         self.merge_engine.attach(table)
         if self._wal is not None:
             from ..wal.log import attach_table_logging
@@ -83,7 +92,12 @@ class Database:
 
     def drop_table(self, name: str) -> None:
         """Drop the table called *name*."""
-        self.tables.pop(name, None)
+        table = self.tables.pop(name, None)
+        if table is not None:
+            # Release the auto-GC sweep's reference, or the dropped
+            # table (pages, segments, indexes) stays alive and swept.
+            self.txn_manager.unregister_stamp_source(
+                table.stamp_tail_markers)
 
     def query(self, name: str) -> Query:
         """Auto-commit query handle for table *name*."""
@@ -124,6 +138,7 @@ class Database:
         if not self._open:
             return
         self.merge_engine.stop(drain=True)
+        self.scan_executor.close()
         if self._wal is not None:
             self._wal.flush()
             self._wal.close()

@@ -57,6 +57,7 @@ class EpochManager:
         self._next_token = 0
         self._retired: list[_RetiredBatch] = []
         self._reclaimed_pages = 0
+        self._low_water = 0
 
     # -- query registry ----------------------------------------------------
 
@@ -86,6 +87,22 @@ class EpochManager:
         """Number of currently registered queries."""
         with self._lock:
             return len(self._active)
+
+    def low_water_mark(self, now: int) -> int:
+        """Lazily-stamped low-water mark of registered readers.
+
+        Everything retired (pages) or superseded (transaction entries)
+        strictly before the mark predates every registered query, so
+        consumers such as the transaction-manager auto-GC may prune up
+        to it. The mark is stamped lazily — recomputed only when asked,
+        and monotone (it never moves backwards even if *now* does not
+        advance between calls).
+        """
+        with self._lock:
+            horizon = min(self._active.values()) if self._active else now
+            if horizon > self._low_water:
+                self._low_water = horizon
+            return self._low_water
 
     # -- retirement ------------------------------------------------------------
 

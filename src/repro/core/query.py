@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
 from ..errors import KeyNotFoundError
+from ..exec.executor import execute_scan
+from ..exec.operators import CollectRows, ColumnSum
 from .table import DELETED, Table
 from .version import visible_as_of, visible_latest_committed
 
@@ -199,16 +201,38 @@ class Query:
     def sum(self, start_key: Any, end_key: Any, data_column: int) -> int:
         """SUM of *data_column* over keys in ``[start_key, end_key]``.
 
-        The ordered primary index narrows the candidates to the range
-        (O(log N + k)) and the batched read path fetches them through
-        one chain resolution per update range and column.
+        A thin wrapper over the scan executor: the ordered primary
+        index narrows the candidates to the range (O(log N + k)), the
+        planner groups them into per-update-range partitions, and each
+        partition reads through the batched read path — in parallel
+        when the engine is configured with ``scan_parallelism > 1``.
         """
         rids = [rid for _, rid in
                 self.table.index.primary.range_items(start_key, end_key)]
-        total = 0
-        for _, values in self._read_many(rids, (data_column,)):
-            total += values[data_column]
-        return total
+        if not rids:
+            return 0
+        return execute_scan(self.table, ColumnSum(data_column), rids=rids)
+
+    def aggregate(self, aggregate: Any, *, filters: Sequence[Any] = (),
+                  start_key: Any = None, end_key: Any = None,
+                  as_of: int | None = None) -> Any:
+        """Planned analytical scan with a pluggable aggregate.
+
+        *aggregate* is any :class:`~repro.exec.operators.Aggregate`
+        (sum/count/min/max/avg, group-by, …); *filters* are
+        :class:`~repro.exec.operators.Filter` predicates. Passing both
+        *start_key* and *end_key* restricts the scan to that primary-key
+        range through the ordered index; *as_of* time-travels.
+        """
+        rids = None
+        if start_key is not None or end_key is not None:
+            if start_key is None or end_key is None:
+                raise ValueError(
+                    "start_key and end_key must be given together")
+            rids = [rid for _, rid in
+                    self.table.index.primary.range_items(start_key, end_key)]
+        return execute_scan(self.table, aggregate, filters=tuple(filters),
+                            rids=rids, as_of=as_of)
 
     def sum_version(self, start_key: Any, end_key: Any, data_column: int,
                     relative_version: int) -> int:
@@ -228,30 +252,31 @@ class Query:
                      as_of: int | None = None) -> list[Record]:
         """Records with key in ``[start_key, end_key]``, in key order.
 
-        The range variant of :meth:`select` / :meth:`select_as_of`:
-        candidates come from the ordered primary index, latest-committed
-        reads go through the batched read path, and *as_of* switches to
-        the time-travel chain walk per record.
+        A thin wrapper over the scan executor's row-collect operator:
+        candidates come from the ordered primary index, the planner
+        groups them into per-range partitions (latest-committed
+        partitions read through the batched read path, *as_of* switches
+        to the time-travel chain walk per record), and the collected
+        rows are re-shaped into key order against the index items.
         """
         columns = self._projection_columns(projection)
         key_index = self.table.schema.key_index
         fetch = sorted(set(columns) | {key_index})
-        items = self.table.index.primary.range_items(start_key, end_key)
+        items = list(self.table.index.primary.range_items(start_key,
+                                                          end_key))
         records: list[Record] = []
-        if as_of is None:
-            rids = [rid for _, rid in items]
-            for rid, values in self._read_many(rids, fetch):
-                if not start_key <= values[key_index] <= end_key:
-                    continue  # deferred index maintenance re-check
-                records.append(self._materialize(rid, values, columns))
+        if not items:
             return records
-        predicate = visible_as_of(as_of)
+        rids = [rid for _, rid in items]
+        collected = execute_scan(self.table, CollectRows(fetch), rids=rids,
+                                 as_of=as_of)
+        by_rid = dict(collected)
         for _, rid in items:
-            values = self.table.assemble_version(rid, fetch, predicate)
-            if values is None or values is DELETED:
+            values = by_rid.get(rid)
+            if values is None:
                 continue
             if not start_key <= values[key_index] <= end_key:
-                continue
+                continue  # deferred index maintenance re-check
             records.append(self._materialize(rid, values, columns))
         return records
 

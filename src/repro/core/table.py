@@ -117,6 +117,11 @@ class TailSegment:
         #: for offsets below ``compressed_upto``.
         self.compressed_parts: list[Any] = []
         self.compressed_upto = 0
+        #: Lazily-stamped prefix: every Start Time cell below this
+        #: offset holds a plain commit time (or belongs to an aborted
+        #: record), never an unresolved transaction marker — advanced by
+        #: :meth:`Table.stamp_tail_markers` for the auto-GC sweep.
+        self.stamped_upto = 0
 
     # -- RID / offset bookkeeping ------------------------------------------
 
@@ -627,6 +632,9 @@ class Table:
         self._stat_lock = threading.Lock()
         self._layout = config.layout
         self._records_per_page = config.records_per_page
+        #: Shared analytical scan executor; the Database installs its
+        #: shared instance, standalone tables lazily create their own.
+        self._scan_executor: Any | None = None
 
     # ------------------------------------------------------------------
     # Range plumbing
@@ -703,6 +711,26 @@ class Table:
         """All update ranges in RID order."""
         with self._range_lock:
             return [self.ranges[key] for key in sorted(self.ranges)]
+
+    @property
+    def scan_executor(self) -> Any:
+        """The analytical scan executor serving this table.
+
+        :class:`~repro.core.db.Database` installs one shared executor
+        per database (so concurrent queries share one worker pool); a
+        standalone table lazily builds its own from
+        ``config.scan_parallelism``.
+        """
+        executor = self._scan_executor
+        if executor is None:
+            from ..exec.executor import ScanExecutor
+            executor = ScanExecutor(self.config.scan_parallelism)
+            self._scan_executor = executor
+        return executor
+
+    @scan_executor.setter
+    def scan_executor(self, executor: Any) -> None:
+        self._scan_executor = executor
 
     # ------------------------------------------------------------------
     # Start-time resolution
@@ -1555,6 +1583,85 @@ class Table:
             return rid
         return None
 
+    def read_versioned(self, rid: int,
+                       data_columns: Sequence[int] | None = None,
+                       predicate: VisibilityPredicate | None = None,
+                       ) -> tuple[int | None, dict[int, Any] | Deleted | None]:
+        """Version-stamped read: ``(version_rid, values)`` in ONE walk.
+
+        Returns the same version RID :meth:`visible_version_rid` would
+        report plus the column values of exactly that version, both
+        derived from a single chain traversal in which every record's
+        visibility is resolved exactly once. This is what tracked OCC
+        reads need: with two separate walks, a competing transaction
+        flipping PRE_COMMIT→COMMITTED in between can pair a version RID
+        with another version's values and let validation certify a
+        stale read (the PR-1 lost-update bug). Only the chain head can
+        be uncommitted (the write protocol admits one live writer per
+        record), so resolving each record once makes the pair atomic.
+
+        ``(None, None)`` when no version is visible under *predicate*;
+        ``(tail_rid, DELETED)`` when the visible version is a delete.
+        """
+        if predicate is None:
+            predicate = visible_latest_committed
+        update_range, offset = self.locate(rid)
+        if not self.base_record_exists(update_range, offset):
+            raise KeyNotFoundError("base rid %d has no record" % rid)
+        if data_columns is None:
+            data_columns = range(self.schema.num_columns)
+        num_columns = self.schema.num_columns
+        remaining = set(data_columns)
+        values: dict[int, Any] = {}
+        version_rid: int | None = None
+        cursor = update_range.indirection.read(offset)
+        while is_tail_rid(cursor):
+            segment, tail_offset = update_range.locate_tail(cursor)
+            encoding = SchemaEncoding.from_int(
+                num_columns,
+                segment.record_cell(tail_offset, SCHEMA_ENCODING_COLUMN))
+            backpointer = segment.record_cell(tail_offset,
+                                              INDIRECTION_COLUMN)
+            if segment.is_tombstone(tail_offset):
+                cursor = backpointer
+                continue
+            if encoding.is_snapshot:
+                # Original values: valid whenever every visible regular
+                # update of the column is newer than the target.
+                for data_column in list(remaining):
+                    if encoding.is_updated(data_column):
+                        values[data_column] = segment.record_cell(
+                            tail_offset,
+                            self.schema.physical_index(data_column))
+                        remaining.discard(data_column)
+            else:
+                resolved = self.resolve_cell(
+                    segment.record_cell(tail_offset, START_TIME_COLUMN))
+                if predicate(resolved):
+                    if version_rid is None:
+                        version_rid = cursor
+                        if not encoding.any_updated:
+                            return cursor, DELETED
+                    for data_column in list(remaining):
+                        if encoding.is_updated(data_column):
+                            values[data_column] = segment.record_cell(
+                                tail_offset,
+                                self.schema.physical_index(data_column))
+                            remaining.discard(data_column)
+            if version_rid is not None and not remaining:
+                return version_rid, values
+            cursor = backpointer
+        if version_rid is None:
+            base_start = self._read_base_cell(update_range, offset,
+                                              START_TIME_COLUMN)
+            if not predicate(self.resolve_cell(base_start)):
+                return None, None
+            version_rid = rid
+        for data_column in remaining:
+            values[data_column] = self._read_base_cell(
+                update_range, offset, self.schema.physical_index(data_column))
+        return version_rid, values
+
     def check_write_conflict(self, rid: int, txn_id: int | None) -> None:
         """The paper's second write check, in one chain walk.
 
@@ -1695,32 +1802,38 @@ class Table:
                  as_of: int | None = None) -> int:
         """SUM over every visible record's *data_column*.
 
-        The fast path sums read-only base pages through their NumPy
-        views and patches only the records whose tail chains carry
-        newer-than-TPS versions — so the cost grows with the number of
-        unmerged tail records, which is exactly the effect Figure 8
-        measures.
+        Routed through the analytical scan executor: one partition per
+        update range, each running :meth:`scan_range_sum` under its own
+        epoch registration, serially or on the shared worker pool
+        (``config.scan_parallelism``). The per-range fast path sums
+        read-only base pages through their NumPy views and patches only
+        the records whose tail chains carry newer-than-TPS versions —
+        so the cost grows with the number of unmerged tail records,
+        which is exactly the effect Figure 8 measures.
+        """
+        from ..exec.executor import scan_column_sum
+        return scan_column_sum(self, data_column, predicate, as_of)
+
+    def scan_range_sum(self, update_range: UpdateRange, data_column: int,
+                       predicate: VisibilityPredicate | None = None,
+                       as_of: int | None = None) -> int:
+        """Partition-level SUM over one update range (executor unit).
+
+        The caller is responsible for epoch registration (the executor
+        brackets each partition); the dirty-set snapshot happens inside,
+        before any page chain is resolved.
         """
         from .version import visible_as_of
         fast = predicate is None and as_of is None
         if predicate is None:
             predicate = visible_as_of(as_of) if as_of is not None \
                 else visible_latest_committed
-        physical = self.schema.physical_index(data_column)
-        total = 0
-        epoch = self.epoch_manager.enter_query(self.clock.now())
-        try:
-            for update_range in self.sorted_ranges():
-                if update_range.merged:
-                    total += self._scan_merged_range(
-                        update_range, data_column, physical, predicate,
-                        as_of, fast)
-                else:
-                    total += self._scan_unmerged_range(
-                        update_range, data_column, predicate, fast)
-        finally:
-            self.epoch_manager.exit_query(epoch)
-        return total
+        if update_range.merged:
+            physical = self.schema.physical_index(data_column)
+            return self._scan_merged_range(update_range, data_column,
+                                           physical, predicate, as_of, fast)
+        return self._scan_unmerged_range(update_range, data_column,
+                                         predicate, fast)
 
     def _tail_patch_offsets(self, update_range: UpdateRange,
                             since_offset: int) -> set[int]:
@@ -1858,25 +1971,109 @@ class Table:
     def scan_records(self, data_columns: Sequence[int] | None = None,
                      predicate: VisibilityPredicate | None = None,
                      ) -> Iterator[tuple[int, dict[int, Any]]]:
-        """Yield ``(rid, values)`` for every visible record."""
+        """Yield ``(rid, values)`` for every visible record.
+
+        Under the default (latest-committed) predicate each range's
+        existing records flow through :meth:`read_latest_many`, so
+        clean merged ranges pay one chain resolution per column instead
+        of a per-record 2-hop walk; non-default predicates keep the
+        per-record path.
+        """
+        batched = predicate is None
         if predicate is None:
             predicate = visible_latest_committed
         if data_columns is None:
             data_columns = range(self.schema.num_columns)
+        data_columns = tuple(data_columns)
         for update_range in self.sorted_ranges():
+            rids: list[int] = []
             for offset in range(update_range.size):
                 if not self.base_record_exists(update_range, offset):
                     continue
-                if not update_range.merged:
-                    insert_offset = update_range.insert_offset(offset)
-                    if update_range.insert_range.segment.is_tombstone(
-                            insert_offset):
+                rids.append(update_range.start_rid + offset)
+            if batched and len(rids) > 1:
+                results = self.read_latest_many(rids, data_columns)
+                for rid in rids:
+                    visible = results.get(rid)
+                    if visible is None or visible is DELETED:
                         continue
-                rid = update_range.start_rid + offset
+                    yield rid, visible
+                continue
+            for rid in rids:
                 visible = self.read_latest(rid, data_columns, predicate)
                 if visible is None or visible is DELETED:
                     continue
                 yield rid, visible
+
+    # ------------------------------------------------------------------
+    # Marker stamping (transaction-manager auto-GC support)
+    # ------------------------------------------------------------------
+
+    def stamp_tail_markers(self) -> int | None:
+        """Resolve-and-stamp transaction markers in Start Time cells.
+
+        Advances every tail segment's lazily-stamped prefix
+        (``stamped_upto``): committed markers are swapped for their
+        commit time in place (the paper's lazy swap, done eagerly here
+        so the transaction-manager entries become droppable), aborted
+        markers are skipped (the manager's unknown-id fallback already
+        reports ABORTED), and the prefix stops at the first live
+        transaction or mid-append record.
+
+        Returns the lowest commit time among committed markers that
+        could **not** be stamped (row layout has no in-place cell
+        refinement), or None when nothing blocks. The auto-GC must keep
+        every entry at or above that time.
+        """
+        blocker: int | None = None
+        segments: list[TailSegment] = []
+        for insert_range in list(self.insert_ranges):
+            segments.append(insert_range.segment)
+        for update_range in self.sorted_ranges():
+            tail = update_range.tail
+            if tail is not None:
+                segments.append(tail)
+        for segment in segments:
+            segment_blocker = self._stamp_segment_markers(segment)
+            if segment_blocker is not None:
+                blocker = segment_blocker if blocker is None \
+                    else min(blocker, segment_blocker)
+        return blocker
+
+    def _stamp_segment_markers(self, segment: TailSegment) -> int | None:
+        offset = segment.stamped_upto
+        limit = segment.num_allocated()
+        columnar = self._layout is Layout.COLUMNAR
+        while offset < limit:
+            if offset < segment.compressed_upto \
+                    and segment._part_for(offset) is not None:
+                # Compressed parts store resolved times only.
+                offset += 1
+                continue
+            if not segment.record_written(offset):
+                break  # writer mid-append: the prefix ends here for now
+            cell = segment.record_cell(offset, START_TIME_COLUMN)
+            if type(cell) is int and cell & TXN_ID_FLAG:
+                if self.txn_source is None:
+                    break
+                state, commit_time = self.txn_source.lookup(
+                    cell & ~TXN_ID_FLAG)
+                if state is TransactionState.COMMITTED:
+                    stamped = columnar \
+                        and offset >= segment.compressed_upto \
+                        and segment.replace_cell(offset, START_TIME_COLUMN,
+                                                 cell, commit_time)
+                    if not stamped and segment.record_cell(
+                            offset, START_TIME_COLUMN) == cell:
+                        # Unstampable committed marker (row layout):
+                        # its entry must survive; re-checked next sweep.
+                        segment.stamped_upto = offset
+                        return commit_time
+                elif state is not TransactionState.ABORTED:
+                    break  # live transaction: the prefix ends here
+            offset += 1
+        segment.stamped_upto = offset
+        return None
 
     # ------------------------------------------------------------------
     # Index management

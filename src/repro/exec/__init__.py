@@ -1,0 +1,50 @@
+"""Analytical scan-executor subsystem.
+
+L-Store's core claim is real-time OLAP over the *same* lineage-based
+storage that serves OLTP (PAPER.md Section 4). This package turns the
+ad-hoc scan walks of :mod:`repro.core.table` into a planned pipeline:
+
+* :mod:`repro.exec.plan` — a **partition planner** that splits a scan
+  into independent units along update-range / insert-range boundaries;
+* :mod:`repro.exec.operators` — **pluggable operators**: predicate
+  filters plus sum/count/min/max/avg and single-column group-by
+  aggregates, each with a deterministic combine step;
+* :mod:`repro.exec.executor` — a **scan executor** that runs partitions
+  serially or on a shared worker pool
+  (:attr:`~repro.core.config.EngineConfig.scan_parallelism`).
+
+The package deliberately never imports :mod:`repro.core.table` at
+module scope from the core side: ``Table`` reaches the executor through
+lazy imports, so the layering stays core → exec one-directional at
+import time.
+"""
+
+from .executor import ScanExecutor, execute_scan, scan_column_sum
+from .operators import (Aggregate, CollectRows, ColumnAvg, ColumnCount,
+                        ColumnMax, ColumnMin, ColumnSum, Filter, GroupBy,
+                        between, eq, ge, gt, le, lt, ne)
+from .plan import ScanPartition, plan_scan
+
+__all__ = [
+    "Aggregate",
+    "CollectRows",
+    "ColumnAvg",
+    "ColumnCount",
+    "ColumnMax",
+    "ColumnMin",
+    "ColumnSum",
+    "Filter",
+    "GroupBy",
+    "ScanExecutor",
+    "ScanPartition",
+    "between",
+    "eq",
+    "execute_scan",
+    "ge",
+    "gt",
+    "le",
+    "lt",
+    "ne",
+    "plan_scan",
+    "scan_column_sum",
+]

@@ -1,0 +1,264 @@
+"""The scan executor: run planned partitions serially or on a pool.
+
+``execute_scan`` is the general entry point: it plans partitions,
+derives the fetch column set from the aggregate and filters, runs each
+full-range partition under **its own epoch registration** (keyed
+partitions ride the batched point-read discipline instead — see
+``_run_partition``), and combines the partial states deterministically
+in partition order.
+
+``scan_column_sum`` is the specialised full-column SUM driver that
+keeps the NumPy page-sum fast path of the pre-executor ``scan_sum``:
+each partition delegates to :meth:`~repro.core.table.Table.scan_range_sum`,
+which snapshots the range's dirty set before resolving page chains.
+
+Parallel execution uses plain threads. Under the GIL this is
+correctness-safe and still wins on the NumPy page sums (which release
+the GIL); on free-threaded builds the partitions genuinely overlap.
+Per the paper's epoch discipline (Section 4.1.1) every partition
+registers with the epoch manager *before* resolving any page chain, so
+a concurrent merge can retire pages but never reclaim them under a
+running partition.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+
+from .operators import Aggregate, Filter, matches_all
+from .plan import ScanPartition, plan_scan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.table import Table
+
+
+class ScanExecutor:
+    """Runs scan tasks serially or on a shared worker pool.
+
+    One executor is shared by all tables of a
+    :class:`~repro.core.db.Database` (the "shared worker pool" of the
+    design): the pool is created lazily on the first parallel run and
+    bounded by ``parallelism`` workers, so concurrent analytical
+    queries queue their partitions rather than oversubscribing the
+    machine. ``parallelism=1`` never creates a pool — every task runs
+    inline on the calling thread.
+    """
+
+    def __init__(self, parallelism: int = 1) -> None:
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        self.parallelism = parallelism
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    def _ensure_pool(self) -> ThreadPoolExecutor | None:
+        """The worker pool, or None once :meth:`close` has begun.
+
+        The closed re-check runs under the lock, so a ``map`` racing
+        ``close`` can never resurrect a pool the close will miss.
+        """
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                if self._closed:
+                    return None
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.parallelism,
+                        thread_name_prefix="lstore-scan")
+                pool = self._pool
+        return pool
+
+    def map(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Run *tasks*; return their results in task order.
+
+        Serial when ``parallelism == 1`` (or one task, or the executor
+        is closing); otherwise the tasks are submitted to the pool and
+        gathered in order. The first task exception propagates either
+        way.
+        """
+        if self.parallelism == 1 or len(tasks) <= 1 or self._closed:
+            return [task() for task in tasks]
+        pool = self._ensure_pool()
+        if pool is None:  # closed concurrently: degrade to serial
+            return [task() for task in tasks]
+        try:
+            futures = [pool.submit(task) for task in tasks]
+        except RuntimeError:
+            # Pool shut down between the grab and the submit. Scan
+            # tasks are read-only, so re-running the lot serially is
+            # safe (any partially submitted results are discarded).
+            return [task() for task in tasks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._closed = True
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# Row sources
+# ---------------------------------------------------------------------------
+
+def _keyed_rows(table: "Table", rids: Sequence[int],
+                columns: tuple[int, ...], as_of: int | None,
+                txn_id: int | None,
+                ) -> list[tuple[int, dict[int, Any]]]:
+    """Visible rows for an explicit RID set (key-range scans)."""
+    from ..core.table import DELETED
+    from ..core.version import visible_as_of
+
+    if as_of is None:
+        results = table.read_latest_many(rids, columns, txn_id)
+        get = results.get
+        return [(rid, values) for rid in rids
+                if (values := get(rid)) is not None
+                and values is not DELETED]
+    predicate = visible_as_of(as_of)
+    rows: list[tuple[int, dict[int, Any]]] = []
+    for rid in rids:
+        update_range, offset = table.locate(rid)
+        if not table.base_record_exists(update_range, offset):
+            continue
+        values = table.assemble_version(rid, columns, predicate)
+        if values is None or values is DELETED:
+            continue
+        rows.append((rid, values))
+    return rows
+
+
+def _iter_range_rows(table: "Table", partition: ScanPartition,
+                     columns: tuple[int, ...], as_of: int | None,
+                     txn_id: int | None,
+                     ) -> Iterator[tuple[int, dict[int, Any]]]:
+    """Visible rows of one full update range.
+
+    Existing records are enumerated per-offset; their values flow
+    through :meth:`~repro.core.table.Table.read_latest_many`, which
+    snapshots the range TPS before resolving page chains (the PR-1
+    rule) and serves clean records straight from the base/merged
+    chains. The *as_of* variant walks each record's lineage — always
+    correct, per Theorem 2.
+    """
+    update_range = table.update_range_of(partition.range_id)
+    start_rid = update_range.start_rid
+    rids = [start_rid + offset for offset in range(update_range.size)
+            if table.base_record_exists(update_range, offset)]
+    yield from _keyed_rows(table, rids, columns, as_of, txn_id)
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+def _run_partition(table: "Table", partition: ScanPartition,
+                   aggregate: Aggregate, filters: Sequence[Filter],
+                   columns: tuple[int, ...], as_of: int | None,
+                   txn_id: int | None) -> Any:
+    """Execute one partition.
+
+    Full-range partitions register their own query epoch (the paper's
+    scan discipline: the registration precedes any chain resolution, so
+    retired pages cannot be reclaimed underneath). Keyed partitions
+    read through the same batched path as point reads, which never
+    register — each batch snapshots the range TPS before resolving
+    chains, and already-resolved chains keep their pages alive — so
+    skipping the epoch keeps small key-range queries as cheap as the
+    pre-executor read loop.
+    """
+    epoch = None if partition.is_keyed \
+        else table.epoch_manager.enter_query(table.clock.now())
+    try:
+        state = aggregate.create()
+        if partition.is_keyed:
+            rows: Any = _keyed_rows(table, partition.rids, columns,
+                                    as_of, txn_id)
+        else:
+            rows = _iter_range_rows(table, partition, columns,
+                                    as_of, txn_id)
+        if filters:
+            for rid, row in rows:
+                if matches_all(filters, row):
+                    state = aggregate.add(state, rid, row)
+        else:
+            state = aggregate.fold(state, rows)
+        return state
+    finally:
+        if epoch is not None:
+            table.epoch_manager.exit_query(epoch)
+
+
+def execute_scan(table: "Table", aggregate: Aggregate, *,
+                 filters: Sequence[Filter] = (),
+                 rids: Sequence[int] | None = None,
+                 as_of: int | None = None,
+                 txn_id: int | None = None,
+                 executor: ScanExecutor | None = None) -> Any:
+    """Plan, run, and combine an analytical scan.
+
+    *rids* restricts the scan to an explicit RID set (key-range
+    queries); *as_of* switches visibility to the time-travel predicate;
+    *txn_id* makes the calling transaction's own uncommitted writes
+    visible (READ_COMMITTED batched reads). Partials combine in
+    partition order, so the result is independent of scheduling.
+    """
+    if executor is None:
+        executor = table.scan_executor
+    columns = _fetch_columns(aggregate, filters)
+    partitions = plan_scan(table, rids, executor.parallelism)
+    if len(partitions) == 1:
+        # Hot path for small key-range queries: no pool round-trip,
+        # no combine (combine(create(), s) == s by the monoid contract).
+        return aggregate.finalize(_run_partition(
+            table, partitions[0], aggregate, tuple(filters), columns,
+            as_of, txn_id))
+    tasks = [partial(_run_partition, table, partition, aggregate,
+                     tuple(filters), columns, as_of, txn_id)
+             for partition in partitions]
+    state = aggregate.create()
+    for partial_state in executor.map(tasks):
+        state = aggregate.combine(state, partial_state)
+    return aggregate.finalize(state)
+
+
+def _fetch_columns(aggregate: Aggregate,
+                   filters: Sequence[Filter]) -> tuple[int, ...]:
+    seen = dict.fromkeys(aggregate.columns)
+    for item in filters:
+        seen.setdefault(item.column)
+    return tuple(sorted(seen))
+
+
+def scan_column_sum(table: "Table", data_column: int,
+                    predicate: Any = None, as_of: int | None = None,
+                    executor: ScanExecutor | None = None) -> int:
+    """Full-column SUM through the executor (``Table.scan_sum`` backend).
+
+    Each partition delegates to
+    :meth:`~repro.core.table.Table.scan_range_sum`, preserving the
+    NumPy page-sum fast path and the dirty-set patching semantics of
+    the pre-executor scan, but running ranges concurrently when the
+    engine is configured with ``scan_parallelism > 1``.
+    """
+    if executor is None:
+        executor = table.scan_executor
+
+    def run(update_range: Any) -> int:
+        epoch = table.epoch_manager.enter_query(table.clock.now())
+        try:
+            return table.scan_range_sum(update_range, data_column,
+                                        predicate, as_of)
+        finally:
+            table.epoch_manager.exit_query(epoch)
+
+    tasks = [partial(run, update_range)
+             for update_range in table.sorted_ranges()]
+    return sum(executor.map(tasks))

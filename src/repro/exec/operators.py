@@ -1,0 +1,364 @@
+"""Pluggable scan operators: filters and combinable aggregates.
+
+Every aggregate is a small state machine with an explicit **combine**
+step, so per-partition partial states merge deterministically no matter
+how the executor schedules the partitions:
+
+``create() → add(state, rid, row)* → combine(a, b)* → finalize(state)``
+
+Aggregate objects themselves are immutable descriptions — all mutable
+accumulation lives in the *state* values they hand out — so one
+instance can be shared by many worker threads.
+
+Null semantics follow the storage layer's implicit ∅: an aggregated
+column whose value is ∅ contributes nothing (matching
+``Table.scan_sum``), a filter never matches ∅, and a group-by key of ∅
+drops the row.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..core.types import is_null
+
+
+# ---------------------------------------------------------------------------
+# Filters
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Filter:
+    """A predicate over one data column of a scanned row.
+
+    ``predicate`` receives the (non-∅) column value; rows whose value is
+    the implicit null never match, mirroring SQL's three-valued logic
+    collapsing to "not selected".
+    """
+
+    column: int
+    predicate: Callable[[Any], bool]
+    description: str = "?"
+
+    def matches(self, row: dict[int, Any]) -> bool:
+        """True when the row's column value passes the predicate."""
+        value = row.get(self.column)
+        if value is None or is_null(value):
+            return False
+        return self.predicate(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Filter(col=%d %s)" % (self.column, self.description)
+
+
+def eq(column: int, value: Any) -> Filter:
+    """``column == value``."""
+    return Filter(column, lambda v: v == value, "== %r" % (value,))
+
+
+def ne(column: int, value: Any) -> Filter:
+    """``column != value``."""
+    return Filter(column, lambda v: v != value, "!= %r" % (value,))
+
+
+def lt(column: int, value: Any) -> Filter:
+    """``column < value``."""
+    return Filter(column, lambda v: v < value, "< %r" % (value,))
+
+
+def le(column: int, value: Any) -> Filter:
+    """``column <= value``."""
+    return Filter(column, lambda v: v <= value, "<= %r" % (value,))
+
+
+def gt(column: int, value: Any) -> Filter:
+    """``column > value``."""
+    return Filter(column, lambda v: v > value, "> %r" % (value,))
+
+
+def ge(column: int, value: Any) -> Filter:
+    """``column >= value``."""
+    return Filter(column, lambda v: v >= value, ">= %r" % (value,))
+
+
+def between(column: int, low: Any, high: Any) -> Filter:
+    """``low <= column <= high`` (inclusive, like ``Query.sum``)."""
+    return Filter(column, lambda v: low <= v <= high,
+                  "between %r and %r" % (low, high))
+
+
+def matches_all(filters: Sequence[Filter], row: dict[int, Any]) -> bool:
+    """True when *row* passes every filter (empty sequence: always)."""
+    for item in filters:
+        if not item.matches(row):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+class Aggregate(abc.ABC):
+    """One combinable aggregate over scanned rows."""
+
+    @property
+    @abc.abstractmethod
+    def columns(self) -> tuple[int, ...]:
+        """Data columns this aggregate needs fetched."""
+
+    @abc.abstractmethod
+    def create(self) -> Any:
+        """Fresh (empty) accumulation state."""
+
+    @abc.abstractmethod
+    def add(self, state: Any, rid: int, row: dict[int, Any]) -> Any:
+        """Fold one visible row into *state*; returns the new state."""
+
+    @abc.abstractmethod
+    def combine(self, left: Any, right: Any) -> Any:
+        """Merge two partial states (associative; *left* is earlier in
+        partition order, which only matters for order-sensitive results
+        such as :class:`CollectRows`)."""
+
+    def finalize(self, state: Any) -> Any:
+        """Shape the final state into the user-facing result."""
+        return state
+
+    def fold(self, state: Any, rows: Any) -> Any:
+        """Fold a whole ``(rid, row)`` stream (unfiltered fast path).
+
+        The default just loops :meth:`add`; hot aggregates override it
+        with a tight loop to shed the per-row method-call cost.
+        """
+        add = self.add
+        for rid, row in rows:
+            state = add(state, rid, row)
+        return state
+
+
+class ColumnSum(Aggregate):
+    """SUM of one column (∅ values contribute nothing)."""
+
+    def __init__(self, column: int) -> None:
+        self.column = column
+
+    @property
+    def columns(self) -> tuple[int, ...]:
+        return (self.column,)
+
+    def create(self) -> int:
+        return 0
+
+    def add(self, state: int, rid: int, row: dict[int, Any]) -> int:
+        value = row[self.column]
+        if is_null(value):
+            return state
+        return state + value
+
+    def combine(self, left: int, right: int) -> int:
+        return left + right
+
+    def fold(self, state: int, rows: Any) -> int:
+        column = self.column
+        for _, row in rows:
+            value = row[column]
+            if not is_null(value):
+                state += value
+        return state
+
+
+class ColumnCount(Aggregate):
+    """COUNT(*) (``column=None``) or COUNT(column) skipping ∅."""
+
+    def __init__(self, column: int | None = None) -> None:
+        self.column = column
+
+    @property
+    def columns(self) -> tuple[int, ...]:
+        return () if self.column is None else (self.column,)
+
+    def create(self) -> int:
+        return 0
+
+    def add(self, state: int, rid: int, row: dict[int, Any]) -> int:
+        if self.column is not None and is_null(row[self.column]):
+            return state
+        return state + 1
+
+    def combine(self, left: int, right: int) -> int:
+        return left + right
+
+
+class ColumnMin(Aggregate):
+    """MIN of one column; None over an empty (or all-∅) input."""
+
+    def __init__(self, column: int) -> None:
+        self.column = column
+
+    @property
+    def columns(self) -> tuple[int, ...]:
+        return (self.column,)
+
+    def create(self) -> Any:
+        return None
+
+    def add(self, state: Any, rid: int, row: dict[int, Any]) -> Any:
+        value = row[self.column]
+        if is_null(value):
+            return state
+        if state is None or value < state:
+            return value
+        return state
+
+    def combine(self, left: Any, right: Any) -> Any:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left if left <= right else right
+
+
+class ColumnMax(Aggregate):
+    """MAX of one column; None over an empty (or all-∅) input."""
+
+    def __init__(self, column: int) -> None:
+        self.column = column
+
+    @property
+    def columns(self) -> tuple[int, ...]:
+        return (self.column,)
+
+    def create(self) -> Any:
+        return None
+
+    def add(self, state: Any, rid: int, row: dict[int, Any]) -> Any:
+        value = row[self.column]
+        if is_null(value):
+            return state
+        if state is None or value > state:
+            return value
+        return state
+
+    def combine(self, left: Any, right: Any) -> Any:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left if left >= right else right
+
+
+class ColumnAvg(Aggregate):
+    """AVG of one column; None over an empty (or all-∅) input.
+
+    State is an exact ``(sum, count)`` pair, so partition scheduling
+    cannot perturb the result — the division happens once, at
+    :meth:`finalize`.
+    """
+
+    def __init__(self, column: int) -> None:
+        self.column = column
+
+    @property
+    def columns(self) -> tuple[int, ...]:
+        return (self.column,)
+
+    def create(self) -> tuple[int, int]:
+        return (0, 0)
+
+    def add(self, state: tuple[int, int], rid: int,
+            row: dict[int, Any]) -> tuple[int, int]:
+        value = row[self.column]
+        if is_null(value):
+            return state
+        return (state[0] + value, state[1] + 1)
+
+    def combine(self, left: tuple[int, int],
+                right: tuple[int, int]) -> tuple[int, int]:
+        return (left[0] + right[0], left[1] + right[1])
+
+    def finalize(self, state: tuple[int, int]) -> float | None:
+        total, count = state
+        if count == 0:
+            return None
+        return total / count
+
+
+class GroupBy(Aggregate):
+    """Single-column GROUP BY around an inner aggregate.
+
+    ``make_inner`` builds one fresh inner :class:`Aggregate` used as the
+    per-group template (inner aggregates are stateless descriptions, so
+    one template serves every group). Rows whose group key is ∅ are
+    dropped.
+    """
+
+    def __init__(self, key_column: int,
+                 make_inner: Callable[[], Aggregate]) -> None:
+        self.key_column = key_column
+        self.inner = make_inner()
+
+    @property
+    def columns(self) -> tuple[int, ...]:
+        seen = dict.fromkeys((self.key_column,) + self.inner.columns)
+        return tuple(seen)
+
+    def create(self) -> dict[Any, Any]:
+        return {}
+
+    def add(self, state: dict[Any, Any], rid: int,
+            row: dict[int, Any]) -> dict[Any, Any]:
+        key = row[self.key_column]
+        if is_null(key):
+            return state
+        inner_state = state.get(key)
+        if inner_state is None and key not in state:
+            inner_state = self.inner.create()
+        state[key] = self.inner.add(inner_state, rid, row)
+        return state
+
+    def combine(self, left: dict[Any, Any],
+                right: dict[Any, Any]) -> dict[Any, Any]:
+        for key, inner_state in right.items():
+            if key in left:
+                left[key] = self.inner.combine(left[key], inner_state)
+            else:
+                left[key] = inner_state
+        return left
+
+    def finalize(self, state: dict[Any, Any]) -> dict[Any, Any]:
+        return {key: self.inner.finalize(inner_state)
+                for key, inner_state in state.items()}
+
+
+class CollectRows(Aggregate):
+    """Materialise ``(rid, values)`` pairs (``select_range`` backend).
+
+    Partials concatenate in partition order, so the overall result is
+    RID-ordered within each partition and partition-ordered across the
+    plan — callers needing key order re-sort against their index items.
+    """
+
+    def __init__(self, fetch_columns: Sequence[int]) -> None:
+        self.fetch_columns = tuple(fetch_columns)
+
+    @property
+    def columns(self) -> tuple[int, ...]:
+        return self.fetch_columns
+
+    def create(self) -> list[tuple[int, dict[int, Any]]]:
+        return []
+
+    def add(self, state: list, rid: int, row: dict[int, Any]) -> list:
+        state.append((rid, row))
+        return state
+
+    def combine(self, left: list, right: list) -> list:
+        left.extend(right)
+        return left
+
+    def fold(self, state: list, rows: Any) -> list:
+        state.extend(rows)
+        return state

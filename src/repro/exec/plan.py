@@ -1,0 +1,75 @@
+"""Partition planner: split a scan along update-range boundaries.
+
+Update ranges are the natural unit of intra-query parallelism in
+L-Store (ROADMAP: "ranges are independent, so a thread pool … can sum
+them concurrently"): each range owns its tail segment, indirection
+vector, and merge lineage, so a partition never shares mutable scan
+state with its siblings. Insert-range boundaries are respected for
+free — every update range lies inside exactly one insert range.
+
+Each full-range partition is **executed** with its own epoch
+registration, and every partition takes its dirty-set/TPS snapshot
+*before* resolving any page chain (the PR-1
+snapshot-before-chain-resolution rule), so a merge that swaps chains
+mid-scan can only cause harmless over-patching, never a torn read —
+see :mod:`repro.exec.executor` for the row sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.table import Table
+
+
+@dataclass(frozen=True)
+class ScanPartition:
+    """One independent unit of a planned scan.
+
+    ``rids`` is None for a full-range partition (analytical scans) or
+    the explicit base RIDs this partition serves (key-range scans).
+    ``range_id`` is the partition's home range — for a small/serial
+    keyed plan collapsed into one spanning partition it is the first
+    RID's range and the batched read path does the per-range grouping.
+    """
+
+    range_id: int
+    rids: tuple[int, ...] | None = None
+
+    @property
+    def is_keyed(self) -> bool:
+        """True when the partition scans an explicit RID set."""
+        return self.rids is not None
+
+
+def plan_scan(table: "Table", rids: Sequence[int] | None = None,
+              parallelism: int = 1) -> list[ScanPartition]:
+    """Plan a scan of *table* into independent partitions.
+
+    With ``rids=None`` the plan covers every update range (one
+    partition per range, RID order). With an explicit RID sequence
+    (e.g. from ``PrimaryIndex.range_items``) the RIDs are grouped by
+    their owning update range, preserving the caller's order within
+    each partition; partitions come out sorted by range id so the
+    combine step is deterministic regardless of input order.
+
+    *parallelism* is the executor's worker budget: a serial executor
+    (or a RID set that fits one range) gets a single spanning keyed
+    partition — the batched read path groups by range internally
+    anyway, so splitting would only duplicate that work on the hot
+    small-range-query path.
+    """
+    if rids is None:
+        return [ScanPartition(update_range.range_id)
+                for update_range in table.sorted_ranges()]
+    range_size = table.config.update_range_size
+    if parallelism <= 1 or len(rids) <= range_size:
+        first_range = ((rids[0] - 1) // range_size) if rids else 0
+        return [ScanPartition(first_range, tuple(rids))] if rids else []
+    groups: dict[int, list[int]] = {}
+    for rid in rids:
+        groups.setdefault((rid - 1) // range_size, []).append(rid)
+    return [ScanPartition(range_id, tuple(groups[range_id]))
+            for range_id in sorted(groups)]

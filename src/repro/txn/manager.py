@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from ..core.types import TransactionState
 from ..errors import IllegalTransactionState
@@ -43,6 +44,18 @@ class TransactionManager:
         #: sink(txn_id) after the state transition (group commit point).
         self.commit_sink = None
         self.abort_sink = None
+        # Automatic entry GC (wired to the epoch manager's watermark).
+        self._auto_gc_epoch: Any | None = None
+        self._auto_gc_threshold = 0
+        self._auto_gc_lock = threading.Lock()
+        self._stamp_sources: list[Callable[[], int | None]] = []
+        #: Pending candidate from the last sweep: (sweep_time, horizon).
+        self._gc_candidate: tuple[int, int] | None = None
+        #: Ids below this floor have been GC'd; see :meth:`lookup`.
+        self._gc_floor = 0
+        #: Earliest next auto-GC attempt, in ``stat_begun`` ticks.
+        self._next_auto_gc_begun = 0
+        self.stat_auto_gc_dropped = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -58,6 +71,11 @@ class TransactionManager:
         with self._lock:
             self._entries[entry.txn_id] = entry
             self.stat_begun += 1
+        if self._auto_gc_epoch is not None \
+                and self.stat_begun >= self._next_auto_gc_begun and (
+                self._gc_candidate is not None
+                or len(self._entries) >= self._auto_gc_threshold):
+            self._maybe_auto_gc()
         return entry
 
     def enter_precommit(self, txn_id: int) -> int:
@@ -124,11 +142,28 @@ class TransactionManager:
         committed transaction without its commit time. Keeping this
         path mutex-free matters — every read of a marker cell lands
         here, and a shared lock would convoy reader threads.
+
+        Unknown ids **below the GC floor** resolve as committed at
+        their begin time: the auto-GC sweep stamps every reachable
+        marker of those transactions before their entries drop, so the
+        only readers that still ask are ones holding a pre-stamp copy
+        of a cell — and for them the aborted fallback would turn a
+        committed version invisible (a stale read OCC validation could
+        then certify). Aborted transactions stay safe under this rule
+        because their records are tombstoned, and every read path
+        checks the tombstone before resolving the Start Time cell. The
+        begin time is a lower bound of the real commit time; both lie
+        below every horizon the floor was advanced to, so visibility
+        predicates evaluated by live readers agree either way.
+
+        Unknown ids above the floor keep the aborted fallback: a
+        pre-crash transaction that never committed (redo-only recovery
+        tombstones its records).
         """
         entry = self._entries.get(txn_id)
         if entry is None:
-            # Unknown id: a pre-crash transaction that never committed
-            # (redo-only recovery tombstones its records).
+            if txn_id < self._gc_floor:
+                return TransactionState.COMMITTED, txn_id
             return TransactionState.ABORTED, None
         return entry.state, entry.commit_time
 
@@ -154,20 +189,119 @@ class TransactionManager:
                        if entry.state in (TransactionState.ACTIVE,
                                           TransactionState.PRE_COMMIT))
 
-    def gc(self, before: int) -> int:
+    def gc(self, before: int, *, include_aborted: bool = False) -> int:
         """Drop finished entries whose commit time precedes *before*.
 
         Safe only once every Start Time marker of those transactions has
-        been lazily stamped or compressed away; exposed for long-running
-        benchmark loops that would otherwise grow without bound.
+        been lazily stamped or compressed away — either asserted by the
+        caller (manual use in benchmark loops) or established by the
+        automatic sweep (:meth:`enable_auto_gc`). *include_aborted*
+        additionally drops old ABORTED entries; that is always safe
+        because :meth:`lookup` reports unknown ids as aborted.
         """
         with self._lock:
             doomed = [
                 txn_id for txn_id, entry in self._entries.items()
-                if entry.state is TransactionState.COMMITTED
-                and entry.commit_time is not None
-                and entry.commit_time < before
+                if (entry.state is TransactionState.COMMITTED
+                    and entry.commit_time is not None
+                    and entry.commit_time < before)
+                or (include_aborted
+                    and entry.state is TransactionState.ABORTED
+                    and entry.begin_time < before)
             ]
+            # Advance the floor BEFORE deleting: lookup is lock-free,
+            # so a reader racing this block must see either the entry
+            # (floor irrelevant) or the raised floor (unknown id below
+            # it resolves committed-at-begin) — the reverse order opens
+            # a window where a just-dropped committed entry reads as
+            # ABORTED and a committed version turns invisible.
+            if doomed and before > self._gc_floor:
+                self._gc_floor = before
             for txn_id in doomed:
                 del self._entries[txn_id]
             return len(doomed)
+
+    # -- automatic GC (epoch-wired) ---------------------------------------
+
+    def enable_auto_gc(self, epoch_manager: Any, *,
+                       threshold: int = 4096) -> None:
+        """Prune the entry table automatically during long workloads.
+
+        Once more than *threshold* entries accumulate, :meth:`begin`
+        lazily runs a two-phase collection wired to *epoch_manager*:
+
+        1. **Sweep** — every registered stamp source (see
+           :meth:`register_stamp_source`) resolves old transaction
+           markers into plain commit times in place, then a candidate
+           horizon is computed: the epoch manager's lazily-stamped
+           low-water mark, capped by every live transaction's begin
+           time and every reported stamping blocker.
+        2. **Drop** — on a later trigger, once the epoch manager shows
+           no query active from before the sweep completed (so nobody
+           can still hold a pre-stamp marker cell in hand), entries
+           below the candidate horizon are dropped.
+
+        The phases piggyback on ``begin()`` calls, so no vacuum thread
+        is needed — the same opportunistic style the epoch manager uses
+        for page reclamation.
+        """
+        self._auto_gc_epoch = epoch_manager
+        self._auto_gc_threshold = max(threshold, 1)
+
+    def register_stamp_source(self, source: Callable[[], int | None],
+                              ) -> None:
+        """Register a marker-stamping sweep (one per table).
+
+        *source* stamps what it can and returns the lowest commit time
+        it could not stamp (or None); the auto-GC horizon never passes
+        a reported blocker.
+        """
+        self._stamp_sources.append(source)
+
+    def unregister_stamp_source(self, source: Callable[[], int | None],
+                                ) -> None:
+        """Remove a stamp source (dropped table); unknown is a no-op."""
+        try:
+            self._stamp_sources.remove(source)
+        except ValueError:
+            pass
+
+    def _maybe_auto_gc(self) -> None:
+        if not self._auto_gc_lock.acquire(blocking=False):
+            return  # another thread is already collecting
+        try:
+            epoch = self._auto_gc_epoch
+            # Phase 2 of the previous cycle: drop the candidate once
+            # every query that might have read a pre-stamp marker cell
+            # has drained past the sweep completion time.
+            candidate = self._gc_candidate
+            if candidate is not None:
+                sweep_time, horizon = candidate
+                oldest = epoch.oldest_active_begin()
+                if oldest is None or oldest > sweep_time:
+                    self.stat_auto_gc_dropped += self.gc(
+                        horizon, include_aborted=True)
+                    self._gc_candidate = None
+            # Phase 1: sweep markers and stamp the next candidate.
+            if self._gc_candidate is None \
+                    and len(self._entries) >= self._auto_gc_threshold:
+                horizon = epoch.low_water_mark(self.clock.now())
+                for source in self._stamp_sources:
+                    blocker = source()
+                    if blocker is not None and blocker < horizon:
+                        horizon = blocker
+                with self._lock:
+                    for entry in self._entries.values():
+                        if entry.state in (TransactionState.ACTIVE,
+                                           TransactionState.PRE_COMMIT) \
+                                and entry.begin_time < horizon:
+                            horizon = entry.begin_time
+                self._gc_candidate = (self.clock.advance(), horizon)
+            # Back off either way: when the horizon is pinned (e.g. a
+            # row-layout blocker that can never be stamped) a sweep per
+            # begin() would pay the full segment+entry walk for zero
+            # progress — amortise it over ~half a threshold of begins.
+            self._next_auto_gc_begun = self.stat_begun \
+                + max(self._auto_gc_threshold // 2, 1)
+        finally:
+            self._auto_gc_lock.release()

@@ -126,13 +126,10 @@ def occ_read(ctx: TxnContext, table: Table, rid: int,
     # must describe the SAME version, or validation can certify a stale
     # read. A competing transaction whose commit time precedes this
     # snapshot may flip PRE_COMMIT -> COMMITTED between two chain
-    # walks, making its version newly visible; re-walk until the
-    # visible version is stable on both sides of the value read.
-    while True:
-        observed = table.visible_version_rid(rid, predicate)
-        values = table.read_latest(rid, data_columns, predicate)
-        if table.visible_version_rid(rid, predicate) == observed:
-            break
+    # walks, making its version newly visible; the version-stamped
+    # single-walk read resolves every record's visibility exactly once,
+    # so the (version, values) pair is atomic by construction.
+    observed, values = table.read_versioned(rid, data_columns, predicate)
     ctx.readset.append(ReadEntry(table, rid, observed, speculative))
     return None if values is DELETED else values
 

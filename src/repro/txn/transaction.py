@@ -165,10 +165,22 @@ class Transaction:
         """SUM of *data_column* over keys in ``[key_low, key_high]``.
 
         Candidates come from the ordered primary index (O(log N + k)
-        instead of a full index walk); each is read under this
-        transaction's visibility predicate.
+        instead of a full index walk). READ_COMMITTED routes through
+        the scan executor's batched partitions (clean records read
+        straight from base/merged chains, own writes stay visible via
+        the transaction id); snapshot-style isolation levels read each
+        candidate under this transaction's visibility predicate.
         """
         self._check_active()
+        if self.ctx.isolation is IsolationLevel.READ_COMMITTED:
+            from ..exec.executor import execute_scan
+            from ..exec.operators import ColumnSum
+            rids = [rid for _, rid in
+                    table.index.primary.range_items(key_low, key_high)]
+            if not rids:
+                return 0
+            return execute_scan(table, ColumnSum(data_column), rids=rids,
+                                txn_id=self.txn_id)
         predicate = self.ctx.read_predicate()
         total = 0
         for _, rid in table.index.primary.range_items(key_low, key_high):

@@ -1,8 +1,46 @@
 """The python -m repro.bench experiment runner."""
 
+import json
+
 import pytest
 
 from repro.bench.__main__ import main
+
+
+def _trajectory(rows_by_experiment):
+    return {
+        "tool": "repro.bench",
+        "experiments": {
+            name: {"headers": headers, "median_seconds": 1.0, "rows": rows}
+            for name, (headers, rows) in rows_by_experiment.items()
+        },
+    }
+
+
+@pytest.fixture
+def trajectory_pair(tmp_path):
+    baseline = _trajectory({
+        "fig7": (["engine", "threads", "txn_per_sec", "aborted"],
+                 [["L-Store", 1, 1000.0, 3], ["L-Store", 2, 2000.0, 5]]),
+        "sums": (["index", "range_size", "queries_per_sec"],
+                 [["ordered+batched", 16, 500.0]]),
+        "table7": (["engine", "scan_seconds"], [["L-Store", 0.10]]),
+        "only_old": (["engine", "txn_per_sec"], [["L-Store", 1.0]]),
+    })
+    current = _trajectory({
+        "fig7": (["engine", "threads", "txn_per_sec", "aborted"],
+                 [["L-Store", 1, 600.0, 3],      # -40%: regression
+                  ["L-Store", 2, 2100.0, 5]]),   # +5%: quiet
+        "sums": (["index", "range_size", "queries_per_sec"],
+                 [["ordered+batched", 16, 900.0]]),  # +80%: improved
+        "table7": (["engine", "scan_seconds"],
+                   [["L-Store", 0.20]]),         # 2x slower: regression
+    })
+    base_path = tmp_path / "base.json"
+    current_path = tmp_path / "current.json"
+    base_path.write_text(json.dumps(baseline))
+    current_path.write_text(json.dumps(current))
+    return str(base_path), str(current_path)
 
 
 class TestCLI:
@@ -32,3 +70,56 @@ class TestCLI:
         assert main(["fig7", "--scale", "5000", "--duration", "0.05",
                      "--contention", "high"]) == 0
         assert "Figure 7(high)" in capsys.readouterr().out
+
+    def test_analytics_experiment(self, capsys):
+        assert main(["analytics", "--scale", "5000",
+                     "--duration", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Analytics" in out
+        assert "scans_per_sec" in out
+
+
+class TestDiff:
+    def test_diff_against_files(self, capsys, trajectory_pair):
+        base_path, current_path = trajectory_pair
+        assert main(["--diff", base_path, "--against", current_path]) == 0
+        out = capsys.readouterr().out
+        # The -40% txn/s row and the 2x-slower scan row regressed …
+        assert "REGRESSION" in out
+        assert "txn_per_sec" in out
+        assert "scan_seconds" in out
+        # … the +80% sums row improved, the +5% row stays quiet.
+        assert "improved" in out
+        assert "queries_per_sec" in out
+        assert "900" in out
+        assert "2100" not in out
+        # Unmatched experiments are reported, not compared.
+        assert "only_old" in out
+        assert "diff summary" in out
+
+    def test_diff_threshold(self, capsys, trajectory_pair):
+        base_path, current_path = trajectory_pair
+        assert main(["--diff", base_path, "--against", current_path,
+                     "--diff-threshold", "1.5"]) == 0
+        out = capsys.readouterr().out
+        # At ±150% every move in the fixture stays below the bar.
+        assert "REGRESSION" not in out
+        assert "improved" not in out
+
+    def test_diff_after_run(self, capsys, tmp_path, trajectory_pair):
+        base_path, _ = trajectory_pair
+        assert main(["table8", "--scale", "5000",
+                     "--diff", base_path]) == 0
+        out = capsys.readouterr().out
+        assert "diff summary" in out
+
+    def test_against_rejects_experiments(self, capsys, trajectory_pair):
+        base_path, current_path = trajectory_pair
+        assert main(["fig7", "--diff", base_path,
+                     "--against", current_path]) == 2
+        assert "--against" in capsys.readouterr().err
+
+    def test_against_requires_diff(self, capsys, trajectory_pair):
+        _, current_path = trajectory_pair
+        assert main(["--against", current_path]) == 2
+        assert "--diff" in capsys.readouterr().err

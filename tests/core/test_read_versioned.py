@@ -1,0 +1,120 @@
+"""The version-stamped single-walk read (tracked OCC reads)."""
+
+import pytest
+
+from repro.core.table import DELETED
+from repro.core.version import visible_as_of
+from repro.errors import KeyNotFoundError
+from repro.txn.occ import occ_write
+
+
+class TestReadVersioned:
+    def _check_agrees(self, table, rid, predicate=None, columns=None):
+        """(version, values) must match the two classic walks."""
+        version_rid, values = table.read_versioned(rid, columns, predicate)
+        from repro.core.version import visible_latest_committed
+        effective = predicate if predicate is not None \
+            else visible_latest_committed
+        assert version_rid == table.visible_version_rid(rid, effective)
+        expected = table.read_latest(rid, columns, predicate)
+        assert values == expected
+        return version_rid, values
+
+    def test_base_only(self, db, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        version_rid, values = self._check_agrees(table, rid, columns=(1, 3))
+        assert version_rid == rid
+        assert values == {1: 10, 3: 30}
+
+    def test_after_updates(self, db, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        table.update(rid, {1: 11})
+        tail = table.update(rid, {3: 33})
+        version_rid, values = self._check_agrees(table, rid,
+                                                 columns=(1, 2, 3))
+        assert version_rid == tail
+        assert values == {1: 11, 2: 20, 3: 33}
+
+    def test_after_merge(self, db, table, config):
+        for key in range(config.update_range_size):
+            table.insert([key, key, 0, 0, 0])
+        db.run_merges()
+        rid = table.index.primary.get(3)
+        tail = table.update(rid, {1: 1000})
+        from repro.core.merge import merge_update_range
+        merge_update_range(table, table.ranges[0])
+        version_rid, values = self._check_agrees(table, rid, columns=(1, 2))
+        assert version_rid == tail
+        assert values == {1: 1000, 2: 0}
+
+    def test_deleted(self, db, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        tail = table.delete(rid)
+        version_rid, values = table.read_versioned(rid, (1,))
+        assert version_rid == tail
+        assert values is DELETED
+
+    def test_uncommitted_head_is_skipped(self, db, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        committed_tail = table.update(rid, {1: 11})
+        txn = db.begin_transaction()
+        occ_write(txn.ctx, table, rid, {1: 999})
+        version_rid, values = self._check_agrees(table, rid, columns=(1,))
+        assert version_rid == committed_tail
+        assert values == {1: 11}
+        txn.abort()
+
+    def test_no_visible_version(self, db, table):
+        as_of_before = table.clock.now()
+        rid = table.insert([1, 10, 20, 30, 40])
+        version_rid, values = table.read_versioned(
+            rid, (1,), visible_as_of(as_of_before))
+        assert version_rid is None
+        assert values is None
+
+    def test_as_of_snapshot(self, db, table):
+        rid = table.insert([1, 10, 20, 30, 40])
+        as_of = table.clock.now()
+        table.update(rid, {1: 999})
+        version_rid, values = self._check_agrees(
+            table, rid, predicate=visible_as_of(as_of), columns=(1, 2))
+        assert version_rid == rid
+        assert values == {1: 10, 2: 20}
+
+    def test_missing_record_raises(self, db, table):
+        table.insert([1, 10, 20, 30, 40])
+        with pytest.raises(KeyNotFoundError):
+            table.read_versioned(7, (1,))
+
+
+class TestScanRecordsBatched:
+    def test_batched_agrees_with_per_record(self, config):
+        """Batched scan_records == per-record path, state for state."""
+        from repro import Database
+
+        def build(database):
+            table = database.create_table("t", num_columns=5)
+            for key in range(40):
+                table.insert([key, key * 10, key % 3, 0, 7])
+            database.run_merges()
+            for key in range(0, 40, 4):
+                table.update(table.index.primary.get(key), {1: key})
+            for key in range(0, 40, 10):
+                table.delete(table.index.primary.get(key))
+            return table
+
+        with Database(config) as batched_db, \
+                Database(config.with_overrides(
+                    batched_reads=False)) as plain_db:
+            batched = list(build(batched_db).scan_records((0, 1, 2)))
+            plain = list(build(plain_db).scan_records((0, 1, 2)))
+            assert batched == plain
+
+    def test_predicate_path_unchanged(self, db, table):
+        for key in range(20):
+            table.insert([key, key, 0, 0, 0])
+        as_of = table.clock.now()
+        for key in range(20):
+            table.update(table.index.primary.get(key), {1: 1000})
+        rows = list(table.scan_records((1,), visible_as_of(as_of)))
+        assert [values[1] for _, values in rows] == list(range(20))

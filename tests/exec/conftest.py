@@ -1,0 +1,51 @@
+"""Fixtures for the scan-executor suite.
+
+``scan_parallelism`` parametrises every test over serial and pooled
+execution; CI narrows the matrix via the ``REPRO_SCAN_PARALLELISM``
+environment variable (a comma-separated list, default ``1,4``) so each
+level runs in its own process.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import Database, EngineConfig
+
+
+def _parallelism_levels() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_SCAN_PARALLELISM", "1,4")
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+@pytest.fixture(params=_parallelism_levels())
+def scan_parallelism(request) -> int:
+    return request.param
+
+
+@pytest.fixture
+def exec_config(scan_parallelism: int) -> EngineConfig:
+    """Small geometry so scans cross many range/page boundaries."""
+    return EngineConfig(
+        records_per_page=8,
+        records_per_tail_page=8,
+        update_range_size=16,
+        merge_threshold=8,
+        insert_range_size=16,
+        background_merge=False,
+        scan_parallelism=scan_parallelism,
+    )
+
+
+@pytest.fixture
+def exec_db(exec_config: EngineConfig):
+    database = Database(exec_config)
+    yield database
+    database.close()
+
+
+@pytest.fixture
+def exec_table(exec_db: Database):
+    return exec_db.create_table("exec_test", num_columns=5, key_index=0)

@@ -1,0 +1,145 @@
+"""Executor agreement property (the PR's acceptance criterion).
+
+For random interleavings of inserts, updates, deletes, and merges,
+every aggregate — sum/count/min/max/avg and single-column group-by,
+with and without predicate filters — must return identical results at
+``scan_parallelism=1`` and ``scan_parallelism=4``, and both must match
+a brute-force ``select_version``-style oracle that reads each key's
+latest committed version through the lineage chain walk.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, EngineConfig
+from repro.core.merge import merge_update_range
+from repro.core.table import DELETED
+from repro.errors import (DuplicateKeyError, KeyNotFoundError,
+                          RecordDeletedError)
+from repro.exec.executor import ScanExecutor, execute_scan
+from repro.exec.operators import (ColumnAvg, ColumnCount, ColumnMax,
+                                  ColumnMin, ColumnSum, GroupBy, between,
+                                  ge)
+
+KEYS = 40
+
+operation = st.one_of(
+    st.tuples(st.just("insert"), st.integers(0, KEYS - 1),
+              st.integers(0, 99)),
+    st.tuples(st.just("update"), st.integers(0, KEYS - 1),
+              st.integers(1, 3), st.integers(0, 99)),
+    st.tuples(st.just("delete"), st.integers(0, KEYS - 1),
+              st.integers(0, 0)),
+    st.tuples(st.just("merge"), st.integers(0, 3), st.integers(0, 0)),
+)
+
+
+def _database() -> Database:
+    return Database(EngineConfig(
+        records_per_page=8, records_per_tail_page=8,
+        update_range_size=16, merge_threshold=6, insert_range_size=16,
+        background_merge=False))
+
+
+def _apply(db, table, ops):
+    for op in ops:
+        kind, key = op[0], op[1]
+        try:
+            if kind == "insert":
+                table.insert([key, op[2], key % 5, op[2] % 7, 7])
+            elif kind == "update":
+                rid = table.index.primary.get(key)
+                if rid is not None:
+                    table.update(rid, {op[2]: op[3]})
+            elif kind == "delete":
+                rid = table.index.primary.get(key)
+                if rid is not None:
+                    table.delete(rid)
+            else:  # merge: drain queued merges, then one explicit range
+                db.run_merges()
+                ranges = table.sorted_ranges()
+                if ranges:
+                    update_range = ranges[key % len(ranges)]
+                    if update_range.merged:
+                        merge_update_range(table, update_range)
+        except (DuplicateKeyError, KeyNotFoundError, RecordDeletedError):
+            continue
+
+
+def _oracle_rows(table, columns):
+    """Brute-force: latest committed version per key via the chain walk."""
+    rows = {}
+    for key in range(KEYS):
+        rid = table.index.primary.get(key)
+        if rid is None:
+            continue
+        try:
+            values = table.read_relative_version(rid, columns, 0)
+        except KeyNotFoundError:
+            continue
+        if values is None or values is DELETED:
+            continue
+        if values[0] != key:
+            continue  # deferred index maintenance
+        rows[rid] = values
+    return rows
+
+
+AGGREGATES = [
+    ("sum", lambda: ColumnSum(1),
+     lambda rows: sum(r[1] for r in rows.values())),
+    ("count", lambda: ColumnCount(),
+     lambda rows: len(rows)),
+    ("min", lambda: ColumnMin(1),
+     lambda rows: min((r[1] for r in rows.values()), default=None)),
+    ("max", lambda: ColumnMax(1),
+     lambda rows: max((r[1] for r in rows.values()), default=None)),
+    ("avg", lambda: ColumnAvg(1),
+     lambda rows: (sum(r[1] for r in rows.values()) / len(rows))
+     if rows else None),
+    ("group_sum", lambda: GroupBy(2, lambda: ColumnSum(1)),
+     lambda rows: _group(rows, 2, 1)),
+]
+
+FILTERS = [
+    ("none", (), lambda row: True),
+    ("ge", (ge(1, 50),), lambda row: row[1] >= 50),
+    ("between", (between(3, 1, 4),), lambda row: 1 <= row[3] <= 4),
+]
+
+
+def _group(rows, key_column, value_column):
+    groups = {}
+    for row in rows.values():
+        groups[row[key_column]] = groups.get(row[key_column], 0) \
+            + row[value_column]
+    return groups
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(operation, min_size=1, max_size=40))
+def test_executor_agrees_with_oracle_at_all_parallelisms(ops):
+    db = _database()
+    serial = ScanExecutor(1)
+    pooled = ScanExecutor(4)
+    try:
+        table = db.create_table("t", num_columns=5)
+        _apply(db, table, ops)
+        rows = _oracle_rows(table, (0, 1, 2, 3))
+        for filter_name, filters, row_predicate in FILTERS:
+            filtered = {rid: row for rid, row in rows.items()
+                        if row_predicate(row)}
+            for agg_name, make, expected_fn in AGGREGATES:
+                expected = expected_fn(filtered)
+                got_serial = execute_scan(table, make(), filters=filters,
+                                          executor=serial)
+                got_pooled = execute_scan(table, make(), filters=filters,
+                                          executor=pooled)
+                assert got_serial == expected, \
+                    "%s/%s serial mismatch" % (agg_name, filter_name)
+                assert got_pooled == expected, \
+                    "%s/%s parallel mismatch" % (agg_name, filter_name)
+    finally:
+        serial.close()
+        pooled.close()
+        db.close()

@@ -1,0 +1,243 @@
+"""Executor behavior: planning, parallel agreement, epoch protection."""
+
+import threading
+
+import pytest
+
+from repro.core.merge import merge_update_range
+from repro.core.query import Query
+from repro.core.types import IsolationLevel
+from repro.exec.executor import ScanExecutor, execute_scan
+from repro.exec.operators import (ColumnAvg, ColumnCount, ColumnMax,
+                                  ColumnMin, ColumnSum, GroupBy, eq, ge)
+from repro.exec.plan import plan_scan
+
+
+def load(table, rows):
+    for row in rows:
+        table.insert(list(row))
+
+
+class TestPlanner:
+    def test_full_scan_one_partition_per_range(self, exec_db, exec_table):
+        load(exec_table, ([k, k, 0, 0, 0] for k in range(40)))
+        partitions = plan_scan(exec_table)
+        assert len(partitions) == len(exec_table.sorted_ranges())
+        assert all(not p.is_keyed for p in partitions)
+
+    def test_keyed_scan_groups_by_range(self, exec_db, exec_table):
+        load(exec_table, ([k, k, 0, 0, 0] for k in range(40)))
+        rids = [exec_table.index.primary.get(k) for k in (0, 17, 38, 1)]
+        range_size = exec_table.config.update_range_size
+        # Parallel executors split RID sets larger than one range …
+        many = [exec_table.index.primary.get(k) for k in range(40)]
+        partitions = plan_scan(exec_table, many, parallelism=4)
+        assert len(partitions) > 1
+        assert [p.range_id for p in partitions] == sorted(
+            {p.range_id for p in partitions})
+        covered = [rid for p in partitions for rid in p.rids]
+        assert sorted(covered) == sorted(many)
+        for partition in partitions:
+            expected = [rid for rid in many
+                        if (rid - 1) // range_size == partition.range_id]
+            assert list(partition.rids) == expected
+
+    def test_keyed_scan_collapses_when_serial_or_small(self, exec_db,
+                                                       exec_table):
+        load(exec_table, ([k, k, 0, 0, 0] for k in range(40)))
+        rids = [exec_table.index.primary.get(k) for k in (0, 17, 38, 1)]
+        # A serial executor — or a set that fits one range — gets one
+        # spanning partition (the batched read groups internally).
+        assert [p.rids for p in plan_scan(exec_table, rids)] == \
+            [tuple(rids)]
+        assert [p.rids for p in plan_scan(exec_table, rids,
+                                          parallelism=4)] == [tuple(rids)]
+        assert plan_scan(exec_table, []) == []
+
+
+class TestExecutorAgreement:
+    """Executor results must match brute-force per-record reads."""
+
+    def _brute_rows(self, table, columns):
+        rows = {}
+        for rid, values in table.scan_records(columns):
+            rows[rid] = values
+        return rows
+
+    def test_aggregates_match_brute_force(self, exec_db, exec_table):
+        table = exec_table
+        load(table, ([k, k * 7 % 50, k % 5, k * 3, 7] for k in range(60)))
+        exec_db.run_merges()
+        for k in range(0, 60, 3):
+            table.update(table.index.primary.get(k), {1: k % 11, 3: k})
+        for k in range(0, 60, 10):
+            table.delete(table.index.primary.get(k))
+        rows = self._brute_rows(table, (1, 2, 3))
+        values1 = [row[1] for row in rows.values()]
+        assert execute_scan(table, ColumnSum(1)) == sum(values1)
+        assert execute_scan(table, ColumnCount()) == len(rows)
+        assert execute_scan(table, ColumnMin(1)) == min(values1)
+        assert execute_scan(table, ColumnMax(1)) == max(values1)
+        assert execute_scan(table, ColumnAvg(1)) == \
+            sum(values1) / len(values1)
+        expected_groups = {}
+        for row in rows.values():
+            expected_groups[row[2]] = expected_groups.get(row[2], 0) + row[3]
+        assert execute_scan(
+            table, GroupBy(2, lambda: ColumnSum(3))) == expected_groups
+
+    def test_filters_match_brute_force(self, exec_db, exec_table):
+        table = exec_table
+        load(table, ([k, k % 13, k % 4, k, 7] for k in range(50)))
+        exec_db.run_merges()
+        rows = self._brute_rows(table, (1, 2, 3))
+        expected = sum(row[3] for row in rows.values()
+                       if row[1] >= 5 and row[2] == 1)
+        assert execute_scan(table, ColumnSum(3),
+                            filters=(ge(1, 5), eq(2, 1))) == expected
+
+    def test_as_of_scan_matches_per_record(self, exec_db, exec_table):
+        table = exec_table
+        load(table, ([k, k, 0, 0, 0] for k in range(32)))
+        as_of = table.clock.now()
+        for k in range(32):
+            table.update(table.index.primary.get(k), {1: 1000})
+        exec_db.run_merges()
+        assert execute_scan(table, ColumnSum(1), as_of=as_of) == \
+            sum(range(32))
+        assert execute_scan(table, ColumnSum(1)) == 32000
+
+    def test_keyed_scan_matches_full_scan_subset(self, exec_db, exec_table):
+        table = exec_table
+        load(table, ([k, k * 2, 0, 0, 0] for k in range(48)))
+        rids = [table.index.primary.get(k) for k in range(10, 30)]
+        assert execute_scan(table, ColumnSum(1), rids=rids) == \
+            sum(k * 2 for k in range(10, 30))
+
+
+class TestQueryReroutes:
+    def test_query_sum_matches_manual(self, exec_db, exec_table):
+        query = Query(exec_table)
+        load(exec_table, ([k, k * 10, 0, 0, 0] for k in range(40)))
+        exec_db.run_merges()
+        query.update(5, None, 999, None, None, None)
+        assert query.sum(0, 39, 1) == sum(k * 10 for k in range(40)) \
+            - 50 + 999
+        assert query.sum(10, 19, 1) == sum(k * 10 for k in range(10, 20))
+        assert query.sum(100, 200, 1) == 0
+
+    def test_query_aggregate_api(self, exec_db, exec_table):
+        query = Query(exec_table)
+        load(exec_table, ([k, k % 3, k, 0, 0] for k in range(30)))
+        groups = query.aggregate(GroupBy(1, lambda: ColumnCount()))
+        assert groups == {0: 10, 1: 10, 2: 10}
+        ranged = query.aggregate(ColumnSum(2), start_key=5, end_key=14)
+        assert ranged == sum(range(5, 15))
+        with pytest.raises(ValueError):
+            query.aggregate(ColumnSum(2), start_key=5)
+
+    def test_select_range_order_and_values(self, exec_db, exec_table):
+        query = Query(exec_table)
+        load(exec_table, ([k, k * 10, 0, 0, 0] for k in range(40)))
+        exec_db.run_merges()
+        records = query.select_range(7, 23)
+        assert [record.key for record in records] == list(range(7, 24))
+        assert all(record[1] == record.key * 10 for record in records)
+
+    def test_select_range_as_of(self, exec_db, exec_table):
+        query = Query(exec_table)
+        load(exec_table, ([k, k, 0, 0, 0] for k in range(20)))
+        as_of = exec_table.clock.now()
+        query.update(5, None, 777, None, None, None)
+        records = query.select_range(0, 19, as_of=as_of)
+        assert [record[1] for record in records] == list(range(20))
+
+    def test_transaction_sum_read_committed(self, exec_db, exec_table):
+        load(exec_table, ([k, k, 0, 0, 0] for k in range(30)))
+        exec_db.run_merges()
+        txn = exec_db.begin_transaction(
+            isolation=IsolationLevel.READ_COMMITTED)
+        txn.update(exec_table, 3, {1: 1000})
+        # Own uncommitted write is visible to the batched sum.
+        assert txn.sum(exec_table, 0, 29, 1) == sum(range(30)) - 3 + 1000
+        # Invisible to an auto-commit statement sum.
+        assert Query(exec_table).sum(0, 29, 1) == sum(range(30))
+        assert txn.commit()
+        assert Query(exec_table).sum(0, 29, 1) == sum(range(30)) - 3 + 1000
+
+
+class TestEpochProtection:
+    def test_running_partition_blocks_reclamation(self, exec_db):
+        """A merge may retire pages under a live partition, but the
+        epoch manager must not reclaim them until the partition exits."""
+        table = exec_db.create_table("epoch_t", num_columns=2)
+        for k in range(table.config.update_range_size):
+            table.insert([k, 1])
+        exec_db.run_merges()
+        update_range = table.sorted_ranges()[0]
+
+        in_partition = threading.Event()
+        release = threading.Event()
+        original = table.scan_range_sum
+        epoch_manager = table.epoch_manager
+
+        def paused_scan_range_sum(*args, **kwargs):
+            in_partition.set()
+            assert release.wait(timeout=10.0)
+            return original(*args, **kwargs)
+
+        table.scan_range_sum = paused_scan_range_sum
+        try:
+            worker = threading.Thread(target=table.scan_sum, args=(1,),
+                                      daemon=True)
+            worker.start()
+            assert in_partition.wait(timeout=10.0)
+            # Merge while the partition is mid-scan: pages retire but
+            # must not be reclaimed (the partition's epoch is open).
+            table.update(table.index.primary.get(0), {1: 2})
+            merge_update_range(table, update_range)
+            assert epoch_manager.pending_pages > 0
+            assert epoch_manager.reclaim() == 0
+            pending = epoch_manager.pending_pages
+            assert pending > 0
+            release.set()
+            worker.join(timeout=10.0)
+            assert not worker.is_alive()
+            # Partition exited: the retired pages drain.
+            epoch_manager.reclaim()
+            assert epoch_manager.pending_pages == 0
+        finally:
+            release.set()
+            table.scan_range_sum = original
+
+
+class TestScanExecutorUnit:
+    def test_map_preserves_order(self):
+        executor = ScanExecutor(4)
+        try:
+            results = executor.map([lambda i=i: i * i for i in range(20)])
+            assert results == [i * i for i in range(20)]
+        finally:
+            executor.close()
+
+    def test_map_propagates_errors(self):
+        executor = ScanExecutor(2)
+
+        def boom():
+            raise RuntimeError("partition failed")
+
+        try:
+            with pytest.raises(RuntimeError):
+                executor.map([lambda: 1, boom, lambda: 2])
+        finally:
+            executor.close()
+
+    def test_serial_never_builds_pool(self):
+        executor = ScanExecutor(1)
+        assert executor.map([lambda: 5]) == [5]
+        assert executor._pool is None
+        executor.close()
+
+    def test_parallelism_validated(self):
+        with pytest.raises(ValueError):
+            ScanExecutor(0)

@@ -1,0 +1,115 @@
+"""Unit tests for the pluggable scan operators."""
+
+import pytest
+
+from repro.core.types import NULL
+from repro.exec.operators import (CollectRows, ColumnAvg, ColumnCount,
+                                  ColumnMax, ColumnMin, ColumnSum, GroupBy,
+                                  between, eq, ge, gt, le, lt, matches_all,
+                                  ne)
+
+
+def fold(aggregate, rows):
+    state = aggregate.create()
+    for rid, row in rows:
+        state = aggregate.add(state, rid, row)
+    return aggregate.finalize(state)
+
+
+def fold_split(aggregate, rows, split):
+    """Fold through two partitions + combine (scheduling equivalence)."""
+    left = aggregate.create()
+    for rid, row in rows[:split]:
+        left = aggregate.add(left, rid, row)
+    right = aggregate.create()
+    for rid, row in rows[split:]:
+        right = aggregate.add(right, rid, row)
+    return aggregate.finalize(aggregate.combine(left, right))
+
+
+ROWS = [(i + 1, {0: i, 1: i * 10, 2: i % 3}) for i in range(10)]
+
+
+class TestAggregates:
+    def test_sum(self):
+        assert fold(ColumnSum(1), ROWS) == sum(i * 10 for i in range(10))
+
+    def test_sum_skips_null(self):
+        rows = [(1, {1: 5}), (2, {1: NULL}), (3, {1: 7})]
+        assert fold(ColumnSum(1), rows) == 12
+
+    def test_count_star_and_column(self):
+        rows = [(1, {1: 5}), (2, {1: NULL}), (3, {1: 7})]
+        assert fold(ColumnCount(), rows) == 3
+        assert fold(ColumnCount(1), rows) == 2
+
+    def test_min_max(self):
+        assert fold(ColumnMin(1), ROWS) == 0
+        assert fold(ColumnMax(1), ROWS) == 90
+        assert fold(ColumnMin(1), []) is None
+        assert fold(ColumnMax(1), []) is None
+
+    def test_avg(self):
+        assert fold(ColumnAvg(0), ROWS) == sum(range(10)) / 10
+        assert fold(ColumnAvg(0), []) is None
+
+    def test_group_by_sum(self):
+        result = fold(GroupBy(2, lambda: ColumnSum(1)), ROWS)
+        expected = {}
+        for i in range(10):
+            expected[i % 3] = expected.get(i % 3, 0) + i * 10
+        assert result == expected
+
+    def test_group_by_skips_null_keys(self):
+        rows = [(1, {1: 5, 2: NULL}), (2, {1: 7, 2: 1})]
+        assert fold(GroupBy(2, lambda: ColumnSum(1)), rows) == {1: 7}
+
+    def test_collect_rows_order(self):
+        result = fold(CollectRows((0, 1)), ROWS)
+        assert result == ROWS
+
+    @pytest.mark.parametrize("make", [
+        lambda: ColumnSum(1),
+        lambda: ColumnCount(),
+        lambda: ColumnCount(1),
+        lambda: ColumnMin(1),
+        lambda: ColumnMax(1),
+        lambda: ColumnAvg(1),
+        lambda: GroupBy(2, lambda: ColumnAvg(1)),
+        lambda: CollectRows((0, 1, 2)),
+    ])
+    @pytest.mark.parametrize("split", [0, 3, 10])
+    def test_combine_matches_single_fold(self, make, split):
+        aggregate = make()
+        assert fold_split(aggregate, ROWS, split) == fold(make(), ROWS)
+
+    def test_combine_empty_partials(self):
+        aggregate = ColumnMin(1)
+        assert aggregate.combine(None, 5) == 5
+        assert aggregate.combine(5, None) == 5
+        assert aggregate.combine(None, None) is None
+
+
+class TestFilters:
+    def test_comparators(self):
+        row = {1: 5}
+        assert eq(1, 5).matches(row)
+        assert not eq(1, 4).matches(row)
+        assert ne(1, 4).matches(row)
+        assert lt(1, 6).matches(row)
+        assert le(1, 5).matches(row)
+        assert gt(1, 4).matches(row)
+        assert ge(1, 5).matches(row)
+        assert between(1, 5, 9).matches(row)
+        assert not between(1, 6, 9).matches(row)
+
+    def test_null_never_matches(self):
+        assert not eq(1, 5).matches({1: NULL})
+        assert not ne(1, 4).matches({1: NULL})
+        assert not ge(1, 0).matches({1: NULL})
+
+    def test_matches_all(self):
+        row = {1: 5, 2: 9}
+        assert matches_all((ge(1, 5), lt(2, 10)), row)
+        assert not matches_all((ge(1, 5), lt(2, 9)), row)
+        assert matches_all((), row)

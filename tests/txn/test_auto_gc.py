@@ -1,0 +1,169 @@
+"""Automatic transaction-entry GC wired to the epoch watermark."""
+
+import pytest
+
+from repro import Database, EngineConfig, IsolationLevel
+from repro.core.types import TransactionState
+
+
+def _config(**overrides):
+    base = dict(records_per_page=8, records_per_tail_page=8,
+                update_range_size=16, merge_threshold=8,
+                insert_range_size=16, background_merge=False,
+                txn_gc_threshold=32)
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+class TestAutoGC:
+    def test_entry_table_stays_bounded(self):
+        db = Database(_config())
+        try:
+            table = db.create_table("t", num_columns=2)
+            for key in range(8):
+                table.insert([key, 0])
+            db.run_merges()
+            manager = db.txn_manager
+            for i in range(400):
+                with db.begin_transaction() as txn:
+                    txn.update(table, i % 8, {1: i})
+            # Without GC this loop leaves ~400 entries; the auto sweep
+            # must keep the table near the threshold.
+            assert len(manager._entries) < 3 * 32
+            assert manager.stat_auto_gc_dropped > 0
+        finally:
+            db.close()
+
+    def test_values_survive_gc(self):
+        """Sweep-stamped markers keep old committed writes readable."""
+        db = Database(_config())
+        try:
+            table = db.create_table("t", num_columns=2)
+            for key in range(8):
+                table.insert([key, 0])
+            expected = {}
+            for i in range(300):
+                key = i % 8
+                with db.begin_transaction() as txn:
+                    txn.update(table, key, {1: i})
+                expected[key] = i
+            assert db.txn_manager.stat_auto_gc_dropped > 0
+            for key, value in expected.items():
+                rid = table.index.primary.get(key)
+                assert table.read_latest(rid, (1,)) == {1: value}
+            assert table.scan_sum(1) == sum(expected.values())
+        finally:
+            db.close()
+
+    def test_active_transaction_caps_horizon(self):
+        db = Database(_config())
+        try:
+            table = db.create_table("t", num_columns=2)
+            table.insert([0, 0])
+            long_txn = db.begin_transaction()
+            long_entry_id = long_txn.txn_id
+            for i in range(200):
+                with db.begin_transaction() as txn:
+                    txn.update(table, 0, {1: i})
+            # The long-running transaction's own entry must survive.
+            assert db.txn_manager.state_of(long_entry_id) \
+                is TransactionState.ACTIVE
+            long_txn.abort()
+        finally:
+            db.close()
+
+    def test_registered_query_defers_drop(self):
+        """Phase 2 waits for readers active since before the sweep."""
+        db = Database(_config(txn_gc_threshold=16))
+        try:
+            table = db.create_table("t", num_columns=2)
+            table.insert([0, 0])
+            epoch = db.epoch_manager.enter_query(db.clock.now())
+            before = None
+            for i in range(120):
+                with db.begin_transaction() as txn:
+                    txn.update(table, 0, {1: i})
+                if i == 60:
+                    before = len(db.txn_manager._entries)
+            # The old registered query gates every drop.
+            assert db.txn_manager.stat_auto_gc_dropped == 0
+            assert len(db.txn_manager._entries) >= before
+            db.epoch_manager.exit_query(epoch)
+            for i in range(80):
+                with db.begin_transaction() as txn:
+                    txn.update(table, 0, {1: i})
+            assert db.txn_manager.stat_auto_gc_dropped > 0
+        finally:
+            db.close()
+
+    def test_disabled_by_zero_threshold(self):
+        db = Database(_config(txn_gc_threshold=0))
+        try:
+            table = db.create_table("t", num_columns=2)
+            table.insert([0, 0])
+            for i in range(100):
+                with db.begin_transaction() as txn:
+                    txn.update(table, 0, {1: i})
+            assert len(db.txn_manager._entries) >= 100
+        finally:
+            db.close()
+
+    def test_manual_gc_keeps_aborted_unless_asked(self):
+        db = Database(_config(txn_gc_threshold=0))
+        try:
+            table = db.create_table("t", num_columns=2)
+            table.insert([0, 0])
+            txn = db.begin_transaction()
+            txn.update(table, 0, {1: 1})
+            txn.abort()
+            manager = db.txn_manager
+            horizon = db.clock.now() + 1
+            manager.gc(horizon)
+            assert manager.state_of(txn.txn_id) is TransactionState.ABORTED
+            manager.gc(horizon, include_aborted=True)
+            with pytest.raises(Exception):
+                manager.state_of(txn.txn_id)
+            # Below the GC floor, unknown ids resolve committed-at-begin
+            # (stale marker copies must not hide committed versions) —
+            # the aborted write stays invisible via its tombstone.
+            state, commit_time = manager.lookup(txn.txn_id)
+            assert state is TransactionState.COMMITTED
+            assert commit_time == txn.txn_id
+            rid = table.index.primary.get(0)
+            assert table.read_latest(rid, (1,)) == {1: 0}
+        finally:
+            db.close()
+
+    def test_unknown_above_floor_still_aborted(self):
+        db = Database(_config(txn_gc_threshold=0))
+        try:
+            manager = db.txn_manager
+            future_id = db.clock.now() + 100
+            assert manager.lookup(future_id)[0] is TransactionState.ABORTED
+        finally:
+            db.close()
+
+    def test_drop_table_unregisters_stamp_source(self):
+        db = Database(_config())
+        try:
+            table = db.create_table("t", num_columns=2)
+            source_count = len(db.txn_manager._stamp_sources)
+            db.drop_table("t")
+            assert len(db.txn_manager._stamp_sources) == source_count - 1
+            assert table.stamp_tail_markers not in \
+                db.txn_manager._stamp_sources
+        finally:
+            db.close()
+
+
+class TestEpochLowWaterMark:
+    def test_monotone_and_tracks_oldest(self):
+        from repro.core.epoch import EpochManager
+        epoch = EpochManager()
+        assert epoch.low_water_mark(10) == 10
+        handle = epoch.enter_query(5)
+        # Registered reader caps the mark; monotone (never regresses).
+        assert epoch.low_water_mark(50) == 10
+        epoch.exit_query(handle)
+        assert epoch.low_water_mark(50) == 50
+        assert epoch.low_water_mark(40) == 50
