@@ -360,33 +360,40 @@ def sums_range_queries(*, range_spans: Sequence[int] = (16, 256, 2048),
 def analytics_scans(*, parallelism_levels: Sequence[int] = (1, 2, 4),
                     update_threads: int = 2, duration: float = 0.5,
                     scale: int = 1000) -> ExperimentResult:
-    """Executor group-by scan throughput vs ``scan_parallelism``.
+    """Executor group-by scan throughput: plane × ``scan_parallelism``.
 
     Not a paper table — the regression guard for the analytical scan
     executor (this repo's real-time OLAP claim): a filtered single-column
     group-by SUM planned into per-update-range partitions, running
-    against a live short-transaction update stream. Rows report
-    analytical scans/s, groups produced, and the concurrent OLTP
-    throughput, per executor parallelism level.
+    against a live short-transaction update stream. The sweep crosses
+    ``vectorized_scans`` (the column-slice plane vs the per-record row
+    plane) with the executor parallelism levels: the vectorised rows
+    document the slice speedup *and* the parallel scaling its
+    GIL-releasing NumPy kernels unlock, the row rows keep the
+    GIL-penalty baseline on record. Rows report analytical scans/s,
+    groups produced, and the concurrent OLTP throughput.
     """
     spec = _spec_for("low", scale)
     result = ExperimentResult(
         "Analytics",
         "Filtered group-by scans/s under %d update threads"
         % update_threads,
-        ["parallelism", "scans_per_sec", "groups", "txn_per_sec"])
-    for parallelism in parallelism_levels:
-        engine = make_engine("lstore", spec.num_columns,
-                             scan_parallelism=parallelism)
-        try:
-            load_engine(engine, spec)
-            scans_per_sec, groups, txn_per_sec = run_analytics_scans(
-                engine, spec, update_threads=update_threads,
-                duration=duration)
-            result.add_row(parallelism, round(scans_per_sec, 2), groups,
-                           round(txn_per_sec, 1))
-        finally:
-            engine.close()
+        ["plane", "parallelism", "scans_per_sec", "groups", "txn_per_sec"])
+    for vectorized in (True, False):
+        plane = "vectorized" if vectorized else "row"
+        for parallelism in parallelism_levels:
+            engine = make_engine("lstore", spec.num_columns,
+                                 scan_parallelism=parallelism,
+                                 vectorized_scans=vectorized)
+            try:
+                load_engine(engine, spec)
+                scans_per_sec, groups, txn_per_sec = run_analytics_scans(
+                    engine, spec, update_threads=update_threads,
+                    duration=duration)
+                result.add_row(plane, parallelism, round(scans_per_sec, 2),
+                               groups, round(txn_per_sec, 1))
+            finally:
+                engine.close()
     return result
 
 

@@ -66,7 +66,7 @@ class DictionaryPage:
 
     __slots__ = ("page_id", "kind", "capacity", "column", "_codes",
                  "_dictionary", "tps_rid", "merge_count", "deallocated",
-                 "_numpy_cache", "_lock")
+                 "_numpy_cache", "_masked_cache", "_lock")
 
     def __init__(self, page_id: int, kind: PageKind, capacity: int,
                  column: int | None, codes: np.ndarray,
@@ -81,6 +81,7 @@ class DictionaryPage:
         self.merge_count = 0
         self.deallocated = False
         self._numpy_cache: np.ndarray | None = None
+        self._masked_cache: Any = None
         self._lock = threading.Lock()
 
     @classmethod
@@ -144,6 +145,52 @@ class DictionaryPage:
                 lookup = np.asarray(self._dictionary, dtype=np.int64)
                 self._numpy_cache = lookup[self._codes]
         return self._numpy_cache
+
+    def as_numpy_masked(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Decoded ``(values, valid_mask)`` view tolerating ∅ entries.
+
+        ∅ dictionary entries decode to 0 with a False mask bit, so a
+        merged page that dictionary-compressed a few deleted records
+        still serves the vectorised scan plane. None (cached) when the
+        dictionary holds a value that is neither int nor ∅.
+        """
+        cached = self._masked_cache
+        if cached is not None:
+            return None if cached is False else cached[:2]
+        lookup_values = []
+        lookup_valid = []
+        for value in self._dictionary:
+            if type(value) is int:
+                lookup_values.append(value)
+                lookup_valid.append(True)
+            elif is_null(value):
+                lookup_values.append(0)
+                lookup_valid.append(False)
+            else:
+                self._masked_cache = False
+                return None
+        with self._lock:
+            if self._masked_cache is None:
+                values = np.asarray(lookup_values,
+                                    dtype=np.int64)[self._codes]
+                valid = np.asarray(lookup_valid, dtype=bool)[self._codes]
+                self._masked_cache = (
+                    values, valid, int(values.sum()),
+                    tuple(np.flatnonzero(~valid).tolist()))
+            cached = self._masked_cache
+        return None if cached is False else cached[:2]
+
+    def masked_total(self) -> tuple[int, tuple[int, ...]] | None:
+        """Cached ``(sum of non-∅ slots, ∅ slot positions)``.
+
+        Same contract as :meth:`~repro.core.page.Page.masked_total`:
+        the reduction is amortised at view-build time so unfiltered-SUM
+        scans make no NumPy calls of their own.
+        """
+        if self.as_numpy_masked() is None:
+            return None
+        cached = self._masked_cache
+        return cached[2], cached[3]
 
     def fast_sum(self) -> int | None:
         """SUM without decoding: Σ count(code) × value."""

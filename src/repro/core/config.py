@@ -115,6 +115,15 @@ class EngineConfig:
     #: then tracks the unmerged-update count exactly (Figure 8).
     incremental_dirty_sets: bool = True
 
+    #: Serve clean merged columnar partitions as whole NumPy column
+    #: slices (:meth:`~repro.core.table.Table.read_column_slices`):
+    #: filters and aggregates run array-at-a-time on the vectorised
+    #: operator plane, and only records with unmerged tail activity are
+    #: patched through the per-record walk. Off = every partition takes
+    #: the per-record row path (the always-correct fallback, kept green
+    #: by CI).
+    vectorized_scans: bool = True
+
     #: Worker threads of the shared analytical scan executor
     #: (:mod:`repro.exec`). 1 = run every scan partition inline on the
     #: calling thread; >1 = run partitions on a shared pool. Threads

@@ -190,26 +190,98 @@ class Page:
 
     # -- analytics fast path ----------------------------------------------
 
+    #: Cached negative verdict: the page holds values no int64 view can
+    #: represent (e.g. strings). Distinct from None ("not computed").
+    _DECLINED = ("declined",)
+
+    def _numpy_state(self):
+        """Compute-once ``(array, valid_mask, all_valid, total, nulls)``.
+
+        ``valid_mask`` is False exactly where the slot holds the special
+        null ∅ (so one deleted slot no longer disqualifies the page);
+        ``total`` is the sum over non-∅ slots and ``nulls`` their slot
+        positions, both amortised here so scans need no per-call NumPy
+        reductions. The verdict — positive or negative — is cached
+        because the page is frozen and can never change again.
+        """
+        state = self._numpy_cache
+        if state is not None:
+            return None if state is Page._DECLINED else state
+        prefix = self._values[:self._num_written]
+        nulls: list[int] = []
+        for slot, value in enumerate(prefix):
+            if type(value) is not int:
+                if not is_null(value):
+                    with self._lock:
+                        if self._numpy_cache is None:
+                            self._numpy_cache = Page._DECLINED
+                    return None
+                nulls.append(slot)
+        valid = np.ones(len(prefix), dtype=bool)
+        if nulls:
+            array = np.asarray(
+                [0 if is_null(value) else value for value in prefix],
+                dtype=np.int64)
+            valid[nulls] = False
+        else:
+            array = np.asarray(prefix, dtype=np.int64)
+        state = (array, valid, not nulls, int(array.sum()), tuple(nulls))
+        with self._lock:
+            if self._numpy_cache is None:
+                self._numpy_cache = state
+            state = self._numpy_cache
+        return None if state is Page._DECLINED else state
+
     def as_numpy(self) -> np.ndarray | None:
         """Return a cached int64 view of a frozen all-int page.
 
-        Returns None when the page is mutable or holds non-integer
-        values (e.g. ∅ from deletions); callers then fall back to the
-        Python read path. This is the read-optimised representation that
-        gives columnar scans their bandwidth advantage (Table 8).
+        Returns None when the page is mutable or holds any non-integer
+        value (including ∅ from deletions); callers then fall back to
+        :meth:`as_numpy_masked` or the Python read path. This is the
+        read-optimised representation that gives columnar scans their
+        bandwidth advantage (Table 8).
         """
         if not self._frozen:
             return None
-        if self._numpy_cache is not None:
-            return self._numpy_cache
-        prefix = self._values[:self._num_written]
-        for value in prefix:
-            if type(value) is not int:
-                return None
-        with self._lock:
-            if self._numpy_cache is None:
-                self._numpy_cache = np.asarray(prefix, dtype=np.int64)
-        return self._numpy_cache
+        state = self._numpy_state()
+        if state is None or not state[2]:
+            return None
+        return state[0]
+
+    def as_numpy_masked(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Return a cached ``(values, valid_mask)`` int64 view.
+
+        Like :meth:`as_numpy` but ∅ slots are tolerated: they carry 0 in
+        ``values`` and False in ``valid_mask``, so a frozen page with a
+        few deleted records still serves the vectorised scan plane.
+        Returns None when the page is mutable or holds a value that is
+        neither int nor ∅ — both verdicts are cached on frozen pages
+        (frozen contents can never change), so repeated scans pay the
+        prefix inspection once instead of on every call.
+        """
+        if not self._frozen:
+            return None
+        state = self._numpy_state()
+        if state is None:
+            return None
+        return state[0], state[1]
+
+    def masked_total(self) -> tuple[int, tuple[int, ...]] | None:
+        """Cached ``(sum of non-∅ slots, ∅ slot positions)``.
+
+        The unfiltered-SUM scan consumes pages through this instead of
+        arrays: the reduction ran once at view-build time, so the scan
+        itself makes **no** NumPy calls — which matters under write
+        contention, where every NumPy call is a GIL round-trip the
+        writer threads can convoy on. None under the same conditions as
+        :meth:`as_numpy_masked`.
+        """
+        if not self._frozen:
+            return None
+        state = self._numpy_state()
+        if state is None:
+            return None
+        return state[3], state[4]
 
     # -- lineage -----------------------------------------------------------
 
@@ -285,6 +357,19 @@ class RowPage:
     def read_cell(self, slot: int, column: int) -> Any:
         """Return one cell of the row at *slot*."""
         return self.read_row(slot)[column]
+
+    def read_rows(self, first_slot: int = 0,
+                  last_slot: int | None = None) -> list[tuple | None]:
+        """Batched slice of rows in ``[first_slot, last_slot)``.
+
+        One list copy instead of a ``read_row`` call per slot — the
+        row-layout analogue of the columnar page's NumPy view. Unwritten
+        slots appear as None; callers skip them (a written row is an
+        immutable tuple, so sharing the references is safe).
+        """
+        if last_slot is None:
+            last_slot = self.capacity
+        return self._rows[first_slot:last_slot]
 
     def is_written(self, slot: int) -> bool:
         """True when *slot* holds a row."""

@@ -202,10 +202,12 @@ class Query:
         """SUM of *data_column* over keys in ``[start_key, end_key]``.
 
         A thin wrapper over the scan executor: the ordered primary
-        index narrows the candidates to the range (O(log N + k)), the
-        planner groups them into per-update-range partitions, and each
-        partition reads through the batched read path — in parallel
-        when the engine is configured with ``scan_parallelism > 1``.
+        index narrows the candidates to the range (O(log N + k)), and
+        small ranges fold the raw value stream dict-free
+        (:meth:`~repro.core.table.Table.read_latest_values` — no
+        executor framing, the span-16 hot path); ranges spanning many
+        partitions read through the batched read path in parallel when
+        the engine is configured with ``scan_parallelism > 1``.
         """
         rids = [rid for _, rid in
                 self.table.index.primary.range_items(start_key, end_key)]

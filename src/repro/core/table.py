@@ -21,7 +21,10 @@ This module implements Sections 2 and 3 of the paper:
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
 
 from ..errors import (DuplicateKeyError, InconsistentReadError,
                       KeyNotFoundError, RecordDeletedError,
@@ -63,6 +66,32 @@ class Deleted:
 
 #: Marker: the record's visible version is a delete.
 DELETED = Deleted()
+
+
+@dataclass
+class RangeColumnSlices:
+    """Whole-range column slices for the vectorised scan plane.
+
+    Produced by :meth:`Table.read_column_slices` for a clean merged
+    columnar range: ``columns`` maps each requested data column to a
+    ``(values, nulls)`` pair of NumPy arrays covering every range offset
+    (``values`` is int64 with 0 at ∅ slots, ``nulls`` is True exactly
+    there); ``valid`` marks the offsets whose base-page values are
+    authoritative for a latest-committed read (live record, no unmerged
+    tail activity, servable page); ``dirty`` lists the offsets a scan
+    must instead patch through the per-record walk (unmerged tail
+    records, pages that declined the NumPy view, Lemma-3 TPS
+    mismatches). ``valid`` and ``dirty`` never overlap, and together
+    they exclude tombstoned/deleted slots, so
+    ``vectorised(valid) + row-walk(dirty)`` covers the range exactly.
+    """
+
+    start_rid: int
+    size: int
+    columns: dict[int, tuple[np.ndarray, np.ndarray]]
+    valid: np.ndarray
+    rids: np.ndarray
+    dirty: list[int] = field(default_factory=list)
 
 
 def tps_applied(tps_rid: int, tail_rid: int) -> bool:
@@ -376,6 +405,11 @@ class TailSegment:
         with self._lock:
             return list(self._pages.keys())
 
+    def row_pages(self) -> list[RowPage]:
+        """Snapshot of the row-layout pages (batched row reads)."""
+        with self._lock:
+            return list(self._row_pages)
+
     def all_pages(self) -> list[Page | RowPage]:
         """Every page of the segment (epoch retirement of insert tails)."""
         with self._lock:
@@ -516,6 +550,13 @@ class UpdateRange:
         #: cost tracks the unmerged-update count (Figure 8).
         self.dirty_counts: dict[int, int] = {}
         self._dirty_lock = threading.Lock()
+        #: Vectorised-scan slice cache: data column → ``(chain, values,
+        #: nulls, declined)``. A chain is an immutable page tuple the
+        #: merge swaps atomically, so identity captures every value
+        #: change; entries rebuild lazily on the first scan after a
+        #: swap and the arrays are shared read-only across scans.
+        self.slice_cache: dict[int, tuple] = {}
+        self._rid_array: Any = None
         #: Set while the range sits in the merge queue (dedup).
         self.merge_pending = False
         self.lock = threading.Lock()
@@ -585,6 +626,15 @@ class UpdateRange:
         """Snapshot of offsets with at least one unmerged tail record."""
         with self._dirty_lock:
             return set(self.dirty_counts)
+
+    def rid_array(self) -> Any:
+        """Cached int64 array of this range's base RIDs (scan plane)."""
+        rids = self._rid_array
+        if rids is None:
+            rids = np.arange(self.start_rid, self.start_rid + self.size,
+                             dtype=np.int64)
+            self._rid_array = rids
+        return rids
 
 
 class Table:
@@ -1263,13 +1313,17 @@ class Table:
         """Batched :meth:`read_latest_fast` over many base RIDs.
 
         Groups *rids* by update range and serves *clean* records —
-        merged columnar ranges where the indirection is NULL or covered
-        by the range TPS — straight from the base/merged page chains:
-        one page-directory lookup per (range, column) instead of one
-        locate + chain resolution + dict/zip per record. Records with
-        live unmerged tail activity (and row-layout / unmerged ranges)
-        fall back to the per-record 2-hop walk, so the result agrees
-        with :meth:`read_latest_fast` on every rid.
+        those whose indirection is NULL or covered by the range TPS —
+        batched: merged columnar ranges read straight from the
+        base/merged page chains (one page-directory lookup per range
+        and column), merged row-layout ranges read whole-page row
+        slices (:meth:`~repro.core.page.RowPage.read_rows`), and
+        unmerged insert-only ranges read straight from the table-level
+        insert tails with one page-list snapshot per column — no chain
+        resolution at all for a never-updated record. Records with live
+        unmerged tail activity fall back to the per-record 2-hop walk,
+        so the result agrees with :meth:`read_latest_fast` on every
+        rid.
 
         Returns ``{rid: values | DELETED | None}``; raises
         :class:`~repro.errors.KeyNotFoundError` like the per-rid path
@@ -1300,10 +1354,13 @@ class Table:
             if update_range is None:
                 raise KeyNotFoundError(
                     "base rid %d not allocated" % group[0])
-            if not update_range.merged or self._layout is Layout.ROW:
-                for rid in group:
-                    results[rid] = self.read_latest_fast(rid, data_columns,
-                                                         txn_id)
+            if not update_range.merged:
+                self._read_unmerged_group(update_range, group,
+                                          data_columns, txn_id, results)
+                continue
+            if self._layout is Layout.ROW:
+                self._read_merged_rows_group(update_range, group,
+                                             data_columns, txn_id, results)
                 continue
             # Snapshot the TPS watermark BEFORE resolving the chains: a
             # concurrent merge swaps chains first and advances tps_rid
@@ -1352,6 +1409,731 @@ class Table:
                     results[rid] = self.read_latest_fast(rid, data_columns,
                                                          txn_id)
         return results
+
+    def _read_unmerged_group(self, update_range: UpdateRange,
+                             group: Sequence[int],
+                             data_columns: Sequence[int],
+                             txn_id: int | None,
+                             results: dict[int, Any]) -> None:
+        """Batched reads of an unmerged (insert-segment) range.
+
+        A never-updated record needs no chain resolution: its only
+        version lives in the table-level insert tails, so it is served
+        straight from those base pages — one page-list snapshot per
+        column instead of a locate + cell-by-cell read per record.
+        Records with any indirection (plus tombstones and compressed
+        regions) keep the exact per-record 2-hop walk.
+        """
+        segment = update_range.insert_range.segment
+        indirection = update_range.indirection
+        start_rid = update_range.start_rid
+        delta = start_rid - update_range.insert_range.start_rid
+        capacity = segment.page_capacity
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        row_layout = self._layout is Layout.ROW
+        if row_layout:
+            row_pages = segment.row_pages()
+            row_cache: dict[int, list] = {}
+        else:
+            physicals = [START_TIME_COLUMN, key_physical]
+            physicals.extend(NUM_METADATA_COLUMNS + column
+                             for column in data_columns)
+            page_lists = {physical: segment.pages_for_column(physical)
+                          for physical in dict.fromkeys(physicals)}
+
+            def cell(physical: int, insert_offset: int) -> Any:
+                pages = page_lists[physical]
+                page_index, slot = divmod(insert_offset, capacity)
+                if page_index >= len(pages):
+                    return NULL
+                value = pages[page_index].peek_slot(slot)
+                return NULL if value is UNWRITTEN else value
+
+        for rid in group:
+            offset = rid - start_rid
+            if indirection.read(offset) != NULL_RID:
+                results[rid] = self.read_latest_fast(rid, data_columns,
+                                                     txn_id)
+                continue
+            insert_offset = delta + offset
+            if insert_offset < segment.compressed_upto \
+                    or segment.is_tombstone(insert_offset):
+                # Compressed region (never for live insert tails) or an
+                # aborted insert: the per-record path owns the edge
+                # cases, including the KeyNotFoundError contract.
+                results[rid] = self.read_latest_fast(rid, data_columns,
+                                                     txn_id)
+                continue
+            if row_layout:
+                page_index, slot = divmod(insert_offset, capacity)
+                rows = row_cache.get(page_index)
+                if rows is None:
+                    rows = row_cache[page_index] = \
+                        row_pages[page_index].read_rows() \
+                        if page_index < len(row_pages) else []
+                row = rows[slot] if slot < len(rows) else None
+                if row is None:
+                    raise KeyNotFoundError(
+                        "base rid %d has no record" % rid)
+                start_cell = row[START_TIME_COLUMN]
+                key_value = row[key_physical]
+            else:
+                start_cell = cell(START_TIME_COLUMN, insert_offset)
+                if is_null(start_cell):
+                    raise KeyNotFoundError(
+                        "base rid %d has no record" % rid)
+                key_value = cell(key_physical, insert_offset)
+            own_write = txn_id is not None \
+                and start_cell == (TXN_ID_FLAG | txn_id)
+            if (not own_write
+                    and self.committed_time(start_cell) is None) \
+                    or is_null(key_value):
+                results[rid] = None
+                continue
+            if row_layout:
+                results[rid] = {column: row[NUM_METADATA_COLUMNS + column]
+                                for column in data_columns}
+            else:
+                results[rid] = {
+                    column: cell(NUM_METADATA_COLUMNS + column,
+                                 insert_offset)
+                    for column in data_columns
+                }
+
+    def _read_merged_rows_group(self, update_range: UpdateRange,
+                                group: Sequence[int],
+                                data_columns: Sequence[int],
+                                txn_id: int | None,
+                                results: dict[int, Any]) -> None:
+        """Batched reads of a merged row-layout range.
+
+        Clean records read whole-page row slices
+        (:meth:`~repro.core.page.RowPage.read_rows`) from the merged
+        chain — one list copy per page instead of a chain resolution
+        and read_row call per record. The TPS watermark is snapshotted
+        *before* the chain resolves (the PR-1 rule), so a concurrent
+        merge can only cause harmless fallbacks, never a stale "clean"
+        read.
+        """
+        tps = update_range.tps_rid
+        tombstones = set(update_range.base_tombstones)
+        chain = self.page_directory.base_chain(update_range.range_id,
+                                               ROW_CHAIN_COLUMN)
+        if chain is None:  # mid-install: the per-record walk is safe
+            for rid in group:
+                results[rid] = self.read_latest_fast(rid, data_columns,
+                                                     txn_id)
+            return
+        indirection = update_range.indirection
+        start_rid = update_range.start_rid
+        records_per_page = self._records_per_page
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        row_cache: dict[int, list] = {}
+        for rid in group:
+            offset = rid - start_rid
+            ind = indirection.read(offset)
+            if (ind != NULL_RID and not tps_applied(tps, ind)) \
+                    or offset in tombstones:
+                results[rid] = self.read_latest_fast(rid, data_columns,
+                                                     txn_id)
+                continue
+            page_index, slot = divmod(offset, records_per_page)
+            rows = row_cache.get(page_index)
+            if rows is None:
+                rows = row_cache[page_index] = chain[page_index].read_rows()
+            row = rows[slot] if slot < len(rows) else None
+            if row is None:
+                results[rid] = self.read_latest_fast(rid, data_columns,
+                                                     txn_id)
+                continue
+            if is_null(row[key_physical]):
+                results[rid] = DELETED if ind != NULL_RID else None
+                continue
+            results[rid] = {column: row[NUM_METADATA_COLUMNS + column]
+                            for column in data_columns}
+
+    def read_latest_values(self, rids: Sequence[int], data_column: int,
+                           txn_id: int | None = None) -> list[Any]:
+        """Latest-committed values of one column, dict-free.
+
+        The keyed-aggregate hot path (``Query.sum`` over a small key
+        range): same visibility classification as
+        :meth:`read_latest_many`, but invisible and deleted records are
+        simply skipped and each visible value is appended raw — no
+        ``{column: value}`` framing, no zip, no per-record result dict.
+        Values may include ∅ (a visible record whose column was never
+        materialised); callers skip those like any other ∅.
+        """
+        if not self.config.batched_reads:
+            values: list[Any] = []
+            for rid in rids:
+                result = self.read_latest_fast(rid, (data_column,), txn_id)
+                if result is None or result is DELETED:
+                    continue
+                values.append(result[data_column])
+            return values
+        range_size = self.config.update_range_size
+        groups: dict[int, list[int]] = {}
+        for rid in rids:
+            if not is_base_rid(rid):
+                raise StorageError("%d is not a base RID" % rid)
+            groups.setdefault((rid - 1) // range_size, []).append(rid)
+        records_per_page = self._records_per_page
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        physical = NUM_METADATA_COLUMNS + data_column
+        directory = self.page_directory
+        values = []
+        for range_id, group in groups.items():
+            update_range = self.ranges.get(range_id)
+            if update_range is None:
+                raise KeyNotFoundError(
+                    "base rid %d not allocated" % group[0])
+            if not update_range.merged:
+                self._unmerged_values(update_range, group, data_column,
+                                      txn_id, values)
+                continue
+            if self._layout is Layout.ROW:
+                self._merged_row_values(update_range, group, data_column,
+                                        txn_id, values)
+                continue
+            # Snapshot the TPS before resolving chains (the PR-1 rule).
+            tps = update_range.tps_rid
+            tombstones = set(update_range.base_tombstones)
+            key_chain = directory.base_chain(range_id, key_physical)
+            data_chain = directory.base_chain(range_id, physical)
+            indirection = update_range.indirection
+            start_rid = update_range.start_rid
+            for rid in group:
+                offset = rid - start_rid
+                ind = indirection.read(offset)
+                page_index, slot = divmod(offset, records_per_page)
+                dirty = (ind != NULL_RID and not tps_applied(tps, ind)) \
+                    or offset in tombstones \
+                    or data_chain[page_index].tps_rid \
+                    != key_chain[page_index].tps_rid  # Lemma 3
+                if dirty:
+                    if txn_id is None and offset not in tombstones:
+                        # The allocation-free single-column walk — no
+                        # per-record dict for the patch path either.
+                        value = self.latest_column_value(update_range,
+                                                         offset,
+                                                         data_column)
+                        if value is not None and value is not DELETED:
+                            values.append(value)
+                        continue
+                    result = self.read_latest_fast(rid, (data_column,),
+                                                   txn_id)
+                    if result is None or result is DELETED:
+                        continue
+                    values.append(result[data_column])
+                    continue
+                key_page = key_chain[page_index]
+                if is_null(key_page.read_slot(slot)):
+                    continue  # merged delete or hole
+                values.append(data_chain[page_index].read_slot(slot))
+        return values
+
+    def _unmerged_values(self, update_range: UpdateRange,
+                         group: Sequence[int], data_column: int,
+                         txn_id: int | None, values: list[Any]) -> None:
+        """Dict-free single-column reads of an unmerged range.
+
+        Never-updated records read one cell straight from the insert
+        tails (page lists hoisted once); updated records take the
+        allocation-free :meth:`latest_column_value` walk (the exact
+        per-record fallback when *txn_id* is given). Invisible and
+        deleted records are skipped, like every value reader.
+        """
+        segment = update_range.insert_range.segment
+        indirection = update_range.indirection
+        start_rid = update_range.start_rid
+        delta = start_rid - update_range.insert_range.start_rid
+        capacity = segment.page_capacity
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        physical = NUM_METADATA_COLUMNS + data_column
+        row_layout = self._layout is Layout.ROW
+        if row_layout:
+            row_pages = segment.row_pages()
+            row_cache: dict[int, list] = {}
+        else:
+            page_lists = {
+                column: segment.pages_for_column(column)
+                for column in (START_TIME_COLUMN, key_physical, physical)
+            }
+
+            def cell(column: int, insert_offset: int) -> Any:
+                pages = page_lists[column]
+                page_index, slot = divmod(insert_offset, capacity)
+                if page_index >= len(pages):
+                    return NULL
+                value = pages[page_index].peek_slot(slot)
+                return NULL if value is UNWRITTEN else value
+
+        for rid in group:
+            offset = rid - start_rid
+            if indirection.read(offset) != NULL_RID:
+                if txn_id is None:
+                    value = self.latest_column_value(update_range, offset,
+                                                     data_column)
+                    if value is not None and value is not DELETED:
+                        values.append(value)
+                    continue
+                result = self.read_latest_fast(rid, (data_column,), txn_id)
+                if result is not None and result is not DELETED:
+                    values.append(result[data_column])
+                continue
+            insert_offset = delta + offset
+            if insert_offset < segment.compressed_upto \
+                    or segment.is_tombstone(insert_offset):
+                result = self.read_latest_fast(rid, (data_column,), txn_id)
+                if result is not None and result is not DELETED:
+                    values.append(result[data_column])
+                continue
+            if row_layout:
+                page_index, slot = divmod(insert_offset, capacity)
+                rows = row_cache.get(page_index)
+                if rows is None:
+                    rows = row_cache[page_index] = \
+                        row_pages[page_index].read_rows() \
+                        if page_index < len(row_pages) else []
+                row = rows[slot] if slot < len(rows) else None
+                if row is None:
+                    raise KeyNotFoundError(
+                        "base rid %d has no record" % rid)
+                start_cell = row[START_TIME_COLUMN]
+                key_value = row[key_physical]
+            else:
+                start_cell = cell(START_TIME_COLUMN, insert_offset)
+                if is_null(start_cell):
+                    raise KeyNotFoundError(
+                        "base rid %d has no record" % rid)
+                key_value = cell(key_physical, insert_offset)
+            own_write = txn_id is not None \
+                and start_cell == (TXN_ID_FLAG | txn_id)
+            if (not own_write
+                    and self.committed_time(start_cell) is None) \
+                    or is_null(key_value):
+                continue
+            values.append(row[physical] if row_layout
+                          else cell(physical, insert_offset))
+
+    def _merged_row_values(self, update_range: UpdateRange,
+                           group: Sequence[int], data_column: int,
+                           txn_id: int | None,
+                           values: list[Any]) -> None:
+        """Dict-free single-column reads of a merged row-layout range.
+
+        Large groups (full-range scans) classify clean/dirty through
+        one dirty patch-set snapshot — a set lookup per record instead
+        of an indirection read + TPS compare, and over-patching is
+        always safe (the walk is exact). Small keyed groups keep the
+        per-record indirection check, which beats snapshotting a
+        potentially large patch-set for a handful of rids.
+        """
+        tps = update_range.tps_rid
+        tombstones = set(update_range.base_tombstones)
+        patch = self._scan_patch_offsets(update_range) \
+            if len(group) * 4 >= update_range.size else None
+        chain = self.page_directory.base_chain(update_range.range_id,
+                                               ROW_CHAIN_COLUMN)
+        indirection = update_range.indirection
+        start_rid = update_range.start_rid
+        records_per_page = self._records_per_page
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        physical = NUM_METADATA_COLUMNS + data_column
+        row_cache: dict[int, list] = {}
+        for rid in group:
+            offset = rid - start_rid
+            if patch is not None:
+                dirty = offset in patch or offset in tombstones
+            else:
+                ind = indirection.read(offset)
+                dirty = (ind != NULL_RID and not tps_applied(tps, ind)) \
+                    or offset in tombstones
+            row = None
+            if chain is not None and not dirty:
+                page_index, slot = divmod(offset, records_per_page)
+                rows = row_cache.get(page_index)
+                if rows is None:
+                    rows = row_cache[page_index] = \
+                        chain[page_index].read_rows()
+                row = rows[slot] if slot < len(rows) else None
+            if row is None:  # dirty, tombstone, or mid-install chain
+                if txn_id is None and offset not in tombstones:
+                    value = self.latest_column_value(update_range, offset,
+                                                     data_column)
+                    if value is not None and value is not DELETED:
+                        values.append(value)
+                    continue
+                result = self.read_latest_fast(rid, (data_column,), txn_id)
+                if result is not None and result is not DELETED:
+                    values.append(result[data_column])
+                continue
+            if is_null(row[key_physical]):
+                continue  # merged delete or hole
+            values.append(row[physical])
+
+    def read_range_values(self, update_range: UpdateRange,
+                          data_column: int,
+                          txn_id: int | None = None) -> list[Any]:
+        """Dict-free single-column values of one whole update range.
+
+        The row plane's full-range driver for single-column aggregates
+        (row layout, unmerged insert ranges, vectorisation off): no rid
+        lists, no per-rid grouping — one offset loop with patch-set
+        classification (a set lookup per record; over-patching is safe
+        because the walk is exact), base values read straight from the
+        hoisted pages/rows, dirty records through the
+        :meth:`latest_column_value` walk. Invisible, deleted, and
+        never-written slots are skipped.
+        """
+        values: list[Any] = []
+        if not update_range.merged:
+            self._unmerged_range_values(update_range, data_column, txn_id,
+                                        values)
+            return values
+        if self._layout is Layout.ROW:
+            self._merged_row_range_values(update_range, data_column,
+                                          txn_id, values)
+            return values
+        # Merged columnar without slices (vectorisation off/declined).
+        patch = self._scan_patch_offsets(update_range)
+        tombstones = update_range.base_tombstones
+        directory = self.page_directory
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        key_chain = directory.base_chain(update_range.range_id,
+                                         key_physical)
+        data_chain = directory.base_chain(
+            update_range.range_id, NUM_METADATA_COLUMNS + data_column)
+        records_per_page = self._records_per_page
+        for offset in range(update_range.size):
+            if offset in tombstones:
+                continue
+            page_index, slot = divmod(offset, records_per_page)
+            walk = offset in patch or key_chain is None \
+                or data_chain is None \
+                or data_chain[page_index].tps_rid \
+                != key_chain[page_index].tps_rid  # Lemma 3
+            if walk:
+                self._append_walk_value(update_range, offset, data_column,
+                                        txn_id, values)
+                continue
+            if is_null(key_chain[page_index].read_slot(slot)):
+                continue  # merged delete or hole
+            values.append(data_chain[page_index].read_slot(slot))
+        return values
+
+    def _append_walk_value(self, update_range: UpdateRange, offset: int,
+                           data_column: int, txn_id: int | None,
+                           values: list[Any]) -> None:
+        """Append one record's visible value via the exact walk."""
+        if txn_id is None:
+            value = self.latest_column_value(update_range, offset,
+                                             data_column)
+            if value is not None and value is not DELETED:
+                values.append(value)
+            return
+        result = self.read_latest_fast(update_range.start_rid + offset,
+                                       (data_column,), txn_id)
+        if result is not None and result is not DELETED:
+            values.append(result[data_column])
+
+    def _merged_row_range_values(self, update_range: UpdateRange,
+                                 data_column: int, txn_id: int | None,
+                                 values: list[Any]) -> None:
+        """Full-range row-layout values: whole-page row slices."""
+        patch = self._scan_patch_offsets(update_range)
+        tombstones = update_range.base_tombstones
+        chain = self.page_directory.base_chain(update_range.range_id,
+                                               ROW_CHAIN_COLUMN)
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        physical = NUM_METADATA_COLUMNS + data_column
+        size = update_range.size
+        offset = 0
+        for page in chain if chain is not None else ():
+            for row in page.read_rows():
+                if offset >= size:
+                    return
+                current, offset = offset, offset + 1
+                if current in tombstones:
+                    continue
+                if current in patch or row is None:
+                    if row is None and current not in patch:
+                        continue  # never written
+                    self._append_walk_value(update_range, current,
+                                            data_column, txn_id, values)
+                    continue
+                if is_null(row[key_physical]):
+                    continue  # merged delete or hole
+                values.append(row[physical])
+        for current in range(offset, size):  # mid-install chain fallback
+            if current in tombstones:
+                continue
+            self._append_walk_value(update_range, current, data_column,
+                                    txn_id, values)
+
+    def _unmerged_range_values(self, update_range: UpdateRange,
+                               data_column: int, txn_id: int | None,
+                               values: list[Any]) -> None:
+        """Full-range values of an unmerged (insert-segment) range."""
+        patch = self._scan_patch_offsets(update_range)
+        segment = update_range.insert_range.segment
+        delta = update_range.start_rid - update_range.insert_range.start_rid
+        capacity = segment.page_capacity
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        physical = NUM_METADATA_COLUMNS + data_column
+        row_layout = self._layout is Layout.ROW
+        if row_layout:
+            row_pages = segment.row_pages()
+        else:
+            page_lists = {
+                column: segment.pages_for_column(column)
+                for column in (START_TIME_COLUMN, key_physical, physical)
+            }
+
+            def cell(column: int, insert_offset: int) -> Any:
+                pages = page_lists[column]
+                page_index, slot = divmod(insert_offset, capacity)
+                if page_index >= len(pages):
+                    return NULL
+                value = pages[page_index].peek_slot(slot)
+                return NULL if value is UNWRITTEN else value
+
+        for offset in range(update_range.size):
+            insert_offset = delta + offset
+            if offset in patch:
+                self._append_walk_value(update_range, offset, data_column,
+                                        txn_id, values)
+                continue
+            if insert_offset < segment.compressed_upto:
+                # Compressed region (never for live insert tails): the
+                # exact walk owns the edge case.
+                self._append_walk_value(update_range, offset, data_column,
+                                        txn_id, values)
+                continue
+            if segment.is_tombstone(insert_offset):
+                continue
+            if row_layout:
+                page_index, slot = divmod(insert_offset, capacity)
+                row = row_pages[page_index].read_row(slot) \
+                    if page_index < len(row_pages) \
+                    and row_pages[page_index].is_written(slot) else None
+                if row is None:
+                    continue  # never written
+                start_cell = row[START_TIME_COLUMN]
+                key_value = row[key_physical]
+            else:
+                start_cell = cell(START_TIME_COLUMN, insert_offset)
+                if is_null(start_cell):
+                    continue  # never written
+                key_value = cell(key_physical, insert_offset)
+            own_write = txn_id is not None \
+                and start_cell == (TXN_ID_FLAG | txn_id)
+            if (not own_write
+                    and self.committed_time(start_cell) is None) \
+                    or is_null(key_value):
+                continue
+            values.append(row[physical] if row_layout
+                          else cell(physical, insert_offset))
+
+    def read_column_slices(self, update_range: UpdateRange,
+                           data_columns: Sequence[int],
+                           ) -> RangeColumnSlices | None:
+        """Whole-range NumPy column slices for the vectorised scan plane.
+
+        Stitches each requested column's merged base pages into one
+        contiguous int64 array per column (plus a per-column ∅ mask)
+        and classifies every range offset as *valid* (the base value is
+        the latest committed version), *dirty* (unmerged tail activity,
+        a page that declined its NumPy view, or a Lemma-3 TPS mismatch
+        — patch through the per-record walk), or dead (tombstone /
+        merged delete). Returns None when the range cannot serve slices
+        at all: unmerged, row layout, or a missing chain.
+
+        The dirty patch-set and TPS watermarks are snapshotted *before*
+        any chain resolves (the PR-1 rule), so a concurrent merge can
+        only over-patch — records are then re-read through the
+        always-correct walk, never served stale. The stitched value
+        arrays themselves are cached per (range, column) keyed on chain
+        identity (:attr:`UpdateRange.slice_cache`) — chains are
+        immutable tuples the merge swaps atomically, so a scan in the
+        steady state pays only the per-scan validity/dirty masks, not a
+        re-copy of every page.
+        """
+        if not update_range.merged or self._layout is Layout.ROW:
+            return None
+        patch = self._scan_patch_offsets(update_range)
+        tombstones = set(update_range.base_tombstones)
+        size = update_range.size
+        records_per_page = self._records_per_page
+        directory = self.page_directory
+        range_id = update_range.range_id
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        key_chain = directory.base_chain(range_id, key_physical)
+        if key_chain is None:
+            return None
+        chains = {}
+        for data_column in data_columns:
+            chain = directory.base_chain(
+                range_id, NUM_METADATA_COLUMNS + data_column)
+            if chain is None:
+                return None
+            chains[data_column] = chain
+        key_entry = self._column_slice(
+            update_range, self.schema.key_index, key_chain,
+            liveness_fallback=True)
+        valid = ~key_entry[2]  # fresh array; cached arrays stay read-only
+        columns = {}
+        for data_column in data_columns:
+            entry = self._column_slice(update_range, data_column,
+                                       chains[data_column])
+            columns[data_column] = (entry[1], entry[2])
+            patch.update(entry[3])
+        # Lemma 3 cross-column check against the *current* in-page TPS
+        # (a decoupled per-column merge swaps some chains before
+        # others): any mismatched page's records are patched instead.
+        for page_index, key_page in enumerate(key_chain):
+            seen_tps = key_page.tps_rid
+            for data_column in data_columns:
+                if chains[data_column][page_index].tps_rid != seen_tps:
+                    start = page_index * records_per_page
+                    patch.update(range(start, start + records_per_page))
+                    break
+        if tombstones:
+            valid[list(tombstones)] = False
+            patch.difference_update(tombstones)
+        dirty = sorted(offset for offset in patch if offset < size)
+        if dirty:
+            valid[dirty] = False
+        return RangeColumnSlices(start_rid=update_range.start_rid,
+                                 size=size, columns=columns,
+                                 valid=valid, rids=update_range.rid_array(),
+                                 dirty=dirty)
+
+    def _column_slice(self, update_range: UpdateRange, data_column: int,
+                      chain: tuple, *, liveness_fallback: bool = False,
+                      ) -> tuple:
+        """One column's cached stitch:
+        ``(chain, values, nulls, declined)``.
+
+        Rebuilds only when the directory serves a different chain tuple
+        than the cached one (i.e. after a merge swap); the merge's
+        in-place lineage advance on untouched columns changes no
+        values, so identity is a sufficient key. ``declined`` holds the
+        offsets of pages without a NumPy view (non-int values) — their
+        slice bytes are placeholders and every record on them must be
+        patched per-record. *liveness_fallback* (the key column) fills
+        the ∅ mask with a Python pass over declining pages, so record
+        liveness stays available even for non-int key domains.
+
+        The returned arrays are shared across scans: callers must treat
+        them as read-only.
+        """
+        cached = update_range.slice_cache.get(data_column)
+        if cached is not None and cached[0] is chain:
+            return cached
+        size = update_range.size
+        records_per_page = self._records_per_page
+        values = np.zeros(size, dtype=np.int64)
+        nulls = np.zeros(size, dtype=bool)
+        declined: set[int] = set()
+        for page_index, page in enumerate(chain):
+            start = page_index * records_per_page
+            state = page.as_numpy_masked() \
+                if hasattr(page, "as_numpy_masked") else None
+            if state is not None:
+                array, page_valid = state
+                end = start + len(array)
+                values[start:end] = array
+                nulls[start:end] = ~page_valid
+                continue
+            declined.update(
+                range(start, min(start + records_per_page, size)))
+            if liveness_fallback:
+                for slot in range(page.num_records):
+                    nulls[start + slot] = is_null(page.read_slot(slot))
+        entry = (chain, values, nulls, frozenset(declined))
+        # Plain dict store: entries are immutable and the build is a
+        # pure function of the chain, so a racing rebuild is benign.
+        update_range.slice_cache[data_column] = entry
+        return entry
+
+    def read_range_column_total(self, update_range: UpdateRange,
+                                data_column: int,
+                                ) -> tuple[int, list[int]] | None:
+        """Unfiltered SUM of one merged columnar range, page-total wise.
+
+        Returns ``(clean_total, dirty_offsets)``: the sum of the
+        column's base values over every live, clean record — computed
+        from the per-page cached totals
+        (:meth:`~repro.core.page.Page.masked_total`) minus the
+        contributions of dirty/tombstoned/∅-key records — plus the
+        offsets the caller must patch through the per-record walk.
+        None when the range cannot serve the fast path (unmerged, row
+        layout, missing chain).
+
+        This is the scan executor's hot path for ``Table.scan_sum``:
+        the reductions ran once at page-view build time, so the steady
+        state makes **zero** NumPy calls — under write contention every
+        NumPy call is a GIL round-trip the updater threads convoy on,
+        and this keeps scan cost proportional to the unmerged-update
+        count (Figure 8), not to kernel-launch overhead. Pages without
+        a view and Lemma-3 TPS mismatches degrade to the per-record
+        walk, page by page. The dirty patch-set and TPS watermarks are
+        snapshotted before chain resolution (the PR-1 rule), so racing
+        merges can only over-patch.
+        """
+        if not update_range.merged or self._layout is Layout.ROW:
+            return None
+        patch = self._scan_patch_offsets(update_range)
+        tombstones = update_range.base_tombstones
+        size = update_range.size
+        records_per_page = self._records_per_page
+        directory = self.page_directory
+        range_id = update_range.range_id
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        key_chain = directory.base_chain(range_id, key_physical)
+        data_chain = directory.base_chain(
+            range_id, NUM_METADATA_COLUMNS + data_column)
+        if key_chain is None or data_chain is None:
+            return None
+        total = 0
+        dead: set[int] = set(tombstones)
+        skip_correction: set[int] = set()
+        for page_index, page in enumerate(key_chain):
+            start = page_index * records_per_page
+            data_page = data_chain[page_index]
+            key_total = page.masked_total() \
+                if hasattr(page, "masked_total") else None
+            data_total = data_page.masked_total() \
+                if hasattr(data_page, "masked_total") else None
+            if data_total is None or data_page.tps_rid != page.tps_rid:
+                # No NumPy view (non-int values) or Lemma 3 fired: the
+                # page's total is never added, so its records go to the
+                # walk without a correction.
+                span = range(start, min(start + records_per_page, size))
+                patch.update(span)
+                skip_correction.update(span)
+                continue
+            total += data_total[0]
+            if key_total is not None:
+                # ∅ keys are merged deletes / holes: subtract below.
+                dead.update(start + slot for slot in key_total[1])
+            else:
+                # Non-int key domain: a Python liveness pass.
+                for slot in range(page.num_records):
+                    if is_null(page.read_slot(slot)):
+                        dead.add(start + slot)
+        dirty = sorted(offset for offset in patch
+                       if offset < size and offset not in tombstones)
+        for offset in dead.union(dirty):
+            if offset in skip_correction:
+                continue
+            page = data_chain[offset // records_per_page]
+            value = page.read_slot(offset % records_per_page)
+            if not is_null(value):
+                total -= value
+        return total, dirty
 
     def read_latest(self, rid: int,
                     data_columns: Sequence[int] | None = None,
@@ -1736,11 +2518,13 @@ class Table:
         """Latest committed value of one column (scan patch fast path).
 
         Returns the value, :data:`DELETED`, or None when no version is
-        visible. Allocation-free: raw encoding ints, no predicates.
-        With cumulative updates (the default) the walk stops at the
-        first committed regular record — its bitmap covers every column
-        updated since the last merge, so a missing bit proves the base
-        (merged) page already holds the latest committed value.
+        visible. Allocation-free: raw encoding ints, no predicates, no
+        per-record dict — this is how the vectorised plane patches its
+        dirty offsets for single-column aggregates. With cumulative
+        updates (the default) the walk stops at the first committed
+        regular record — its bitmap covers every column updated since
+        the last merge, so a missing bit proves the base (merged) page
+        already holds the latest committed value.
         """
         num_columns = self.schema.num_columns
         mask = (1 << num_columns) - 1
@@ -1773,8 +2557,7 @@ class Table:
         if self.committed_time(self._read_base_cell(
                 update_range, offset, START_TIME_COLUMN)) is None:
             return None
-        value = self._read_base_cell(update_range, offset, physical)
-        return value
+        return self._read_base_cell(update_range, offset, physical)
 
     def read_relative_version(self, rid: int,
                               data_columns: Sequence[int] | None,
@@ -1798,42 +2581,24 @@ class Table:
     # ------------------------------------------------------------------
 
     def scan_sum(self, data_column: int,
-                 predicate: VisibilityPredicate | None = None,
                  as_of: int | None = None) -> int:
-        """SUM over every visible record's *data_column*.
+        """SUM over every visible record's *data_column* (Section 6).
 
         Routed through the analytical scan executor: one partition per
-        update range, each running :meth:`scan_range_sum` under its own
-        epoch registration, serially or on the shared worker pool
-        (``config.scan_parallelism``). The per-range fast path sums
-        read-only base pages through their NumPy views and patches only
-        the records whose tail chains carry newer-than-TPS versions —
-        so the cost grows with the number of unmerged tail records,
-        which is exactly the effect Figure 8 measures.
+        update range, each running under its own epoch registration,
+        serially or on the shared worker pool
+        (``config.scan_parallelism``). Clean merged partitions run on
+        the vectorised column-slice plane
+        (``config.vectorized_scans``): whole NumPy slices summed
+        array-at-a-time with only dirty records patched through the
+        per-record walk — so scan cost grows with the number of
+        unmerged tail records, which is exactly the effect Figure 8
+        measures. *as_of* scans walk each record's lineage instead
+        (always correct, per Theorem 2).
         """
-        from ..exec.executor import scan_column_sum
-        return scan_column_sum(self, data_column, predicate, as_of)
-
-    def scan_range_sum(self, update_range: UpdateRange, data_column: int,
-                       predicate: VisibilityPredicate | None = None,
-                       as_of: int | None = None) -> int:
-        """Partition-level SUM over one update range (executor unit).
-
-        The caller is responsible for epoch registration (the executor
-        brackets each partition); the dirty-set snapshot happens inside,
-        before any page chain is resolved.
-        """
-        from .version import visible_as_of
-        fast = predicate is None and as_of is None
-        if predicate is None:
-            predicate = visible_as_of(as_of) if as_of is not None \
-                else visible_latest_committed
-        if update_range.merged:
-            physical = self.schema.physical_index(data_column)
-            return self._scan_merged_range(update_range, data_column,
-                                           physical, predicate, as_of, fast)
-        return self._scan_unmerged_range(update_range, data_column,
-                                         predicate, fast)
+        from ..exec.executor import execute_scan
+        from ..exec.operators import ColumnSum
+        return execute_scan(self, ColumnSum(data_column), as_of=as_of)
 
     def _tail_patch_offsets(self, update_range: UpdateRange,
                             since_offset: int) -> set[int]:
@@ -1856,117 +2621,6 @@ class Table:
             return update_range.dirty_offsets()
         return self._tail_patch_offsets(update_range,
                                         update_range.merged_upto)
-
-    def _scan_merged_range(self, update_range: UpdateRange, data_column: int,
-                           physical: int, predicate: VisibilityPredicate,
-                           as_of: int | None, fast: bool) -> int:
-        # Snapshot the patch-set BEFORE resolving the page chain: the
-        # merge swaps chains first and advances merged_upto / prunes the
-        # dirty set afterwards, so this order can only over-patch
-        # (harmless) — the reverse order could pair a pruned patch-set
-        # with the pre-merge chain and drop consolidated updates from
-        # the total (a torn scan).
-        patch = self._scan_patch_offsets(update_range)
-        chain = self._base_chain(update_range, physical)
-        if as_of is not None:
-            patch.update(self._post_snapshot_offsets(update_range, as_of))
-        total = 0
-        records_per_page = self.config.records_per_page
-        if self.layout is Layout.ROW:
-            for offset in range(update_range.size):
-                page = chain[offset // records_per_page]
-                value = page.read_cell(offset % records_per_page, physical)
-                if offset in patch:
-                    continue
-                if not is_null(value):
-                    total += value
-        else:
-            for page in chain:
-                array = page.as_numpy()
-                if array is not None:
-                    total += int(array.sum())
-                    continue
-                for value in page.iter_values():
-                    if not is_null(value):
-                        total += value
-            # Subtract base contributions of patched records.
-            for offset in patch:
-                page = chain[offset // records_per_page]
-                value = page.read_slot(offset % records_per_page)
-                if not is_null(value):
-                    total -= value
-        for offset in patch:
-            if fast:
-                value = self.latest_column_value(update_range, offset,
-                                                 data_column)
-                if value is None or value is DELETED or is_null(value):
-                    continue
-                total += value
-                continue
-            rid = update_range.start_rid + offset
-            visible = self.assemble_version(rid, (data_column,), predicate)
-            if visible is None or visible is DELETED:
-                continue
-            value = visible[data_column]
-            if not is_null(value):
-                total += value
-        return total
-
-    def _post_snapshot_offsets(self, update_range: UpdateRange,
-                               as_of: int) -> set[int]:
-        """Offsets whose merged state is newer than *as_of* (re-walk)."""
-        affected: set[int] = set()
-        for offset in range(update_range.size):
-            last_updated = self._read_base_cell(update_range, offset,
-                                                LAST_UPDATED_COLUMN)
-            resolved = self.resolve_cell(last_updated)
-            if not resolved.committed or resolved.time is None \
-                    or resolved.time > as_of:
-                affected.add(offset)
-        return affected
-
-    def _scan_unmerged_range(self, update_range: UpdateRange,
-                             data_column: int,
-                             predicate: VisibilityPredicate,
-                             fast: bool) -> int:
-        segment = update_range.insert_range.segment
-        physical = self.schema.physical_index(data_column)
-        total = 0
-        indirection = update_range.indirection
-        for offset in range(update_range.size):
-            insert_offset = update_range.insert_offset(offset)
-            if not segment.record_written(insert_offset):
-                continue
-            if segment.is_tombstone(insert_offset):
-                continue
-            if fast:
-                if indirection.read(offset) != NULL_RID:
-                    value = self.latest_column_value(update_range, offset,
-                                                     data_column)
-                    if value is None or value is DELETED or is_null(value):
-                        continue
-                    total += value
-                    continue
-                if self.committed_time(segment.record_cell(
-                        insert_offset, START_TIME_COLUMN)) is None:
-                    continue
-                value = segment.record_cell(insert_offset, physical)
-                if not is_null(value):
-                    total += value
-                continue
-            rid = update_range.start_rid + offset
-            if indirection.read(offset) != NULL_RID:
-                visible = self.assemble_version(rid, (data_column,),
-                                                predicate)
-            else:
-                visible = self._read_base_version(update_range, offset,
-                                                  (data_column,), predicate)
-            if visible is None or visible is DELETED:
-                continue
-            value = visible[data_column]
-            if not is_null(value):
-                total += value
-        return total
 
     def scan_records(self, data_columns: Sequence[int] | None = None,
                      predicate: VisibilityPredicate | None = None,

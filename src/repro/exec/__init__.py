@@ -5,7 +5,8 @@ storage that serves OLTP (PAPER.md Section 4). This package turns the
 ad-hoc scan walks of :mod:`repro.core.table` into a planned pipeline:
 
 * :mod:`repro.exec.plan` — a **partition planner** that splits a scan
-  into independent units along update-range / insert-range boundaries;
+  into independent units along update-range / insert-range boundaries
+  and classifies each full-range partition vectorised or row-path;
 * :mod:`repro.exec.operators` — **pluggable operators**: predicate
   filters plus sum/count/min/max/avg and single-column group-by
   aggregates, each with a deterministic combine step;
@@ -13,13 +14,39 @@ ad-hoc scan walks of :mod:`repro.core.table` into a planned pipeline:
   serially or on a shared worker pool
   (:attr:`~repro.core.config.EngineConfig.scan_parallelism`).
 
+Execution follows a **two-plane model**:
+
+* The **vectorised plane** serves clean, merged, columnar partitions
+  (behind :attr:`~repro.core.config.EngineConfig.vectorized_scans`):
+  the storage layer stitches each scanned column into one contiguous
+  NumPy slice with a validity mask built from the incremental
+  dirty-offset patch-sets and tombstones
+  (:meth:`~repro.core.table.Table.read_column_slices`); filters run as
+  boolean mask arrays (``Filter.vector``/``Filter.mask``) and
+  aggregates fold the masked slices array-at-a-time
+  (``Aggregate.fold_columns``) — this is the read-optimised columnar
+  consumption the paper's Table 8 bandwidth argument depends on, and
+  the NumPy kernels release the GIL, so ``scan_parallelism`` pays off
+  on stock CPython.
+* The **row plane** is the always-correct fallback: per-record
+  ``(rid, {column: value})`` streams through the batched read paths.
+  It is chosen per partition (row layout, unmerged insert ranges,
+  keyed small-range plans, time-travel predicates, operators without a
+  vector form) and per record (the *dirty* offsets of a vectorised
+  partition — unmerged tail activity, pages declining their NumPy
+  view — are patched through it).
+
+Both planes share aggregate state machines, so results are identical
+by construction wherever both apply; CI pins this with an agreement
+matrix over ``vectorized_scans`` on/off × ``scan_parallelism`` 1/4.
+
 The package deliberately never imports :mod:`repro.core.table` at
 module scope from the core side: ``Table`` reaches the executor through
 lazy imports, so the layering stays core → exec one-directional at
 import time.
 """
 
-from .executor import ScanExecutor, execute_scan, scan_column_sum
+from .executor import ScanExecutor, execute_scan
 from .operators import (Aggregate, CollectRows, ColumnAvg, ColumnCount,
                         ColumnMax, ColumnMin, ColumnSum, Filter, GroupBy,
                         between, eq, ge, gt, le, lt, ne)
@@ -46,5 +73,4 @@ __all__ = [
     "lt",
     "ne",
     "plan_scan",
-    "scan_column_sum",
 ]

@@ -7,18 +7,31 @@ partitions ride the batched point-read discipline instead — see
 ``_run_partition``), and combines the partial states deterministically
 in partition order.
 
-``scan_column_sum`` is the specialised full-column SUM driver that
-keeps the NumPy page-sum fast path of the pre-executor ``scan_sum``:
-each partition delegates to :meth:`~repro.core.table.Table.scan_range_sum`,
-which snapshots the range's dirty set before resolving page chains.
+Each partition executes on one of **two planes**:
+
+* the **vectorised plane** — a partition the planner marked clean
+  (merged, columnar, ``EngineConfig.vectorized_scans``) materialises
+  whole NumPy column slices once
+  (:meth:`~repro.core.table.Table.read_column_slices`); filters become
+  boolean mask arrays, the aggregate folds the masked slices
+  array-at-a-time, and only the *dirty* records (unmerged tail
+  activity) are patched through the per-record walk;
+* the **row plane** — everything else (row layout, unmerged insert
+  ranges, keyed small-range plans, time-travel predicates, operators
+  without a vector form, pages declining their NumPy view) streams
+  ``(rid, {column: value})`` rows through the batched read path.
+
+Both planes share aggregate states, so a scan freely mixes them across
+(and within) partitions and the per-partition partials still combine
+deterministically.
 
 Parallel execution uses plain threads. Under the GIL this is
-correctness-safe and still wins on the NumPy page sums (which release
-the GIL); on free-threaded builds the partitions genuinely overlap.
-Per the paper's epoch discipline (Section 4.1.1) every partition
-registers with the epoch manager *before* resolving any page chain, so
-a concurrent merge can retire pages but never reclaim them under a
-running partition.
+correctness-safe and wins wherever the GIL is released — which the
+vectorised plane's NumPy kernels do; on free-threaded builds the row
+plane overlaps too. Per the paper's epoch discipline (Section 4.1.1)
+every partition registers with the epoch manager *before* resolving
+any page chain, so a concurrent merge can retire pages but never
+reclaim them under a running partition.
 """
 
 from __future__ import annotations
@@ -28,7 +41,7 @@ from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
-from .operators import Aggregate, Filter, matches_all
+from .operators import Aggregate, ColumnSum, Filter, matches_all
 from .plan import ScanPartition, plan_scan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -162,7 +175,7 @@ def _iter_range_rows(table: "Table", partition: ScanPartition,
 def _run_partition(table: "Table", partition: ScanPartition,
                    aggregate: Aggregate, filters: Sequence[Filter],
                    columns: tuple[int, ...], as_of: int | None,
-                   txn_id: int | None) -> Any:
+                   txn_id: int | None, vector_ok: bool = False) -> Any:
     """Execute one partition.
 
     Full-range partitions register their own query epoch (the paper's
@@ -173,15 +186,53 @@ def _run_partition(table: "Table", partition: ScanPartition,
     chains, and already-resolved chains keep their pages alive — so
     skipping the epoch keeps small key-range queries as cheap as the
     pre-executor read loop.
+
+    *vector_ok* is ``execute_scan``'s verdict that the operators can
+    run vectorised; combined with the planner's partition mark it
+    selects the column-slice plane, with a run-time fallback to the row
+    plane when the range cannot serve slices after all.
     """
     epoch = None if partition.is_keyed \
         else table.epoch_manager.enter_query(table.clock.now())
     try:
         state = aggregate.create()
+        if vector_ok and partition.vectorized and not partition.is_keyed:
+            update_range = table.update_range_of(partition.range_id)
+            if not filters and txn_id is None \
+                    and isinstance(aggregate, ColumnSum):
+                # Unfiltered SUM (the paper's Section 6 scan): cached
+                # per-page totals, zero NumPy calls in the steady
+                # state — see Table.read_range_column_total.
+                fast = table.read_range_column_total(update_range,
+                                                     aggregate.column)
+                if fast is not None:
+                    total, dirty = fast
+                    state = aggregate.combine(state, total)
+                    if dirty:
+                        state = _patch_column_values(
+                            table, update_range, aggregate, dirty, state)
+                    return state
+            sliced = table.read_column_slices(update_range, columns)
+            if sliced is not None:
+                return _fold_vectorized(table, update_range, sliced,
+                                        aggregate, filters, columns,
+                                        txn_id, state)
         if partition.is_keyed:
             rows: Any = _keyed_rows(table, partition.rids, columns,
                                     as_of, txn_id)
         else:
+            if as_of is None and not filters:
+                # Row-plane fold without dict framing: unfiltered
+                # single-column aggregates over a full range (unmerged
+                # insert ranges, the row layout, vectorisation off)
+                # stream raw values instead of {column: value} dicts —
+                # and without the rid-list round trip.
+                fold_values = getattr(aggregate, "fold_values", None)
+                agg_columns = aggregate.columns
+                if fold_values is not None and len(agg_columns) == 1:
+                    return fold_values(state, table.read_range_values(
+                        table.update_range_of(partition.range_id),
+                        agg_columns[0], txn_id))
             rows = _iter_range_rows(table, partition, columns,
                                     as_of, txn_id)
         if filters:
@@ -194,6 +245,67 @@ def _run_partition(table: "Table", partition: ScanPartition,
     finally:
         if epoch is not None:
             table.epoch_manager.exit_query(epoch)
+
+
+def _patch_column_values(table: "Table", update_range: Any,
+                         aggregate: Aggregate, offsets: Sequence[int],
+                         state: Any) -> Any:
+    """Patch dirty offsets into a single-column aggregate state.
+
+    Raw values through the allocation-free
+    :meth:`~repro.core.table.Table.latest_column_value` walk — no
+    per-record dicts and no re-classification: the offsets are already
+    known dirty. The Figure 8 cost tracks unmerged tails; this keeps
+    its constant small.
+    """
+    from ..core.table import DELETED
+    walk = table.latest_column_value
+    data_column = aggregate.columns[0]
+    return aggregate.fold_values(state, (
+        value for value in (walk(update_range, offset, data_column)
+                            for offset in offsets)
+        if value is not None and value is not DELETED))
+
+
+def _fold_vectorized(table: "Table", update_range: Any, sliced: Any,
+                     aggregate: Aggregate,
+                     filters: Sequence[Filter], columns: tuple[int, ...],
+                     txn_id: int | None, state: Any) -> Any:
+    """Fold one partition's column slices, then patch its dirty tail.
+
+    The clean bulk runs entirely on NumPy: the validity mask is ANDed
+    with every filter's match mask, and the aggregate consumes the
+    masked slices in one ``fold_columns`` call (no per-record dicts, no
+    GIL for the kernels). The dirty offsets — unmerged tail activity
+    and pages that declined their NumPy view, already excluded from the
+    mask — replay through the exact per-record row plane, so the two
+    planes together cover the partition exactly once.
+    """
+    mask = sliced.valid
+    for item in filters:
+        mask = mask & item.mask(sliced.columns)
+    state = aggregate.fold_columns(state, sliced.rids, sliced.columns, mask)
+    if sliced.dirty:
+        fold_values = getattr(aggregate, "fold_values", None)
+        agg_columns = aggregate.columns
+        if not filters and fold_values is not None \
+                and len(agg_columns) == 1:
+            # Single-column patch: raw values, no per-record dicts.
+            if txn_id is None:
+                return _patch_column_values(table, update_range,
+                                            aggregate, sliced.dirty, state)
+            return fold_values(state, table.read_latest_values(
+                [sliced.start_rid + offset for offset in sliced.dirty],
+                agg_columns[0], txn_id))
+        dirty_rids = [sliced.start_rid + offset for offset in sliced.dirty]
+        rows = _keyed_rows(table, dirty_rids, columns, None, txn_id)
+        if filters:
+            for rid, row in rows:
+                if matches_all(filters, row):
+                    state = aggregate.add(state, rid, row)
+        else:
+            state = aggregate.fold(state, rows)
+    return state
 
 
 def execute_scan(table: "Table", aggregate: Aggregate, *,
@@ -209,19 +321,45 @@ def execute_scan(table: "Table", aggregate: Aggregate, *,
     *txn_id* makes the calling transaction's own uncommitted writes
     visible (READ_COMMITTED batched reads). Partials combine in
     partition order, so the result is independent of scheduling.
+
+    Two specialisations bracket the general plan→run→combine pipeline:
+    small keyed single-column aggregates skip the executor framing
+    entirely (raw values through
+    :meth:`~repro.core.table.Table.read_latest_values`, folded without
+    per-record dicts — the span-16 ``Query.sum`` hot path), and clean
+    full-range partitions run on the vectorised column-slice plane
+    when the operators support it.
     """
     if executor is None:
         executor = table.scan_executor
+    if rids is not None and not filters and as_of is None:
+        # Keyed dict-free fast path: a single-column aggregate over a
+        # RID set small enough for one partition folds the raw value
+        # stream directly — no plan, no partition framing, no
+        # {column: value} dicts. Matches plan_scan's collapse rule so
+        # larger keyed scans keep their partitioned parallelism.
+        fold_values = getattr(aggregate, "fold_values", None)
+        agg_columns = aggregate.columns
+        if fold_values is not None and len(agg_columns) == 1 \
+                and (executor.parallelism <= 1
+                     or len(rids) <= table.config.update_range_size):
+            state = aggregate.create()
+            if rids:
+                state = fold_values(state, table.read_latest_values(
+                    rids, agg_columns[0], txn_id))
+            return aggregate.finalize(state)
     columns = _fetch_columns(aggregate, filters)
+    vector_ok = as_of is None and aggregate.supports_vectorized \
+        and all(item.vector is not None for item in filters)
     partitions = plan_scan(table, rids, executor.parallelism)
     if len(partitions) == 1:
         # Hot path for small key-range queries: no pool round-trip,
         # no combine (combine(create(), s) == s by the monoid contract).
         return aggregate.finalize(_run_partition(
             table, partitions[0], aggregate, tuple(filters), columns,
-            as_of, txn_id))
+            as_of, txn_id, vector_ok))
     tasks = [partial(_run_partition, table, partition, aggregate,
-                     tuple(filters), columns, as_of, txn_id)
+                     tuple(filters), columns, as_of, txn_id, vector_ok)
              for partition in partitions]
     state = aggregate.create()
     for partial_state in executor.map(tasks):
@@ -235,30 +373,3 @@ def _fetch_columns(aggregate: Aggregate,
     for item in filters:
         seen.setdefault(item.column)
     return tuple(sorted(seen))
-
-
-def scan_column_sum(table: "Table", data_column: int,
-                    predicate: Any = None, as_of: int | None = None,
-                    executor: ScanExecutor | None = None) -> int:
-    """Full-column SUM through the executor (``Table.scan_sum`` backend).
-
-    Each partition delegates to
-    :meth:`~repro.core.table.Table.scan_range_sum`, preserving the
-    NumPy page-sum fast path and the dirty-set patching semantics of
-    the pre-executor scan, but running ranges concurrently when the
-    engine is configured with ``scan_parallelism > 1``.
-    """
-    if executor is None:
-        executor = table.scan_executor
-
-    def run(update_range: Any) -> int:
-        epoch = table.epoch_manager.enter_query(table.clock.now())
-        try:
-            return table.scan_range_sum(update_range, data_column,
-                                        predicate, as_of)
-        finally:
-            table.epoch_manager.exit_query(epoch)
-
-    tasks = [partial(run, update_range)
-             for update_range in table.sorted_ranges()]
-    return sum(executor.map(tasks))

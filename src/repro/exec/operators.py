@@ -10,6 +10,23 @@ Aggregate objects themselves are immutable descriptions — all mutable
 accumulation lives in the *state* values they hand out — so one
 instance can be shared by many worker threads.
 
+Besides the per-row plane (``add``/``fold`` over ``{column: value}``
+dicts), operators optionally expose a **vectorised plane** consuming
+whole NumPy column slices of a clean merged partition
+(:meth:`~repro.core.table.Table.read_column_slices`):
+
+* ``Filter.vector`` (when set) maps a value array to a boolean match
+  array; :meth:`Filter.mask` combines it with the column's ∅ mask so a
+  null never matches, exactly like the row plane.
+* ``Aggregate.fold_columns(state, rids, columns, mask)`` folds every
+  record selected by *mask* in one array operation
+  (``supports_vectorized`` advertises the capability).
+
+Both planes share states, ``combine``, and ``finalize``, so the
+executor freely mixes them — vectorised slices for the clean bulk of a
+partition, per-row ``add`` for the dirty patched records — and the
+partial states merge as usual.
+
 Null semantics follow the storage layer's implicit ∅: an aggregated
 column whose value is ∅ contributes nothing (matching
 ``Table.scan_sum``), a filter never matches ∅, and a group-by key of ∅
@@ -22,7 +39,13 @@ import abc
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from ..core.types import is_null
+
+# Throughout the vectorised plane, *columns* is the mapping produced by
+# Table.read_column_slices: {data_column: (values, nulls)} where values
+# is int64 (0 at ∅ slots) and nulls is the boolean ∅ mask.
 
 
 # ---------------------------------------------------------------------------
@@ -35,12 +58,17 @@ class Filter:
 
     ``predicate`` receives the (non-∅) column value; rows whose value is
     the implicit null never match, mirroring SQL's three-valued logic
-    collapsing to "not selected".
+    collapsing to "not selected". ``vector``, when not None, is the
+    predicate's array form (value array → boolean match array) used by
+    the vectorised plane; filters built by the module helpers
+    (:func:`eq` … :func:`between`) carry it automatically for integer
+    comparison values.
     """
 
     column: int
     predicate: Callable[[Any], bool]
     description: str = "?"
+    vector: Callable[[Any], Any] | None = None
 
     def matches(self, row: dict[int, Any]) -> bool:
         """True when the row's column value passes the predicate."""
@@ -49,44 +77,76 @@ class Filter:
             return False
         return self.predicate(value)
 
+    def mask(self, columns: Any) -> Any:
+        """Boolean match array over one partition's column slices.
+
+        ∅ slots never match (their value bytes are the placeholder 0),
+        so the vectorised plane keeps the row plane's three-valued
+        logic exactly.
+        """
+        values, nulls = columns[self.column]
+        return self.vector(values) & ~nulls
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "Filter(col=%d %s)" % (self.column, self.description)
 
 
+def _vector_comparison(op: Callable[[Any, Any], Any],
+                       *operands: Any) -> Callable[[Any], Any] | None:
+    """Array form of a comparison, or None for non-int operands.
+
+    NumPy comparisons against non-numeric operands either fail or
+    collapse to scalars, so the vector plane is only offered when every
+    comparison value is a plain int (bool excluded — it is an int
+    subclass with different equality semantics in filters).
+    """
+    if any(type(operand) is not int for operand in operands):
+        return None
+    return lambda values: op(values, *operands)
+
+
 def eq(column: int, value: Any) -> Filter:
     """``column == value``."""
-    return Filter(column, lambda v: v == value, "== %r" % (value,))
+    return Filter(column, lambda v: v == value, "== %r" % (value,),
+                  _vector_comparison(lambda a, x: a == x, value))
 
 
 def ne(column: int, value: Any) -> Filter:
     """``column != value``."""
-    return Filter(column, lambda v: v != value, "!= %r" % (value,))
+    return Filter(column, lambda v: v != value, "!= %r" % (value,),
+                  _vector_comparison(lambda a, x: a != x, value))
 
 
 def lt(column: int, value: Any) -> Filter:
     """``column < value``."""
-    return Filter(column, lambda v: v < value, "< %r" % (value,))
+    return Filter(column, lambda v: v < value, "< %r" % (value,),
+                  _vector_comparison(lambda a, x: a < x, value))
 
 
 def le(column: int, value: Any) -> Filter:
     """``column <= value``."""
-    return Filter(column, lambda v: v <= value, "<= %r" % (value,))
+    return Filter(column, lambda v: v <= value, "<= %r" % (value,),
+                  _vector_comparison(lambda a, x: a <= x, value))
 
 
 def gt(column: int, value: Any) -> Filter:
     """``column > value``."""
-    return Filter(column, lambda v: v > value, "> %r" % (value,))
+    return Filter(column, lambda v: v > value, "> %r" % (value,),
+                  _vector_comparison(lambda a, x: a > x, value))
 
 
 def ge(column: int, value: Any) -> Filter:
     """``column >= value``."""
-    return Filter(column, lambda v: v >= value, ">= %r" % (value,))
+    return Filter(column, lambda v: v >= value, ">= %r" % (value,),
+                  _vector_comparison(lambda a, x: a >= x, value))
 
 
 def between(column: int, low: Any, high: Any) -> Filter:
     """``low <= column <= high`` (inclusive, like ``Query.sum``)."""
     return Filter(column, lambda v: low <= v <= high,
-                  "between %r and %r" % (low, high))
+                  "between %r and %r" % (low, high),
+                  _vector_comparison(
+                      lambda a, lo, hi: (a >= lo) & (a <= hi), low, high))
 
 
 def matches_all(filters: Sequence[Filter], row: dict[int, Any]) -> bool:
@@ -102,7 +162,18 @@ def matches_all(filters: Sequence[Filter], row: dict[int, Any]) -> bool:
 # ---------------------------------------------------------------------------
 
 class Aggregate(abc.ABC):
-    """One combinable aggregate over scanned rows."""
+    """One combinable aggregate over scanned rows.
+
+    Subclasses that can consume whole column slices set
+    ``supports_vectorized`` and implement :meth:`fold_columns`; the
+    executor then feeds them the clean bulk of each merged partition
+    array-at-a-time and reserves :meth:`add` for the dirty patched
+    records. Both planes produce the same state values, so
+    :meth:`combine`/:meth:`finalize` are shared.
+    """
+
+    #: True when :meth:`fold_columns` is implemented.
+    supports_vectorized = False
 
     @property
     @abc.abstractmethod
@@ -138,9 +209,23 @@ class Aggregate(abc.ABC):
             state = add(state, rid, row)
         return state
 
+    def fold_columns(self, state: Any, rids: Any, columns: Any,
+                     mask: Any) -> Any:
+        """Fold every record *mask* selects, array-at-a-time.
+
+        *columns* maps each needed data column to its ``(values,
+        nulls)`` slice pair and *rids* is the int64 base-RID array of
+        the partition, all aligned with *mask*. Only called when
+        ``supports_vectorized`` is True.
+        """
+        raise NotImplementedError(
+            "%s has no vectorised plane" % type(self).__name__)
+
 
 class ColumnSum(Aggregate):
     """SUM of one column (∅ values contribute nothing)."""
+
+    supports_vectorized = True
 
     def __init__(self, column: int) -> None:
         self.column = column
@@ -169,9 +254,25 @@ class ColumnSum(Aggregate):
                 state += value
         return state
 
+    def fold_values(self, state: int, values: Any) -> int:
+        """Fold raw column values (keyed dict-free fast path)."""
+        for value in values:
+            if not is_null(value):
+                state += value
+        return state
+
+    def fold_columns(self, state: int, rids: Any, columns: Any,
+                     mask: Any) -> int:
+        values, nulls = columns[self.column]
+        # ∅ slots carry 0 in the slice, so masking nulls out of the
+        # selection (not the values) keeps the sum exact.
+        return state + int(values[mask & ~nulls].sum())
+
 
 class ColumnCount(Aggregate):
     """COUNT(*) (``column=None``) or COUNT(column) skipping ∅."""
+
+    supports_vectorized = True
 
     def __init__(self, column: int | None = None) -> None:
         self.column = column
@@ -191,9 +292,25 @@ class ColumnCount(Aggregate):
     def combine(self, left: int, right: int) -> int:
         return left + right
 
+    def fold_values(self, state: int, values: Any) -> int:
+        """Fold raw column values (keyed dict-free fast path)."""
+        for value in values:
+            if not is_null(value):
+                state += 1
+        return state
+
+    def fold_columns(self, state: int, rids: Any, columns: Any,
+                     mask: Any) -> int:
+        if self.column is None:
+            return state + int(mask.sum())
+        nulls = columns[self.column][1]
+        return state + int((mask & ~nulls).sum())
+
 
 class ColumnMin(Aggregate):
     """MIN of one column; None over an empty (or all-∅) input."""
+
+    supports_vectorized = True
 
     def __init__(self, column: int) -> None:
         self.column = column
@@ -220,9 +337,27 @@ class ColumnMin(Aggregate):
             return left
         return left if left <= right else right
 
+    def fold_values(self, state: Any, values: Any) -> Any:
+        """Fold raw column values (keyed dict-free fast path)."""
+        for value in values:
+            if not is_null(value) and (state is None or value < state):
+                state = value
+        return state
+
+    def fold_columns(self, state: Any, rids: Any, columns: Any,
+                     mask: Any) -> Any:
+        values, nulls = columns[self.column]
+        selected = values[mask & ~nulls]
+        if not selected.size:
+            return state
+        low = int(selected.min())
+        return low if state is None or low < state else state
+
 
 class ColumnMax(Aggregate):
     """MAX of one column; None over an empty (or all-∅) input."""
+
+    supports_vectorized = True
 
     def __init__(self, column: int) -> None:
         self.column = column
@@ -249,6 +384,22 @@ class ColumnMax(Aggregate):
             return left
         return left if left >= right else right
 
+    def fold_values(self, state: Any, values: Any) -> Any:
+        """Fold raw column values (keyed dict-free fast path)."""
+        for value in values:
+            if not is_null(value) and (state is None or value > state):
+                state = value
+        return state
+
+    def fold_columns(self, state: Any, rids: Any, columns: Any,
+                     mask: Any) -> Any:
+        values, nulls = columns[self.column]
+        selected = values[mask & ~nulls]
+        if not selected.size:
+            return state
+        high = int(selected.max())
+        return high if state is None or high > state else state
+
 
 class ColumnAvg(Aggregate):
     """AVG of one column; None over an empty (or all-∅) input.
@@ -257,6 +408,8 @@ class ColumnAvg(Aggregate):
     cannot perturb the result — the division happens once, at
     :meth:`finalize`.
     """
+
+    supports_vectorized = True
 
     def __init__(self, column: int) -> None:
         self.column = column
@@ -285,6 +438,23 @@ class ColumnAvg(Aggregate):
             return None
         return total / count
 
+    def fold_values(self, state: tuple[int, int],
+                    values: Any) -> tuple[int, int]:
+        """Fold raw column values (keyed dict-free fast path)."""
+        total, count = state
+        for value in values:
+            if not is_null(value):
+                total += value
+                count += 1
+        return (total, count)
+
+    def fold_columns(self, state: tuple[int, int], rids: Any,
+                     columns: Any, mask: Any) -> tuple[int, int]:
+        values, nulls = columns[self.column]
+        selected = mask & ~nulls
+        return (state[0] + int(values[selected].sum()),
+                state[1] + int(selected.sum()))
+
 
 class GroupBy(Aggregate):
     """Single-column GROUP BY around an inner aggregate.
@@ -299,6 +469,11 @@ class GroupBy(Aggregate):
                  make_inner: Callable[[], Aggregate]) -> None:
         self.key_column = key_column
         self.inner = make_inner()
+
+    @property
+    def supports_vectorized(self) -> bool:
+        """Vectorised whenever the inner aggregate is."""
+        return self.inner.supports_vectorized
 
     @property
     def columns(self) -> tuple[int, ...]:
@@ -331,6 +506,58 @@ class GroupBy(Aggregate):
     def finalize(self, state: dict[Any, Any]) -> dict[Any, Any]:
         return {key: self.inner.finalize(inner_state)
                 for key, inner_state in state.items()}
+
+    def fold_columns(self, state: dict[Any, Any], rids: Any,
+                     columns: Any, mask: Any) -> dict[Any, Any]:
+        """Group via factorised keys; ∅ keys drop their rows.
+
+        The selected keys are factorised once (``np.unique``), then
+        SUM/COUNT inners accumulate per group with one ``np.add.at``
+        scatter (exact int64 arithmetic — the bincount idea without its
+        float weights); any other vectorised inner folds per group
+        through a fancy-indexed submask, which stays array-at-a-time
+        per group and costs O(groups) passes.
+        """
+        key_values, key_nulls = columns[self.key_column]
+        selected = np.flatnonzero(mask & ~key_nulls)
+        if not selected.size:
+            return state
+        uniques, inverse = np.unique(key_values[selected],
+                                     return_inverse=True)
+        inner = self.inner
+        if isinstance(inner, ColumnSum):
+            # ∅ slots carry 0 in the slice, so the raw values are
+            # already the correct weights.
+            weights = columns[inner.column][0][selected]
+            sums = np.zeros(len(uniques), dtype=np.int64)
+            np.add.at(sums, inverse, weights)
+            for key, total in zip(uniques.tolist(), sums.tolist()):
+                state[key] = state[key] + total if key in state else total
+            return state
+        if isinstance(inner, ColumnCount):
+            if inner.column is None:
+                hits = np.ones(len(selected), dtype=np.int64)
+            else:
+                hits = (~columns[inner.column][1][selected]).astype(
+                    np.int64)
+            counts = np.zeros(len(uniques), dtype=np.int64)
+            np.add.at(counts, inverse, hits)
+            # A group whose every row has ∅ in the counted column still
+            # exists with count 0 (row-plane parity: add() creates the
+            # group and counts nothing).
+            for key, count in zip(uniques.tolist(), counts.tolist()):
+                state[key] = state[key] + count if key in state else count
+            return state
+        template = np.zeros(len(mask), dtype=bool)
+        for position, key in enumerate(uniques.tolist()):
+            submask = template.copy()
+            submask[selected[inverse == position]] = True
+            inner_state = state.get(key)
+            if inner_state is None and key not in state:
+                inner_state = inner.create()
+            state[key] = inner.fold_columns(inner_state, rids, columns,
+                                            submask)
+        return state
 
 
 class CollectRows(Aggregate):

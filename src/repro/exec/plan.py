@@ -7,6 +7,17 @@ vector, and merge lineage, so a partition never shares mutable scan
 state with its siblings. Insert-range boundaries are respected for
 free — every update range lies inside exactly one insert range.
 
+The planner also classifies each full-range partition for the
+**vectorised plane**: a clean, merged, columnar range
+(``EngineConfig.vectorized_scans`` permitting) is marked
+``vectorized`` and the executor feeds it to the operators as whole
+NumPy column slices; row-layout ranges, unmerged insert ranges, and
+keyed small-range plans stay on the per-record row path. The mark is a
+*hint* — the executor re-checks at run time (an aggregate or filter
+without a vector form, a time-travel predicate, or a page declining
+its NumPy view all fall back to the row path, per record or per
+partition).
+
 Each full-range partition is **executed** with its own epoch
 registration, and every partition takes its dirty-set/TPS snapshot
 *before* resolving any page chain (the PR-1
@@ -19,6 +30,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
+
+from ..core.types import Layout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.table import Table
@@ -33,10 +46,14 @@ class ScanPartition:
     ``range_id`` is the partition's home range — for a small/serial
     keyed plan collapsed into one spanning partition it is the first
     RID's range and the batched read path does the per-range grouping.
+    ``vectorized`` marks a full-range partition eligible for the
+    column-slice plane (clean merged columnar range with the engine
+    flag on); the executor still verifies the operators support it.
     """
 
     range_id: int
     rids: tuple[int, ...] | None = None
+    vectorized: bool = False
 
     @property
     def is_keyed(self) -> bool:
@@ -49,11 +66,12 @@ def plan_scan(table: "Table", rids: Sequence[int] | None = None,
     """Plan a scan of *table* into independent partitions.
 
     With ``rids=None`` the plan covers every update range (one
-    partition per range, RID order). With an explicit RID sequence
-    (e.g. from ``PrimaryIndex.range_items``) the RIDs are grouped by
-    their owning update range, preserving the caller's order within
-    each partition; partitions come out sorted by range id so the
-    combine step is deterministic regardless of input order.
+    partition per range, RID order), each classified vectorised or
+    row-path. With an explicit RID sequence (e.g. from
+    ``PrimaryIndex.range_items``) the RIDs are grouped by their owning
+    update range, preserving the caller's order within each partition;
+    partitions come out sorted by range id so the combine step is
+    deterministic regardless of input order.
 
     *parallelism* is the executor's worker budget: a serial executor
     (or a RID set that fits one range) gets a single spanning keyed
@@ -62,7 +80,10 @@ def plan_scan(table: "Table", rids: Sequence[int] | None = None,
     small-range-query path.
     """
     if rids is None:
-        return [ScanPartition(update_range.range_id)
+        vector_ok = table.config.vectorized_scans \
+            and table.layout is Layout.COLUMNAR
+        return [ScanPartition(update_range.range_id,
+                              vectorized=vector_ok and update_range.merged)
                 for update_range in table.sorted_ranges()]
     range_size = table.config.update_range_size
     if parallelism <= 1 or len(rids) <= range_size:

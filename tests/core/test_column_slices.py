@@ -1,0 +1,163 @@
+"""Column-slice reads: the storage layer of the vectorised scan plane.
+
+``Table.read_column_slices`` must classify every range offset exactly
+once — valid (base value authoritative), dirty (patch via the
+per-record walk), or dead (tombstone / merged delete) — and the slice
+values must equal what the per-record read path returns for the same
+records. ``read_latest_values`` (the dict-free keyed fast path) must
+agree with ``read_latest_many`` on every rid.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Database, EngineConfig
+from repro.core.merge import merge_update_range
+from repro.core.table import DELETED
+from repro.core.types import Layout, NULL, is_null
+
+
+@pytest.fixture
+def bank(db, table, query):
+    """32 rows across two update ranges, base pages materialised."""
+    for key in range(32):
+        query.insert(key, key * 2, key * 3, key * 5, 7)
+    db.run_merges()
+    return query
+
+
+class TestReadColumnSlices:
+    def test_clean_range_all_valid(self, db, table, bank):
+        update_range = table.sorted_ranges()[0]
+        sliced = table.read_column_slices(update_range, (1, 3))
+        assert sliced is not None
+        assert sliced.dirty == []
+        assert sliced.valid.all()
+        values, nulls = sliced.columns[1]
+        assert values.tolist() == [key * 2 for key in range(16)]
+        assert not nulls.any()
+
+    def test_unmerged_range_declines(self, db, table, query):
+        query.insert(0, 1, 2, 3, 4)  # insert range not yet full/merged
+        update_range = table.sorted_ranges()[0]
+        assert table.read_column_slices(update_range, (1,)) is None
+
+    def test_dirty_records_excluded_and_listed(self, db, table, bank):
+        bank.update(3, None, 999, None, None, None)
+        bank.update(5, None, None, 888, None, None)
+        update_range = table.sorted_ranges()[0]
+        sliced = table.read_column_slices(update_range, (1,))
+        assert set(sliced.dirty) == {3, 5}
+        assert not sliced.valid[3] and not sliced.valid[5]
+        # The clean rest stays valid with base values intact.
+        assert sliced.valid.sum() == 14
+        assert sliced.columns[1][0][4] == 8
+
+    def test_merged_delete_masked_out(self, db, table, bank):
+        bank.delete(6)
+        rid = table.index.primary.get(6)
+        update_range = table.locate(rid)[0]
+        merge_update_range(table, update_range)
+        sliced = table.read_column_slices(update_range, (1,))
+        assert sliced.dirty == []
+        assert not sliced.valid[6]
+        assert sliced.valid.sum() == 15
+
+    def test_non_int_page_goes_dirty(self, db, table, query):
+        for key in range(16):
+            query.insert(key, "text-%d" % key, key, key, key)
+        db.run_merges()
+        update_range = table.sorted_ranges()[0]
+        sliced = table.read_column_slices(update_range, (1,))
+        # Column 1's pages decline the NumPy view: every record of the
+        # declining pages is patched per-record instead.
+        assert set(sliced.dirty) == set(range(16))
+        assert not sliced.valid.any()
+        # A pure-int column of the same range still vectorises.
+        sliced = table.read_column_slices(update_range, (2,))
+        assert sliced.dirty == []
+        assert sliced.valid.all()
+
+    def test_row_layout_declines(self):
+        db = Database(EngineConfig(
+            records_per_page=8, records_per_tail_page=8,
+            update_range_size=16, merge_threshold=8, insert_range_size=16,
+            background_merge=False, layout=Layout.ROW,
+            compress_merged_pages=False))
+        try:
+            table = db.create_table("rows", num_columns=3)
+            from repro.core.query import Query
+            query = Query(table)
+            for key in range(16):
+                query.insert(key, key, key)
+            db.run_merges()
+            update_range = table.sorted_ranges()[0]
+            assert table.read_column_slices(update_range, (1,)) is None
+        finally:
+            db.close()
+
+    def test_slices_match_per_record_reads(self, db, table, bank):
+        bank.update(2, None, 1234, None, None, None)
+        bank.delete(9)
+        update_range = table.sorted_ranges()[0]
+        sliced = table.read_column_slices(update_range, (1,))
+        values = sliced.columns[1][0]
+        for offset in range(update_range.size):
+            rid = update_range.start_rid + offset
+            if not sliced.valid[offset]:
+                continue
+            result = table.read_latest_fast(rid, (1,))
+            assert result not in (None, DELETED)
+            assert values[offset] == result[1], offset
+
+
+class TestReadLatestValues:
+    def _assert_matches_many(self, table, rids, column, txn_id=None):
+        values = table.read_latest_values(rids, column, txn_id)
+        many = table.read_latest_many(rids, (column,), txn_id)
+        expected = [many[rid][column] for rid in rids
+                    if many[rid] is not None and many[rid] is not DELETED]
+        assert values == expected
+
+    def test_clean_and_dirty_mix(self, db, table, bank):
+        bank.update(3, None, 999, None, None, None)
+        bank.delete(7)
+        rids = [table.index.primary.get(key) for key in range(32)
+                if table.index.primary.get(key) is not None]
+        self._assert_matches_many(table, rids, 1)
+
+    def test_unmerged_range(self, db, table, query):
+        for key in range(6):
+            query.insert(key, key * 11, 0, 0, 0)
+        rids = [table.index.primary.get(key) for key in range(6)]
+        assert table.read_latest_values(rids, 1) \
+            == [key * 11 for key in range(6)]
+
+    def test_null_values_included(self, db, table, query):
+        for key in range(4):
+            query.insert(key, NULL if key % 2 else key, 0, 0, 0)
+        db.run_merges()
+        rids = [table.index.primary.get(key) for key in range(4)]
+        values = table.read_latest_values(rids, 1)
+        assert [v if not is_null(v) else "null" for v in values] \
+            == [0, "null", 2, "null"]
+
+    def test_flag_off_matches(self):
+        db = Database(EngineConfig(
+            records_per_page=8, records_per_tail_page=8,
+            update_range_size=16, merge_threshold=8, insert_range_size=16,
+            background_merge=False, batched_reads=False))
+        try:
+            table = db.create_table("plain", num_columns=3)
+            from repro.core.query import Query
+            query = Query(table)
+            for key in range(12):
+                query.insert(key, key * 7, 0)
+            db.run_merges()
+            query.update(4, None, 123, None)
+            rids = [table.index.primary.get(key) for key in range(12)]
+            expected = [key * 7 for key in range(12)]
+            expected[4] = 123
+            assert table.read_latest_values(rids, 1) == expected
+        finally:
+            db.close()

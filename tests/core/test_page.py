@@ -123,6 +123,57 @@ class TestNumpyView:
         assert page.as_numpy() is None
 
 
+class TestMaskedNumpyView:
+    def test_null_slots_masked_not_fatal(self):
+        # One ∅ (e.g. a merged delete) no longer knocks the page off
+        # the fast path: it carries 0 with a False validity bit.
+        page = Page(1, PageKind.MERGED, 4)
+        page.fill([5, NULL, 7])
+        assert page.as_numpy() is None
+        masked = page.as_numpy_masked()
+        assert masked is not None
+        values, valid = masked
+        assert values.tolist() == [5, 0, 7]
+        assert valid.tolist() == [True, False, True]
+
+    def test_all_int_page_masked_all_valid(self):
+        page = Page(1, PageKind.BASE, 4)
+        page.fill([1, 2, 3])
+        values, valid = page.as_numpy_masked()
+        assert values.tolist() == [1, 2, 3]
+        assert valid.all()
+        # The plain view shares the same cached array.
+        assert page.as_numpy() is values
+
+    def test_requires_frozen(self):
+        page = Page(1, PageKind.TAIL, 4)
+        page.write_slot(0, 1)
+        assert page.as_numpy_masked() is None
+
+    def test_verdicts_cached(self):
+        page = Page(1, PageKind.BASE, 4)
+        page.fill([1, NULL])
+        first = page.as_numpy_masked()
+        assert page.as_numpy_masked()[0] is first[0]
+        declined = Page(2, PageKind.BASE, 4)
+        declined.fill(["text", 2])
+        assert declined.as_numpy_masked() is None
+        # The negative verdict is cached on the frozen page.
+        assert declined._numpy_cache is Page._DECLINED
+        assert declined.as_numpy_masked() is None
+        assert declined.as_numpy() is None
+
+
+class TestRowPageReadRows:
+    def test_slice_and_unwritten(self):
+        page = RowPage(1, PageKind.BASE, 4, width=2)
+        page.write_row(0, (1, 2))
+        page.write_row(2, (5, 6))
+        rows = page.read_rows()
+        assert rows == [(1, 2), None, (5, 6), None]
+        assert page.read_rows(1, 3) == [None, (5, 6)]
+
+
 class TestLineage:
     def test_set_lineage(self):
         page = Page(1, PageKind.MERGED, 4)

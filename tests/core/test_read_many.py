@@ -88,6 +88,94 @@ class TestReadLatestMany:
             db.close()
 
 
+class TestUnmergedBatchedReads:
+    """Insert-only ranges serve straight from base pages (no walks)."""
+
+    def test_unmerged_agrees_with_fast_path(self, db, table, query):
+        for key in range(10):  # insert range not full: stays unmerged
+            query.insert(key, key * 2, key * 3, key * 5, 7)
+        query.update(2, None, 111, None, None, None)
+        query.delete(4)
+        assert not table.sorted_ranges()[0].merged
+        rids = [table.index.primary.get(key) for key in range(10)
+                if table.index.primary.get(key) is not None]
+        for projection in ((1,), (1, 3), None):
+            many = table.read_latest_many(rids, projection)
+            for rid in rids:
+                assert many[rid] == table.read_latest_fast(rid, projection)
+
+    def test_own_writes_visible(self, db, table, query):
+        for key in range(6):
+            query.insert(key, key, 0, 0, 0)
+        txn = Transaction(db.txn_manager)
+        txn.update(table, 3, {1: 5555})
+        try:
+            rids = [table.index.primary.get(key) for key in range(6)]
+            many = table.read_latest_many(rids, (1,), txn.txn_id)
+            for rid in rids:
+                assert many[rid] \
+                    == table.read_latest_fast(rid, (1,), txn.txn_id)
+            assert many[table.index.primary.get(3)] == {1: 5555}
+        finally:
+            txn.abort()
+
+    def test_uncommitted_insert_invisible(self, db, table, query):
+        query.insert(0, 10, 0, 0, 0)
+        txn = Transaction(db.txn_manager)
+        txn.insert(table, [1, 20, 0, 0, 0])
+        try:
+            rids = [table.index.primary.get(0), table.index.primary.get(1)]
+            many = table.read_latest_many(rids, (1,))
+            assert many[rids[0]] == {1: 10}
+            assert many[rids[1]] is None
+        finally:
+            txn.abort()
+
+
+class TestRowLayoutBatchedReads:
+    """The row layout reads whole-page row slices, not per-rid walks."""
+
+    @pytest.fixture
+    def row_db(self):
+        from repro.core.types import Layout
+        database = Database(EngineConfig(
+            records_per_page=8, records_per_tail_page=8,
+            update_range_size=16, merge_threshold=8, insert_range_size=16,
+            background_merge=False, layout=Layout.ROW,
+            compress_merged_pages=False))
+        yield database
+        database.close()
+
+    def test_merged_and_unmerged_agree(self, row_db):
+        from repro.core.query import Query
+        table = row_db.create_table("rows", num_columns=4)
+        query = Query(table)
+        for key in range(24):  # range 0 merges, range 1 stays unmerged
+            query.insert(key, key * 2, key * 3, 7)
+        row_db.run_merges()
+        query.update(2, None, 222, None, None)
+        query.delete(5)
+        query.update(20, None, 202, None, None)
+        rids = [table.index.primary.get(key) for key in range(24)
+                if table.index.primary.get(key) is not None]
+        for projection in ((1,), (1, 2), None):
+            many = table.read_latest_many(rids, projection)
+            for rid in rids:
+                assert many[rid] == table.read_latest_fast(rid, projection)
+
+    def test_merged_delete_reported(self, row_db):
+        from repro.core.query import Query
+        table = row_db.create_table("rows", num_columns=4)
+        query = Query(table)
+        for key in range(16):
+            query.insert(key, key, key, key)
+        row_db.run_merges()
+        query.delete(3)
+        rid = table.index.primary.get(3)
+        merge_update_range(table, table.locate(rid)[0])
+        assert table.read_latest_many([rid], (1,))[rid] is DELETED
+
+
 class TestIncrementalDirtySets:
     def test_appends_grow_and_merge_prunes(self, db, table, bank):
         rid = table.index.primary.get(2)

@@ -3,7 +3,10 @@
 ``scan_parallelism`` parametrises every test over serial and pooled
 execution; CI narrows the matrix via the ``REPRO_SCAN_PARALLELISM``
 environment variable (a comma-separated list, default ``1,4``) so each
-level runs in its own process.
+level runs in its own process. ``REPRO_VECTORIZED_SCANS=0`` forces the
+whole suite onto the per-record row plane (CI runs that leg too, so
+the fallback cannot rot); the default leaves the engine default
+(vectorised) in place.
 """
 
 from __future__ import annotations
@@ -18,6 +21,11 @@ from repro import Database, EngineConfig
 def _parallelism_levels() -> tuple[int, ...]:
     raw = os.environ.get("REPRO_SCAN_PARALLELISM", "1,4")
     return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def vectorized_scans_enabled() -> bool:
+    """CI knob: force the row plane with ``REPRO_VECTORIZED_SCANS=0``."""
+    return os.environ.get("REPRO_VECTORIZED_SCANS", "1") != "0"
 
 
 @pytest.fixture(params=_parallelism_levels())
@@ -36,6 +44,7 @@ def exec_config(scan_parallelism: int) -> EngineConfig:
         insert_range_size=16,
         background_merge=False,
         scan_parallelism=scan_parallelism,
+        vectorized_scans=vectorized_scans_enabled(),
     )
 
 

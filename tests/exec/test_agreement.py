@@ -1,11 +1,20 @@
 """Executor agreement property (the PR's acceptance criterion).
 
-For random interleavings of inserts, updates, deletes, and merges,
-every aggregate — sum/count/min/max/avg and single-column group-by,
-with and without predicate filters — must return identical results at
-``scan_parallelism=1`` and ``scan_parallelism=4``, and both must match
-a brute-force ``select_version``-style oracle that reads each key's
-latest committed version through the lineage chain walk.
+For random interleavings of inserts (including rows carrying the
+special null ∅ in aggregated, filtered, and group-key columns),
+updates, deletes, and merges, every aggregate — sum/count/min/max/avg
+and single-column group-by, with and without predicate filters — must
+return identical results:
+
+* at ``scan_parallelism=1`` and ``scan_parallelism=4``,
+* with ``vectorized_scans`` on (column-slice plane) and off (row
+  plane),
+
+and all four must match a brute-force ``select_version``-style oracle
+that reads each key's latest committed version through the lineage
+chain walk. ∅ semantics ride along: a filter never matches ∅, an
+aggregated ∅ contributes nothing, and a ∅ group key drops its row —
+on both planes, including the masked-slice group-by.
 """
 
 from hypothesis import given, settings
@@ -14,6 +23,7 @@ from hypothesis import strategies as st
 from repro import Database, EngineConfig
 from repro.core.merge import merge_update_range
 from repro.core.table import DELETED
+from repro.core.types import NULL, is_null
 from repro.errors import (DuplicateKeyError, KeyNotFoundError,
                           RecordDeletedError)
 from repro.exec.executor import ScanExecutor, execute_scan
@@ -26,6 +36,10 @@ KEYS = 40
 operation = st.one_of(
     st.tuples(st.just("insert"), st.integers(0, KEYS - 1),
               st.integers(0, 99)),
+    # Insert with ∅ in one of the scanned columns (1 = aggregated,
+    # 2 = group key, 3 = filter column).
+    st.tuples(st.just("insert_null"), st.integers(0, KEYS - 1),
+              st.integers(1, 3)),
     st.tuples(st.just("update"), st.integers(0, KEYS - 1),
               st.integers(1, 3), st.integers(0, 99)),
     st.tuples(st.just("delete"), st.integers(0, KEYS - 1),
@@ -34,11 +48,11 @@ operation = st.one_of(
 )
 
 
-def _database() -> Database:
+def _database(vectorized: bool) -> Database:
     return Database(EngineConfig(
         records_per_page=8, records_per_tail_page=8,
         update_range_size=16, merge_threshold=6, insert_range_size=16,
-        background_merge=False))
+        background_merge=False, vectorized_scans=vectorized))
 
 
 def _apply(db, table, ops):
@@ -47,6 +61,10 @@ def _apply(db, table, ops):
         try:
             if kind == "insert":
                 table.insert([key, op[2], key % 5, op[2] % 7, 7])
+            elif kind == "insert_null":
+                row = [key, key % 9, key % 5, key % 7, 7]
+                row[op[2]] = NULL
+                table.insert(row)
             elif kind == "update":
                 rid = table.index.primary.get(key)
                 if rid is not None:
@@ -85,61 +103,79 @@ def _oracle_rows(table, columns):
     return rows
 
 
+def _non_null(rows, column):
+    return [row[column] for row in rows.values()
+            if not is_null(row[column])]
+
+
 AGGREGATES = [
     ("sum", lambda: ColumnSum(1),
-     lambda rows: sum(r[1] for r in rows.values())),
-    ("count", lambda: ColumnCount(),
+     lambda rows: sum(_non_null(rows, 1))),
+    ("count_star", lambda: ColumnCount(),
      lambda rows: len(rows)),
+    ("count_col", lambda: ColumnCount(1),
+     lambda rows: len(_non_null(rows, 1))),
     ("min", lambda: ColumnMin(1),
-     lambda rows: min((r[1] for r in rows.values()), default=None)),
+     lambda rows: min(_non_null(rows, 1), default=None)),
     ("max", lambda: ColumnMax(1),
-     lambda rows: max((r[1] for r in rows.values()), default=None)),
+     lambda rows: max(_non_null(rows, 1), default=None)),
     ("avg", lambda: ColumnAvg(1),
-     lambda rows: (sum(r[1] for r in rows.values()) / len(rows))
-     if rows else None),
+     lambda rows: (sum(_non_null(rows, 1)) / len(_non_null(rows, 1)))
+     if _non_null(rows, 1) else None),
     ("group_sum", lambda: GroupBy(2, lambda: ColumnSum(1)),
      lambda rows: _group(rows, 2, 1)),
 ]
 
 FILTERS = [
     ("none", (), lambda row: True),
-    ("ge", (ge(1, 50),), lambda row: row[1] >= 50),
-    ("between", (between(3, 1, 4),), lambda row: 1 <= row[3] <= 4),
+    ("ge", (ge(1, 50),),
+     lambda row: not is_null(row[1]) and row[1] >= 50),
+    ("between", (between(3, 1, 4),),
+     lambda row: not is_null(row[3]) and 1 <= row[3] <= 4),
 ]
 
 
 def _group(rows, key_column, value_column):
+    """∅ keys drop the row; ∅ values still create the group with 0."""
     groups = {}
     for row in rows.values():
-        groups[row[key_column]] = groups.get(row[key_column], 0) \
-            + row[value_column]
+        key = row[key_column]
+        if is_null(key):
+            continue
+        value = row[value_column]
+        groups[key] = groups.get(key, 0) \
+            + (0 if is_null(value) else value)
     return groups
 
 
 @settings(max_examples=25, deadline=None)
 @given(st.lists(operation, min_size=1, max_size=40))
-def test_executor_agrees_with_oracle_at_all_parallelisms(ops):
-    db = _database()
+def test_executor_agrees_with_oracle_on_both_planes(ops):
+    databases = {plane: _database(vectorized=(plane == "vectorized"))
+                 for plane in ("vectorized", "row")}
     serial = ScanExecutor(1)
     pooled = ScanExecutor(4)
     try:
-        table = db.create_table("t", num_columns=5)
-        _apply(db, table, ops)
-        rows = _oracle_rows(table, (0, 1, 2, 3))
+        tables = {}
+        for plane, db in databases.items():
+            tables[plane] = db.create_table("t", num_columns=5)
+            _apply(db, tables[plane], ops)
+        rows = _oracle_rows(tables["vectorized"], (0, 1, 2, 3))
         for filter_name, filters, row_predicate in FILTERS:
             filtered = {rid: row for rid, row in rows.items()
                         if row_predicate(row)}
             for agg_name, make, expected_fn in AGGREGATES:
                 expected = expected_fn(filtered)
-                got_serial = execute_scan(table, make(), filters=filters,
-                                          executor=serial)
-                got_pooled = execute_scan(table, make(), filters=filters,
-                                          executor=pooled)
-                assert got_serial == expected, \
-                    "%s/%s serial mismatch" % (agg_name, filter_name)
-                assert got_pooled == expected, \
-                    "%s/%s parallel mismatch" % (agg_name, filter_name)
+                for plane, table in tables.items():
+                    for exec_name, executor in (("serial", serial),
+                                                ("pooled", pooled)):
+                        got = execute_scan(table, make(), filters=filters,
+                                           executor=executor)
+                        assert got == expected, \
+                            "%s/%s mismatch on %s plane (%s executor)" \
+                            % (agg_name, filter_name, plane, exec_name)
     finally:
         serial.close()
         pooled.close()
-        db.close()
+        for db in databases.values():
+            db.close()

@@ -178,15 +178,18 @@ class TestEpochProtection:
 
         in_partition = threading.Event()
         release = threading.Event()
-        original = table.scan_range_sum
+        original = table.update_range_of
         epoch_manager = table.epoch_manager
 
-        def paused_scan_range_sum(*args, **kwargs):
+        def paused_update_range_of(*args, **kwargs):
+            # Runs inside the partition — on both execution planes —
+            # after its epoch registration and before any chain
+            # resolves (the scan discipline).
             in_partition.set()
             assert release.wait(timeout=10.0)
             return original(*args, **kwargs)
 
-        table.scan_range_sum = paused_scan_range_sum
+        table.update_range_of = paused_update_range_of
         try:
             worker = threading.Thread(target=table.scan_sum, args=(1,),
                                       daemon=True)
@@ -208,7 +211,7 @@ class TestEpochProtection:
             assert epoch_manager.pending_pages == 0
         finally:
             release.set()
-            table.scan_range_sum = original
+            table.update_range_of = original
 
 
 class TestScanExecutorUnit:
