@@ -1,0 +1,146 @@
+"""Version-horizon snapshot scans — regression guards (not a paper table).
+
+Two bars, both against this repo's own history:
+
+* **Snapshot-scan fast path restored** (the PR-3 regression): a
+  full-table ``as_of`` SUM on a merged, lightly-churned table must run
+  within 3× of the latest-visibility vectorised SUM. Before the
+  version-horizon plane this was a per-record ``assemble_version``
+  walk — roughly an order of magnitude off the vectorised plane.
+
+* **Churn-heavy degradation** (the dirty-fraction threshold): with a
+  heavy unmerged backlog the planner must degrade vectorised
+  partitions to the row plane instead of paying slice stitching *plus*
+  a near-total per-record patch walk, so churn-heavy scans are no
+  slower than the row plane (the PR-2 behaviour).
+"""
+
+import time
+
+from repro.bench.experiments import _spec_for, make_engine
+from repro.bench.harness import apply_fixed_update_backlog, load_engine
+from repro.core.table import DELETED
+from repro.core.types import is_null
+from repro.core.version import visible_as_of
+from repro.exec.executor import execute_scan
+from repro.exec.operators import ColumnSum, GroupBy, ge
+
+from conftest import SCALE
+
+
+def _scans_per_sec(repeats, fn):
+    best = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return 1.0 / best
+
+
+def _oracle_as_of(table, column, as_of):
+    """Per-record assemble_version walk (the always-correct answer)."""
+    predicate = visible_as_of(as_of)
+    total = 0
+    for update_range in table.sorted_ranges():
+        for offset in range(update_range.size):
+            if not table.base_record_exists(update_range, offset):
+                continue
+            values = table.assemble_version(
+                update_range.start_rid + offset, (column,), predicate)
+            if values is None or values is DELETED \
+                    or is_null(values[column]):
+                continue
+            total += values[column]
+    return total
+
+
+def test_as_of_sum_within_3x_of_latest_vectorized(benchmark):
+    spec = _spec_for("low", SCALE)
+    engine = make_engine("lstore", spec.num_columns)
+    try:
+        load_engine(engine, spec)
+        table = engine.table
+        pre_churn = table.clock.now()
+        # Light churn: ~2% of the table updated after the snapshot.
+        apply_fixed_update_backlog(engine, spec,
+                                   max(spec.table_size // 50, 10))
+        post_churn = table.clock.now()
+        for as_of in (pre_churn, post_churn):  # agreement before speed
+            assert table.scan_sum(3, as_of=as_of) == \
+                _oracle_as_of(table, 3, as_of)
+
+        def measure():
+            return (
+                _scans_per_sec(5, lambda: table.scan_sum(3)),
+                _scans_per_sec(5, lambda: table.scan_sum(
+                    3, as_of=pre_churn)),
+                _scans_per_sec(5, lambda: table.scan_sum(
+                    3, as_of=post_churn)),
+            )
+
+        latest_qps, frozen_qps, settled_qps = benchmark.pedantic(
+            measure, rounds=1, iterations=1)
+        benchmark.extra_info["latest_qps"] = round(latest_qps, 1)
+        benchmark.extra_info["as_of_pre_churn_qps"] = round(frozen_qps, 1)
+        benchmark.extra_info["as_of_post_churn_qps"] = round(settled_qps, 1)
+        print("\nfull-table SUM: latest %.0f scans/s, as_of(pre-churn) "
+              "%.0f (%.1fx off), as_of(post-churn) %.0f (%.1fx off)"
+              % (latest_qps, frozen_qps, latest_qps / frozen_qps,
+                 settled_qps, latest_qps / settled_qps))
+        # Acceptance bar: within 3× of the latest vectorised SUM (the
+        # pre-horizon per-record walk was ~an order of magnitude off).
+        assert frozen_qps * 3 > latest_qps
+        assert settled_qps * 3 > latest_qps
+    finally:
+        engine.close()
+
+
+def test_churn_heavy_scans_no_slower_than_row_plane(benchmark):
+    spec = _spec_for("low", SCALE)
+    sum_qps = {}
+    group_qps = {}
+
+    def measure():
+        for vectorized in (True, False):
+            engine = make_engine("lstore", spec.num_columns,
+                                 vectorized_scans=vectorized)
+            try:
+                load_engine(engine, spec)
+                # Near-total unmerged churn (~99% distinct offsets
+                # dirty): above the dirty-fraction threshold in every
+                # range (no merge runs) — the regime where slices +
+                # patch walk measured ~2× slower than the row plane.
+                apply_fixed_update_backlog(engine, spec,
+                                           4 * spec.table_size)
+                table = engine.table
+                group_by = lambda: execute_scan(  # noqa: E731
+                    table, GroupBy(1, lambda: ColumnSum(3)),
+                    filters=(ge(2, 500),))
+                group_by()  # warm caches
+                sum_qps[vectorized] = _scans_per_sec(
+                    5, lambda: table.scan_sum(3))
+                group_qps[vectorized] = _scans_per_sec(5, group_by)
+            finally:
+                engine.close()
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["sum_scans_per_sec"] = {
+        "vectorized": round(sum_qps[True], 1),
+        "row": round(sum_qps[False], 1),
+    }
+    benchmark.extra_info["group_scans_per_sec"] = {
+        "vectorized": round(group_qps[True], 1),
+        "row": round(group_qps[False], 1),
+    }
+    print("\nchurn-heavy SUM %.0f vs %.0f scans/s (%.2fx), "
+          "filtered group-by %.0f vs %.0f scans/s (%.2fx)"
+          % (sum_qps[True], sum_qps[False],
+             sum_qps[True] / sum_qps[False],
+             group_qps[True], group_qps[False],
+             group_qps[True] / group_qps[False]))
+    # The threshold must keep churn-heavy scans at row-plane (PR-2)
+    # speed; 0.7 absorbs CI noise without letting the pre-threshold
+    # "slices + near-total walk" behaviour back in.
+    assert sum_qps[True] > sum_qps[False] * 0.7
+    assert group_qps[True] > group_qps[False] * 0.7

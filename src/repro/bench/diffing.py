@@ -57,14 +57,93 @@ def _index_rows(headers: list[str], rows: list[list[Any]],
     return indexed
 
 
+def _project_rows(headers: list[str], rows: list[list[Any]],
+                  shared: list[str]) -> list[list[Any]]:
+    """Re-shape *rows* onto the *shared* header order."""
+    indices = [headers.index(header) for header in shared]
+    return [[row[i] for i in indices] for row in rows]
+
+
+def _compare_rows(report: "DiffReport", name: str, headers: list[str],
+                  base_rows: list[list[Any]], now_rows: list[list[Any]],
+                  threshold: float, *, flag_ambiguous: bool = False) -> None:
+    """Diff two row sets sharing *headers*; append findings to *report*.
+
+    With *flag_ambiguous* (the schema-aligned path) a key that maps to
+    more than one row on either side is reported explicitly instead of
+    being compared apples-to-oranges — e.g. a baseline ``analytics``
+    row matching both the ``vectorized`` and ``row`` plane rows after
+    the PR-3 ``plane`` column was projected away.
+    """
+    metric_indices = [(i, _metric_direction(header), header)
+                      for i, header in enumerate(headers)
+                      if _metric_direction(header) is not None]
+    key_indices = [i for i, header in enumerate(headers)
+                   if _metric_direction(header) is None]
+    if flag_ambiguous:
+        counts: dict[tuple, list[int]] = {}
+        for side, rows in enumerate((base_rows, now_rows)):
+            for row in rows:
+                key = tuple(row[i] for i in key_indices)
+                counts.setdefault(key, [0, 0])[side] += 1
+        ambiguous = {key for key, (old, new) in counts.items()
+                     if old > 1 or new > 1}
+        for key in sorted(ambiguous, key=str):
+            old, new = counts[key]
+            report.lines.append(
+                "%-10s %-28s ambiguous after schema alignment "
+                "(%d baseline / %d current rows) — not compared"
+                % (name, " ".join(str(part) for part in key), old, new))
+    else:
+        ambiguous = set()
+    base_indexed = _index_rows(headers, base_rows, key_indices)
+    now_indexed = _index_rows(headers, now_rows, key_indices)
+    if flag_ambiguous:
+        # The aligned path must never drop a baseline row silently: a
+        # key with no counterpart (e.g. a measured column acting as a
+        # key after projection) is called out row by row.
+        for key in base_indexed:
+            if key not in now_indexed and key not in ambiguous:
+                report.lines.append(
+                    "%-10s %-28s no matching current row after schema "
+                    "alignment — not compared"
+                    % (name, " ".join(str(part) for part in key)))
+    for key in base_indexed:
+        if key not in now_indexed or key in ambiguous:
+            continue
+        for index, direction, header in metric_indices:
+            old = base_indexed[key][index]
+            new = now_indexed[key][index]
+            if not isinstance(old, (int, float)) \
+                    or not isinstance(new, (int, float)) or old == 0:
+                continue
+            report.compared += 1
+            ratio = new / old
+            gain = ratio - 1.0 if direction > 0 else 1.0 - ratio
+            label = " ".join(str(part) for part in key)
+            detail = "%-10s %-28s %-14s %10.4g -> %-10.4g (%+.0f%%)" % (
+                name, label, header, old, new, gain * 100)
+            if gain <= -threshold:
+                report.regressions += 1
+                report.lines.append("REGRESSION  " + detail)
+            elif gain >= threshold:
+                report.improvements += 1
+                report.lines.append("improved    " + detail)
+
+
 def diff_trajectories(baseline: dict[str, Any], current: dict[str, Any], *,
                       threshold: float = 0.25) -> DiffReport:
     """Compare *current* against *baseline*; flag metric moves beyond
     ``threshold`` (e.g. 0.25 = ±25%).
 
-    Only experiments present in both trajectories are compared, and
-    only rows whose key columns match; metric columns are recognised by
-    their ``*_per_sec`` / ``*_seconds`` suffix.
+    Only experiments present in both trajectories are compared; metric
+    columns are recognised by their ``*_per_sec`` / ``*_seconds``
+    suffix. When an experiment's headers changed between trajectories
+    (a schema evolution, e.g. PR 3 adding the ``plane`` column to
+    ``analytics``), the old rows are aligned onto the shared columns
+    and compared there — with an explicit note naming the divergent
+    columns, and an explicit per-row warning for keys the alignment
+    leaves ambiguous — never skipped silently.
     """
     report = DiffReport()
     base_experiments = baseline.get("experiments", {})
@@ -74,39 +153,35 @@ def diff_trajectories(baseline: dict[str, Any], current: dict[str, Any], *,
     for name in shared:
         base = base_experiments[name]
         now = current_experiments[name]
-        headers = base.get("headers", [])
-        if headers != now.get("headers", []):
-            report.lines.append(
-                "%-10s headers changed — series not comparable" % name)
+        base_headers = base.get("headers", [])
+        now_headers = now.get("headers", [])
+        if base_headers == now_headers:
+            _compare_rows(report, name, base_headers, base.get("rows", []),
+                          now.get("rows", []), threshold)
             continue
-        metric_indices = [(i, _metric_direction(header), header)
-                          for i, header in enumerate(headers)
-                          if _metric_direction(header) is not None]
-        key_indices = [i for i, header in enumerate(headers)
-                       if _metric_direction(header) is None]
-        base_rows = _index_rows(headers, base.get("rows", []), key_indices)
-        now_rows = _index_rows(headers, now.get("rows", []), key_indices)
-        for key in base_rows:
-            if key not in now_rows:
-                continue
-            for index, direction, header in metric_indices:
-                old = base_rows[key][index]
-                new = now_rows[key][index]
-                if not isinstance(old, (int, float)) \
-                        or not isinstance(new, (int, float)) or old == 0:
-                    continue
-                report.compared += 1
-                ratio = new / old
-                gain = ratio - 1.0 if direction > 0 else 1.0 - ratio
-                label = " ".join(str(part) for part in key)
-                detail = "%-10s %-28s %-14s %10.4g -> %-10.4g (%+.0f%%)" % (
-                    name, label, header, old, new, gain * 100)
-                if gain <= -threshold:
-                    report.regressions += 1
-                    report.lines.append("REGRESSION  " + detail)
-                elif gain >= threshold:
-                    report.improvements += 1
-                    report.lines.append("improved    " + detail)
+        shared_headers = [header for header in now_headers
+                          if header in base_headers]
+        divergent = [header for header in base_headers + now_headers
+                     if header not in shared_headers]
+        if not shared_headers or not any(
+                _metric_direction(header) is not None
+                for header in shared_headers):
+            report.lines.append(
+                "%-10s headers changed (%s) — no shared metric "
+                "columns, series not comparable"
+                % (name, ", ".join(divergent) or "reordered"))
+            continue
+        report.lines.append(
+            "%-10s headers changed (%s) — comparing on shared "
+            "columns [%s]"
+            % (name, ", ".join(divergent), ", ".join(shared_headers)))
+        _compare_rows(
+            report, name, shared_headers,
+            _project_rows(base_headers, base.get("rows", []),
+                          shared_headers),
+            _project_rows(now_headers, now.get("rows", []),
+                          shared_headers),
+            threshold, flag_ambiguous=True)
     if skipped:
         report.lines.append(
             "(only in one trajectory, skipped: %s)" % ", ".join(skipped))

@@ -354,6 +354,61 @@ def sums_range_queries(*, range_spans: Sequence[int] = (16, 256, 2048),
 
 
 # ---------------------------------------------------------------------------
+# Versioned SUMs — snapshot visibility on the version-horizon plane
+# ---------------------------------------------------------------------------
+
+def sums_versioned(*, scans: int = 30,
+                   scale: int = 1000) -> ExperimentResult:
+    """Full-table SUM throughput: visibility × execution plane.
+
+    Not a paper table — the regression guard for the version-horizon
+    snapshot plane (this repo's time-travel analytics claim): a
+    full-table SUM at three visibilities — latest committed, ``as_of``
+    a timestamp *before* a light churn burst (every churned partition
+    is *frozen* at that time: dirty records serve from base slices),
+    and ``as_of`` a timestamp *after* it (churned records replay
+    through the lineage walk) — crossed with ``vectorized_scans``
+    on/off. The ``vectorized`` rows document the restored snapshot
+    fast path; the ``row`` rows keep the per-record baseline the PR-3
+    refactor had regressed every snapshot scan to.
+    """
+    import time
+
+    spec = _spec_for("low", scale)
+    result = ExperimentResult(
+        "SumsVersioned",
+        "Full-table SUM scans/s: visibility × plane",
+        ["plane", "visibility", "scans_per_sec"])
+    for vectorized in (True, False):
+        plane = "vectorized" if vectorized else "row"
+        engine = make_engine("lstore", spec.num_columns,
+                             vectorized_scans=vectorized)
+        try:
+            load_engine(engine, spec)
+            table = engine.table
+            pre_churn = table.clock.now()
+            from .harness import apply_fixed_update_backlog
+            apply_fixed_update_backlog(engine, spec,
+                                       max(spec.table_size // 50, 10))
+            post_churn = table.clock.now()
+            sweeps = (
+                ("latest", None),
+                ("as_of_pre_churn", pre_churn),
+                ("as_of_post_churn", post_churn),
+            )
+            for label, as_of in sweeps:
+                table.scan_sum(3, as_of=as_of)  # warm slice caches
+                started = time.perf_counter()
+                for _ in range(scans):
+                    table.scan_sum(3, as_of=as_of)
+                elapsed = time.perf_counter() - started
+                result.add_row(plane, label, round(scans / elapsed, 2))
+        finally:
+            engine.close()
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Analytics — filtered group-by scans under a concurrent update stream
 # ---------------------------------------------------------------------------
 
@@ -457,4 +512,5 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table8": table8_row_vs_column,
     "table9": table9_point_queries,
     "sums": sums_range_queries,
+    "sums_versioned": sums_versioned,
 }

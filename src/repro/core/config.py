@@ -124,6 +124,17 @@ class EngineConfig:
     #: by CI).
     vectorized_scans: bool = True
 
+    #: Maximum fraction of a range's records that may be dirty (have
+    #: unmerged tail activity) before the planner degrades the
+    #: partition from the vectorised column-slice plane to the
+    #: per-record row plane. Near-totally dirty partitions pay slice
+    #: stitching *plus* a per-record patch walk — measured ~2× slower
+    #: than walking the range once. The default sits just under the
+    #: measured crossover (vectorised still ~1.05-1.5× faster up to
+    #: ~66% dirty, parity ~91%, 2× slower at ~99%); 1.0 never
+    #: degrades.
+    vectorized_dirty_fraction: float = 0.85
+
     #: Worker threads of the shared analytical scan executor
     #: (:mod:`repro.exec`). 1 = run every scan partition inline on the
     #: calling thread; >1 = run partitions on a shared pool. Threads
@@ -161,6 +172,9 @@ class EngineConfig:
             raise ValueError("merge_ranges_per_merge must be positive")
         if self.scan_parallelism < 1:
             raise ValueError("scan_parallelism must be >= 1")
+        if not 0.0 < self.vectorized_dirty_fraction <= 1.0:
+            raise ValueError(
+                "vectorized_dirty_fraction must be in (0, 1]")
         if self.txn_gc_threshold < 0:
             raise ValueError("txn_gc_threshold must be >= 0")
 

@@ -280,6 +280,8 @@ def _merge_insert_range_locked(table: Table,
             pages_created += len(chain)
 
     update_range.base_tombstones = tombstones
+    update_range.merged_max_time = max(update_range.merged_max_time,
+                                       max(resolved_times, default=0))
     update_range.merged = True
 
     # The table-level tail pages of this sub-range can now be discarded
@@ -498,6 +500,9 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
         update_range.tps_rid = new_tps
         update_range.merge_count = new_merge_count
         update_range.base_tombstones -= deleted  # deletes now materialised
+        update_range.merged_max_time = max(
+            update_range.merged_max_time,
+            max(last_updated.values(), default=0))
 
     # Release the consumed prefix from the incremental scan patch-set —
     # strictly after the chain swap and watermark advance, so a
@@ -506,6 +511,10 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
     update_range.prune_dirty(
         base_rid - update_range.start_rid
         for _, base_rid in tail.iter_base_rids(start_offset, end_offset))
+    # The consumed prefix left the unmerged tail: recompute the
+    # version horizon over the remaining suffix (after the watermark
+    # advance, so the scan covers exactly the unmerged records).
+    table.rebuild_unmerged_horizon(update_range)
 
     # -- Step 5: epoch-based de-allocation of the outdated pages.
     table.epoch_manager.retire(

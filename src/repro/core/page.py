@@ -375,6 +375,25 @@ class RowPage:
         """True when *slot* holds a row."""
         return 0 <= slot < self.capacity and self._rows[slot] is not None
 
+    def refine_cell(self, slot: int, column: int, expected: Any,
+                    value: Any) -> bool:
+        """CAS-refine one cell of a written row (lazy stamping only).
+
+        The row-layout analogue of the columnar in-place Start Time
+        refinement: swap a resolved transaction marker for its commit
+        time so the transaction-manager entry becomes droppable. Rows
+        are immutable tuples shared with readers, so the refined row
+        replaces the slot atomically — a reader holds either the old
+        tuple (its marker still resolves through the manager until the
+        GC floor passes) or the new one; both read identically.
+        """
+        with self._lock:
+            row = self._rows[slot]
+            if row is None or row[column] != expected:
+                return False
+            self._rows[slot] = row[:column] + (value,) + row[column + 1:]
+            return True
+
     def freeze(self) -> None:
         """Mark the page read-only."""
         self._frozen = True

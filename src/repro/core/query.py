@@ -15,7 +15,7 @@ from typing import Any, Iterator, Sequence
 
 from ..errors import KeyNotFoundError
 from ..exec.executor import execute_scan
-from ..exec.operators import CollectRows, ColumnSum
+from ..exec.operators import CollectRows, ColumnSum, eq
 from .table import DELETED, Table
 from .version import visible_as_of, visible_latest_committed
 
@@ -182,10 +182,30 @@ class Query:
     def select_as_of(self, search_key: Any, search_column: int,
                      projection: Sequence[int] | None,
                      as_of: int) -> list[Record]:
-        """Time-travel select: the version visible at timestamp *as_of*."""
+        """Time-travel select: the version visible at timestamp *as_of*.
+
+        Indexed search columns walk the candidate fan-out per record;
+        an unindexed column becomes a planned full-table snapshot scan
+        (filter + row collection) on the executor's version-horizon
+        plane — which also surfaces records whose *current* version is
+        deleted or re-keyed but that matched at *as_of*, something the
+        latest-visibility candidate enumeration cannot see.
+        """
         columns = self._projection_columns(projection)
-        fetch = sorted(set(columns) | {search_column})
-        predicate = visible_as_of(as_of)
+        schema = self.table.schema
+        # Fetch the key column even when the projection excludes it:
+        # _materialize's fallback key lookup reads *latest* visibility,
+        # which is exactly wrong for records this path surfaces because
+        # they were deleted or re-keyed after the snapshot.
+        fetch = sorted(set(columns) | {search_column, schema.key_index})
+        if search_column != schema.key_index \
+                and self.table.index.secondary(search_column) is None:
+            collected = execute_scan(
+                self.table, CollectRows(fetch),
+                filters=(eq(search_column, search_key),), as_of=as_of)
+            return [self._materialize(rid, values, columns)
+                    for rid, values in collected]
+        predicate = visible_as_of(as_of, settle_precommit=True)
         records: list[Record] = []
         for rid in self._candidates(search_key, search_column):
             values = self.table.assemble_version(rid, fetch, predicate)
@@ -238,7 +258,16 @@ class Query:
 
     def sum_version(self, start_key: Any, end_key: Any, data_column: int,
                     relative_version: int) -> int:
-        """Historic SUM at *relative_version* steps in the past."""
+        """Historic SUM at *relative_version* steps in the past.
+
+        ``relative_version=0`` is the latest committed version, so it
+        routes through the scan executor like :meth:`sum` (batched
+        clean-record reads, dict-free value folds) instead of a
+        per-record chain walk; genuinely historic versions (< 0) keep
+        the exact relative-version walk.
+        """
+        if relative_version == 0:
+            return self.sum(start_key, end_key, data_column)
         total = 0
         for _, rid in self.table.index.primary.range_items(start_key,
                                                            end_key):

@@ -21,6 +21,7 @@ This module implements Sections 2 and 3 of the paper:
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
@@ -48,6 +49,37 @@ from .version import (ResolvedTime, TxnStateSource, VisibilityPredicate,
 
 #: Pseudo column index under which row-layout page chains are registered.
 ROW_CHAIN_COLUMN = -1
+
+#: Upper bound on how long a snapshot reader waits for a pre-commit
+#: transaction to settle (seconds). The validate→commit window is
+#: microseconds; the bound only matters for a transaction *abandoned*
+#: in pre-commit (owner thread died mid-commit), where the reader
+#: falls back to treating the outcome as undecided-and-invisible —
+#: the pre-settling behaviour — instead of hanging the process.
+#: Documented trade-off: a writer merely *paused* in pre-commit
+#: longer than this (debugger, suspended VM) can again tear a
+#: concurrent snapshot once it resumes; the bound is set generously
+#: above any plausible validation time so only genuinely wedged
+#: writers hit it.
+PRECOMMIT_SETTLE_TIMEOUT = 30.0
+
+
+def _settle_ticks() -> Iterator[None]:
+    """Pacing generator for the pre-commit settle loops.
+
+    Yields while the caller should re-probe the transaction state:
+    pure GIL yields for the first beats (the common case resolves in
+    microseconds), then a tiny sleep so a pack of waiting readers
+    stops convoying the GIL against the very validator they wait for,
+    all bounded by :data:`PRECOMMIT_SETTLE_TIMEOUT`. Exhaustion means
+    the writer is wedged; callers fall back to undecided-is-invisible.
+    """
+    deadline = time.monotonic() + PRECOMMIT_SETTLE_TIMEOUT
+    spins = 0
+    while time.monotonic() <= deadline:
+        time.sleep(0 if spins < 128 else 2e-5)
+        spins += 1
+        yield
 
 
 class Deleted:
@@ -309,6 +341,25 @@ class TailSegment:
                 return True
             return False
 
+    def replace_record_cell(self, offset: int, column: int, expected: Any,
+                            value: Any) -> bool:
+        """Layout-independent in-place cell refinement (lazy stamping).
+
+        Columnar records refine the raw page slot; row-layout records
+        refine through :meth:`~repro.core.page.RowPage.refine_cell`
+        (replacing the immutable row tuple atomically). Compressed
+        regions store resolved times only and are never refined.
+        """
+        if offset < self.compressed_upto:
+            return False
+        if self.layout is Layout.ROW:
+            page_index, slot = divmod(offset, self.page_capacity)
+            if page_index >= len(self._row_pages):
+                return False
+            return self._row_pages[page_index].refine_cell(
+                slot, column, expected, value)
+        return self.replace_cell(offset, column, expected, value)
+
     # -- row IO -------------------------------------------------------------
 
     def _row_page_for_write(self, page_index: int) -> RowPage:
@@ -550,6 +601,20 @@ class UpdateRange:
         #: cost tracks the unmerged-update count (Figure 8).
         self.dirty_counts: dict[int, int] = {}
         self._dirty_lock = threading.Lock()
+        #: Version-horizon summary of the *unmerged* tail: a lower
+        #: bound on the commit time of every unmerged regular tail
+        #: record (None = no unmerged regular records). Maintained
+        #: under ``_dirty_lock`` by :meth:`note_horizon` on every
+        #: append and rebuilt by the merge once a prefix is consumed;
+        #: a snapshot-scan at time T with ``T < unmerged_min_time``
+        #: knows no unmerged update can be visible at T.
+        self.unmerged_min_time: int | None = None
+        #: Version-horizon summary of the merged content: the largest
+        #: commit time consolidated into the base pages (insert times
+        #: and merged update/delete times). A snapshot-scan at time T
+        #: with ``T >= merged_max_time`` knows every base-page value
+        #: is old enough to be visible at T.
+        self.merged_max_time = 0
         #: Vectorised-scan slice cache: data column → ``(chain, values,
         #: nulls, declined)``. A chain is an immutable page tuple the
         #: merge swaps atomically, so identity captures every value
@@ -626,6 +691,38 @@ class UpdateRange:
         """Snapshot of offsets with at least one unmerged tail record."""
         with self._dirty_lock:
             return set(self.dirty_counts)
+
+    # -- version-horizon summary -------------------------------------------
+
+    def note_horizon(self, time_lower_bound: int) -> None:
+        """Fold one unmerged regular tail record into the horizon.
+
+        *time_lower_bound* is a value known not to exceed the record's
+        eventual commit time: the start cell itself for auto-commit
+        writes, the current clock reading for transaction markers
+        (commit times are drawn from the monotonic clock strictly
+        after the append). Snapshot records carry no version and are
+        never noted.
+        """
+        with self._dirty_lock:
+            current = self.unmerged_min_time
+            if current is None or time_lower_bound < current:
+                self.unmerged_min_time = time_lower_bound
+
+    def set_unmerged_horizon(self, minimum: int | None) -> None:
+        """Install the recomputed unmerged horizon (merge / recovery)."""
+        with self._dirty_lock:
+            self.unmerged_min_time = minimum
+
+    def horizon_snapshot(self) -> tuple[set[int], int | None, int]:
+        """Atomic ``(dirty offsets, unmerged horizon, merged horizon)``.
+
+        One lock acquisition so a snapshot scan classifies against a
+        patch-set and the horizon that belong to the same instant.
+        """
+        with self._dirty_lock:
+            return (set(self.dirty_counts), self.unmerged_min_time,
+                    self.merged_max_time)
 
     def rid_array(self) -> Any:
         """Cached int64 array of this range's base RIDs (scan plane)."""
@@ -790,6 +887,57 @@ class Table:
         """Resolve a Start Time cell against the transaction manager."""
         return resolve_start_cell(cell, self.txn_source)
 
+    def resolve_cell_settled(self, cell: int) -> ResolvedTime:
+        """Resolve a cell, waiting out the pre-commit window.
+
+        Snapshot **reads** must not guess about a transaction that
+        already owns its commit time but has not finished validating:
+        calling it invisible while a record resolved a moment later
+        sees it committed tears the snapshot (one leg of a transfer
+        visible, the other not — the conservation stress caught
+        exactly this). The validate→commit window is short, so the
+        reader spins, yielding; validation itself uses the unsettled
+        resolver, so validators never wait on each other.
+        """
+        resolved = resolve_start_cell(cell, self.txn_source)
+        if resolved.state is not TransactionState.PRE_COMMIT:
+            return resolved
+        for _ in _settle_ticks():
+            resolved = resolve_start_cell(cell, self.txn_source)
+            if resolved.state is not TransactionState.PRE_COMMIT:
+                return resolved
+        return resolved  # wedged pre-commit: undecided stays invisible
+
+    def _resolver(self, predicate: VisibilityPredicate,
+                  ) -> Callable[[int], ResolvedTime]:
+        """The resolver a *predicate* wants (settled for snapshot reads)."""
+        if getattr(predicate, "settle_precommit", False):
+            return self.resolve_cell_settled
+        return self.resolve_cell
+
+    def committed_time_settled(self, cell: int) -> int | None:
+        """:meth:`committed_time`, waiting out the pre-commit window."""
+        if not cell & TXN_ID_FLAG:
+            return cell
+        if self.txn_source is None:
+            return None
+
+        def probe() -> tuple[bool, int | None]:
+            state, commit_time = self.txn_source.lookup(
+                cell & ~TXN_ID_FLAG)
+            if state is TransactionState.COMMITTED:
+                return True, commit_time
+            return state is not TransactionState.PRE_COMMIT, None
+
+        settled, commit_time = probe()
+        if settled:
+            return commit_time
+        for _ in _settle_ticks():
+            settled, commit_time = probe()
+            if settled:
+                return commit_time
+        return None  # wedged pre-commit stays invisible
+
     def committed_time(self, cell: int) -> int | None:
         """Commit time of a Start Time cell, or None when uncommitted.
 
@@ -817,11 +965,34 @@ class Table:
         if not cell & TXN_ID_FLAG:
             return cell
         commit_time = self.committed_time(cell)
-        if commit_time is not None and self._layout is Layout.COLUMNAR \
-                and tail_offset >= segment.compressed_upto:
-            segment.replace_cell(tail_offset, START_TIME_COLUMN, cell,
-                                 commit_time)
+        if commit_time is not None:
+            segment.replace_record_cell(tail_offset, START_TIME_COLUMN,
+                                        cell, commit_time)
         return commit_time
+
+    def _tail_committed_time_settled(self, segment: TailSegment,
+                                     tail_offset: int,
+                                     cell: int) -> int | None:
+        """:meth:`_tail_committed_time`, waiting out pre-commit."""
+
+        def probe() -> tuple[bool, int | None]:
+            commit_time = self._tail_committed_time(segment, tail_offset,
+                                                    cell)
+            if commit_time is not None:
+                return True, commit_time
+            if self.txn_source is None:
+                return True, None
+            state, _ = self.txn_source.lookup(cell & ~TXN_ID_FLAG)
+            return state is not TransactionState.PRE_COMMIT, None
+
+        settled, commit_time = probe()
+        if settled:
+            return commit_time
+        for _ in _settle_ticks():
+            settled, commit_time = probe()
+            if settled:
+                return commit_time
+        return None  # wedged pre-commit stays invisible
 
     # ------------------------------------------------------------------
     # Insert procedure (Section 3.2)
@@ -973,6 +1144,13 @@ class Table:
 
         new_rid, new_offset = tail.allocate()
         update_range.note_tail_append(offset)
+        # Version-horizon bookkeeping: a plain start cell *is* the
+        # commit time; a transaction marker's commit time is drawn
+        # from the monotonic clock strictly after this append, so the
+        # current reading is a valid lower bound.
+        update_range.note_horizon(
+            start_cell if not start_cell & TXN_ID_FLAG
+            else self.clock.now())
         backpointer = previous if previous != NULL_RID else rid
         if is_delete:
             encoding = SchemaEncoding.empty(num_columns)
@@ -2058,6 +2236,126 @@ class Table:
         update_range.slice_cache[data_column] = entry
         return entry
 
+    def read_version_slices(self, update_range: UpdateRange,
+                            data_columns: Sequence[int], as_of: int,
+                            ) -> RangeColumnSlices | None:
+        """Column slices for a snapshot scan at time *as_of*.
+
+        The **version-horizon plane**: like
+        :meth:`read_column_slices`, but ``valid`` marks the offsets
+        whose base-page values are the version *visible at as_of* —
+        decided per record from the merged Start Time and Last Updated
+        Time column slices (both hold plain commit times in merged
+        pages):
+
+        * ``start > as_of`` — inserted after the snapshot: invisible,
+          dropped outright (no walk);
+        * ``start <= as_of < last_updated`` — the base consolidation
+          is newer than the snapshot (a *straddler*, including merged
+          deletes whose delete time postdates ``as_of``): the
+          :meth:`assemble_version` walk resurrects the older version
+          from the lineage chain;
+        * ``start <= as_of`` and ``last_updated <= as_of`` — the base
+          value is the visible version, served array-at-a-time.
+
+        Records with unmerged tail activity (the patch-set) normally
+        join the walk — except when the range's version horizon proves
+        the partition **frozen** at ``as_of``: every consolidated
+        commit time is ``<= as_of`` (``merged_max_time``) and every
+        unmerged record's commit time is ``> as_of``
+        (``unmerged_min_time``), so even dirty records serve straight
+        from the base slices. The horizon, the patch-set, and the
+        Lemma-3 cross-chain TPS checks (metadata chains included, so a
+        decoupled per-column merge can never smuggle a too-new value
+        past the Last Updated slice) are all conservative: a stale
+        summary only sends more records to the always-correct walk.
+
+        Returns None when the range cannot serve slices at all
+        (unmerged, row layout, or a missing chain); the caller then
+        falls back to the per-record row plane.
+        """
+        if not update_range.merged or self._layout is Layout.ROW:
+            return None
+        patch, unmerged_min, merged_max = update_range.horizon_snapshot()
+        if not self.config.incremental_dirty_sets:
+            patch = self._tail_patch_offsets(update_range,
+                                             update_range.merged_upto)
+        tombstones = set(update_range.base_tombstones)
+        size = update_range.size
+        records_per_page = self._records_per_page
+        directory = self.page_directory
+        range_id = update_range.range_id
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        key_chain = directory.base_chain(range_id, key_physical)
+        start_chain = directory.base_chain(range_id, START_TIME_COLUMN)
+        last_chain = directory.base_chain(range_id, LAST_UPDATED_COLUMN)
+        if key_chain is None or start_chain is None or last_chain is None:
+            return None
+        chains = {}
+        for data_column in data_columns:
+            chain = directory.base_chain(
+                range_id, NUM_METADATA_COLUMNS + data_column)
+            if chain is None:
+                return None
+            chains[data_column] = chain
+        key_entry = self._column_slice(
+            update_range, self.schema.key_index, key_chain,
+            liveness_fallback=True)
+        start_entry = self._column_slice(
+            update_range, ("meta", START_TIME_COLUMN), start_chain)
+        last_entry = self._column_slice(
+            update_range, ("meta", LAST_UPDATED_COLUMN), last_chain)
+        walk: set[int] = set(start_entry[3])
+        walk.update(last_entry[3])
+        columns = {}
+        for data_column in data_columns:
+            entry = self._column_slice(update_range, data_column,
+                                       chains[data_column])
+            columns[data_column] = (entry[1], entry[2])
+            walk.update(entry[3])
+        # Lemma 3 across every consulted chain — the metadata chains
+        # too: a decoupled per-column merge swaps data chains without
+        # rebuilding Last Updated, and the TPS mismatch is the only
+        # thing marking those pages stale for a snapshot read.
+        secondary = [start_chain, last_chain]
+        secondary.extend(chains.values())
+        for page_index, key_page in enumerate(key_chain):
+            seen_tps = key_page.tps_rid
+            for chain in secondary:
+                if chain[page_index].tps_rid != seen_tps:
+                    page_start = page_index * records_per_page
+                    walk.update(range(page_start,
+                                      min(page_start + records_per_page,
+                                          size)))
+                    break
+        frozen = merged_max <= as_of and (
+            not patch or (unmerged_min is not None
+                          and as_of < unmerged_min))
+        if not frozen:
+            walk.update(patch)
+        start_vals, start_nulls = start_entry[1], start_entry[2]
+        last_vals, last_nulls = last_entry[1], last_entry[2]
+        started = (start_vals <= as_of) & ~start_nulls
+        settled = (last_vals <= as_of) & ~last_nulls
+        visible = started & settled & ~key_entry[2]
+        if tombstones:
+            visible[list(tombstones)] = False
+            walk.difference_update(tombstones)
+        walk.update(int(offset)
+                    for offset in np.flatnonzero(started & ~settled))
+        # A record inserted after as_of has no visible version at all
+        # — not even a walk can find one — so only started (or
+        # start-unreadable) offsets go to the walk list.
+        dirty = sorted(offset for offset in walk if offset < size
+                       and (started[offset] or start_nulls[offset]))
+        if dirty:
+            visible[dirty] = False
+        return RangeColumnSlices(start_rid=update_range.start_rid,
+                                 size=size, columns=columns,
+                                 valid=visible,
+                                 rids=update_range.rid_array(),
+                                 dirty=dirty)
+
     def read_range_column_total(self, update_range: UpdateRange,
                                 data_column: int,
                                 ) -> tuple[int, list[int]] | None:
@@ -2181,7 +2479,7 @@ class Table:
                            ) -> dict[int, Any] | None:
         start_cell = self._read_base_cell(update_range, offset,
                                           START_TIME_COLUMN)
-        if not predicate(self.resolve_cell(start_cell)):
+        if not predicate(self._resolver(predicate)(start_cell)):
             return None
         key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
         physicals = [key_physical]
@@ -2198,15 +2496,14 @@ class Table:
                              data_columns: Sequence[int],
                              predicate: VisibilityPredicate,
                              ) -> dict[int, Any] | Deleted | None:
-        last_updated = self._read_base_cell(update_range, offset,
-                                            LAST_UPDATED_COLUMN)
-        if not predicate(self.resolve_cell(last_updated)):
-            return None
         key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
         page_index = offset // self._records_per_page
         slot = offset % self._records_per_page
-        values: dict[int, Any] = {}
         if self._layout is Layout.ROW:
+            last_updated = self._read_base_cell(update_range, offset,
+                                                LAST_UPDATED_COLUMN)
+            if not predicate(self._resolver(predicate)(last_updated)):
+                return None
             chain = self.page_directory.base_chain(update_range.range_id,
                                                    ROW_CHAIN_COLUMN)
             row = chain[page_index].read_row(slot)
@@ -2217,9 +2514,24 @@ class Table:
         directory = self.page_directory
         range_id = update_range.range_id
         key_page = directory.base_chain(range_id, key_physical)[page_index]
+        seen_tps = key_page.tps_rid
+        # The Last Updated page joins the Lemma-3 cross-check: a merge
+        # swaps chains one column at a time, and a stale Last Updated
+        # cell paired with a freshly consolidated data page would let
+        # a snapshot reader accept a too-new value (one leg of a
+        # transfer — the conservation stress caught exactly this).
+        last_page = directory.base_chain(range_id,
+                                         LAST_UPDATED_COLUMN)[page_index]
+        if last_page.tps_rid != seen_tps:
+            raise InconsistentReadError(
+                "TPS mismatch on Last Updated: %d vs %d"
+                % (last_page.tps_rid, seen_tps))
+        last_updated = last_page.read_slot(slot)
+        if not predicate(self._resolver(predicate)(last_updated)):
+            return None
         if is_null(key_page.read_slot(slot)):
             return DELETED
-        seen_tps = key_page.tps_rid
+        values: dict[int, Any] = {}
         for data_column in data_columns:
             page = directory.base_chain(
                 range_id, NUM_METADATA_COLUMNS + data_column)[page_index]
@@ -2249,6 +2561,7 @@ class Table:
         update_range, offset = self.locate(rid)
         indirection = update_range.indirection.read(offset)
         num_columns = self.schema.num_columns
+        resolve = self._resolver(predicate)
 
         # Phase 1: pick the target version.
         target_is_base = False
@@ -2262,7 +2575,7 @@ class Table:
                 segment.record_cell(tail_offset, SCHEMA_ENCODING_COLUMN))
             if not segment.is_tombstone(tail_offset) \
                     and not encoding.is_snapshot:
-                resolved = self.resolve_cell(
+                resolved = resolve(
                     segment.record_cell(tail_offset, START_TIME_COLUMN))
                 if predicate(resolved):
                     if to_skip == 0:
@@ -2273,7 +2586,7 @@ class Table:
         if target_rid is None:
             base_start = self._read_base_cell(update_range, offset,
                                               START_TIME_COLUMN)
-            if not predicate(self.resolve_cell(base_start)):
+            if not predicate(resolve(base_start)):
                 return None
             target_is_base = True
 
@@ -2315,7 +2628,7 @@ class Table:
                             self.schema.physical_index(data_column))
                         remaining.discard(data_column)
             else:
-                resolved = self.resolve_cell(
+                resolved = resolve(
                     segment.record_cell(tail_offset, START_TIME_COLUMN))
                 if predicate(resolved):
                     visible_seen += 1
@@ -2345,6 +2658,7 @@ class Table:
         update_range, offset = self.locate(rid)
         cursor = update_range.indirection.read(offset)
         num_columns = self.schema.num_columns
+        resolve = self._resolver(predicate)
         while is_tail_rid(cursor):
             segment, tail_offset = update_range.locate_tail(cursor)
             encoding = SchemaEncoding.from_int(
@@ -2352,7 +2666,7 @@ class Table:
                 segment.record_cell(tail_offset, SCHEMA_ENCODING_COLUMN))
             if not segment.is_tombstone(tail_offset) \
                     and not encoding.is_snapshot:
-                resolved = self.resolve_cell(
+                resolved = resolve(
                     segment.record_cell(tail_offset, START_TIME_COLUMN))
                 if predicate(resolved):
                     return cursor
@@ -2361,7 +2675,7 @@ class Table:
             return None
         base_start = self._read_base_cell(update_range, offset,
                                           START_TIME_COLUMN)
-        if predicate(self.resolve_cell(base_start)):
+        if predicate(resolve(base_start)):
             return rid
         return None
 
@@ -2396,6 +2710,7 @@ class Table:
         remaining = set(data_columns)
         values: dict[int, Any] = {}
         version_rid: int | None = None
+        resolve = self._resolver(predicate)
         cursor = update_range.indirection.read(offset)
         while is_tail_rid(cursor):
             segment, tail_offset = update_range.locate_tail(cursor)
@@ -2417,7 +2732,7 @@ class Table:
                             self.schema.physical_index(data_column))
                         remaining.discard(data_column)
             else:
-                resolved = self.resolve_cell(
+                resolved = resolve(
                     segment.record_cell(tail_offset, START_TIME_COLUMN))
                 if predicate(resolved):
                     if version_rid is None:
@@ -2436,7 +2751,7 @@ class Table:
         if version_rid is None:
             base_start = self._read_base_cell(update_range, offset,
                                               START_TIME_COLUMN)
-            if not predicate(self.resolve_cell(base_start)):
+            if not predicate(resolve(base_start)):
                 return None, None
             version_rid = rid
         for data_column in remaining:
@@ -2559,6 +2874,223 @@ class Table:
             return None
         return self._read_base_cell(update_range, offset, physical)
 
+    def version_column_value(self, update_range: UpdateRange, offset: int,
+                             data_column: int, as_of: int) -> Any:
+        """Value of one column in the version visible at *as_of*.
+
+        The snapshot analogue of :meth:`latest_column_value`: returns
+        the value, :data:`DELETED`, or None when no version is visible
+        at *as_of*. Allocation-free — raw encoding ints, no predicate
+        closures, no per-record dict — this is how the version-horizon
+        plane patches its straddling/dirty offsets for single-column
+        aggregates. One newest→oldest walk: the newest regular record
+        with commit time ``<= as_of`` is the target version; a
+        snapshot record passed *above* the target proves the column's
+        first update postdates the target, so its original value is
+        the answer (the Lemma-2 resurrection); below the target, chain
+        order equals commit order (one live writer per record), so the
+        first record carrying the column decides.
+        """
+        num_columns = self.schema.num_columns
+        mask = (1 << num_columns) - 1
+        snapshot_bit = 1 << num_columns
+        column_bit = 1 << (num_columns - 1 - data_column)
+        physical = NUM_METADATA_COLUMNS + data_column
+        snap_value: Any = UNWRITTEN
+        target_found = False
+        cursor = update_range.indirection.read(offset)
+        while is_tail_rid(cursor):
+            segment, tail_offset = update_range.locate_tail(cursor)
+            encoding = segment.record_cell(tail_offset,
+                                           SCHEMA_ENCODING_COLUMN)
+            if not segment.is_tombstone(tail_offset):
+                if encoding & snapshot_bit:
+                    if encoding & column_bit:
+                        if target_found:
+                            return segment.record_cell(tail_offset,
+                                                       physical)
+                        if snap_value is UNWRITTEN:
+                            snap_value = segment.record_cell(tail_offset,
+                                                             physical)
+                elif not target_found:
+                    committed = self._tail_committed_time_settled(
+                        segment, tail_offset,
+                        segment.record_cell(tail_offset,
+                                            START_TIME_COLUMN))
+                    if committed is not None and committed <= as_of:
+                        bits = encoding & mask
+                        if not bits:
+                            return DELETED
+                        if snap_value is not UNWRITTEN:
+                            return snap_value
+                        if bits & column_bit:
+                            return segment.record_cell(tail_offset,
+                                                       physical)
+                        target_found = True  # walk on for the value
+                elif encoding & column_bit:
+                    return segment.record_cell(tail_offset, physical)
+            cursor = segment.record_cell(tail_offset, INDIRECTION_COLUMN)
+        if target_found:
+            # No tail record ever carried the column: never updated,
+            # and the merge never changes never-updated columns.
+            return self._read_base_cell(update_range, offset, physical)
+        if not self.base_record_exists(update_range, offset):
+            return None
+        committed = self.committed_time_settled(self._read_base_cell(
+            update_range, offset, START_TIME_COLUMN))
+        if committed is None or committed > as_of:
+            return None
+        if snap_value is not UNWRITTEN:
+            return snap_value  # every update postdates as_of: original
+        return self._read_base_cell(update_range, offset, physical)
+
+    def read_range_version_values(self, update_range: UpdateRange,
+                                  data_column: int,
+                                  as_of: int) -> list[Any]:
+        """Dict-free single-column snapshot values of one whole range.
+
+        The snapshot analogue of :meth:`read_range_values` — the row
+        plane's full-range driver for unfiltered single-column
+        aggregates under ``as_of`` visibility: one offset loop, base
+        cells read straight from the hoisted pages/rows with the
+        Start Time / Last Updated cells deciding visibility per record
+        (insert after *as_of* → skip; consolidation newer than
+        *as_of* → the :meth:`version_column_value` walk; otherwise the
+        base value serves), patch-set records walking their lineage.
+        Invisible, deleted, and never-written slots are skipped.
+        """
+        values: list[Any] = []
+        patch = self._scan_patch_offsets(update_range)
+        size = update_range.size
+        key_physical = NUM_METADATA_COLUMNS + self.schema.key_index
+        physical = NUM_METADATA_COLUMNS + data_column
+
+        def walk(offset: int) -> None:
+            value = self.version_column_value(update_range, offset,
+                                              data_column, as_of)
+            if value is not None and value is not DELETED:
+                values.append(value)
+
+        if not update_range.merged:
+            segment = update_range.insert_range.segment
+            delta = update_range.start_rid \
+                - update_range.insert_range.start_rid
+            capacity = segment.page_capacity
+            row_layout = self._layout is Layout.ROW
+            if row_layout:
+                row_pages = segment.row_pages()
+            else:
+                page_lists = {
+                    column: segment.pages_for_column(column)
+                    for column in (START_TIME_COLUMN, key_physical,
+                                   physical)
+                }
+
+                def cell(column: int, insert_offset: int) -> Any:
+                    pages = page_lists[column]
+                    page_index, slot = divmod(insert_offset, capacity)
+                    if page_index >= len(pages):
+                        return NULL
+                    value = pages[page_index].peek_slot(slot)
+                    return NULL if value is UNWRITTEN else value
+
+            for offset in range(size):
+                insert_offset = delta + offset
+                if offset in patch \
+                        or insert_offset < segment.compressed_upto:
+                    walk(offset)
+                    continue
+                if segment.is_tombstone(insert_offset):
+                    continue
+                if row_layout:
+                    page_index, slot = divmod(insert_offset, capacity)
+                    row = row_pages[page_index].read_row(slot) \
+                        if page_index < len(row_pages) \
+                        and row_pages[page_index].is_written(slot) else None
+                    if row is None:
+                        continue  # never written
+                    start_cell = row[START_TIME_COLUMN]
+                    key_value = row[key_physical]
+                else:
+                    start_cell = cell(START_TIME_COLUMN, insert_offset)
+                    if is_null(start_cell):
+                        continue  # never written
+                    key_value = cell(key_physical, insert_offset)
+                committed = self.committed_time_settled(start_cell) \
+                    if type(start_cell) is int else None
+                if committed is None or committed > as_of \
+                        or is_null(key_value):
+                    continue
+                values.append(row[physical] if row_layout
+                              else cell(physical, insert_offset))
+            return values
+
+        tombstones = update_range.base_tombstones
+        records_per_page = self._records_per_page
+        if self._layout is Layout.ROW:
+            chain = self.page_directory.base_chain(update_range.range_id,
+                                                   ROW_CHAIN_COLUMN)
+            offset = 0
+            for page in chain if chain is not None else ():
+                for row in page.read_rows():
+                    if offset >= size:
+                        return values
+                    current, offset = offset, offset + 1
+                    if current in tombstones:
+                        continue
+                    if current in patch or row is None:
+                        if row is None and current not in patch:
+                            continue  # never written
+                        walk(current)
+                        continue
+                    if row[START_TIME_COLUMN] > as_of:
+                        continue  # inserted after the snapshot
+                    if row[LAST_UPDATED_COLUMN] > as_of:
+                        walk(current)  # consolidation too new
+                        continue
+                    if is_null(row[key_physical]):
+                        continue  # settled merged delete or hole
+                    values.append(row[physical])
+            for current in range(offset, size):  # mid-install fallback
+                if current not in tombstones:
+                    walk(current)
+            return values
+
+        directory = self.page_directory
+        range_id = update_range.range_id
+        key_chain = directory.base_chain(range_id, key_physical)
+        start_chain = directory.base_chain(range_id, START_TIME_COLUMN)
+        last_chain = directory.base_chain(range_id, LAST_UPDATED_COLUMN)
+        data_chain = directory.base_chain(range_id, physical)
+        if key_chain is None or start_chain is None \
+                or last_chain is None or data_chain is None:
+            for offset in range(size):  # mid-install: the walk is safe
+                if offset not in tombstones:
+                    walk(offset)
+            return values
+        for offset in range(size):
+            if offset in tombstones:
+                continue
+            if offset in patch:
+                walk(offset)
+                continue
+            page_index, slot = divmod(offset, records_per_page)
+            key_tps = key_chain[page_index].tps_rid
+            if data_chain[page_index].tps_rid != key_tps \
+                    or start_chain[page_index].tps_rid != key_tps \
+                    or last_chain[page_index].tps_rid != key_tps:
+                walk(offset)  # Lemma 3: decoupled merge in flight
+                continue
+            if start_chain[page_index].read_slot(slot) > as_of:
+                continue  # inserted after the snapshot
+            if last_chain[page_index].read_slot(slot) > as_of:
+                walk(offset)  # consolidation too new: resurrect
+                continue
+            if is_null(key_chain[page_index].read_slot(slot)):
+                continue  # settled merged delete or hole
+            values.append(data_chain[page_index].read_slot(slot))
+        return values
+
     def read_relative_version(self, rid: int,
                               data_columns: Sequence[int] | None,
                               relative_version: int,
@@ -2593,8 +3125,10 @@ class Table:
         array-at-a-time with only dirty records patched through the
         per-record walk — so scan cost grows with the number of
         unmerged tail records, which is exactly the effect Figure 8
-        measures. *as_of* scans walk each record's lineage instead
-        (always correct, per Theorem 2).
+        measures. *as_of* scans run on the version-horizon plane
+        (:meth:`read_version_slices`): base slices masked by the Start
+        Time / Last Updated slices, with only straddling or dirty
+        records walking their lineage (always correct, per Theorem 2).
         """
         from ..exec.executor import execute_scan
         from ..exec.operators import ColumnSum
@@ -2621,6 +3155,44 @@ class Table:
             return update_range.dirty_offsets()
         return self._tail_patch_offsets(update_range,
                                         update_range.merged_upto)
+
+    def rebuild_unmerged_horizon(self, update_range: UpdateRange) -> None:
+        """Recompute the unmerged version horizon from the tail suffix.
+
+        Called after a merge consumes a tail prefix (and after WAL
+        recovery): the new ``unmerged_min_time`` is the smallest
+        commit-time lower bound over the remaining unmerged regular
+        records. Held under the dirty lock for the whole scan so
+        concurrent appends cannot slip a record between the scan and
+        the install; transaction markers and in-flight appends resolve
+        to the fully conservative bound 0 (the next merge clears them),
+        so the summary can only under-promise, never over-promise.
+        """
+        tail = update_range.tail
+        snapshot_bit = 1 << self.schema.num_columns
+        with update_range._dirty_lock:
+            if tail is None:
+                update_range.unmerged_min_time = None
+                return
+            minimum: int | None = None
+            limit = tail.num_allocated()
+            for offset in range(update_range.merged_upto, limit):
+                if not tail.record_written(offset):
+                    minimum = 0  # in-flight append: unknown commit time
+                    break
+                if tail.is_tombstone(offset):
+                    continue
+                encoding = tail.record_cell(offset, SCHEMA_ENCODING_COLUMN)
+                if type(encoding) is int and encoding & snapshot_bit:
+                    continue  # snapshot records carry no version
+                cell = tail.record_cell(offset, START_TIME_COLUMN)
+                bound = cell if type(cell) is int \
+                    and not cell & TXN_ID_FLAG else 0
+                if minimum is None or bound < minimum:
+                    minimum = bound
+                if minimum == 0:
+                    break
+            update_range.unmerged_min_time = minimum
 
     def scan_records(self, data_columns: Sequence[int] | None = None,
                      predicate: VisibilityPredicate | None = None,
@@ -2675,9 +3247,12 @@ class Table:
         transaction or mid-append record.
 
         Returns the lowest commit time among committed markers that
-        could **not** be stamped (row layout has no in-place cell
-        refinement), or None when nothing blocks. The auto-GC must keep
-        every entry at or above that time.
+        could **not** be stamped (a refinement CAS lost to a racing
+        reader-stamp — transient, re-checked next sweep), or None when
+        nothing blocks. Both layouts refine in place now — the row
+        layout through :meth:`~repro.core.page.RowPage.refine_cell` —
+        so row-layout tables no longer pin the GC watermark forever.
+        The auto-GC must keep every entry at or above that time.
         """
         blocker: int | None = None
         segments: list[TailSegment] = []
@@ -2697,7 +3272,6 @@ class Table:
     def _stamp_segment_markers(self, segment: TailSegment) -> int | None:
         offset = segment.stamped_upto
         limit = segment.num_allocated()
-        columnar = self._layout is Layout.COLUMNAR
         while offset < limit:
             if offset < segment.compressed_upto \
                     and segment._part_for(offset) is not None:
@@ -2713,14 +3287,13 @@ class Table:
                 state, commit_time = self.txn_source.lookup(
                     cell & ~TXN_ID_FLAG)
                 if state is TransactionState.COMMITTED:
-                    stamped = columnar \
-                        and offset >= segment.compressed_upto \
-                        and segment.replace_cell(offset, START_TIME_COLUMN,
-                                                 cell, commit_time)
+                    stamped = segment.replace_record_cell(
+                        offset, START_TIME_COLUMN, cell, commit_time)
                     if not stamped and segment.record_cell(
                             offset, START_TIME_COLUMN) == cell:
-                        # Unstampable committed marker (row layout):
-                        # its entry must survive; re-checked next sweep.
+                        # Unstampable committed marker (CAS raced and
+                        # the marker is still in place): its entry
+                        # must survive; re-checked next sweep.
                         segment.stamped_upto = offset
                         return commit_time
                 elif state is not TransactionState.ABORTED:

@@ -72,13 +72,28 @@ def visible_latest_committed(resolved: ResolvedTime) -> bool:
     return resolved.committed
 
 
-def visible_as_of(as_of: int) -> VisibilityPredicate:
-    """Snapshot visibility: committed with commit time <= *as_of*."""
+def visible_as_of(as_of: int, *,
+                  settle_precommit: bool = False) -> VisibilityPredicate:
+    """Snapshot visibility: committed with commit time <= *as_of*.
+
+    *settle_precommit* marks the predicate for **read** paths: a
+    transaction in the pre-commit state already owns its commit time,
+    so whether its versions belong to the snapshot is decided but not
+    yet observable — treating it as invisible while a record resolved
+    a moment later sees it committed tears the snapshot (one leg of a
+    transfer visible, the other not). Resolution sites then wait out
+    the short validate→commit window
+    (:meth:`~repro.core.table.Table.resolve_cell_settled`). Leave it
+    False for OCC *validation* — a validating transaction is itself in
+    pre-commit, and two validators settling on each other's markers
+    would deadlock.
+    """
 
     def predicate(resolved: ResolvedTime) -> bool:
         return resolved.committed and resolved.time is not None \
             and resolved.time <= as_of
 
+    predicate.settle_precommit = settle_precommit
     return predicate
 
 
@@ -92,6 +107,7 @@ def visible_to_txn(txn_id: int,
             return True
         return base(resolved)
 
+    predicate.settle_precommit = getattr(base, "settle_precommit", False)
     return predicate
 
 
@@ -100,6 +116,8 @@ def visible_speculative(base: VisibilityPredicate) -> VisibilityPredicate:
 
     "The speculative read ... allows reading updated/inserted records by
     those transactions that are in the pre-commit state" (Section 5.1.1).
+    Never settles the pre-commit window — waiting it out would make the
+    pre-commit state unobservable, which is the point of this read.
     """
 
     def predicate(resolved: ResolvedTime) -> bool:
@@ -107,4 +125,5 @@ def visible_speculative(base: VisibilityPredicate) -> VisibilityPredicate:
             return True
         return base(resolved)
 
+    predicate.settle_precommit = False
     return predicate

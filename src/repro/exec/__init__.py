@@ -14,10 +14,12 @@ ad-hoc scan walks of :mod:`repro.core.table` into a planned pipeline:
   serially or on a shared worker pool
   (:attr:`~repro.core.config.EngineConfig.scan_parallelism`).
 
-Execution follows a **two-plane model**:
+Execution follows a **three-plane model**:
 
 * The **vectorised plane** serves clean, merged, columnar partitions
-  (behind :attr:`~repro.core.config.EngineConfig.vectorized_scans`):
+  (behind :attr:`~repro.core.config.EngineConfig.vectorized_scans`,
+  while the partition's dirty fraction stays below
+  :attr:`~repro.core.config.EngineConfig.vectorized_dirty_fraction`):
   the storage layer stitches each scanned column into one contiguous
   NumPy slice with a validity mask built from the incremental
   dirty-offset patch-sets and tombstones
@@ -28,17 +30,32 @@ Execution follows a **two-plane model**:
   consumption the paper's Table 8 bandwidth argument depends on, and
   the NumPy kernels release the GIL, so ``scan_parallelism`` pays off
   on stock CPython.
+* The **version-horizon plane** serves snapshot scans (``as_of`` and
+  repeatable-read sums) from the same merged column slices
+  (:meth:`~repro.core.table.Table.read_version_slices`): the Start
+  Time and Last Updated Time column slices decide per record whether
+  the base value *is* the version visible at the snapshot, a per-range
+  horizon summary (``UpdateRange.unmerged_min_time`` /
+  ``merged_max_time``) proves churned-but-*frozen* partitions fully
+  servable from base slices, and only straddling records — whose
+  consolidation postdates the snapshot — replay the
+  ``assemble_version`` lineage walk. This restores the snapshot-scan
+  fast path the PR-3 refactor had dropped: time-travel analytics
+  scale the same way latest-visibility scans do.
 * The **row plane** is the always-correct fallback: per-record
-  ``(rid, {column: value})`` streams through the batched read paths.
-  It is chosen per partition (row layout, unmerged insert ranges,
-  keyed small-range plans, time-travel predicates, operators without a
-  vector form) and per record (the *dirty* offsets of a vectorised
-  partition — unmerged tail activity, pages declining their NumPy
-  view — are patched through it).
+  ``(rid, {column: value})`` streams through the batched read paths
+  (or the lineage walk under a snapshot predicate). It is chosen per
+  partition (row layout, unmerged insert ranges, keyed small-range
+  plans, churn above the dirty-fraction threshold, operators without
+  a vector form) and per record (the *dirty* offsets of a vectorised
+  partition — unmerged tail activity, snapshot straddlers, pages
+  declining their NumPy view — are patched through it).
 
-Both planes share aggregate state machines, so results are identical
-by construction wherever both apply; CI pins this with an agreement
-matrix over ``vectorized_scans`` on/off × ``scan_parallelism`` 1/4.
+All planes share aggregate state machines, so results are identical
+by construction wherever they overlap; CI pins this with agreement
+matrices over ``vectorized_scans`` on/off × ``scan_parallelism`` 1/4,
+for latest visibility and for ``as_of`` snapshots drawn across the
+operation history.
 
 The package deliberately never imports :mod:`repro.core.table` at
 module scope from the core side: ``Table`` reaches the executor through

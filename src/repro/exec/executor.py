@@ -7,21 +7,31 @@ partitions ride the batched point-read discipline instead — see
 ``_run_partition``), and combines the partial states deterministically
 in partition order.
 
-Each partition executes on one of **two planes**:
+Each partition executes on one of **three planes**:
 
 * the **vectorised plane** — a partition the planner marked clean
-  (merged, columnar, ``EngineConfig.vectorized_scans``) materialises
-  whole NumPy column slices once
+  (merged, columnar, ``EngineConfig.vectorized_scans``, dirty
+  fraction below the engine threshold) materialises whole NumPy
+  column slices once
   (:meth:`~repro.core.table.Table.read_column_slices`); filters become
   boolean mask arrays, the aggregate folds the masked slices
   array-at-a-time, and only the *dirty* records (unmerged tail
   activity) are patched through the per-record walk;
+* the **version-horizon plane** — the same machinery under a snapshot
+  predicate (``as_of``): the base slices masked per record by the
+  Start Time / Last Updated Time slices
+  (:meth:`~repro.core.table.Table.read_version_slices`), with only
+  straddling or dirty records replaying the ``assemble_version``
+  lineage walk (and not even those when the range's version horizon
+  proves the partition frozen at the snapshot);
 * the **row plane** — everything else (row layout, unmerged insert
-  ranges, keyed small-range plans, time-travel predicates, operators
+  ranges, keyed small-range plans, churn-heavy partitions, operators
   without a vector form, pages declining their NumPy view) streams
-  ``(rid, {column: value})`` rows through the batched read path.
+  ``(rid, {column: value})`` rows through the batched read path, or
+  raw values through the dict-free full-range drivers
+  (``read_range_values`` / ``read_range_version_values``).
 
-Both planes share aggregate states, so a scan freely mixes them across
+All planes share aggregate states, so a scan freely mixes them across
 (and within) partitions and the per-partition partials still combine
 deterministically.
 
@@ -135,13 +145,16 @@ def _keyed_rows(table: "Table", rids: Sequence[int],
         return [(rid, values) for rid in rids
                 if (values := get(rid)) is not None
                 and values is not DELETED]
-    predicate = visible_as_of(as_of)
+    predicate = visible_as_of(as_of, settle_precommit=True)
     rows: list[tuple[int, dict[int, Any]]] = []
     for rid in rids:
         update_range, offset = table.locate(rid)
         if not table.base_record_exists(update_range, offset):
             continue
-        values = table.assemble_version(rid, columns, predicate)
+        # read_latest serves the merged-current version in one hop
+        # when the predicate accepts it and only falls back to the
+        # full assemble_version walk for genuinely older versions.
+        values = table.read_latest(rid, columns, predicate)
         if values is None or values is DELETED:
             continue
         rows.append((rid, values))
@@ -198,41 +211,64 @@ def _run_partition(table: "Table", partition: ScanPartition,
         state = aggregate.create()
         if vector_ok and partition.vectorized and not partition.is_keyed:
             update_range = table.update_range_of(partition.range_id)
-            if not filters and txn_id is None \
-                    and isinstance(aggregate, ColumnSum):
-                # Unfiltered SUM (the paper's Section 6 scan): cached
-                # per-page totals, zero NumPy calls in the steady
-                # state — see Table.read_range_column_total.
-                fast = table.read_range_column_total(update_range,
-                                                     aggregate.column)
-                if fast is not None:
-                    total, dirty = fast
-                    state = aggregate.combine(state, total)
-                    if dirty:
-                        state = _patch_column_values(
-                            table, update_range, aggregate, dirty, state)
-                    return state
-            sliced = table.read_column_slices(update_range, columns)
-            if sliced is not None:
-                return _fold_vectorized(table, update_range, sliced,
-                                        aggregate, filters, columns,
-                                        txn_id, state)
+            if as_of is not None:
+                # Version-horizon plane: base slices masked by the
+                # Start Time / Last Updated Time slices serve the
+                # records whose base value is the version visible at
+                # as_of; straddlers and (non-frozen) dirty records
+                # replay through the assemble_version walk.
+                sliced = table.read_version_slices(update_range, columns,
+                                                   as_of)
+                if sliced is not None:
+                    return _fold_vectorized(table, update_range, sliced,
+                                            aggregate, filters, columns,
+                                            txn_id, state, as_of=as_of)
+            else:
+                if not filters and txn_id is None \
+                        and isinstance(aggregate, ColumnSum):
+                    # Unfiltered SUM (the paper's Section 6 scan):
+                    # cached per-page totals, zero NumPy calls in the
+                    # steady state — see Table.read_range_column_total.
+                    fast = table.read_range_column_total(update_range,
+                                                         aggregate.column)
+                    if fast is not None:
+                        total, dirty = fast
+                        state = aggregate.combine(state, total)
+                        if dirty:
+                            state = _patch_column_values(
+                                table, update_range, aggregate, dirty,
+                                state)
+                        return state
+                sliced = table.read_column_slices(update_range, columns)
+                if sliced is not None:
+                    return _fold_vectorized(table, update_range, sliced,
+                                            aggregate, filters, columns,
+                                            txn_id, state)
         if partition.is_keyed:
             rows: Any = _keyed_rows(table, partition.rids, columns,
                                     as_of, txn_id)
         else:
-            if as_of is None and not filters:
+            if not filters:
                 # Row-plane fold without dict framing: unfiltered
                 # single-column aggregates over a full range (unmerged
                 # insert ranges, the row layout, vectorisation off)
                 # stream raw values instead of {column: value} dicts —
-                # and without the rid-list round trip.
+                # and without the rid-list round trip. The as_of
+                # variant reads through the version-value driver
+                # (Start Time / Last Updated per record, lineage walk
+                # only where the consolidation is too new).
                 fold_values = getattr(aggregate, "fold_values", None)
                 agg_columns = aggregate.columns
                 if fold_values is not None and len(agg_columns) == 1:
-                    return fold_values(state, table.read_range_values(
-                        table.update_range_of(partition.range_id),
-                        agg_columns[0], txn_id))
+                    update_range = table.update_range_of(
+                        partition.range_id)
+                    if as_of is None:
+                        return fold_values(state, table.read_range_values(
+                            update_range, agg_columns[0], txn_id))
+                    if txn_id is None:
+                        return fold_values(
+                            state, table.read_range_version_values(
+                                update_range, agg_columns[0], as_of))
             rows = _iter_range_rows(table, partition, columns,
                                     as_of, txn_id)
         if filters:
@@ -267,19 +303,41 @@ def _patch_column_values(table: "Table", update_range: Any,
         if value is not None and value is not DELETED))
 
 
+def _patch_version_values(table: "Table", update_range: Any,
+                          aggregate: Aggregate, offsets: Sequence[int],
+                          as_of: int, state: Any) -> Any:
+    """Patch straddling/dirty offsets of a snapshot scan.
+
+    Raw values through the allocation-free
+    :meth:`~repro.core.table.Table.version_column_value` walk — the
+    snapshot analogue of :func:`_patch_column_values`.
+    """
+    from ..core.table import DELETED
+    walk = table.version_column_value
+    data_column = aggregate.columns[0]
+    return aggregate.fold_values(state, (
+        value for value in (
+            walk(update_range, offset, data_column, as_of)
+            for offset in offsets)
+        if value is not None and value is not DELETED))
+
+
 def _fold_vectorized(table: "Table", update_range: Any, sliced: Any,
                      aggregate: Aggregate,
                      filters: Sequence[Filter], columns: tuple[int, ...],
-                     txn_id: int | None, state: Any) -> Any:
+                     txn_id: int | None, state: Any,
+                     as_of: int | None = None) -> Any:
     """Fold one partition's column slices, then patch its dirty tail.
 
     The clean bulk runs entirely on NumPy: the validity mask is ANDed
     with every filter's match mask, and the aggregate consumes the
     masked slices in one ``fold_columns`` call (no per-record dicts, no
-    GIL for the kernels). The dirty offsets — unmerged tail activity
-    and pages that declined their NumPy view, already excluded from the
-    mask — replay through the exact per-record row plane, so the two
-    planes together cover the partition exactly once.
+    GIL for the kernels). The dirty offsets — unmerged tail activity,
+    snapshot straddlers, and pages that declined their NumPy view,
+    already excluded from the mask — replay through the exact
+    per-record row plane (the latest-committed walk, or the
+    ``assemble_version`` time-travel walk when *as_of* is given), so
+    the two planes together cover the partition exactly once.
     """
     mask = sliced.valid
     for item in filters:
@@ -291,6 +349,10 @@ def _fold_vectorized(table: "Table", update_range: Any, sliced: Any,
         if not filters and fold_values is not None \
                 and len(agg_columns) == 1:
             # Single-column patch: raw values, no per-record dicts.
+            if as_of is not None:
+                return _patch_version_values(table, update_range,
+                                             aggregate, sliced.dirty,
+                                             as_of, state)
             if txn_id is None:
                 return _patch_column_values(table, update_range,
                                             aggregate, sliced.dirty, state)
@@ -298,7 +360,7 @@ def _fold_vectorized(table: "Table", update_range: Any, sliced: Any,
                 [sliced.start_rid + offset for offset in sliced.dirty],
                 agg_columns[0], txn_id))
         dirty_rids = [sliced.start_rid + offset for offset in sliced.dirty]
-        rows = _keyed_rows(table, dirty_rids, columns, None, txn_id)
+        rows = _keyed_rows(table, dirty_rids, columns, as_of, txn_id)
         if filters:
             for rid, row in rows:
                 if matches_all(filters, row):
@@ -317,7 +379,8 @@ def execute_scan(table: "Table", aggregate: Aggregate, *,
     """Plan, run, and combine an analytical scan.
 
     *rids* restricts the scan to an explicit RID set (key-range
-    queries); *as_of* switches visibility to the time-travel predicate;
+    queries); *as_of* switches visibility to the time-travel predicate
+    (full-range partitions then run on the version-horizon plane);
     *txn_id* makes the calling transaction's own uncommitted writes
     visible (READ_COMMITTED batched reads). Partials combine in
     partition order, so the result is independent of scheduling.
@@ -349,9 +412,9 @@ def execute_scan(table: "Table", aggregate: Aggregate, *,
                     rids, agg_columns[0], txn_id))
             return aggregate.finalize(state)
     columns = _fetch_columns(aggregate, filters)
-    vector_ok = as_of is None and aggregate.supports_vectorized \
+    vector_ok = aggregate.supports_vectorized \
         and all(item.vector is not None for item in filters)
-    partitions = plan_scan(table, rids, executor.parallelism)
+    partitions = plan_scan(table, rids, executor.parallelism, as_of)
     if len(partitions) == 1:
         # Hot path for small key-range queries: no pool round-trip,
         # no combine (combine(create(), s) == s by the monoid contract).

@@ -41,7 +41,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..core.types import is_null
+from ..core.types import NULL, is_null
 
 # Throughout the vectorised plane, *columns* is the mapping produced by
 # Table.read_column_slices: {data_column: (values, nulls)} where values
@@ -564,9 +564,13 @@ class CollectRows(Aggregate):
     """Materialise ``(rid, values)`` pairs (``select_range`` backend).
 
     Partials concatenate in partition order, so the overall result is
-    RID-ordered within each partition and partition-ordered across the
-    plan — callers needing key order re-sort against their index items.
+    partition-ordered across the plan; within a vectorised partition
+    the clean bulk comes out RID-ordered with the patched (dirty)
+    records appended after it — callers needing a total order re-sort
+    against their index items (``select_range``) or by RID.
     """
+
+    supports_vectorized = True
 
     def __init__(self, fetch_columns: Sequence[int]) -> None:
         self.fetch_columns = tuple(fetch_columns)
@@ -588,4 +592,30 @@ class CollectRows(Aggregate):
 
     def fold(self, state: list, rows: Any) -> list:
         state.extend(rows)
+        return state
+
+    def fold_columns(self, state: list, rids: Any, columns: Any,
+                     mask: Any) -> list:
+        """Materialise the selected slice records as row dicts.
+
+        The dict framing matches the row plane exactly (∅ where the
+        column slice is null), so mixed-plane scans produce
+        indistinguishable rows; the win over the row plane is skipping
+        the per-record chain resolution — which under a time-travel
+        predicate is a full lineage walk per record.
+        """
+        offsets = np.flatnonzero(mask)
+        if not offsets.size:
+            return state
+        rid_list = rids[offsets].tolist()
+        sliced = [
+            (column, columns[column][0][offsets].tolist(),
+             columns[column][1][offsets].tolist())
+            for column in self.fetch_columns
+        ]
+        for position, rid in enumerate(rid_list):
+            state.append((rid, {
+                column: NULL if nulls[position] else values[position]
+                for column, values, nulls in sliced
+            }))
         return state

@@ -8,15 +8,19 @@ state with its siblings. Insert-range boundaries are respected for
 free — every update range lies inside exactly one insert range.
 
 The planner also classifies each full-range partition for the
-**vectorised plane**: a clean, merged, columnar range
-(``EngineConfig.vectorized_scans`` permitting) is marked
-``vectorized`` and the executor feeds it to the operators as whole
-NumPy column slices; row-layout ranges, unmerged insert ranges, and
-keyed small-range plans stay on the per-record row path. The mark is a
+**vectorised planes**: a clean, merged, columnar range
+(``EngineConfig.vectorized_scans`` permitting, dirty fraction below
+``EngineConfig.vectorized_dirty_fraction``) is marked ``vectorized``
+and the executor feeds it to the operators as whole NumPy column
+slices — the latest-visibility column-slice plane, or the
+version-horizon plane when the scan carries an ``as_of`` snapshot
+(where a *frozen* range, whose version horizon proves every unmerged
+update newer than the snapshot, stays vectorised regardless of
+churn); row-layout ranges, unmerged insert ranges, and keyed
+small-range plans stay on the per-record row path. The mark is a
 *hint* — the executor re-checks at run time (an aggregate or filter
-without a vector form, a time-travel predicate, or a page declining
-its NumPy view all fall back to the row path, per record or per
-partition).
+without a vector form, or a page declining its NumPy view, falls back
+to the row path, per record or per partition).
 
 Each full-range partition is **executed** with its own epoch
 registration, and every partition takes its dirty-set/TPS snapshot
@@ -34,7 +38,7 @@ from typing import TYPE_CHECKING, Sequence
 from ..core.types import Layout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..core.table import Table
+    from ..core.table import Table, UpdateRange
 
 
 @dataclass(frozen=True)
@@ -61,17 +65,57 @@ class ScanPartition:
         return self.rids is not None
 
 
+def _frozen_at(update_range: "UpdateRange", as_of: int) -> bool:
+    """Version-horizon check: is the range *frozen* at time *as_of*?
+
+    True when every consolidated commit time is ``<= as_of`` and every
+    unmerged tail record's commit time is provably ``> as_of`` — the
+    base slices then serve even dirty records, so churn does not
+    disqualify the partition. A plan-time hint (lock-free reads); the
+    executor re-derives the exact verdict from an atomic snapshot.
+    """
+    minimum = update_range.unmerged_min_time
+    return update_range.merged_max_time <= as_of \
+        and (minimum is None or as_of < minimum)
+
+
+def _dirty_fraction_ok(table: "Table",
+                       update_range: "UpdateRange") -> bool:
+    """Churn gate: keep the vectorised plane only while the dirty
+    fraction stays below ``EngineConfig.vectorized_dirty_fraction``.
+
+    Above the threshold the vectorised plane pays slice stitching plus
+    a near-total per-record patch walk — strictly worse than running
+    the range once on the row plane. Lock-free hint reads: a stale
+    count merely picks the other (always-correct) plane.
+    """
+    limit = table.config.vectorized_dirty_fraction
+    if limit >= 1.0:
+        return True
+    if table.config.incremental_dirty_sets:
+        dirty = len(update_range.dirty_counts)
+    else:
+        dirty = update_range.unmerged_tail_count()
+    return dirty < limit * update_range.size
+
+
 def plan_scan(table: "Table", rids: Sequence[int] | None = None,
-              parallelism: int = 1) -> list[ScanPartition]:
+              parallelism: int = 1,
+              as_of: int | None = None) -> list[ScanPartition]:
     """Plan a scan of *table* into independent partitions.
 
     With ``rids=None`` the plan covers every update range (one
     partition per range, RID order), each classified vectorised or
-    row-path. With an explicit RID sequence (e.g. from
-    ``PrimaryIndex.range_items``) the RIDs are grouped by their owning
-    update range, preserving the caller's order within each partition;
-    partitions come out sorted by range id so the combine step is
-    deterministic regardless of input order.
+    row-path: a merged columnar range is marked vectorised while its
+    dirty fraction stays below the engine threshold
+    (:func:`_dirty_fraction_ok`); with a snapshot predicate
+    (``as_of``) a range whose version horizon proves it *frozen* at
+    that time stays vectorised regardless of churn — its dirty records
+    serve from the base slices, not the walk. With an explicit RID
+    sequence (e.g. from ``PrimaryIndex.range_items``) the RIDs are
+    grouped by their owning update range, preserving the caller's
+    order within each partition; partitions come out sorted by range
+    id so the combine step is deterministic regardless of input order.
 
     *parallelism* is the executor's worker budget: a serial executor
     (or a RID set that fits one range) gets a single spanning keyed
@@ -82,9 +126,15 @@ def plan_scan(table: "Table", rids: Sequence[int] | None = None,
     if rids is None:
         vector_ok = table.config.vectorized_scans \
             and table.layout is Layout.COLUMNAR
-        return [ScanPartition(update_range.range_id,
-                              vectorized=vector_ok and update_range.merged)
-                for update_range in table.sorted_ranges()]
+        partitions = []
+        for update_range in table.sorted_ranges():
+            vectorized = vector_ok and update_range.merged \
+                and (_dirty_fraction_ok(table, update_range)
+                     or (as_of is not None
+                         and _frozen_at(update_range, as_of)))
+            partitions.append(ScanPartition(update_range.range_id,
+                                            vectorized=vectorized))
+        return partitions
     range_size = table.config.update_range_size
     if parallelism <= 1 or len(rids) <= range_size:
         first_range = ((rids[0] - 1) // range_size) if rids else 0

@@ -85,6 +85,18 @@ class TransactionManager:
         transaction state is changed from active to pre-commit; both
         changes are reflected atomically in the transaction manager's
         hashtable."
+
+        Ordering matters for the lock-free :meth:`lookup`: the
+        PRE_COMMIT state becomes visible *before* the commit time is
+        drawn from the clock. A snapshot reader that still observes
+        ACTIVE can then infer the eventual commit time will postdate
+        every timestamp it already holds (its own begin time
+        included), so treating the version as invisible is exact; a
+        reader that observes PRE_COMMIT settles until the outcome is
+        decided. Drawing the time first would open a window where a
+        commit time older than a reader's snapshot hides behind an
+        ACTIVE state — the reader would skip one leg of a transfer it
+        is about to see the other leg of.
         """
         with self._lock:
             entry = self._require(txn_id)
@@ -92,8 +104,8 @@ class TransactionManager:
                 raise IllegalTransactionState(
                     "txn %d is %s, cannot enter pre-commit"
                     % (txn_id, entry.state.value))
-            commit_time = self.clock.advance()
             entry.state = TransactionState.PRE_COMMIT
+            commit_time = self.clock.advance()
             entry.commit_time = commit_time
             return commit_time
 

@@ -85,7 +85,10 @@ class TxnContext:
         """Statement visibility for this isolation level."""
         if self.isolation is IsolationLevel.READ_COMMITTED:
             return visible_latest_committed
-        return visible_as_of(self.begin_time)
+        # Reads settle the pre-commit window (a txn that already owns
+        # a commit time <= begin_time must not tear the snapshot);
+        # validation below uses the plain, never-waiting predicate.
+        return visible_as_of(self.begin_time, settle_precommit=True)
 
     def read_predicate(self, speculative: bool = False,
                        ) -> VisibilityPredicate:

@@ -168,19 +168,30 @@ class Transaction:
         instead of a full index walk). READ_COMMITTED routes through
         the scan executor's batched partitions (clean records read
         straight from base/merged chains, own writes stay visible via
-        the transaction id); snapshot-style isolation levels read each
-        candidate under this transaction's visibility predicate.
+        the transaction id). Snapshot-style isolation levels route
+        through the executor's snapshot plane at this transaction's
+        begin time while the transaction has no writes of its own
+        (``as_of`` visibility is then exactly the snapshot predicate);
+        once own writes exist, each candidate reads under the full
+        own-or-snapshot predicate per record.
         """
         self._check_active()
+        from ..exec.executor import execute_scan
+        from ..exec.operators import ColumnSum
         if self.ctx.isolation is IsolationLevel.READ_COMMITTED:
-            from ..exec.executor import execute_scan
-            from ..exec.operators import ColumnSum
             rids = [rid for _, rid in
                     table.index.primary.range_items(key_low, key_high)]
             if not rids:
                 return 0
             return execute_scan(table, ColumnSum(data_column), rids=rids,
                                 txn_id=self.txn_id)
+        if not self.ctx.writeset and not self.ctx.insertset:
+            rids = [rid for _, rid in
+                    table.index.primary.range_items(key_low, key_high)]
+            if not rids:
+                return 0
+            return execute_scan(table, ColumnSum(data_column), rids=rids,
+                                as_of=self.ctx.begin_time)
         predicate = self.ctx.read_predicate()
         total = 0
         for _, rid in table.index.primary.range_items(key_low, key_high):
@@ -188,6 +199,38 @@ class Transaction:
             if values is None or values is DELETED:
                 continue
             total += values[data_column]
+        return total
+
+    def scan_sum(self, table: Table, data_column: int) -> int:
+        """Full-table SUM of *data_column* under this transaction.
+
+        The analytical companion of :meth:`sum`: READ_COMMITTED scans
+        latest-committed (plus own writes) on the vectorised plane;
+        snapshot-style isolation levels run a repeatable full-table
+        SUM at this transaction's begin time on the executor's
+        **version-horizon plane** — base column slices masked by the
+        Start Time / Last Updated slices, only straddling or dirty
+        records walking their lineage — so a long-running reader
+        re-issuing the scan keeps getting the same answer at columnar
+        scan speed while writers churn. Falls back to the per-record
+        predicate walk once the transaction has writes of its own.
+        """
+        self._check_active()
+        from ..exec.executor import execute_scan
+        from ..exec.operators import ColumnSum
+        if self.ctx.isolation is IsolationLevel.READ_COMMITTED:
+            return execute_scan(table, ColumnSum(data_column),
+                                txn_id=self.txn_id)
+        if not self.ctx.writeset and not self.ctx.insertset:
+            return execute_scan(table, ColumnSum(data_column),
+                                as_of=self.ctx.begin_time)
+        from ..core.types import is_null
+        predicate = self.ctx.read_predicate()
+        total = 0
+        for _, values in table.scan_records((data_column,), predicate):
+            value = values[data_column]
+            if not is_null(value):
+                total += value
         return total
 
     # -- lifecycle ------------------------------------------------------------
@@ -206,6 +249,12 @@ class Transaction:
         except TransactionAborted:
             self._do_abort()
             return False
+        except BaseException:
+            # Never leave the transaction stranded in PRE_COMMIT: an
+            # undecided entry makes snapshot readers settle (wait) on
+            # its markers until they time out.
+            self._do_abort()
+            raise
         self.manager.commit(self.txn_id)
         self.commit_time = commit_time
         self._finished = True

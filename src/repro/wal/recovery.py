@@ -227,6 +227,10 @@ def _rebuild_derived_state(table: Table, rebuild_indirection: bool) -> None:
             if not encoding.is_snapshot:
                 newest_per_record[offset] = tail.rid_at(tail_offset)
         _restore_block_cursors(tail, used)
+        # Version-horizon summary: replay stamped committed markers to
+        # plain commit times (uncommitted records are tombstoned), so
+        # the recomputation over the recovered tail is exact.
+        table.rebuild_unmerged_horizon(update_range)
         if rebuild_indirection:
             for offset, tail_rid in newest_per_record.items():
                 update_range.indirection.set(offset, tail_rid)

@@ -123,3 +123,63 @@ class TestDiff:
         _, current_path = trajectory_pair
         assert main(["--against", current_path]) == 2
         assert "--diff" in capsys.readouterr().err
+
+
+class TestDiffSchemaAlignment:
+    """Changed headers align on shared columns instead of skipping."""
+
+    def _pair(self, tmp_path, base_rows, now_headers, now_rows):
+        baseline = _trajectory({
+            "analytics": (["parallelism", "scans_per_sec"], base_rows),
+        })
+        current = _trajectory({"analytics": (now_headers, now_rows)})
+        base_path = tmp_path / "base.json"
+        current_path = tmp_path / "current.json"
+        base_path.write_text(json.dumps(baseline))
+        current_path.write_text(json.dumps(current))
+        return str(base_path), str(current_path)
+
+    def test_aligned_rows_compare_on_shared_columns(self, capsys,
+                                                    tmp_path):
+        # The new `plane` column splits each parallelism level in two;
+        # only one plane row per level keeps the comparison exact.
+        base_path, current_path = self._pair(
+            tmp_path, [[1, 10.0], [4, 40.0]],
+            ["plane", "parallelism", "scans_per_sec"],
+            [["vectorized", 1, 20.0], ["vectorized", 4, 10.0]])
+        assert main(["--diff", base_path, "--against", current_path]) == 0
+        out = capsys.readouterr().out
+        assert "headers changed (plane)" in out
+        assert "comparing on shared columns" in out
+        assert "improved" in out      # 10 -> 20 scans/s
+        assert "REGRESSION" in out    # 40 -> 10 scans/s
+
+    def test_ambiguous_keys_flagged_not_compared(self, capsys, tmp_path):
+        # Both planes survive projection with the same shared key: the
+        # row is flagged explicitly instead of compared at random.
+        base_path, current_path = self._pair(
+            tmp_path, [[1, 10.0]],
+            ["plane", "parallelism", "scans_per_sec"],
+            [["vectorized", 1, 20.0], ["row", 1, 5.0]])
+        assert main(["--diff", base_path, "--against", current_path]) == 0
+        out = capsys.readouterr().out
+        assert "ambiguous after schema alignment" in out
+        assert "REGRESSION" not in out
+        assert "improved" not in out
+
+    def test_unmatched_rows_warned_per_row(self, capsys, tmp_path):
+        # A baseline key with no current counterpart is called out.
+        base_path, current_path = self._pair(
+            tmp_path, [[2, 10.0]],
+            ["plane", "parallelism", "scans_per_sec"],
+            [["vectorized", 1, 20.0]])
+        assert main(["--diff", base_path, "--against", current_path]) == 0
+        out = capsys.readouterr().out
+        assert "no matching current row after schema alignment" in out
+
+    def test_no_shared_metrics_reported(self, capsys, tmp_path):
+        base_path, current_path = self._pair(
+            tmp_path, [[1, 10.0]],
+            ["plane", "scan_latency_seconds"], [["vectorized", 0.5]])
+        assert main(["--diff", base_path, "--against", current_path]) == 0
+        assert "not comparable" in capsys.readouterr().out

@@ -85,10 +85,39 @@ class TestVersions:
         records = loaded.select_as_of(3, 0, None, t1)
         assert records[0][1] == 30
 
+    def test_select_as_of_unindexed_column_full_history(self, db, loaded,
+                                                        table):
+        """The unindexed as_of path scans the snapshot, not the present.
+
+        A record whose *current* version no longer matches (updated
+        away, then the key deleted) must still be found at a timestamp
+        where it matched — the old latest-visibility candidate
+        enumeration could not see it.
+        """
+        t1 = table.clock.now()
+        loaded.update(3, None, None, 4242, None, None)  # col 2 unindexed
+        t2 = table.clock.now()
+        loaded.update(3, None, None, 9, None, None)
+        loaded.delete(3)
+        db.run_merges()
+        assert loaded.select_as_of(4242, 2, None, t1) == []
+        records = loaded.select_as_of(4242, 2, None, t2)
+        assert [record.key for record in records] == [3]
+        assert records[0][2] == 4242
+        assert loaded.select_as_of(4242, 2, None, table.clock.now()) == []
+        # Even when the projection excludes the key column, the Record
+        # carries the key *as of the snapshot* — the latest-visibility
+        # key fallback would return None (deleted) or the wrong key.
+        records = loaded.select_as_of(4242, 2, [0, 0, 1, 0, 0], t2)
+        assert [record.key for record in records] == [3]
+        assert records[0][2] == 4242
+        assert records[0][1] is None  # unprojected column stays None
+
     def test_sum_version(self, loaded):
         base = loaded.sum(0, 39, 1)
         loaded.update(3, None, 1000, None, None, None)
         assert loaded.sum_version(0, 39, 1, -1) == base
+        assert loaded.sum_version(0, 39, 1, 0) == base - 30 + 1000
         assert loaded.sum(0, 39, 1) == base - 30 + 1000
 
 

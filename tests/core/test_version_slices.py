@@ -1,0 +1,214 @@
+"""Version-horizon slices: the storage layer of the snapshot plane.
+
+``Table.read_version_slices`` must classify every range offset for a
+snapshot at time T exactly once — visible (the base value *is* the
+version visible at T), walk (straddles the merge horizon, dirty, or
+unreadable — replay through ``assemble_version``), or dropped
+(inserted after T, deleted at or before T, tombstoned) — and the
+horizon summary (``unmerged_min_time`` / ``merged_max_time``) must let
+a frozen partition serve even its dirty records from the base slices.
+"""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.core.merge import merge_columns, merge_update_range
+from repro.core.table import DELETED
+from repro.core.types import Layout
+from repro.core.version import visible_as_of
+from repro.exec.plan import plan_scan
+
+
+@pytest.fixture
+def bank(db, table, query):
+    """32 rows across two update ranges, base pages materialised."""
+    for key in range(32):
+        query.insert(key, key * 2, key * 3, key * 5, 7)
+    db.run_merges()
+    return query
+
+
+class TestReadVersionSlices:
+    def test_clean_range_all_visible_when_settled(self, db, table, bank):
+        update_range = table.sorted_ranges()[0]
+        now = table.clock.now()
+        sliced = table.read_version_slices(update_range, (1,), now)
+        assert sliced is not None
+        assert sliced.dirty == []
+        assert sliced.valid.all()
+        assert sliced.columns[1][0].tolist() == \
+            [key * 2 for key in range(16)]
+
+    def test_inserts_after_snapshot_dropped_without_walk(self, db, table,
+                                                         bank):
+        update_range = table.sorted_ranges()[0]
+        start_times = [
+            table._read_base_cell(update_range, offset, 2)  # START_TIME
+            for offset in range(4)
+        ]
+        # A snapshot older than record 2's insert sees records 0-1 only
+        # — and record 2+ must not even be walked (no version can
+        # predate its insert).
+        as_of = start_times[2] - 1
+        sliced = table.read_version_slices(update_range, (1,), as_of)
+        assert sliced.dirty == []
+        assert sliced.valid.tolist() == \
+            [offset < 2 for offset in range(16)]
+
+    def test_straddling_record_goes_to_walk(self, db, table, bank):
+        as_of = table.clock.now()
+        bank.update(3, None, 999, None, None, None)
+        update_range = table.sorted_ranges()[0]
+        merge_update_range(table, update_range)
+        # The update is consolidated: base slice holds 999, but the
+        # snapshot predates it — the record must walk, not serve.
+        sliced = table.read_version_slices(update_range, (1,), as_of)
+        assert 3 in sliced.dirty
+        assert not sliced.valid[3]
+        assert table.assemble_version(
+            update_range.start_rid + 3, (1,),
+            visible_as_of(as_of)) == {1: 6}
+        # At a snapshot after the update the same record serves.
+        sliced = table.read_version_slices(update_range, (1,),
+                                           table.clock.now())
+        assert sliced.dirty == []
+        assert sliced.columns[1][0][3] == 999
+
+    def test_merged_delete_straddle_walks_older_version(self, db, table,
+                                                        bank):
+        before = table.clock.now()
+        bank.delete(6)
+        update_range = table.sorted_ranges()[0]
+        merge_update_range(table, update_range)
+        # Deleted and consolidated: the key slot is ∅ now, but the
+        # pre-delete version is visible at `before` — walk resurrects
+        # it from the delete's snapshot record.
+        sliced = table.read_version_slices(update_range, (1,), before)
+        assert 6 in sliced.dirty
+        rid = update_range.start_rid + 6
+        assert table.assemble_version(rid, (1,),
+                                      visible_as_of(before)) == {1: 12}
+        # After the delete the slot is simply dead — no walk.
+        sliced = table.read_version_slices(update_range, (1,),
+                                           table.clock.now())
+        assert 6 not in sliced.dirty
+        assert not sliced.valid[6]
+
+    def test_frozen_partition_serves_dirty_from_base(self, db, table,
+                                                     bank):
+        as_of = table.clock.now()
+        for key in range(16):  # 100% churn after the snapshot
+            bank.update(key, None, 1000 + key, None, None, None)
+        update_range = table.sorted_ranges()[0]
+        assert len(update_range.dirty_counts) == 16
+        # Horizon: merged content predates as_of, every unmerged
+        # update postdates it — frozen, zero walks.
+        sliced = table.read_version_slices(update_range, (1,), as_of)
+        assert sliced.dirty == []
+        assert sliced.valid.all()
+        assert sliced.columns[1][0].tolist() == \
+            [key * 2 for key in range(16)]
+
+    def test_unfrozen_dirty_records_walk(self, db, table, bank):
+        bank.update(3, None, 999, None, None, None)
+        update_range = table.sorted_ranges()[0]
+        now = table.clock.now()  # the unmerged update IS visible now
+        sliced = table.read_version_slices(update_range, (1,), now)
+        assert 3 in sliced.dirty
+        assert not sliced.valid[3]
+
+    def test_decoupled_merge_detected_via_metadata_tps(self, db, table,
+                                                       bank):
+        as_of = table.clock.now()
+        bank.update(2, None, 777, None, None, None)
+        update_range = table.sorted_ranges()[0]
+        # Consolidate ONLY column 1: data pages advance their TPS while
+        # Last Updated keeps the old lineage — the mismatch must send
+        # the affected pages to the walk, or the snapshot would read
+        # the too-new 777 as of `as_of`.
+        merge_columns(table, update_range, (1,))
+        sliced = table.read_version_slices(update_range, (1,), as_of)
+        assert 2 in sliced.dirty
+        assert not sliced.valid[2]
+
+    def test_row_layout_and_unmerged_decline(self, config):
+        row_db = Database(config.with_overrides(
+            layout=Layout.ROW, compress_merged_pages=False))
+        try:
+            row_table = row_db.create_table("rows", num_columns=5)
+            for key in range(16):
+                row_table.insert([key, 1, 2, 3, 4])
+            row_db.run_merges()
+            update_range = row_table.sorted_ranges()[0]
+            assert row_table.read_version_slices(
+                update_range, (1,), row_table.clock.now()) is None
+        finally:
+            row_db.close()
+
+    def test_agrees_with_assemble_version_everywhere(self, db, table,
+                                                     bank):
+        timestamps = [table.clock.now()]
+        for key in range(0, 32, 3):
+            bank.update(key, None, key + 100, None, None, None)
+        timestamps.append(table.clock.now())
+        for update_range in table.sorted_ranges():
+            merge_update_range(table, update_range)
+        for key in range(0, 32, 5):
+            bank.update(key, None, key + 200, None, None, None)
+        timestamps.append(table.clock.now())
+        for as_of in timestamps:
+            predicate = visible_as_of(as_of)
+            for update_range in table.sorted_ranges():
+                sliced = table.read_version_slices(update_range, (1,),
+                                                   as_of)
+                values, nulls = sliced.columns[1]
+                for offset in range(update_range.size):
+                    rid = update_range.start_rid + offset
+                    expected = table.assemble_version(rid, (1,), predicate)
+                    if sliced.valid[offset]:
+                        assert not nulls[offset]
+                        assert expected == {1: int(values[offset])}
+                    elif offset not in sliced.dirty:
+                        # Dropped: invisible or deleted at as_of.
+                        assert expected is None or expected is DELETED
+
+
+class TestHorizonSummary:
+    def test_append_and_merge_maintain_horizon(self, db, table, bank):
+        update_range = table.sorted_ranges()[0]
+        assert update_range.unmerged_min_time is None
+        assert update_range.merged_max_time > 0
+        first = table.clock.now() + 1
+        bank.update(0, None, 1, None, None, None)
+        bank.update(1, None, 2, None, None, None)
+        assert update_range.unmerged_min_time is not None
+        assert update_range.unmerged_min_time >= first
+        merged_before = update_range.merged_max_time
+        merge_update_range(table, update_range)
+        assert update_range.unmerged_min_time is None
+        assert update_range.merged_max_time > merged_before
+
+    def test_planner_dirty_fraction_degrades_to_row_plane(self, db, table,
+                                                          bank):
+        # Below the threshold: vectorised; at/above: row plane.
+        limit = table.config.vectorized_dirty_fraction
+        update_range = table.sorted_ranges()[0]
+        churn = int(limit * update_range.size) + 1
+        for key in range(churn):
+            bank.update(key, None, 50 + key, None, None, None)
+        partitions = plan_scan(table)
+        assert partitions[0].vectorized is False
+        assert partitions[1].vectorized is True  # untouched range
+
+    def test_planner_frozen_override_keeps_vector_plane(self, db, table,
+                                                        bank):
+        as_of = table.clock.now()
+        update_range = table.sorted_ranges()[0]
+        for key in range(update_range.size):
+            bank.update(key, None, 50 + key, None, None, None)
+        # Latest-visibility plan degrades under churn …
+        assert plan_scan(table)[0].vectorized is False
+        # … but the frozen snapshot keeps the horizon plane.
+        assert plan_scan(table, as_of=as_of)[0].vectorized is True
+        assert plan_scan(table, as_of=table.clock.now())[0] \
+            .vectorized is False

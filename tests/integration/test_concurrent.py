@@ -13,6 +13,7 @@ import pytest
 
 from repro import Database, EngineConfig, IsolationLevel, TransactionWorker
 from repro.errors import TransactionAborted
+from repro.txn.transaction import Transaction
 
 
 @pytest.fixture
@@ -123,6 +124,79 @@ class TestScanConsistencyUnderWrites:
         # After writers drain, latest-committed totals are exact.
         assert table.scan_sum(1) == accounts * 1000
         db.run_merges()
+        assert table.scan_sum(1) == accounts * 1000
+
+    def test_snapshot_totals_exact_during_transfers(self):
+        # Stronger than quiesced totals: a snapshot SUM taken at ANY
+        # instant must conserve money even while transfers are mid
+        # flight — the version-horizon plane plus pre-commit settling
+        # and the Last-Updated Lemma-3 check make the snapshot atomic.
+        # Background merges run throughout, so chain swaps race the
+        # readers (the config that reproduced both historic tears).
+        db = Database(EngineConfig(
+            records_per_page=32, records_per_tail_page=32,
+            update_range_size=64, insert_range_size=64,
+            merge_threshold=32, background_merge=True))
+        try:
+            self._run_snapshot_conservation(db)
+        finally:
+            db.close()
+
+    def _run_snapshot_conservation(self, db):
+        table = db.create_table("bank", num_columns=2)
+        accounts = 32
+        for key in range(accounts):
+            table.insert([key, 1000])
+        db.run_merges()
+        stop = threading.Event()
+        torn = []
+
+        def writer(seed):
+            worker = TransactionWorker(
+                db.txn_manager, max_retries=500,
+                isolation=IsolationLevel.REPEATABLE_READ)
+            i = 0
+            while not stop.is_set():
+                source = (seed + i) % accounts
+                target = (seed + i + 7) % accounts
+                if source == target:
+                    i += 1
+                    continue
+
+                def body(txn, s=source, t=target):
+                    a = txn.select(table, s, (1,))
+                    b = txn.select(table, t, (1,))
+                    txn.update(table, s, {1: a[1] - 5})
+                    txn.update(table, t, {1: b[1] + 5})
+
+                worker.run_one(body)
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    txn = Transaction(
+                        db.txn_manager,
+                        isolation=IsolationLevel.REPEATABLE_READ)
+                    first = txn.scan_sum(table, 1)
+                    second = txn.scan_sum(table, 1)  # repeatable
+                    txn.commit()
+                    if first != accounts * 1000 or second != first:
+                        torn.append((first, second))
+            except BaseException as exc:  # surface thread failures
+                torn.append(repr(exc))
+                raise
+
+        threads = [threading.Thread(target=writer, args=(i,), daemon=True)
+                   for i in range(3)]
+        threads.append(threading.Thread(target=reader, daemon=True))
+        for thread in threads:
+            thread.start()
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not torn, torn[:5]
         assert table.scan_sum(1) == accounts * 1000
 
 

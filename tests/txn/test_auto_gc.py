@@ -3,7 +3,7 @@
 import pytest
 
 from repro import Database, EngineConfig, IsolationLevel
-from repro.core.types import TransactionState
+from repro.core.types import Layout, TransactionState
 
 
 def _config(**overrides):
@@ -48,6 +48,37 @@ class TestAutoGC:
                     txn.update(table, key, {1: i})
                 expected[key] = i
             assert db.txn_manager.stat_auto_gc_dropped > 0
+            for key, value in expected.items():
+                rid = table.index.primary.get(key)
+                assert table.read_latest(rid, (1,)) == {1: value}
+            assert table.scan_sum(1) == sum(expected.values())
+        finally:
+            db.close()
+
+    def test_row_layout_no_longer_pins_watermark(self):
+        """RowPage in-place Start Time refinement unblocks the GC.
+
+        Before the refinement the row layout reported every committed
+        marker as a permanent blocker, so the entry table grew without
+        bound; stamping now swaps markers for commit times in place
+        and the sweep drops entries like the columnar layout.
+        """
+        db = Database(_config(layout=Layout.ROW))
+        try:
+            table = db.create_table("t", num_columns=2)
+            for key in range(8):
+                table.insert([key, 0])
+            db.run_merges()
+            manager = db.txn_manager
+            expected = {}
+            for i in range(400):
+                key = i % 8
+                with db.begin_transaction() as txn:
+                    txn.update(table, key, {1: i})
+                expected[key] = i
+            assert manager.stat_auto_gc_dropped > 0
+            assert len(manager._entries) < 3 * 32
+            # Stamped rows still read their committed values.
             for key, value in expected.items():
                 rid = table.index.primary.get(key)
                 assert table.read_latest(rid, (1,)) == {1: value}

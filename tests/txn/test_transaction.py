@@ -147,3 +147,86 @@ class TestIsolationLevels:
         loaded.insert(100, 1, 2, 3, 4)
         assert txn.select(table, 100) is None
         txn.commit()
+
+    def test_snapshot_sum_repeatable_under_churn(self, db, loaded, table):
+        """Snapshot sums ride the version-horizon plane and stay put."""
+        db.run_merges()  # merged bases: the horizon plane applies
+        expected = sum(key * 10 for key in range(40))
+        txn = Transaction(db.txn_manager,
+                          isolation=IsolationLevel.REPEATABLE_READ)
+        first = txn.sum(table, 0, 39, 1)
+        full_first = txn.scan_sum(table, 1)
+        for key in range(0, 40, 2):  # churn after the snapshot
+            loaded.update(key, None, 7777, None, None, None)
+        loaded.insert(200, 5, 0, 0, 0)
+        loaded.delete(3)
+        assert txn.sum(table, 0, 39, 1) == first == expected
+        assert txn.scan_sum(table, 1) == full_first == expected
+        txn.commit()
+        # A fresh reader sees the churned state.
+        assert Transaction(db.txn_manager).scan_sum(table, 1) \
+            == db.query("test").scan_sum(1)
+
+    def test_snapshot_scan_settles_precommit_commit(self, db, loaded,
+                                                    table):
+        """A snapshot reader waits out an undecided pre-commit txn.
+
+        The writer already owns a commit time below the reader's
+        snapshot; calling its versions invisible would tear the
+        snapshot once a later record resolves it committed. The reader
+        must block until the outcome settles, then see both updates.
+        """
+        import threading
+        import time as time_module
+        writer = Transaction(db.txn_manager)
+        writer.update(table, 0, {1: 111})
+        writer.update(table, 1, {1: 222})
+        commit_time = db.txn_manager.enter_precommit(writer.txn_id)
+        as_of = table.clock.now()
+        assert commit_time <= as_of
+        result = {}
+
+        def scan():
+            result["total"] = table.scan_sum(1, as_of=as_of)
+
+        thread = threading.Thread(target=scan)
+        thread.start()
+        time_module.sleep(0.1)
+        assert thread.is_alive()  # blocked on the undecided writer
+        db.txn_manager.commit(writer.txn_id)
+        thread.join(10.0)
+        assert not thread.is_alive()
+        base = sum(key * 10 for key in range(40))
+        assert result["total"] == base - 0 - 10 + 111 + 222
+
+    def test_snapshot_scan_settles_precommit_abort(self, db, loaded,
+                                                   table):
+        import threading
+        import time as time_module
+        writer = Transaction(db.txn_manager)
+        writer.update(table, 0, {1: 111})
+        commit_time = db.txn_manager.enter_precommit(writer.txn_id)
+        as_of = table.clock.now()
+        assert commit_time <= as_of
+        result = {}
+
+        def scan():
+            result["total"] = table.scan_sum(1, as_of=as_of)
+
+        thread = threading.Thread(target=scan)
+        thread.start()
+        time_module.sleep(0.05)
+        assert thread.is_alive()
+        db.txn_manager.abort(writer.txn_id)
+        thread.join(10.0)
+        assert not thread.is_alive()
+        assert result["total"] == sum(key * 10 for key in range(40))
+
+    def test_snapshot_sum_sees_own_writes(self, db, loaded, table):
+        txn = Transaction(db.txn_manager,
+                          isolation=IsolationLevel.SNAPSHOT)
+        txn.update(table, 5, {1: 1000})
+        expected = sum(key * 10 for key in range(40)) - 50 + 1000
+        assert txn.sum(table, 0, 39, 1) == expected
+        assert txn.scan_sum(table, 1) == expected
+        txn.abort()
