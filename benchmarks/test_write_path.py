@@ -1,0 +1,133 @@
+"""OLTP write path — regression guards (not a paper table).
+
+Three bars, all against this repo's own history:
+
+* **Flat-cell append floor**: update throughput with the flat append
+  path (``flat_appends=True``, the default — fused snapshot+update
+  allocation, parallel column/value cell writes, int-only Schema
+  Encoding math) must beat the dict-of-cells oracle path by a
+  meaningful margin (measured ~1.5×+ single-threaded at bench scale;
+  the 1.1× bar absorbs CI noise without letting the flat path decay
+  back to parity).
+
+* **No write-side serialisation collapse** (the PR-4 fig7 2→4 thread
+  dip): 4 writer threads must not fall below the single-writer
+  update-only figure. The PR-4 dip traced to global serialisation
+  points on the write path — one ``Table._stat_lock`` taken by every
+  insert/update/delete, plus two transaction-manager lock hops per
+  commit; striped per-thread statistics counters and the fused
+  single-hop ``commit_fast`` removed them. Under the GIL genuine
+  scaling is impossible, so the bar is *retention*, not speedup
+  (0.6× floor: a collapse-only guard — mild dips drown in shared-CI
+  scheduler noise, which the committed BENCH trajectories track).
+
+* **Group commit**: with the WAL enabled, concurrent committers must
+  share fsyncs (``stat_flushes`` strictly below the commit count) —
+  the leader/follower path, exercised here at bench scale on a real
+  file.
+"""
+
+import threading
+
+from repro.bench.experiments import _spec_for, make_engine
+from repro.bench.harness import load_engine, run_write_workload
+from repro.core.config import EngineConfig
+from repro.core.db import Database
+from repro.txn.transaction import Transaction
+
+from conftest import DURATION, SCALE
+
+
+def _update_throughput(flat: bool) -> float:
+    spec = _spec_for("low", SCALE)
+    engine = make_engine("lstore", spec.num_columns, flat_appends=flat)
+    try:
+        load_engine(engine, spec)
+        best = 0.0
+        for _ in range(3):
+            run = run_write_workload(engine, spec, kind="update",
+                                     update_threads=1, duration=DURATION)
+            best = max(best, run.txn_per_sec)
+        return best
+    finally:
+        engine.close()
+
+
+class TestFlatAppendFloor:
+    def test_flat_appends_beat_dict_oracle(self):
+        dict_path = _update_throughput(flat=False)
+        flat_path = _update_throughput(flat=True)
+        assert flat_path >= 1.1 * dict_path, (flat_path, dict_path)
+
+
+class TestWriteScalingRetention:
+    def test_no_multi_writer_collapse(self):
+        """4 writer threads must retain the 1-writer update throughput.
+
+        The anti-convoy guard for the PR-4 fig7 2→4 thread dip: a
+        global serialisation point on the write path (the old per-table
+        stat mutex, double manager-lock commits) shows up as multi-
+        writer throughput *below* the single-writer figure. Update-only
+        transactions isolate the write path (no scan-thread GIL
+        interplay); best-of-3 on each side and a 0.6 floor absorb the
+        scheduler noise of shared CI machines (mild dips drown in that
+        noise; the committed BENCH trajectories track those) — a
+        reintroduced global serialisation point measures well below
+        the floor.
+        """
+        spec = _spec_for("low", SCALE)
+        engine = make_engine("lstore", spec.num_columns)
+        try:
+            load_engine(engine, spec)
+            single = max(
+                run_write_workload(engine, spec, kind="update",
+                                   update_threads=1,
+                                   duration=DURATION).txn_per_sec
+                for _ in range(3))
+            quad = max(
+                run_write_workload(engine, spec, kind="update",
+                                   update_threads=4,
+                                   duration=DURATION).txn_per_sec
+                for _ in range(3))
+        finally:
+            engine.close()
+        assert quad >= 0.6 * single, (quad, single)
+
+
+class TestGroupCommitAtScale:
+    def test_concurrent_commits_share_fsyncs(self, tmp_path):
+        config = EngineConfig(
+            records_per_page=256, records_per_tail_page=256,
+            update_range_size=512, insert_range_size=512,
+            merge_threshold=256, background_merge=False,
+            wal_enabled=True, data_dir=str(tmp_path))
+        db = Database(config)
+        table = db.create_table("bench", 4)
+        for key in range(64):
+            table.insert([key, 0, 0, 0])
+        threads = 8
+        barrier = threading.Barrier(threads)
+        committed = [0] * threads
+
+        def worker(thread_id: int) -> None:
+            barrier.wait()
+            for i in range(40):
+                txn = Transaction(db.txn_manager)
+                try:
+                    txn.update(table, thread_id * 8, {1: i})
+                except Exception:
+                    continue
+                if txn.commit():
+                    committed[thread_id] += 1
+
+        workers = [threading.Thread(target=worker, args=(i,))
+                   for i in range(threads)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        total = sum(committed)
+        assert total > 0
+        assert db._wal.stat_flushes < total, \
+            (db._wal.stat_flushes, total)
+        db.close()

@@ -164,10 +164,9 @@ class _LStoreTxn(EngineTransaction):
         values = self._txn.select(self._engine.table, key, columns)
         if values is None or values is DELETED:
             return None
-        if columns is not None:
-            # select() fetches the key column for re-validation; hand
-            # back exactly what the caller asked for.
-            return {column: values[column] for column in columns}
+        # select() hands back exactly the requested columns (it strips
+        # the key column it fetches for re-validation), so no re-filter
+        # pass is owed here.
         return values
 
     def update(self, key: int, updates: dict[int, int]) -> None:

@@ -114,9 +114,10 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         fn = ALL_EXPERIMENTS[name]
         kwargs: dict = {"scale": args.scale}
-        if name in ("fig7", "fig9", "fig10", "analytics"):
+        if name in ("fig7", "fig9", "fig10", "analytics", "writes"):
             kwargs["duration"] = args.duration
-            if name != "analytics" and args.contention is not None:
+            if name in ("fig7", "fig9", "fig10") \
+                    and args.contention is not None:
                 kwargs["contention"] = args.contention
         samples: list[float] = []
         result = None

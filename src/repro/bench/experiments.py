@@ -409,6 +409,47 @@ def sums_versioned(*, scans: int = 30,
 
 
 # ---------------------------------------------------------------------------
+# Writes — OLTP write-path microbenchmarks
+# ---------------------------------------------------------------------------
+
+def writes_microbench(*, thread_counts: Sequence[int] = (1, 2, 4),
+                      duration: float = 0.4,
+                      scale: int = 1000) -> ExperimentResult:
+    """Write-path throughput: statement mix × writer threads (L-Store).
+
+    Not a paper table — trajectory visibility for the OLTP write path
+    (this repo's flat-cell tail appends, fused Lemma-2 snapshot
+    append, striped statistics, and group commit): insert-only,
+    update-only, delete-only, and the paper's 8r+2w mixed short
+    transactions, each swept over writer threads against a freshly
+    loaded engine (background merge running, no scan threads). Rows
+    report committed transactions/s and statements/s.
+    """
+    from .harness import run_write_workload
+
+    spec = _spec_for("low", scale)
+    statements = {"insert": 2, "update": 2, "delete": 2,
+                  "mixed": spec.reads_per_txn + spec.writes_per_txn}
+    result = ExperimentResult(
+        "Writes", "Write-path txn/s: statement mix × writer threads",
+        ["workload", "threads", "txn_per_sec", "stmt_per_sec"])
+    for kind in ("insert", "update", "delete", "mixed"):
+        for threads in thread_counts:
+            engine = make_engine("lstore", spec.num_columns)
+            try:
+                load_engine(engine, spec)
+                run = run_write_workload(engine, spec, kind=kind,
+                                         update_threads=threads,
+                                         duration=duration)
+                result.add_row(kind, threads, round(run.txn_per_sec, 1),
+                               round(run.txn_per_sec
+                                     * statements[kind], 1))
+            finally:
+                engine.close()
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Analytics — filtered group-by scans under a concurrent update stream
 # ---------------------------------------------------------------------------
 
@@ -513,4 +554,5 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table9": table9_point_queries,
     "sums": sums_range_queries,
     "sums_versioned": sums_versioned,
+    "writes": writes_microbench,
 }

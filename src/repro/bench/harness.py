@@ -197,6 +197,117 @@ def apply_fixed_update_backlog(engine: Engine, spec: WorkloadSpec,
         engine.maintenance()
 
 
+def run_write_workload(engine: Engine, spec: WorkloadSpec, *,
+                       kind: str, update_threads: int,
+                       duration: float = 0.4) -> ThroughputResult:
+    """Time-boxed write-path microbenchmark (the ``writes`` experiment).
+
+    *kind* selects the statement mix:
+
+    * ``"insert"`` — transactions of 2 inserts of fresh keys (each
+      thread owns a disjoint key space above the loaded table);
+    * ``"update"`` — transactions of 2 multi-column update statements
+      (the write half of the paper's short transactions, no reads);
+    * ``"delete"`` — transactions of 2 deletes over per-thread
+      disjoint slices of the loaded keys (threads stop early when
+      their slice is exhausted);
+    * ``"mixed"`` — the full 8r+2w short transaction.
+
+    Returns a :class:`ThroughputResult`; committed counts are whole
+    transactions (statements per transaction: 2, 2, 2, 10).
+    """
+    import random
+
+    if kind == "mixed":
+        return run_mixed_workload(engine, spec,
+                                  update_threads=update_threads,
+                                  scan_threads=0, duration=duration)
+    stop = threading.Event()
+    result = ThroughputResult(engine=engine.name,
+                              update_threads=update_threads,
+                              scan_threads=0, duration=duration)
+    counters_lock = threading.Lock()
+
+    def run_txn(statements) -> bool:
+        txn = engine.begin()
+        try:
+            for statement in statements:
+                statement(txn)
+        except (TransactionAborted, KeyNotFoundError):
+            txn.abort()
+            return False
+        return txn.commit()
+
+    def insert_loop(thread_id: int) -> None:
+        rng = random.Random(spec.seed * 7_368_787 + thread_id)
+        next_key = spec.table_size + 1 + thread_id * 50_000_000
+        committed = aborted = 0
+        num_payload = spec.num_columns - 1
+        while not stop.is_set():
+            rows = []
+            for _ in range(2):
+                rows.append([next_key] + [rng.randrange(1000)
+                                          for _ in range(num_payload)])
+                next_key += 1
+            if run_txn([(lambda t, row=row: t.insert(row))
+                        for row in rows]):
+                committed += 1
+            else:
+                aborted += 1
+        with counters_lock:
+            result.committed += committed
+            result.aborted += aborted
+
+    def update_loop(thread_id: int) -> None:
+        generator = TransactionGenerator(spec, thread_id)
+        committed = aborted = 0
+        while not stop.is_set():
+            body = [op for op in generator.next_transaction()
+                    if op[0] == "w"]
+            if execute_transaction(engine, body):
+                committed += 1
+            else:
+                aborted += 1
+        with counters_lock:
+            result.committed += committed
+            result.aborted += aborted
+
+    def delete_loop(thread_id: int) -> None:
+        keys = iter(range(thread_id, spec.table_size, update_threads))
+        committed = aborted = 0
+        while not stop.is_set():
+            pair = [key for _, key in zip(range(2), keys)]
+            if not pair:
+                break  # slice exhausted before the window closed
+            if run_txn([(lambda t, key=key: t.delete(key))
+                        for key in pair]):
+                committed += 1
+            else:
+                aborted += 1
+        with counters_lock:
+            result.committed += committed
+            result.aborted += aborted
+
+    loops = {"insert": insert_loop, "update": update_loop,
+             "delete": delete_loop}
+    try:
+        loop = loops[kind]
+    except KeyError:
+        raise ValueError("kind must be insert|update|delete|mixed") \
+            from None
+    engine.start_background()
+    threads = [threading.Thread(target=loop, args=(i,), daemon=True)
+               for i in range(update_threads)]
+    for thread in threads:
+        thread.start()
+    time.sleep(duration)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    engine.stop_background()
+    return result
+
+
 def run_analytics_scans(engine: Engine, spec: WorkloadSpec, *,
                         update_threads: int = 2, duration: float = 0.5,
                         group_column: int = 1, value_column: int = 3,

@@ -93,6 +93,15 @@ class TransactionGenerator:
     def __init__(self, spec: WorkloadSpec, thread_id: int = 0) -> None:
         self.spec = spec
         self._rng = random.Random(spec.seed * 1_000_003 + thread_id)
+        # Precomputed k-subsets of the payload columns: drawing one
+        # uniformly is distribution-identical to an (unordered)
+        # ``random.sample`` draw at a fraction of the cost — the
+        # generator runs inside the timed window of every throughput
+        # experiment, so its overhead dilutes every engine's txn/s
+        # measurement equally but substantially (~25 µs/txn before).
+        import itertools
+        self._column_combos = tuple(itertools.combinations(
+            range(1, spec.num_columns), spec.columns_per_write))
 
     def next_transaction(self) -> list[Operation]:
         """Generate one transaction's operations (reads + writes).
@@ -103,21 +112,20 @@ class TransactionGenerator:
         """
         spec = self.spec
         rng = self._rng
+        randrange = rng.randrange
+        combos = self._column_combos
+        num_combos = len(combos)
+        active_set = spec.active_set
         operations: list[Operation] = []
-        payload_columns = range(1, spec.num_columns)
         for _ in range(spec.reads_per_txn):
-            key = rng.randrange(spec.active_set)
-            columns = tuple(rng.sample(payload_columns,
-                                       spec.columns_per_write))
-            operations.append(("r", key, columns))
+            operations.append(("r", randrange(active_set),
+                               combos[randrange(num_combos)]))
         for _ in range(spec.writes_per_txn):
-            key = rng.randrange(spec.active_set)
             updates = {
-                column: rng.randrange(1000)
-                for column in rng.sample(payload_columns,
-                                         spec.columns_per_write)
+                column: randrange(1000)
+                for column in combos[randrange(num_combos)]
             }
-            operations.append(("w", key, updates))
+            operations.append(("w", randrange(active_set), updates))
         return operations
 
     def scan_column(self) -> int:

@@ -128,10 +128,19 @@ class DictionaryPage:
         """True for every encoded slot."""
         return 0 <= slot < len(self._codes)
 
+    def peek_slot(self, slot: int) -> Any:
+        """Non-raising read (every encoded slot is written)."""
+        return self._dictionary[self._codes[slot]]
+
     def iter_values(self) -> Iterator[Any]:
         """Yield decoded values in slot order."""
         for code in self._codes:
             yield self._dictionary[code]
+
+    def values_list(self) -> list[Any]:
+        """All decoded values as one list (merge copy phase)."""
+        dictionary = self._dictionary
+        return [dictionary[code] for code in self._codes]
 
     def as_numpy(self) -> np.ndarray | None:
         """Decoded int64 view (None when values are not all ints)."""

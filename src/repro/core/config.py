@@ -135,6 +135,18 @@ class EngineConfig:
     #: degrades.
     vectorized_dirty_fraction: float = 0.85
 
+    #: Append tail records through the flat-cell write path
+    #: (:meth:`~repro.core.table.TailSegment.write_record_flat`): the
+    #: snapshot and update records of one write share a single
+    #: allocation latch hold and one batched base-page read, cells are
+    #: written from parallel column/value sequences (no per-record
+    #: dicts, no :class:`~repro.core.encoding.SchemaEncoding`
+    #: round-trips), and the dirty/horizon bookkeeping folds into one
+    #: lock acquisition. Off = the original dict-of-cells append —
+    #: kept as the semantics oracle the property suite crosses the
+    #: flat path against.
+    flat_appends: bool = True
+
     #: Worker threads of the shared analytical scan executor
     #: (:mod:`repro.exec`). 1 = run every scan partition inline on the
     #: calling thread; >1 = run partitions on a shared pool. Threads

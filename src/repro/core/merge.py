@@ -326,6 +326,13 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
     limit = tail.num_allocated()
     if max_records is not None:
         limit = min(limit, start_offset + max_records)
+    schema = table.schema
+    num_columns = schema.num_columns
+    mask = (1 << num_columns) - 1
+    snapshot_bit = 1 << num_columns
+    top_bit = 1 << (num_columns - 1)
+    meta_columns = (SCHEMA_ENCODING_COLUMN, START_TIME_COLUMN,
+                    BASE_RID_COLUMN)
     end_offset = start_offset
     while end_offset < limit:
         if not tail.record_written(end_offset):
@@ -333,42 +340,45 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
         if tail.is_tombstone(end_offset):
             end_offset += 1
             continue
-        resolved = table.resolve_cell(
-            tail.record_cell(end_offset, START_TIME_COLUMN))
-        if not resolved.committed:
+        # _tail_committed_time also stamps resolved markers in place —
+        # the merge doubles as an eager lazy-stamping pass, so later
+        # readers (and the auto-GC sweep) skip the manager lookup.
+        if table._tail_committed_time(
+                tail, end_offset,
+                tail.record_cell(end_offset, START_TIME_COLUMN)) is None:
             break
         end_offset += 1
     if end_offset == start_offset:
         return MergeResult(performed=False)
 
-    schema = table.schema
-    num_columns = schema.num_columns
     size = update_range.size
     records_per_page = table.config.records_per_page
 
     # -- Step 3 (scan phase): newest value per (record, column), reverse.
+    # Raw encoding ints and batched metadata reads: the scan visits
+    # every consolidated tail record once, and this loop was the merge
+    # thread's top profile frame under OLTP load.
     seen: set[tuple[int, int]] = set()
     deleted: set[int] = set()
     applied_values: dict[tuple[int, int], Any] = {}
     last_updated: dict[int, int] = {}
     encoding_delta: dict[int, int] = {}
     touched_columns: set[int] = set()
+    start_rid = update_range.start_rid
     for tail_offset in range(end_offset - 1, start_offset - 1, -1):
         if tail.is_tombstone(tail_offset):
             continue
-        encoding = SchemaEncoding.from_int(
-            num_columns, tail.record_cell(tail_offset,
-                                          SCHEMA_ENCODING_COLUMN))
-        if encoding.is_snapshot:
+        encoding, start_cell, base_rid = tail.record_cells(
+            tail_offset, meta_columns)
+        if encoding & snapshot_bit:
             continue
-        base_rid = tail.record_cell(tail_offset, BASE_RID_COLUMN)
-        record_offset = base_rid - update_range.start_rid
-        resolved = table.resolve_cell(
-            tail.record_cell(tail_offset, START_TIME_COLUMN))
-        commit_time = resolved.time if resolved.time is not None else 0
+        record_offset = base_rid - start_rid
         if record_offset not in last_updated:
-            last_updated[record_offset] = commit_time
-        if not encoding.any_updated:
+            commit_time = table.committed_time(start_cell)
+            last_updated[record_offset] = commit_time \
+                if commit_time is not None else 0
+        bits = encoding & mask
+        if not bits:
             # Delete record: newest for this record wins; a delete can
             # only be the newest (updates after delete are rejected).
             if record_offset not in deleted \
@@ -376,16 +386,19 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
                 deleted.add(record_offset)
                 touched_columns.update(range(num_columns))
             continue
-        for data_column in encoding.updated_columns():
-            key = (record_offset, data_column)
-            if key in seen or record_offset in deleted:
-                continue
-            seen.add(key)
-            touched_columns.add(data_column)
-            applied_values[key] = tail.record_cell(
-                tail_offset, schema.physical_index(data_column))
+        if record_offset not in deleted:
+            for data_column in range(num_columns):
+                if not bits & (top_bit >> data_column):
+                    continue
+                key = (record_offset, data_column)
+                if key in seen:
+                    continue
+                seen.add(key)
+                touched_columns.add(data_column)
+                applied_values[key] = tail.record_cell(
+                    tail_offset, schema.physical_index(data_column))
         encoding_delta[record_offset] = encoding_delta.get(
-            record_offset, 0) | (encoding.to_int() & ((1 << num_columns) - 1))
+            record_offset, 0) | bits
 
     new_tps = tail.rid_at(end_offset - 1)
     if tps_applied(update_range.tps_rid, new_tps) \
@@ -432,7 +445,9 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
                 update_range.range_id, physical)
             values: list[Any] = []
             for page in chain:
-                values.extend(page.iter_values())
+                values.extend(page.values_list()
+                              if hasattr(page, "values_list")
+                              else page.iter_values())
             return values
 
         # Group the applied updates by column for page-wise application.
@@ -613,7 +628,9 @@ def merge_columns(table: Table, update_range: UpdateRange,
                                                     physical)
             values: list[Any] = []
             for page in chain:
-                values.extend(page.iter_values())
+                values.extend(page.values_list()
+                              if hasattr(page, "values_list")
+                              else page.iter_values())
             for (offset, column), value in applied.items():
                 if column == data_column:
                     values[offset] = value

@@ -113,6 +113,43 @@ class Page:
             self._values[slot] = value
             self._num_written += 1
 
+    def write_slot_fast(self, slot: int, value: Any) -> None:
+        """Write-once write of a slot the caller exclusively owns.
+
+        The tail-append hot path: the slot index comes from the tail
+        allocator (always in range, and handed to exactly one writer)
+        and tail pages are never frozen while accepting appends, so the
+        bounds and frozen checks of :meth:`write_slot` are redundant.
+        The write-once check stays — it is the storage invariant that
+        catches double-append bugs.
+        """
+        with self._lock:
+            if self._values[slot] is not UNWRITTEN:
+                raise PageImmutableError(
+                    "slot %d of page %d already written (write-once)"
+                    % (slot, self.page_id))
+            self._values[slot] = value
+            self._num_written += 1
+
+    def write_slot_pair_fast(self, slot1: int, value1: Any,
+                             slot2: int, value2: Any) -> None:
+        """Two exclusively-owned write-once slots under one lock hold.
+
+        The fused snapshot+update tail append writes adjacent slots of
+        the same page for every shared column; one acquisition covers
+        both (same contract as :meth:`write_slot_fast`).
+        """
+        with self._lock:
+            values = self._values
+            if values[slot1] is not UNWRITTEN \
+                    or values[slot2] is not UNWRITTEN:
+                raise PageImmutableError(
+                    "slot %d/%d of page %d already written (write-once)"
+                    % (slot1, slot2, self.page_id))
+            values[slot1] = value1
+            values[slot2] = value2
+            self._num_written += 2
+
     def fill(self, values: Sequence[Any]) -> None:
         """Bulk-write a fresh page (merge fast path); then freeze it."""
         if self._num_written:
@@ -172,6 +209,21 @@ class Page:
             if value is UNWRITTEN:
                 break
             yield value
+
+    def values_list(self) -> list[Any]:
+        """The written prefix as one list slice (merge copy phase).
+
+        Equivalent to ``list(iter_values())``: a single C-level slice
+        plus a C-level membership scan instead of a generator yield per
+        value. Pages whose written slots do not form a prefix (an
+        in-flight writer mid-page) truncate at the first hole exactly
+        like :meth:`iter_values`, so a racing copy can never smuggle
+        the UNWRITTEN sentinel out as a value.
+        """
+        prefix = self._values[:self._num_written]
+        if UNWRITTEN in prefix:  # non-prefix writes: truncate like iter
+            return list(self.iter_values())
+        return prefix
 
     @property
     def num_records(self) -> int:

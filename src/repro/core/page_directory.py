@@ -37,6 +37,11 @@ class PageDirectory:
         self._base_chains: dict[tuple[int, int], tuple[AnyPage, ...]] = {}
         self._lock = threading.Lock()
         self._swap_count = 0
+        #: Monotone chain-table generation: bumped by every install and
+        #: swap. Readers cache per-range chain lists keyed on this
+        #: (:meth:`~repro.core.table.Table.range_chains`) and revalidate
+        #: with one int compare instead of a dict lookup per column.
+        self.version = 0
 
     # -- page registry ----------------------------------------------------
 
@@ -85,6 +90,7 @@ class PageDirectory:
         chain = tuple(pages)
         with self._lock:
             self._base_chains[(range_id, column)] = chain
+            self.version += 1
 
     def base_chain(self, range_id: int,
                    column: int) -> tuple[AnyPage, ...] | None:
@@ -96,6 +102,16 @@ class PageDirectory:
         could hold them is active.
         """
         return self._base_chains.get((range_id, column))
+
+    def chain_getter(self):
+        """Bound ``dict.get`` over the chain table (hot read paths).
+
+        Maps ``(range_id, column)`` → chain tuple or None with the same
+        lock-free semantics as :meth:`base_chain`, but without a method
+        frame per lookup — the batched base readers grab it once per
+        call and then pay a plain dict lookup per column.
+        """
+        return self._base_chains.get
 
     def swap_base_chain(self, range_id: int, column: int,
                         new_pages: Iterable[AnyPage],
@@ -111,6 +127,7 @@ class PageDirectory:
             old = self._base_chains.get((range_id, column), ())
             self._base_chains[(range_id, column)] = chain
             self._swap_count += 1
+            self.version += 1
             return old
 
     def base_columns(self, range_id: int) -> Iterator[int]:

@@ -45,6 +45,21 @@ class TailBlock:
             self._used += 1
             return rid
 
+    def allocate_pair(self) -> tuple[int, int] | None:
+        """Reserve two consecutive RIDs in one lock hold.
+
+        The fused snapshot+update append wants both tail slots from a
+        single latch acquisition; None when fewer than two RIDs remain
+        (the caller falls back to single allocations, which may span
+        blocks).
+        """
+        with self._lock:
+            if self._used + 2 > self.size:
+                return None
+            rid = self.start_rid - self._used
+            self._used += 2
+            return rid, rid - 1
+
     def contains(self, rid: int) -> bool:
         """True when *rid* belongs to this block."""
         return self.start_rid - self.size < rid <= self.start_rid
@@ -63,15 +78,20 @@ class TailBlock:
 
     @property
     def used(self) -> int:
-        """Number of RIDs handed out so far."""
-        with self._lock:
-            return self._used
+        """Number of RIDs handed out so far.
+
+        Lock-free: the int read is atomic under the GIL, and every
+        consumer (offset math, merge-notify thresholds) tolerates a
+        reading one allocation stale — taking the allocation mutex
+        here put a lock acquisition into every ``num_allocated`` call
+        on the write hot path.
+        """
+        return self._used
 
     @property
     def exhausted(self) -> bool:
-        """True when no RID is left in the block."""
-        with self._lock:
-            return self._used >= self.size
+        """True when no RID is left in the block (lock-free read)."""
+        return self._used >= self.size
 
 
 class RIDAllocator:

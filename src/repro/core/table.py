@@ -30,7 +30,7 @@ import numpy as np
 from ..errors import (DuplicateKeyError, InconsistentReadError,
                       KeyNotFoundError, RecordDeletedError,
                       SchemaMismatchError, StorageError, WriteWriteConflict)
-from ..txn.latch import IndirectionVector
+from ..txn.latch import IndirectionVector, StripedCounter
 from ..txn.clock import SynchronizedClock
 from .config import EngineConfig
 from .encoding import SchemaEncoding
@@ -49,6 +49,10 @@ from .version import (ResolvedTime, TxnStateSource, VisibilityPredicate,
 
 #: Pseudo column index under which row-layout page chains are registered.
 ROW_CHAIN_COLUMN = -1
+
+#: The per-hop metadata cells every chain walk reads (batched).
+_WALK_METADATA = (SCHEMA_ENCODING_COLUMN, START_TIME_COLUMN,
+                  INDIRECTION_COLUMN)
 
 #: Upper bound on how long a snapshot reader waits for a pre-commit
 #: transaction to settle (seconds). The validate→commit window is
@@ -212,6 +216,29 @@ class TailSegment:
                         self.wal.tail_block_reserved(
                             self.range_id, block.start_rid, block.size)
 
+    def allocate_pair(self) -> tuple[int, int, int, int]:
+        """Reserve two consecutive tail slots in one latch hold.
+
+        Returns ``(first_rid, first_offset, second_rid,
+        second_offset)`` with the first slot older (lower offset) than
+        the second — the fused snapshot+update append writes the
+        Lemma-2 snapshot record into the first and the update record
+        into the second, paying one block-latch acquisition instead of
+        two. Falls back to two single allocations at a block boundary
+        (the pair may then span blocks; offsets still ascend).
+        """
+        blocks = self._blocks
+        if blocks:
+            base_offset, block = blocks[-1]
+            pair = block.allocate_pair()
+            if pair is not None:
+                first, second = pair
+                first_offset = base_offset + block.offset_of(first)
+                return first, first_offset, second, first_offset + 1
+        first, first_offset = self.allocate()
+        second, second_offset = self.allocate()
+        return first, first_offset, second, second_offset
+
     def adopt_block(self, block: TailBlock) -> None:
         """Install a pre-reserved *block* (aligned insert segments)."""
         with self._lock:
@@ -237,6 +264,19 @@ class TailSegment:
                 return base_offset + block.offset_of(rid)
         raise StorageError("rid %d not in tail segment of range %d"
                            % (rid, self.range_id))
+
+    def try_locate(self, rid: int) -> int | None:
+        """Offset of *rid*, or None when it is not in this segment.
+
+        Fused ``contains_rid`` + ``locate`` for the chain-walk hot
+        paths: one pass over the block list, the range arithmetic done
+        inline instead of through two method calls per block.
+        """
+        for base_offset, block in self._blocks:
+            delta = block.start_rid - rid
+            if 0 <= delta < block.size:
+                return base_offset + delta
+        return None
 
     def rid_at(self, offset: int) -> int:
         """Inverse of :meth:`locate`."""
@@ -422,6 +462,87 @@ class TailSegment:
                     pages = pages_map[column]
                 pages[page_index].write_slot(slot, value)
 
+    def write_record_flat(self, offset: int, physicals: Sequence[int],
+                          values: Sequence[Any]) -> None:
+        """Write a tail record from parallel column/value sequences.
+
+        The dict-free analogue of :meth:`write_record` — the OLTP
+        append hot path. *physicals* and *values* pair up positionally;
+        a cells dict is materialised only when a WAL adapter needs the
+        redo image. Columnar layout writes each cell through the lean
+        exclusively-owned-slot page write; row layout expands to a
+        full-width row exactly like the dict path.
+        """
+        if self.wal is not None:
+            self.wal.record_written(self.segment_ref, offset,
+                                    dict(zip(physicals, values)))
+        self._write_cells_flat(offset, physicals, values)
+
+    def _write_cells_flat(self, offset: int, physicals: Sequence[int],
+                          values: Sequence[Any]) -> None:
+        if self.layout is Layout.ROW:
+            row = [NULL] * self.width
+            for column, value in zip(physicals, values):
+                row[column] = value
+            self.write_row(offset, row)
+            return
+        capacity = self.page_capacity
+        page_index, slot = divmod(offset, capacity)
+        pages_map = self._pages
+        for column, value in zip(physicals, values):
+            pages = pages_map.get(column)
+            if pages is None or page_index >= len(pages):
+                self._page_for_write(column, page_index)
+                pages = pages_map[column]
+            pages[page_index].write_slot_fast(slot, value)
+
+    def write_record_pair_flat(self, snap_offset: int,
+                               snap_cells: dict[int, Any],
+                               offset: int, physicals: Sequence[int],
+                               values: Sequence[Any]) -> None:
+        """Write an adjacent snapshot+update record pair in one pass.
+
+        The fused Lemma-2 append: *snap_cells* (physical → value) is
+        the snapshot record at *snap_offset*, whose column set is
+        always a subset of the update record's *physicals* (snapshot
+        columns are first-updated columns of this very update, and the
+        four tail metadata columns are shared) — so one traversal of
+        the update record's columns serves both records, shared-column
+        cells written through a single page-lock hold. Falls back to
+        two flat writes when the slots land on different pages or the
+        layout is row.
+        """
+        if self.wal is not None:
+            self.wal.record_written(self.segment_ref, snap_offset,
+                                    dict(snap_cells))
+            self.wal.record_written(self.segment_ref, offset,
+                                    dict(zip(physicals, values)))
+        capacity = self.page_capacity
+        if self.layout is Layout.ROW \
+                or offset != snap_offset + 1 \
+                or offset % capacity == 0:
+            self._write_cells_flat(snap_offset, list(snap_cells),
+                                   list(snap_cells.values()))
+            self._write_cells_flat(offset, physicals, values)
+            return
+        page_index, slot = divmod(offset, capacity)
+        snap_slot = slot - 1
+        pages_map = self._pages
+        missing = UNWRITTEN
+        snap_get = snap_cells.get
+        for column, value in zip(physicals, values):
+            pages = pages_map.get(column)
+            if pages is None or page_index >= len(pages):
+                self._page_for_write(column, page_index)
+                pages = pages_map[column]
+            page = pages[page_index]
+            snap_value = snap_get(column, missing)
+            if snap_value is missing:
+                page.write_slot_fast(slot, value)
+            else:
+                page.write_slot_pair_fast(snap_slot, snap_value,
+                                          slot, value)
+
     def record_cell(self, offset: int, column: int) -> Any:
         """Read one cell of the record at *offset*."""
         if offset < self.compressed_upto:
@@ -431,6 +552,33 @@ class TailSegment:
         if self.layout is Layout.ROW:
             return self.read_row_cell(offset, column)
         return self.read_cell(offset, column)
+
+    def record_cells(self, offset: int,
+                     columns: Sequence[int]) -> list[Any]:
+        """Batched :meth:`record_cell`: one dispatch for N cells.
+
+        The chain-walk hot paths read two or three metadata cells per
+        hop; paying the compressed-region and layout dispatch (plus the
+        page-index arithmetic) once per record instead of once per cell
+        keeps the 2-hop read guarantee cheap. Unmaterialised cells are
+        ∅, like :meth:`record_cell`.
+        """
+        if offset < self.compressed_upto and self._part_for(offset):
+            return [self.record_cell(offset, column) for column in columns]
+        if self.layout is Layout.ROW:
+            return [self.read_row_cell(offset, column)
+                    for column in columns]
+        pages_map = self._pages
+        page_index, slot = divmod(offset, self.page_capacity)
+        cells: list[Any] = []
+        for column in columns:
+            pages = pages_map.get(column)
+            if pages is None or page_index >= len(pages):
+                cells.append(NULL)
+                continue
+            value = pages[page_index].peek_slot(slot)
+            cells.append(NULL if value is UNWRITTEN else value)
+        return cells
 
     def record_written(self, offset: int) -> bool:
         """True when the record at *offset* is (at least partially) written.
@@ -600,6 +748,17 @@ class UpdateRange:
         #: superset of the records whose base pages are stale, and scan
         #: cost tracks the unmerged-update count (Figure 8).
         self.dirty_counts: dict[int, int] = {}
+        #: Companion bitmap: range offset → OR of the data-column bits
+        #: its unmerged tail records may have changed (deletes and
+        #: unknown provenance count as all-columns). A single-column
+        #: scan only needs to patch a dirty record when the scanned
+        #: column's bit is set — every other dirty record's base value
+        #: is still current under cumulative updates — which cuts the
+        #: per-scan patch walks to the records that actually moved.
+        #: Maintained with ``dirty_counts`` under the same lock;
+        #: dropped when the count returns to zero, so the bits only
+        #: ever over-approximate.
+        self.dirty_bits: dict[int, int] = {}
         self._dirty_lock = threading.Lock()
         #: Version-horizon summary of the *unmerged* tail: a lower
         #: bound on the commit time of every unmerged regular tail
@@ -621,6 +780,9 @@ class UpdateRange:
         #: change; entries rebuild lazily on the first scan after a
         #: swap and the arrays are shared read-only across scans.
         self.slice_cache: dict[int, tuple] = {}
+        #: Reader chain cache: ``(directory_version, [chain per
+        #: physical column])`` — see :meth:`Table.range_chains`.
+        self.reader_chains: tuple[int, list] | None = None
         self._rid_array: Any = None
         #: Set while the range sits in the merge queue (dedup).
         self.merge_pending = False
@@ -646,11 +808,14 @@ class UpdateRange:
     def locate_tail(self, rid: int) -> tuple[TailSegment, int]:
         """Locate a tail RID in the regular or table-level segment."""
         tail = self.tail
-        if tail is not None and tail.contains_rid(rid):
-            return tail, tail.locate(rid)
+        if tail is not None:
+            offset = tail.try_locate(rid)
+            if offset is not None:
+                return tail, offset
         segment = self.insert_range.segment
-        if segment.contains_rid(rid):
-            return segment, segment.locate(rid)
+        offset = segment.try_locate(rid)
+        if offset is not None:
+            return segment, offset
         raise StorageError("tail rid %d not found in range %d"
                            % (rid, self.range_id))
 
@@ -668,22 +833,50 @@ class UpdateRange:
 
         Called *before* the tail record's cells are written, so a merge
         that observes the written record is guaranteed to see (and later
-        prune) its dirty count.
+        prune) its dirty count. Provenance unknown at this interface:
+        the column bitmap is set to all-columns (conservative).
         """
         with self._dirty_lock:
             counts = self.dirty_counts
             counts[offset] = counts.get(offset, 0) + 1
+            self.dirty_bits[offset] = -1
+
+    def note_tail_appends(self, offset: int, count: int,
+                          time_lower_bound: int | None = None,
+                          column_bits: int = -1) -> None:
+        """Fused patch-set + horizon bookkeeping for *count* appends.
+
+        One dirty-lock acquisition covers what
+        :meth:`note_tail_append` (per record) plus :meth:`note_horizon`
+        would take two or three for — the flat append path notes the
+        snapshot and update records of one write together, before any
+        cell is written (same ordering guarantee as
+        :meth:`note_tail_append`). *time_lower_bound* is None when no
+        regular record is among the appends (pure snapshot bookkeeping
+        carries no version).
+        """
+        with self._dirty_lock:
+            counts = self.dirty_counts
+            counts[offset] = counts.get(offset, 0) + count
+            bits = self.dirty_bits
+            bits[offset] = bits.get(offset, 0) | column_bits
+            if time_lower_bound is not None:
+                current = self.unmerged_min_time
+                if current is None or time_lower_bound < current:
+                    self.unmerged_min_time = time_lower_bound
 
     def prune_dirty(self, offsets: Iterator[int] | list[int]) -> None:
         """Release dirty counts for tail records a merge consumed."""
         with self._dirty_lock:
             counts = self.dirty_counts
+            bits = self.dirty_bits
             for offset in offsets:
                 count = counts.get(offset)
                 if count is None:
                     continue
                 if count <= 1:
                     del counts[offset]
+                    bits.pop(offset, None)
                 else:
                     counts[offset] = count - 1
 
@@ -691,6 +884,21 @@ class UpdateRange:
         """Snapshot of offsets with at least one unmerged tail record."""
         with self._dirty_lock:
             return set(self.dirty_counts)
+
+    def dirty_offsets_for_column(self, column_bit: int) -> list[int]:
+        """Dirty offsets whose unmerged tail may have changed *column*.
+
+        The single-column scan patch-set: offsets whose column bitmap
+        misses *column_bit* are skipped entirely — under cumulative
+        updates their base value is still the latest committed one, so
+        neither a subtraction nor a walk is owed. Always a subset of
+        :meth:`dirty_offsets`; the bitmap over-approximates (deletes
+        and unknown provenance read as all-columns), so skipping is
+        safe.
+        """
+        with self._dirty_lock:
+            return [offset for offset, bits in self.dirty_bits.items()
+                    if bits & column_bit]
 
     # -- version-horizon summary -------------------------------------------
 
@@ -772,16 +980,64 @@ class Table:
         #: Optional write-ahead-log adapter (see repro.wal.log.TableWAL).
         self.wal: Any | None = None
         # Statistics (observability; used by benchmarks and tests).
-        self.stat_inserts = 0
-        self.stat_updates = 0
-        self.stat_deletes = 0
-        self.stat_aborted_tails = 0
-        self._stat_lock = threading.Lock()
+        # Striped per thread: the former single `_stat_lock` was one
+        # global mutex every insert/update/delete took — a pure
+        # serialisation point once 8 writer threads run.
+        self._stat_inserts = StripedCounter()
+        self._stat_updates = StripedCounter()
+        self._stat_deletes = StripedCounter()
+        self._stat_aborted_tails = StripedCounter()
         self._layout = config.layout
         self._records_per_page = config.records_per_page
+        self._range_size = config.update_range_size
+        self._key_physical = NUM_METADATA_COLUMNS + schema.key_index
+        #: Memo: Schema Encoding bits → ascending data-column tuple
+        #: (at most 2**num_columns entries, built on demand) — the
+        #: append and cumulation paths decode bitmaps constantly.
+        self._bit_columns: dict[int, tuple[int, ...]] = {}
         #: Shared analytical scan executor; the Database installs its
         #: shared instance, standalone tables lazily create their own.
         self._scan_executor: Any | None = None
+
+    # ------------------------------------------------------------------
+    # Statistics (striped counters folded on read)
+    # ------------------------------------------------------------------
+
+    @property
+    def stat_inserts(self) -> int:
+        """Committed-or-pending inserts (fold of the striped cells)."""
+        return self._stat_inserts.value
+
+    @stat_inserts.setter
+    def stat_inserts(self, value: int) -> None:
+        self._stat_inserts.set(value)
+
+    @property
+    def stat_updates(self) -> int:
+        """Update tail records appended."""
+        return self._stat_updates.value
+
+    @stat_updates.setter
+    def stat_updates(self, value: int) -> None:
+        self._stat_updates.set(value)
+
+    @property
+    def stat_deletes(self) -> int:
+        """Delete tail records appended."""
+        return self._stat_deletes.value
+
+    @stat_deletes.setter
+    def stat_deletes(self, value: int) -> None:
+        self._stat_deletes.set(value)
+
+    @property
+    def stat_aborted_tails(self) -> int:
+        """Tail records tombstoned by aborts."""
+        return self._stat_aborted_tails.value
+
+    @stat_aborted_tails.setter
+    def stat_aborted_tails(self, value: int) -> None:
+        self._stat_aborted_tails.set(value)
 
     # ------------------------------------------------------------------
     # Range plumbing
@@ -882,6 +1138,17 @@ class Table:
     # ------------------------------------------------------------------
     # Start-time resolution
     # ------------------------------------------------------------------
+
+    def columns_of_bits(self, bits: int) -> tuple[int, ...]:
+        """Data columns flagged in a Schema Encoding bitmap (memoised)."""
+        cached = self._bit_columns.get(bits)
+        if cached is None:
+            num_columns = self.schema.num_columns
+            top_bit = 1 << (num_columns - 1)
+            cached = tuple(column for column in range(num_columns)
+                           if bits & (top_bit >> column))
+            self._bit_columns[bits] = cached
+        return cached
 
     def resolve_cell(self, cell: int) -> ResolvedTime:
         """Resolve a Start Time cell against the transaction manager."""
@@ -1045,8 +1312,7 @@ class Table:
                 insert_range.segment.mark_tombstone(offset)
                 raise
         self.index.on_insert(rid, list(values))
-        with self._stat_lock:
-            self.stat_inserts += 1
+        self._stat_inserts.add()
         if insert_range.is_full and self.merge_notifier is not None:
             first_range_id = (insert_range.start_rid - 1) \
                 // self.config.update_range_size
@@ -1113,7 +1379,159 @@ class Table:
         update (or delete) record, per Section 3.1. Does **not** install
         the indirection — the caller does, so a transaction can abort
         between append and install without corrupting the chain.
+
+        Two implementations share this contract: the **flat-cell**
+        path (``config.flat_appends``, default) — snapshot and update
+        records drawn from one allocation latch hold
+        (:meth:`TailSegment.allocate_pair`), original values read in
+        one batched base-page read, cells written from parallel
+        column/value sequences with pure-int Schema Encoding math, and
+        the dirty/horizon bookkeeping folded into a single lock
+        acquisition — and the original dict-of-cells path, kept as the
+        semantics oracle the property suite crosses the flat path
+        against.
         """
+        if not self.config.flat_appends:
+            return self._append_update_dict(rid, updates, start_cell,
+                                            is_delete=is_delete)
+        update_range, offset = self.locate(rid)
+        return self._append_update_located(update_range, offset, rid,
+                                           updates, start_cell,
+                                           is_delete=is_delete)
+
+    def _append_update_located(self, update_range: UpdateRange, offset: int,
+                               rid: int, updates: dict[int, Any],
+                               start_cell: int, *, is_delete: bool = False,
+                               carried: tuple[int, dict[int, Any]] | None
+                               = None) -> int:
+        """The flat-cell append body (record already located).
+
+        *carried* is the cumulation source when the caller already
+        walked the chain (the fused OCC conflict check produces it);
+        None means walk for it here.
+        """
+        tail = update_range.tail
+        if tail is None:
+            tail = update_range.ensure_tail(
+                lambda: self._new_tail_segment(update_range.range_id))
+        num_columns = self.schema.num_columns
+        for data_column in updates:
+            if not 0 <= data_column < num_columns:
+                raise SchemaMismatchError(
+                    "data column %d out of range" % data_column)
+        previous = update_range.indirection.read(offset)
+        ever_bits = update_range.updated_bits[offset]
+        top_bit = 1 << (num_columns - 1)
+
+        bits_delta = 0
+        if is_delete:
+            if self.snapshot_on_delete:
+                snap_bits = ((1 << num_columns) - 1) & ~ever_bits
+            else:
+                snap_bits = 0
+        else:
+            for data_column in updates:
+                bits_delta |= top_bit >> data_column
+            snap_bits = bits_delta & ~ever_bits
+
+        # Version-horizon bookkeeping: a plain start cell *is* the
+        # commit time; a transaction marker's commit time is drawn
+        # from the monotonic clock strictly after this append, so the
+        # current reading is a valid lower bound.
+        bound = start_cell if not start_cell & TXN_ID_FLAG \
+            else self.clock.now()
+        original_previous = previous
+
+        snap_cells: dict[int, Any] | None = None
+        if snap_bits:
+            # Fused Lemma-2 snapshot + update append: one latch hold
+            # reserves both tail slots, one batched base read serves
+            # the snapshot's Start Time and original values.
+            snap_columns = self.columns_of_bits(snap_bits)
+            physicals = [START_TIME_COLUMN]
+            physicals.extend(NUM_METADATA_COLUMNS + column
+                             for column in snap_columns)
+            base_cells = self._read_base_values(update_range, offset,
+                                                physicals)
+            snap_rid, snap_offset, new_rid, new_offset = \
+                tail.allocate_pair()
+            update_range.note_tail_appends(
+                offset, 2, bound, -1 if is_delete else bits_delta)
+            back = previous if previous != NULL_RID else rid
+            snap_cells = {INDIRECTION_COLUMN: back,
+                          SCHEMA_ENCODING_COLUMN:
+                              snap_bits | (1 << num_columns),
+                          START_TIME_COLUMN: base_cells[0],
+                          BASE_RID_COLUMN: rid}
+            for physical, value in zip(physicals[1:], base_cells[1:]):
+                snap_cells[physical] = value
+            previous = snap_rid
+        else:
+            new_rid, new_offset = tail.allocate()
+            update_range.note_tail_appends(
+                offset, 1, bound, -1 if is_delete else bits_delta)
+
+        backpointer = previous if previous != NULL_RID else rid
+        if is_delete:
+            encoding_int = 0
+            data_physicals: Sequence[int] = ()
+            data_values: Sequence[Any] = ()
+        elif self.config.cumulative_updates:
+            carried_bits, carried_values = carried if carried is not None \
+                else self._cumulation_source(update_range,
+                                             original_previous)
+            if carried_bits:
+                merged = dict(carried_values)
+                merged.update(updates)
+                encoding_int = carried_bits | bits_delta
+                data_physicals = [NUM_METADATA_COLUMNS + column
+                                  for column in merged]
+                data_values = list(merged.values())
+            else:
+                encoding_int = bits_delta
+                data_physicals = [NUM_METADATA_COLUMNS + column
+                                  for column in updates]
+                data_values = list(updates.values())
+        else:
+            encoding_int = bits_delta
+            data_physicals = [NUM_METADATA_COLUMNS + column
+                              for column in updates]
+            data_values = list(updates.values())
+
+        record_physicals = [INDIRECTION_COLUMN, SCHEMA_ENCODING_COLUMN,
+                            START_TIME_COLUMN, BASE_RID_COLUMN]
+        record_values: list[Any] = [backpointer, encoding_int,
+                                    start_cell, rid]
+        record_physicals.extend(data_physicals)
+        record_values.extend(data_values)
+        if snap_cells is None:
+            tail.write_record_flat(new_offset, record_physicals,
+                                   record_values)
+        elif is_delete:
+            # A delete's snapshot spans columns the delete record does
+            # not carry — the pair write's subset contract doesn't
+            # hold, so the two records write separately.
+            tail.write_record_flat(snap_offset, list(snap_cells),
+                                   list(snap_cells.values()))
+            tail.write_record_flat(new_offset, record_physicals,
+                                   record_values)
+        else:
+            tail.write_record_pair_flat(snap_offset, snap_cells,
+                                        new_offset, record_physicals,
+                                        record_values)
+
+        if bits_delta:
+            update_range.updated_bits[offset] = ever_bits | bits_delta
+        if is_delete:
+            self._stat_deletes.add()
+        else:
+            self._stat_updates.add()
+        return new_rid
+
+    def _append_update_dict(self, rid: int, updates: dict[int, Any],
+                            start_cell: int, *,
+                            is_delete: bool = False) -> int:
+        """The original dict-of-cells append (the flat path's oracle)."""
         update_range, offset = self.locate(rid)
         tail = update_range.ensure_tail(
             lambda: self._new_tail_segment(update_range.range_id))
@@ -1183,12 +1601,136 @@ class Table:
             for data_column in updates:
                 bits_delta |= 1 << (num_columns - 1 - data_column)
             update_range.updated_bits[offset] = ever_bits | bits_delta
-        with self._stat_lock:
-            if is_delete:
-                self.stat_deletes += 1
-            else:
-                self.stat_updates += 1
+        if is_delete:
+            self._stat_deletes.add()
+        else:
+            self._stat_updates.add()
         return new_rid
+
+    def occ_append(self, rid: int, updates: dict[int, Any],
+                   start_cell: int, txn_id: int | None, *,
+                   is_delete: bool = False,
+                   ) -> tuple[int, UpdateRange, int]:
+        """The OCC write in one locate and one chain pass.
+
+        Latch CAS, write-write conflict check, and tail append fused:
+        the conflict check's walk already visits the newest committed
+        regular record — exactly the cumulation source the append
+        needs — so the fused walk hands its ``(bits, values)`` to the
+        append instead of re-walking the chain. Raises
+        :class:`~repro.errors.WriteWriteConflict` /
+        :class:`~repro.errors.RecordDeletedError` with the latch
+        released; on success the latch is **still held** (exactly like
+        the unfused ``try_latch`` → ``check_write_conflict`` →
+        ``append_update`` sequence) and the caller installs the
+        indirection — or aborts — to release it. Returns ``(tail_rid,
+        update_range, offset)`` so the install and post-commit merge
+        nudge need no re-locate.
+        """
+        update_range, offset = self.locate(rid)
+        if not update_range.indirection.try_latch(offset):
+            raise WriteWriteConflict(
+                "txn %r: record %d latch held by a competing writer"
+                % (txn_id, rid))
+        try:
+            if not self.config.flat_appends:
+                self.check_write_conflict(rid, txn_id)
+                tail_rid = self._append_update_dict(
+                    rid, updates, start_cell, is_delete=is_delete)
+                return tail_rid, update_range, offset
+            carried = self._check_conflict_and_cumulate(
+                update_range, offset, rid, txn_id,
+                need_cumulation=self.config.cumulative_updates
+                and not is_delete)
+            tail_rid = self._append_update_located(
+                update_range, offset, rid, updates, start_cell,
+                is_delete=is_delete, carried=carried)
+            return tail_rid, update_range, offset
+        except BaseException:
+            update_range.indirection.unlatch(offset)
+            raise
+
+    def install_indirection_located(self, update_range: UpdateRange,
+                                    offset: int, rid: int,
+                                    tail_rid: int) -> None:
+        """:meth:`install_indirection` without the re-locate."""
+        if self.wal is not None:
+            self.wal.indirection_written(rid, tail_rid)
+        update_range.indirection.set_and_unlatch(offset, tail_rid)
+
+    def _maybe_notify_merge_located(self,
+                                    update_range: UpdateRange) -> None:
+        """:meth:`_maybe_notify_merge` without the re-locate."""
+        if self.merge_notifier is None or update_range.merge_pending:
+            return
+        if update_range.unmerged_tail_count() >= self.config.merge_threshold:
+            update_range.merge_pending = True
+            self.merge_notifier(self, update_range.range_id, "update")
+
+    def _check_conflict_and_cumulate(
+            self, update_range: UpdateRange, offset: int, rid: int,
+            txn_id: int | None, need_cumulation: bool,
+            ) -> tuple[int, dict[int, Any]] | None:
+        """One walk: the paper's second write check + cumulation source.
+
+        Caller holds the indirection latch. The conflict state machine
+        is exactly :meth:`check_write_conflict`'s — a live competing
+        writer at the chain head raises
+        :class:`~repro.errors.WriteWriteConflict`, a deleted latest
+        committed-or-own version raises
+        :class:`~repro.errors.RecordDeletedError` — and on the way it
+        captures what :meth:`_cumulation_source` would: the first
+        regular non-tombstone record's ``(bits, values)``, or the
+        ``(0, {})`` reset when the TPS watermark covers the cursor
+        first. Returns None when *need_cumulation* is False.
+        """
+        num_columns = self.schema.num_columns
+        mask = (1 << num_columns) - 1
+        snapshot_bit = 1 << num_columns
+        tps = update_range.tps_rid
+        cursor = update_range.indirection.read(offset)
+        first = True
+        carried: tuple[int, dict[int, Any]] | None = None
+        carried_known = not need_cumulation
+        while is_tail_rid(cursor):
+            if not carried_known and tps_applied(tps, cursor):
+                carried = (0, {})  # merged already: cumulation resets
+                carried_known = True
+            segment, tail_offset = update_range.locate_tail(cursor)
+            encoding, start_cell, backpointer = segment.record_cells(
+                tail_offset, _WALK_METADATA)
+            if not encoding & snapshot_bit:
+                tombstone = segment.is_tombstone(tail_offset)
+                own = txn_id is not None \
+                    and start_cell == (TXN_ID_FLAG | txn_id)
+                committed = self._tail_committed_time(
+                    segment, tail_offset, start_cell) is not None
+                if first and not committed and not own and not tombstone:
+                    # Live writer from another transaction.
+                    resolved = self.resolve_cell(start_cell)
+                    if resolved.state in (TransactionState.ACTIVE,
+                                          TransactionState.PRE_COMMIT):
+                        raise WriteWriteConflict(
+                            "record %d has uncommitted writer %r"
+                            % (rid, resolved.txn_id))
+                first = False
+                if not tombstone:
+                    if not carried_known:
+                        bits = encoding & mask
+                        carried = (bits, {
+                            column: segment.record_cell(
+                                tail_offset, NUM_METADATA_COLUMNS + column)
+                            for column in self.columns_of_bits(bits)})
+                        carried_known = True
+                    if committed or own:
+                        if not encoding & mask:
+                            raise RecordDeletedError(
+                                "record %d is deleted" % rid)
+                        return carried
+            cursor = backpointer
+        if not carried_known:
+            carried = (0, {})
+        return carried
 
     def _append_snapshot(self, update_range: UpdateRange, offset: int,
                          rid: int, tail: TailSegment, previous: int,
@@ -1223,23 +1765,25 @@ class Table:
         cumulation reset of Section 4.2, Table 5).
         """
         tps = update_range.tps_rid
+        num_columns = self.schema.num_columns
+        mask = (1 << num_columns) - 1
+        snapshot_bit = 1 << num_columns
         cursor = previous
         while is_tail_rid(cursor):
             if tps_applied(tps, cursor):
                 break  # merged already: cumulation resets here
             segment, tail_offset = update_range.locate_tail(cursor)
-            encoding = SchemaEncoding.from_int(
-                self.schema.num_columns,
-                segment.record_cell(tail_offset, SCHEMA_ENCODING_COLUMN))
-            if not segment.is_tombstone(tail_offset) \
-                    and not encoding.is_snapshot:
+            encoding = segment.record_cell(tail_offset,
+                                           SCHEMA_ENCODING_COLUMN)
+            if not encoding & snapshot_bit \
+                    and not segment.is_tombstone(tail_offset):
+                bits = encoding & mask
                 values = {
                     column: segment.record_cell(
-                        tail_offset, self.schema.physical_index(column))
-                    for column in encoding.updated_columns()
+                        tail_offset, NUM_METADATA_COLUMNS + column)
+                    for column in self.columns_of_bits(bits)
                 }
-                return encoding.to_int() & ((1 << self.schema.num_columns)
-                                            - 1), values
+                return bits, values
             cursor = segment.record_cell(tail_offset, INDIRECTION_COLUMN)
         return 0, {}
 
@@ -1330,8 +1874,7 @@ class Table:
         segment.mark_tombstone(tail_offset)
         if self.wal is not None:
             self.wal.tombstoned(base_rid, tail_rid)
-        with self._stat_lock:
-            self.stat_aborted_tails += 1
+        self._stat_aborted_tails.add()
 
     def mark_insert_tombstone(self, rid: int) -> None:
         """Tombstone an aborted insert (the slot never becomes visible)."""
@@ -1344,6 +1887,32 @@ class Table:
     # ------------------------------------------------------------------
     # Base-cell access
     # ------------------------------------------------------------------
+
+    def range_chains(self, update_range: UpdateRange) -> list:
+        """Per-range base chains, one list index per physical column.
+
+        The point-read hot path resolves 6+ chains per statement; a
+        ``(range_id, column)`` tuple allocation and dict lookup each is
+        measurable at OLTP rates. This caches the resolved chain list
+        per range, revalidated against the page directory's monotone
+        chain generation with a single int compare — a merge swap bumps
+        the generation and the next reader rebuilds. Entries may be
+        None (column without a chain, e.g. pre-merge). Mixed-generation
+        reads during a concurrent swap are no different from today's
+        per-column lookups racing the same swap; paths that need
+        cross-column agreement keep their Lemma-3 TPS checks.
+        """
+        directory = self.page_directory
+        version = directory.version
+        cached = update_range.reader_chains
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        chain_get = directory.chain_getter()
+        range_id = update_range.range_id
+        chains = [chain_get((range_id, column))
+                  for column in range(self.schema.total_columns)]
+        update_range.reader_chains = (version, chains)
+        return chains
 
     def _base_chain(self, update_range: UpdateRange,
                     physical_column: int) -> tuple[Page, ...] | None:
@@ -1380,11 +1949,9 @@ class Table:
                     update_range.range_id, ROW_CHAIN_COLUMN)
                 row = chain[page_index].read_row(slot)
                 return [row[column] for column in physical_columns]
-            directory = self.page_directory
-            range_id = update_range.range_id
+            chains = self.range_chains(update_range)
             return [
-                directory.base_chain(range_id, column)[page_index]
-                .read_slot(slot)
+                chains[column][page_index].read_slot(slot)
                 for column in physical_columns
             ]
         segment = update_range.insert_range.segment
@@ -1418,15 +1985,44 @@ class Table:
         most base + one tail record under cumulative updates — the
         paper's 2-hop guarantee.
         """
-        update_range, offset = self.locate(rid)
+        update_range = self.ranges.get((rid - 1) // self._range_size)
+        if update_range is None:
+            self.locate(rid)  # raises the canonical error
+            raise KeyNotFoundError("base rid %d not allocated" % rid)
+        offset = rid - update_range.start_rid
         if data_columns is None:
             data_columns = range(self.schema.num_columns)
         indirection = update_range.indirection.read(offset)
         if indirection == NULL_RID:
+            if update_range.merged and self._layout is not Layout.ROW:
+                # Inlined clean-merged fast path: the dominant case of
+                # a loaded table (never-updated record, consolidated
+                # base pages) pays one chain lookup per needed column
+                # and nothing else — no physicals list, no batched
+                # read indirection, no zip.
+                if offset in update_range.base_tombstones:
+                    raise KeyNotFoundError(
+                        "base rid %d has no record" % rid)
+                chains = self.range_chains(update_range)
+                page_index, slot = divmod(offset, self._records_per_page)
+                start_cell = chains[START_TIME_COLUMN][page_index] \
+                    .peek_slot(slot)
+                if start_cell & TXN_ID_FLAG:
+                    own_write = txn_id is not None \
+                        and start_cell == (TXN_ID_FLAG | txn_id)
+                    if not own_write \
+                            and self.committed_time(start_cell) is None:
+                        return None
+                if chains[self._key_physical][page_index] \
+                        .peek_slot(slot) is NULL:
+                    return None
+                meta = NUM_METADATA_COLUMNS
+                return {column: chains[meta + column][page_index]
+                        .peek_slot(slot)
+                        for column in data_columns}
             if not self.base_record_exists(update_range, offset):
                 raise KeyNotFoundError("base rid %d has no record" % rid)
-            physicals = [START_TIME_COLUMN,
-                         NUM_METADATA_COLUMNS + self.schema.key_index]
+            physicals = [START_TIME_COLUMN, self._key_physical]
             physicals.extend(NUM_METADATA_COLUMNS + column
                              for column in data_columns)
             cells = self._read_base_values(update_range, offset, physicals)
@@ -1441,6 +2037,7 @@ class Table:
         num_columns = self.schema.num_columns
         mask = (1 << num_columns) - 1
         snapshot_bit = 1 << num_columns
+        top_bit = 1 << (num_columns - 1)
         cumulative = self.config.cumulative_updates
         remaining = dict.fromkeys(data_columns)
         values: dict[int, Any] = {}
@@ -1448,12 +2045,11 @@ class Table:
         found_version = False
         while is_tail_rid(cursor):
             segment, tail_offset = update_range.locate_tail(cursor)
-            encoding = segment.record_cell(tail_offset,
-                                           SCHEMA_ENCODING_COLUMN)
+            # One dispatch for the three per-hop metadata cells.
+            encoding, start_cell, backpointer = segment.record_cells(
+                tail_offset, _WALK_METADATA)
             if not encoding & snapshot_bit \
                     and not segment.is_tombstone(tail_offset):
-                start_cell = segment.record_cell(tail_offset,
-                                                 START_TIME_COLUMN)
                 visible = self._tail_committed_time(
                     segment, tail_offset, start_cell) is not None \
                     or (txn_id is not None
@@ -1465,14 +2061,14 @@ class Table:
                         if not bits:
                             return DELETED
                     for data_column in list(remaining):
-                        if bits & (1 << (num_columns - 1 - data_column)):
+                        if bits & (top_bit >> data_column):
                             values[data_column] = segment.record_cell(
                                 tail_offset,
                                 NUM_METADATA_COLUMNS + data_column)
                             del remaining[data_column]
                     if cumulative or not remaining:
                         break
-            cursor = segment.record_cell(tail_offset, INDIRECTION_COLUMN)
+            cursor = backpointer
         if not found_version:
             # No visible tail version: the base record is the version.
             return self.read_latest(rid, data_columns)
@@ -2063,35 +2659,17 @@ class Table:
         row_layout = self._layout is Layout.ROW
         if row_layout:
             row_pages = segment.row_pages()
-        else:
-            page_lists = {
-                column: segment.pages_for_column(column)
-                for column in (START_TIME_COLUMN, key_physical, physical)
-            }
-
-            def cell(column: int, insert_offset: int) -> Any:
-                pages = page_lists[column]
-                page_index, slot = divmod(insert_offset, capacity)
-                if page_index >= len(pages):
-                    return NULL
-                value = pages[page_index].peek_slot(slot)
-                return NULL if value is UNWRITTEN else value
-
-        for offset in range(update_range.size):
-            insert_offset = delta + offset
-            if offset in patch:
-                self._append_walk_value(update_range, offset, data_column,
-                                        txn_id, values)
-                continue
-            if insert_offset < segment.compressed_upto:
-                # Compressed region (never for live insert tails): the
-                # exact walk owns the edge case.
-                self._append_walk_value(update_range, offset, data_column,
-                                        txn_id, values)
-                continue
-            if segment.is_tombstone(insert_offset):
-                continue
-            if row_layout:
+            for offset in range(update_range.size):
+                insert_offset = delta + offset
+                if offset in patch \
+                        or insert_offset < segment.compressed_upto:
+                    # The exact walk owns patched records and the
+                    # compressed-region edge case.
+                    self._append_walk_value(update_range, offset,
+                                            data_column, txn_id, values)
+                    continue
+                if segment.is_tombstone(insert_offset):
+                    continue
                 page_index, slot = divmod(insert_offset, capacity)
                 row = row_pages[page_index].read_row(slot) \
                     if page_index < len(row_pages) \
@@ -2099,20 +2677,46 @@ class Table:
                 if row is None:
                     continue  # never written
                 start_cell = row[START_TIME_COLUMN]
-                key_value = row[key_physical]
-            else:
-                start_cell = cell(START_TIME_COLUMN, insert_offset)
-                if is_null(start_cell):
-                    continue  # never written
-                key_value = cell(key_physical, insert_offset)
+                own_write = txn_id is not None \
+                    and start_cell == (TXN_ID_FLAG | txn_id)
+                if (not own_write
+                        and self.committed_time(start_cell) is None) \
+                        or is_null(row[key_physical]):
+                    continue
+                values.append(row[physical])
+            return
+        # Columnar: iterate page-at-a-time with the page lists hoisted
+        # — no per-cell closure, one divmod per record, the unwritten
+        # suffix of the half-full last insert range skipped wholesale.
+        start_pages = segment.pages_for_column(START_TIME_COLUMN)
+        key_pages = segment.pages_for_column(key_physical)
+        data_pages = segment.pages_for_column(physical)
+        unwritten = UNWRITTEN
+        for offset in range(update_range.size):
+            insert_offset = delta + offset
+            if offset in patch or insert_offset < segment.compressed_upto:
+                self._append_walk_value(update_range, offset, data_column,
+                                        txn_id, values)
+                continue
+            if segment.is_tombstone(insert_offset):
+                continue
+            page_index, slot = divmod(insert_offset, capacity)
+            if page_index >= len(start_pages):
+                continue  # never written
+            start_cell = start_pages[page_index].peek_slot(slot)
+            if start_cell is unwritten:
+                continue  # never written
             own_write = txn_id is not None \
                 and start_cell == (TXN_ID_FLAG | txn_id)
-            if (not own_write
-                    and self.committed_time(start_cell) is None) \
-                    or is_null(key_value):
+            if not own_write and self.committed_time(start_cell) is None:
                 continue
-            values.append(row[physical] if row_layout
-                          else cell(physical, insert_offset))
+            key_value = key_pages[page_index].peek_slot(slot) \
+                if page_index < len(key_pages) else NULL
+            if key_value is unwritten or is_null(key_value):
+                continue
+            value = data_pages[page_index].peek_slot(slot) \
+                if page_index < len(data_pages) else NULL
+            values.append(NULL if value is unwritten else value)
 
     def read_column_slices(self, update_range: UpdateRange,
                            data_columns: Sequence[int],
@@ -2383,7 +2987,16 @@ class Table:
         """
         if not update_range.merged or self._layout is Layout.ROW:
             return None
-        patch = self._scan_patch_offsets(update_range)
+        if self.config.incremental_dirty_sets:
+            # Column-filtered patch-set: only records whose unmerged
+            # tail may have changed *this* column owe a subtraction
+            # and a walk — the rest of the dirty records' base values
+            # are still the latest committed ones under cumulative
+            # updates, so they stay inside the clean page totals.
+            column_bit = 1 << (self.schema.num_columns - 1 - data_column)
+            patch = set(update_range.dirty_offsets_for_column(column_bit))
+        else:
+            patch = self._scan_patch_offsets(update_range)
         tombstones = update_range.base_tombstones
         size = update_range.size
         records_per_page = self._records_per_page
@@ -2850,13 +3463,12 @@ class Table:
         cursor = update_range.indirection.read(offset)
         while is_tail_rid(cursor):
             segment, tail_offset = update_range.locate_tail(cursor)
-            encoding = segment.record_cell(tail_offset,
-                                           SCHEMA_ENCODING_COLUMN)
+            encoding, start_cell, backpointer = segment.record_cells(
+                tail_offset, _WALK_METADATA)
             if not encoding & snapshot_bit \
                     and not segment.is_tombstone(tail_offset):
                 committed = self._tail_committed_time(
-                    segment, tail_offset,
-                    segment.record_cell(tail_offset, START_TIME_COLUMN))
+                    segment, tail_offset, start_cell)
                 if committed is not None:
                     bits = encoding & mask
                     if not bits:
@@ -2865,8 +3477,21 @@ class Table:
                         return segment.record_cell(tail_offset, physical)
                     if cumulative:
                         break  # base page is current for this column
-            cursor = segment.record_cell(tail_offset, INDIRECTION_COLUMN)
-        # Base fallback.
+            cursor = backpointer
+        # Base fallback (inlined for the merged columnar common case —
+        # this runs once per dirty record per scan, so the chain-lookup
+        # arithmetic is paid exactly once here).
+        if update_range.merged and self._layout is not Layout.ROW:
+            if offset in update_range.base_tombstones:
+                return None
+            chains = self.range_chains(update_range)
+            page_index, slot = divmod(offset, self._records_per_page)
+            start_cell = chains[START_TIME_COLUMN][page_index] \
+                .read_slot(slot)
+            if start_cell & TXN_ID_FLAG \
+                    and self.committed_time(start_cell) is None:
+                return None
+            return chains[physical][page_index].read_slot(slot)
         if not self.base_record_exists(update_range, offset):
             return None
         if self.committed_time(self._read_base_cell(

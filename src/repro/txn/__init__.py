@@ -1,8 +1,41 @@
-"""Transaction layer: OCC, latches, clock, workers (Section 5)."""
+"""Transaction layer: OCC, latches, clock, workers (Section 5).
+
+The OLTP **write path** is the latency-critical spine of this layer;
+one statement flows through four stages, each deliberately lean:
+
+1. **Latch** — a CAS on the latch bit of the record's indirection word
+   (:class:`~repro.txn.latch.IndirectionVector`); failure *is* the
+   write-write conflict signal (Section 5.1.1).
+2. **Fused append** — :meth:`~repro.core.table.Table.occ_append` runs
+   the paper's second conflict check and the cumulative-update source
+   lookup in a *single* chain pass, then appends the Lemma-2 snapshot
+   record (when a column is first-updated) and the update record from
+   one allocation-latch hold through the flat-cell write path: cells
+   stream from parallel column/value sequences (no per-record dicts,
+   no ``SchemaEncoding`` object round-trips), the dirty/horizon scan
+   bookkeeping folds into one lock acquisition, and shared columns of
+   the snapshot+update pair write both page slots under one page-lock
+   hold.
+3. **Install** — one CAS points the indirection at the new tail RID
+   and releases the latch; aborting between append and install leaves
+   the chain untouched (tombstones only, Section 5.1.3).
+4. **Commit / group commit** — transactions with nothing to validate
+   take :meth:`~repro.txn.manager.TransactionManager.commit_fast`
+   (ACTIVE → PRE_COMMIT → COMMITTED in one manager-lock hold, so
+   snapshot readers barely ever observe a pre-commit window); with
+   the WAL enabled, the commit record's durability rides the
+   leader/follower **group commit** of
+   :class:`~repro.wal.log.LogManager` — concurrent committers share
+   one fsync instead of paying one each.
+
+Engine statistics along this path use per-thread striped counters
+(:class:`~repro.txn.latch.StripedCounter`) — the former global stat
+mutex was a pure serialisation point across writer threads.
+"""
 
 from .clock import SynchronizedClock, TransactionIdSource
 from .latch import (AtomicCell, AtomicCounter, IndirectionVector,
-                    SharedExclusiveLatch)
+                    SharedExclusiveLatch, StripedCounter)
 from .manager import TransactionManager, TxnEntry
 from .transaction import Transaction
 from .worker import TransactionWorker, WorkerStats
@@ -11,6 +44,7 @@ __all__ = [
     "AtomicCell",
     "AtomicCounter",
     "IndirectionVector",
+    "StripedCounter",
     "SharedExclusiveLatch",
     "SynchronizedClock",
     "Transaction",

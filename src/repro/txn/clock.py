@@ -36,9 +36,16 @@ class SynchronizedClock:
             return self._now
 
     def now(self) -> int:
-        """Peek at the current time without advancing."""
-        with self._lock:
-            return self._now
+        """Peek at the current time without advancing.
+
+        Lock-free: the int read is atomic under the GIL, and every
+        consumer of ``now()`` (version-horizon lower bounds, epoch
+        registration) only needs a value *not exceeding* the next
+        timestamp :meth:`advance` will hand out — a slightly stale
+        reading is conservative, so the write hot path no longer
+        serialises on the clock mutex just to peek.
+        """
+        return self._now
 
     def advance_to(self, value: int) -> None:
         """Raise the clock to *value* (recovery restores the clock)."""

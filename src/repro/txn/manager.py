@@ -20,7 +20,7 @@ from ..errors import IllegalTransactionState
 from .clock import SynchronizedClock
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnEntry:
     """One row of the transaction manager's hashtable."""
 
@@ -121,6 +121,39 @@ class TransactionManager:
             self.stat_committed += 1
             assert entry.commit_time is not None
             commit_time = entry.commit_time
+        if self.commit_sink is not None:
+            self.commit_sink(txn_id, commit_time)
+        return commit_time
+
+    def commit_fast(self, txn_id: int) -> int:
+        """ACTIVE → PRE_COMMIT → COMMITTED in one lock hold.
+
+        The commit path for transactions with **nothing to validate**
+        (empty readset under READ_COMMITTED, no speculative reads):
+        :meth:`enter_precommit` + :meth:`commit` would take the manager
+        lock twice and leave a PRE_COMMIT window that concurrent
+        snapshot readers must settle (spin) on; fusing the transition
+        halves the lock traffic on the OLTP hot path and shrinks the
+        observable pre-commit window to the lock hold itself.
+
+        The lock-free :meth:`lookup` ordering argument is preserved:
+        the PRE_COMMIT state is written *before* the commit time is
+        drawn from the clock, and the commit time is installed before
+        the COMMITTED state, so a reader observing ACTIVE still proves
+        the eventual commit time postdates every timestamp it holds,
+        and a reader observing COMMITTED always sees the commit time.
+        """
+        with self._lock:
+            entry = self._require(txn_id)
+            if entry.state is not TransactionState.ACTIVE:
+                raise IllegalTransactionState(
+                    "txn %d is %s, cannot commit"
+                    % (txn_id, entry.state.value))
+            entry.state = TransactionState.PRE_COMMIT
+            commit_time = self.clock.advance()
+            entry.commit_time = commit_time
+            entry.state = TransactionState.COMMITTED
+            self.stat_committed += 1
         if self.commit_sink is not None:
             self.commit_sink(txn_id, commit_time)
         return commit_time

@@ -22,12 +22,11 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from ..core.table import DELETED, Table
-from ..core.types import (IsolationLevel, TransactionState, make_txn_marker)
+from ..core.types import IsolationLevel, make_txn_marker
 from ..core.version import (VisibilityPredicate, visible_as_of,
                             visible_latest_committed, visible_speculative,
                             visible_to_txn)
-from ..errors import (RecordDeletedError, ValidationFailure,
-                      WriteWriteConflict)
+from ..errors import ValidationFailure
 
 
 @dataclass(frozen=True)
@@ -48,6 +47,8 @@ class WriteEntry:
     rid: int
     tail_rid: int
     is_delete: bool = False
+    #: The located update range (post-commit merge nudge, no re-locate).
+    update_range: Any = None
 
 
 @dataclass(frozen=True)
@@ -59,7 +60,7 @@ class InsertEntry:
     key: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnContext:
     """Mutable OCC state of one transaction."""
 
@@ -76,10 +77,13 @@ class TxnContext:
     def needs_validation(self) -> bool:
         """Repeatable read / serializable validate the whole readset;
         snapshot isolation validates only speculative reads."""
+        readset = self.readset
+        if not readset:
+            return False
         if self.isolation in (IsolationLevel.REPEATABLE_READ,
                               IsolationLevel.SERIALIZABLE):
-            return bool(self.readset)
-        return any(entry.speculative for entry in self.readset)
+            return True
+        return any(entry.speculative for entry in readset)
 
     def base_predicate(self) -> VisibilityPredicate:
         """Statement visibility for this isolation level."""
@@ -139,20 +143,21 @@ def occ_read(ctx: TxnContext, table: Table, rid: int,
 
 def occ_write(ctx: TxnContext, table: Table, rid: int,
               updates: dict[int, Any], *, is_delete: bool = False) -> int:
-    """``write w(x)``: latch-bit CAS, conflict check, append, install."""
-    if not table.try_latch(rid):
-        raise WriteWriteConflict(
-            "txn %d: record %d latch held by a competing writer"
-            % (ctx.txn_id, rid))
-    try:
-        table.check_write_conflict(rid, ctx.txn_id)
-        tail_rid = table.append_update(
-            rid, updates, make_txn_marker(ctx.txn_id), is_delete=is_delete)
-    except BaseException:
-        table.unlatch(rid)
-        raise
-    table.install_indirection(rid, tail_rid)  # releases the latch
-    ctx.writeset.append(WriteEntry(table, rid, tail_rid, is_delete))
+    """``write w(x)``: latch-bit CAS, conflict check, append, install.
+
+    The first three steps run fused inside
+    :meth:`~repro.core.table.Table.occ_append` (one locate, one chain
+    pass shared between the conflict check and the cumulation source);
+    the indirection install stays separate so an abort between append
+    and install leaves the chain untouched, exactly as before.
+    """
+    tail_rid, update_range, offset = table.occ_append(
+        rid, updates, make_txn_marker(ctx.txn_id), ctx.txn_id,
+        is_delete=is_delete)
+    table.install_indirection_located(update_range, offset, rid,
+                                      tail_rid)  # releases the latch
+    ctx.writeset.append(WriteEntry(table, rid, tail_rid, is_delete,
+                                   update_range))
     return tail_rid
 
 
@@ -207,4 +212,7 @@ def occ_rollback(ctx: TxnContext) -> None:
 def occ_post_commit(ctx: TxnContext) -> None:
     """After commit: nudge the merge scheduler for the touched ranges."""
     for entry in ctx.writeset:
-        entry.table._maybe_notify_merge(entry.rid)
+        if entry.update_range is not None:
+            entry.table._maybe_notify_merge_located(entry.update_range)
+        else:
+            entry.table._maybe_notify_merge(entry.rid)

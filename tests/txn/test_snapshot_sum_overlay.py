@@ -1,0 +1,141 @@
+"""Snapshot-isolation sums with own writes: the batch overlay.
+
+``Transaction.sum`` / ``Transaction.scan_sum`` under snapshot-style
+isolation route through the version-horizon plane at the transaction's
+begin time even once the transaction has writes of its own; the own
+written/inserted RIDs overlay per record. These tests pin the overlay
+against the per-record own-or-snapshot predicate oracle.
+"""
+
+import pytest
+
+from repro.core.config import TEST_CONFIG
+from repro.core.db import Database
+from repro.core.table import DELETED
+from repro.core.types import IsolationLevel, is_null
+from repro.txn.transaction import Transaction
+
+
+@pytest.fixture
+def db():
+    database = Database(TEST_CONFIG)
+    yield database
+    database.close()
+
+
+def _load(db, rows=40):
+    table = db.create_table("t", 3)
+    for key in range(rows):
+        table.insert([key, key * 10, 7])
+    db.run_merges()
+    return table
+
+
+def _oracle_sum(table, txn, rids, data_column):
+    predicate = txn.ctx.read_predicate()
+    total = 0
+    for rid in rids:
+        values = table.read_latest(rid, (data_column,), predicate)
+        if values is None or values is DELETED:
+            continue
+        if not is_null(values[data_column]):
+            total += values[data_column]
+    return total
+
+
+class TestKeyedSumOverlay:
+    def test_own_update_visible_in_snapshot_sum(self, db):
+        table = _load(db)
+        txn = Transaction(db.txn_manager, isolation=IsolationLevel.SNAPSHOT)
+        before = txn.sum(table, 0, 9, 1)
+        assert before == sum(key * 10 for key in range(10))
+        txn.update(table, 3, {1: 1000})
+        assert txn.sum(table, 0, 9, 1) == before - 30 + 1000
+        txn.abort()
+
+    def test_concurrent_commit_stays_invisible(self, db):
+        """Own writes overlay; *other* post-begin commits do not leak."""
+        table = _load(db)
+        txn = Transaction(db.txn_manager, isolation=IsolationLevel.SNAPSHOT)
+        before = txn.sum(table, 0, 9, 1)
+        txn.update(table, 3, {1: 1000})  # own write activates overlay
+        other = Transaction(db.txn_manager)
+        other.update(table, 5, {1: 99999})
+        assert other.commit()
+        assert txn.sum(table, 0, 9, 1) == before - 30 + 1000
+        txn.abort()
+
+    def test_own_delete_and_insert(self, db):
+        table = _load(db)
+        txn = Transaction(db.txn_manager, isolation=IsolationLevel.SNAPSHOT)
+        before = txn.sum(table, 0, 49, 1)
+        txn.delete(table, 4)            # remove 40
+        txn.insert(table, [45, 333, 0])  # new key inside the range
+        expected = before - 40 + 333
+        assert txn.sum(table, 0, 49, 1) == expected
+        rids = [rid for _, rid in table.index.primary.range_items(0, 49)]
+        assert txn.sum(table, 0, 49, 1) == _oracle_sum(table, txn, rids, 1)
+        txn.abort()
+
+    def test_matches_oracle_under_mixed_history(self, db):
+        """Random-ish mix: pre-begin commits, own writes, post-begin
+        commits by others — overlay equals the per-record oracle."""
+        table = _load(db)
+        setup = Transaction(db.txn_manager)
+        setup.update(table, 7, {1: 777})
+        assert setup.commit()
+        txn = Transaction(db.txn_manager,
+                          isolation=IsolationLevel.REPEATABLE_READ)
+        txn.update(table, 2, {1: 222})
+        txn.update(table, 2, {2: 9})     # second write, same record
+        txn.update(table, 11, {1: 111})
+        late = Transaction(db.txn_manager)
+        late.update(table, 13, {1: 131313})
+        assert late.commit()
+        rids = [rid for _, rid in table.index.primary.range_items(0, 19)]
+        assert txn.sum(table, 0, 19, 1) == _oracle_sum(table, txn, rids, 1)
+        txn.abort()
+
+
+class TestScanSumOverlay:
+    def test_full_table_scan_sum_with_own_writes(self, db):
+        table = _load(db)
+        txn = Transaction(db.txn_manager, isolation=IsolationLevel.SNAPSHOT)
+        base = txn.scan_sum(table, 1)
+        assert base == sum(key * 10 for key in range(40))
+        txn.update(table, 0, {1: 5})
+        txn.delete(table, 1)
+        txn.insert(table, [100, 2000, 0])
+        expected = base - 0 - 10 + 5 + 2000
+        assert txn.scan_sum(table, 1) == expected
+        txn.abort()
+
+    def test_scan_sum_repeatable_while_others_commit(self, db):
+        table = _load(db)
+        txn = Transaction(db.txn_manager, isolation=IsolationLevel.SNAPSHOT)
+        txn.update(table, 6, {1: 606})
+        first = txn.scan_sum(table, 1)
+        other = Transaction(db.txn_manager)
+        other.update(table, 8, {1: 88888})
+        assert other.commit()
+        assert txn.scan_sum(table, 1) == first
+        txn.abort()
+
+    def test_scan_sum_matches_oracle_after_merge(self, db):
+        """Own writes + a merge consuming concurrent commits."""
+        table = _load(db)
+        filler = Transaction(db.txn_manager)
+        for key in range(0, 40, 3):
+            filler.update(table, key, {1: key})
+        assert filler.commit()
+        txn = Transaction(db.txn_manager,
+                          isolation=IsolationLevel.SNAPSHOT)
+        txn.update(table, 9, {1: 909})
+        post = Transaction(db.txn_manager)
+        for key in range(0, 40, 5):
+            post.update(table, key, {1: 40000 + key})
+        assert post.commit()
+        db.run_merges()
+        rids = [rid for _, rid in table.index.primary.range_items(0, 39)]
+        assert txn.scan_sum(table, 1) == _oracle_sum(table, txn, rids, 1)
+        txn.abort()
