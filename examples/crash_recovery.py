@@ -1,9 +1,19 @@
-"""Durability: redo-only WAL, crash, recovery (Section 5.1.3).
+"""Durability torture: failpoint crashes, salvage, bounded recovery.
 
-Demonstrates L-Store's logging asymmetry — read-only base pages need no
-logging, append-only tails need only redo, aborts only tombstone — and
-both recovery options for the in-place Indirection column: replaying
-its redo records, or rebuilding it from the tails.
+Demonstrates the durability stack end to end:
+
+1. **Failpoint crash** — a child process runs a bank-transfer workload
+   and is killed by a ``crash`` failpoint (``REPRO_FAILPOINTS``) in the
+   middle of a group commit; the parent recovers the log chain and
+   audits conservation (committed survive, uncommitted invisible).
+2. **Torn-tail salvage** — the recovered log is torn mid-frame the way
+   a power cut would; recovery keeps the valid prefix and reports the
+   salvaged bytes instead of refusing to start.
+3. **Checkpoint-bounded recovery** — with checkpoints in the workload,
+   recovery loads the newest complete image and replays only the log
+   suffix, as the replay counters show.
+4. **Both indirection options** (Section 5.1.3) — replaying the
+   Indirection redo records vs. rebuilding the column from the tails.
 
 Run with::
 
@@ -11,70 +21,110 @@ Run with::
 """
 
 import os
+import subprocess
+import sys
 import tempfile
 
-from repro import Database, EngineConfig
-from repro.wal.recovery import recover_database
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import Database, EngineConfig  # noqa: E402
+from repro.wal.recovery import recover_database  # noqa: E402
 
 CONFIG_KWARGS = dict(
     records_per_page=32, records_per_tail_page=32,
     update_range_size=64, merge_threshold=64, insert_range_size=64)
+ACCOUNTS = 64
+BALANCE = 100
+
+
+def workload(data_dir: str) -> int:
+    """Child mode: transfers + periodic checkpoints until crashed."""
+    db = Database(EngineConfig(
+        wal_enabled=True, data_dir=data_dir, wal_segment_bytes=4096,
+        **CONFIG_KWARGS))
+    accounts = db.create_table("accounts", num_columns=2, key_index=0,
+                               column_names=("id", "balance"))
+    for key in range(ACCOUNTS):
+        accounts.insert([key, BALANCE])
+    db._wal.flush()
+    for seq in range(40):
+        src, dst = seq % ACCOUNTS, (seq * 7 + 3) % ACCOUNTS
+        if src == dst:
+            continue
+        txn = db.begin_transaction()
+        amount = 1 + seq % 9
+        txn.update(accounts, src,
+                   {1: txn.select(accounts, src, (1,))[1] - amount})
+        txn.update(accounts, dst,
+                   {1: txn.select(accounts, dst, (1,))[1] + amount})
+        txn.commit()
+        if seq == 20:
+            db.checkpoint()
+    db.close()
+    return 0
+
+
+def recover_and_audit(log_path: str, label: str):
+    recovered = recover_database(log_path,
+                                 config=EngineConfig(**CONFIG_KWARGS))
+    report = recovered.recovery_report
+    query = recovered.query("accounts")
+    total = query.sum(0, ACCOUNTS - 1, 1)
+    print("\n%s" % label)
+    print("  records replayed / skipped / total : %d / %d / %d"
+          % (report.records_replayed, report.records_skipped,
+             report.records_total))
+    print("  checkpoint image                   : %s"
+          % (report.checkpoint_directory or "(none used)"))
+    print("  salvaged bytes / quarantined frames: %d / %d"
+          % (report.salvaged_bytes, len(report.quarantined)))
+    print("  recovered balance total            : %d" % total)
+    assert total == ACCOUNTS * BALANCE, "conservation violated"
+    return recovered
 
 
 def main() -> None:
-    data_dir = tempfile.mkdtemp(prefix="lstore-wal-")
+    if len(sys.argv) > 1 and sys.argv[1] == "--workload":
+        sys.exit(workload(sys.argv[2]))
+
+    data_dir = tempfile.mkdtemp(prefix="lstore-torture-")
     log_path = os.path.join(data_dir, "wal.log")
 
-    db = Database(EngineConfig(wal_enabled=True, data_dir=data_dir,
-                               **CONFIG_KWARGS))
-    accounts = db.create_table("accounts", num_columns=2, key_index=0,
-                               column_names=("id", "balance"))
-    for key in range(64):
-        accounts.insert([key, 100])
+    # 1. Kill the child mid-commit with a crash failpoint: nothing is
+    # flushed on the way down, exactly like kill -9 or a power cut.
+    env = dict(os.environ)
+    env["REPRO_FAILPOINTS"] = "txn.after_commit_record=crash:30"
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--workload", data_dir],
+        env=env)
+    print("workload crashed with exit status", proc.returncode)
+    recovered = recover_and_audit(
+        log_path, "recovery after failpoint crash (checkpoint-bounded):")
+    recovered.close()
 
-    # Committed work the crash must not lose.
-    done = db.begin_transaction()
-    done.update(accounts, 1, {1: 150})
-    done.update(accounts, 2, {1: 50})
-    assert done.commit()
+    # 2. Tear the active segment mid-frame; recovery salvages the
+    # valid prefix and says so, instead of refusing to start.
+    from repro.wal.log import LogManager
+    active = LogManager.segment_paths(log_path)[-1]
+    with open(active, "r+b") as handle:
+        handle.truncate(os.path.getsize(active) - 7)
+    recovered = recover_and_audit(log_path, "recovery from a torn tail:")
+    assert recovered.recovery_report.salvaged_bytes > 0
 
-    # In-flight work the crash must erase.
-    doomed = db.begin_transaction()
-    doomed.update(accounts, 3, {1: 999999})
-    doomed.insert(accounts, [500, 13])
+    # 3. Both indirection recovery options agree (Section 5.1.3).
+    replay_total = recovered.query("accounts").sum(0, ACCOUNTS - 1, 1)
+    recovered.close()
+    rebuilt = recover_database(log_path, config=EngineConfig(**CONFIG_KWARGS),
+                               rebuild_indirection=True)
+    assert rebuilt.query("accounts").sum(0, ACCOUNTS - 1, 1) == replay_total
+    # The recovered engine accepts new work immediately.
+    query = rebuilt.query("accounts")
+    query.update(5, None, 75)
+    rebuilt.run_merges()
+    assert query.select(5, 0, None)[0][1] == 75
+    rebuilt.close()
 
-    db._wal.flush()
-    pre_crash_total = db.query("accounts").sum(0, 63, 1)
-    print("pre-crash committed total:", pre_crash_total)
-    print("log records on disk      :", db._wal.last_lsn)
-    # Simulated crash: the process dies here; nothing is closed cleanly.
-
-    for option, rebuild in (("replay indirection redo", False),
-                            ("rebuild indirection from tails", True)):
-        recovered = recover_database(
-            log_path, config=EngineConfig(**CONFIG_KWARGS),
-            rebuild_indirection=rebuild)
-        query = recovered.query("accounts")
-        total = query.sum(0, 63, 1)
-        print("\nrecovery option: %s" % option)
-        print("  recovered total         :", total)
-        print("  account 1 (committed)   :",
-              query.select(1, 0, None)[0][1])
-        print("  account 3 (uncommitted) :",
-              query.select(3, 0, None)[0][1])
-        print("  key 500 (uncommitted)   :", query.select(500, 0, None))
-        assert total == pre_crash_total
-        assert query.select(1, 0, None)[0][1] == 150
-        assert query.select(3, 0, None)[0][1] == 100
-        assert query.select(500, 0, None) == []
-        # The recovered engine accepts new work immediately.
-        query.update(5, None, 75)
-        recovered.run_merges()
-        assert query.select(5, 0, None)[0][1] == 75
-        recovered.close()
-
-    db.close()
-    print("\nOK — both recovery options reproduced the committed state.")
+    print("\nOK — crashes recovered, tails salvaged, both options agree.")
 
 
 if __name__ == "__main__":

@@ -542,6 +542,66 @@ def table9_point_queries(*, column_fractions: Sequence[float] = (0.1, 0.2,
     return result
 
 
+def recovery_bench(*, ops_multipliers: Sequence[int] = (1, 2, 4),
+                   scale: int = 1000) -> ExperimentResult:
+    """Recovery time vs log size, with and without checkpoints.
+
+    Not a paper figure: quantifies the checkpoint subsystem. Each run
+    builds a durable engine, drives insert+update traffic to grow the
+    log, then times :func:`recover_database` from a cold start. The
+    ``checkpointed`` mode checkpoints mid-run and at the end, so
+    recovery loads the image and replays only the suffix — its time
+    should stay flat as the log grows while ``full-replay`` climbs.
+    """
+    import os
+    import shutil
+    import tempfile
+    import time
+
+    from ..core.db import Database
+    from ..wal.recovery import recover_database
+
+    base_ops = max(4_000_000 // scale, 256)
+    result = ExperimentResult(
+        "Recovery", "Recovery seconds vs log size",
+        ["mode", "log_ops", "recovery_ms", "replayed", "skipped"])
+    for multiplier in ops_multipliers:
+        ops = base_ops * multiplier
+        for mode in ("full-replay", "checkpointed"):
+            data_dir = tempfile.mkdtemp(prefix="lstore-recovery-")
+            try:
+                db = Database(_lstore_config(
+                    wal_enabled=True, data_dir=data_dir,
+                    wal_segment_bytes=1 << 20))
+                table = db.create_table("bench", 3)
+                rows = max(ops // 4, 64)
+                for key in range(rows):
+                    table.insert([key, key, 0])
+                updates = ops - rows
+                for i in range(updates):
+                    key = i % rows
+                    table.update(table.index.primary.get(key), {1: i})
+                    if mode == "checkpointed" and i == updates // 2:
+                        db.checkpoint()
+                if mode == "checkpointed":
+                    db.checkpoint()
+                db._wal.flush()
+                log_path = os.path.join(data_dir, "wal.log")
+                started = time.perf_counter()
+                recovered = recover_database(log_path,
+                                             config=_lstore_config())
+                elapsed = time.perf_counter() - started
+                report = recovered.recovery_report
+                recovered.close()
+                db.close()
+                result.add_row(mode, ops, round(elapsed * 1000, 2),
+                               report.records_replayed,
+                               report.records_skipped)
+            finally:
+                shutil.rmtree(data_dir, ignore_errors=True)
+    return result
+
+
 #: Registry used by the CLI runner and the pytest benches.
 ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "analytics": analytics_scans,
@@ -549,6 +609,7 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig8": fig8_merge_scan,
     "fig9": fig9_read_write_ratio,
     "fig10": fig10_mixed_workload,
+    "recovery": recovery_bench,
     "table7": table7_scan_performance,
     "table8": table8_row_vs_column,
     "table9": table9_point_queries,

@@ -86,6 +86,28 @@ class EngineConfig:
     #: Directory for WAL segments and page files (None = in-memory only).
     data_dir: str | None = None
 
+    #: Rotate the active WAL segment once it exceeds this many bytes
+    #: (None = never rotate; one segment). Checkpoints reclaim closed
+    #: segments whose frames they cover.
+    wal_segment_bytes: int | None = None
+
+    #: Transient write/fsync failures the group-commit leader retries
+    #: (with linear backoff) before poisoning the log fail-stop.
+    wal_sync_retries: int = 4
+
+    #: Base backoff (seconds) between WAL write retries; attempt *n*
+    #: sleeps ``n * wal_retry_backoff``.
+    wal_retry_backoff: float = 0.002
+
+    #: Fault-injection specification applied to the process-wide
+    #: failpoint registry at Database construction (same grammar as the
+    #: ``REPRO_FAILPOINTS`` environment variable; see
+    #: :mod:`repro.fault`). None = no faults armed.
+    failpoints: str | None = None
+
+    #: Completed checkpoint images kept on disk (older ones pruned).
+    checkpoints_kept: int = 2
+
     #: Buffer-pool capacity in frames (None = unbounded, memory resident).
     bufferpool_frames: int | None = None
 
@@ -189,6 +211,14 @@ class EngineConfig:
                 "vectorized_dirty_fraction must be in (0, 1]")
         if self.txn_gc_threshold < 0:
             raise ValueError("txn_gc_threshold must be >= 0")
+        if self.wal_segment_bytes is not None and self.wal_segment_bytes <= 0:
+            raise ValueError("wal_segment_bytes must be positive or None")
+        if self.wal_sync_retries < 0:
+            raise ValueError("wal_sync_retries must be >= 0")
+        if self.wal_retry_backoff < 0:
+            raise ValueError("wal_retry_backoff must be >= 0")
+        if self.checkpoints_kept < 1:
+            raise ValueError("checkpoints_kept must be >= 1")
 
     @property
     def pages_per_range(self) -> int:

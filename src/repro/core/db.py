@@ -42,21 +42,37 @@ class Database:
         self.tables: dict[str, Table] = {}
         self._wal = None
         self._open = True
+        #: Set by :func:`~repro.wal.recovery.recover_database` on the
+        #: database it returns: what recovery replayed and salvaged.
+        self.recovery_report = None
+        self._checkpoint_seq = 0
+        if self.config.failpoints:
+            from ..fault import FAULTS
+            FAULTS.configure(self.config.failpoints)
         if self.config.txn_gc_threshold:
             self.txn_manager.enable_auto_gc(
                 self.epoch_manager, threshold=self.config.txn_gc_threshold)
         if self.config.background_merge:
             self.merge_engine.start()
         if self.config.wal_enabled and self.config.data_dir:
+            from ..fault import hit as fault_hit
             from ..wal.log import LogManager
             from ..wal.records import TxnAbortRecord, TxnCommitRecord
             os.makedirs(self.config.data_dir, exist_ok=True)
             self._wal = LogManager(
-                os.path.join(self.config.data_dir, "wal.log"))
+                os.path.join(self.config.data_dir, "wal.log"),
+                segment_bytes=self.config.wal_segment_bytes,
+                sync_retries=self.config.wal_sync_retries,
+                retry_backoff=self.config.wal_retry_backoff)
             wal = self._wal
-            self.txn_manager.commit_sink = (
-                lambda txn_id, commit_time: wal.append(
-                    TxnCommitRecord(txn_id=txn_id, commit_time=commit_time)))
+
+            def commit_sink(txn_id: int, commit_time: int) -> None:
+                fault_hit("txn.before_commit_record")
+                wal.append(TxnCommitRecord(txn_id=txn_id,
+                                           commit_time=commit_time))
+                fault_hit("txn.after_commit_record")
+
+            self.txn_manager.commit_sink = commit_sink
             self.txn_manager.abort_sink = (
                 lambda txn_id: wal.append(TxnAbortRecord(txn_id=txn_id)))
 
@@ -127,6 +143,18 @@ class Database:
                 compressed += compress_historic_tails(table, update_range)
         return compressed
 
+    def checkpoint(self) -> "Any":
+        """Write a checkpoint image so recovery replays only the suffix.
+
+        Requires durability to be configured (``wal_enabled`` +
+        ``data_dir``). Returns the
+        :class:`~repro.wal.checkpoint.CheckpointResult`.
+        """
+        if self._wal is None:
+            raise LStoreError("checkpoint requires wal_enabled + data_dir")
+        from ..wal.checkpoint import write_checkpoint
+        return write_checkpoint(self)
+
     def vacuum_indexes(self) -> int:
         """Vacuum deferred secondary-index entries on every table."""
         oldest = self.epoch_manager.oldest_active_begin()
@@ -140,7 +168,8 @@ class Database:
         self.merge_engine.stop(drain=True)
         self.scan_executor.close()
         if self._wal is not None:
-            self._wal.flush()
+            # close() flushes; a poisoned (fail-stopped) log closes
+            # without raising — nothing more can be made durable.
             self._wal.close()
         self._open = False
 

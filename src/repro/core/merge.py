@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from ..errors import LineageError
+from ..fault import hit as fault_hit
 from .compression import maybe_compress_page
 from .encoding import SchemaEncoding
 from .page import Page, RowPage
@@ -409,6 +410,7 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
     new_merge_count = update_range.merge_count + 1
 
     # -- Steps 2+3 (build phase): copy base pages, apply updates.
+    fault_hit("merge.before_install")
     old_pages: list[Page | RowPage] = []
     pages_created = 0
     if table.layout is Layout.ROW:
@@ -531,6 +533,8 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
     # advance, so the scan covers exactly the unmerged records).
     table.rebuild_unmerged_horizon(update_range)
 
+    fault_hit("merge.after_install")
+
     # -- Step 5: epoch-based de-allocation of the outdated pages.
     table.epoch_manager.retire(
         old_pages, retired_at=table.clock.advance(),
@@ -620,6 +624,7 @@ def merge_columns(table: Table, update_range: UpdateRange,
                             schema.physical_index(data_column))
 
         new_tps = tail.rid_at(end_offset - 1)
+        fault_hit("merge.before_install")
         old_pages: list[Page | RowPage] = []
         pages_created = 0
         for data_column in sorted(wanted):
@@ -643,6 +648,7 @@ def merge_columns(table: Table, update_range: UpdateRange,
             old_pages.extend(table.page_directory.swap_base_chain(
                 update_range.range_id, physical, new_chain))
             pages_created += len(new_chain)
+        fault_hit("merge.after_install")
         table.epoch_manager.retire(
             old_pages, retired_at=table.clock.advance(),
             on_reclaim=lambda page: table.page_directory.unregister(

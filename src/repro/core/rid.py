@@ -173,6 +173,17 @@ class MonotonicCounter:
             self._last = next(self._counter)
             return self._last
 
+    def advance_to(self, value: int) -> None:
+        """Ensure future :meth:`next` calls return values above *value*.
+
+        Used when loading checkpoint images: page ids baked into the
+        image must never be re-issued for new pages.
+        """
+        with self._lock:
+            if value > self._last:
+                self._counter = itertools.count(value + 1)
+                self._last = value
+
     @property
     def last(self) -> int:
         """Most recently returned value."""

@@ -45,6 +45,20 @@ class SerializationError(StorageError):
     """Raised when a page image cannot be encoded or decoded."""
 
 
+class CorruptPageError(SerializationError):
+    """Raised when a stored page image is truncated or fails its CRC.
+
+    Carries enough context (page id, file offset) to identify the bad
+    on-disk region without a debugger.
+    """
+
+    def __init__(self, message: str, *, page_id: int | None = None,
+                 offset: int | None = None) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+        self.offset = offset
+
+
 # ---------------------------------------------------------------------------
 # Table / query layer
 # ---------------------------------------------------------------------------

@@ -1,0 +1,112 @@
+"""Fault injection: named failpoints and faulty-file wrappers.
+
+The durability layer is only trustworthy if it has been made to fail on
+purpose. This package provides the two tools the torture tests use:
+
+* a process-wide **failpoint registry** (:data:`FAULTS`) of named
+  injection points compiled into the engine's durability paths, and
+* :class:`~repro.fault.files.FaultyFile`, a file wrapper that simulates
+  torn writes, short writes, fsync failures and ENOSPC underneath
+  :class:`~repro.wal.log.LogManager` and
+  :class:`~repro.storage.disk.PageFile`.
+
+Failpoints are **zero-cost when disabled**: every injection site calls
+:func:`hit`, which returns after a single empty-dict check unless a
+specification has been installed. Activation happens through either
+
+* the ``REPRO_FAILPOINTS`` environment variable (read at import time),
+  or
+* :attr:`~repro.core.config.EngineConfig.failpoints`, applied by
+  :class:`~repro.core.db.Database` at construction.
+
+The specification grammar is a comma-separated list of
+``name=action[:arg]`` items::
+
+    wal.before_fsync=raise          # raise OSError once
+    wal.before_fsync=raise:3        # raise on the first three hits
+    wal.before_write=enospc:1       # raise OSError(ENOSPC) once
+    wal.torn_write=torn:1           # FaultyFile writes half, then raises
+    txn.after_commit_record=crash:2 # os._exit(137) on the second hit
+    checkpoint.before_marker=delay:0.05  # sleep 50 ms on every hit
+
+Registered failpoint names
+--------------------------
+
+WAL group commit (:mod:`repro.wal.log`):
+
+* ``wal.before_write`` — leader drain, before the frame batch is written
+* ``wal.after_write`` — frames written (page cache), before the fsync
+* ``wal.before_fsync`` — immediately before ``os.fsync`` of the segment
+* ``wal.after_sync`` — frames durable, before the synced LSN publishes
+* ``wal.before_rotate`` / ``wal.after_rotate`` — around segment rotation
+* ``wal.torn_write`` — (FaultyFile) tear the next segment write in half
+
+Commit pipeline (:mod:`repro.core.db`):
+
+* ``txn.before_commit_record`` / ``txn.after_commit_record`` — around
+  appending the commit record (after = durable but possibly unacked)
+
+Page files (:mod:`repro.storage.disk`):
+
+* ``pagefile.before_write`` — before appending a page image
+* ``pagefile.before_sync`` — before the data-file fsync
+* ``pagefile.before_index_replace`` — between sidecar tmp-write and rename
+* ``pagefile.torn_write`` — (FaultyFile) tear the next image write
+
+Merge install (:mod:`repro.core.merge`):
+
+* ``merge.before_install`` / ``merge.after_install`` — around the
+  foreground page-directory pointer swap
+
+Checkpoint protocol (:mod:`repro.wal.checkpoint`):
+
+* ``checkpoint.before_pages`` / ``checkpoint.after_pages`` — around the
+  page-image flush
+* ``checkpoint.before_manifest`` — before the manifest write
+* ``checkpoint.before_marker`` — before the COMPLETE marker write
+* ``checkpoint.before_log_record`` — before the CheckpointRecord append
+* ``checkpoint.before_truncate`` — before dead segments are truncated
+* ``checkpoint.after_complete`` — checkpoint fully installed
+
+:data:`CRASH_POINTS` lists the names the crash-matrix torture test
+iterates; every registered injection point above that a kill can make
+interesting is included.
+"""
+
+from __future__ import annotations
+
+from .files import FaultyFile, wrap_file
+from .registry import FAULTS, FaultError, FaultRegistry, hit
+
+#: Injection points the crash-matrix torture test kills the workload at
+#: (tests/fault/test_crash_matrix.py). Order is append → commit →
+#: rotate → merge → checkpoint, mirroring the write pipeline.
+CRASH_POINTS: tuple[str, ...] = (
+    "wal.before_write",
+    "wal.after_write",
+    "wal.before_fsync",
+    "wal.after_sync",
+    "txn.before_commit_record",
+    "txn.after_commit_record",
+    "wal.before_rotate",
+    "wal.after_rotate",
+    "merge.before_install",
+    "merge.after_install",
+    "checkpoint.before_pages",
+    "checkpoint.after_pages",
+    "checkpoint.before_manifest",
+    "checkpoint.before_marker",
+    "checkpoint.before_log_record",
+    "checkpoint.before_truncate",
+    "checkpoint.after_complete",
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "FAULTS",
+    "FaultError",
+    "FaultRegistry",
+    "FaultyFile",
+    "hit",
+    "wrap_file",
+]

@@ -1,0 +1,85 @@
+"""FaultyFile: a file wrapper that breaks on command.
+
+Wraps a binary file object and consults the failpoint registry on every
+write, simulating the disk failures the durability layer must survive:
+
+* ``<tag>.torn_write`` armed with ``torn`` — write only the first half
+  of the buffer, then raise (a crash mid-write: the bytes are torn);
+* ``<tag>.torn_write`` armed with ``enospc``/``raise`` — short-circuit
+  the write entirely with the corresponding :class:`FaultError`.
+
+``<tag>`` is the wrapper's namespace (``wal`` or ``pagefile``). The
+wrapper is installed only when the registry is active at open time
+(:func:`wrap_file`), so the common no-faults path pays nothing.
+"""
+
+from __future__ import annotations
+
+import errno
+from typing import Any
+
+from .registry import FAULTS, FaultError
+
+
+class FaultyFile:
+    """Binary-file proxy with registry-driven write corruption."""
+
+    def __init__(self, file: Any, tag: str) -> None:
+        self._file = file
+        self._tag = tag
+
+    def write(self, data: bytes) -> int:
+        action = FAULTS.consume(self._tag + ".torn_write")
+        if action == "torn":
+            self._file.write(data[: len(data) // 2])
+            self._file.flush()
+            raise FaultError(
+                errno.EIO, "injected torn write (%d of %d bytes)"
+                % (len(data) // 2, len(data)))
+        if action == "enospc":
+            raise FaultError(errno.ENOSPC, "injected ENOSPC on write")
+        if action is not None:
+            raise FaultError(errno.EIO, "injected write error")
+        return self._file.write(data)
+
+    # Pass-through surface used by LogManager / PageFile.
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def fileno(self) -> int:
+        return self._file.fileno()
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        return self._file.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._file.tell()
+
+    def truncate(self, size: int | None = None) -> int:
+        return self._file.truncate(size)
+
+    def read(self, size: int = -1) -> bytes:
+        return self._file.read(size)
+
+    def close(self) -> None:
+        self._file.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+    @property
+    def name(self) -> str:
+        return getattr(self._file, "name", "<faulty>")
+
+
+def wrap_file(file: Any, tag: str) -> Any:
+    """Wrap *file* in a :class:`FaultyFile` when faults are armed.
+
+    Returns *file* untouched when the registry is empty — the wrapper
+    (one extra call frame per IO) exists only in fault-injection runs.
+    """
+    if FAULTS.active:
+        return FaultyFile(file, tag)
+    return file

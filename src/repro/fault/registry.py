@@ -1,0 +1,176 @@
+"""Failpoint registry: named injection points with counted actions.
+
+See the package docstring for the specification grammar and the list of
+registered names. The registry is process-wide on purpose — fault specs
+arrive from the environment of a torture-test subprocess, and the
+injection sites are module-level code paths, not per-engine objects.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import threading
+import time
+
+
+class FaultError(OSError):
+    """The injected IO error (an :class:`OSError`, so the retry and
+    fail-stop paths treat it exactly like a real disk failure)."""
+
+
+#: Exit status used by the ``crash`` action: mirrors SIGKILL's shell
+#: status so the torture harness can treat kill -9 and crash-failpoints
+#: uniformly.
+CRASH_EXIT_STATUS = 137
+
+
+class _Failpoint:
+    """One armed injection point."""
+
+    __slots__ = ("name", "action", "remaining", "delay_seconds", "hits")
+
+    def __init__(self, name: str, action: str, remaining: int,
+                 delay_seconds: float) -> None:
+        self.name = name
+        self.action = action
+        self.remaining = remaining
+        self.delay_seconds = delay_seconds
+        self.hits = 0
+
+
+class FaultRegistry:
+    """Registry of armed failpoints; :meth:`hit` fires them."""
+
+    def __init__(self) -> None:
+        self._points: dict[str, _Failpoint] = {}
+        self._lock = threading.Lock()
+
+    # -- configuration -----------------------------------------------------
+
+    def configure(self, spec: str | None) -> None:
+        """Arm the failpoints described by *spec* (see grammar above).
+
+        Arming is additive; ``clear()`` disarms everything. An empty or
+        None spec is a no-op so callers can pass config values through
+        unconditionally.
+        """
+        if not spec:
+            return
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            try:
+                name, directive = item.split("=", 1)
+            except ValueError:
+                raise ValueError(
+                    "failpoint %r is not name=action[:arg]" % item
+                ) from None
+            parts = directive.split(":")
+            action = parts[0].strip()
+            delay_seconds = 0.0
+            remaining = 1
+            if action == "delay":
+                if len(parts) < 2:
+                    raise ValueError(
+                        "delay failpoint %r needs a seconds arg" % item)
+                delay_seconds = float(parts[1])
+                remaining = int(parts[2]) if len(parts) > 2 else -1
+            else:
+                if action not in ("raise", "enospc", "torn", "crash"):
+                    raise ValueError(
+                        "unknown failpoint action %r in %r" % (action, item))
+                if len(parts) > 1:
+                    remaining = int(parts[1])
+            with self._lock:
+                self._points[name.strip()] = _Failpoint(
+                    name.strip(), action, remaining, delay_seconds)
+
+    def clear(self) -> None:
+        """Disarm every failpoint."""
+        with self._lock:
+            self._points.clear()
+
+    @property
+    def active(self) -> bool:
+        """True when at least one failpoint is armed."""
+        return bool(self._points)
+
+    def armed(self, name: str) -> bool:
+        """True when *name* is currently armed."""
+        return name in self._points
+
+    # -- firing ------------------------------------------------------------
+
+    def hit(self, name: str) -> None:
+        """Fire the failpoint *name* if armed; no-op (one dict check)
+        otherwise.
+
+        ``raise``/``enospc`` raise :class:`FaultError`; ``crash`` exits
+        the process without flushing anything (``os._exit``, the
+        kill -9 analogue); ``delay`` sleeps; ``torn`` is consumed by
+        :class:`~repro.fault.files.FaultyFile` instead (hitting it here
+        directly behaves like ``raise``).
+        """
+        if not self._points:
+            return
+        self._fire(name)
+
+    def consume(self, name: str) -> str | None:
+        """Return the armed action for *name* and count the hit, or None.
+
+        Used by :class:`~repro.fault.files.FaultyFile`, which needs the
+        action *kind* (e.g. ``torn``) rather than an exception, to
+        decide how to corrupt the write it is wrapping.
+        """
+        if not self._points:
+            return None
+        with self._lock:
+            point = self._points.get(name)
+            if point is None:
+                return None
+            point.hits += 1
+            if point.remaining == 0:
+                return None
+            if point.action == "crash":
+                # crash:N fires on the Nth hit, not the first N hits.
+                if point.hits < point.remaining:
+                    return None
+            elif point.remaining > 0:
+                point.remaining -= 1
+            action = point.action
+            delay = point.delay_seconds
+        if action == "delay":
+            time.sleep(delay)
+            return None
+        if action == "crash":
+            os._exit(CRASH_EXIT_STATUS)
+        return action
+
+    def _fire(self, name: str) -> None:
+        action = self.consume(name)
+        if action is None:
+            return
+        if action == "enospc":
+            raise FaultError(errno.ENOSPC,
+                             "injected ENOSPC at failpoint %r" % name)
+        # 'raise' and a directly-hit 'torn' both surface as an IO error.
+        raise FaultError(errno.EIO,
+                         "injected IO error at failpoint %r" % name)
+
+
+#: The process-wide registry every injection site consults.
+FAULTS = FaultRegistry()
+
+
+def hit(name: str) -> None:
+    """Module-level shorthand for ``FAULTS.hit(name)`` (hot-path form)."""
+    if not FAULTS._points:
+        return
+    FAULTS._fire(name)
+
+
+# Environment activation: torture-test subprocesses arm failpoints
+# before the engine exists, so the spec rides in on the environment.
+FAULTS.configure(os.environ.get("REPRO_FAILPOINTS"))

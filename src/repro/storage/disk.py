@@ -4,7 +4,11 @@ One data file per table holds serialized pages appended back to back; a
 sidecar index file maps page id → (offset, length). Page rewrites append
 a new image and re-point the index (pages are read-only or append-only
 in L-Store, so stale images are garbage until :meth:`compact`). The
-index is rewritten atomically on :meth:`sync`.
+index is rewritten atomically on :meth:`sync` (write temp → fsync →
+rename → fsync directory), so a crash leaves either the old index or
+the new one, never a torn one. Reads verify the image's CRC envelope
+and raise :class:`~repro.errors.CorruptPageError` with the page id and
+file offset on truncation or corruption.
 """
 
 from __future__ import annotations
@@ -15,8 +19,23 @@ import threading
 from typing import Iterator
 
 from ..core.page import Page, RowPage
-from ..errors import StorageError
+from ..errors import CorruptPageError, StorageError
+from ..fault import hit as fault_hit
+from ..fault import wrap_file
 from .serialization import deserialize_page, serialize_page
+
+
+def _fsync_dir(path: str) -> None:
+    """Fsync the directory containing *path* (rename durability)."""
+    directory = os.path.dirname(path) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class PageFile:
@@ -29,7 +48,7 @@ class PageFile:
         self._index: dict[int, tuple[int, int]] = {}
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
         mode = "r+b" if os.path.exists(path) else "w+b"
-        self._file = open(path, mode)
+        self._file = wrap_file(open(path, mode), "pagefile")
         if os.path.exists(self.index_path):
             with open(self.index_path, "rb") as handle:
                 self._index = pickle.load(handle)
@@ -42,6 +61,7 @@ class PageFile:
         """Persist *page* (appends a fresh image, re-points the index)."""
         image = serialize_page(page)
         with self._lock:
+            fault_hit("pagefile.before_write")
             self._file.seek(0, os.SEEK_END)
             offset = self._file.tell()
             self._file.write(image)
@@ -49,7 +69,12 @@ class PageFile:
             self.stat_writes += 1
 
     def read_page(self, page_id: int) -> Page | RowPage:
-        """Load the page stored under *page_id*."""
+        """Load the page stored under *page_id*.
+
+        Raises :class:`~repro.errors.CorruptPageError` (with page id and
+        offset) when the stored image is short, truncated, or fails its
+        checksum.
+        """
         with self._lock:
             entry = self._index.get(page_id)
             if entry is None:
@@ -58,7 +83,12 @@ class PageFile:
             self._file.seek(offset)
             image = self._file.read(length)
             self.stat_reads += 1
-        return deserialize_page(image)
+        if len(image) < length:
+            raise CorruptPageError(
+                "page %d truncated on disk: %d of %d bytes at offset %d"
+                % (page_id, len(image), length, offset),
+                page_id=page_id, offset=offset)
+        return deserialize_page(image, page_id=page_id, offset=offset)
 
     def delete_page(self, page_id: int) -> None:
         """Drop *page_id* from the index (space reclaimed by compact)."""
@@ -79,9 +109,15 @@ class PageFile:
     # -- durability ------------------------------------------------------------
 
     def sync(self) -> None:
-        """Flush data and rewrite the sidecar index atomically."""
+        """Flush data and rewrite the sidecar index atomically.
+
+        Order matters for crash safety: data fsync first (so every
+        offset the new index names is durable), then temp-write + fsync
+        + rename + directory fsync for the index.
+        """
         with self._lock:
             self._file.flush()
+            fault_hit("pagefile.before_sync")
             os.fsync(self._file.fileno())
             tmp_path = self.index_path + ".tmp"
             with open(tmp_path, "wb") as handle:
@@ -89,7 +125,9 @@ class PageFile:
                             protocol=pickle.HIGHEST_PROTOCOL)
                 handle.flush()
                 os.fsync(handle.fileno())
+            fault_hit("pagefile.before_index_replace")
             os.replace(tmp_path, self.index_path)
+            _fsync_dir(self.index_path)
 
     def compact(self) -> int:
         """Rewrite the data file dropping stale images; return bytes saved."""
@@ -108,14 +146,16 @@ class PageFile:
                 os.fsync(out.fileno())
             self._file.close()
             os.replace(tmp_path, self.path)
-            self._file = open(self.path, "r+b")
+            _fsync_dir(self.path)
+            self._file = wrap_file(open(self.path, "r+b"), "pagefile")
             self._index = new_index
         self.sync()
         return old_size - os.path.getsize(self.path)
 
-    def close(self) -> None:
-        """Sync and close."""
-        self.sync()
+    def close(self, sync: bool = True) -> None:
+        """Sync (unless ``sync=False``) and close."""
+        if sync:
+            self.sync()
         with self._lock:
             if not self._file.closed:
                 self._file.close()

@@ -5,17 +5,35 @@ directory; this module provides that on-disk image. All-integer pages
 (the common case for the micro-benchmark schema) take a packed struct
 fast path; mixed pages (∅ cells, arbitrary Python values) fall back to
 pickle. The special null ∅ is preserved across round trips.
+
+Every image is wrapped in a CRC envelope::
+
+    b"LSP2" <u32 crc32 of body> <body = legacy LSPG image>
+
+so a truncated or bit-flipped image is detected as
+:class:`~repro.errors.CorruptPageError` instead of failing somewhere
+inside ``pickle.loads``. Bare legacy ``LSPG`` images (written before the
+envelope existed) are still readable — just unverified.
+
+Sparse pages — tail pages with committed writes at non-contiguous slots
+(possible after a crash truncates the log mid-block) — use a dedicated
+``(slot, value)``-pair format, since the dense formats can only encode a
+written prefix.
 """
 
 from __future__ import annotations
 
 import pickle
 import struct
+import zlib
 from typing import Any
 
 from ..core.page import Page, RowPage
 from ..core.types import NULL, PageKind, is_null
-from ..errors import SerializationError
+from ..errors import CorruptPageError, SerializationError
+
+_ENVELOPE_MAGIC = b"LSP2"
+_ENVELOPE = struct.Struct("<4sI")  # magic, crc32 of body
 
 _MAGIC = b"LSPG"
 _HEADER = struct.Struct("<4sBBqiiqqi")
@@ -25,6 +43,7 @@ _HEADER = struct.Struct("<4sBBqiiqqi")
 _FORMAT_INT64 = 1
 _FORMAT_PICKLE = 2
 _FORMAT_ROW_PICKLE = 3
+_FORMAT_SPARSE = 4
 
 _KIND_CODES = {kind: code for code, kind in enumerate(PageKind)}
 _KIND_FROM_CODE = {code: kind for kind, code in _KIND_CODES.items()}
@@ -34,7 +53,12 @@ _NULL_SENTINEL = -(1 << 62) + 7
 
 
 def serialize_page(page: Page | RowPage) -> bytes:
-    """Encode *page* (and its lineage) into a byte string."""
+    """Encode *page* (and its lineage) into a checksummed byte string."""
+    body = _serialize_body(page)
+    return _ENVELOPE.pack(_ENVELOPE_MAGIC, zlib.crc32(body)) + body
+
+
+def _serialize_body(page: Page | RowPage) -> bytes:
     if isinstance(page, RowPage):
         rows = [page.read_row(slot) if page.is_written(slot) else None
                 for slot in range(page.capacity)]
@@ -43,31 +67,70 @@ def serialize_page(page: Page | RowPage) -> bytes:
         column = -1
     else:
         values = list(page.iter_values())
-        fmt = _FORMAT_INT64
-        for value in values:
-            if type(value) is not int and not is_null(value):
-                fmt = _FORMAT_PICKLE
-                break
-            if type(value) is int and not (-(1 << 62) < value < (1 << 63)):
-                fmt = _FORMAT_PICKLE
-                break
-        if fmt == _FORMAT_INT64:
-            packed = struct.pack(
-                "<%dq" % len(values),
-                *(_NULL_SENTINEL if is_null(v) else v for v in values))
-            payload = packed
-        else:
-            payload = pickle.dumps(values,
-                                   protocol=pickle.HIGHEST_PROTOCOL)
         column = -1 if page.column is None else page.column
+        if len(values) != page.num_records:
+            # Writes beyond a hole: the dense prefix formats would
+            # silently drop them, so store explicit (slot, value) pairs.
+            pairs = [(slot, page.peek_slot(slot))
+                     for slot in range(page.capacity)
+                     if page.is_written(slot)]
+            payload = pickle.dumps(pairs, protocol=pickle.HIGHEST_PROTOCOL)
+            fmt = _FORMAT_SPARSE
+        else:
+            fmt = _FORMAT_INT64
+            for value in values:
+                if type(value) is not int and not is_null(value):
+                    fmt = _FORMAT_PICKLE
+                    break
+                if type(value) is int and not (-(1 << 62) < value < (1 << 63)):
+                    fmt = _FORMAT_PICKLE
+                    break
+            if fmt == _FORMAT_INT64:
+                packed = struct.pack(
+                    "<%dq" % len(values),
+                    *(_NULL_SENTINEL if is_null(v) else v for v in values))
+                payload = packed
+            else:
+                payload = pickle.dumps(values,
+                                       protocol=pickle.HIGHEST_PROTOCOL)
     header = _HEADER.pack(
         _MAGIC, fmt, _KIND_CODES[page.kind], page.page_id, page.capacity,
         column, page.tps_rid, page.merge_count, page.num_records)
     return header + payload
 
 
-def deserialize_page(data: bytes) -> Page | RowPage:
-    """Decode the output of :func:`serialize_page`."""
+def deserialize_page(data: bytes, *, page_id: int | None = None,
+                     offset: int | None = None) -> Page | RowPage:
+    """Decode the output of :func:`serialize_page`.
+
+    Verifies the CRC envelope when present (bare legacy images decode
+    unverified). *page_id*/*offset* are diagnostic context attached to
+    :class:`~repro.errors.CorruptPageError`.
+    """
+    if data[:len(_ENVELOPE_MAGIC)] == _ENVELOPE_MAGIC:
+        if len(data) < _ENVELOPE.size:
+            raise CorruptPageError("page image truncated inside envelope",
+                                   page_id=page_id, offset=offset)
+        _, crc = _ENVELOPE.unpack_from(data)
+        body = data[_ENVELOPE.size:]
+        if zlib.crc32(body) != crc:
+            raise CorruptPageError(
+                "page image checksum mismatch (page %s, offset %s)"
+                % (page_id, offset), page_id=page_id, offset=offset)
+    else:
+        body = data
+    try:
+        return _deserialize_body(body)
+    except SerializationError:
+        raise
+    except Exception as exc:
+        raise CorruptPageError(
+            "undecodable page image (page %s, offset %s): %s"
+            % (page_id, offset, exc), page_id=page_id, offset=offset
+        ) from exc
+
+
+def _deserialize_body(data: bytes) -> Page | RowPage:
     if len(data) < _HEADER.size:
         raise SerializationError("page image truncated")
     (magic, fmt, kind_code, page_id, capacity, column, tps_rid,
@@ -90,7 +153,19 @@ def deserialize_page(data: bytes) -> Page | RowPage:
         if kind in (PageKind.BASE, PageKind.MERGED):
             page.freeze()
         return page
+    if fmt == _FORMAT_SPARSE:
+        pairs = pickle.loads(payload)
+        page = Page(page_id, kind, capacity,
+                    None if column < 0 else column)
+        for slot, value in pairs:
+            page.write_slot(slot, value)
+        page.set_lineage(tps_rid, merge_count)
+        if kind in (PageKind.BASE, PageKind.MERGED):
+            page.freeze()
+        return page
     if fmt == _FORMAT_INT64:
+        if len(payload) < 8 * num_records:
+            raise SerializationError("page payload truncated")
         raw = struct.unpack("<%dq" % num_records,
                             payload[:8 * num_records])
         values = [NULL if v == _NULL_SENTINEL else v for v in raw]

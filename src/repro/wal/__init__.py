@@ -1,14 +1,52 @@
-"""Durability: redo-only WAL, OR protocol, crash recovery (Section 5)."""
+"""Durability: redo-only WAL, OR protocol, crash recovery (Section 5).
 
-from .log import LogManager, TableWAL, attach_table_logging
+The log is a chain of **v2 segments** (``wal.log``, ``wal.log.000001``,
+…), each opening with the 8-byte magic ``LSWAL2\\x00\\n`` followed by
+checksummed frames::
+
+    <u32 payload len> <u32 crc32(lsn || payload)> <i64 lsn> <payload>
+
+Segments rotate when the active one exceeds
+``EngineConfig.wal_segment_bytes``; only the active segment is ever
+written, so older segments are immutable and can be unlinked once a
+checkpoint covers them. Legacy v1 logs (bare length-prefixed frames,
+no magic) are still readable; appending to one starts a v2 sibling
+segment. Readers verify every checksum: a torn tail is truncated and
+counted (``stat_salvaged_bytes``), a corrupt mid-log frame is skipped
+and reported as a :class:`~repro.wal.log.QuarantinedFrame` — see
+:mod:`repro.wal.log` for the full salvage rules.
+
+Group commit is **fail-stop**: frames are buffered as ``(lsn, bytes)``
+and cleared only after a successful write + fsync; a failed sync is
+retried with rewind (``wal_sync_retries``) and, on exhaustion, poisons
+the log so every committer gets a :class:`~repro.errors.WALError` — a
+commit is never acked unless its frames are durable.
+
+:mod:`repro.wal.checkpoint` bounds recovery: a checkpoint serializes a
+shadow-replayed page image next to the log, appends a
+``CheckpointRecord``, and truncates dead segments; recovery
+(:func:`recover_database`) loads the newest complete image and replays
+only the suffix, attaching a ``RecoveryReport`` to the database. Fault
+injection points throughout the write path are listed in
+:mod:`repro.fault`.
+"""
+
+from .checkpoint import CheckpointResult, write_checkpoint
+from .log import LogManager, LogSalvage, QuarantinedFrame, TableWAL, \
+    attach_table_logging
 from .ownership import OwnershipRelay, PageLSNTracker
-from .recovery import recover_database
+from .recovery import RecoveryReport, recover_database
 
 __all__ = [
+    "CheckpointResult",
     "LogManager",
+    "LogSalvage",
     "OwnershipRelay",
     "PageLSNTracker",
+    "QuarantinedFrame",
+    "RecoveryReport",
     "TableWAL",
     "attach_table_logging",
     "recover_database",
+    "write_checkpoint",
 ]

@@ -1,0 +1,267 @@
+"""Checkpointing: bound recovery to the post-checkpoint log suffix.
+
+Checkpoint protocol
+-------------------
+
+:func:`write_checkpoint` captures the **durable prefix** of the log —
+every frame with LSN ≤ the synced LSN at checkpoint start — as a page
+image directory next to the WAL::
+
+    <data_dir>/checkpoint.000003/
+        pages_<table>.dat      serialized pages (PageFile, CRC'd images)
+        pages_<table>.dat.idx  sidecar page index
+        MANIFEST               pickled structure (see below)
+        COMPLETE               commit marker (written last, fsynced)
+
+The image is produced by **shadow replay**: the durable prefix is
+replayed into a throwaway in-memory database and *that* database's
+pages are serialized. The image is therefore *by construction* exactly
+what recovery would have rebuilt at the checkpoint LSN — merged or
+compressed pages never enter it (merges are idempotent and simply
+re-run after recovery, the paper's operational logging), and no
+barriers against concurrent writers are needed: writers keep appending
+to the live database; frames past the captured LSN simply land in the
+suffix.
+
+Transactions straddling the checkpoint (writes in the prefix, commit in
+the suffix) keep their transaction *markers* in the image's Start Time
+cells; the manifest lists every such cell and recovery resolves them
+against the suffix's commit records (stamp) or their absence
+(tombstone). This is sound because a transaction's writes always
+precede its commit record in the log: prefix-committed transactions are
+fully stamped in the image, and no suffix write can belong to a
+prefix-committed transaction.
+
+Ordering makes the whole protocol crash-safe: page images → manifest →
+fsynced ``COMPLETE`` marker → ``CheckpointRecord`` in the log → segment
+truncation → old-image pruning. A crash anywhere leaves either a
+complete older checkpoint with its full suffix, or the new one.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.db import Database
+from ..core.schema import START_TIME_COLUMN
+from ..core.types import is_txn_marker
+from ..fault import hit as fault_hit
+from ..storage.disk import PageFile, _fsync_dir
+from ..errors import WALError
+from .log import LogManager
+from .records import CheckpointRecord
+
+_MANIFEST_NAME = "MANIFEST"
+_COMPLETE_NAME = "COMPLETE"
+_DIR_PREFIX = "checkpoint."
+
+
+@dataclass
+class CheckpointResult:
+    """What :func:`write_checkpoint` produced."""
+
+    directory: str
+    start_lsn: int
+    record_lsn: int
+    pages_written: int
+    segments_truncated: int
+    duration_seconds: float
+
+
+def checkpoint_dir_path(log_path: str, directory: str) -> str:
+    """Resolve a CheckpointRecord's directory relative to the log."""
+    if os.path.isabs(directory):
+        return directory
+    return os.path.join(os.path.dirname(log_path) or ".", directory)
+
+
+def is_complete(path: str) -> bool:
+    """True when *path* holds a fully written checkpoint image."""
+    return (os.path.exists(os.path.join(path, _COMPLETE_NAME))
+            and os.path.exists(os.path.join(path, _MANIFEST_NAME)))
+
+
+def load_manifest(path: str) -> dict[str, Any]:
+    """Load the pickled manifest of a complete checkpoint image."""
+    with open(os.path.join(path, _MANIFEST_NAME), "rb") as handle:
+        return pickle.load(handle)
+
+
+def _next_seq(data_dir: str) -> int:
+    highest = 0
+    for entry in os.listdir(data_dir):
+        if entry.startswith(_DIR_PREFIX):
+            suffix = entry[len(_DIR_PREFIX):]
+            if suffix.isdigit():
+                highest = max(highest, int(suffix))
+    return highest + 1
+
+
+def _segment_image(segment: Any, page_file: PageFile) -> dict[str, Any]:
+    """Serialize one (shadow) tail segment's pages into *page_file*."""
+    pages: dict[int, list[int]] = {}
+    for column in segment.materialized_columns():
+        chain = segment.pages_for_column(column)
+        for page in chain:
+            page_file.write_page(page)
+        pages[column] = [page.page_id for page in chain]
+    row_pages = segment.row_pages()
+    for page in row_pages:
+        page_file.write_page(page)
+    markers: list[tuple[int, int]] = []
+    for offset in range(segment.num_reserved_slots()):
+        if not segment.record_written(offset):
+            continue
+        cell = segment.record_cell(offset, START_TIME_COLUMN)
+        if isinstance(cell, int) and is_txn_marker(cell):
+            markers.append((offset, cell))
+    return {
+        "pages": pages,
+        "row_pages": [page.page_id for page in row_pages],
+        "tombstones": sorted(segment._tombstones),
+        "markers": markers,
+    }
+
+
+def write_checkpoint(db: Database) -> CheckpointResult:
+    """Capture the durable prefix of *db*'s log as a checkpoint image."""
+    wal = db._wal
+    if wal is None:
+        raise WALError("checkpointing requires an attached WAL")
+    started = time.monotonic()
+    data_dir = db.config.data_dir
+    wal.flush()
+    start_lsn = wal.synced_lsn
+    log_base = os.path.join(data_dir, "wal.log")
+    records, _ = LogManager.read_log(log_base)
+    prefix = [r for r in records
+              if r.lsn <= start_lsn and not isinstance(r, CheckpointRecord)]
+
+    # Shadow replay: rebuild the durable state in a throwaway database.
+    # Straddling transactions keep their Start Time markers (resolved by
+    # recovery from the suffix), so the resolver stamps prefix commits
+    # and passes everything else through untouched.
+    from .recovery import (_analyze, _latest_complete_checkpoint,
+                           _load_checkpoint, _replay_records)
+    committed, clock = _analyze(prefix)
+
+    def resolve_cell(cell: Any) -> tuple[bool, Any]:
+        if isinstance(cell, int) and is_txn_marker(cell):
+            from ..core.types import txn_id_from_marker
+            commit_time = committed.get(txn_id_from_marker(cell))
+            if commit_time is not None:
+                return True, commit_time
+        return True, cell
+
+    shadow_config = db.config.with_overrides(
+        wal_enabled=False, data_dir=None, background_merge=False,
+        failpoints=None, scan_parallelism=1, txn_gc_threshold=0)
+    shadow = Database(shadow_config)
+    try:
+        # Previous checkpoints truncated the records they cover out of
+        # the log, so the shadow starts from the latest complete image
+        # (if any) and replays only the delta up to start_lsn.
+        structural: list[Any] = []
+        previous = _latest_complete_checkpoint(
+            [r for r in records if r.lsn <= start_lsn], log_base)
+        if previous is not None:
+            _, previous_dir = previous
+            previous_manifest = load_manifest(previous_dir)
+            _load_checkpoint(shadow, previous_manifest, previous_dir,
+                             resolve_cell)
+            structural.extend(previous_manifest["structural"])
+            clock = max(clock, previous_manifest["clock"])
+            prefix = [r for r in prefix
+                      if r.lsn > previous_manifest["start_lsn"]]
+        structural.extend(
+            _replay_records(shadow, prefix, resolve_cell,
+                            rebuild_indirection=True,
+                            collect_structural=True))
+
+        seq = _next_seq(data_dir)
+        directory = _DIR_PREFIX + "%06d" % seq
+        target = os.path.join(data_dir, directory)
+        os.makedirs(target, exist_ok=True)
+
+        fault_hit("checkpoint.before_pages")
+        pages_written = 0
+        tables: dict[str, Any] = {}
+        for name, table in shadow.tables.items():
+            page_file_name = "pages_%s.dat" % name
+            page_file = PageFile(os.path.join(target, page_file_name))
+            insert_segments = []
+            for insert_range in table.insert_ranges:
+                insert_segments.append(
+                    _segment_image(insert_range.segment, page_file))
+            tail_segments = {}
+            for range_id, update_range in table.ranges.items():
+                if update_range.tail is not None:
+                    tail_segments[range_id] = _segment_image(
+                        update_range.tail, page_file)
+            pages_written += page_file.stat_writes
+            max_page_id = max(page_file.page_ids(), default=0)
+            page_file.close()
+            tables[name] = {
+                "page_file": page_file_name,
+                "insert_segments": insert_segments,
+                "tail_segments": tail_segments,
+                "max_page_id": max_page_id,
+            }
+        fault_hit("checkpoint.after_pages")
+    finally:
+        shadow.close()
+
+    manifest = {
+        "version": 1,
+        "start_lsn": start_lsn,
+        "clock": clock,
+        "structural": structural,
+        "tables": tables,
+    }
+    fault_hit("checkpoint.before_manifest")
+    manifest_path = os.path.join(target, _MANIFEST_NAME)
+    with open(manifest_path, "wb") as handle:
+        pickle.dump(manifest, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    fault_hit("checkpoint.before_marker")
+    marker_path = os.path.join(target, _COMPLETE_NAME)
+    with open(marker_path, "wb") as handle:
+        handle.write(b"ok\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    _fsync_dir(marker_path)
+    _fsync_dir(target)
+
+    fault_hit("checkpoint.before_log_record")
+    record_lsn = wal.append(CheckpointRecord(
+        clock=clock, start_lsn=start_lsn, directory=directory))
+    wal.flush()
+
+    fault_hit("checkpoint.before_truncate")
+    truncated = wal.truncate_segments_below(start_lsn)
+    _prune_old_checkpoints(data_dir, keep=db.config.checkpoints_kept)
+
+    duration = time.monotonic() - started
+    wal.stat_last_checkpoint_lsn = record_lsn
+    wal.stat_last_checkpoint_seconds = duration
+    fault_hit("checkpoint.after_complete")
+    return CheckpointResult(
+        directory=target, start_lsn=start_lsn, record_lsn=record_lsn,
+        pages_written=pages_written, segments_truncated=truncated,
+        duration_seconds=duration)
+
+
+def _prune_old_checkpoints(data_dir: str, keep: int) -> None:
+    entries = sorted(
+        entry for entry in os.listdir(data_dir)
+        if entry.startswith(_DIR_PREFIX)
+        and entry[len(_DIR_PREFIX):].isdigit())
+    for entry in entries[:-keep] if keep else entries:
+        shutil.rmtree(os.path.join(data_dir, entry), ignore_errors=True)

@@ -1,18 +1,57 @@
-"""Log manager: LSN assignment, buffered appends, true group commit.
+"""Log manager: checksummed segmented WAL v2 with fail-stop group commit.
 
-Records are pickled into length-prefixed frames. Appends go to an
-in-memory buffer; commit records trigger a **leader/follower group
-commit** (Section 6.1 notes group commit is what keeps logging off the
-critical path): the first committer to reach the sync point becomes
-the *leader* — it drains every buffered frame (its own commit record
-plus everything concurrent committers buffered behind it), writes and
-fsyncs once, then publishes the synced LSN and wakes the *followers*,
-each of which returns as soon as the synced LSN covers its commit
-record. N concurrent committers therefore share ~1 fsync instead of
-paying one each (``stat_flushes`` << commit count under concurrency),
-and the fsync itself runs outside the append latch, so appenders keep
-buffering while the disk syncs. A torn final frame (crash mid-write)
-is detected and discarded during iteration.
+Frame format (v2)
+-----------------
+
+Every segment file starts with the 8-byte magic ``b"LSWAL2\\x00\\n"``;
+after it, records are pickled into checksummed frames::
+
+    <u32 payload length> <u32 crc32> <i64 lsn> <payload bytes>
+
+The CRC covers the LSN and the payload, so a flipped byte anywhere in a
+frame (header or body) is detected on read. Files without the magic are
+parsed as legacy **v1** frames (``<u32 length><payload>``) so logs
+written before the format change stay replayable. A segment header
+appearing mid-stream is skipped — two log generations spliced
+byte-for-byte (crash, recover into a new WAL, crash again) read as one
+stream.
+
+Segment layout
+--------------
+
+The base path (e.g. ``wal.log``) is segment 0; rotation creates sibling
+files ``wal.log.000001``, ``wal.log.000002``, … when the active segment
+exceeds :attr:`~repro.core.config.EngineConfig.wal_segment_bytes`.
+:attr:`LogManager.path` always names the *active* segment. Readers
+resolve the chain from the base path; checkpoints delete segments whose
+frames are all covered by the checkpoint LSN
+(:meth:`LogManager.truncate_segments_below` — the base file is kept,
+truncated to its header, so the chain root always exists).
+
+Salvage
+-------
+
+Reads never raise on corruption. A torn tail (crash mid-write) is
+discarded and counted (``stat_salvaged_bytes``; reopening for append
+also physically truncates it). A corrupt frame *before* the tail is
+quarantined: the reader verifies that the frame's length field lands on
+another valid frame (falling back to a bounded byte scan) and records a
+:class:`QuarantinedFrame` in the :class:`LogSalvage` report instead of
+crashing the recovery loop.
+
+Group commit (fail-stop)
+------------------------
+
+Appends buffer frames; commit records trigger the leader/follower group
+commit (Section 6.1): the first committer drains every buffered frame,
+writes and fsyncs once outside the append latch, then publishes the
+synced LSN and wakes the followers. The drain is **fail-stop**: frames
+stay buffered until the write+fsync succeeds, the published LSN is the
+last *drained* frame's (never a covering LSN over lost frames), and a
+write/fsync error is retried with backoff a bounded number of times
+(``stat_sync_retries``) after rewinding the partial write — persistent
+failure *poisons* the log, so every current and future committer gets a
+:class:`~repro.errors.WALError` instead of a false durability ack.
 """
 
 from __future__ import annotations
@@ -21,30 +60,194 @@ import os
 import pickle
 import struct
 import threading
+import time
+import warnings
+import zlib
+from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from ..errors import WALError
+from ..fault import hit as fault_hit
+from ..fault import wrap_file
 from .records import (CreateTableRecord, IndirectionRecord,
                       InsertRangeRecord, InsertTombstoneRecord, LogRecord,
                       RecordWriteRecord, TailBlockRecord, TombstoneRecord,
                       TxnCommitRecord)
 
-_FRAME_HEADER = struct.Struct("<I")
+_SEGMENT_MAGIC = b"LSWAL2\x00\n"
+_FRAME_HEADER = struct.Struct("<I")  # legacy v1: payload length only
+_V2_HEADER = struct.Struct("<IIq")  # payload length, crc32, lsn
+_LSN_PACK = struct.Struct("<q")
+
+#: Upper bound a frame length field may claim before the reader treats
+#: the header itself as corrupt and resyncs.
+_MAX_FRAME = 64 * 1024 * 1024
+
+#: Bytes the salvage reader scans forward looking for the next valid
+#: frame after a corrupt header whose length field cannot be trusted.
+_RESYNC_WINDOW = 256 * 1024
+
+
+def _frame_crc(lsn: int, payload: bytes) -> int:
+    return zlib.crc32(payload, zlib.crc32(_LSN_PACK.pack(lsn)))
+
+
+@dataclass
+class QuarantinedFrame:
+    """One corrupt byte range the salvage reader skipped over."""
+
+    path: str
+    offset: int
+    length: int
+    reason: str
+
+
+@dataclass
+class LogSalvage:
+    """Structured account of everything a log read had to discard."""
+
+    segments: list[str] = field(default_factory=list)
+    #: Torn/corrupt tail bytes discarded (longest-valid-prefix salvage).
+    salvaged_bytes: int = 0
+    #: Corrupt non-tail frames skipped (mid-log corruption).
+    quarantined: list[QuarantinedFrame] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was discarded."""
+        return not self.salvaged_bytes and not self.quarantined
+
+
+def _plausible_frame_at(data: bytes, pos: int) -> bool:
+    """Heuristic: does *pos* look like a frame boundary?
+
+    Used to validate a resync target: a clean EOF, a segment header, a
+    complete frame with a matching CRC, or an incomplete frame whose
+    length field is sane (a torn tail — salvaged on the next step).
+    """
+    size = len(data)
+    if pos == size:
+        return True
+    if data[pos:pos + len(_SEGMENT_MAGIC)] == _SEGMENT_MAGIC:
+        return True
+    if size - pos < _V2_HEADER.size:
+        return False
+    length, crc, lsn = _V2_HEADER.unpack_from(data, pos)
+    if length > _MAX_FRAME:
+        return False
+    end = pos + _V2_HEADER.size + length
+    if end > size:
+        return True  # torn tail frame: plausible, unverifiable
+    return _frame_crc(lsn, data[pos + _V2_HEADER.size:end]) == crc
+
+
+def _resync(data: bytes, start: int) -> int | None:
+    """Scan forward (bounded) for the next plausible frame boundary."""
+    limit = min(len(data), start + _RESYNC_WINDOW)
+    for pos in range(start, limit):
+        if _plausible_frame_at(data, pos):
+            return pos
+    return None
+
+
+def _parse_v1(data: bytes, path: str,
+              salvage: LogSalvage) -> Iterator[tuple[LogRecord, int]]:
+    pos, size = 0, len(data)
+    while pos < size:
+        if size - pos < _FRAME_HEADER.size:
+            salvage.salvaged_bytes += size - pos
+            return  # torn header
+        (length,) = _FRAME_HEADER.unpack_from(data, pos)
+        end = pos + _FRAME_HEADER.size + length
+        if end > size:
+            salvage.salvaged_bytes += size - pos
+            return  # torn frame from a crash mid-write
+        try:
+            record = pickle.loads(data[pos + _FRAME_HEADER.size:end])
+        except Exception as exc:
+            # v1 frames carry no checksum and no resync anchor: salvage
+            # the valid prefix and quarantine the rest.
+            salvage.quarantined.append(QuarantinedFrame(
+                path, pos, size - pos, "undecodable v1 frame: %s" % exc))
+            return
+        yield record, end
+        pos = end
+
+
+def _parse_frames(data: bytes, path: str,
+                  salvage: LogSalvage) -> Iterator[tuple[LogRecord, int]]:
+    """Yield ``(record, end_offset)``; never raises on corruption."""
+    size = len(data)
+    magic_len = len(_SEGMENT_MAGIC)
+    if data[:magic_len] != _SEGMENT_MAGIC:
+        yield from _parse_v1(data, path, salvage)
+        return
+    pos = magic_len
+    while pos < size:
+        if data[pos:pos + magic_len] == _SEGMENT_MAGIC:
+            pos += magic_len  # spliced generation header
+            continue
+        if size - pos < _V2_HEADER.size:
+            salvage.salvaged_bytes += size - pos
+            return  # torn header
+        length, crc, lsn = _V2_HEADER.unpack_from(data, pos)
+        end = pos + _V2_HEADER.size + length
+        bad_reason = None
+        if length > _MAX_FRAME:
+            bad_reason = "implausible frame length %d" % length
+            end = None
+        elif end > size:
+            salvage.salvaged_bytes += size - pos
+            return  # torn frame
+        else:
+            payload = data[pos + _V2_HEADER.size:end]
+            if _frame_crc(lsn, payload) != crc:
+                bad_reason = "checksum mismatch (lsn field %d)" % lsn
+            else:
+                try:
+                    record = pickle.loads(payload)
+                except Exception as exc:
+                    bad_reason = "undecodable frame: %s" % exc
+        if bad_reason is None:
+            yield record, end
+            pos = end
+            continue
+        # Corrupt frame. A corrupt *final* frame is indistinguishable
+        # from a torn write: salvage the prefix. Mid-log, skip to the
+        # next frame — trust the length field if it lands on a valid
+        # boundary, else resync with a bounded byte scan.
+        if end is not None and end < size and _plausible_frame_at(data, end):
+            resync_at = end
+        else:
+            resync_at = _resync(data, pos + 1)
+        if resync_at is None or resync_at >= size:
+            salvage.salvaged_bytes += size - pos
+            return
+        salvage.quarantined.append(QuarantinedFrame(
+            path, pos, resync_at - pos, bad_reason))
+        pos = resync_at
 
 
 class LogManager:
-    """Append-only write-ahead log backed by one file."""
+    """Append-only write-ahead log over a chain of segment files."""
 
     def __init__(self, path: str, *, flush_threshold: int = 64 * 1024,
-                 sync_on_commit: bool = True) -> None:
-        self.path = path
+                 sync_on_commit: bool = True,
+                 segment_bytes: int | None = None,
+                 sync_retries: int = 4,
+                 retry_backoff: float = 0.002) -> None:
+        self._base_path = path
         self._lock = threading.Lock()
-        self._buffer: list[bytes] = []
+        #: Buffered frames as ``(lsn, frame bytes)`` — the drain clears
+        #: an entry only once it is durably on disk (fail-stop).
+        self._buffer: list[tuple[int, bytes]] = []
         self._buffered_bytes = 0
         self._flush_threshold = flush_threshold
         self._sync_on_commit = sync_on_commit
-        self._next_lsn = 1
-        self._file = open(path, "ab")
+        self._segment_bytes = segment_bytes
+        self._sync_retries = sync_retries
+        self._retry_backoff = retry_backoff
+        self._poisoned: WALError | None = None
         #: Group-commit state: leader election + synced-LSN publication.
         self._sync_cond = threading.Condition()
         self._sync_leader_active = False
@@ -54,6 +257,153 @@ class LogManager:
         #: Commit records whose durability was covered by another
         #: leader's fsync (observability: group-commit effectiveness).
         self.stat_piggybacked_syncs = 0
+        #: Write/fsync attempts that failed and were retried (or gave
+        #: up and poisoned the log).
+        self.stat_sync_retries = 0
+        #: Torn/corrupt tail bytes physically truncated at reopen.
+        self.stat_salvaged_bytes = 0
+        #: Dead segments removed by checkpoint truncation.
+        self.stat_segments_truncated = 0
+        #: Checkpoint gauges (set by repro.wal.checkpoint).
+        self.stat_last_checkpoint_lsn = 0
+        self.stat_last_checkpoint_seconds = 0.0
+        self._next_lsn = 1
+        self._open_active_segment()
+
+    # -- segment management -------------------------------------------------
+
+    def _open_active_segment(self) -> None:
+        existing = self.segment_paths(self._base_path)
+        if not existing:
+            directory = os.path.dirname(self._base_path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._file, self.path = self._create_segment(0)
+            self._segment_seq = 0
+            return
+        for segment in reversed(existing):
+            _, last_lsn, _ = self._scan_segment(segment)
+            if last_lsn:
+                self._next_lsn = last_lsn + 1
+                break
+        active = existing[-1]
+        valid_end, _, is_v2 = self._scan_segment(active)
+        if not is_v2 and os.path.getsize(active) > 0:
+            # Legacy v1 segment: leave it readable as-is and append v2
+            # frames to a fresh sibling segment.
+            seq = self._segment_seq_of(active) + 1
+            self._file, self.path = self._create_segment(seq)
+            self._segment_seq = seq
+            return
+        file = open(active, "r+b")
+        file_size = os.path.getsize(active)
+        if file_size < len(_SEGMENT_MAGIC):
+            # Empty pre-v2 file (a v1 manager that never flushed).
+            file.seek(0)
+            file.write(_SEGMENT_MAGIC)
+            file.truncate()
+            file.flush()
+        elif file_size > valid_end:
+            torn = file_size - valid_end
+            file.seek(valid_end)
+            file.truncate()
+            file.flush()
+            self.stat_salvaged_bytes += torn
+            warnings.warn(
+                "salvaged %s: truncated %d torn tail byte(s)"
+                % (active, torn), RuntimeWarning, stacklevel=3)
+        else:
+            file.seek(0, os.SEEK_END)
+        self._file = wrap_file(file, "wal")
+        self.path = active
+        self._segment_seq = self._segment_seq_of(active)
+
+    def _create_segment(self, seq: int) -> tuple[Any, str]:
+        path = self._segment_path(seq)
+        file = open(path, "w+b")
+        file.write(_SEGMENT_MAGIC)
+        file.flush()
+        os.fsync(file.fileno())
+        return wrap_file(file, "wal"), path
+
+    def _segment_path(self, seq: int) -> str:
+        if seq == 0:
+            return self._base_path
+        return "%s.%06d" % (self._base_path, seq)
+
+    def _segment_seq_of(self, path: str) -> int:
+        if path == self._base_path:
+            return 0
+        return int(path.rsplit(".", 1)[1])
+
+    @staticmethod
+    def segment_paths(path: str) -> list[str]:
+        """Resolve the segment chain rooted at *path*, in log order.
+
+        Numbered segments are discovered by listing (not by counting
+        up), so a chain with checkpoint-truncated gaps still resolves.
+        """
+        paths: list[str] = []
+        if os.path.exists(path):
+            paths.append(path)
+        directory = os.path.dirname(path) or "."
+        base = os.path.basename(path)
+        numbered: list[tuple[int, str]] = []
+        if os.path.isdir(directory):
+            prefix = base + "."
+            for entry in os.listdir(directory):
+                if entry.startswith(prefix):
+                    suffix = entry[len(prefix):]
+                    if len(suffix) == 6 and suffix.isdigit():
+                        numbered.append(
+                            (int(suffix), os.path.join(directory, entry)))
+        paths.extend(p for _, p in sorted(numbered))
+        return paths
+
+    @staticmethod
+    def _scan_segment(path: str) -> tuple[int, int, bool]:
+        """Return ``(valid_end_offset, last_lsn, is_v2)`` for one file."""
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return 0, 0, True
+        is_v2 = data[:len(_SEGMENT_MAGIC)] == _SEGMENT_MAGIC
+        end = len(_SEGMENT_MAGIC) if is_v2 else 0
+        last_lsn = 0
+        salvage = LogSalvage()
+        for record, end_offset in _parse_frames(data, path, salvage):
+            end = end_offset
+            if record.lsn > last_lsn:
+                last_lsn = record.lsn
+        return end, last_lsn, is_v2
+
+    def truncate_segments_below(self, lsn: int) -> int:
+        """Delete closed segments whose every frame has ``lsn`` ≤ *lsn*.
+
+        The base file is never unlinked (it roots the reader's chain
+        resolution); when fully covered it is truncated back to its
+        8-byte header. Returns the number of segments reclaimed.
+        """
+        removed = 0
+        active = self.path
+        for segment in self.segment_paths(self._base_path):
+            if segment == active:
+                continue
+            valid_end, last_lsn, is_v2 = self._scan_segment(segment)
+            if last_lsn == 0 or last_lsn > lsn:
+                continue
+            if segment == self._base_path:
+                with open(segment, "r+b") as handle:
+                    handle.truncate(0)
+                    handle.write(_SEGMENT_MAGIC)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            else:
+                os.remove(segment)
+            removed += 1
+            self.stat_segments_truncated += 1
+        return removed
 
     # -- appends ------------------------------------------------------------
 
@@ -63,14 +413,20 @@ class LogManager:
         Commit records return only once durable — but the fsync that
         makes them durable may be another committer's (leader/follower
         group commit). Non-commit records stay buffered until a commit
-        or the size threshold flushes them.
+        or the size threshold flushes them. Raises
+        :class:`~repro.errors.WALError` once the log is poisoned.
         """
         with self._lock:
+            if self._poisoned is not None:
+                raise self._poisoned
             record.lsn = self._next_lsn
             self._next_lsn += 1
             payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
-            self._buffer.append(_FRAME_HEADER.pack(len(payload)) + payload)
-            self._buffered_bytes += len(payload) + _FRAME_HEADER.size
+            frame = _V2_HEADER.pack(
+                len(payload), _frame_crc(record.lsn, payload),
+                record.lsn) + payload
+            self._buffer.append((record.lsn, frame))
+            self._buffered_bytes += len(frame)
             self.stat_appends += 1
             lsn = record.lsn
             oversize = self._buffered_bytes >= self._flush_threshold
@@ -91,10 +447,13 @@ class LogManager:
         condition until the published synced LSN covers them. A
         follower whose LSN is still uncovered when the leader finishes
         (it buffered after the leader's drain) takes the next
-        leadership round.
+        leadership round. A poisoned log raises for leader and
+        followers alike — nobody is acked over lost frames.
         """
         with self._sync_cond:
             while True:
+                if self._poisoned is not None:
+                    raise self._poisoned
                 if self._synced_lsn >= lsn:
                     if _commit:
                         # Only commit records count: the stat reports
@@ -118,33 +477,119 @@ class LogManager:
                 self._sync_cond.notify_all()
 
     def _drain_and_sync(self) -> int:
-        """Write + fsync everything buffered; return the covered LSN."""
+        """Write + fsync everything buffered; return the covered LSN.
+
+        Fail-stop: the buffer is cleared only after a successful
+        write+fsync, and the returned LSN is the last frame actually
+        drained — an IO failure can therefore never be papered over by
+        a later drain publishing a covering LSN. Transient errors are
+        retried (rewinding the partial write first) with linear
+        backoff; persistent errors poison the log.
+        """
         with self._lock:
-            data = b"".join(self._buffer)
-            self._buffer.clear()
-            self._buffered_bytes = 0
-            # Every frame with an LSN below the next one is either in
-            # *data* or already written by an earlier drain.
-            covered = self._next_lsn - 1
+            if self._poisoned is not None:
+                raise self._poisoned
+            entries = list(self._buffer)
             file = self._file
-        if data:
-            # Outside the append latch: appenders keep buffering while
-            # the disk syncs. Drains are serialised by leadership, so
-            # frames hit the file in LSN order.
-            file.write(data)
-            file.flush()
-            if self._sync_on_commit:
-                os.fsync(file.fileno())
+        if not entries:
+            return self._synced_lsn
+        data = b"".join(frame for _, frame in entries)
+        covered = entries[-1][0]
+        attempts = 0
+        while True:
+            start = None
+            try:
+                start = file.tell()
+                fault_hit("wal.before_write")
+                # Outside the append latch: appenders keep buffering
+                # while the disk syncs. Drains are serialised by
+                # leadership, so frames hit the file in LSN order.
+                file.write(data)
+                file.flush()
+                fault_hit("wal.after_write")
+                if self._sync_on_commit:
+                    fault_hit("wal.before_fsync")
+                    os.fsync(file.fileno())
+                fault_hit("wal.after_sync")
+                break
+            except OSError as exc:
+                self.stat_sync_retries += 1
+                attempts += 1
+                rewound = self._rewind(file, start)
+                if attempts > self._sync_retries or not rewound:
+                    return self._poison(
+                        "log write failed after %d attempt(s): %s"
+                        % (attempts, exc), exc)
+                time.sleep(self._retry_backoff * attempts)
+        with self._lock:
+            del self._buffer[:len(entries)]
+            self._buffered_bytes -= len(data)
             self.stat_flushes += 1
+        self._maybe_rotate()
         return covered
+
+    @staticmethod
+    def _rewind(file: Any, start: int | None) -> bool:
+        """Drop a partial write so a retry cannot duplicate frames."""
+        if start is None:
+            return False
+        try:
+            file.seek(start)
+            file.truncate(start)
+            file.flush()
+            return True
+        except OSError:
+            return False
+
+    def _poison(self, message: str, cause: BaseException | None) -> int:
+        error = WALError(message + "; log poisoned (fail-stop)")
+        error.__cause__ = cause
+        with self._lock:
+            self._poisoned = error
+        raise error
+
+    def _maybe_rotate(self) -> None:
+        """Rotate to a fresh segment when the active one is full.
+
+        Called only from the leader's drain (rotation is therefore
+        serialised). The outgoing segment is fsynced before the switch
+        so no durable frame ever straddles a rotation.
+        """
+        if self._segment_bytes is None:
+            return
+        try:
+            if self._file.tell() < self._segment_bytes:
+                return
+        except OSError:
+            return
+        fault_hit("wal.before_rotate")
+        old = self._file
+        try:
+            old.flush()
+            os.fsync(old.fileno())
+            new_file, new_path = self._create_segment(self._segment_seq + 1)
+        except OSError as exc:
+            self._poison("segment rotation failed: %s" % exc, exc)
+        with self._lock:
+            self._file = new_file
+            self._segment_seq += 1
+            self.path = new_path
+        try:
+            old.close()
+        except OSError:
+            pass
+        fault_hit("wal.after_rotate")
 
     def flush(self) -> None:
         """Write the buffer to the file and (optionally) fsync."""
         self.sync_to(self.last_lsn)
 
     def close(self) -> None:
-        """Flush and close the log file."""
-        self.flush()
+        """Flush (best-effort once poisoned) and close the log file."""
+        try:
+            self.flush()
+        except WALError:
+            pass  # poisoned: nothing more can be made durable
         with self._lock:
             if not self._file.closed:
                 self._file.close()
@@ -155,27 +600,36 @@ class LogManager:
         with self._lock:
             return self._next_lsn - 1
 
+    @property
+    def synced_lsn(self) -> int:
+        """Highest LSN published as durable."""
+        return self._synced_lsn
+
+    @property
+    def poisoned(self) -> bool:
+        """True once a persistent IO failure fail-stopped the log."""
+        return self._poisoned is not None
+
     # -- reads ------------------------------------------------------------
 
     @staticmethod
+    def read_log(path: str) -> tuple[list[LogRecord], LogSalvage]:
+        """Read the whole segment chain; return records + salvage report."""
+        salvage = LogSalvage()
+        records: list[LogRecord] = []
+        for segment in LogManager.segment_paths(path):
+            salvage.segments.append(segment)
+            with open(segment, "rb") as handle:
+                data = handle.read()
+            for record, _ in _parse_frames(data, segment, salvage):
+                records.append(record)
+        return records, salvage
+
+    @staticmethod
     def read_records(path: str) -> Iterator[LogRecord]:
-        """Iterate records from a log file, tolerating a torn tail."""
-        if not os.path.exists(path):
-            return
-        with open(path, "rb") as handle:
-            while True:
-                header = handle.read(_FRAME_HEADER.size)
-                if len(header) < _FRAME_HEADER.size:
-                    return  # clean EOF or torn header: stop
-                (length,) = _FRAME_HEADER.unpack(header)
-                payload = handle.read(length)
-                if len(payload) < length:
-                    return  # torn frame from a crash mid-write
-                try:
-                    record = pickle.loads(payload)
-                except Exception as exc:  # corrupted frame
-                    raise WALError("corrupted log frame: %s" % exc) from exc
-                yield record
+        """Iterate records from a log chain, tolerating torn tails."""
+        records, _ = LogManager.read_log(path)
+        yield from records
 
 
 class TableWAL:

@@ -122,6 +122,14 @@ class MergeNoteRecord(LogRecord):
 
 @dataclass
 class CheckpointRecord(LogRecord):
-    """Marks a clean shutdown; recovery may start from the last one."""
+    """A completed checkpoint: recovery may start from its image.
+
+    ``start_lsn`` is the durable LSN the checkpoint image captures;
+    ``directory`` names the on-disk image directory (relative to the
+    log's directory). Records with an empty directory are legacy
+    clean-shutdown markers and carry no image.
+    """
 
     clock: int
+    start_lsn: int = 0
+    directory: str = ""

@@ -1,29 +1,44 @@
-"""Crash recovery: redo replay + indirection rebuild (Section 5.1.3).
+"""Crash recovery: checkpoint load + redo replay + indirection rebuild.
 
-Recovery replays the redo log into a fresh database:
+Recovery rebuilds a database from the log chain (Section 5.1.3):
 
-1. **Analysis** — collect committed transactions (commit records) so
+1. **Checkpoint** — if the log carries a :class:`CheckpointRecord`
+   whose image directory is complete (``COMPLETE`` marker present), the
+   image's pages are installed directly and only the log **suffix**
+   (frames past the checkpoint's captured LSN) is replayed. Start Time
+   cells the image left as transaction markers (transactions straddling
+   the checkpoint) are resolved against the suffix's commit records.
+   Without a usable checkpoint the whole log replays.
+2. **Analysis** — collect committed transactions (commit records) so
    transaction markers in Start Time cells can be resolved; everything
    without a commit record is treated as aborted ("for any uncommitted
    transactions ... the tail record is marked as invalid").
-2. **Redo** — recreate tables, insert ranges and tail blocks with their
+3. **Redo** — recreate tables, insert ranges and tail blocks with their
    original RIDs, then re-apply every tail-record write physically (the
    log carries the exact cells, including backpointers and Base RIDs).
-3. **Indirection** — either replay the Indirection redo records
+4. **Indirection** — either replay the Indirection redo records
    (``option 1`` in the paper) or rebuild the column from the Base RID
    column of the tails (``option 2``); both are implemented and
-   equivalent.
-4. **Derived state** — primary/secondary indexes, per-record
+   equivalent. Checkpoint-based recovery always uses option 2 (the
+   prefix's Indirection records live in truncated segments).
+5. **Derived state** — primary/secondary indexes, per-record
    updated-bits, allocator watermarks and the clock are rebuilt by
    scanning, never logged.
 
 Merges are *not* replayed: they are idempotent and simply re-run after
 recovery (the paper's operational logging).
+
+The recovered database carries a :class:`RecoveryReport` (as
+``database.recovery_report``) accounting for every record replayed or
+skipped and every byte the reader had to salvage or quarantine — a
+corrupted log degrades into a structured report, never a crash loop.
 """
 
 from __future__ import annotations
 
-from typing import Any
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from ..core.db import Database
 from ..core.rid import TailBlock
@@ -34,30 +49,56 @@ from ..core.types import (NULL_RID, is_tail_rid, is_txn_marker,
                           txn_id_from_marker)
 from ..core.encoding import SchemaEncoding
 from ..errors import RecoveryError
-from .log import LogManager
-from .records import (CreateTableRecord, IndirectionRecord,
-                      InsertRangeRecord, InsertTombstoneRecord,
+from .log import LogManager, LogSalvage, QuarantinedFrame
+from .records import (CheckpointRecord, CreateTableRecord, IndirectionRecord,
+                      InsertRangeRecord, InsertTombstoneRecord, LogRecord,
                       RecordWriteRecord, TailBlockRecord, TombstoneRecord,
                       TxnCommitRecord)
 
 
+@dataclass
+class RecoveryReport:
+    """What recovery replayed, skipped, and salvaged."""
+
+    records_total: int = 0
+    records_replayed: int = 0
+    #: Records below the checkpoint LSN, served from the image instead.
+    records_skipped: int = 0
+    checkpoint_directory: str | None = None
+    #: Durable LSN the checkpoint image captured (0 = no checkpoint).
+    checkpoint_lsn: int = 0
+    salvaged_bytes: int = 0
+    quarantined: list[QuarantinedFrame] = field(default_factory=list)
+    segments: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the log needed no salvage at all."""
+        return not self.salvaged_bytes and not self.quarantined
+
+
 def recover_database(log_path: str, *, config: Any = None,
-                     rebuild_indirection: bool = False) -> Database:
+                     rebuild_indirection: bool = False,
+                     use_checkpoint: bool = True) -> Database:
     """Replay *log_path* into a new :class:`~repro.core.db.Database`.
 
     With ``rebuild_indirection=True`` the Indirection redo records are
     ignored and the column is reconstructed from the tails (the paper's
-    recovery option 2).
+    recovery option 2). ``use_checkpoint=False`` forces a full replay
+    even when a complete checkpoint image exists (used by equivalence
+    tests).
     """
-    records = list(LogManager.read_records(log_path))
+    records, salvage = LogManager.read_log(log_path)
+    committed, max_time = _analyze(records)
 
-    # -- Phase 1: analysis -------------------------------------------------
-    committed: dict[int, int] = {}
-    max_time = 0
-    for record in records:
-        if isinstance(record, TxnCommitRecord):
-            committed[record.txn_id] = record.commit_time
-            max_time = max(max_time, record.commit_time)
+    checkpoint = _latest_complete_checkpoint(records, log_path) \
+        if use_checkpoint else None
+
+    database = Database(config) if config is not None else Database()
+    report = RecoveryReport(
+        records_total=len(records), salvaged_bytes=salvage.salvaged_bytes,
+        quarantined=list(salvage.quarantined),
+        segments=list(salvage.segments))
 
     def resolve_cell(cell: Any) -> tuple[bool, Any]:
         """Map a logged start cell to (keep, resolved value)."""
@@ -69,20 +110,99 @@ def recover_database(log_path: str, *, config: Any = None,
             return False, cell  # uncommitted at crash: tombstone it
         return True, commit_time  # stamp the commit time eagerly
 
-    # -- Phase 2: redo ----------------------------------------------------
-    database = Database(config) if config is not None else Database()
+    if checkpoint is not None:
+        record, image_dir = checkpoint
+        from .checkpoint import load_manifest
+        manifest = load_manifest(image_dir)
+        _load_checkpoint(database, manifest, image_dir, resolve_cell)
+        max_time = max(max_time, manifest["clock"])
+        # Prefix Indirection records live in truncated segments, so the
+        # column is always rebuilt from the tails (option 2).
+        rebuild_indirection = True
+        suffix = [r for r in records if r.lsn > manifest["start_lsn"]]
+        replay_max = _replay_records(database, suffix, resolve_cell,
+                                     rebuild_indirection=True)
+        report.records_replayed = len(suffix)
+        report.records_skipped = len(records) - len(suffix)
+        report.checkpoint_directory = image_dir
+        report.checkpoint_lsn = manifest["start_lsn"]
+    else:
+        replay_max = _replay_records(database, records, resolve_cell,
+                                     rebuild_indirection=rebuild_indirection)
+        report.records_replayed = len(records)
+    max_time = max(max_time, replay_max)
+
+    # -- Derived state: indexes, cursors, horizons, clock ------------------
+    for table in database.tables.values():
+        _rebuild_derived_state(table, rebuild_indirection)
+        table.clock.advance_to(max_time)
+    database.clock.advance_to(max_time)
+    # Re-enable logging for post-recovery work when the target database
+    # itself carries a WAL (the replay ran with logging suppressed).
+    if database._wal is not None:
+        from .log import attach_table_logging
+        for table in database.tables.values():
+            attach_table_logging(database._wal, table)
+    database.recovery_report = report
+    return database
+
+
+def _analyze(records: list[LogRecord]) -> tuple[dict[int, int], int]:
+    """Phase 1: committed-transaction map + max commit time."""
+    committed: dict[int, int] = {}
+    max_time = 0
+    for record in records:
+        if isinstance(record, TxnCommitRecord):
+            committed[record.txn_id] = record.commit_time
+            max_time = max(max_time, record.commit_time)
+    return committed, max_time
+
+
+def _latest_complete_checkpoint(
+        records: list[LogRecord],
+        log_path: str) -> tuple[CheckpointRecord, str] | None:
+    """Find the newest CheckpointRecord with a complete on-disk image."""
+    from .checkpoint import checkpoint_dir_path, is_complete
+    best: tuple[CheckpointRecord, str] | None = None
+    for record in records:
+        if isinstance(record, CheckpointRecord) and record.directory:
+            path = checkpoint_dir_path(log_path, record.directory)
+            if is_complete(path):
+                best = (record, path)
+    return best
+
+
+def _replay_records(database: Database, records: list[LogRecord],
+                    resolve_cell: Callable[[Any], tuple[bool, Any]], *,
+                    rebuild_indirection: bool,
+                    collect_structural: bool = False) -> Any:
+    """Phase 3 redo loop: replay *records* into *database*.
+
+    Returns the max resolved commit time seen — or, with
+    ``collect_structural=True`` (the checkpoint shadow replay), the list
+    of structural records (table/range/block creations) for the
+    manifest.
+    """
+    structural: list[LogRecord] = []
+    max_time = 0
     pending_tombstones: list[tuple[Table, tuple[str, int], int]] = []
     for record in records:
         if isinstance(record, CreateTableRecord):
+            if collect_structural:
+                structural.append(record)
             if record.name not in database.tables:
                 table = database.create_table(
                     record.name, record.num_columns, record.key_index,
                     column_names=record.column_names or None)
                 table.wal = None  # do not re-log the replay itself
         elif isinstance(record, InsertRangeRecord):
+            if collect_structural:
+                structural.append(record)
             table = database.get_table(record.table)
             _replay_insert_range(table, record)
         elif isinstance(record, TailBlockRecord):
+            if collect_structural:
+                structural.append(record)
             table = database.get_table(record.table)
             _replay_tail_block(table, record)
         elif isinstance(record, RecordWriteRecord):
@@ -92,8 +212,9 @@ def recover_database(log_path: str, *, config: Any = None,
             start = cells.get(START_TIME_COLUMN)
             keep, resolved = resolve_cell(start)
             cells[START_TIME_COLUMN] = resolved if keep else 0
-            if isinstance(resolved, int):
-                max_time = max(max_time, resolved if keep else 0)
+            if keep and isinstance(resolved, int) \
+                    and not is_txn_marker(resolved):
+                max_time = max(max_time, resolved)
             segment.write_record(record.offset, cells)
             if not keep:
                 pending_tombstones.append(
@@ -116,19 +237,69 @@ def recover_database(log_path: str, *, config: Any = None,
                 update_range.insert_offset(offset))
     for table, segment_ref, offset in pending_tombstones:
         _segment_for(table, segment_ref).mark_tombstone(offset)
+    if collect_structural:
+        return structural
+    return max_time
 
-    # -- Phase 3 + 4: indirection and derived state -------------------------
-    for table in database.tables.values():
-        _rebuild_derived_state(table, rebuild_indirection)
-        table.clock.advance_to(max_time)
-    database.clock.advance_to(max_time)
-    # Re-enable logging for post-recovery work when the target database
-    # itself carries a WAL (the replay ran with logging suppressed).
-    if database._wal is not None:
-        from .log import attach_table_logging
-        for table in database.tables.values():
-            attach_table_logging(database._wal, table)
-    return database
+
+def _load_checkpoint(database: Database, manifest: dict[str, Any],
+                     image_dir: str,
+                     resolve_cell: Callable[[Any], tuple[bool, Any]]) -> None:
+    """Install a checkpoint image: structure, pages, marker resolution."""
+    from ..storage.disk import PageFile
+    _replay_records(database, manifest["structural"], resolve_cell,
+                    rebuild_indirection=True)
+    for name, info in manifest["tables"].items():
+        table = database.get_table(name)
+        page_file = PageFile(os.path.join(image_dir, info["page_file"]))
+        try:
+            for i, seg_info in enumerate(info["insert_segments"]):
+                if i >= len(table.insert_ranges):
+                    raise RecoveryError(
+                        "checkpoint image names insert range %d the "
+                        "manifest structure never created" % i)
+                _install_segment(table, table.insert_ranges[i].segment,
+                                 seg_info, page_file, resolve_cell)
+            for range_id, seg_info in info["tail_segments"].items():
+                update_range = table.ranges.get(range_id)
+                if update_range is None or update_range.tail is None:
+                    raise RecoveryError(
+                        "checkpoint image names tail of range %d the "
+                        "manifest structure never created" % range_id)
+                _install_segment(table, update_range.tail, seg_info,
+                                 page_file, resolve_cell)
+        finally:
+            page_file.close(sync=False)
+        table.page_counter.advance_to(info["max_page_id"])
+
+
+def _install_segment(table: Table, segment: Any, seg_info: dict[str, Any],
+                     page_file: Any,
+                     resolve_cell: Callable[[Any], tuple[bool, Any]]) -> None:
+    """Install one segment's image pages and resolve its markers."""
+    for column, page_ids in seg_info["pages"].items():
+        pages = [page_file.read_page(page_id) for page_id in page_ids]
+        for page in pages:
+            table.page_directory.register(page)
+        segment._pages[column] = pages
+    if seg_info["row_pages"]:
+        row_pages = [page_file.read_page(page_id)
+                     for page_id in seg_info["row_pages"]]
+        for page in row_pages:
+            table.page_directory.register(page)
+        segment._row_pages = row_pages
+    segment._tombstones = set(seg_info["tombstones"])
+    # Straddling transactions: the image kept their Start Time markers;
+    # the suffix's commit records decide stamp vs tombstone.
+    for offset, marker in seg_info["markers"]:
+        keep, resolved = resolve_cell(marker)
+        if keep:
+            segment.replace_record_cell(offset, START_TIME_COLUMN,
+                                        marker, resolved)
+        else:
+            segment.replace_record_cell(offset, START_TIME_COLUMN,
+                                        marker, 0)
+            segment.mark_tombstone(offset)
 
 
 def _segment_for(table: Table, segment_ref: tuple[str, int]) -> Any:

@@ -1,0 +1,145 @@
+"""Crash matrix: kill the workload at every failpoint, recover, audit.
+
+For every registered crash point in the append → commit → rotate →
+merge → checkpoint pipeline, a subprocess workload (``workload.py``) is
+killed mid-flight by a ``crash`` failpoint (``os._exit(137)``, the
+kill -9 analogue — nothing is flushed on the way down), the survivors
+are recovered from the log chain, and the recovered state is audited
+for the OLxPBench-style semantic invariants:
+
+* **conservation** — account balances still sum to the initial total;
+* **committed-survive** — every transfer the workload *acked* (its
+  ``commit()`` returned) has its ledger row;
+* **uncommitted-invisible** — implied by conservation: a half-applied
+  transfer would break the total;
+* **agreement** — the analytical sum and per-record point reads see the
+  same state (rebuilt horizons and dirty sets agree), and a merge runs
+  cleanly on the recovered tables.
+
+The full matrix is expensive; by default each test run samples a seeded
+subset (override with ``REPRO_CRASH_MATRIX=full``).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.fault import CRASH_POINTS
+from repro.fault.registry import CRASH_EXIT_STATUS
+from repro.wal.recovery import recover_database
+
+WORKLOAD = os.path.join(os.path.dirname(__file__), "workload.py")
+ACCOUNTS = 16
+INITIAL_BALANCE = 100
+
+
+def _plain_config() -> EngineConfig:
+    return EngineConfig(
+        records_per_page=8, records_per_tail_page=8, update_range_size=16,
+        insert_range_size=16, merge_threshold=8, background_merge=False)
+
+
+def _selected_points() -> list[str]:
+    mode = os.environ.get("REPRO_CRASH_MATRIX", "")
+    if mode == "full":
+        return list(CRASH_POINTS)
+    # Seeded subset: deterministic, rotates nothing, still covers every
+    # pipeline stage (wal, txn, merge, checkpoint).
+    return [point for i, point in enumerate(CRASH_POINTS) if i % 3 == 0] + [
+        "txn.after_commit_record", "checkpoint.before_marker"]
+
+
+def _nth_hit_for(point: str) -> int:
+    # Crash on a later hit so the workload does real mixed work first —
+    # but merge/checkpoint points fire only a handful of times over the
+    # 60-transfer budget, so they crash on an early hit instead.
+    if point.startswith(("merge.", "checkpoint.")):
+        return 2
+    return 12
+
+
+def _run_crashing_workload(tmp_path, point: str, nth_hit: int):
+    data_dir = str(tmp_path / "data")
+    acks_path = str(tmp_path / "acks.txt")
+    os.makedirs(data_dir, exist_ok=True)
+    env = dict(os.environ)
+    env["REPRO_FAILPOINTS"] = "%s=crash:%d" % (point, nth_hit)
+    env.pop("PYTHONHASHSEED", None)
+    proc = subprocess.run(
+        [sys.executable, WORKLOAD, data_dir, acks_path, "60"],
+        env=env, capture_output=True, text=True, timeout=120)
+    return proc, data_dir, acks_path
+
+
+def _audit(data_dir: str, acks_path: str, point: str) -> None:
+    log_path = os.path.join(data_dir, "wal.log")
+    recovered = recover_database(log_path, config=_plain_config())
+    try:
+        bank = recovered.get_table("bank")
+        query = recovered.query("bank")
+
+        # Conservation: transfers move money, never create or destroy it.
+        total = query.sum(0, ACCOUNTS - 1, 1)
+        assert total == ACCOUNTS * INITIAL_BALANCE, (
+            "%s: balance sum %d != %d"
+            % (point, total, ACCOUNTS * INITIAL_BALANCE))
+
+        # Committed-survive: every acked transfer left its ledger row.
+        acked = []
+        if os.path.exists(acks_path):
+            with open(acks_path) as handle:
+                acked = [int(line) for line in handle if line.strip()]
+        ledger = recovered.query("ledger")
+        for seq in acked:
+            rows = ledger.select(seq, 0, None)
+            assert rows, "%s: acked transfer %d lost its ledger row" \
+                % (point, seq)
+
+        # Agreement: the scan plane and the per-record walk see the
+        # same balances (rebuilt horizons / dirty sets are consistent).
+        point_reads = 0
+        for key in range(ACCOUNTS):
+            rid = bank.index.primary.get(key)
+            point_reads += bank.read_latest(rid, (1,))[1]
+        assert point_reads == total, (
+            "%s: point reads %d != scan sum %d" % (point, point_reads, total))
+
+        # Merges are idempotent and simply re-run after recovery.
+        recovered.run_merges()
+        assert query.sum(0, ACCOUNTS - 1, 1) == ACCOUNTS * INITIAL_BALANCE
+    finally:
+        recovered.close()
+
+
+@pytest.mark.parametrize("point", _selected_points())
+def test_crash_at_failpoint_recovers_clean(tmp_path, point):
+    proc, data_dir, acks_path = _run_crashing_workload(
+        tmp_path, point, nth_hit=_nth_hit_for(point))
+    assert proc.returncode == CRASH_EXIT_STATUS, (
+        point, proc.returncode, proc.stderr)
+    _audit(data_dir, acks_path, point)
+
+
+def test_kill_nine_equivalent_mid_commit(tmp_path):
+    """The classic: die on the very first commit-record append."""
+    proc, data_dir, acks_path = _run_crashing_workload(
+        tmp_path, "txn.before_commit_record", nth_hit=1)
+    assert proc.returncode == CRASH_EXIT_STATUS
+    _audit(data_dir, acks_path, "txn.before_commit_record")
+
+
+def test_clean_run_audits_green(tmp_path):
+    """Baseline: no faults, full workload, same audit."""
+    data_dir = str(tmp_path / "data")
+    acks_path = str(tmp_path / "acks.txt")
+    os.makedirs(data_dir, exist_ok=True)
+    env = dict(os.environ)
+    env.pop("REPRO_FAILPOINTS", None)
+    proc = subprocess.run(
+        [sys.executable, WORKLOAD, data_dir, acks_path, "60"],
+        env=env, capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    _audit(data_dir, acks_path, "clean")

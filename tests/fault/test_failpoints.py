@@ -1,0 +1,245 @@
+"""Fault injection: registry semantics, FaultyFile, fail-stop WAL.
+
+The headline regression here is the ack-without-durability bug: a
+failed fsync inside the group-commit leader used to clear the buffer
+and let a later drain publish a synced LSN "covering" the lost frames.
+The fail-stop log must never ack a commit whose frames did not reach
+disk.
+"""
+
+import errno
+import io
+import os
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.db import Database
+from repro.core.page import Page
+from repro.core.types import PageKind
+from repro.errors import CorruptPageError, WALError
+from repro.fault import FAULTS, FaultError, wrap_file
+from repro.storage.disk import PageFile
+from repro.txn.transaction import Transaction
+from repro.wal.log import LogManager
+from repro.wal.records import TxnCommitRecord
+from repro.wal.recovery import recover_database
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+def _wal_config(data_dir, **overrides) -> EngineConfig:
+    return EngineConfig(
+        records_per_page=8, records_per_tail_page=8, update_range_size=16,
+        insert_range_size=16, merge_threshold=8, background_merge=False,
+        wal_enabled=True, data_dir=str(data_dir), **overrides)
+
+
+def _plain_config() -> EngineConfig:
+    return EngineConfig(
+        records_per_page=8, records_per_tail_page=8, update_range_size=16,
+        insert_range_size=16, merge_threshold=8, background_merge=False)
+
+
+class TestRegistry:
+    def test_inactive_registry_is_silent(self):
+        assert not FAULTS.active
+        FAULTS.hit("anything.at_all")  # no-op, no error
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FAULTS.configure("nonsense-without-equals")
+        with pytest.raises(ValueError):
+            FAULTS.configure("x=explode")
+        with pytest.raises(ValueError):
+            FAULTS.configure("x=delay")  # delay needs a seconds arg
+
+    def test_raise_fires_n_times(self):
+        FAULTS.configure("p=raise:2")
+        assert FAULTS.armed("p")
+        for _ in range(2):
+            with pytest.raises(FaultError):
+                FAULTS.hit("p")
+        FAULTS.hit("p")  # exhausted: silent
+
+    def test_enospc_carries_errno(self):
+        FAULTS.configure("p=enospc")
+        with pytest.raises(OSError) as excinfo:
+            FAULTS.hit("p")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_unarmed_names_never_fire(self):
+        FAULTS.configure("p=raise")
+        FAULTS.hit("q")  # a different name: silent
+        with pytest.raises(FaultError):
+            FAULTS.hit("p")
+
+    def test_delay_action_sleeps_and_continues(self):
+        FAULTS.configure("p=delay:0.001")
+        FAULTS.hit("p")
+        FAULTS.hit("p")  # unlimited by default
+
+
+class TestFaultyFile:
+    def test_wrap_file_is_identity_when_inactive(self):
+        raw = io.BytesIO()
+        assert wrap_file(raw, "wal") is raw
+
+    def test_torn_write_writes_half_then_raises(self):
+        FAULTS.configure("wal.torn_write=torn:1")
+        raw = io.BytesIO()
+        wrapped = wrap_file(raw, "wal")
+        assert wrapped is not raw
+        with pytest.raises(FaultError):
+            wrapped.write(b"0123456789")
+        assert raw.getvalue() == b"01234"  # torn in half
+        assert wrapped.write(b"ok") == 2  # exhausted: passes through
+
+    def test_enospc_write_writes_nothing(self):
+        FAULTS.configure("pagefile.torn_write=enospc:1")
+        raw = io.BytesIO()
+        wrapped = wrap_file(raw, "pagefile")
+        with pytest.raises(OSError) as excinfo:
+            wrapped.write(b"0123456789")
+        assert excinfo.value.errno == errno.ENOSPC
+        assert raw.getvalue() == b""
+
+
+class TestFailStopGroupCommit:
+    def test_failed_fsync_never_acks_commit(self, tmp_path):
+        """Regression for the lost-frames-then-covering-LSN bug."""
+        log = LogManager(str(tmp_path / "log.bin"), sync_retries=0)
+        log.append(TxnCommitRecord(txn_id=1, commit_time=5))
+        FAULTS.configure("wal.before_fsync=raise")
+        with pytest.raises(WALError):
+            log.append(TxnCommitRecord(txn_id=2, commit_time=6))
+        assert log.poisoned
+        assert log.stat_sync_retries == 1
+        # The lost frame is not on disk, and no LSN covering it was
+        # ever published — the committer got an error, not a false ack.
+        on_disk = [r.txn_id
+                   for r in LogManager.read_records(str(tmp_path / "log.bin"))]
+        assert on_disk == [1]
+        assert log.synced_lsn == 1
+        # Fail-stop: everything after the poisoning fails loudly too.
+        FAULTS.clear()
+        with pytest.raises(WALError):
+            log.append(TxnCommitRecord(txn_id=3, commit_time=7))
+        with pytest.raises(WALError):
+            log.flush()
+        log.close()  # close never raises: teardown must stay possible
+
+    def test_transient_fsync_failure_retried(self, tmp_path):
+        log = LogManager(str(tmp_path / "log.bin"), sync_retries=2,
+                         retry_backoff=0.0)
+        FAULTS.configure("wal.before_fsync=raise:1")
+        log.append(TxnCommitRecord(txn_id=1, commit_time=5))
+        assert not log.poisoned
+        assert log.stat_sync_retries == 1
+        on_disk = [r.txn_id for r in LogManager.read_records(log.path)]
+        assert on_disk == [1]
+        log.close()
+
+    def test_torn_write_rewound_and_retried(self, tmp_path):
+        # Arm a never-firing point first so the registry is active when
+        # the log opens (FaultyFile wraps only at open time), then arm
+        # the torn write after the segment header is written.
+        FAULTS.configure("warmup.never=raise:0")
+        log = LogManager(str(tmp_path / "log.bin"), sync_retries=2,
+                         retry_backoff=0.0)
+        FAULTS.configure("wal.torn_write=torn:1")
+        log.append(TxnCommitRecord(txn_id=7, commit_time=5))
+        assert log.stat_sync_retries == 1
+        # The rewind dropped the torn half-frame: the retry produced one
+        # clean frame, not a duplicate or a corrupt prefix.
+        records = list(LogManager.read_records(log.path))
+        assert [r.txn_id for r in records] == [7]
+        log.close()
+
+    def test_committer_gets_error_and_recovery_hides_txn(self, tmp_path):
+        """End to end: fsync failure surfaces as WALError from commit()
+        and the unacked transaction is invisible after recovery."""
+        db = Database(_wal_config(tmp_path, wal_sync_retries=0))
+        table = db.create_table("t", 3)
+        table.insert([1, 10, 0])
+        db._wal.flush()
+        FAULTS.configure("wal.before_fsync=raise")
+        txn = Transaction(db.txn_manager)
+        txn.update(table, 1, {1: 99})
+        with pytest.raises(WALError):
+            txn.commit()
+        FAULTS.clear()
+        recovered = recover_database(
+            os.path.join(str(tmp_path), "wal.log"), config=_plain_config())
+        rtable = recovered.get_table("t")
+        values = rtable.read_latest(rtable.index.primary.get(1), (1,))
+        assert values == {1: 10}  # the never-acked update is invisible
+        db.close()
+
+
+class TestPageFileHardening:
+    def _page(self, page_id=1):
+        page = Page(page_id, PageKind.TAIL, 8, 0)
+        for slot in range(4):
+            page.write_slot(slot, 100 + slot)
+        return page
+
+    def test_flipped_byte_detected_with_context(self, tmp_path):
+        page_file = PageFile(str(tmp_path / "pages.dat"))
+        page_file.write_page(self._page())
+        page_file.sync()
+        offset, length = page_file._index[1]
+        with open(page_file.path, "r+b") as handle:
+            handle.seek(offset + length - 2)
+            byte = handle.read(1)
+            handle.seek(offset + length - 2)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(CorruptPageError) as excinfo:
+            page_file.read_page(1)
+        assert excinfo.value.page_id == 1
+        assert excinfo.value.offset == offset
+        page_file.close(sync=False)
+
+    def test_truncated_image_detected(self, tmp_path):
+        page_file = PageFile(str(tmp_path / "pages.dat"))
+        page_file.write_page(self._page())
+        page_file.sync()
+        offset, length = page_file._index[1]
+        with open(page_file.path, "r+b") as handle:
+            handle.truncate(offset + length - 4)
+        with pytest.raises(CorruptPageError) as excinfo:
+            page_file.read_page(1)
+        assert excinfo.value.page_id == 1
+        page_file.close(sync=False)
+
+    def test_enospc_on_page_write_surfaces(self, tmp_path):
+        page_file = PageFile(str(tmp_path / "pages.dat"))
+        FAULTS.configure("pagefile.before_write=enospc")
+        with pytest.raises(OSError) as excinfo:
+            page_file.write_page(self._page())
+        assert excinfo.value.errno == errno.ENOSPC
+        page_file.close(sync=False)
+
+    def test_index_rewrite_is_atomic(self, tmp_path):
+        """A crash between temp-write and rename leaves the old index
+        intact — reopening serves the pages it names."""
+        page_file = PageFile(str(tmp_path / "pages.dat"))
+        page_file.write_page(self._page(1))
+        page_file.sync()
+        page_file.write_page(self._page(2))
+        FAULTS.configure("pagefile.before_index_replace=raise")
+        with pytest.raises(FaultError):
+            page_file.sync()
+        FAULTS.clear()
+        # Simulate the crash: abandon the handle, reopen from disk.
+        reopened = PageFile(str(tmp_path / "pages.dat"))
+        assert 1 in reopened
+        assert 2 not in reopened  # the interrupted rewrite published nothing
+        assert reopened.read_page(1).read_slot(0) == 100
+        reopened.close(sync=False)
+        page_file.close(sync=False)

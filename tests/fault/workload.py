@@ -1,0 +1,84 @@
+"""Crash-matrix torture workload (run as a subprocess).
+
+Usage: ``python workload.py <data_dir> <acks_file> [max_transfers]``
+
+Runs a bank-transfer workload against a durable database until either a
+crash failpoint (armed via ``REPRO_FAILPOINTS`` in the environment)
+kills the process with ``os._exit(137)`` or the transfer budget runs
+out (clean ``exit 0``). Each transfer moves money between two accounts
+and inserts a ledger row in the same transaction; after ``commit()``
+returns True the transfer is **acked** by appending its sequence number
+to the acks file and fsyncing it. The parent process recovers the log
+and audits:
+
+* conservation — account balances still sum to the initial total,
+* acked ⊆ durable — every acked transfer's ledger row survived,
+* agreement — scans and point reads see the same state.
+
+Periodic merges and checkpoints run inline so crash points inside the
+merge install and the checkpoint protocol actually get hit.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.core.config import EngineConfig  # noqa: E402
+from repro.core.db import Database  # noqa: E402
+from repro.errors import LStoreError  # noqa: E402
+from repro.txn.transaction import Transaction  # noqa: E402
+
+ACCOUNTS = 16
+INITIAL_BALANCE = 100
+
+
+def main() -> int:
+    data_dir = sys.argv[1]
+    acks_path = sys.argv[2]
+    max_transfers = int(sys.argv[3]) if len(sys.argv) > 3 else 60
+
+    config = EngineConfig(
+        records_per_page=8, records_per_tail_page=8, update_range_size=16,
+        insert_range_size=16, merge_threshold=8, background_merge=False,
+        wal_enabled=True, data_dir=data_dir,
+        wal_segment_bytes=2048)  # tiny: forces rotation under the workload
+    db = Database(config)
+    bank = db.create_table("bank", 3)
+    ledger = db.create_table("ledger", 3)
+    for account in range(ACCOUNTS):
+        bank.insert([account, INITIAL_BALANCE, 0])
+    db._wal.flush()
+
+    acks = open(acks_path, "a")
+    for seq in range(max_transfers):
+        src = seq % ACCOUNTS
+        dst = (seq * 7 + 3) % ACCOUNTS
+        if src == dst:
+            continue
+        amount = 1 + seq % 5
+        txn = Transaction(db.txn_manager)
+        try:
+            balances = {
+                key: txn.select(bank, key, (1,))[1] for key in (src, dst)}
+            txn.update(bank, src, {1: balances[src] - amount})
+            txn.update(bank, dst, {1: balances[dst] + amount})
+            txn.insert(ledger, [seq, src, dst])
+            committed = txn.commit()
+        except LStoreError:
+            continue  # conflict/abort: retry loop moves on
+        if committed:
+            acks.write("%d\n" % seq)
+            acks.flush()
+            os.fsync(acks.fileno())
+        if seq and seq % 10 == 0:
+            db.run_merges()
+        if seq and seq % 25 == 0:
+            db.checkpoint()
+    acks.close()
+    db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

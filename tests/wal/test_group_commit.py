@@ -186,4 +186,10 @@ class TestPiggybackStat:
         # durability demonstrably rode another committer's drain.
         assert log.stat_flushes < 200
         assert log.stat_piggybacked_syncs >= 1
+        # A healthy run trips none of the failure counters: no retried
+        # syncs, nothing salvaged, nothing truncated, no poisoning.
+        assert log.stat_sync_retries == 0
+        assert log.stat_salvaged_bytes == 0
+        assert log.stat_segments_truncated == 0
+        assert not log.poisoned
         log.close()

@@ -100,3 +100,63 @@ class TestTornTail:
         log2.append(TxnCommitRecord(txn_id=2, commit_time=6))
         log2.close()
         assert len(list(LogManager.read_records(log_path))) == 2
+
+
+class TestSegmentRotation:
+    def test_rotation_spreads_frames_over_segments(self, log_path):
+        log = LogManager(log_path, segment_bytes=256)
+        for i in range(1, 51):
+            log.append(TxnCommitRecord(txn_id=i, commit_time=i))
+        assert log.path != log_path  # the active segment rotated away
+        segments = LogManager.segment_paths(log_path)
+        assert len(segments) > 2
+        assert segments[0] == log_path
+        # The chain reads back in one ordered stream.
+        records = list(LogManager.read_records(log_path))
+        assert [r.txn_id for r in records] == list(range(1, 51))
+        assert [r.lsn for r in records] == sorted(r.lsn for r in records)
+        log.close()
+
+    def test_reopen_resumes_at_chain_tail(self, log_path):
+        log = LogManager(log_path, segment_bytes=256)
+        for i in range(1, 31):
+            log.append(TxnCommitRecord(txn_id=i, commit_time=i))
+        log.close()
+        log2 = LogManager(log_path, segment_bytes=256)
+        lsn = log2.append(TxnCommitRecord(txn_id=31, commit_time=31))
+        log2.flush()
+        log2.close()
+        records = list(LogManager.read_records(log_path))
+        assert records[-1].txn_id == 31
+        assert records[-1].lsn == lsn == 31
+
+    def test_truncate_segments_below(self, log_path):
+        log = LogManager(log_path, segment_bytes=256)
+        for i in range(1, 51):
+            log.append(TxnCommitRecord(txn_id=i, commit_time=i))
+        log.flush()
+        before = len(LogManager.segment_paths(log_path))
+        removed = log.truncate_segments_below(log.synced_lsn)
+        assert removed > 0
+        assert log.stat_segments_truncated == removed
+        after = LogManager.segment_paths(log_path)
+        assert len(after) < before
+        # The base path survives as an empty stub; the active segment
+        # is never unlinked; surviving records are a suffix.
+        assert log.path in after
+        records = list(LogManager.read_records(log_path))
+        assert [r.txn_id for r in records] == \
+            list(range(records[0].txn_id, 51))
+        log.close()
+
+    def test_counters_quiescent_on_healthy_log(self, log_path):
+        log = LogManager(log_path)
+        for i in range(1, 6):
+            log.append(TxnCommitRecord(txn_id=i, commit_time=i))
+        log.flush()
+        assert log.stat_sync_retries == 0
+        assert log.stat_salvaged_bytes == 0
+        assert log.stat_segments_truncated == 0
+        assert log.stat_last_checkpoint_lsn == 0
+        assert not log.poisoned
+        log.close()

@@ -1,10 +1,14 @@
 """Crash recovery: redo replay, both indirection options (Section 5.1.3)."""
 
 import os
+import pickle
+import struct
 
 import pytest
 
 from repro import Database, EngineConfig
+from repro.txn.transaction import Transaction
+from repro.wal.log import _SEGMENT_MAGIC, _V2_HEADER, LogManager
 from repro.wal.recovery import recover_database
 
 
@@ -221,3 +225,228 @@ class TestMergeInteraction:
         query = recovered.query("t")
         assert query.select(0, 0, None)[0][1] == 42
         assert query.scan_sum(1) == 15 + 42
+
+
+def _to_v1(v2_path: str, v1_path: str) -> None:
+    """Rewrite a v2 log chain as a legacy v1 file (length + pickle)."""
+    records = list(LogManager.read_records(v2_path))
+    with open(v1_path, "wb") as handle:
+        for record in records:
+            payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(struct.pack("<I", len(payload)) + payload)
+
+
+class TestWalV1Compat:
+    def test_v1_log_recovers(self, wal_db, tmp_path):
+        """Logs written before the v2 framing still replay cleanly."""
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=3)
+        for key in range(12):
+            table.insert([key, key * 10, 7])
+        table.update(table.index.primary.get(3), {1: 999})
+        db._wal.flush()
+        v1_path = str(tmp_path / "legacy.log")
+        _to_v1(log_path, v1_path)
+        recovered = _recover(v1_path)
+        query = recovered.query("t")
+        assert query.count() == 12
+        assert query.select(3, 0, None)[0][1] == 999
+        assert recovered.recovery_report.clean
+
+    def test_v1_log_reopen_rotates_to_v2_sibling(self, wal_db, tmp_path):
+        """Appending to a legacy log starts a v2 sibling segment; the
+        chain reads old and new records in order."""
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=2)
+        for key in range(6):
+            table.insert([key, 1])
+        db._wal.flush()
+        v1_path = str(tmp_path / "legacy.log")
+        _to_v1(log_path, v1_path)
+        log = LogManager(v1_path)
+        assert log.path == v1_path + ".000001"
+        db2 = _recover(v1_path)
+        # Drive appends through the reopened manager directly.
+        from repro.wal.records import TxnCommitRecord
+        log.append(TxnCommitRecord(txn_id=77, commit_time=5))
+        log.flush()
+        log.close()
+        records = list(LogManager.read_records(v1_path))
+        assert records[-1].txn_id == 77
+        lsns = [r.lsn for r in records]
+        assert lsns == sorted(lsns)
+        db2.close()
+
+
+class TestSalvageReport:
+    def test_torn_tail_salvaged(self, wal_db):
+        """A crash mid-append leaves a torn final frame: recovery keeps
+        the valid prefix and reports the salvaged byte count."""
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=2)
+        for key in range(10):
+            table.insert([key, key])
+        db._wal.flush()
+        active = db._wal.path
+        size = os.path.getsize(active)
+        with open(active, "r+b") as handle:
+            handle.truncate(size - 5)
+        recovered = _recover(log_path)
+        report = recovered.recovery_report
+        assert report.salvaged_bytes > 0
+        assert not report.quarantined
+        assert not report.clean
+        # All but the torn-off final frame survived.
+        assert recovered.query("t").count() >= 9
+
+    def test_flipped_byte_mid_log_quarantined(self, wal_db):
+        """A corrupt non-tail frame is skipped and reported, not a
+        crash loop and not a silent truncation of everything after it."""
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=2)
+        for key in range(10):
+            table.insert([key, key])
+        db._wal.flush()
+        active = db._wal.path
+        with open(active, "rb") as handle:
+            data = handle.read()
+        # Walk the frames; flip a payload byte in a mid-log frame.
+        pos = len(_SEGMENT_MAGIC)
+        frames = []
+        while pos < len(data):
+            length, _, _ = _V2_HEADER.unpack_from(data, pos)
+            end = pos + _V2_HEADER.size + length
+            frames.append((pos, end))
+            pos = end
+        assert len(frames) > 4
+        start, end = frames[len(frames) // 2]
+        victim = start + _V2_HEADER.size + 2
+        corrupted = bytearray(data)
+        corrupted[victim] ^= 0xFF
+        with open(active, "wb") as handle:
+            handle.write(bytes(corrupted))
+        recovered = _recover(log_path)
+        report = recovered.recovery_report
+        assert len(report.quarantined) == 1
+        frame = report.quarantined[0]
+        assert "checksum" in frame.reason
+        assert frame.offset == start
+        # Records before AND after the bad frame were recovered.
+        assert recovered.query("t").count() == 9
+        assert report.records_total == report.records_replayed
+
+
+class TestCheckpointRecovery:
+    def test_recovery_replays_only_suffix(self, wal_db):
+        """With rotation disabled the whole history stays in the active
+        segment, so the skip counters expose the checkpoint bound."""
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=3)
+        for key in range(20):
+            table.insert([key, key * 10, 0])
+        db.checkpoint()
+        for key in range(20):
+            table.update(table.index.primary.get(key), {1: key * 100})
+        db.checkpoint()
+        for key in range(5):
+            table.update(table.index.primary.get(key), {2: 7})
+        db._wal.flush()
+        recovered = _recover(log_path)
+        report = recovered.recovery_report
+        assert report.checkpoint_directory is not None
+        assert report.checkpoint_lsn > 0
+        assert report.records_replayed < report.records_total
+        assert report.records_skipped > 0
+        query = recovered.query("t")
+        assert query.count() == 20
+        assert query.select(3, 0, None)[0].columns == (3, 300, 7)
+        assert query.select(9, 0, None)[0].columns == (9, 900, 0)
+
+    def test_checkpoint_and_full_replay_equivalent(self, wal_db):
+        """The checkpoint image + suffix must rebuild exactly what a
+        full replay rebuilds: values, horizons, and dirty sets."""
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=3)
+        for key in range(20):
+            table.insert([key, key * 10, 0])
+        for key in range(0, 20, 2):
+            table.update(table.index.primary.get(key), {1: 5000 + key})
+        db.checkpoint()
+        for key in range(0, 20, 3):
+            table.update(table.index.primary.get(key), {2: 11})
+        db.query("t").delete(19)
+        db._wal.flush()
+
+        fast = _recover(log_path)
+        full = _recover(log_path, use_checkpoint=False)
+        assert fast.recovery_report.checkpoint_directory is not None
+        assert full.recovery_report.checkpoint_directory is None
+
+        fast_q, full_q = fast.query("t"), full.query("t")
+        assert fast_q.count() == full_q.count()
+        for key in range(19):
+            assert (fast_q.select(key, 0, None)[0].columns
+                    == full_q.select(key, 0, None)[0].columns)
+        assert not fast_q.select(19, 0, None)
+        assert not full_q.select(19, 0, None)
+
+        fast_t, full_t = fast.get_table("t"), full.get_table("t")
+        fast_ranges = fast_t.sorted_ranges()
+        full_ranges = full_t.sorted_ranges()
+        assert len(fast_ranges) == len(full_ranges)
+        for fast_r, full_r in zip(fast_ranges, full_ranges):
+            assert fast_r.unmerged_min_time == full_r.unmerged_min_time
+            assert fast_r.dirty_offsets() == full_r.dirty_offsets()
+
+    def test_straddling_txn_resolved_from_suffix(self, wal_db):
+        """A transaction whose writes precede the checkpoint but whose
+        commit lands after it is stamped by recovery; one that never
+        commits stays invisible."""
+        db, log_path = wal_db
+        table = db.create_table("t", num_columns=2)
+        for key in range(8):
+            table.insert([key, 10])
+        committed = Transaction(db.txn_manager)
+        committed.update(table, 1, {1: 77})
+        orphan = Transaction(db.txn_manager)
+        orphan.update(table, 2, {1: 88})
+        db._wal.flush()
+        db.checkpoint()  # markers for both txns are inside the image
+        assert committed.commit()  # commit record lands in the suffix
+        db._wal.flush()
+        recovered = _recover(log_path)
+        assert recovered.recovery_report.checkpoint_directory is not None
+        query = recovered.query("t")
+        assert query.select(1, 0, None)[0][1] == 77  # straddler: stamped
+        assert query.select(2, 0, None)[0][1] == 10  # orphan: invisible
+
+    def test_checkpoint_truncates_dead_segments(self, tmp_path):
+        """With tiny segments, checkpointing unlinks the covered chain
+        and recovery stays green across two checkpoint generations."""
+        config = EngineConfig(
+            records_per_page=8, records_per_tail_page=8,
+            update_range_size=16, merge_threshold=8, insert_range_size=16,
+            wal_enabled=True, data_dir=str(tmp_path),
+            wal_segment_bytes=1024)
+        db = Database(config)
+        log_path = os.path.join(str(tmp_path), "wal.log")
+        table = db.create_table("t", num_columns=2)
+        for key in range(30):
+            table.insert([key, key])
+        result_one = db.checkpoint()
+        for key in range(30):
+            table.update(table.index.primary.get(key), {1: key + 1000})
+        result_two = db.checkpoint()
+        assert result_one.segments_truncated + result_two.segments_truncated > 0
+        assert db._wal.stat_segments_truncated > 0
+        assert db._wal.stat_last_checkpoint_lsn == result_two.record_lsn
+        assert db._wal.stat_last_checkpoint_seconds > 0
+        db._wal.flush()
+        recovered = _recover(log_path)
+        query = recovered.query("t")
+        assert query.count() == 30
+        assert query.select(7, 0, None)[0][1] == 1007
+        recovered.run_merges()
+        query.update(7, None, 4242)
+        assert query.select(7, 0, None)[0][1] == 4242
+        db.close()
