@@ -79,6 +79,10 @@ def recover_and_audit(log_path: str, label: str):
     print("  salvaged bytes / quarantined frames: %d / %d"
           % (report.salvaged_bytes, len(report.quarantined)))
     print("  recovered balance total            : %d" % total)
+    # The same report surfaces through the engine-wide metrics snapshot
+    # (the "recovery" domain), where a scraper would pick it up.
+    print("  metrics()['recovery']              : %s"
+          % recovered.metrics()["recovery"])
     assert total == ACCOUNTS * BALANCE, "conservation violated"
     return recovered
 

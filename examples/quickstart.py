@@ -63,6 +63,20 @@ def main() -> None:
           grades.select(3, 0, None)[0][1],
           grades.select(4, 0, None)[0][1])
 
+    # --- observability: everything above left a metrics trail ------------
+    snapshot = db.metrics()
+    print("engine metrics domains:", ", ".join(sorted(snapshot)))
+    print("txn commits:", snapshot["txn"]["commits"],
+          "| writes:", snapshot["write"]["inserts"], "inserts /",
+          snapshot["write"]["updates"], "updates",
+          "| ranges merged:", snapshot["merge"]["ranges_merged"])
+    exposition = db.render_metrics()  # Prometheus text format
+    print("prometheus exposition:", len(exposition.splitlines()),
+          "lines, e.g.")
+    for line in exposition.splitlines():
+        if line.startswith("lstore_txn_commits_total"):
+            print(" ", line)
+
     db.close()
 
 

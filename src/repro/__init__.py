@@ -31,6 +31,8 @@ from .errors import (DuplicateKeyError, KeyNotFoundError, LStoreError,
                      RecordDeletedError, TransactionAborted,
                      ValidationFailure, WriteWriteConflict)
 from .exec.executor import ScanExecutor, execute_scan
+from .obs import (MetricsRegistry, disable_tracing, enable_tracing,
+                  render_text, span)
 from .txn.manager import TransactionManager
 from .txn.transaction import Transaction
 from .txn.worker import TransactionWorker
@@ -48,6 +50,7 @@ __all__ = [
     "Layout",
     "LStoreError",
     "MergeEngine",
+    "MetricsRegistry",
     "NULL",
     "PAPER_CONFIG",
     "Page",
@@ -67,6 +70,10 @@ __all__ = [
     "TransactionWorker",
     "ValidationFailure",
     "WriteWriteConflict",
+    "disable_tracing",
+    "enable_tracing",
     "merge_insert_range",
     "merge_update_range",
+    "render_text",
+    "span",
 ]

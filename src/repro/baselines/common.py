@@ -24,6 +24,12 @@ from ..core.table import DELETED
 from ..core.types import IsolationLevel
 from ..errors import TransactionAborted
 
+#: When set to a list (``repro.bench --metrics`` does), every
+#: :class:`LStoreEngine` appends its final engine-metrics snapshot here
+#: on close, tagged with the engine name — the harness creates and
+#: closes engines internally, so this is the capture point.
+METRICS_CAPTURE: list[dict[str, Any]] | None = None
+
 
 class EngineTransaction(abc.ABC):
     """One transaction against an engine (statement interface)."""
@@ -138,7 +144,14 @@ class LStoreEngine(Engine):
         self.db.merge_engine.stop(drain=False)
 
     def close(self) -> None:
+        if METRICS_CAPTURE is not None:
+            METRICS_CAPTURE.append(
+                {"engine": self.name, "metrics": self.metrics()})
         self.db.close()
+
+    def metrics(self) -> dict[str, Any]:
+        """The engine-wide metrics snapshot (:meth:`Database.metrics`)."""
+        return self.db.metrics()
 
     def describe(self) -> dict[str, Any]:
         return {

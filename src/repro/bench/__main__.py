@@ -69,6 +69,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--diff-threshold", type=float, default=0.25,
                         help="relative change flagged by --diff "
                              "(default 0.25 = ±25%%)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="dump the L-Store engine-metrics snapshot "
+                             "(Database.metrics()) captured at each "
+                             "engine close, per experiment")
     return parser
 
 
@@ -111,6 +115,8 @@ def main(argv: list[str] | None = None) -> int:
         "repeats": repeats,
         "experiments": {},
     }
+    if args.metrics:
+        from ..baselines import common as _baselines_common
     for name in names:
         fn = ALL_EXPERIMENTS[name]
         kwargs: dict = {"scale": args.scale}
@@ -119,6 +125,8 @@ def main(argv: list[str] | None = None) -> int:
             if name in ("fig7", "fig9", "fig10") \
                     and args.contention is not None:
                 kwargs["contention"] = args.contention
+        if args.metrics:
+            _baselines_common.METRICS_CAPTURE = []
         samples: list[float] = []
         result = None
         for _ in range(repeats):
@@ -128,6 +136,15 @@ def main(argv: list[str] | None = None) -> int:
         assert result is not None
         result.print()
         print()
+        if args.metrics:
+            captured = _baselines_common.METRICS_CAPTURE
+            _baselines_common.METRICS_CAPTURE = None
+            for snapshot in captured:
+                print("engine metrics [%s / %s]:" % (name,
+                                                     snapshot["engine"]))
+                print(json.dumps(snapshot["metrics"], indent=2,
+                                 sort_keys=True, default=str))
+            print()
         trajectory["experiments"][name] = {
             "median_seconds": round(statistics.median(samples), 4),
             "samples_seconds": [round(sample, 4) for sample in samples],

@@ -183,6 +183,21 @@ class EngineConfig:
     #: auto-GC (entries then grow until a manual ``gc(before)`` call).
     txn_gc_threshold: int = 4096
 
+    #: Maintain the engine-wide metrics registry (:mod:`repro.obs`).
+    #: False hands every component shared no-op instruments — the
+    #: "pre-obs floor" the overhead benchmark measures against.
+    obs_metrics: bool = True
+
+    #: Seconds between JSONL metrics samples written by the background
+    #: sampler thread (:class:`~repro.obs.sampler.MetricsSampler`).
+    #: None = no sampler.
+    obs_sample_interval: float | None = None
+
+    #: Path of the sampler's JSONL time series. None = derive it:
+    #: ``<data_dir>/metrics.jsonl`` when ``data_dir`` is set, else
+    #: ``metrics.jsonl`` in the working directory.
+    obs_sample_path: str | None = None
+
     def __post_init__(self) -> None:
         if self.records_per_page <= 0:
             raise ValueError("records_per_page must be positive")
@@ -219,6 +234,10 @@ class EngineConfig:
             raise ValueError("wal_retry_backoff must be >= 0")
         if self.checkpoints_kept < 1:
             raise ValueError("checkpoints_kept must be >= 1")
+        if self.obs_sample_interval is not None \
+                and self.obs_sample_interval <= 0:
+            raise ValueError(
+                "obs_sample_interval must be positive or None")
 
     @property
     def pages_per_range(self) -> int:

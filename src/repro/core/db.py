@@ -30,11 +30,19 @@ class Database:
 
     def __init__(self, config: EngineConfig | None = None) -> None:
         self.config = config if config is not None else EngineConfig()
+        from ..obs.registry import MetricsRegistry
+        #: The engine-wide metrics registry (:mod:`repro.obs`): every
+        #: component of this database shares it, so one snapshot (or
+        #: one render_text scrape) covers all layers.
+        self.metrics_registry = MetricsRegistry(
+            enabled=self.config.obs_metrics)
         self.clock = SynchronizedClock()
         self.epoch_manager = EpochManager()
-        self.txn_manager = TransactionManager(self.clock)
+        self.txn_manager = TransactionManager(
+            self.clock, metrics=self.metrics_registry)
         self.merge_engine = MergeEngine(
-            poll_interval=self.config.merge_poll_interval)
+            poll_interval=self.config.merge_poll_interval,
+            metrics=self.metrics_registry)
         from ..exec.executor import ScanExecutor
         #: Shared analytical scan executor: all tables' scan partitions
         #: run on one bounded worker pool (config.scan_parallelism).
@@ -46,6 +54,26 @@ class Database:
         #: database it returns: what recovery replayed and salvaged.
         self.recovery_report = None
         self._checkpoint_seq = 0
+        self._sampler = None
+        registry = self.metrics_registry
+        registry.gauge(
+            "gc.low_water_lag",
+            lambda: max(0, self.clock.now()
+                        - self.epoch_manager.low_water_mark(
+                            self.clock.now())),
+            help="Clock ticks between now and the epoch low-water mark")
+        registry.gauge("gc.active_queries",
+                       lambda: self.epoch_manager.active_queries,
+                       help="Query epochs currently registered")
+        registry.gauge("gc.pages_pending",
+                       lambda: self.epoch_manager.pending_pages,
+                       help="Retired pages awaiting epoch reclamation")
+        registry.gauge("gc.pages_reclaimed",
+                       lambda: self.epoch_manager.reclaimed_pages,
+                       help="Retired pages reclaimed so far")
+        registry.gauge("gc.txn_entries",
+                       lambda: len(self.txn_manager._entries),
+                       help="Live transaction-manager hashtable entries")
         if self.config.failpoints:
             from ..fault import FAULTS
             FAULTS.configure(self.config.failpoints)
@@ -63,7 +91,8 @@ class Database:
                 os.path.join(self.config.data_dir, "wal.log"),
                 segment_bytes=self.config.wal_segment_bytes,
                 sync_retries=self.config.wal_sync_retries,
-                retry_backoff=self.config.wal_retry_backoff)
+                retry_backoff=self.config.wal_retry_backoff,
+                metrics=self.metrics_registry)
             wal = self._wal
 
             def commit_sink(txn_id: int, commit_time: int) -> None:
@@ -75,6 +104,15 @@ class Database:
             self.txn_manager.commit_sink = commit_sink
             self.txn_manager.abort_sink = (
                 lambda txn_id: wal.append(TxnAbortRecord(txn_id=txn_id)))
+        if self.config.obs_sample_interval is not None:
+            from ..obs.sampler import MetricsSampler
+            path = self.config.obs_sample_path
+            if path is None:
+                path = os.path.join(self.config.data_dir, "metrics.jsonl") \
+                    if self.config.data_dir else "metrics.jsonl"
+            self._sampler = MetricsSampler(
+                self.metrics, path, self.config.obs_sample_interval)
+            self._sampler.start()
 
     # -- tables ------------------------------------------------------------
 
@@ -89,7 +127,8 @@ class Database:
                              column_names=column_names or ())
         table = Table(schema, config if config is not None else self.config,
                       clock=self.clock, epoch_manager=self.epoch_manager,
-                      txn_source=self.txn_manager)
+                      txn_source=self.txn_manager,
+                      metrics=self.metrics_registry)
         table.scan_executor = self.scan_executor
         self.txn_manager.register_stamp_source(table.stamp_tail_markers)
         self.merge_engine.attach(table)
@@ -152,8 +191,42 @@ class Database:
         """
         if self._wal is None:
             raise LStoreError("checkpoint requires wal_enabled + data_dir")
+        from ..obs.trace import span
         from ..wal.checkpoint import write_checkpoint
-        return write_checkpoint(self)
+        with span("wal.checkpoint"):
+            return write_checkpoint(self)
+
+    # -- observability -----------------------------------------------------
+
+    def metrics(self) -> dict[str, Any]:
+        """Nested ``{domain: {metric: value}}`` snapshot of the engine.
+
+        Label sets aggregate (per-table series sum); the ``recovery``
+        domain reports the last :class:`~repro.wal.recovery.
+        RecoveryReport` when this database came out of recovery.
+        """
+        snapshot: dict[str, Any] = self.metrics_registry.snapshot()
+        report = self.recovery_report
+        recovery: dict[str, Any] = {}
+        if report is not None:
+            recovery = {
+                "records_total": report.records_total,
+                "records_replayed": report.records_replayed,
+                "records_skipped": report.records_skipped,
+                "checkpoint_directory": report.checkpoint_directory,
+                "checkpoint_lsn": report.checkpoint_lsn,
+                "salvaged_bytes": report.salvaged_bytes,
+                "quarantined_frames": len(report.quarantined),
+                "segments": len(report.segments),
+                "clean": report.clean,
+            }
+        snapshot["recovery"] = recovery
+        return snapshot
+
+    def render_metrics(self) -> str:
+        """Prometheus exposition text of every registered instrument."""
+        from ..obs.render import render_text
+        return render_text(self.metrics_registry)
 
     def vacuum_indexes(self) -> int:
         """Vacuum deferred secondary-index entries on every table."""
@@ -167,6 +240,8 @@ class Database:
             return
         self.merge_engine.stop(drain=True)
         self.scan_executor.close()
+        if self._sampler is not None:
+            self._sampler.stop()
         if self._wal is not None:
             # close() flushes; a poisoned (fail-stopped) log closes
             # without raising — nothing more can be made durable.

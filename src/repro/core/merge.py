@@ -23,10 +23,13 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Sequence
 
 from ..errors import LineageError
 from ..fault import hit as fault_hit
+from ..obs.registry import CounterStat, MetricsRegistry
+from ..obs.trace import span
 from .compression import maybe_compress_page
 from .encoding import SchemaEncoding
 from .page import Page, RowPage
@@ -68,7 +71,8 @@ class MergeEngine:
     that "was able to cope with tens of concurrent writer threads".
     """
 
-    def __init__(self, *, poll_interval: float = 0.001) -> None:
+    def __init__(self, *, poll_interval: float = 0.001,
+                 metrics: MetricsRegistry | None = None) -> None:
         self._queue: deque[MergeTask] = deque()
         self._queued: set[tuple[int, int, str]] = set()
         self._lock = threading.Lock()
@@ -77,10 +81,33 @@ class MergeEngine:
         self._stop = False
         self._processing = threading.Lock()
         self._poll_interval = poll_interval
-        self.stat_merges = 0
-        self.stat_insert_merges = 0
-        self.stat_records_consolidated = 0
-        self.stat_retries = 0
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._stat_merges = metrics.counter(
+            "merge.ranges_merged", help="Regular (Algorithm 1) merges")
+        self._stat_insert_merges = metrics.counter(
+            "merge.insert_ranges_merged",
+            help="Insert sub-ranges materialised into base pages")
+        self._stat_records_consolidated = metrics.counter(
+            "merge.records_consolidated",
+            help="Tail records consolidated into merged pages")
+        self._stat_retries = metrics.counter(
+            "merge.retries", help="Merge tasks re-enqueued (not ready)")
+        self._merge_seconds = metrics.histogram(
+            "merge.duration_seconds", unit="seconds",
+            help="Wall time of one performed merge task")
+        metrics.gauge("merge.backlog", lambda: self.queue_length,
+                      help="Merge tasks currently queued")
+
+    # -- statistics (registry-backed aliases) ------------------------------
+
+    stat_merges = CounterStat("_stat_merges", "Regular merges performed.")
+    stat_insert_merges = CounterStat(
+        "_stat_insert_merges", "Insert merges performed.")
+    stat_records_consolidated = CounterStat(
+        "_stat_records_consolidated", "Tail records consolidated.")
+    stat_retries = CounterStat("_stat_retries", "Tasks re-enqueued.")
 
     # -- queueing -----------------------------------------------------------
 
@@ -130,7 +157,7 @@ class MergeEngine:
             result = self._process(task)
             if result.retry:
                 self.notifier(task.table, task.range_id, task.kind)
-                self.stat_retries += 1
+                self._stat_retries.add()
             elif result.performed:
                 completed += 1
         return completed
@@ -174,29 +201,37 @@ class MergeEngine:
     # -- processing ------------------------------------------------------------
 
     def _process(self, task: MergeTask) -> MergeResult:
-        with self._processing:
+        with self._processing, \
+                span("merge.range", table=task.table.schema.name,
+                     range_id=task.range_id, kind=task.kind):
+            started = perf_counter() if self._merge_seconds.enabled else 0.0
             update_range = task.table.ranges.get(task.range_id)
             if update_range is None:
                 return MergeResult(performed=False)
             if task.kind == "insert":
                 result = merge_insert_range(task.table, update_range)
                 if result.performed:
-                    self.stat_insert_merges += 1
-                    self.stat_records_consolidated += \
-                        result.records_consolidated
-                return result
-            if not update_range.merged:
-                # "The base records must also fall outside the insert
-                # range before becoming a candidate" — materialise first.
-                insert_result = merge_insert_range(task.table, update_range)
-                if not insert_result.performed:
-                    return MergeResult(performed=False, retry=True)
-                self.stat_insert_merges += 1
-            result = merge_update_range(task.table, update_range)
-            if result.performed:
-                self.stat_merges += 1
-                self.stat_records_consolidated += result.records_consolidated
-            update_range.merge_pending = False
+                    self._stat_insert_merges.add()
+                    self._stat_records_consolidated.add(
+                        result.records_consolidated)
+            else:
+                if not update_range.merged:
+                    # "The base records must also fall outside the insert
+                    # range before becoming a candidate" — materialise
+                    # first.
+                    insert_result = merge_insert_range(task.table,
+                                                       update_range)
+                    if not insert_result.performed:
+                        return MergeResult(performed=False, retry=True)
+                    self._stat_insert_merges.add()
+                result = merge_update_range(task.table, update_range)
+                if result.performed:
+                    self._stat_merges.add()
+                    self._stat_records_consolidated.add(
+                        result.records_consolidated)
+                update_range.merge_pending = False
+            if result.performed and self._merge_seconds.enabled:
+                self._merge_seconds.observe(perf_counter() - started)
             return result
 
 

@@ -30,7 +30,8 @@ import numpy as np
 from ..errors import (DuplicateKeyError, InconsistentReadError,
                       KeyNotFoundError, RecordDeletedError,
                       SchemaMismatchError, StorageError, WriteWriteConflict)
-from ..txn.latch import IndirectionVector, StripedCounter
+from ..obs.registry import CounterStat, MetricsRegistry
+from ..txn.latch import IndirectionVector
 from ..txn.clock import SynchronizedClock
 from .config import EngineConfig
 from .encoding import SchemaEncoding
@@ -158,7 +159,8 @@ class TailSegment:
                  page_directory: PageDirectory,
                  kind: PageKind = PageKind.TAIL,
                  segment_ref: tuple[str, int] | None = None,
-                 wal: Any | None = None) -> None:
+                 wal: Any | None = None,
+                 latch_waits: Any | None = None) -> None:
         self.range_id = range_id
         #: WAL address of this segment: ("tail", range_id) for regular
         #: tails, ("insert", insert_range_index) for table-level tails.
@@ -173,6 +175,8 @@ class TailSegment:
         self._rid_allocator = rid_allocator
         self._page_counter = page_counter
         self._page_directory = page_directory
+        #: Contested block-latch acquisitions (obs counter or None).
+        self._latch_waits = latch_waits
         self._lock = threading.Lock()
         self._blocks: list[tuple[int, TailBlock]] = []
         self._pages: dict[int, list[Page]] = {}
@@ -203,7 +207,11 @@ class TailSegment:
                 rid = block.allocate()
                 if rid is not None:
                     return rid, base_offset + block.offset_of(rid)
-            with self._lock:
+            if not self._lock.acquire(False):
+                if self._latch_waits is not None:
+                    self._latch_waits.add()
+                self._lock.acquire()
+            try:
                 # Re-check under the lock: a racing thread may have
                 # extended the block list already.
                 if not self._blocks or self._blocks[-1][1].exhausted:
@@ -215,6 +223,8 @@ class TailSegment:
                             and self.segment_ref[0] == "tail":
                         self.wal.tail_block_reserved(
                             self.range_id, block.start_rid, block.size)
+            finally:
+                self._lock.release()
 
     def allocate_pair(self) -> tuple[int, int, int, int]:
         """Reserve two consecutive tail slots in one latch hold.
@@ -956,7 +966,8 @@ class Table:
                  clock: SynchronizedClock | None = None,
                  epoch_manager: EpochManager | None = None,
                  txn_source: TxnStateSource | None = None,
-                 snapshot_on_delete: bool = True) -> None:
+                 snapshot_on_delete: bool = True,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.schema = schema
         self.config = config
         self.clock = clock if clock is not None else SynchronizedClock()
@@ -979,14 +990,56 @@ class Table:
         self.merge_notifier: Callable[["Table", int, str], None] | None = None
         #: Optional write-ahead-log adapter (see repro.wal.log.TableWAL).
         self.wal: Any | None = None
-        # Statistics (observability; used by benchmarks and tests).
-        # Striped per thread: the former single `_stat_lock` was one
-        # global mutex every insert/update/delete took — a pure
-        # serialisation point once 8 writer threads run.
-        self._stat_inserts = StripedCounter()
-        self._stat_updates = StripedCounter()
-        self._stat_deletes = StripedCounter()
-        self._stat_aborted_tails = StripedCounter()
+        # Statistics: registry counters, striped per thread so the
+        # write path never contends on a stat mutex. The Database
+        # shares its registry; standalone tables get a private one.
+        if metrics is None:
+            metrics = MetricsRegistry(enabled=config.obs_metrics)
+        self.metrics = metrics
+        labels = {"table": schema.name}
+        self._stat_inserts = metrics.counter(
+            "write.inserts", labels=labels,
+            help="Base records appended through the insert path")
+        self._stat_updates = metrics.counter(
+            "write.updates", labels=labels,
+            help="Update tail records appended")
+        self._stat_deletes = metrics.counter(
+            "write.deletes", labels=labels,
+            help="Delete tail records appended")
+        self._stat_aborted_tails = metrics.counter(
+            "write.aborted_tails", labels=labels,
+            help="Tail records tombstoned by aborts")
+        self._stat_flat_appends = metrics.counter(
+            "write.flat_appends", labels=labels,
+            help="Appends served by the fused flat-cell write path")
+        self._stat_latch_waits = metrics.counter(
+            "write.latch_waits", labels=labels,
+            help="Contested tail block-latch acquisitions")
+        self._stat_ww_conflicts = metrics.counter(
+            "txn.ww_conflicts", labels=labels,
+            help="Write-write conflicts detected on the latch/walk path")
+        self._stat_deleted_conflicts = metrics.counter(
+            "txn.deleted_conflicts", labels=labels,
+            help="Writes rejected because the record was deleted")
+        self._stat_scan_vectorized = metrics.counter(
+            "scan.partitions_vectorized", labels=labels,
+            help="Scan partitions served on the vectorised slice plane")
+        self._stat_scan_version = metrics.counter(
+            "scan.partitions_version", labels=labels,
+            help="Scan partitions served on the version-horizon plane")
+        self._stat_scan_row = metrics.counter(
+            "scan.partitions_row", labels=labels,
+            help="Scan partitions served on the per-record row plane")
+        self._stat_plane_degradations = metrics.counter(
+            "scan.plane_degradations", labels=labels,
+            help="Partitions degraded from the vectorised plane by the "
+                 "dirty-fraction threshold")
+        self._stat_slice_hits = metrics.counter(
+            "scan.slice_cache_hits", labels=labels,
+            help="Column-slice cache hits")
+        self._stat_slice_misses = metrics.counter(
+            "scan.slice_cache_misses", labels=labels,
+            help="Column-slice cache misses (slice stitched fresh)")
         self._layout = config.layout
         self._records_per_page = config.records_per_page
         self._range_size = config.update_range_size
@@ -1000,44 +1053,27 @@ class Table:
         self._scan_executor: Any | None = None
 
     # ------------------------------------------------------------------
-    # Statistics (striped counters folded on read)
+    # Statistics (registry-backed aliases; fold of the striped cells)
     # ------------------------------------------------------------------
 
-    @property
-    def stat_inserts(self) -> int:
-        """Committed-or-pending inserts (fold of the striped cells)."""
-        return self._stat_inserts.value
-
-    @stat_inserts.setter
-    def stat_inserts(self, value: int) -> None:
-        self._stat_inserts.set(value)
-
-    @property
-    def stat_updates(self) -> int:
-        """Update tail records appended."""
-        return self._stat_updates.value
-
-    @stat_updates.setter
-    def stat_updates(self, value: int) -> None:
-        self._stat_updates.set(value)
-
-    @property
-    def stat_deletes(self) -> int:
-        """Delete tail records appended."""
-        return self._stat_deletes.value
-
-    @stat_deletes.setter
-    def stat_deletes(self, value: int) -> None:
-        self._stat_deletes.set(value)
-
-    @property
-    def stat_aborted_tails(self) -> int:
-        """Tail records tombstoned by aborts."""
-        return self._stat_aborted_tails.value
-
-    @stat_aborted_tails.setter
-    def stat_aborted_tails(self, value: int) -> None:
-        self._stat_aborted_tails.set(value)
+    stat_inserts = CounterStat(
+        "_stat_inserts", "Committed-or-pending inserts.")
+    stat_updates = CounterStat(
+        "_stat_updates", "Update tail records appended.")
+    stat_deletes = CounterStat(
+        "_stat_deletes", "Delete tail records appended.")
+    stat_aborted_tails = CounterStat(
+        "_stat_aborted_tails", "Tail records tombstoned by aborts.")
+    stat_flat_appends = CounterStat(
+        "_stat_flat_appends", "Flat-cell fused appends.")
+    stat_latch_waits = CounterStat(
+        "_stat_latch_waits", "Contested tail block-latch acquisitions.")
+    stat_ww_conflicts = CounterStat(
+        "_stat_ww_conflicts", "Write-write conflicts detected.")
+    stat_slice_cache_hits = CounterStat(
+        "_stat_slice_hits", "Column-slice cache hits.")
+    stat_slice_cache_misses = CounterStat(
+        "_stat_slice_misses", "Column-slice cache misses.")
 
     # ------------------------------------------------------------------
     # Range plumbing
@@ -1065,6 +1101,7 @@ class Table:
             kind=PageKind.TAIL,
             segment_ref=segment_ref,
             wal=self.wal,
+            latch_waits=self._stat_latch_waits,
         )
 
     def _create_insert_range(self) -> InsertRange:
@@ -1522,6 +1559,7 @@ class Table:
 
         if bits_delta:
             update_range.updated_bits[offset] = ever_bits | bits_delta
+        self._stat_flat_appends.add()
         if is_delete:
             self._stat_deletes.add()
         else:
@@ -1629,6 +1667,7 @@ class Table:
         """
         update_range, offset = self.locate(rid)
         if not update_range.indirection.try_latch(offset):
+            self._stat_ww_conflicts.add()
             raise WriteWriteConflict(
                 "txn %r: record %d latch held by a competing writer"
                 % (txn_id, rid))
@@ -1710,6 +1749,7 @@ class Table:
                     resolved = self.resolve_cell(start_cell)
                     if resolved.state in (TransactionState.ACTIVE,
                                           TransactionState.PRE_COMMIT):
+                        self._stat_ww_conflicts.add()
                         raise WriteWriteConflict(
                             "record %d has uncommitted writer %r"
                             % (rid, resolved.txn_id))
@@ -1724,6 +1764,7 @@ class Table:
                         carried_known = True
                     if committed or own:
                         if not encoding & mask:
+                            self._stat_deleted_conflicts.add()
                             raise RecordDeletedError(
                                 "record %d is deleted" % rid)
                         return carried
@@ -1798,6 +1839,7 @@ class Table:
             raise SchemaMismatchError("primary key updates are not supported")
         from ..errors import WriteWriteConflict
         if not self.try_latch(rid):
+            self._stat_ww_conflicts.add()
             raise WriteWriteConflict("record %d is write-latched" % rid)
         try:
             indexed = [column for column in updates
@@ -1821,6 +1863,7 @@ class Table:
         """Latch, append a delete record, install (Section 3.1)."""
         from ..errors import WriteWriteConflict
         if not self.try_latch(rid):
+            self._stat_ww_conflicts.add()
             raise WriteWriteConflict("record %d is write-latched" % rid)
         try:
             latest = self.read_latest(rid, data_columns=())
@@ -2813,7 +2856,9 @@ class Table:
         """
         cached = update_range.slice_cache.get(data_column)
         if cached is not None and cached[0] is chain:
+            self._stat_slice_hits.add()
             return cached
+        self._stat_slice_misses.add()
         size = update_range.size
         records_per_page = self._records_per_page
         values = np.zeros(size, dtype=np.int64)
@@ -3404,6 +3449,7 @@ class Table:
                     resolved = self.resolve_cell(start_cell)
                     if resolved.state in (TransactionState.ACTIVE,
                                           TransactionState.PRE_COMMIT):
+                        self._stat_ww_conflicts.add()
                         raise WriteWriteConflict(
                             "record %d has uncommitted writer %r"
                             % (rid, resolved.txn_id))

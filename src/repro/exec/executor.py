@@ -51,6 +51,7 @@ from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
+from ..obs.trace import span
 from .operators import Aggregate, ColumnSum, Filter, matches_all
 from .plan import ScanPartition, plan_scan
 
@@ -220,6 +221,7 @@ def _run_partition(table: "Table", partition: ScanPartition,
                 sliced = table.read_version_slices(update_range, columns,
                                                    as_of)
                 if sliced is not None:
+                    table._stat_scan_version.add()
                     return _fold_vectorized(table, update_range, sliced,
                                             aggregate, filters, columns,
                                             txn_id, state, as_of=as_of)
@@ -232,6 +234,7 @@ def _run_partition(table: "Table", partition: ScanPartition,
                     fast = table.read_range_column_total(update_range,
                                                          aggregate.column)
                     if fast is not None:
+                        table._stat_scan_vectorized.add()
                         total, dirty = fast
                         state = aggregate.combine(state, total)
                         if dirty:
@@ -241,6 +244,7 @@ def _run_partition(table: "Table", partition: ScanPartition,
                         return state
                 sliced = table.read_column_slices(update_range, columns)
                 if sliced is not None:
+                    table._stat_scan_vectorized.add()
                     return _fold_vectorized(table, update_range, sliced,
                                             aggregate, filters, columns,
                                             txn_id, state)
@@ -248,6 +252,7 @@ def _run_partition(table: "Table", partition: ScanPartition,
             rows: Any = _keyed_rows(table, partition.rids, columns,
                                     as_of, txn_id)
         else:
+            table._stat_scan_row.add()
             if not filters:
                 # Row-plane fold without dict framing: unfiltered
                 # single-column aggregates over a full range (unmerged
@@ -424,10 +429,12 @@ def execute_scan(table: "Table", aggregate: Aggregate, *,
     tasks = [partial(_run_partition, table, partition, aggregate,
                      tuple(filters), columns, as_of, txn_id, vector_ok)
              for partition in partitions]
-    state = aggregate.create()
-    for partial_state in executor.map(tasks):
-        state = aggregate.combine(state, partial_state)
-    return aggregate.finalize(state)
+    with span("scan.execute", table=table.schema.name,
+              partitions=len(partitions)):
+        state = aggregate.create()
+        for partial_state in executor.map(tasks):
+            state = aggregate.combine(state, partial_state)
+        return aggregate.finalize(state)
 
 
 def _fetch_columns(aggregate: Aggregate,

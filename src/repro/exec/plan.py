@@ -128,10 +128,14 @@ def plan_scan(table: "Table", rids: Sequence[int] | None = None,
             and table.layout is Layout.COLUMNAR
         partitions = []
         for update_range in table.sorted_ranges():
-            vectorized = vector_ok and update_range.merged \
-                and (_dirty_fraction_ok(table, update_range)
-                     or (as_of is not None
-                         and _frozen_at(update_range, as_of)))
+            if vector_ok and update_range.merged:
+                vectorized = _dirty_fraction_ok(table, update_range) \
+                    or (as_of is not None
+                        and _frozen_at(update_range, as_of))
+                if not vectorized:
+                    table._stat_plane_degradations.add()
+            else:
+                vectorized = False
             partitions.append(ScanPartition(update_range.range_id,
                                             vectorized=vectorized))
         return partitions

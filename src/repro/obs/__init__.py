@@ -1,0 +1,124 @@
+"""Observability
+=============
+
+Engine-wide metrics, tracing, and profiling for the L-Store
+reproduction. One :class:`MetricsRegistry` per
+:class:`~repro.core.db.Database` holds every counter, gauge, and
+histogram; components built standalone create a private registry so
+instrumented code never branches on "is observability wired". With
+``EngineConfig.obs_metrics=False`` the registry hands out shared no-op
+instruments and the whole subsystem costs one attribute load per site
+— that configuration is the "pre-obs floor" the overhead benchmark
+(``benchmarks/test_obs_overhead.py``) guards against.
+
+Surfaces
+--------
+
+* ``Database.metrics()`` — nested ``{domain: {metric: value}}``
+  snapshot (labels aggregated), plus a ``"recovery"`` domain from the
+  last :class:`~repro.wal.recovery.RecoveryReport`.
+* :func:`render_text` — Prometheus exposition text (labels kept as
+  series; counters suffixed ``_total``; histograms as
+  ``_bucket``/``_sum``/``_count``).
+* :class:`MetricsSampler` — JSONL time series on a daemon thread,
+  started automatically when ``EngineConfig.obs_sample_interval`` is
+  set (path: ``obs_sample_path`` or ``<data_dir>/metrics.jsonl``).
+* :func:`span` / ``TRACE`` — structured spans around coarse engine
+  operations (merge, scan, group-commit drain, checkpoint, recovery),
+  zero-cost unless enabled via :func:`enable_tracing` or
+  ``REPRO_OBS_TRACE=1``.
+
+Metric names and label conventions
+----------------------------------
+
+Names are dotted ``domain.metric``; the domain becomes the top-level
+snapshot key. The only label in use is ``table=<name>`` on per-table
+instruments (write path, scan planes); the snapshot sums across label
+sets, the renderer keeps them separate. Current inventory:
+
+========= =====================================================================
+domain    metrics
+========= =====================================================================
+txn       ``begins``, ``commits``, ``aborts``, ``retries``,
+          ``validation_failures``, ``ww_conflicts`` [table],
+          ``deleted_conflicts`` [table], ``active`` (gauge),
+          ``commit_seconds`` (histogram)
+write     ``inserts``, ``updates``, ``deletes``, ``flat_appends``,
+          ``aborted_tails``, ``latch_waits`` — all [table]
+merge     ``ranges_merged``, ``insert_ranges_merged``,
+          ``records_consolidated``, ``retries``, ``backlog`` (gauge),
+          ``duration_seconds`` (histogram)
+scan      ``partitions_vectorized``, ``partitions_version``,
+          ``partitions_row``, ``plane_degradations``,
+          ``slice_cache_hits``, ``slice_cache_misses`` — all [table]
+wal       ``appends``, ``flushes``, ``piggybacked_syncs``,
+          ``sync_retries``, ``salvaged_bytes``, ``segments_truncated``,
+          ``last_checkpoint_lsn``/``last_checkpoint_seconds`` (gauges),
+          ``fsync_seconds``/``checkpoint_seconds`` (histograms),
+          ``group_commit_batch`` (size histogram)
+gc        ``entries_swept``, ``low_water_lag``, ``txn_entries``,
+          ``pages_pending``, ``pages_reclaimed``, ``active_queries``
+          (gauges except ``entries_swept``)
+recovery  replay report of the last recovery (``records_total``,
+          ``records_replayed``, ``records_skipped``, ``checkpoint_lsn``,
+          ``salvaged_bytes``, ``quarantined_frames``, ``clean``) —
+          snapshot-only, sourced from ``Database.recovery_report``
+========= =====================================================================
+
+Downstream consumers (ROADMAP)
+------------------------------
+
+The next ROADMAP items decide on these signals rather than introduce
+their own: contention-adaptive CC watches ``txn.validation_failures``
+and ``txn.ww_conflicts`` rates to pick a CC mode; shard-per-process
+serving exports ``render_text`` per shard and balances on
+``merge.backlog`` and ``txn.commit_seconds`` quantiles; bufferpool
+spill uses ``gc.pages_pending`` and the scan-plane mix
+(``scan.partitions_*``) to choose eviction victims. Add new metrics
+under an existing domain when instrumenting those PRs; new domains
+need a row in the table above.
+"""
+
+from .registry import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    CounterStat,
+    Gauge,
+    GaugeStat,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+from .render import render_text
+from .sampler import MetricsSampler
+from .trace import (
+    TRACE,
+    disable_tracing,
+    enable_tracing,
+    span,
+    trace_event,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "Counter",
+    "CounterStat",
+    "Gauge",
+    "GaugeStat",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "TRACE",
+    "disable_tracing",
+    "enable_tracing",
+    "render_text",
+    "span",
+    "trace_event",
+]

@@ -1,0 +1,477 @@
+"""Metrics registry: striped counters, gauges, log-scale histograms.
+
+The registry is the engine's one place for runtime statistics. Three
+instrument kinds exist, all safe for concurrent writers and all cheap
+enough for OLTP hot paths:
+
+* :class:`Counter` — a monotonically increasing count, striped per
+  thread (the generalisation of ``repro.txn.latch.StripedCounter``):
+  ``add`` touches only the calling thread's private cell, so hot-path
+  increments never contend. The fold on read is *eventually exact* —
+  a read racing in-flight increments may miss the newest few, but the
+  total is exact once writers quiesce.
+* :class:`Gauge` — a point-in-time value, either stored (``set``) or
+  computed by a callback at snapshot time (queue depths, lag).
+* :class:`Histogram` — a distribution over **fixed log-scale buckets**
+  (doubling bounds, precomputed). ``observe`` bisects the bound list
+  and bumps the calling thread's private bucket cell — no lock, no
+  allocation — so latency histograms can sit on the commit path.
+
+Instruments are keyed by a dotted ``domain.metric`` name plus an
+optional label mapping (one label convention exists: ``table=<name>``
+for per-table instruments). :meth:`MetricsRegistry.snapshot` folds
+everything into a nested ``{domain: {metric: value}}`` dict,
+aggregating across label sets; the Prometheus renderer
+(:func:`repro.obs.render.render_text`) keeps labels as series.
+
+A registry built with ``enabled=False`` hands out shared no-op
+instruments (``NULL_COUNTER`` …): every ``add``/``observe``/``set``
+returns immediately and ``snapshot`` is empty. This is the "pre-obs
+floor" the overhead benchmark measures against, and the same
+zero-cost-when-disabled discipline as :mod:`repro.fault.registry`.
+
+This module imports only the standard library on purpose: every engine
+layer (table, txn, merge, wal, exec) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Iterator, Mapping
+
+#: Log-scale latency bounds in seconds: 1 µs doubling up to ~33 s.
+LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    1e-6 * 2 ** exponent for exponent in range(26))
+
+#: Log-scale size/count bounds: 1 doubling up to 2**20.
+SIZE_BUCKETS: tuple[float, ...] = tuple(
+    float(2 ** exponent) for exponent in range(21))
+
+
+def _label_key(labels: Mapping[str, str] | None,
+               ) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(key), str(value))
+                        for key, value in labels.items()))
+
+
+class Counter:
+    """A thread-striped monotone counter (see the module docstring)."""
+
+    kind = "counter"
+    enabled = True
+
+    __slots__ = ("name", "labels", "help", "_cells", "_base", "_lock")
+
+    def __init__(self, name: str, *,
+                 labels: Mapping[str, str] | None = None,
+                 help: str = "") -> None:
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.help = help
+        #: thread id -> single-element list (the thread's private cell).
+        self._cells: dict[int, list[int]] = {}
+        self._base = 0
+        self._lock = threading.Lock()
+
+    def add(self, delta: int = 1) -> None:
+        """Add *delta* from the calling thread (lock-free steady state)."""
+        cell = self._cells.get(threading.get_ident())
+        if cell is None:
+            with self._lock:
+                cell = self._cells.setdefault(threading.get_ident(), [0])
+        cell[0] += delta
+
+    @property
+    def value(self) -> int:
+        """Fold of all cells (exact once writers quiesce)."""
+        return self._base + sum(cell[0] for cell in
+                                list(self._cells.values()))
+
+    def set(self, value: int) -> None:
+        """Reset to an absolute *value* (recovery, tests, aliases)."""
+        with self._lock:
+            self._cells = {}
+            self._base = value
+
+    def snapshot_value(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value: stored, or computed by a callback."""
+
+    kind = "gauge"
+    enabled = True
+
+    __slots__ = ("name", "labels", "help", "fn", "_value")
+
+    def __init__(self, name: str, fn: Callable[[], Any] | None = None, *,
+                 labels: Mapping[str, str] | None = None,
+                 help: str = "") -> None:
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.help = help
+        self.fn = fn
+        self._value: Any = 0
+
+    def set(self, value: Any) -> None:
+        """Store *value* (ignored for callback gauges)."""
+        self._value = value
+
+    @property
+    def value(self) -> Any:
+        """Current value (callback gauges evaluate their callback)."""
+        if self.fn is not None:
+            return self.fn()
+        return self._value
+
+    def snapshot_value(self) -> Any:
+        return self.value
+
+
+class Histogram:
+    """A distribution over fixed log-scale buckets, striped per thread.
+
+    Each thread owns one private cell list: ``len(bounds) + 1`` bucket
+    counts (the last is the +Inf bucket) followed by a running sum and
+    a running max. ``observe`` is a bisect plus three list writes —
+    no lock, no allocation. Folds (count, sum, max, cumulative
+    buckets, percentile estimates) read all cells; like the counter
+    fold they are exact once writers quiesce.
+    """
+
+    kind = "histogram"
+    enabled = True
+
+    __slots__ = ("name", "labels", "help", "unit", "bounds",
+                 "_num_buckets", "_sum_index", "_max_index",
+                 "_cells", "_lock")
+
+    def __init__(self, name: str, *,
+                 bounds: tuple[float, ...] = LATENCY_BUCKETS,
+                 labels: Mapping[str, str] | None = None,
+                 help: str = "", unit: str = "") -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be ascending and "
+                             "non-empty")
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.help = help
+        self.unit = unit
+        self.bounds = tuple(float(bound) for bound in bounds)
+        self._num_buckets = len(self.bounds) + 1
+        self._sum_index = self._num_buckets
+        self._max_index = self._num_buckets + 1
+        #: thread id -> [bucket counts..., sum, max].
+        self._cells: dict[int, list[float]] = {}
+        self._lock = threading.Lock()
+
+    def _cell(self) -> list[float]:
+        cell = self._cells.get(threading.get_ident())
+        if cell is None:
+            with self._lock:
+                cell = self._cells.setdefault(
+                    threading.get_ident(),
+                    [0] * self._num_buckets + [0.0, 0.0])
+        return cell
+
+    def observe(self, value: float) -> None:
+        """Record one observation (lock-free steady state)."""
+        cell = self._cell()
+        cell[bisect_left(self.bounds, value)] += 1
+        cell[self._sum_index] += value
+        if value > cell[self._max_index]:
+            cell[self._max_index] = value
+
+    def _fold(self) -> tuple[list[int], float, float]:
+        """``(per-bucket counts, sum, max)`` across all cells."""
+        buckets = [0] * self._num_buckets
+        total = 0.0
+        maximum = 0.0
+        for cell in list(self._cells.values()):
+            for index in range(self._num_buckets):
+                buckets[index] += cell[index]
+            total += cell[self._sum_index]
+            maximum = max(maximum, cell[self._max_index])
+        return buckets, total, maximum
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return sum(self._fold()[0])
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._fold()[1]
+
+    def percentile(self, quantile: float) -> float:
+        """Bucket-resolution estimate of the *quantile* (0..1)."""
+        buckets, _, maximum = self._fold()
+        return _bucket_percentile(buckets, self.bounds, maximum, quantile)
+
+    def snapshot_value(self) -> dict[str, Any]:
+        """JSON-friendly fold: count/sum/max/percentiles/buckets."""
+        buckets, total, maximum = self._fold()
+        return _histogram_snapshot(buckets, self.bounds, total, maximum)
+
+
+def _bucket_percentile(buckets: list[int], bounds: tuple[float, ...],
+                       maximum: float, quantile: float) -> float:
+    count = sum(buckets)
+    if count == 0:
+        return 0.0
+    rank = quantile * count
+    cumulative = 0
+    for index, bucket_count in enumerate(buckets):
+        cumulative += bucket_count
+        if cumulative >= rank:
+            return bounds[index] if index < len(bounds) else maximum
+    return maximum
+
+
+def _histogram_snapshot(buckets: list[int], bounds: tuple[float, ...],
+                        total: float, maximum: float) -> dict[str, Any]:
+    count = sum(buckets)
+    cumulative: list[list[Any]] = []
+    running = 0
+    for index, bucket_count in enumerate(buckets):
+        running += bucket_count
+        upper = bounds[index] if index < len(bounds) else "inf"
+        cumulative.append([upper, running])
+    return {
+        "count": count,
+        "sum": total,
+        "max": maximum,
+        "p50": _bucket_percentile(buckets, bounds, maximum, 0.50),
+        "p99": _bucket_percentile(buckets, bounds, maximum, 0.99),
+        "buckets": cumulative,
+    }
+
+
+# ---------------------------------------------------------------------------
+# No-op instruments (the disabled registry's hand-outs)
+# ---------------------------------------------------------------------------
+
+class NullCounter:
+    """No-op counter: the disabled registry's hand-out."""
+
+    kind = "counter"
+    enabled = False
+    name = ""
+    labels: dict[str, str] = {}
+    value = 0
+
+    __slots__ = ()
+
+    def add(self, delta: int = 1) -> None:
+        pass
+
+    def set(self, value: int) -> None:
+        pass
+
+    def snapshot_value(self) -> int:
+        return 0
+
+
+class NullGauge:
+    """No-op gauge."""
+
+    kind = "gauge"
+    enabled = False
+    name = ""
+    labels: dict[str, str] = {}
+    value = 0
+    fn = None
+
+    __slots__ = ()
+
+    def set(self, value: Any) -> None:
+        pass
+
+    def snapshot_value(self) -> int:
+        return 0
+
+
+class NullHistogram:
+    """No-op histogram."""
+
+    kind = "histogram"
+    enabled = False
+    name = ""
+    labels: dict[str, str] = {}
+    bounds: tuple[float, ...] = ()
+    count = 0
+    sum = 0.0
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, quantile: float) -> float:
+        return 0.0
+
+    def snapshot_value(self) -> dict[str, Any]:
+        return {"count": 0, "sum": 0.0, "max": 0.0, "p50": 0.0,
+                "p99": 0.0, "buckets": []}
+
+
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument of one engine.
+
+    Each :class:`~repro.core.db.Database` owns one registry and passes
+    it to its components; components constructed standalone (tests
+    building a bare ``Table`` or ``LogManager``) lazily create a
+    private one, so instrumentation code never branches on "is there a
+    registry".
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]],
+                            Any] = {}
+
+    def _get_or_create(self, name: str,
+                       labels: Mapping[str, str] | None,
+                       kind: str, factory: Callable[[], Any]) -> Any:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory()
+                self._metrics[key] = metric
+            elif metric.kind != kind:
+                raise ValueError(
+                    "metric %r already registered as a %s"
+                    % (name, metric.kind))
+            return metric
+
+    def counter(self, name: str, *,
+                labels: Mapping[str, str] | None = None,
+                help: str = "") -> Any:
+        """Get-or-create the counter *name* (with *labels*)."""
+        if not self.enabled:
+            return NULL_COUNTER
+        return self._get_or_create(
+            name, labels, "counter",
+            lambda: Counter(name, labels=labels, help=help))
+
+    def gauge(self, name: str, fn: Callable[[], Any] | None = None, *,
+              labels: Mapping[str, str] | None = None,
+              help: str = "") -> Any:
+        """Get-or-create the gauge *name* (*fn* ignored if it exists)."""
+        if not self.enabled:
+            return NULL_GAUGE
+        return self._get_or_create(
+            name, labels, "gauge",
+            lambda: Gauge(name, fn, labels=labels, help=help))
+
+    def histogram(self, name: str, *,
+                  bounds: tuple[float, ...] = LATENCY_BUCKETS,
+                  labels: Mapping[str, str] | None = None,
+                  help: str = "", unit: str = "") -> Any:
+        """Get-or-create the histogram *name*."""
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self._get_or_create(
+            name, labels, "histogram",
+            lambda: Histogram(name, bounds=bounds, labels=labels,
+                              help=help, unit=unit))
+
+    def iter_metrics(self) -> Iterator[Any]:
+        """Every registered instrument, sorted by (name, labels)."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for _, metric in items:
+            yield metric
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Nested ``{domain: {metric: value}}`` fold.
+
+        Label sets aggregate: counters and gauges of the same name sum
+        across labels, histograms merge bucket-wise (all label sets of
+        one histogram name share the same bounds by construction —
+        they come from the same instrumentation site).
+        """
+        grouped: dict[str, list[Any]] = {}
+        for metric in self.iter_metrics():
+            grouped.setdefault(metric.name, []).append(metric)
+        domains: dict[str, dict[str, Any]] = {}
+        for name, metrics in grouped.items():
+            domain, _, short = name.partition(".")
+            if not short:
+                domain, short = "engine", name
+            first = metrics[0]
+            if first.kind == "histogram":
+                buckets = [0] * (len(first.bounds) + 1)
+                total = 0.0
+                maximum = 0.0
+                for metric in metrics:
+                    folded, metric_sum, metric_max = metric._fold()
+                    for index, bucket_count in enumerate(folded):
+                        buckets[index] += bucket_count
+                    total += metric_sum
+                    maximum = max(maximum, metric_max)
+                value: Any = _histogram_snapshot(buckets, first.bounds,
+                                                 total, maximum)
+            else:
+                value = sum(metric.snapshot_value() for metric in metrics)
+            domains.setdefault(domain, {})[short] = value
+        return domains
+
+
+# ---------------------------------------------------------------------------
+# Alias descriptors (the old ad-hoc ``stat_*`` attribute surface)
+# ---------------------------------------------------------------------------
+
+class CounterStat:
+    """Class-level alias: ``obj.stat_x`` ⇄ registry counter.
+
+    ``stat_x = CounterStat("_stat_x")`` replaces the old
+    property+setter boilerplate: reads fold the backing counter,
+    writes reset it (``obj.stat_x += 1`` therefore still works — a
+    fold followed by an absolute reset, fine off the hot path; hot
+    paths call ``obj._stat_x.add()`` directly).
+    """
+
+    def __init__(self, attr: str, doc: str = "") -> None:
+        self._attr = attr
+        self.__doc__ = doc
+
+    def __get__(self, obj: Any, owner: type | None = None) -> Any:
+        if obj is None:
+            return self
+        return getattr(obj, self._attr).value
+
+    def __set__(self, obj: Any, value: int) -> None:
+        getattr(obj, self._attr).set(value)
+
+
+class GaugeStat:
+    """Class-level alias: ``obj.stat_x`` ⇄ registry gauge."""
+
+    def __init__(self, attr: str, doc: str = "") -> None:
+        self._attr = attr
+        self.__doc__ = doc
+
+    def __get__(self, obj: Any, owner: type | None = None) -> Any:
+        if obj is None:
+            return self
+        return getattr(obj, self._attr).value
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        getattr(obj, self._attr).set(value)

@@ -1,0 +1,87 @@
+"""Prometheus exposition-format renderer for a metrics registry.
+
+:func:`render_text` turns every registered instrument into the
+text-based exposition format: dotted names become underscored with an
+``lstore_`` prefix, counters gain ``_total``, histograms emit
+cumulative ``_bucket{le="..."}`` series ending in ``+Inf`` plus
+``_sum``/``_count``. Unlike :meth:`MetricsRegistry.snapshot`, label
+sets are **not** aggregated here — each becomes its own series, which
+is what a scraper wants.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    flat = _NAME_SANITIZE.sub("_", name.replace(".", "_"))
+    return "%s_%s" % (prefix, flat) if prefix else flat
+
+
+def _escape_label(value: Any) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _labels_text(labels: dict[str, str],
+                 extra: tuple[str, str] | None = None) -> str:
+    pairs = [(key, labels[key]) for key in sorted(labels)]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join('%s="%s"' % (key, _escape_label(value))
+                             for key, value in pairs)
+
+
+def _format_number(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    try:
+        return repr(float(value))
+    except (TypeError, ValueError):
+        return "0"
+
+
+def render_text(source: Any, *, prefix: str = "lstore") -> str:
+    """Render *source* (a registry, or anything with a
+    ``metrics_registry`` attribute such as a Database) as Prometheus
+    exposition text."""
+    registry = getattr(source, "metrics_registry", source)
+    families: dict[str, list[Any]] = {}
+    for metric in registry.iter_metrics():
+        families.setdefault(metric.name, []).append(metric)
+
+    lines: list[str] = []
+    for name in sorted(families):
+        metrics = families[name]
+        first = metrics[0]
+        base = _metric_name(name, prefix)
+        exposed = base + "_total" if first.kind == "counter" else base
+        help_text = first.help or ("%s %s" % (first.kind, name))
+        lines.append("# HELP %s %s" % (exposed, help_text.replace("\n", " ")))
+        lines.append("# TYPE %s %s" % (exposed, first.kind))
+        for metric in metrics:
+            if metric.kind == "histogram":
+                folded = metric.snapshot_value()
+                for upper, cumulative in folded["buckets"]:
+                    le = "+Inf" if upper == "inf" else repr(float(upper))
+                    lines.append("%s_bucket%s %d" % (
+                        base, _labels_text(metric.labels, ("le", le)),
+                        cumulative))
+                labels = _labels_text(metric.labels)
+                lines.append("%s_sum%s %s" % (
+                    base, labels, _format_number(folded["sum"])))
+                lines.append("%s_count%s %d" % (
+                    base, labels, folded["count"]))
+            else:
+                lines.append("%s%s %s" % (
+                    exposed, _labels_text(metric.labels),
+                    _format_number(metric.snapshot_value())))
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,69 @@
+"""Periodic metrics sampler: a JSONL time series on a daemon thread.
+
+One :class:`MetricsSampler` wakes every ``interval`` seconds, calls
+its snapshot function (normally :meth:`Database.metrics`), and appends
+one JSON line per tick::
+
+    {"ts": 1754650000.123, "metrics": {"txn": {...}, "wal": {...}}}
+
+``stop()`` takes a final sample so short-lived runs still leave a
+record. A snapshot failure is written as an ``{"ts", "error"}`` line
+rather than killing the thread. The Database starts one automatically
+when ``EngineConfig.obs_sample_interval`` is set.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Callable
+
+
+class MetricsSampler:
+    def __init__(self, snapshot_fn: Callable[[], Any], path: str,
+                 interval: float) -> None:
+        if interval <= 0:
+            raise ValueError("sampler interval must be positive")
+        self.path = path
+        self.interval = interval
+        self._snapshot_fn = snapshot_fn
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-sampler", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the thread and append one final sample."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+        self._sample()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._sample()
+
+    def _sample(self) -> None:
+        try:
+            line = json.dumps({"ts": time.time(),
+                               "metrics": self._snapshot_fn()},
+                              default=str)
+        except Exception as exc:  # keep the time series alive
+            line = json.dumps({"ts": time.time(), "error": str(exc)})
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")

@@ -1,0 +1,148 @@
+"""Structured spans: zero-cost when disabled, a bounded ring when on.
+
+The discipline mirrors :mod:`repro.fault.registry`: a module-level
+collector whose ``enabled`` flag is checked first, so the instrumented
+code pays one attribute load and one truth test per span site when
+tracing is off (and :func:`span` then returns a shared, stateless
+no-op context manager — no allocation either).
+
+Spans are coarse engine operations, not per-record events: a commit
+group flush, one merge, one scan, a checkpoint, a recovery replay.
+Finished spans land in a bounded ring (oldest dropped) as plain dicts::
+
+    {"name": "merge.range", "wall": <time.time at start>,
+     "duration": <seconds>, "thread": <ident>, "attrs": {...}}
+
+Enable programmatically (:func:`enable_tracing`) or for a whole
+process with ``REPRO_OBS_TRACE=1`` in the environment, which the CI
+observability leg uses to assert tracing cannot change results.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+class TraceCollector:
+    """The process-wide span sink (see module docstring)."""
+
+    __slots__ = ("enabled", "_spans")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.enabled = False
+        self._spans: deque[dict[str, Any]] = deque(maxlen=capacity)
+
+    def enable(self, capacity: int | None = None) -> None:
+        if capacity is not None:
+            self._spans = deque(self._spans, maxlen=capacity)
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def record(self, finished: dict[str, Any]) -> None:
+        # deque.append is atomic under the GIL; the ring needs no lock.
+        self._spans.append(finished)
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Return and clear every buffered finished span."""
+        drained = []
+        while True:
+            try:
+                drained.append(self._spans.popleft())
+            except IndexError:
+                return drained
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+TRACE = TraceCollector()
+
+
+class _NullSpan:
+    """Shared no-op span: stateless, hence safe to reuse and nest."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    __slots__ = ("name", "attrs", "_wall", "_start")
+
+    def __init__(self, name: str, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_LiveSpan":
+        self._wall = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> bool:
+        duration = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        TRACE.record({
+            "name": self.name,
+            "wall": self._wall,
+            "duration": duration,
+            "thread": threading.get_ident(),
+            "attrs": self.attrs,
+        })
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span."""
+        self.attrs.update(attrs)
+
+
+def span(name: str, **attrs: Any) -> Any:
+    """Context manager timing one coarse operation named *name*."""
+    if not TRACE.enabled:
+        return _NULL_SPAN
+    return _LiveSpan(name, attrs)
+
+
+def trace_event(name: str, **attrs: Any) -> None:
+    """Record an instantaneous (zero-duration) event."""
+    if not TRACE.enabled:
+        return
+    TRACE.record({
+        "name": name,
+        "wall": time.time(),
+        "duration": 0.0,
+        "thread": threading.get_ident(),
+        "attrs": attrs,
+    })
+
+
+def enable_tracing(capacity: int | None = None) -> None:
+    """Turn span collection on process-wide."""
+    TRACE.enable(capacity)
+
+
+def disable_tracing() -> None:
+    """Turn span collection off (buffered spans stay until drained)."""
+    TRACE.disable()
+
+
+if os.environ.get("REPRO_OBS_TRACE", "").strip().lower() in _TRUTHY:
+    TRACE.enable()

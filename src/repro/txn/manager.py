@@ -17,6 +17,7 @@ from typing import Any, Callable
 
 from ..core.types import TransactionState
 from ..errors import IllegalTransactionState
+from ..obs.registry import CounterStat, MetricsRegistry
 from .clock import SynchronizedClock
 
 
@@ -33,13 +34,31 @@ class TxnEntry:
 class TransactionManager:
     """Hashtable of transaction states keyed by transaction id."""
 
-    def __init__(self, clock: SynchronizedClock | None = None) -> None:
+    def __init__(self, clock: SynchronizedClock | None = None, *,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.clock = clock if clock is not None else SynchronizedClock()
         self._entries: dict[int, TxnEntry] = {}
         self._lock = threading.Lock()
-        self.stat_begun = 0
-        self.stat_committed = 0
-        self.stat_aborted = 0
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._stat_begun = metrics.counter(
+            "txn.begins", help="Transactions begun")
+        self._stat_committed = metrics.counter(
+            "txn.commits", help="Transactions committed")
+        self._stat_aborted = metrics.counter(
+            "txn.aborts", help="Transactions aborted")
+        self._stat_retries = metrics.counter(
+            "txn.retries", help="Transaction retries after OCC conflicts")
+        self._stat_validation_failures = metrics.counter(
+            "txn.validation_failures",
+            help="Commits aborted by OCC read-set validation")
+        #: Commit latency of Transaction.commit (both outcomes).
+        self.commit_latency = metrics.histogram(
+            "txn.commit_seconds", unit="seconds",
+            help="Transaction.commit wall time")
+        metrics.gauge("txn.active", lambda: self.active_count,
+                      help="Transactions in ACTIVE or PRE_COMMIT state")
         #: Optional WAL sinks: called as sink(txn_id, commit_time) /
         #: sink(txn_id) after the state transition (group commit point).
         self.commit_sink = None
@@ -55,7 +74,18 @@ class TransactionManager:
         self._gc_floor = 0
         #: Earliest next auto-GC attempt, in ``stat_begun`` ticks.
         self._next_auto_gc_begun = 0
-        self.stat_auto_gc_dropped = 0
+        self._stat_auto_gc_dropped = metrics.counter(
+            "gc.entries_swept",
+            help="Transaction-manager entries dropped by auto-GC")
+
+    # -- statistics (registry-backed aliases) ------------------------------
+
+    stat_begun = CounterStat("_stat_begun", "Transactions begun.")
+    stat_committed = CounterStat("_stat_committed",
+                                 "Transactions committed.")
+    stat_aborted = CounterStat("_stat_aborted", "Transactions aborted.")
+    stat_auto_gc_dropped = CounterStat(
+        "_stat_auto_gc_dropped", "Entries dropped by auto-GC.")
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -70,9 +100,9 @@ class TransactionManager:
                          begin_time=begin_time)
         with self._lock:
             self._entries[entry.txn_id] = entry
-            self.stat_begun += 1
+            self._stat_begun.add()
         if self._auto_gc_epoch is not None \
-                and self.stat_begun >= self._next_auto_gc_begun and (
+                and self._stat_begun.value >= self._next_auto_gc_begun and (
                 self._gc_candidate is not None
                 or len(self._entries) >= self._auto_gc_threshold):
             self._maybe_auto_gc()
@@ -118,7 +148,7 @@ class TransactionManager:
                     "txn %d is %s, cannot commit"
                     % (txn_id, entry.state.value))
             entry.state = TransactionState.COMMITTED
-            self.stat_committed += 1
+            self._stat_committed.add()
             assert entry.commit_time is not None
             commit_time = entry.commit_time
         if self.commit_sink is not None:
@@ -153,7 +183,7 @@ class TransactionManager:
             commit_time = self.clock.advance()
             entry.commit_time = commit_time
             entry.state = TransactionState.COMMITTED
-            self.stat_committed += 1
+            self._stat_committed.add()
         if self.commit_sink is not None:
             self.commit_sink(txn_id, commit_time)
         return commit_time
@@ -166,7 +196,7 @@ class TransactionManager:
                 raise IllegalTransactionState(
                     "txn %d already committed" % txn_id)
             entry.state = TransactionState.ABORTED
-            self.stat_aborted += 1
+            self._stat_aborted.add()
         if self.abort_sink is not None:
             self.abort_sink(txn_id)
 
@@ -324,8 +354,8 @@ class TransactionManager:
                 sweep_time, horizon = candidate
                 oldest = epoch.oldest_active_begin()
                 if oldest is None or oldest > sweep_time:
-                    self.stat_auto_gc_dropped += self.gc(
-                        horizon, include_aborted=True)
+                    self._stat_auto_gc_dropped.add(self.gc(
+                        horizon, include_aborted=True))
                     self._gc_candidate = None
             # Phase 1: sweep markers and stamp the next candidate.
             if self._gc_candidate is None \
@@ -346,7 +376,7 @@ class TransactionManager:
             # row-layout blocker that can never be stamped) a sweep per
             # begin() would pay the full segment+entry walk for zero
             # progress — amortise it over ~half a threshold of begins.
-            self._next_auto_gc_begun = self.stat_begun \
+            self._next_auto_gc_begun = self._stat_begun.value \
                 + max(self._auto_gc_threshold // 2, 1)
         finally:
             self._auto_gc_lock.release()

@@ -10,12 +10,13 @@ of :class:`~repro.errors.TransactionAborted`, which the
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Sequence
 
 from ..core.table import DELETED, Table
 from ..core.types import IsolationLevel, TransactionState, is_null
 from ..errors import (IllegalTransactionState, KeyNotFoundError,
-                      TransactionAborted)
+                      TransactionAborted, ValidationFailure)
 from .manager import TransactionManager
 from .occ import (TxnContext, occ_insert, occ_post_commit, occ_read,
                   occ_rollback, occ_validate, occ_write)
@@ -297,6 +298,8 @@ class Transaction:
         records — readers resolve markers lazily via the manager.
         """
         self._check_active()
+        timer = self.manager.commit_latency
+        started = perf_counter() if timer.enabled else 0.0
         if not self.ctx.needs_validation:
             # Nothing to validate: fuse PRE_COMMIT → COMMITTED into one
             # manager-lock hold (half the lock traffic per OLTP commit,
@@ -306,6 +309,8 @@ class Transaction:
                 commit_time = self.manager.commit_fast(self.txn_id)
             except TransactionAborted:
                 self._do_abort()
+                if timer.enabled:
+                    timer.observe(perf_counter() - started)
                 return False
             except BaseException:
                 self._do_abort()
@@ -313,12 +318,18 @@ class Transaction:
             self.commit_time = commit_time
             self._finished = True
             occ_post_commit(self.ctx)
+            if timer.enabled:
+                timer.observe(perf_counter() - started)
             return True
         try:
             commit_time = self.manager.enter_precommit(self.txn_id)
             occ_validate(self.ctx, commit_time)
-        except TransactionAborted:
+        except TransactionAborted as exc:
+            if isinstance(exc, ValidationFailure):
+                self.manager._stat_validation_failures.add()
             self._do_abort()
+            if timer.enabled:
+                timer.observe(perf_counter() - started)
             return False
         except BaseException:
             # Never leave the transaction stranded in PRE_COMMIT: an
@@ -330,6 +341,8 @@ class Transaction:
         self.commit_time = commit_time
         self._finished = True
         occ_post_commit(self.ctx)
+        if timer.enabled:
+            timer.observe(perf_counter() - started)
         return True
 
     def abort(self) -> None:

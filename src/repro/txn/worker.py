@@ -54,6 +54,8 @@ class TransactionWorker:
         self._bodies: list[TransactionBody] = []
         self._thread: threading.Thread | None = None
         self.stats = WorkerStats()
+        #: Engine-wide retry counter mirrored from the per-run stats.
+        self._retry_counter = manager._stat_retries
         #: Set by the harness to stop a time-boxed run early.
         self.stop_event = threading.Event()
 
@@ -79,6 +81,7 @@ class TransactionWorker:
             except TransactionAborted:
                 self.stats.aborted += 1
                 self.stats.retries += 1
+                self._retry_counter.add()
                 attempts += 1
                 continue
             if txn.commit():
@@ -86,6 +89,7 @@ class TransactionWorker:
                 return True
             self.stats.aborted += 1
             self.stats.retries += 1
+            self._retry_counter.add()
             attempts += 1
         self.stats.gave_up += 1
         return False

@@ -251,6 +251,9 @@ def write_checkpoint(db: Database) -> CheckpointResult:
     duration = time.monotonic() - started
     wal.stat_last_checkpoint_lsn = record_lsn
     wal.stat_last_checkpoint_seconds = duration
+    wal.metrics.histogram(
+        "wal.checkpoint_seconds", unit="seconds",
+        help="Wall time per completed checkpoint").observe(duration)
     fault_hit("checkpoint.after_complete")
     return CheckpointResult(
         directory=target, start_lsn=start_lsn, record_lsn=record_lsn,

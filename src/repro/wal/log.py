@@ -69,6 +69,9 @@ from typing import Any, Iterator
 from ..errors import WALError
 from ..fault import hit as fault_hit
 from ..fault import wrap_file
+from ..obs.registry import (SIZE_BUCKETS, CounterStat, GaugeStat,
+                            MetricsRegistry)
+from ..obs.trace import span
 from .records import (CreateTableRecord, IndirectionRecord,
                       InsertRangeRecord, InsertTombstoneRecord, LogRecord,
                       RecordWriteRecord, TailBlockRecord, TombstoneRecord,
@@ -235,7 +238,8 @@ class LogManager:
                  sync_on_commit: bool = True,
                  segment_bytes: int | None = None,
                  sync_retries: int = 4,
-                 retry_backoff: float = 0.002) -> None:
+                 retry_backoff: float = 0.002,
+                 metrics: Any | None = None) -> None:
         self._base_path = path
         self._lock = threading.Lock()
         #: Buffered frames as ``(lsn, frame bytes)`` — the drain clears
@@ -252,23 +256,62 @@ class LogManager:
         self._sync_cond = threading.Condition()
         self._sync_leader_active = False
         self._synced_lsn = 0
-        self.stat_appends = 0
-        self.stat_flushes = 0
-        #: Commit records whose durability was covered by another
-        #: leader's fsync (observability: group-commit effectiveness).
-        self.stat_piggybacked_syncs = 0
-        #: Write/fsync attempts that failed and were retried (or gave
-        #: up and poisoned the log).
-        self.stat_sync_retries = 0
-        #: Torn/corrupt tail bytes physically truncated at reopen.
-        self.stat_salvaged_bytes = 0
-        #: Dead segments removed by checkpoint truncation.
-        self.stat_segments_truncated = 0
-        #: Checkpoint gauges (set by repro.wal.checkpoint).
-        self.stat_last_checkpoint_lsn = 0
-        self.stat_last_checkpoint_seconds = 0.0
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._stat_appends = metrics.counter(
+            "wal.appends", help="Frames appended to the log buffer")
+        self._stat_flushes = metrics.counter(
+            "wal.flushes", help="Buffer drains written to disk")
+        self._stat_piggybacked = metrics.counter(
+            "wal.piggybacked_syncs",
+            help="Commits made durable by another leader's fsync")
+        self._stat_sync_retries = metrics.counter(
+            "wal.sync_retries",
+            help="Write/fsync attempts that failed and were retried")
+        self._stat_salvaged_bytes = metrics.counter(
+            "wal.salvaged_bytes",
+            help="Torn/corrupt tail bytes truncated at reopen")
+        self._stat_segments_truncated = metrics.counter(
+            "wal.segments_truncated",
+            help="Dead segments removed by checkpoint truncation")
+        self._stat_last_checkpoint_lsn = metrics.gauge(
+            "wal.last_checkpoint_lsn",
+            help="LSN covered by the newest complete checkpoint")
+        self._stat_last_checkpoint_seconds = metrics.gauge(
+            "wal.last_checkpoint_seconds",
+            help="Wall time of the newest checkpoint")
+        self._fsync_seconds = metrics.histogram(
+            "wal.fsync_seconds", unit="seconds",
+            help="fsync latency of the group-commit leader")
+        self._batch_sizes = metrics.histogram(
+            "wal.group_commit_batch", bounds=SIZE_BUCKETS,
+            help="Frames drained per group-commit flush")
         self._next_lsn = 1
         self._open_active_segment()
+
+    # -- statistics (registry-backed aliases) ------------------------------
+
+    stat_appends = CounterStat(
+        "_stat_appends", "Frames appended to the log buffer.")
+    stat_flushes = CounterStat(
+        "_stat_flushes", "Buffer drains written to disk.")
+    stat_piggybacked_syncs = CounterStat(
+        "_stat_piggybacked",
+        "Commits made durable by another leader's fsync.")
+    stat_sync_retries = CounterStat(
+        "_stat_sync_retries", "Failed write/fsync attempts retried.")
+    stat_salvaged_bytes = CounterStat(
+        "_stat_salvaged_bytes", "Torn tail bytes truncated at reopen.")
+    stat_segments_truncated = CounterStat(
+        "_stat_segments_truncated",
+        "Dead segments removed by checkpoint truncation.")
+    stat_last_checkpoint_lsn = GaugeStat(
+        "_stat_last_checkpoint_lsn",
+        "LSN covered by the newest complete checkpoint.")
+    stat_last_checkpoint_seconds = GaugeStat(
+        "_stat_last_checkpoint_seconds",
+        "Wall time of the newest checkpoint.")
 
     # -- segment management -------------------------------------------------
 
@@ -308,7 +351,7 @@ class LogManager:
             file.seek(valid_end)
             file.truncate()
             file.flush()
-            self.stat_salvaged_bytes += torn
+            self._stat_salvaged_bytes.add(torn)
             warnings.warn(
                 "salvaged %s: truncated %d torn tail byte(s)"
                 % (active, torn), RuntimeWarning, stacklevel=3)
@@ -402,7 +445,7 @@ class LogManager:
             else:
                 os.remove(segment)
             removed += 1
-            self.stat_segments_truncated += 1
+            self._stat_segments_truncated.add()
         return removed
 
     # -- appends ------------------------------------------------------------
@@ -427,7 +470,7 @@ class LogManager:
                 record.lsn) + payload
             self._buffer.append((record.lsn, frame))
             self._buffered_bytes += len(frame)
-            self.stat_appends += 1
+            self._stat_appends.add()
             lsn = record.lsn
             oversize = self._buffered_bytes >= self._flush_threshold
         if isinstance(record, TxnCommitRecord):
@@ -460,7 +503,7 @@ class LogManager:
                         # group-commit effectiveness (commits whose
                         # durability rode another committer's fsync),
                         # not idle flush()/close() fast-path hits.
-                        self.stat_piggybacked_syncs += 1
+                        self._stat_piggybacked.add()
                     return
                 if not self._sync_leader_active:
                     self._sync_leader_active = True
@@ -495,36 +538,45 @@ class LogManager:
             return self._synced_lsn
         data = b"".join(frame for _, frame in entries)
         covered = entries[-1][0]
+        if self._batch_sizes.enabled:
+            self._batch_sizes.observe(len(entries))
         attempts = 0
-        while True:
-            start = None
-            try:
-                start = file.tell()
-                fault_hit("wal.before_write")
-                # Outside the append latch: appenders keep buffering
-                # while the disk syncs. Drains are serialised by
-                # leadership, so frames hit the file in LSN order.
-                file.write(data)
-                file.flush()
-                fault_hit("wal.after_write")
-                if self._sync_on_commit:
-                    fault_hit("wal.before_fsync")
-                    os.fsync(file.fileno())
-                fault_hit("wal.after_sync")
-                break
-            except OSError as exc:
-                self.stat_sync_retries += 1
-                attempts += 1
-                rewound = self._rewind(file, start)
-                if attempts > self._sync_retries or not rewound:
-                    return self._poison(
-                        "log write failed after %d attempt(s): %s"
-                        % (attempts, exc), exc)
-                time.sleep(self._retry_backoff * attempts)
+        with span("wal.drain", frames=len(entries), bytes=len(data)):
+            while True:
+                start = None
+                try:
+                    start = file.tell()
+                    fault_hit("wal.before_write")
+                    # Outside the append latch: appenders keep buffering
+                    # while the disk syncs. Drains are serialised by
+                    # leadership, so frames hit the file in LSN order.
+                    file.write(data)
+                    file.flush()
+                    fault_hit("wal.after_write")
+                    if self._sync_on_commit:
+                        fault_hit("wal.before_fsync")
+                        fsync_timer = self._fsync_seconds
+                        fsync_started = time.perf_counter() \
+                            if fsync_timer.enabled else 0.0
+                        os.fsync(file.fileno())
+                        if fsync_timer.enabled:
+                            fsync_timer.observe(
+                                time.perf_counter() - fsync_started)
+                    fault_hit("wal.after_sync")
+                    break
+                except OSError as exc:
+                    self._stat_sync_retries.add()
+                    attempts += 1
+                    rewound = self._rewind(file, start)
+                    if attempts > self._sync_retries or not rewound:
+                        return self._poison(
+                            "log write failed after %d attempt(s): %s"
+                            % (attempts, exc), exc)
+                    time.sleep(self._retry_backoff * attempts)
         with self._lock:
             del self._buffer[:len(entries)]
             self._buffered_bytes -= len(data)
-            self.stat_flushes += 1
+            self._stat_flushes.add()
         self._maybe_rotate()
         return covered
 

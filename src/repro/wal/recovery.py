@@ -49,6 +49,7 @@ from ..core.types import (NULL_RID, is_tail_rid, is_txn_marker,
                           txn_id_from_marker)
 from ..core.encoding import SchemaEncoding
 from ..errors import RecoveryError
+from ..obs.trace import span
 from .log import LogManager, LogSalvage, QuarantinedFrame
 from .records import (CheckpointRecord, CreateTableRecord, IndirectionRecord,
                       InsertRangeRecord, InsertTombstoneRecord, LogRecord,
@@ -88,6 +89,14 @@ def recover_database(log_path: str, *, config: Any = None,
     even when a complete checkpoint image exists (used by equivalence
     tests).
     """
+    with span("recovery.replay", log=log_path):
+        return _recover_database(log_path, config, rebuild_indirection,
+                                 use_checkpoint)
+
+
+def _recover_database(log_path: str, config: Any,
+                      rebuild_indirection: bool,
+                      use_checkpoint: bool) -> Database:
     records, salvage = LogManager.read_log(log_path)
     committed, max_time = _analyze(records)
 

@@ -1,0 +1,180 @@
+"""End-to-end: a mixed workload leaves non-trivial metrics everywhere.
+
+The ISSUE-7 acceptance shape: after a transactional mixed workload with
+merges, scans, and a WAL, ``Database.metrics()`` must report non-zero
+activity in the txn, write, merge, scan, wal, and gc domains, the
+backlog/degradation gauges must move under churn, and the old ad-hoc
+``stat_*`` attribute surface must agree with the registry it now
+aliases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, EngineConfig
+
+
+@pytest.fixture
+def durable_db(tmp_path):
+    database = Database(EngineConfig(
+        records_per_page=8, records_per_tail_page=8,
+        update_range_size=16, merge_threshold=8, insert_range_size=16,
+        background_merge=False, wal_enabled=True,
+        data_dir=str(tmp_path)))
+    yield database
+    database.close()
+
+
+def _mixed_workload(db: Database) -> None:
+    table = db.create_table("mixed", 3)
+    query = db.query("mixed")
+    for key in range(64):
+        query.insert(key, key, 0)
+    for round_number in range(3):
+        for key in range(0, 64, 2):
+            query.update(key, None, round_number, None)
+        db.run_merges()
+    for key in range(4):
+        txn = db.begin_transaction()
+        txn.update(table, key, {2: key})
+        assert txn.commit()
+    txn = db.begin_transaction()
+    txn.update(table, 0, {2: -1})
+    txn.abort()
+    query.scan_sum(1)
+    query.scan_sum(1, as_of=db.clock.now())
+    query.delete(63)
+
+
+class TestMixedWorkloadMetrics:
+    def test_every_domain_is_non_trivial(self, durable_db):
+        _mixed_workload(durable_db)
+        metrics = durable_db.metrics()
+        assert metrics["txn"]["begins"] >= 5
+        assert metrics["txn"]["commits"] >= 4
+        assert metrics["txn"]["aborts"] >= 1
+        assert metrics["txn"]["commit_seconds"]["count"] >= 4
+        assert metrics["write"]["inserts"] == 64
+        assert metrics["write"]["updates"] >= 96
+        assert metrics["write"]["deletes"] == 1
+        assert metrics["merge"]["ranges_merged"] >= 1
+        assert metrics["merge"]["records_consolidated"] > 0
+        assert metrics["scan"]["partitions_vectorized"] \
+            + metrics["scan"]["partitions_version"] \
+            + metrics["scan"]["partitions_row"] > 0
+        assert metrics["wal"]["appends"] > 0
+        assert metrics["wal"]["flushes"] > 0
+        assert metrics["wal"]["fsync_seconds"]["count"] > 0
+        assert metrics["wal"]["group_commit_batch"]["count"] > 0
+        assert metrics["gc"]["pages_reclaimed"] >= 0
+        assert metrics["gc"]["txn_entries"] >= 0
+
+    def test_merge_backlog_gauge_moves_under_churn(self, db):
+        db.create_table("churn", 2)
+        query = db.query("churn")
+        for key in range(32):
+            query.insert(key, 0)
+        registry_backlog = lambda: db.metrics()["merge"]["backlog"]
+        db.run_merges()  # drain the insert-merge tasks the loads queued
+        assert registry_backlog() == 0
+        for key in range(32):
+            query.update(key, None, 1)
+        assert registry_backlog() > 0  # churn queued merge work
+        db.run_merges()
+        assert registry_backlog() == 0  # drained
+
+    def test_plane_degradation_counter_moves_under_churn(self):
+        db = Database(EngineConfig(
+            records_per_page=8, records_per_tail_page=8,
+            update_range_size=16, merge_threshold=64,
+            insert_range_size=16, background_merge=False,
+            vectorized_dirty_fraction=0.25))
+        try:
+            db.create_table("dirty", 2)
+            query = db.query("dirty")
+            for key in range(16):
+                query.insert(key, 0)
+            db.run_merges()  # materialise: ranges now merged + clean
+            query.scan_sum(1)
+            clean = db.metrics()["scan"]
+            assert clean["partitions_vectorized"] > 0
+            assert clean["plane_degradations"] == 0
+            # Dirty half the range without merging: above the 0.25
+            # dirty-fraction gate the planner must degrade to row scan.
+            for key in range(8):
+                query.update(key, None, key)
+            query.scan_sum(1)
+            dirty = db.metrics()["scan"]
+            assert dirty["plane_degradations"] > 0
+            assert dirty["partitions_row"] > 0
+        finally:
+            db.close()
+
+    def test_legacy_stat_aliases_agree_with_registry(self, db):
+        table = db.create_table("alias", 2)
+        query = db.query("alias")
+        for key in range(10):
+            query.insert(key, 0)
+        query.update(3, None, 7)
+        metrics = db.metrics()
+        assert table.stat_inserts == metrics["write"]["inserts"] == 10
+        assert table.stat_updates == metrics["write"]["updates"] == 1
+        assert db.txn_manager.stat_committed == metrics["txn"]["commits"]
+        assert db.merge_engine.stat_merges == \
+            metrics["merge"]["ranges_merged"]
+
+    def test_wal_aliases_agree_with_registry(self, durable_db):
+        table = durable_db.create_table("walstats", 2)
+        for key in range(8):
+            table.insert([key, key])
+        durable_db._wal.flush()
+        metrics = durable_db.metrics()
+        wal = durable_db._wal
+        assert wal.stat_appends == metrics["wal"]["appends"] > 0
+        assert wal.stat_flushes == metrics["wal"]["flushes"] > 0
+
+    def test_disabled_metrics_keep_engine_working(self):
+        db = Database(EngineConfig(background_merge=False,
+                                   obs_metrics=False))
+        try:
+            db.create_table("dark", 2)
+            query = db.query("dark")
+            for key in range(16):
+                query.insert(key, key)
+            query.update(3, None, 9)
+            assert query.scan_sum(1) == sum(range(16)) + 9 - 3
+            assert db.metrics()["recovery"] == {}
+            assert db.metrics().get("write") is None
+            assert db.render_metrics() == ""
+            # The alias surface stays readable (null instruments).
+            assert db.get_table("dark").stat_inserts == 0
+        finally:
+            db.close()
+
+    def test_recovery_domain_after_recovery(self, tmp_path):
+        config = EngineConfig(
+            records_per_page=8, records_per_tail_page=8,
+            update_range_size=16, merge_threshold=8, insert_range_size=16,
+            background_merge=False, wal_enabled=True,
+            data_dir=str(tmp_path))
+        db = Database(config)
+        table = db.create_table("recov", 2)
+        for key in range(8):
+            table.insert([key, key])
+        db.close()
+
+        from repro.wal.recovery import recover_database
+        recovered = recover_database(
+            str(tmp_path / "wal.log"),
+            config=EngineConfig(
+                records_per_page=8, records_per_tail_page=8,
+                update_range_size=16, merge_threshold=8,
+                insert_range_size=16, background_merge=False))
+        try:
+            report = recovered.metrics()["recovery"]
+            assert report["records_total"] > 0
+            assert report["records_replayed"] > 0
+            assert report["clean"] is True
+        finally:
+            recovered.close()

@@ -1,0 +1,220 @@
+"""Registry unit tests: striping, bucket edges, snapshot consistency."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (LATENCY_BUCKETS, NULL_COUNTER, NULL_GAUGE,
+                                NULL_HISTOGRAM, Counter, CounterStat,
+                                GaugeStat, Histogram, MetricsRegistry,
+                                SIZE_BUCKETS)
+
+
+class TestCounter:
+    def test_add_and_value(self):
+        counter = Counter("t.x")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_set_resets_all_cells(self):
+        counter = Counter("t.x")
+        counter.add(10)
+        counter.set(3)
+        assert counter.value == 3
+        counter.add()
+        assert counter.value == 4
+
+    def test_striped_under_threads(self):
+        """N threads hammering one counter lose no increments."""
+        counter = Counter("t.x")
+        threads, per_thread = 8, 5000
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.add()
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counter.value == threads * per_thread
+
+    def test_snapshot_mid_increment_is_monotone(self):
+        """A fold racing writers never exceeds the final exact total."""
+        counter = Counter("t.x")
+        per_thread = 20000
+        seen: list[int] = []
+        done = threading.Event()
+
+        def writer():
+            for _ in range(per_thread):
+                counter.add()
+            done.set()
+
+        def reader():
+            while not done.is_set():
+                seen.append(counter.value)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        final = counter.value
+        assert final == per_thread
+        assert all(0 <= value <= final for value in seen)
+        assert seen == sorted(seen)  # monotone: no decrements observed
+
+
+class TestHistogram:
+    def test_bucket_edges_land_in_their_own_bucket(self):
+        """bisect_left: an observation equal to a bound counts <= it."""
+        hist = Histogram("t.h", bounds=(1.0, 2.0, 4.0))
+        for value in (1.0, 2.0, 4.0):
+            hist.observe(value)
+        snapshot = hist.snapshot_value()
+        # Cumulative counts at each upper bound.
+        assert snapshot["buckets"] == [[1.0, 1], [2.0, 2], [4.0, 3],
+                                       ["inf", 3]]
+
+    def test_overflow_goes_to_inf_bucket(self):
+        hist = Histogram("t.h", bounds=(1.0, 2.0))
+        hist.observe(100.0)
+        snapshot = hist.snapshot_value()
+        assert snapshot["buckets"][-1] == ["inf", 1]
+        assert snapshot["max"] == 100.0
+
+    def test_count_sum_percentiles(self):
+        hist = Histogram("t.h", bounds=(1.0, 2.0, 4.0, 8.0))
+        for value in (0.5, 1.5, 3.0, 7.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(12.0)
+        assert hist.percentile(0.5) == 2.0  # bucket upper bound
+        assert hist.percentile(1.0) == 8.0
+
+    def test_empty_histogram(self):
+        hist = Histogram("t.h", bounds=(1.0,))
+        assert hist.count == 0
+        assert hist.percentile(0.99) == 0.0
+        assert hist.snapshot_value()["count"] == 0
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("t.h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("t.h", bounds=())
+
+    def test_striped_under_threads(self):
+        hist = Histogram("t.h", bounds=LATENCY_BUCKETS)
+        threads, per_thread = 4, 2000
+        barrier = threading.Barrier(threads)
+
+        def hammer(seed: int):
+            barrier.wait()
+            for index in range(per_thread):
+                hist.observe(1e-6 * ((seed + index) % 50 + 1))
+
+        workers = [threading.Thread(target=hammer, args=(n,))
+                   for n in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert hist.count == threads * per_thread
+
+    def test_default_bucket_families(self):
+        assert LATENCY_BUCKETS[0] == 1e-6
+        assert all(b2 == 2 * b1 for b1, b2 in
+                   zip(LATENCY_BUCKETS, LATENCY_BUCKETS[1:]))
+        assert SIZE_BUCKETS[0] == 1.0
+        assert SIZE_BUCKETS[-1] == float(2 ** 20)
+
+
+class TestRegistry:
+    def test_get_or_create_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.x") is registry.counter("a.x")
+        assert registry.counter("a.x") is not registry.counter(
+            "a.x", labels={"table": "t"})
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a.x")
+        with pytest.raises(ValueError):
+            registry.gauge("a.x")
+
+    def test_disabled_registry_hands_out_null_instruments(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a.x") is NULL_COUNTER
+        assert registry.gauge("a.g") is NULL_GAUGE
+        assert registry.histogram("a.h") is NULL_HISTOGRAM
+        registry.counter("a.x").add()
+        registry.histogram("a.h").observe(1.0)
+        assert registry.snapshot() == {}
+        assert not registry.counter("a.x").enabled
+
+    def test_snapshot_nests_by_domain(self):
+        registry = MetricsRegistry()
+        registry.counter("txn.commits").add(3)
+        registry.gauge("merge.backlog").set(7)
+        registry.counter("bare").add()
+        snapshot = registry.snapshot()
+        assert snapshot["txn"]["commits"] == 3
+        assert snapshot["merge"]["backlog"] == 7
+        assert snapshot["engine"]["bare"] == 1
+
+    def test_snapshot_aggregates_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("write.inserts", labels={"table": "a"}).add(2)
+        registry.counter("write.inserts", labels={"table": "b"}).add(5)
+        assert registry.snapshot()["write"]["inserts"] == 7
+
+    def test_snapshot_merges_histogram_label_sets(self):
+        registry = MetricsRegistry()
+        registry.histogram("w.lat", bounds=(1.0, 2.0),
+                           labels={"table": "a"}).observe(0.5)
+        registry.histogram("w.lat", bounds=(1.0, 2.0),
+                           labels={"table": "b"}).observe(1.5)
+        merged = registry.snapshot()["w"]["lat"]
+        assert merged["count"] == 2
+        assert merged["buckets"] == [[1.0, 1], [2.0, 2], ["inf", 2]]
+
+    def test_callback_gauge_evaluates_at_snapshot(self):
+        registry = MetricsRegistry()
+        depth = [0]
+        registry.gauge("q.depth", lambda: depth[0])
+        depth[0] = 42
+        assert registry.snapshot()["q"]["depth"] == 42
+
+
+class TestDescriptors:
+    class _Holder:
+        stat_things = CounterStat("_stat_things")
+        stat_level = GaugeStat("_stat_level")
+
+        def __init__(self):
+            registry = MetricsRegistry()
+            self._stat_things = registry.counter("x.things")
+            self._stat_level = registry.gauge("x.level")
+
+    def test_counter_read_write_and_augmented_assign(self):
+        holder = self._Holder()
+        holder._stat_things.add(2)
+        assert holder.stat_things == 2
+        holder.stat_things += 1  # fold + absolute reset
+        assert holder.stat_things == 3
+        holder.stat_things = 0
+        assert holder.stat_things == 0
+
+    def test_gauge_read_write(self):
+        holder = self._Holder()
+        holder.stat_level = 9
+        assert holder.stat_level == 9

@@ -1,0 +1,118 @@
+"""Prometheus renderer tests, including an exposition-format parser.
+
+The acceptance bar is "``render_text`` output parses as Prometheus
+exposition format": ``_parse_exposition`` below implements the format's
+line grammar (HELP/TYPE comments, ``name{labels} value`` samples) and
+every test pushes the rendered text through it.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.render import render_text
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$")
+_LABEL = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def _parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Parse exposition text; raise AssertionError on any bad line."""
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    typed: dict[str, str] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            assert len(parts) >= 3, line
+            assert _METRIC_NAME.match(parts[2]), line
+            if parts[1] == "TYPE":
+                assert parts[3] in ("counter", "gauge", "histogram"), line
+                typed[parts[2]] = parts[3]
+            continue
+        assert not line.startswith("#"), "unknown comment: %r" % line
+        match = _SAMPLE.match(line)
+        assert match, "unparseable sample line: %r" % line
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for pair in match.group("labels").split(","):
+                label_match = _LABEL.match(pair)
+                assert label_match, "bad label pair: %r" % pair
+                labels[label_match.group(1)] = label_match.group(2)
+        value = float(match.group("value").replace("+Inf", "inf"))
+        samples.setdefault(match.group("name"), []).append((labels, value))
+    assert typed, "no TYPE lines found"
+    return samples
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("txn.commits", help="Committed transactions").add(7)
+    registry.counter("write.inserts", labels={"table": "a"}).add(2)
+    registry.counter("write.inserts", labels={"table": "b"}).add(3)
+    registry.gauge("merge.backlog").set(4)
+    hist = registry.histogram("txn.commit_seconds", bounds=(0.001, 0.01),
+                              unit="seconds")
+    hist.observe(0.0005)
+    hist.observe(0.5)
+    return registry
+
+
+class TestRenderText:
+    def test_output_parses_as_exposition_format(self):
+        samples = _parse_exposition(render_text(_registry()))
+        assert samples["lstore_txn_commits_total"] == [({}, 7.0)]
+        assert samples["lstore_merge_backlog"] == [({}, 4.0)]
+
+    def test_counters_keep_label_series_unaggregated(self):
+        samples = _parse_exposition(render_text(_registry()))
+        series = dict((frozenset(labels.items()), value)
+                      for labels, value in
+                      samples["lstore_write_inserts_total"])
+        assert series[frozenset({("table", "a")})] == 2.0
+        assert series[frozenset({("table", "b")})] == 3.0
+
+    def test_histogram_convention(self):
+        samples = _parse_exposition(render_text(_registry()))
+        buckets = samples["lstore_txn_commit_seconds_bucket"]
+        les = [labels["le"] for labels, _ in buckets]
+        assert les == ["0.001", "0.01", "+Inf"]
+        counts = [value for _, value in buckets]
+        assert counts == [1.0, 1.0, 2.0]  # cumulative
+        assert samples["lstore_txn_commit_seconds_count"] == [({}, 2.0)]
+        (_, total), = samples["lstore_txn_commit_seconds_sum"]
+        assert abs(total - 0.5005) < 1e-9
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x.c", labels={"table": 'we"ird\\n'}).add()
+        samples = _parse_exposition(render_text(registry))
+        (labels, value), = samples["lstore_x_c_total"]
+        assert value == 1.0
+
+    def test_accepts_database_like_source(self):
+        class Holder:
+            metrics_registry = _registry()
+
+        text = render_text(Holder())
+        assert "lstore_txn_commits_total 7" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_text(MetricsRegistry()) == ""
+
+    def test_live_database_renders_cleanly(self, db):
+        table = db.create_table("rendered", 3)
+        query = db.query("rendered")
+        for key in range(24):
+            query.insert(key, key, key)
+        query.scan_sum(1)
+        samples = _parse_exposition(db.render_metrics())
+        (labels, inserts), = samples["lstore_write_inserts_total"]
+        assert labels == {"table": "rendered"}
+        assert inserts == 24.0

@@ -1,0 +1,84 @@
+"""Sampler tests: JSONL ticks, final sample, error resilience."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.obs.sampler import MetricsSampler
+
+
+def _read_lines(path) -> list[dict]:
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestMetricsSampler:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            MetricsSampler(dict, "unused.jsonl", 0)
+
+    def test_stop_appends_final_sample(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        sampler = MetricsSampler(lambda: {"txn": {"commits": 5}},
+                                 str(path), interval=60.0)
+        sampler.start()
+        assert sampler.running
+        sampler.stop()
+        assert not sampler.running
+        lines = _read_lines(path)
+        assert len(lines) == 1  # the stop() sample; no tick elapsed
+        assert lines[0]["metrics"] == {"txn": {"commits": 5}}
+        assert lines[0]["ts"] > 0
+
+    def test_periodic_ticks(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        sampler = MetricsSampler(lambda: {"n": 1}, str(path),
+                                 interval=0.02)
+        sampler.start()
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            if path.exists() and len(_read_lines(path)) >= 2:
+                break
+            time.sleep(0.01)
+        sampler.stop()
+        assert len(_read_lines(path)) >= 2
+
+    def test_snapshot_failure_becomes_error_line(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+
+        def boom():
+            raise RuntimeError("snapshot exploded")
+
+        sampler = MetricsSampler(boom, str(path), interval=60.0)
+        sampler.stop()  # takes the final sample without a thread
+        lines = _read_lines(path)
+        assert lines[0]["error"] == "snapshot exploded"
+
+
+class TestDatabaseIntegration:
+    def test_config_starts_and_stops_sampler(self, tmp_path):
+        path = tmp_path / "series.jsonl"
+        db = Database(EngineConfig(
+            background_merge=False, obs_sample_interval=0.02,
+            obs_sample_path=str(path)))
+        table = db.create_table("sampled", 2)
+        table.insert([1, 2])
+        assert db._sampler is not None and db._sampler.running
+        db.close()
+        assert not db._sampler.running
+        lines = _read_lines(path)
+        assert lines  # at least the final close() sample
+        assert lines[-1]["metrics"]["write"]["inserts"] == 1
+
+    def test_interval_none_means_no_sampler(self):
+        db = Database(EngineConfig(background_merge=False))
+        assert db._sampler is None
+        db.close()
+
+    def test_config_validates_interval(self):
+        with pytest.raises(ValueError):
+            EngineConfig(obs_sample_interval=-1.0)

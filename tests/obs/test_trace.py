@@ -1,0 +1,89 @@
+"""Trace collector tests: zero-cost off, bounded ring on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import (_NULL_SPAN, TRACE, disable_tracing,
+                             enable_tracing, span, trace_event)
+
+
+@pytest.fixture(autouse=True)
+def clean_collector():
+    """Leave the process-wide collector the way each test found it."""
+    was_enabled = TRACE.enabled
+    TRACE.drain()
+    yield
+    TRACE.drain()
+    TRACE.enabled = was_enabled
+
+
+class TestDisabled:
+    def test_span_returns_shared_null_span(self):
+        disable_tracing()
+        assert span("merge.range", range_id=1) is _NULL_SPAN
+        assert span("wal.drain") is span("scan.execute")
+
+    def test_null_span_records_nothing(self):
+        disable_tracing()
+        with span("merge.range") as live:
+            live.set(extra=1)
+        trace_event("merge.enqueued")
+        assert len(TRACE) == 0
+
+
+class TestEnabled:
+    def test_span_records_name_duration_attrs(self):
+        enable_tracing()
+        with span("merge.range", range_id=3, kind="update"):
+            pass
+        finished = TRACE.drain()
+        assert len(finished) == 1
+        record = finished[0]
+        assert record["name"] == "merge.range"
+        assert record["duration"] >= 0.0
+        assert record["attrs"] == {"range_id": 3, "kind": "update"}
+
+    def test_span_set_attaches_mid_span_attrs(self):
+        enable_tracing()
+        with span("scan.execute") as live:
+            live.set(partitions=4)
+        assert TRACE.drain()[0]["attrs"] == {"partitions": 4}
+
+    def test_exception_marks_error_and_propagates(self):
+        enable_tracing()
+        with pytest.raises(RuntimeError):
+            with span("wal.drain"):
+                raise RuntimeError("disk on fire")
+        record = TRACE.drain()[0]
+        assert record["attrs"]["error"] == "RuntimeError"
+
+    def test_event_has_zero_duration(self):
+        enable_tracing()
+        trace_event("merge.enqueued", range_id=1)
+        record = TRACE.drain()[0]
+        assert record["duration"] == 0.0
+        assert record["attrs"] == {"range_id": 1}
+
+    def test_ring_is_bounded(self):
+        enable_tracing(capacity=8)
+        for index in range(20):
+            trace_event("tick", index=index)
+        finished = TRACE.drain()
+        assert len(finished) == 8
+        assert finished[0]["attrs"]["index"] == 12  # oldest dropped
+        enable_tracing(capacity=4096)  # restore default capacity
+
+    def test_engine_spans_flow_into_collector(self, db):
+        """A merge + scan under tracing leaves engine spans behind."""
+        enable_tracing()
+        table = db.create_table("traced", 3)
+        query = db.query("traced")
+        for key in range(32):
+            query.insert(key, key, key)
+        for key in range(16):
+            query.update(key, None, 1, None)
+        db.run_merges()
+        query.scan_sum(1)
+        names = {record["name"] for record in TRACE.drain()}
+        assert "merge.range" in names
