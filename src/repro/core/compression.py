@@ -18,6 +18,13 @@ Two independent mechanisms, both from the paper:
   compression boundary). Tombstones from aborted transactions are
   finally reclaimed here (Section 5.1.3: "the space is not reclaimed
   until the compression phase").
+
+Both mechanisms read candidate pages through the generic slot protocol
+(``iter_values``/``peek_slot``), so they work unchanged over object-list
+pages and byte-buffer pages (:class:`~repro.core.page.BytesPage`). A
+page that *doesn't* compress keeps its byte-buffer layout; a page that
+does trades the fixed-width buffer for the codec's representation (the
+merge's buffer-slice copy path then treats it as a generic page).
 """
 
 from __future__ import annotations

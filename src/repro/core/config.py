@@ -19,10 +19,22 @@ scaled where the paper itself says a range is acceptable:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any
 
 from .types import Layout
+
+
+def _bytes_pages_default() -> bool:
+    """Engine-wide default for ``bytes_pages``.
+
+    ``REPRO_BYTES_PAGES=0`` flips every default-constructed config onto
+    the object-list oracle layout — the CI leg that re-runs the
+    agreement and fault suites against the PR-8 semantics oracle, the
+    same discipline as the ``REPRO_VECTORIZED_SCANS=0`` row-plane legs.
+    """
+    return os.environ.get("REPRO_BYTES_PAGES", "1") != "0"
 
 
 @dataclass(frozen=True)
@@ -169,6 +181,24 @@ class EngineConfig:
     #: flat path against.
     flat_appends: bool = True
 
+    #: Store fixed-width columns in ``array('q')``/bitmap byte buffers
+    #: (:class:`~repro.core.page.BytesPage`): cell writes are C-level
+    #: stores, ``as_numpy`` is a zero-copy buffer view, and pages
+    #: serialize to disk with zero translation (the raw buffer is the
+    #: image). Non-int values spill to a per-page object sidecar. Off =
+    #: the original object-list pages — kept as the semantics oracle
+    #: the property suite crosses the byte layout against (the PR-5
+    #: ``flat_appends`` discipline). Default honours the
+    #: ``REPRO_BYTES_PAGES`` environment variable (CI oracle leg).
+    bytes_pages: bool = field(default_factory=_bytes_pages_default)
+
+    #: Merge tasks the engine drains per wakeup/batch: one queue-lock
+    #: and one processing-lock acquisition covers up to this many
+    #: ranges, so a deep ``merge.backlog`` drains with amortised
+    #: dispatch overhead instead of paying it per range. 1 = the
+    #: original task-at-a-time discipline.
+    merge_batch_ranges: int = 4
+
     #: Worker threads of the shared analytical scan executor
     #: (:mod:`repro.exec`). 1 = run every scan partition inline on the
     #: calling thread; >1 = run partitions on a shared pool. Threads
@@ -219,6 +249,8 @@ class EngineConfig:
             raise ValueError("merge_threshold must be positive")
         if self.merge_ranges_per_merge <= 0:
             raise ValueError("merge_ranges_per_merge must be positive")
+        if self.merge_batch_ranges < 1:
+            raise ValueError("merge_batch_ranges must be >= 1")
         if self.scan_parallelism < 1:
             raise ValueError("scan_parallelism must be >= 1")
         if not 0.0 < self.vectorized_dirty_fraction <= 1.0:

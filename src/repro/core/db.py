@@ -42,6 +42,7 @@ class Database:
             self.clock, metrics=self.metrics_registry)
         self.merge_engine = MergeEngine(
             poll_interval=self.config.merge_poll_interval,
+            batch_ranges=self.config.merge_batch_ranges,
             metrics=self.metrics_registry)
         from ..exec.executor import ScanExecutor
         #: Shared analytical scan executor: all tables' scan partitions
@@ -74,6 +75,12 @@ class Database:
         registry.gauge("gc.txn_entries",
                        lambda: len(self.txn_manager._entries),
                        help="Live transaction-manager hashtable entries")
+        registry.gauge(
+            "storage.page_bytes",
+            lambda: sum(table.page_directory.buffer_bytes()
+                        for table in self.tables.values()),
+            help="Bytes held in fixed-width page buffers (byte-buffer "
+                 "pages; object-list oracle pages report 0)")
         if self.config.failpoints:
             from ..fault import FAULTS
             FAULTS.configure(self.config.failpoints)

@@ -29,10 +29,10 @@ from typing import Any, Sequence
 from ..errors import LineageError
 from ..fault import hit as fault_hit
 from ..obs.registry import CounterStat, MetricsRegistry
-from ..obs.trace import span
+from ..obs.trace import TRACE, span
 from .compression import maybe_compress_page
 from .encoding import SchemaEncoding
-from .page import Page, RowPage
+from .page import BytesPage, Page, RowPage
 from .page_directory import PageDirectory
 from .schema import (BASE_RID_COLUMN, INDIRECTION_COLUMN, LAST_UPDATED_COLUMN,
                      SCHEMA_ENCODING_COLUMN, START_TIME_COLUMN)
@@ -72,6 +72,7 @@ class MergeEngine:
     """
 
     def __init__(self, *, poll_interval: float = 0.001,
+                 batch_ranges: int = 1,
                  metrics: MetricsRegistry | None = None) -> None:
         self._queue: deque[MergeTask] = deque()
         self._queued: set[tuple[int, int, str]] = set()
@@ -81,6 +82,11 @@ class MergeEngine:
         self._stop = False
         self._processing = threading.Lock()
         self._poll_interval = poll_interval
+        #: Tasks drained per wakeup/batch: >1 amortises the queue and
+        #: processing locks (and the disabled-trace span dispatch) over
+        #: several ranges, so deep backlogs drain faster; 1 keeps the
+        #: original task-at-a-time discipline.
+        self._batch_ranges = max(1, batch_ranges)
         if metrics is None:
             metrics = MetricsRegistry()
         self.metrics = metrics
@@ -94,6 +100,9 @@ class MergeEngine:
             help="Tail records consolidated into merged pages")
         self._stat_retries = metrics.counter(
             "merge.retries", help="Merge tasks re-enqueued (not ready)")
+        self._stat_batched_ranges = metrics.counter(
+            "merge.batched_ranges",
+            help="Merge tasks drained as part of a multi-task batch")
         self._merge_seconds = metrics.histogram(
             "merge.duration_seconds", unit="seconds",
             help="Wall time of one performed merge task")
@@ -108,6 +117,8 @@ class MergeEngine:
     stat_records_consolidated = CounterStat(
         "_stat_records_consolidated", "Tail records consolidated.")
     stat_retries = CounterStat("_stat_retries", "Tasks re-enqueued.")
+    stat_batched_ranges = CounterStat(
+        "_stat_batched_ranges", "Tasks drained in multi-task batches.")
 
     # -- queueing -----------------------------------------------------------
 
@@ -139,6 +150,17 @@ class MergeEngine:
             self._queued.discard((id(task.table), task.range_id, task.kind))
             return task
 
+    def _dequeue_batch(self, max_tasks: int) -> list[MergeTask]:
+        """Pop up to *max_tasks* tasks under one queue-lock hold."""
+        with self._lock:
+            queue = self._queue
+            count = min(len(queue), max(1, max_tasks))
+            tasks = [queue.popleft() for _ in range(count)]
+            discard = self._queued.discard
+            for task in tasks:
+                discard((id(task.table), task.range_id, task.kind))
+        return tasks
+
     # -- synchronous draining -------------------------------------------------
 
     def run_pending(self, max_tasks: int | None = None) -> int:
@@ -146,21 +168,60 @@ class MergeEngine:
 
         Tasks that are not ready (e.g. an insert range with in-flight
         transactions) are re-enqueued once and not retried within this
-        call, so the method always terminates.
+        call, so the method always terminates. With
+        ``merge_batch_ranges > 1`` tasks drain in batches that share
+        one queue-lock and one processing-lock acquisition.
         """
         completed = 0
         budget = self.queue_length if max_tasks is None else max_tasks
-        for _ in range(budget):
-            task = self._dequeue()
-            if task is None:
+        if self._batch_ranges <= 1:
+            for _ in range(budget):
+                task = self._dequeue()
+                if task is None:
+                    break
+                result = self._process(task)
+                if result.retry:
+                    self.notifier(task.table, task.range_id, task.kind)
+                    self._stat_retries.add()
+                elif result.performed:
+                    completed += 1
+            return completed
+        while budget > 0:
+            tasks = self._dequeue_batch(min(budget, self._batch_ranges))
+            if not tasks:
                 break
-            result = self._process(task)
-            if result.retry:
-                self.notifier(task.table, task.range_id, task.kind)
-                self._stat_retries.add()
-            elif result.performed:
-                completed += 1
+            budget -= len(tasks)
+            done, _ = self._drain_batch(tasks)
+            completed += done
         return completed
+
+    def _drain_batch(self, tasks: list[MergeTask]) -> tuple[int, bool]:
+        """Process *tasks* under one processing-lock hold.
+
+        Returns ``(completed, any_retried)``. Per-task ``merge.range``
+        spans are emitted only while tracing is actually collecting —
+        the disabled-trace span dispatch is one of the per-task costs
+        batching amortises away.
+        """
+        if len(tasks) > 1:
+            self._stat_batched_ranges.add(len(tasks))
+        completed = 0
+        retried = False
+        with self._processing:
+            for task in tasks:
+                if TRACE.enabled:
+                    with span("merge.range", table=task.table.schema.name,
+                              range_id=task.range_id, kind=task.kind):
+                        result = self._process_inner(task)
+                else:
+                    result = self._process_inner(task)
+                if result.retry:
+                    self.notifier(task.table, task.range_id, task.kind)
+                    self._stat_retries.add()
+                    retried = True
+                elif result.performed:
+                    completed += 1
+        return completed, retried
 
     # -- background thread ---------------------------------------------------
 
@@ -186,6 +247,18 @@ class MergeEngine:
 
     def _run(self) -> None:
         while not self._stop:
+            if self._batch_ranges > 1:
+                tasks = self._dequeue_batch(self._batch_ranges)
+                if not tasks:
+                    self._wakeup.wait(self._poll_interval)
+                    self._wakeup.clear()
+                    continue
+                _, retried = self._drain_batch(tasks)
+                if retried:
+                    # Back off: a blocking transaction needs time.
+                    self._wakeup.wait(self._poll_interval)
+                    self._wakeup.clear()
+                continue
             task = self._dequeue()
             if task is None:
                 self._wakeup.wait(self._poll_interval)
@@ -201,38 +274,43 @@ class MergeEngine:
     # -- processing ------------------------------------------------------------
 
     def _process(self, task: MergeTask) -> MergeResult:
+        """Task-at-a-time processing (the ``merge_batch_ranges=1`` path)."""
         with self._processing, \
                 span("merge.range", table=task.table.schema.name,
                      range_id=task.range_id, kind=task.kind):
-            started = perf_counter() if self._merge_seconds.enabled else 0.0
-            update_range = task.table.ranges.get(task.range_id)
-            if update_range is None:
-                return MergeResult(performed=False)
-            if task.kind == "insert":
-                result = merge_insert_range(task.table, update_range)
-                if result.performed:
-                    self._stat_insert_merges.add()
-                    self._stat_records_consolidated.add(
-                        result.records_consolidated)
-            else:
-                if not update_range.merged:
-                    # "The base records must also fall outside the insert
-                    # range before becoming a candidate" — materialise
-                    # first.
-                    insert_result = merge_insert_range(task.table,
-                                                       update_range)
-                    if not insert_result.performed:
-                        return MergeResult(performed=False, retry=True)
-                    self._stat_insert_merges.add()
-                result = merge_update_range(task.table, update_range)
-                if result.performed:
-                    self._stat_merges.add()
-                    self._stat_records_consolidated.add(
-                        result.records_consolidated)
-                update_range.merge_pending = False
-            if result.performed and self._merge_seconds.enabled:
-                self._merge_seconds.observe(perf_counter() - started)
-            return result
+            return self._process_inner(task)
+
+    def _process_inner(self, task: MergeTask) -> MergeResult:
+        # Caller holds self._processing.
+        started = perf_counter() if self._merge_seconds.enabled else 0.0
+        update_range = task.table.ranges.get(task.range_id)
+        if update_range is None:
+            return MergeResult(performed=False)
+        if task.kind == "insert":
+            result = merge_insert_range(task.table, update_range)
+            if result.performed:
+                self._stat_insert_merges.add()
+                self._stat_records_consolidated.add(
+                    result.records_consolidated)
+        else:
+            if not update_range.merged:
+                # "The base records must also fall outside the insert
+                # range before becoming a candidate" — materialise
+                # first.
+                insert_result = merge_insert_range(task.table,
+                                                   update_range)
+                if not insert_result.performed:
+                    return MergeResult(performed=False, retry=True)
+                self._stat_insert_merges.add()
+            result = merge_update_range(task.table, update_range)
+            if result.performed:
+                self._stat_merges.add()
+                self._stat_records_consolidated.add(
+                    result.records_consolidated)
+            update_range.merge_pending = False
+        if result.performed and self._merge_seconds.enabled:
+            self._merge_seconds.observe(perf_counter() - started)
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -476,17 +554,6 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
             update_range.range_id, ROW_CHAIN_COLUMN, new_pages))
         pages_created += len(new_pages)
     else:
-        def current_column_values(physical: int) -> list[Any]:
-            """Step 2: copy ("decompress") the current base pages."""
-            chain = table.page_directory.base_chain(
-                update_range.range_id, physical)
-            values: list[Any] = []
-            for page in chain:
-                values.extend(page.values_list()
-                              if hasattr(page, "values_list")
-                              else page.iter_values())
-            return values
-
         # Group the applied updates by column for page-wise application.
         updates_by_column: dict[int, list[tuple[int, Any]]] = {}
         for (offset, data_column), value in applied_values.items():
@@ -496,7 +563,7 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
         # Data columns touched by this batch get fresh pages.
         for data_column in sorted(touched_columns):
             physical = schema.physical_index(data_column)
-            values = current_column_values(physical)
+            values = _chain_copy(table, update_range, physical)
             for offset, value in updates_by_column.get(data_column, ()):
                 values[offset] = value
             for offset in deleted:
@@ -510,7 +577,7 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
             pages_created += len(chain)
         # Metadata columns rebuilt every merge: Last Updated Time and
         # Schema Encoding (Start Time is preserved untouched).
-        values = current_column_values(LAST_UPDATED_COLUMN)
+        values = _chain_copy(table, update_range, LAST_UPDATED_COLUMN)
         for offset, commit_time in last_updated.items():
             values[offset] = commit_time
         chain = _build_column_pages(table, LAST_UPDATED_COLUMN, values,
@@ -521,7 +588,7 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
             update_range.range_id, LAST_UPDATED_COLUMN, chain))
         pages_created += len(chain)
         mask = (1 << num_columns) - 1
-        values = current_column_values(SCHEMA_ENCODING_COLUMN)
+        values = _chain_copy(table, update_range, SCHEMA_ENCODING_COLUMN)
         for offset, delta in encoding_delta.items():
             values[offset] = (values[offset] | delta) & mask
         chain = _build_column_pages(table, SCHEMA_ENCODING_COLUMN, values,
@@ -664,13 +731,7 @@ def merge_columns(table: Table, update_range: UpdateRange,
         pages_created = 0
         for data_column in sorted(wanted):
             physical = schema.physical_index(data_column)
-            chain = table.page_directory.base_chain(update_range.range_id,
-                                                    physical)
-            values: list[Any] = []
-            for page in chain:
-                values.extend(page.values_list()
-                              if hasattr(page, "values_list")
-                              else page.iter_values())
+            values = _chain_copy(table, update_range, physical)
             for (offset, column), value in applied.items():
                 if column == data_column:
                     values[offset] = value
@@ -694,19 +755,168 @@ def merge_columns(table: Table, update_range: UpdateRange,
 
 
 # ---------------------------------------------------------------------------
-# Page builders
+# Step-2 buffer-slice copies and page builders
 # ---------------------------------------------------------------------------
 
-def _build_column_pages(table: Table, column: int, values: list[Any],
+#: Sidecar-miss marker (∅ and 0 are real cell values).
+_ABSENT = object()
+
+
+class _ColumnBuffer:
+    """Step-2 copy of one column as a mutable int64 buffer.
+
+    Byte-buffer chains copy as raw ``memoryview`` slices (one C-level
+    splice per page) instead of materialising a Python list per cell;
+    the merge's step-3 patching then writes through ``__setitem__``
+    (a C-level int store for the common case) and the install phase
+    hands each page its buffer window verbatim. ∅ offsets and sidecar
+    objects ride along as a set/dict, exactly mirroring the
+    :class:`~repro.core.page.BytesPage` layout.
+    """
+
+    __slots__ = ("view", "nulls", "side")
+
+    def __init__(self, view: memoryview, nulls: set[int],
+                 side: dict[int, Any]) -> None:
+        self.view = view
+        self.nulls = nulls
+        self.side = side
+
+    def __len__(self) -> int:
+        return len(self.view)
+
+    def __getitem__(self, offset: int) -> Any:
+        if offset in self.nulls:
+            return NULL
+        value = self.side.get(offset, _ABSENT)
+        if value is not _ABSENT:
+            return value
+        return self.view[offset]
+
+    def __setitem__(self, offset: int, value: Any) -> None:
+        self.nulls.discard(offset)
+        self.side.pop(offset, None)
+        if type(value) is int:
+            try:
+                self.view[offset] = value
+                return
+            except OverflowError:
+                pass
+        self.view[offset] = 0
+        if is_null(value):
+            self.nulls.add(offset)
+        else:
+            self.side[offset] = value
+
+
+def _copy_column_buffer(chain) -> _ColumnBuffer | None:
+    """Copy a base chain as raw buffer slices, or None to fall back.
+
+    Every page must be a dense :class:`BytesPage`; chains holding
+    object-list, dictionary-compressed, or sparse pages return None and
+    take the list copy path instead.
+    """
+    exports = []
+    for page in chain:
+        export = page.export_dense() if isinstance(page, BytesPage) \
+            else None
+        if export is None:
+            return None
+        exports.append(export)
+    total = sum(export[0] for export in exports)
+    buf = bytearray(8 * total)
+    raw_view = memoryview(buf)
+    nulls: set[int] = set()
+    side: dict[int, Any] = {}
+    base = 0
+    byte_offset = 0
+    for count, raw, null_bitmap, sidecar in exports:
+        raw_view[byte_offset:byte_offset + len(raw)] = raw
+        for byte_index, byte in enumerate(null_bitmap):
+            if not byte:
+                continue
+            slot_base = byte_index << 3
+            for bit in range(8):
+                if byte & (1 << bit) and slot_base + bit < count:
+                    nulls.add(base + slot_base + bit)
+        for slot, value in sidecar.items():
+            side[base + slot] = value
+        base += count
+        byte_offset += len(raw)
+    return _ColumnBuffer(memoryview(buf).cast("q"), nulls, side)
+
+
+def _chain_copy(table: Table, update_range: UpdateRange,
+                physical: int) -> Any:
+    """Step 2: copy ("decompress") the current base pages of a column.
+
+    Returns a :class:`_ColumnBuffer` (buffer-slice copy) when the chain
+    is all dense byte-buffer pages, else a plain value list — both
+    support ``len``/indexing, so the step-3 patching code is agnostic.
+    """
+    chain = table.page_directory.base_chain(update_range.range_id,
+                                            physical)
+    if table.config.bytes_pages:
+        copied = _copy_column_buffer(chain)
+        if copied is not None:
+            return copied
+    values: list[Any] = []
+    for page in chain:
+        values.extend(page.values_list()
+                      if hasattr(page, "values_list")
+                      else page.iter_values())
+    return values
+
+
+def _build_column_pages(table: Table, column: int, values: Any,
                         kind: PageKind, tps_rid: int,
                         merge_count: int) -> list[Page]:
-    """Pack *values* into frozen pages of the configured capacity."""
+    """Pack *values* into frozen pages of the configured capacity.
+
+    *values* is either a plain list (filled slot-by-slot into the
+    configured page class) or a :class:`_ColumnBuffer`, whose buffer
+    windows splice straight into fresh byte-buffer pages.
+    """
     records_per_page = table.config.records_per_page
+    if isinstance(values, _ColumnBuffer):
+        return _build_bytes_pages(table, column, values, kind, tps_rid,
+                                  merge_count)
+    page_class = BytesPage if table.config.bytes_pages else Page
     pages: list[Page] = []
     for start in range(0, len(values), records_per_page):
-        page = Page(table.page_counter.next(), kind, records_per_page,
-                    column)
+        page = page_class(table.page_counter.next(), kind,
+                          records_per_page, column)
         page.fill(values[start:start + records_per_page])
+        page.set_lineage(tps_rid, merge_count)
+        if table.config.compress_merged_pages:
+            page = maybe_compress_page(page)
+        pages.append(page)
+    return pages
+
+
+def _build_bytes_pages(table: Table, column: int, buffer: _ColumnBuffer,
+                       kind: PageKind, tps_rid: int,
+                       merge_count: int) -> list[Page]:
+    """Install a :class:`_ColumnBuffer` as frozen byte-buffer pages."""
+    records_per_page = table.config.records_per_page
+    raw = buffer.view.cast("B")
+    total = len(buffer)
+    pages: list[Page] = []
+    for start in range(0, total, records_per_page):
+        count = min(records_per_page, total - start)
+        page = BytesPage(table.page_counter.next(), kind,
+                         records_per_page, column)
+        null_bitmap = bytearray((count + 7) >> 3)
+        for offset in buffer.nulls:
+            if start <= offset < start + count:
+                slot = offset - start
+                null_bitmap[slot >> 3] |= 1 << (slot & 7)
+        sidecar = {offset - start: value
+                   for offset, value in buffer.side.items()
+                   if start <= offset < start + count}
+        page.install_dense(raw[8 * start:8 * (start + count)], count,
+                           null_bitmap, sidecar)
+        page.freeze()
         page.set_lineage(tps_rid, merge_count)
         if table.config.compress_merged_pages:
             page = maybe_compress_page(page)

@@ -8,15 +8,30 @@ transaction aborts (aborted tail records become tombstones, Section
 sequence number* (TPS, Section 4.2) recording how many tail records have
 been consolidated into them.
 
-Because this reproduction stores Python objects, "32 KB page" becomes
-"N slots per page". Read-only integer pages expose a cached NumPy view
-(:meth:`Page.as_numpy`) so analytical scans enjoy the columnar-layout
-speedup the paper measures in Table 8.
+Two physical layouts implement the fixed-slot columnar page:
+
+* :class:`Page` stores Python objects in a list — the original layout,
+  kept as the semantics oracle behind ``EngineConfig.bytes_pages=False``
+  (mirroring the PR-5 ``flat_appends`` discipline).
+* :class:`BytesPage` (the default) stores one signed 64-bit cell per
+  slot in an ``array('q')`` buffer with parallel written/null bitmaps:
+  a cell write is a C-level store, :meth:`Page.as_numpy` /
+  :meth:`Page.as_numpy_masked` are zero-copy ``np.frombuffer`` views of
+  the live buffer, ``masked_total`` sums the buffer directly, and the
+  raw buffer *is* the on-disk image (``storage/serialization.py`` writes
+  it verbatim, CRC32 over the raw bytes). Values no int64 slot can hold
+  (∅-less non-ints, wide ints) spill to a per-page object sidecar; ∅ is
+  a null-bitmap bit over a zeroed cell, so buffer sums need no masking.
+
+"32 KB page" becomes "N slots per page" either way. Read-only integer
+pages expose a cached NumPy view (:meth:`Page.as_numpy`) so analytical
+scans enjoy the columnar-layout speedup the paper measures in Table 8.
 """
 
 from __future__ import annotations
 
 import threading
+from array import array
 from typing import Any, Iterator, Sequence
 
 import numpy as np
@@ -203,6 +218,22 @@ class Page:
         """
         return self._values[slot]
 
+    def replace_slot(self, slot: int, expected: Any, value: Any) -> bool:
+        """CAS-refine a *written* slot in place (lazy stamping only).
+
+        The one sanctioned in-place mutation of a written cell: swapping
+        a resolved transaction marker for its commit time so the
+        transaction-manager entry becomes droppable. Returns False when
+        the slot does not currently hold *expected* (including when it
+        was never written).
+        """
+        with self._lock:
+            if self._values[slot] == expected:
+                self._values[slot] = value
+                self._numpy_cache = None
+                return True
+            return False
+
     def iter_values(self) -> Iterator[Any]:
         """Yield the written prefix of the page, in slot order."""
         for value in self._values:
@@ -239,6 +270,16 @@ class Page:
     def utilization(self) -> float:
         """Fraction of slots written (space-utilisation metric, §4.4)."""
         return self._num_written / self.capacity
+
+    @property
+    def byte_size(self) -> int:
+        """Bytes of fixed-width buffer storage (0: object-list layout).
+
+        Feeds the ``storage.page_bytes`` gauge; only byte-buffer pages
+        contribute, so the gauge measures exactly the storage the
+        zero-copy/zero-translation paths operate on.
+        """
+        return 0
 
     # -- analytics fast path ----------------------------------------------
 
@@ -346,6 +387,433 @@ class Page:
         return ("Page(id=%d, kind=%s, col=%r, %d/%d slots, tps=%d)"
                 % (self.page_id, self.kind.value, self.column,
                    self._num_written, self.capacity, self.tps_rid))
+
+
+#: Internal miss marker for sidecar lookups (∅ and ints are real values).
+_MISSING = object()
+
+
+class BytesPage(Page):
+    """A :class:`Page` backed by a fixed-width ``array('q')`` buffer.
+
+    Storage layout (all allocated once, at construction, so buffer
+    views stay valid for the page's lifetime):
+
+    * ``_buf`` — one signed 64-bit cell per slot (zero-initialised);
+    * ``_written`` — byte map, one byte per slot: slot has been written
+      (write-once check). A byte per slot rather than a bit so the
+      write path is a plain indexed store with no read-modify-write of
+      a byte shared between eight slots;
+    * ``_nullbits`` — bitmap: slot holds the special null ∅ (its buffer
+      cell stays 0, so unmasked buffer sums are already ∅-correct);
+    * ``_sidecar`` — lazy ``{slot: object}`` escape hatch for values no
+      int64 cell can hold (strings, wide ints); their buffer cells also
+      stay 0.
+
+    The interface is exactly :class:`Page`'s — every call site (tail
+    appends, chain walks, merge, serialization, the exec planes' slice
+    readers) works by duck typing — but the hot paths compile down to
+    C-level stores/loads, :meth:`as_numpy` / :meth:`as_numpy_masked`
+    are zero-copy ``np.frombuffer`` views of the live buffer, and
+    :meth:`export_dense` hands serialization the raw bytes verbatim.
+    """
+
+    __slots__ = ("_buf", "_written", "_nullbits", "_sidecar", "_clean")
+
+    def __init__(self, page_id: int, kind: PageKind, capacity: int,
+                 column: int | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError("page capacity must be positive")
+        self.page_id = page_id
+        self.kind = kind
+        self.capacity = capacity
+        self.column = column
+        #: The inherited object-list storage is unused; keep the slot
+        #: bound (and empty) so a stray access fails loudly.
+        self._values = ()
+        self._buf = array("q", bytes(8 * capacity))
+        self._written = bytearray(capacity)
+        self._nullbits = bytearray((capacity + 7) >> 3)
+        self._sidecar: dict[int, Any] | None = None
+        #: Fast-path flag: True while the page holds no ∅ and no
+        #: sidecar value, so a written slot's value IS its buffer cell
+        #: (one compare instead of two bitmap probes per read). Goes
+        #: False on the first spill and never back — conservative.
+        self._clean = True
+        self._num_written = 0
+        self._frozen = False
+        self.tps_rid: int = NULL_RID
+        self.merge_count: int = 0
+        self._numpy_cache = None
+        self._lock = threading.Lock()
+        self.deallocated = False
+
+    # -- storage helpers ---------------------------------------------------
+
+    def _spill(self, slot: int, value: Any) -> None:
+        # Caller holds self._lock. The buffer cell stays 0: ∅ slots
+        # contribute nothing to buffer sums, sidecar slots are patched
+        # on read.
+        self._clean = False
+        if is_null(value):
+            self._nullbits[slot >> 3] |= 1 << (slot & 7)
+            return
+        side = self._sidecar
+        if side is None:
+            side = self._sidecar = {}
+        side[slot] = value
+
+    def _mark_prefix_written(self, count: int) -> None:
+        # Caller holds self._lock.
+        self._written[:count] = b"\x01" * count
+
+    def _prefix_length(self) -> int:
+        """Length of the written prefix (truncates at the first hole)."""
+        count = self._num_written
+        written = self._written
+        if written[:count] == b"\x01" * count:
+            return count
+        length = 0
+        for flag in written:
+            if not flag:
+                break
+            length += 1
+        return length
+
+    def _null_slots(self, limit: int) -> list[int]:
+        """Slots below *limit* holding ∅, ascending."""
+        out: list[int] = []
+        for byte_index, byte in enumerate(self._nullbits):
+            if not byte:
+                continue
+            base = byte_index << 3
+            if base >= limit:
+                break
+            for bit in range(8):
+                if byte & (1 << bit) and base + bit < limit:
+                    out.append(base + bit)
+        return out
+
+    # -- writes ----------------------------------------------------------
+
+    def write_slot(self, slot: int, value: Any) -> None:
+        """Write *value* into *slot* exactly once.
+
+        The body of :meth:`write_slot_fast` is inlined after the frozen
+        and bounds checks rather than delegated — base-range inserts go
+        through here, and the extra Python frame of a delegating call
+        costs as much as the store itself.
+        """
+        if self._frozen:
+            raise PageImmutableError(
+                "page %d is frozen (%s)" % (self.page_id, self.kind.value))
+        if not 0 <= slot < self.capacity:
+            raise PageFullError(
+                "slot %d out of range for capacity %d"
+                % (slot, self.capacity))
+        lock = self._lock
+        lock.acquire()
+        try:
+            written = self._written
+            if written[slot]:
+                raise PageImmutableError(
+                    "slot %d of page %d already written (write-once)"
+                    % (slot, self.page_id))
+            if type(value) is int:
+                try:
+                    self._buf[slot] = value
+                except OverflowError:
+                    self._spill(slot, value)
+            else:
+                self._spill(slot, value)
+            written[slot] = 1
+            self._num_written += 1
+        finally:
+            lock.release()
+
+    def write_slot_fast(self, slot: int, value: Any) -> None:
+        """Write-once write of a slot the caller exclusively owns.
+
+        Same contract as :meth:`Page.write_slot_fast`; the store is a
+        C-level ``array('q')`` item assignment plus one byte-map store
+        (no bit math, no read-modify-write). The lock is taken with
+        explicit acquire/release: on this hottest of paths the ``with``
+        statement's context-manager dispatch is measurable (~30% of
+        the whole call).
+        """
+        lock = self._lock
+        lock.acquire()
+        try:
+            written = self._written
+            if written[slot]:
+                raise PageImmutableError(
+                    "slot %d of page %d already written (write-once)"
+                    % (slot, self.page_id))
+            if type(value) is int:
+                try:
+                    self._buf[slot] = value
+                except OverflowError:
+                    self._spill(slot, value)
+            else:
+                self._spill(slot, value)
+            written[slot] = 1
+            self._num_written += 1
+        finally:
+            lock.release()
+
+    def write_slot_pair_fast(self, slot1: int, value1: Any,
+                             slot2: int, value2: Any) -> None:
+        """Two exclusively-owned write-once slots under one lock hold."""
+        lock = self._lock
+        lock.acquire()
+        try:
+            written = self._written
+            if written[slot1] or written[slot2]:
+                raise PageImmutableError(
+                    "slot %d/%d of page %d already written (write-once)"
+                    % (slot1, slot2, self.page_id))
+            buf = self._buf
+            if type(value1) is int:
+                try:
+                    buf[slot1] = value1
+                except OverflowError:
+                    self._spill(slot1, value1)
+            else:
+                self._spill(slot1, value1)
+            if type(value2) is int:
+                try:
+                    buf[slot2] = value2
+                except OverflowError:
+                    self._spill(slot2, value2)
+            else:
+                self._spill(slot2, value2)
+            written[slot1] = 1
+            written[slot2] = 1
+            self._num_written += 2
+        finally:
+            lock.release()
+
+    def fill(self, values: Sequence[Any]) -> None:
+        """Bulk-write a fresh page (merge fast path); then freeze it."""
+        if self._num_written:
+            raise PageImmutableError(
+                "fill() requires an empty page; %d slots already written"
+                % self._num_written)
+        if len(values) > self.capacity:
+            raise PageFullError(
+                "%d values exceed capacity %d" % (len(values), self.capacity))
+        with self._lock:
+            try:
+                # All-int bulk path: one C-level buffer splice.
+                self._buf[:len(values)] = array("q", values)
+            except (TypeError, OverflowError):
+                buf = self._buf
+                for slot, value in enumerate(values):
+                    if type(value) is int:
+                        try:
+                            buf[slot] = value
+                            continue
+                        except OverflowError:
+                            pass
+                    self._spill(slot, value)
+            self._mark_prefix_written(len(values))
+            self._num_written = len(values)
+        self.freeze()
+
+    def replace_slot(self, slot: int, expected: Any, value: Any) -> bool:
+        """CAS-refine a written slot (see :meth:`Page.replace_slot`)."""
+        index = slot >> 3
+        mask = 1 << (slot & 7)
+        with self._lock:
+            if not self._written[slot]:
+                return False
+            if self._nullbits[index] & mask:
+                current: Any = NULL
+            else:
+                side = self._sidecar
+                current = _MISSING if side is None \
+                    else side.get(slot, _MISSING)
+                if current is _MISSING:
+                    current = self._buf[slot]
+            if not (current == expected
+                    or (is_null(current) and is_null(expected))):
+                return False
+            self._nullbits[index] &= ~mask & 0xFF
+            if self._sidecar is not None:
+                self._sidecar.pop(slot, None)
+            self._buf[slot] = 0
+            if type(value) is int:
+                try:
+                    self._buf[slot] = value
+                except OverflowError:
+                    self._spill(slot, value)
+            else:
+                self._spill(slot, value)
+            self._numpy_cache = None
+            return True
+
+    # -- reads -----------------------------------------------------------
+
+    def read_slot(self, slot: int) -> Any:
+        """Return the value at *slot* (may be the special null ∅)."""
+        if not 0 <= slot < self.capacity:
+            raise PageFullError(
+                "slot %d out of range for capacity %d"
+                % (slot, self.capacity))
+        value = self.peek_slot(slot)
+        if value is UNWRITTEN:
+            raise PageImmutableError(
+                "slot %d of page %d was never written"
+                % (slot, self.page_id))
+        return value
+
+    def is_written(self, slot: int) -> bool:
+        """True when *slot* holds a value."""
+        if not 0 <= slot < self.capacity:
+            return False
+        return bool(self._written[slot])
+
+    def peek_slot(self, slot: int) -> Any:
+        """Value at *slot*, or :data:`UNWRITTEN` (non-raising read).
+
+        The clean-page fast path (no ∅, no sidecar — the overwhelmingly
+        common case) is one byte-map probe plus one C-level buffer
+        load.
+        """
+        if self._clean:
+            if self._written[slot]:
+                return self._buf[slot]
+            return UNWRITTEN
+        if not self._written[slot]:
+            return UNWRITTEN
+        if self._nullbits[slot >> 3] & (1 << (slot & 7)):
+            return NULL
+        side = self._sidecar
+        if side is not None:
+            value = side.get(slot, _MISSING)
+            if value is not _MISSING:
+                return value
+        return self._buf[slot]
+
+    def iter_values(self) -> Iterator[Any]:
+        """Yield the written prefix of the page, in slot order."""
+        for slot in range(self._prefix_length()):
+            yield self.peek_slot(slot)
+
+    def values_list(self) -> list[Any]:
+        """The written prefix as one list (merge fallback copy phase)."""
+        length = self._prefix_length()
+        if not length:
+            return []
+        values = self._buf[:length].tolist()
+        for slot in self._null_slots(length):
+            values[slot] = NULL
+        side = self._sidecar
+        if side:
+            for slot, value in side.items():
+                if slot < length:
+                    values[slot] = value
+        return values
+
+    @property
+    def byte_size(self) -> int:
+        """Bytes of fixed-width buffer + write-map/null-bitmap storage."""
+        return 8 * self.capacity + len(self._written) + len(self._nullbits)
+
+    # -- raw-buffer transport ---------------------------------------------
+
+    @property
+    def buffer(self) -> memoryview:
+        """Read-only byte view of the whole slot buffer.
+
+        ``bytes(page.buffer[:8 * page.num_records])`` is exactly the
+        disk image serialization writes (zero translation).
+        """
+        return memoryview(self._buf).cast("B").toreadonly()
+
+    def export_dense(
+            self) -> tuple[int, memoryview, bytes, dict[int, Any]] | None:
+        """``(num_records, raw bytes, null bitmap, sidecar)`` or None.
+
+        The raw-buffer transport used by serialization and the merge
+        copy phase: the memoryview aliases the live buffer (no copy) and
+        covers exactly the written prefix. Returns None when the written
+        slots do not form a dense prefix (an in-flight writer mid-page
+        or a crash-truncated tail) — callers then fall back to the
+        generic slot-by-slot formats.
+        """
+        length = self._prefix_length()
+        if length != self._num_written:
+            return None
+        raw = memoryview(self._buf).cast("B").toreadonly()[:8 * length]
+        null_bitmap = bytes(self._nullbits[:(length + 7) >> 3])
+        side = self._sidecar
+        sidecar = {} if not side else {
+            slot: value for slot, value in side.items() if slot < length}
+        return length, raw, null_bitmap, sidecar
+
+    def install_dense(self, raw: bytes | memoryview, num_records: int,
+                      null_bitmap: bytes | bytearray,
+                      sidecar: dict[int, Any] | None) -> None:
+        """Install a dense prefix from raw-buffer transport parts.
+
+        Inverse of :meth:`export_dense`, used by deserialization and the
+        merge install phase on a freshly constructed page: the raw bytes
+        splice straight into the buffer (one C-level copy), the null
+        bitmap overlays verbatim, and the sidecar (if any) is adopted.
+        """
+        if self._num_written:
+            raise PageImmutableError(
+                "install_dense() requires an empty page; %d slots written"
+                % self._num_written)
+        if num_records > self.capacity:
+            raise PageFullError(
+                "%d records exceed capacity %d"
+                % (num_records, self.capacity))
+        with self._lock:
+            memoryview(self._buf).cast("B")[:len(raw)] = raw
+            self._nullbits[:len(null_bitmap)] = null_bitmap
+            if sidecar:
+                self._sidecar = dict(sidecar)
+            if sidecar or any(null_bitmap):
+                self._clean = False
+            self._mark_prefix_written(num_records)
+            self._num_written = num_records
+
+    # -- analytics fast path ----------------------------------------------
+
+    def _numpy_state(self):
+        """Compute-once state tuple; the array is a zero-copy view.
+
+        Same contract as :meth:`Page._numpy_state`, but the array is a
+        read-only ``np.frombuffer`` view of the live ``array('q')``
+        buffer (no copy — the buffer is allocated once and the page is
+        frozen, so the view can never go stale) and ``total`` is one
+        buffer-wide NumPy reduction: ∅ slots carry 0 in the buffer, so
+        no masking pass is needed.
+        """
+        state = self._numpy_cache
+        if state is not None:
+            return None if state is Page._DECLINED else state
+        length = self._prefix_length()
+        side = self._sidecar
+        if side and any(slot < length for slot in side):
+            with self._lock:
+                if self._numpy_cache is None:
+                    self._numpy_cache = Page._DECLINED
+            return None
+        view = np.frombuffer(self._buf, dtype=np.int64, count=length)
+        view.flags.writeable = False
+        nulls = tuple(self._null_slots(length))
+        valid = np.ones(length, dtype=bool)
+        if nulls:
+            valid[list(nulls)] = False
+        state = (view, valid, not nulls, int(view.sum()), nulls)
+        with self._lock:
+            if self._numpy_cache is None:
+                self._numpy_cache = state
+            state = self._numpy_cache
+        return None if state is Page._DECLINED else state
 
 
 class RowPage:

@@ -82,6 +82,17 @@ class PageDirectory:
     def __len__(self) -> int:
         return len(self._pages)
 
+    def buffer_bytes(self) -> int:
+        """Total bytes of fixed-width page-buffer storage registered.
+
+        Feeds the ``storage.page_bytes`` gauge: byte-buffer pages report
+        their buffer + bitmap footprint, object-list and row pages
+        report 0 (they hold Python references, not raw storage).
+        """
+        with self._lock:
+            pages = list(self._pages.values())
+        return sum(getattr(page, "byte_size", 0) for page in pages)
+
     # -- base chains --------------------------------------------------------
 
     def set_base_chain(self, range_id: int, column: int,

@@ -37,7 +37,7 @@ from .config import EngineConfig
 from .encoding import SchemaEncoding
 from .epoch import EpochManager
 from .index import IndexManager
-from .page import Page, RowPage, UNWRITTEN
+from .page import BytesPage, Page, RowPage, UNWRITTEN
 from .page_directory import PageDirectory
 from .rid import MonotonicCounter, RIDAllocator, TailBlock
 from .schema import (BASE_RID_COLUMN, INDIRECTION_COLUMN, LAST_UPDATED_COLUMN,
@@ -160,7 +160,8 @@ class TailSegment:
                  kind: PageKind = PageKind.TAIL,
                  segment_ref: tuple[str, int] | None = None,
                  wal: Any | None = None,
-                 latch_waits: Any | None = None) -> None:
+                 latch_waits: Any | None = None,
+                 page_class: type[Page] = Page) -> None:
         self.range_id = range_id
         #: WAL address of this segment: ("tail", range_id) for regular
         #: tails, ("insert", insert_range_index) for table-level tails.
@@ -172,6 +173,11 @@ class TailSegment:
         self.page_capacity = page_capacity
         self.block_size = block_size
         self.kind = kind
+        #: Physical page layout for this segment's columns: the
+        #: byte-buffer :class:`~repro.core.page.BytesPage` by default,
+        #: the object-list :class:`~repro.core.page.Page` when the
+        #: engine runs with ``bytes_pages=False`` (semantics oracle).
+        self._page_class = page_class
         self._rid_allocator = rid_allocator
         self._page_counter = page_counter
         self._page_directory = page_directory
@@ -342,8 +348,9 @@ class TailSegment:
             with self._lock:
                 pages = self._pages.setdefault(column, [])
                 while page_index >= len(pages):
-                    page = Page(self._page_counter.next(), self.kind,
-                                self.page_capacity, column)
+                    page = self._page_class(
+                        self._page_counter.next(), self.kind,
+                        self.page_capacity, column)
                     self._page_directory.register(page)
                     pages.append(page)
         return self._pages[column][page_index]
@@ -364,18 +371,21 @@ class TailSegment:
         return pages[page_index].is_written(offset % self.page_capacity)
 
     def read_cell(self, offset: int, column: int) -> Any:
-        """Read one cell; unmaterialised cells are the implicit ∅."""
+        """Read one cell; unmaterialised cells are the implicit ∅.
+
+        One :meth:`~repro.core.page.Page.peek_slot` dispatch instead of
+        an ``is_written`` + ``read_slot`` pair — the chain-walk hot
+        paths read a handful of cells per hop, and on byte-buffer pages
+        the fused probe also pays the bitmap arithmetic once.
+        """
         pages = self._pages.get(column)
         if pages is None:
             return NULL
         page_index = offset // self.page_capacity
         if page_index >= len(pages):
             return NULL
-        page = pages[page_index]
-        slot = offset % self.page_capacity
-        if not page.is_written(slot):
-            return NULL
-        return page.read_slot(slot)
+        value = pages[page_index].peek_slot(offset % self.page_capacity)
+        return NULL if value is UNWRITTEN else value
 
     def replace_cell(self, offset: int, column: int, expected: Any,
                      value: Any) -> bool:
@@ -384,12 +394,8 @@ class TailSegment:
         if pages is None:
             return False
         page = pages[offset // self.page_capacity]
-        slot = offset % self.page_capacity
-        with page._lock:
-            if page._values[slot] == expected:
-                page._values[slot] = value
-                return True
-            return False
+        return page.replace_slot(offset % self.page_capacity,
+                                 expected, value)
 
     def replace_record_cell(self, offset: int, column: int, expected: Any,
                             value: Any) -> bool:
@@ -1102,6 +1108,7 @@ class Table:
             segment_ref=segment_ref,
             wal=self.wal,
             latch_waits=self._stat_latch_waits,
+            page_class=BytesPage if self.config.bytes_pages else Page,
         )
 
     def _create_insert_range(self) -> InsertRange:

@@ -9,6 +9,12 @@ rename → fsync directory), so a crash leaves either the old index or
 the new one, never a torn one. Reads verify the image's CRC envelope
 and raise :class:`~repro.errors.CorruptPageError` with the page id and
 file offset on truncation or corruption.
+
+For byte-buffer pages (the default layout) the slot body is the page's
+raw ``array('q')`` buffer prefix plus its null bitmap — the disk image
+is the in-memory buffer, checksummed verbatim, and loading a page is
+one buffer splice rather than a slot-by-slot rebuild (see
+:mod:`repro.storage.serialization`).
 """
 
 from __future__ import annotations

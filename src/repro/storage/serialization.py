@@ -19,6 +19,16 @@ Sparse pages — tail pages with committed writes at non-contiguous slots
 (possible after a crash truncates the log mid-block) — use a dedicated
 ``(slot, value)``-pair format, since the dense formats can only encode a
 written prefix.
+
+Byte-buffer pages (:class:`~repro.core.page.BytesPage`, the default
+layout) serialize as their raw fixed-width buffer: the body payload is
+the written prefix of the ``array('q')`` buffer verbatim, followed by
+the null bitmap and the pickled sidecar of non-int64 cells. The CRC
+therefore covers the exact bytes held in memory — the on-disk image IS
+the in-memory buffer — and deserialization splices it back with one
+C-level copy instead of a slot-by-slot rebuild. Sparse byte-buffer
+pages fall back to the ``(slot, value)`` format and round-trip as
+object-list pages (the two classes interoperate slot-for-slot).
 """
 
 from __future__ import annotations
@@ -28,7 +38,7 @@ import struct
 import zlib
 from typing import Any
 
-from ..core.page import Page, RowPage
+from ..core.page import BytesPage, Page, RowPage
 from ..core.types import NULL, PageKind, is_null
 from ..errors import CorruptPageError, SerializationError
 
@@ -44,6 +54,7 @@ _FORMAT_INT64 = 1
 _FORMAT_PICKLE = 2
 _FORMAT_ROW_PICKLE = 3
 _FORMAT_SPARSE = 4
+_FORMAT_BYTES = 5  # raw buffer prefix + null bitmap + pickled sidecar
 
 _KIND_CODES = {kind: code for code, kind in enumerate(PageKind)}
 _KIND_FROM_CODE = {code: kind for kind, code in _KIND_CODES.items()}
@@ -65,6 +76,13 @@ def _serialize_body(page: Page | RowPage) -> bytes:
         payload = pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL)
         fmt = _FORMAT_ROW_PICKLE
         column = -1
+    elif (isinstance(page, BytesPage)
+          and (export := page.export_dense()) is not None):
+        _, raw, null_bitmap, sidecar = export
+        payload = bytes(raw) + null_bitmap + pickle.dumps(
+            sidecar, protocol=pickle.HIGHEST_PROTOCOL)
+        fmt = _FORMAT_BYTES
+        column = -1 if page.column is None else page.column
     else:
         values = list(page.iter_values())
         column = -1 if page.column is None else page.column
@@ -149,6 +167,20 @@ def _deserialize_body(data: bytes) -> Page | RowPage:
         for slot, row in enumerate(rows):
             if row is not None:
                 page.write_row(slot, row)
+        page.set_lineage(tps_rid, merge_count)
+        if kind in (PageKind.BASE, PageKind.MERGED):
+            page.freeze()
+        return page
+    if fmt == _FORMAT_BYTES:
+        raw_len = 8 * num_records
+        bitmap_len = (num_records + 7) >> 3
+        if len(payload) < raw_len + bitmap_len:
+            raise SerializationError("page payload truncated")
+        sidecar = pickle.loads(payload[raw_len + bitmap_len:])
+        page = BytesPage(page_id, kind, capacity,
+                         None if column < 0 else column)
+        page.install_dense(payload[:raw_len], num_records,
+                           payload[raw_len:raw_len + bitmap_len], sidecar)
         page.set_lineage(tps_rid, merge_count)
         if kind in (PageKind.BASE, PageKind.MERGED):
             page.freeze()

@@ -36,6 +36,11 @@ Ordering makes the whole protocol crash-safe: page images → manifest →
 fsynced ``COMPLETE`` marker → ``CheckpointRecord`` in the log → segment
 truncation → old-image pruning. A crash anywhere leaves either a
 complete older checkpoint with its full suffix, or the new one.
+
+With byte-buffer pages (the default layout) the shadow database's pages
+serialize as their raw fixed-width buffers, so the checkpoint image is
+the page buffers byte-for-byte (CRC over the raw buffer) and recovery
+installs them with one buffer splice per page.
 """
 
 from __future__ import annotations

@@ -32,6 +32,12 @@ The recovered database carries a :class:`RecoveryReport` (as
 ``database.recovery_report``) accounting for every record replayed or
 skipped and every byte the reader had to salvage or quarantine — a
 corrupted log degrades into a structured report, never a crash loop.
+
+Checkpoint images load through :mod:`repro.storage.serialization`: with
+byte-buffer pages (the default) each CRC-verified image splices straight
+into a fresh page buffer; replayed tail writes then append through the
+normal byte-buffer hot path. Recovery is layout-agnostic — images
+written under one page layout restore into a database running the other.
 """
 
 from __future__ import annotations

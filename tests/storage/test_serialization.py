@@ -1,11 +1,14 @@
 """Page serialization round trips."""
 
+import struct
+
 import pytest
 
-from repro.core.page import Page, RowPage
+from repro.core.page import BytesPage, Page, RowPage
 from repro.core.types import NULL, PageKind, is_null
 from repro.errors import SerializationError
-from repro.storage.serialization import deserialize_page, serialize_page
+from repro.storage.serialization import (_ENVELOPE, _HEADER,
+                                         deserialize_page, serialize_page)
 
 
 class TestColumnPages:
@@ -50,6 +53,57 @@ class TestColumnPages:
         page = Page(1, PageKind.TAIL, 4, column=None)
         page.write_slot(0, 1)
         assert deserialize_page(serialize_page(page)).column is None
+
+
+class TestBytesPages:
+    def test_round_trip(self):
+        page = BytesPage(11, PageKind.BASE, 8, column=2)
+        page.fill([10, NULL, 30, 40])
+        page.set_lineage(77, 3)
+        restored = deserialize_page(serialize_page(page))
+        assert isinstance(restored, BytesPage)
+        assert restored.page_id == 11
+        assert restored.column == 2
+        assert restored.tps_rid == 77
+        assert restored.merge_count == 3
+        assert restored.read_slot(0) == 10
+        assert is_null(restored.read_slot(1))
+        assert [restored.read_slot(i) for i in (2, 3)] == [30, 40]
+        assert restored.frozen
+
+    def test_disk_image_is_buffer_byte_for_byte(self):
+        """The BYTES payload prefix IS the in-memory buffer, verbatim."""
+        page = BytesPage(5, PageKind.BASE, 8, column=1)
+        page.fill([3, 1, 4, 1, 5, 9])
+        body = serialize_page(page)[_ENVELOPE.size:]
+        fmt = body[4]
+        assert fmt == 5  # _FORMAT_BYTES
+        n = page.num_records
+        payload = body[_HEADER.size:]
+        assert payload[:8 * n] == bytes(page.buffer[:8 * n])
+        assert payload[:8 * n] == struct.pack("<6q", 3, 1, 4, 1, 5, 9)
+
+    def test_sidecar_round_trip(self):
+        page = BytesPage(6, PageKind.TAIL, 8)
+        page.write_slot(0, 1 << 70)
+        page.write_slot(1, "text")
+        page.write_slot(2, 42)
+        restored = deserialize_page(serialize_page(page))
+        assert isinstance(restored, BytesPage)
+        assert restored.read_slot(0) == 1 << 70
+        assert restored.read_slot(1) == "text"
+        assert restored.read_slot(2) == 42
+        assert not restored.frozen  # tail pages stay appendable
+
+    def test_sparse_bytes_page_falls_back(self):
+        """Non-dense written sets use the (slot, value) sparse format."""
+        page = BytesPage(8, PageKind.TAIL, 8)
+        page.write_slot(0, 1)
+        page.write_slot(5, 2)  # hole at 1..4
+        restored = deserialize_page(serialize_page(page))
+        assert restored.read_slot(0) == 1
+        assert restored.read_slot(5) == 2
+        assert not restored.is_written(3)
 
 
 class TestRowPages:
