@@ -206,7 +206,7 @@ class MergeEngine:
         if len(tasks) > 1:
             self._stat_batched_ranges.add(len(tasks))
         completed = 0
-        retried = False
+        retried: list[MergeTask] = []
         with self._processing:
             for task in tasks:
                 if TRACE.enabled:
@@ -216,12 +216,17 @@ class MergeEngine:
                 else:
                     result = self._process_inner(task)
                 if result.retry:
-                    self.notifier(task.table, task.range_id, task.kind)
+                    retried.append(task)
                     self._stat_retries.add()
-                    retried = True
                 elif result.performed:
                     completed += 1
-        return completed, retried
+        # Re-enqueue retries only after the processing lock is released
+        # — the notifier is pluggable (table.merge_notifier is wired
+        # here) and may touch merge state; the single-task path already
+        # orders it after :meth:`_process` returns.
+        for task in retried:
+            self.notifier(task.table, task.range_id, task.kind)
+        return completed, bool(retried)
 
     # -- background thread ---------------------------------------------------
 

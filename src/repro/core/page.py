@@ -605,6 +605,12 @@ class BytesPage(Page):
         with self._lock:
             try:
                 # All-int bulk path: one C-level buffer splice.
+                # ``array('q')`` would silently coerce bool (an int
+                # subclass) to 0/1, so anything but exact ints takes
+                # the slot-wise path, where bools spill to the sidecar
+                # and read back unchanged — both layouts agree.
+                if any(type(v) is not int for v in values):
+                    raise TypeError
                 self._buf[:len(values)] = array("q", values)
             except (TypeError, OverflowError):
                 buf = self._buf
@@ -621,7 +627,18 @@ class BytesPage(Page):
         self.freeze()
 
     def replace_slot(self, slot: int, expected: Any, value: Any) -> bool:
-        """CAS-refine a written slot (see :meth:`Page.replace_slot`)."""
+        """CAS-refine a written slot (see :meth:`Page.replace_slot`).
+
+        Readers peek without the page lock (the chain-walk hot paths),
+        so the swap is ordered to be reader-atomic — an unlocked
+        :meth:`peek_slot` observes either the old value or the new one,
+        never a transient. A fitting int stores straight over the cell
+        (one atomic item assignment, no preceding zero store — a
+        transient 0 here would read as "committed at time 0" during
+        lazy Start Time stamping); spill targets install the new ∅ bit
+        / sidecar entry *before* the old representation is retired, and
+        the cell is zeroed last so buffer sums stay ∅-correct.
+        """
         index = slot >> 3
         mask = 1 << (slot & 7)
         with self._lock:
@@ -638,17 +655,24 @@ class BytesPage(Page):
             if not (current == expected
                     or (is_null(current) and is_null(expected))):
                 return False
-            self._nullbits[index] &= ~mask & 0xFF
-            if self._sidecar is not None:
-                self._sidecar.pop(slot, None)
-            self._buf[slot] = 0
             if type(value) is int:
                 try:
                     self._buf[slot] = value
                 except OverflowError:
-                    self._spill(slot, value)
+                    pass
+                else:
+                    if self._sidecar is not None:
+                        self._sidecar.pop(slot, None)
+                    self._nullbits[index] &= ~mask & 0xFF
+                    self._numpy_cache = None
+                    return True
+            self._spill(slot, value)
+            if is_null(value):
+                if self._sidecar is not None:
+                    self._sidecar.pop(slot, None)
             else:
-                self._spill(slot, value)
+                self._nullbits[index] &= ~mask & 0xFF
+            self._buf[slot] = 0
             self._numpy_cache = None
             return True
 
@@ -678,12 +702,20 @@ class BytesPage(Page):
 
         The clean-page fast path (no ∅, no sidecar — the overwhelmingly
         common case) is one byte-map probe plus one C-level buffer
-        load.
+        load. The flag is re-checked after the load: a concurrent
+        :meth:`replace_slot` spilling a clean page's cell flips
+        ``_clean`` *before* touching the bitmaps and zeroes the cell
+        last, so a buffer value read while the flag still holds is
+        guaranteed pre-transition — otherwise the slow path below
+        re-resolves through the bitmaps and sidecar.
         """
         if self._clean:
             if self._written[slot]:
-                return self._buf[slot]
-            return UNWRITTEN
+                value = self._buf[slot]
+                if self._clean:
+                    return value
+            else:
+                return UNWRITTEN
         if not self._written[slot]:
             return UNWRITTEN
         if self._nullbits[slot >> 3] & (1 << (slot & 7)):

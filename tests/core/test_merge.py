@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.merge import (MergeEngine, merge_insert_range,
-                              merge_update_range)
+from repro.core.merge import (MergeEngine, MergeResult, MergeTask,
+                              merge_insert_range, merge_update_range)
 from repro.core.schema import LAST_UPDATED_COLUMN, START_TIME_COLUMN
 from repro.core.table import DELETED, tps_applied
 from repro.core.types import NULL_RID, make_txn_marker
@@ -271,3 +271,30 @@ class TestMergeEngine:
         db.run_merges()
         update_range, _ = table.locate(rids[0])
         assert update_range.merged_upto > 0
+
+
+class TestBatchRetryNotifier:
+    def test_retry_notifier_runs_outside_processing_lock(self):
+        """Batched drains must not invoke the (pluggable) notifier while
+        holding the processing lock — a notifier that touches merge
+        state would deadlock the whole batch. Mirrors the single-task
+        path, which notifies only after _process returns."""
+        engine = MergeEngine(batch_ranges=4)
+        engine._process_inner = \
+            lambda task: MergeResult(performed=False, retry=True)
+        lock_free_at_notify = []
+
+        def probing_notifier(table, range_id, kind):
+            free = engine._processing.acquire(blocking=False)
+            if free:
+                engine._processing.release()
+            lock_free_at_notify.append(free)
+
+        engine.notifier = probing_notifier
+        sentinel = object()
+        tasks = [MergeTask(sentinel, range_id, "update")
+                 for range_id in range(3)]
+        completed, retried = engine._drain_batch(tasks)
+        assert completed == 0
+        assert retried
+        assert lock_free_at_notify == [True, True, True]

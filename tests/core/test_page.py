@@ -1,9 +1,13 @@
 """Pages: write-once discipline, freezing, NumPy views, lineage."""
 
+import sys
+import threading
+
 import numpy as np
 import pytest
 
-from repro.core.page import Page, RowPage, UNWRITTEN, page_values_equal
+from repro.core.page import (BytesPage, Page, RowPage, UNWRITTEN,
+                             page_values_equal)
 from repro.core.types import NULL, PageKind
 from repro.errors import PageFullError, PageImmutableError
 
@@ -235,3 +239,213 @@ class TestValueEquality:
     def test_plain_equality(self):
         assert page_values_equal(3, 3)
         assert not page_values_equal(3, 4)
+
+
+class TestBytesPageReplaceSlot:
+    """replace_slot across storage representations.
+
+    Regression coverage for the reader-atomic swap: the refinement
+    must never expose a transient value to unlocked readers, and
+    spilled cells must end up zeroed so buffer sums stay ∅-correct.
+    """
+
+    def _page(self, values):
+        page = BytesPage(1, PageKind.TAIL, 8)
+        for slot, value in enumerate(values):
+            page.write_slot(slot, value)
+        return page
+
+    def test_int_to_int(self):
+        page = self._page([7])
+        assert page.replace_slot(0, 7, 8)
+        assert page.read_slot(0) == 8
+
+    def test_int_to_string_spills_and_zeroes_cell(self):
+        page = self._page([7])
+        assert page.replace_slot(0, 7, "seven")
+        assert page.read_slot(0) == "seven"
+        assert page._buf[0] == 0
+
+    def test_string_to_int(self):
+        page = self._page(["seven"])
+        assert page.replace_slot(0, "seven", 7)
+        assert page.read_slot(0) == 7
+        assert page._sidecar.get(0) is None
+
+    def test_int_to_null_and_back(self):
+        page = self._page([7])
+        assert page.replace_slot(0, 7, NULL)
+        assert page.read_slot(0) is NULL
+        assert page._buf[0] == 0
+        assert page.replace_slot(0, NULL, 9)
+        assert page.read_slot(0) == 9
+
+    def test_string_to_null(self):
+        page = self._page(["seven"])
+        assert page.replace_slot(0, "seven", NULL)
+        assert page.read_slot(0) is NULL
+        assert page._sidecar.get(0) is None
+        assert page._buf[0] == 0
+
+    def test_int_to_wide_int(self):
+        wide = 1 << 80
+        page = self._page([7])
+        assert page.replace_slot(0, 7, wide)
+        assert page.read_slot(0) == wide
+        assert page._buf[0] == 0
+
+    def test_mismatch_and_unwritten_refused(self):
+        page = self._page([7])
+        assert not page.replace_slot(0, 6, 8)
+        assert not page.replace_slot(1, 6, 8)
+        assert page.read_slot(0) == 7
+
+    def test_no_transient_value_under_concurrent_peek(self):
+        """An unlocked reader must only ever see old or new values.
+
+        The lazy Start Time stamping reads tail cells without the page
+        lock; a transient 0 there would read as "committed at time 0"
+        and leak uncommitted versions into every snapshot. Force rapid
+        GIL switches and hammer one slot through int and spill
+        representations while a reader peeks.
+        """
+        page = BytesPage(1, PageKind.TAIL, 4)
+        page.write_slot(0, 1)
+        allowed = set()
+        seen = set()
+        stop = threading.Event()
+
+        def reader():
+            peek = page.peek_slot
+            while not stop.is_set():
+                seen.add(peek(0))
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            current = 1
+            for step in range(2, 15002):
+                if step % 500 == 0:  # occasional spill transitions
+                    value = "s%d" % step
+                elif step % 501 == 0:
+                    value = 1 << 70
+                else:
+                    value = step
+                allowed.add(value)
+                assert page.replace_slot(0, current, value)
+                current = value
+        finally:
+            stop.set()
+            thread.join()
+            sys.setswitchinterval(old_interval)
+        allowed.add(1)
+        assert seen <= allowed, seen - allowed
+
+
+class TestBytesPageFillBools:
+    def test_fill_preserves_bools_both_layouts(self):
+        # array('q') would coerce True -> 1; the bulk splice must not
+        # be taken when bools are present so both layouts agree.
+        for cls in (Page, BytesPage):
+            page = cls(1, PageKind.MERGED, 4)
+            page.fill([1, True, False, 2])
+            values = [page.read_slot(i) for i in range(4)]
+            assert values[0] == 1 and type(values[0]) is int
+            assert values[1] is True
+            assert values[2] is False
+            assert values[3] == 2
+
+    def test_fill_all_int_bulk_path_intact(self):
+        page = BytesPage(1, PageKind.MERGED, 4)
+        page.fill([1, 2, 3])
+        assert [page.read_slot(i) for i in range(3)] == [1, 2, 3]
+        assert page._sidecar is None
+
+
+class _ProbingBuf:
+    """array('q') stand-in running a visibility check after each store."""
+
+    def __init__(self, inner, check):
+        self._inner = inner
+        self._check = check
+
+    def __getitem__(self, index):
+        return self._inner[index]
+
+    def __setitem__(self, index, value):
+        self._inner[index] = value
+        self._check()
+
+
+class _ProbingBytearray(bytearray):
+    check = staticmethod(lambda: None)
+
+    def __setitem__(self, index, value):
+        super().__setitem__(index, value)
+        self.check()
+
+
+class _ProbingDict(dict):
+    check = staticmethod(lambda: None)
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self.check()
+
+    def pop(self, key, *default):
+        result = super().pop(key, *default)
+        self.check()
+        return result
+
+
+class TestBytesPageReplaceSlotLinearizable:
+    """Deterministic probe: after EVERY internal store replace_slot
+    makes (buffer cell, null bitmap, sidecar), an unlocked peek_slot
+    must return either the old or the new value — the exact invariant
+    the lazy Start Time stamping relies on. The pre-fix ordering
+    (zero the cell, then write) fails this on the first transition.
+    """
+
+    TRANSITIONS = [
+        (7, 8),                  # int -> int (the stamping hot case)
+        (7, "seven"),            # int -> sidecar
+        ("seven", 7),            # sidecar -> int
+        (7, NULL),               # int -> null
+        (NULL, 7),               # null -> int
+        ("seven", NULL),         # sidecar -> null
+        (NULL, "seven"),         # null -> sidecar
+        (7, 1 << 80),            # int -> wide int (overflow spill)
+        (1 << 80, 7),            # wide int -> int
+        ("a", "b"),              # sidecar -> sidecar
+    ]
+
+    @pytest.mark.parametrize("old,new", TRANSITIONS,
+                             ids=[repr((o, n)) for o, n in TRANSITIONS])
+    def test_every_intermediate_state_reads_old_or_new(self, old, new):
+        page = BytesPage(1, PageKind.TAIL, 4)
+        page.write_slot(0, old)
+        active = []
+
+        def check():
+            if not active:
+                return
+            value = page.peek_slot(0)
+            assert (page_values_equal(value, old)
+                    or page_values_equal(value, new)), (
+                "transient %r visible replacing %r -> %r"
+                % (value, old, new))
+
+        page._buf = _ProbingBuf(page._buf, check)
+        nullbits = _ProbingBytearray(page._nullbits)
+        nullbits.check = check
+        page._nullbits = nullbits
+        sidecar = _ProbingDict(page._sidecar or {})
+        sidecar.check = check
+        page._sidecar = sidecar
+        active.append(True)
+        assert page.replace_slot(0, old, new)
+        assert page_values_equal(page.read_slot(0), new)
+        if type(new) is not int or not (-2**63 <= new < 2**63):
+            assert page._buf[0] == 0  # spilled cells stay ∅-sum-correct
