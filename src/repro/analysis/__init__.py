@@ -1,0 +1,30 @@
+"""Invariants as code: concurrency lint, lock-order, and typing gates.
+
+Eight PRs of this engine accumulated load-bearing concurrency
+disciplines that lived only in prose — notify callbacks only after
+releasing the merge processing lock, pair every bare ``acquire()`` with
+a ``try/finally`` release, never do I/O or fire user hooks under a hot
+latch, draw instruments from the metrics registry instead of inventing
+``stat_*`` ints, and never read the wall clock on commit-ordering
+paths.  This package turns those rules into tooling:
+
+- :mod:`repro.analysis.annotations` — the declared hot-lock hierarchy
+  (names, ranks) and analysis hint tables;
+- :mod:`repro.analysis.locks` — :func:`~repro.analysis.locks.make_lock`
+  (the constructor every named hot lock goes through) and the
+  ``REPRO_LOCK_CHECK=1`` runtime lockset witness;
+- :mod:`repro.analysis.lint` — the REPRO-L00x AST rules with
+  ``# repro: allow(...) reason`` suppressions;
+- :mod:`repro.analysis.lockorder` — static nested-acquisition graph
+  extraction with cycle and rank validation;
+- :mod:`repro.analysis.gates` — mypy/ruff runners that skip when the
+  tools are absent (CI installs and enforces them).
+
+Run everything with ``python -m repro.analysis all``.  Engine modules
+import only :mod:`repro.analysis.locks` (stdlib-only, import-light);
+the AST machinery loads solely under the CLI and tests.
+"""
+
+from __future__ import annotations
+
+__all__ = ["annotations", "gates", "lint", "lockorder", "locks", "model"]

@@ -1,0 +1,66 @@
+"""Command-line entry point: ``python -m repro.analysis <command>``.
+
+Commands:
+
+- ``lint``       — run the REPRO-L00x rules over ``src/repro``
+- ``lockorder``  — static nested-acquisition graph + cycle/rank check
+- ``typecheck``  — mypy over the typed-core list (skips if absent)
+- ``ruff``       — ruff hygiene over ``src/repro`` (skips if absent)
+- ``all``        — everything above; nonzero exit on any failure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .gates import repo_root, run_ruff, run_typecheck
+from .lint import lint_tree
+from .lockorder import analyze_tree
+
+
+def _source_root() -> Path:
+    return repo_root() / "src" / "repro"
+
+
+def _run_lint(verbose: bool) -> int:
+    result = lint_tree(_source_root())
+    output = result.render() if (verbose or not result.clean) else (
+        "lint clean: 0 violations, %d suppressed"
+        % len(result.suppressed))
+    print(output)
+    return 0 if result.clean else 1
+
+
+def _run_lockorder(verbose: bool) -> int:
+    report = analyze_tree(_source_root())
+    print(report.render(verbose=verbose))
+    return 0 if report.clean else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.analysis")
+    parser.add_argument(
+        "command",
+        choices=("lint", "lockorder", "typecheck", "ruff", "all"))
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print suppressed findings / all edges")
+    options = parser.parse_args(argv)
+    runners = {
+        "lint": lambda: _run_lint(options.verbose),
+        "lockorder": lambda: _run_lockorder(options.verbose),
+        "typecheck": run_typecheck,
+        "ruff": run_ruff,
+    }
+    if options.command == "all":
+        status = 0
+        for name in ("lint", "lockorder", "typecheck", "ruff"):
+            print("== %s ==" % name)
+            status = max(status, runners[name]())
+        return status
+    return runners[options.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

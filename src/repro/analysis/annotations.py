@@ -1,0 +1,160 @@
+"""Declared hot-lock hierarchy and analysis hint tables.
+
+This module is the single source of truth the concurrency tooling works
+from.  Every *named hot lock* in the engine — the locks on write,
+commit, merge, and WAL hot paths — is declared here with a rank, and its
+creation site in the engine constructs it through
+:func:`repro.analysis.locks.make_lock` with the declared name.  Both the
+static lock-order extractor (:mod:`repro.analysis.lockorder`) and the
+runtime lockset witness (:mod:`repro.analysis.locks`) resolve locks back
+to these declarations, so the prose rules from earlier PRs ("notify only
+after releasing the processing lock", "no I/O under the append latch")
+become mechanically checkable.
+
+Rank discipline: a thread may only acquire a lock whose rank is
+*strictly greater* than the rank of every named lock it already holds.
+Lower rank = acquired earlier / held outermost.  The order below is the
+order the code actually implies (merge task processing is the outermost
+long-held lock; page latches and the transaction-manager mutex are
+leaves that never wrap another named acquisition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LockDecl:
+    """One named hot lock: its rank and where/why it exists."""
+
+    name: str
+    rank: int
+    description: str
+    #: Locks with the same name may legitimately nest (e.g. two page
+    #: latches of *different* page objects in one fused operation).
+    allow_sibling_nesting: bool = False
+
+
+#: The declared hot-lock hierarchy, outermost first.
+HOT_LOCKS: dict[str, LockDecl] = {
+    decl.name: decl
+    for decl in (
+        LockDecl(
+            "merge.processing", 10,
+            "MergeEngine._processing — serialises merge task execution; "
+            "held across an entire merge pass (the paper's single merge "
+            "thread)."),
+        LockDecl(
+            "merge.queue", 15,
+            "MergeEngine._lock — guards the pending-task queue; taken "
+            "briefly by notifiers and by the merge loop when draining."),
+        LockDecl(
+            "table.insert", 20,
+            "Table._insert_lock — serialises creation of new insert "
+            "ranges."),
+        LockDecl(
+            "table.ranges", 25,
+            "Table._range_lock — guards the update-range map."),
+        LockDecl(
+            "range.merge", 30,
+            "UpdateRange.merge_lock — serialises merges of one range "
+            "alongside the background merge thread."),
+        LockDecl(
+            "range.tail", 35,
+            "UpdateRange._tail_lock — guards lazy creation of the "
+            "range's regular tail segment."),
+        LockDecl(
+            "insert.alloc", 40,
+            "InsertRange._lock — base-RID slot allocator for one insert "
+            "range."),
+        LockDecl(
+            "segment.alloc", 45,
+            "TailSegment._lock — tail-slot allocator; WAL block "
+            "reservation is logged under it (log-before-publish)."),
+        LockDecl(
+            "wal.append", 50,
+            "LogManager._lock — the WAL append latch; buffer appends "
+            "only, group-commit fsync happens outside it."),
+        LockDecl(
+            "range.watermark", 55,
+            "UpdateRange.lock — merge lineage watermarks (merged_upto, "
+            "TPS, chain swap)."),
+        LockDecl(
+            "range.dirty", 60,
+            "UpdateRange._dirty_lock — incremental dirty-offset "
+            "patch-set and version horizons."),
+        LockDecl(
+            "epoch", 70,
+            "EpochManager._lock — retired-page batches; on_reclaim "
+            "callbacks run outside it."),
+        LockDecl(
+            "page", 75,
+            "Page/BytesPage/RowPage._lock — per-page slot latch; pure "
+            "in-memory writes only.",
+            allow_sibling_nesting=True),
+        LockDecl(
+            "txn.manager", 80,
+            "TransactionManager._lock — transaction table mutations; "
+            "commit/abort sinks fire after release."),
+    )
+}
+
+
+def rank_of(name: str) -> int:
+    """Rank of a named hot lock (KeyError for unknown names)."""
+    return HOT_LOCKS[name].rank
+
+
+#: Attribute / function names whose *invocation* is treated as a
+#: user-visible callback by REPRO-L002 and the runtime witness: firing
+#: one of these while holding a named hot lock risks re-entrant
+#: deadlock and arbitrary user code under an engine latch.
+CALLBACK_NAMES: frozenset[str] = frozenset({
+    "merge_notifier",
+    "commit_sink",
+    "abort_sink",
+    "on_reclaim",
+})
+
+#: Callback name *suffixes* (matched after an underscore) — catches
+#: future `foo_sink` / `foo_notifier` style hooks without enumerating.
+CALLBACK_SUFFIXES: tuple[str, ...] = ("_sink", "_notifier", "_callback", "_hook")
+
+#: Method names that perform file I/O when invoked on a file-like
+#: receiver (receiver text containing "file"), banned under hot locks.
+FILE_IO_METHODS: frozenset[str] = frozenset({
+    "write", "read", "flush", "fsync", "seek", "truncate", "close",
+})
+
+#: ``os.`` functions that hit the filesystem, banned under hot locks.
+OS_FILE_FUNCS: frozenset[str] = frozenset({
+    "fsync", "rename", "replace", "remove", "unlink", "makedirs",
+    "fdopen", "open", "ftruncate",
+})
+
+#: Receiver-attribute → class hints used by the static lock-order
+#: analysis to resolve ``self.<attr>.method()`` calls when the method
+#: name alone is ambiguous or denylisted (e.g. ``self._log.append``).
+RECEIVER_CLASS_HINTS: dict[str, str] = {
+    "wal": "TableWAL",
+    "_log": "LogManager",
+    "log": "LogManager",
+    "epoch_manager": "EpochManager",
+    "txn_manager": "TransactionManager",
+    "merge_engine": "MergeEngine",
+    "segment": "TailSegment",
+    "tail": "TailSegment",
+    "insert_range": "InsertRange",
+    "update_range": "UpdateRange",
+}
+
+#: Method names too generic to resolve by uniqueness alone (they
+#: collide with list/dict/set/file methods); only resolved through
+#: RECEIVER_CLASS_HINTS or an explicit ``self.`` receiver.
+GENERIC_METHOD_NAMES: frozenset[str] = frozenset({
+    "append", "add", "get", "set", "pop", "update", "remove", "extend",
+    "clear", "sort", "items", "keys", "values", "put", "join", "start",
+    "close", "write", "read", "flush", "next", "copy", "count", "index",
+    "insert", "discard", "setdefault", "release", "acquire", "locked",
+})

@@ -1,0 +1,59 @@
+"""Typed-core and hygiene gates (mypy / ruff), tolerant of absence.
+
+The repro container intentionally ships no third-party tooling, so
+these runners skip with a notice (exit 0) when mypy or ruff is not
+importable/installed; the CI ``analysis`` leg installs both and gets
+the real gate.  Configuration lives at the repo root (``mypy.ini``,
+``ruff.toml``) so editors and CI agree.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+#: Modules held to strict typing: the stable core value/config layer,
+#: the observability package, and this analysis package itself.
+TYPED_CORE: tuple[str, ...] = (
+    "src/repro/core/types.py",
+    "src/repro/core/config.py",
+    "src/repro/core/rid.py",
+    "src/repro/obs",
+    "src/repro/analysis",
+)
+
+
+def repo_root() -> Path:
+    """The repository root (three levels above this file's package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def run_typecheck() -> int:
+    """Run mypy over the typed-core list; skip cleanly if absent."""
+    if importlib.util.find_spec("mypy") is None:
+        print("analysis: mypy not installed; skipping typecheck "
+              "(the CI analysis leg installs and enforces it)")
+        return 0
+    root = repo_root()
+    command = [
+        sys.executable, "-m", "mypy",
+        "--config-file", str(root / "mypy.ini"),
+    ] + [str(root / target) for target in TYPED_CORE]
+    return subprocess.call(command, cwd=root)
+
+
+def run_ruff() -> int:
+    """Run ruff over src/repro; skip cleanly if absent."""
+    if importlib.util.find_spec("ruff") is None and shutil.which("ruff") is None:
+        print("analysis: ruff not installed; skipping hygiene check "
+              "(the CI analysis leg installs and enforces it)")
+        return 0
+    root = repo_root()
+    if shutil.which("ruff") is not None:
+        command = ["ruff", "check", "src/repro"]
+    else:
+        command = [sys.executable, "-m", "ruff", "check", "src/repro"]
+    return subprocess.call(command, cwd=root)

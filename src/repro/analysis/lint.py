@@ -1,0 +1,429 @@
+"""Engine-specific AST lint rules (REPRO-L001 … REPRO-L004).
+
+The rules encode the concurrency and observability disciplines earlier
+PRs established in prose:
+
+- **REPRO-L001** — every *statement-form* ``lock.acquire()`` must be
+  immediately followed by a ``try:`` whose ``finally:`` releases the
+  same lock.  (The explicit acquire/finally-release idiom is the hot
+  path's replacement for ``with``; an unpaired acquire leaks the lock
+  on any exception.)
+- **REPRO-L002** — no callback/notifier/sink invocation, ``time.sleep``,
+  file I/O, or ``np.*`` call inside a region holding a *named hot lock*
+  (``with`` block or acquire/finally region resolved through the
+  :mod:`repro.analysis.annotations` table).
+- **REPRO-L003** — no ``stat_*`` attribute stores outside ``obs/``
+  unless the attribute is a registry-backed ``CounterStat``/``GaugeStat``
+  descriptor alias declared somewhere in the tree: instruments come
+  from the metrics registry, not ad-hoc ints.
+- **REPRO-L004** — no wall-clock reads (``time.time``, ``datetime.now``)
+  in commit-ordering code (``core/``, ``txn/``, ``wal/``, ``exec/``):
+  commit ordering must come from ``SynchronizedClock``.
+
+Suppression: ``# repro: allow(L002) <reason>`` on the violating line or
+the line above.  A suppression without a written reason is itself a
+violation (REPRO-L000), so every exception stays visible and justified.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from .annotations import (
+    CALLBACK_NAMES,
+    CALLBACK_SUFFIXES,
+    FILE_IO_METHODS,
+    OS_FILE_FUNCS,
+)
+from .model import ParsedModule, Project
+
+RULE_IDS = ("L001", "L002", "L003", "L004")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_,\s-]+?)\s*\)\s*(.*)$")
+
+
+@dataclass
+class Violation:
+    """One lint finding."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    reason: str | None = None
+
+    def __str__(self) -> str:
+        tag = "REPRO-%s" % self.rule
+        text = "%s:%d: %s %s" % (self.path, self.line, tag, self.message)
+        if self.suppressed:
+            text += "  [suppressed: %s]" % (self.reason,)
+        return text
+
+
+@dataclass
+class LintResult:
+    """Outcome of a lint run."""
+
+    violations: list[Violation]        # unsuppressed (includes L000)
+    suppressed: list[Violation]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        parts = [str(v) for v in self.violations]
+        parts.extend(str(v) for v in self.suppressed)
+        parts.append(
+            "%d violation(s), %d suppressed"
+            % (len(self.violations), len(self.suppressed)))
+        return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Suppression table
+# ---------------------------------------------------------------------------
+
+
+class _Suppressions:
+    """Per-module map of line -> {rule -> reason}."""
+
+    def __init__(self, module: ParsedModule) -> None:
+        self._by_line: dict[int, dict[str, str]] = {}
+        self.missing_reason: list[int] = []
+        self.entries: list[tuple[int, str, str]] = []
+        for lineno, text in enumerate(module.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = [
+                rule.strip().upper().replace("REPRO-", "")
+                for rule in match.group(1).split(",")
+            ]
+            reason = match.group(2).strip()
+            if not reason:
+                self.missing_reason.append(lineno)
+                continue
+            targets = [lineno]
+            # A whole-line comment also covers the next source line.
+            if text.lstrip().startswith("#"):
+                targets.append(lineno + 1)
+            for rule in rules:
+                self.entries.append((lineno, rule, reason))
+                for target in targets:
+                    self._by_line.setdefault(target, {})[rule] = reason
+
+    def lookup(self, rule: str, line: int) -> str | None:
+        return self._by_line.get(line, {}).get(rule)
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _statement_positions(
+        func: ast.AST) -> dict[int, tuple[list[ast.stmt], int, ast.stmt | None]]:
+    """Map id(stmt) -> (containing list, index, owning statement)."""
+    positions: dict[int, tuple[list[ast.stmt], int, ast.stmt | None]] = {}
+
+    def note(stmts: list[ast.stmt], owner: ast.stmt | None) -> None:
+        for index, stmt in enumerate(stmts):
+            positions[id(stmt)] = (stmts, index, owner)
+            for child_list in _child_blocks(stmt):
+                note(child_list, stmt)
+
+    body = getattr(func, "body", [])
+    note(body, None)
+    return positions
+
+
+def _child_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    blocks: list[list[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, attr, None)
+        if isinstance(value, list) and value \
+                and isinstance(value[0], ast.stmt):
+            blocks.append(value)
+    for handler in getattr(stmt, "handlers", []) or []:
+        blocks.append(handler.body)
+    return blocks
+
+
+def _successor(stmt: ast.stmt,
+               positions: dict[int, tuple[list[ast.stmt], int,
+                                          ast.stmt | None]]
+               ) -> ast.stmt | None:
+    """The statement that runs after *stmt*'s block falls through."""
+    current: ast.stmt | None = stmt
+    while current is not None:
+        entry = positions.get(id(current))
+        if entry is None:
+            return None
+        stmts, index, owner = entry
+        if index + 1 < len(stmts):
+            return stmts[index + 1]
+        if isinstance(owner, (ast.For, ast.While, ast.AsyncFor)):
+            return None  # falls back to the loop header, not a successor
+        current = owner
+    return None
+
+
+def _bare_acquire(stmt: ast.stmt) -> tuple[ast.expr, str] | None:
+    """Return (receiver expr, receiver text) for ``X.acquire(...)``."""
+    if not (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)):
+        return None
+    func = stmt.value.func
+    if isinstance(func, ast.Attribute) and func.attr == "acquire":
+        return func.value, ast.unparse(func.value)
+    return None
+
+
+def _releases_in_finally(try_stmt: ast.Try, receiver_text: str) -> bool:
+    for node in ast.walk(ast.Module(body=try_stmt.finalbody,
+                                    type_ignores=[])):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "release"
+                and ast.unparse(node.func.value) == receiver_text):
+            return True
+    return False
+
+
+def _functions(module: ParsedModule) -> Iterator[tuple[str | None, ast.AST]]:
+    """Yield (enclosing class name, function node) pairs."""
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, node
+            yield from _nested(None, node)
+        elif isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield node.name, stmt
+                    yield from _nested(node.name, stmt)
+
+
+def _nested(class_name: str | None,
+            func: ast.AST) -> Iterator[tuple[str | None, ast.AST]]:
+    for node in ast.walk(func):
+        if node is not func and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield class_name, node
+
+
+def _local_lock_aliases(func: ast.AST, class_name: str | None,
+                        project: Project) -> dict[str, str]:
+    """``lock = self._lock`` style aliases inside *func*."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            resolved = project.resolve_lock_expr(node.value, class_name)
+            if resolved is not None:
+                aliases[node.targets[0].id] = resolved
+    return aliases
+
+
+def _root_name(expr: ast.expr) -> str | None:
+    while isinstance(expr, ast.Attribute):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+def _check_l001(module: ParsedModule, project: Project
+                ) -> Iterator[Violation]:
+    for class_name, func in _functions(module):
+        positions = _statement_positions(func)
+        for stmt in ast.walk(func):
+            if not isinstance(stmt, ast.stmt):
+                continue
+            acquired = _bare_acquire(stmt)
+            if acquired is None:
+                continue
+            _receiver, text = acquired
+            successor = _successor(stmt, positions)
+            if (isinstance(successor, ast.Try)
+                    and _releases_in_finally(successor, text)):
+                continue
+            yield Violation(
+                "L001", module.path, stmt.lineno,
+                "bare %s.acquire() is not immediately followed by a "
+                "try/finally that releases it" % text)
+
+
+_BANNED_CALL_CHECKS = "callback", "sleep", "file-io", "numpy"
+
+
+def _banned_call(call: ast.Call) -> str | None:
+    """Classify *call* if it is banned under a hot lock, else None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name == "open":
+            return "file I/O (open)"
+        if name in CALLBACK_NAMES or name.endswith(CALLBACK_SUFFIXES):
+            return "callback %r" % name
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    root = _root_name(func.value)
+    if root == "time" and attr == "sleep":
+        return "time.sleep"
+    if root == "os" and attr in OS_FILE_FUNCS:
+        return "file I/O (os.%s)" % attr
+    if root == "np":
+        return "numpy call (np.%s)" % attr
+    if attr in CALLBACK_NAMES or attr.endswith(CALLBACK_SUFFIXES):
+        return "callback %r" % attr
+    if attr in FILE_IO_METHODS:
+        receiver = ast.unparse(func.value).lower()
+        if "file" in receiver or receiver in ("f", "fh"):
+            return "file I/O (%s.%s)" % (ast.unparse(func.value), attr)
+    return None
+
+
+def _check_l002(module: ParsedModule, project: Project
+                ) -> Iterator[Violation]:
+    for class_name, func in _functions(module):
+        positions = _statement_positions(func)
+        aliases = _local_lock_aliases(func, class_name, project)
+        regions: list[tuple[str, list[ast.stmt]]] = []
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    name = project.resolve_lock_expr(
+                        item.context_expr, class_name, aliases)
+                    if name is not None:
+                        regions.append((name, stmt.body))
+            elif isinstance(stmt, ast.stmt):
+                acquired = _bare_acquire(stmt)
+                if acquired is None:
+                    continue
+                receiver, _text = acquired
+                name = project.resolve_lock_expr(
+                    receiver, class_name, aliases)
+                if name is None:
+                    continue
+                successor = _successor(stmt, positions)
+                if isinstance(successor, ast.Try):
+                    regions.append((name, successor.body + successor.orelse))
+        for lock_name, body in regions:
+            yield from _scan_region(module, lock_name, body)
+
+
+def _scan_region(module: ParsedModule, lock_name: str,
+                 body: list[ast.stmt]) -> Iterator[Violation]:
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue  # defined under the lock, not called under it
+        if isinstance(node, ast.Call):
+            kind = _banned_call(node)
+            if kind is not None:
+                yield Violation(
+                    "L002", module.path, node.lineno,
+                    "%s inside a region holding hot lock %r"
+                    % (kind, lock_name))
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _check_l003(module: ParsedModule, project: Project
+                ) -> Iterator[Violation]:
+    if module.relpath.startswith("obs/"):
+        return
+    for node in ast.walk(module.tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and target.attr.startswith("stat_")
+                    and target.attr not in project.stat_aliases):
+                yield Violation(
+                    "L003", module.path, node.lineno,
+                    "ad-hoc stat attribute %r assigned outside obs/ "
+                    "(instruments must come from the metrics registry)"
+                    % target.attr)
+
+
+_COMMIT_ORDER_DIRS = ("core/", "txn/", "wal/", "exec/")
+
+
+def _check_l004(module: ParsedModule, project: Project
+                ) -> Iterator[Violation]:
+    if not module.relpath.startswith(_COMMIT_ORDER_DIRS):
+        return
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        attr = node.func.attr
+        root = _root_name(node.func.value)
+        wall_clock = (
+            (root == "time" and attr in ("time", "time_ns"))
+            or (root == "datetime" and attr in ("now", "utcnow", "today")))
+        if wall_clock:
+            yield Violation(
+                "L004", module.path, node.lineno,
+                "wall-clock read %s.%s in commit-ordering code; use "
+                "SynchronizedClock" % (root, attr))
+
+
+_RULES = (_check_l001, _check_l002, _check_l003, _check_l004)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def lint_project(project: Project) -> LintResult:
+    """Run every rule over *project*, applying suppressions."""
+    violations: list[Violation] = []
+    suppressed: list[Violation] = []
+    for module in project.modules:
+        table = _Suppressions(module)
+        for lineno in table.missing_reason:
+            violations.append(Violation(
+                "L000", module.path, lineno,
+                "suppression without a written reason"))
+        for rule in _RULES:
+            for violation in rule(module, project):
+                reason = table.lookup(violation.rule, violation.line)
+                if reason is not None:
+                    violation.suppressed = True
+                    violation.reason = reason
+                    suppressed.append(violation)
+                else:
+                    violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    suppressed.sort(key=lambda v: (v.path, v.line, v.rule))
+    return LintResult(violations=violations, suppressed=suppressed)
+
+
+def lint_tree(root: Path) -> LintResult:
+    """Lint every module under *root*."""
+    return lint_project(Project.load(root))
+
+
+def lint_sources(sources: dict[str, str]) -> LintResult:
+    """Lint in-memory sources (test entry point)."""
+    return lint_project(Project.from_sources(sources))

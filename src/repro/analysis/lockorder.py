@@ -1,0 +1,320 @@
+"""Static nested-acquisition analysis over the named hot locks.
+
+Walks every function, simulating the lexically held set of *named hot
+locks* (``with`` regions and acquire/finally regions, resolved through
+the make_lock declaration table), and records:
+
+- **direct edges** — lock B acquired lexically inside a region holding
+  lock A;
+- **call edges** — a call made while holding A to a function whose
+  transitive acquisition set (best-effort interprocedural fixpoint over
+  resolvable calls) contains B.
+
+The resulting digraph must be acyclic and every edge must agree with
+the declared rank order (:data:`repro.analysis.annotations.HOT_LOCKS`):
+outer rank strictly below inner rank, same-name edges allowed only for
+locks declared ``allow_sibling_nesting`` (page latches).  Resolution is
+deliberately conservative — an unresolvable call contributes no edges —
+so the graph under-approximates; the runtime lockset witness
+(:mod:`repro.analysis.locks`) provides the dynamic complement on the
+concurrency test legs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .annotations import HOT_LOCKS
+from .lint import (
+    _bare_acquire,
+    _local_lock_aliases,
+    _releases_in_finally,
+    _statement_positions,
+    _successor,
+)
+from .model import FunctionInfo, ParsedModule, Project
+
+
+@dataclass
+class Edge:
+    """One observed outer -> inner ordering with witness sites."""
+
+    outer: str
+    inner: str
+    sites: list[str] = field(default_factory=list)
+
+
+@dataclass
+class LockOrderReport:
+    """Outcome of the static analysis."""
+
+    edges: dict[tuple[str, str], Edge]
+    cycles: list[list[str]]
+    rank_violations: list[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.cycles and not self.rank_violations
+
+    def render(self, verbose: bool = False) -> str:
+        parts: list[str] = []
+        if verbose or not self.clean:
+            for edge in sorted(self.edges.values(),
+                               key=lambda e: (e.outer, e.inner)):
+                parts.append("%s -> %s  (%s)" % (
+                    edge.outer, edge.inner, ", ".join(edge.sites[:3])))
+        for cycle in self.cycles:
+            parts.append("CYCLE: " + " -> ".join(cycle))
+        parts.extend("RANK: " + v for v in self.rank_violations)
+        parts.append(
+            "%d edge(s), %d cycle(s), %d rank violation(s)"
+            % (len(self.edges), len(self.cycles),
+               len(self.rank_violations)))
+        return "\n".join(parts)
+
+
+@dataclass
+class _Summary:
+    """Per-function extraction result."""
+
+    acquired: set[str] = field(default_factory=set)
+    #: (call node, held locks at the call site, enclosing class).
+    calls: list[tuple[ast.Call, tuple[str, ...], str | None, str]] = \
+        field(default_factory=list)
+    #: (outer, inner, site) direct lexical nestings.
+    direct: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+class _Extractor:
+    """Walks one function body tracking the lexical hot-lock held set."""
+
+    def __init__(self, project: Project, module: ParsedModule,
+                 class_name: str | None, func: ast.AST) -> None:
+        self.project = project
+        self.module = module
+        self.class_name = class_name
+        self.func = func
+        self.positions = _statement_positions(func)
+        self.aliases = _local_lock_aliases(func, class_name, project)
+        self.summary = _Summary()
+
+    def run(self) -> _Summary:
+        self._walk(list(getattr(self.func, "body", [])), [])
+        return self.summary
+
+    def _site(self, node: ast.AST) -> str:
+        return "%s:%d" % (self.module.path, getattr(node, "lineno", 0))
+
+    def _push(self, name: str, node: ast.AST,
+              held: list[str]) -> None:
+        self.summary.acquired.add(name)
+        for outer in held:
+            self.summary.direct.append((outer, name, self._site(node)))
+
+    def _walk(self, stmts: list[ast.stmt], held: list[str]) -> None:
+        index = 0
+        while index < len(stmts):
+            stmt = stmts[index]
+            index += 1
+            if isinstance(stmt, ast.With):
+                inner = list(held)
+                pushed = 0
+                for item in stmt.items:
+                    name = self.project.resolve_lock_expr(
+                        item.context_expr, self.class_name, self.aliases)
+                    self._scan_expressions(item.context_expr, held)
+                    if name is not None:
+                        self._push(name, stmt, inner)
+                        inner.append(name)
+                        pushed += 1
+                self._walk(stmt.body, inner)
+                continue
+            acquired = _bare_acquire(stmt)
+            if acquired is not None:
+                receiver, text = acquired
+                name = self.project.resolve_lock_expr(
+                    receiver, self.class_name, self.aliases)
+                successor = _successor(stmt, self.positions)
+                if (name is not None and isinstance(successor, ast.Try)
+                        and _releases_in_finally(successor, text)):
+                    self._push(name, stmt, held)
+                    # The guarded region is the try body; walk it with
+                    # the lock held, then skip past the Try when it is
+                    # the next statement in this block.
+                    inner = held + [name]
+                    self._walk(successor.body, inner)
+                    self._walk(successor.orelse, inner)
+                    self._walk(successor.finalbody, held)
+                    for handler in successor.handlers:
+                        self._walk(handler.body, inner)
+                    if index < len(stmts) and stmts[index] is successor:
+                        index += 1
+                    continue
+            # Generic statement: recurse into child blocks with the
+            # same held set, and scan embedded expressions for calls.
+            self._scan_expressions(stmt, held, skip_blocks=True)
+            for block in _stmt_blocks(stmt):
+                self._walk(block, held)
+
+    def _scan_expressions(self, node: ast.AST, held: list[str],
+                          skip_blocks: bool = False) -> None:
+        stack: list[ast.AST] = []
+        if skip_blocks:
+            for child in ast.iter_child_nodes(node):
+                if not isinstance(child, ast.stmt):
+                    stack.append(child)
+        else:
+            stack.append(node)
+        while stack:
+            current = stack.pop()
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Lambda)):
+                continue  # deferred execution — not under this held set
+            if isinstance(current, ast.Call):
+                self.summary.calls.append(
+                    (current, tuple(held), self.class_name,
+                     self._site(current)))
+            for child in ast.iter_child_nodes(current):
+                if not isinstance(child, ast.stmt):
+                    stack.append(child)
+
+
+def _stmt_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    blocks: list[list[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, attr, None)
+        if isinstance(value, list) and value \
+                and isinstance(value[0], ast.stmt):
+            blocks.append(value)
+    for handler in getattr(stmt, "handlers", []) or []:
+        blocks.append(handler.body)
+    return blocks
+
+
+# ---------------------------------------------------------------------------
+# Analysis driver
+# ---------------------------------------------------------------------------
+
+
+def _function_key(info: FunctionInfo) -> tuple[str, str]:
+    return (info.module.relpath, info.qualname)
+
+
+def analyze_project(project: Project) -> LockOrderReport:
+    """Extract the nested-acquisition graph and validate it."""
+    summaries: dict[tuple[str, str], _Summary] = {}
+    infos: dict[tuple[str, str], FunctionInfo] = {}
+
+    for methods in project.classes.values():
+        for info in methods.values():
+            infos[_function_key(info)] = info
+    for overloads in project.module_funcs.values():
+        for info in overloads:
+            infos[_function_key(info)] = info
+
+    for key, info in infos.items():
+        summaries[key] = _Extractor(
+            project, info.module, info.class_name, info.node).run()
+
+    # Best-effort transitive acquisition sets (fixpoint with a
+    # recursion guard for call cycles).
+    effective: dict[tuple[str, str], set[str]] = {}
+
+    def compute(key: tuple[str, str],
+                visiting: set[tuple[str, str]]) -> set[str]:
+        if key in effective:
+            return effective[key]
+        if key in visiting:
+            return set()
+        visiting.add(key)
+        summary = summaries.get(key)
+        acc: set[str] = set()
+        if summary is not None:
+            acc |= summary.acquired
+            for call, _held, class_name, _site in summary.calls:
+                callee = project.resolve_call(call, class_name)
+                if callee is not None:
+                    acc |= compute(_function_key(callee), visiting)
+        visiting.discard(key)
+        effective[key] = acc
+        return acc
+
+    edges: dict[tuple[str, str], Edge] = {}
+
+    def note_edge(outer: str, inner: str, site: str) -> None:
+        edge = edges.setdefault((outer, inner), Edge(outer, inner))
+        if site not in edge.sites:
+            edge.sites.append(site)
+
+    for key, summary in summaries.items():
+        for outer, inner, site in summary.direct:
+            note_edge(outer, inner, site)
+        for call, held, class_name, site in summary.calls:
+            if not held:
+                continue
+            callee = project.resolve_call(call, class_name)
+            if callee is None:
+                continue
+            for inner in compute(_function_key(callee), set()):
+                for outer in held:
+                    note_edge(outer, inner, site)
+
+    cycles = _find_cycles(edges)
+    rank_violations: list[str] = []
+    for (outer, inner), edge in sorted(edges.items()):
+        outer_decl = HOT_LOCKS.get(outer)
+        inner_decl = HOT_LOCKS.get(inner)
+        if outer_decl is None or inner_decl is None:
+            continue
+        if outer == inner:
+            if not outer_decl.allow_sibling_nesting:
+                rank_violations.append(
+                    "%s nested inside itself at %s"
+                    % (outer, ", ".join(edge.sites[:3])))
+        elif outer_decl.rank >= inner_decl.rank:
+            rank_violations.append(
+                "%s (rank %d) held while acquiring %s (rank %d) at %s"
+                % (outer, outer_decl.rank, inner, inner_decl.rank,
+                   ", ".join(edge.sites[:3])))
+    return LockOrderReport(edges=edges, cycles=cycles,
+                           rank_violations=rank_violations)
+
+
+def _find_cycles(edges: dict[tuple[str, str], Edge]) -> list[list[str]]:
+    graph: dict[str, set[str]] = {}
+    for outer, inner in edges:
+        if outer != inner:
+            graph.setdefault(outer, set()).add(inner)
+            graph.setdefault(inner, set())
+    cycles: list[list[str]] = []
+    state: dict[str, int] = {}  # 0 unseen / 1 in-stack / 2 done
+    path: list[str] = []
+
+    def visit(node: str) -> None:
+        state[node] = 1
+        path.append(node)
+        for succ in sorted(graph.get(node, ())):
+            if state.get(succ, 0) == 0:
+                visit(succ)
+            elif state.get(succ) == 1:
+                start = path.index(succ)
+                cycles.append(path[start:] + [succ])
+        path.pop()
+        state[node] = 2
+
+    for node in sorted(graph):
+        if state.get(node, 0) == 0:
+            visit(node)
+    return cycles
+
+
+def analyze_tree(root: Path) -> LockOrderReport:
+    """Analyze every module under *root*."""
+    return analyze_project(Project.load(root))
+
+
+def analyze_sources(sources: dict[str, str]) -> LockOrderReport:
+    """Analyze in-memory sources (test entry point)."""
+    return analyze_project(Project.from_sources(sources))

@@ -1,0 +1,206 @@
+"""Runtime lockset witness (Eraser-style) for the named hot locks.
+
+Disabled by default: :func:`make_lock` returns a plain
+``threading.Lock`` unless ``REPRO_LOCK_CHECK=1`` was set when this
+module was imported, so the instrumented path costs the engine nothing
+in normal runs (``benchmarks/test_lock_check_overhead.py`` pins this).
+
+With ``REPRO_LOCK_CHECK=1`` every named hot lock becomes a
+:class:`CheckedLock` proxy that records a per-thread hold-stack and, on
+each nested acquisition, checks the declared rank order
+(:data:`repro.analysis.annotations.HOT_LOCKS`) and a global
+first-witness order table.  Observed violations — rank inversions,
+inconsistent pairwise order across the run, same-name nesting, and
+callbacks fired under a hot lock (:func:`guard_callback`) — are
+recorded rather than raised, so one bad interleaving does not poison
+engine state mid-operation; the test harness asserts
+:func:`assert_clean` after every test when the witness is enabled.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from dataclasses import dataclass, field
+
+from .annotations import HOT_LOCKS
+
+#: True when REPRO_LOCK_CHECK was enabled at import time.  Import-time
+#: (not per-call) so engine hot paths can gate guard calls on a module
+#: constant and pay a single global load when disabled.
+ENABLED: bool = os.environ.get("REPRO_LOCK_CHECK", "0") not in ("", "0")
+
+
+@dataclass
+class LockOrderViolation:
+    """One recorded witness violation."""
+
+    kind: str  # "rank" | "order" | "self-nest" | "callback"
+    detail: str
+    stack: str = field(default="", repr=False)
+
+    def __str__(self) -> str:
+        return "[%s] %s" % (self.kind, self.detail)
+
+
+_registry_lock = threading.Lock()
+#: (outer, inner) name pair -> first witness description.
+_order_seen: dict[tuple[str, str], str] = {}
+_violations: list[LockOrderViolation] = []
+_tls = threading.local()
+
+
+def _held_stack() -> list["CheckedLock"]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+def _record(kind: str, detail: str) -> None:
+    stack = "".join(traceback.format_stack(limit=12)[:-2])
+    with _registry_lock:
+        _violations.append(LockOrderViolation(kind, detail, stack))
+
+
+def _note_acquired(lock: "CheckedLock") -> None:
+    held = _held_stack()
+    for outer in held:
+        if outer.name == lock.name:
+            if not lock.decl.allow_sibling_nesting or outer is lock:
+                _record(
+                    "self-nest",
+                    "lock %r acquired while %r already held by this "
+                    "thread" % (lock.name, outer.name))
+        elif outer.rank >= lock.rank:
+            _record(
+                "rank",
+                "acquired %r (rank %d) while holding %r (rank %d); "
+                "declared order requires strictly increasing ranks"
+                % (lock.name, lock.rank, outer.name, outer.rank))
+        pair = (outer.name, lock.name)
+        inverse = (lock.name, outer.name)
+        # Lock-free membership probe (dict reads are atomic under the
+        # GIL); only first witnesses pay the registry mutex.
+        if inverse in _order_seen and outer.name != lock.name:
+            _record(
+                "order",
+                "observed %r -> %r but the inverse order was first "
+                "witnessed at: %s" % (outer.name, lock.name,
+                                      _order_seen[inverse]))
+        elif pair not in _order_seen:
+            site = traceback.extract_stack(limit=4)[0]
+            with _registry_lock:
+                _order_seen.setdefault(
+                    pair, "%s:%d" % (site.filename, site.lineno or 0))
+    held.append(lock)
+
+
+def _note_released(lock: "CheckedLock") -> None:
+    held = _held_stack()
+    # Release may be out of LIFO order (rare but legal for Lock).
+    for i in range(len(held) - 1, -1, -1):
+        if held[i] is lock:
+            del held[i]
+            return
+
+
+class CheckedLock:
+    """An instrumented stand-in for ``threading.Lock``.
+
+    Supports the same acquire/release/context-manager surface the
+    engine uses, delegating to a real lock and recording hold-sets.
+    """
+
+    __slots__ = ("name", "rank", "decl", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.decl = HOT_LOCKS[name]
+        self.rank = self.decl.rank
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._lock.acquire(blocking, timeout)
+        if ok:
+            _note_acquired(self)
+        return ok
+
+    def release(self) -> None:
+        _note_released(self)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<CheckedLock %s rank=%d>" % (self.name, self.rank)
+
+
+def make_lock(name: str) -> "threading.Lock | CheckedLock":
+    """Construct the named hot lock *name*.
+
+    The one constructor every named hot lock in the engine goes
+    through: a plain ``threading.Lock`` when the witness is disabled
+    (the default — zero overhead), a :class:`CheckedLock` proxy when
+    ``REPRO_LOCK_CHECK=1``.  The name must be declared in
+    :data:`repro.analysis.annotations.HOT_LOCKS`.
+    """
+    if name not in HOT_LOCKS:
+        raise ValueError("undeclared hot lock name: %r" % (name,))
+    if not ENABLED:
+        return threading.Lock()
+    return CheckedLock(name)
+
+
+def held_hot_locks() -> tuple[str, ...]:
+    """Names of the named hot locks held by the calling thread."""
+    return tuple(lock.name for lock in _held_stack())
+
+
+def guard_callback(description: str) -> None:
+    """Record a violation if the calling thread holds any hot lock.
+
+    Engine code invokes this (gated on :data:`ENABLED`) immediately
+    before firing a user-visible callback — merge notifiers, commit and
+    abort sinks, reclamation hooks — pinning the "callbacks only after
+    release" discipline at runtime.
+    """
+    held = _held_stack()
+    if held:
+        _record(
+            "callback",
+            "%s fired while holding %s" % (
+                description, [lock.name for lock in held]))
+
+
+def violations() -> list[LockOrderViolation]:
+    """Snapshot of every violation recorded so far."""
+    with _registry_lock:
+        return list(_violations)
+
+
+def reset() -> None:
+    """Clear recorded violations and the first-witness order table."""
+    with _registry_lock:
+        _violations.clear()
+        _order_seen.clear()
+
+
+def assert_clean() -> None:
+    """Raise AssertionError listing every recorded violation."""
+    found = violations()
+    if found:
+        summary = "\n".join(
+            "%s\n%s" % (violation, violation.stack) for violation in found)
+        raise AssertionError(
+            "%d lock-discipline violation(s) witnessed:\n%s"
+            % (len(found), summary))

@@ -1,0 +1,235 @@
+"""Shared AST project model for the static analyses.
+
+Loads every module under a source root once, then builds the lookup
+tables the lint rules and the lock-order extractor both need:
+
+- which ``self.<attr>`` assignments construct a named hot lock through
+  :func:`repro.analysis.locks.make_lock` (the annotation table *is*
+  code — declaring a lock and naming it are the same act);
+- which ``stat_*`` attribute names are registry-backed descriptor
+  aliases (``CounterStat`` / ``GaugeStat`` class-level declarations);
+- an index of classes, methods, and module-level functions for
+  best-effort call resolution.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .annotations import GENERIC_METHOD_NAMES, RECEIVER_CLASS_HINTS
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file."""
+
+    path: str          # display path (repo-relative when possible)
+    relpath: str       # path relative to the scanned root, "/"-separated
+    tree: ast.Module
+    lines: list[str]
+
+
+@dataclass
+class FunctionInfo:
+    """A function or method with its lexical context."""
+
+    module: ParsedModule
+    class_name: str | None
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+    @property
+    def qualname(self) -> str:
+        if self.class_name:
+            return "%s.%s" % (self.class_name, self.name)
+        return self.name
+
+
+@dataclass
+class Project:
+    """The loaded source tree plus resolution tables."""
+
+    modules: list[ParsedModule] = field(default_factory=list)
+    #: (class name, attribute) -> hot lock name, from make_lock() sites.
+    lock_attrs: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: attribute -> hot lock name when unambiguous across all classes.
+    unique_lock_attrs: dict[str, str] = field(default_factory=dict)
+    #: stat_* attribute names declared as registry descriptor aliases.
+    stat_aliases: set[str] = field(default_factory=set)
+    #: class name -> {method name -> FunctionInfo}.
+    classes: dict[str, dict[str, FunctionInfo]] = field(default_factory=dict)
+    #: method name -> class names defining it (for uniqueness checks).
+    method_classes: dict[str, set[str]] = field(default_factory=dict)
+    #: function name -> FunctionInfos for module-level functions.
+    module_funcs: dict[str, list[FunctionInfo]] = field(default_factory=dict)
+
+    # -- loading -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, root: Path) -> "Project":
+        """Parse every ``*.py`` under *root* and build the tables."""
+        sources: dict[str, str] = {}
+        for path in sorted(root.rglob("*.py")):
+            sources[str(path.relative_to(root))] = path.read_text()
+        return cls.from_sources(sources, display_prefix=str(root))
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str],
+                     display_prefix: str = "") -> "Project":
+        """Build a project from in-memory sources (tests use this)."""
+        project = cls()
+        for relpath, source in sources.items():
+            display = (
+                "%s/%s" % (display_prefix, relpath) if display_prefix
+                else relpath)
+            tree = ast.parse(source, filename=display)
+            module = ParsedModule(
+                path=display,
+                relpath=relpath.replace("\\", "/"),
+                tree=tree,
+                lines=source.splitlines())
+            project.modules.append(module)
+        project._index()
+        return project
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index(self) -> None:
+        for module in self.modules:
+            for node in module.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = FunctionInfo(module, None, node.name, node)
+                    self.module_funcs.setdefault(node.name, []).append(info)
+                elif isinstance(node, ast.ClassDef):
+                    self._index_class(module, node)
+
+    def _index_class(self, module: ParsedModule, cls: ast.ClassDef) -> None:
+        methods = self.classes.setdefault(cls.name, {})
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(module, cls.name, stmt.name, stmt)
+                methods[stmt.name] = info
+                self.method_classes.setdefault(stmt.name, set()).add(cls.name)
+                for sub in ast.walk(stmt):
+                    self._note_lock_decl(cls.name, sub)
+            elif isinstance(stmt, ast.Assign):
+                self._note_stat_alias(stmt)
+        self._rebuild_unique_lock_attrs()
+
+    def _note_lock_decl(self, class_name: str, node: ast.AST) -> None:
+        # self.<attr> = make_lock("name")
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        value = node.value
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return
+        if not (isinstance(value, ast.Call) and value.args
+                and isinstance(value.args[0], ast.Constant)
+                and isinstance(value.args[0].value, str)):
+            return
+        func = value.func
+        callee = (func.id if isinstance(func, ast.Name)
+                  else func.attr if isinstance(func, ast.Attribute)
+                  else None)
+        if callee != "make_lock":
+            return
+        self.lock_attrs[(class_name, target.attr)] = value.args[0].value
+
+    def _note_stat_alias(self, stmt: ast.Assign) -> None:
+        # Class-level:  stat_x = CounterStat("_stat_x", ...) / GaugeStat(...)
+        if len(stmt.targets) != 1:
+            return
+        target = stmt.targets[0]
+        if not (isinstance(target, ast.Name)
+                and target.id.startswith("stat_")):
+            return
+        value = stmt.value
+        if not isinstance(value, ast.Call):
+            return
+        func = value.func
+        callee = (func.id if isinstance(func, ast.Name)
+                  else func.attr if isinstance(func, ast.Attribute)
+                  else None)
+        if callee in ("CounterStat", "GaugeStat"):
+            self.stat_aliases.add(target.id)
+
+    def _rebuild_unique_lock_attrs(self) -> None:
+        by_attr: dict[str, set[str]] = {}
+        for (_cls, attr), name in self.lock_attrs.items():
+            by_attr.setdefault(attr, set()).add(name)
+        self.unique_lock_attrs = {
+            attr: next(iter(names))
+            for attr, names in by_attr.items() if len(names) == 1
+        }
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve_lock_expr(self, expr: ast.expr, class_name: str | None,
+                          local_aliases: dict[str, str] | None = None
+                          ) -> str | None:
+        """Best-effort: resolve *expr* to a named hot lock, else None.
+
+        ``self.<attr>`` resolves only through the exact (class, attr)
+        declaration table — a plain ``threading.Lock`` stored under an
+        attribute name that happens to collide with a hot lock's must
+        not resolve.  Non-``self`` receivers fall back to the
+        attribute-uniqueness table (e.g. ``update_range.merge_lock``).
+        """
+        if isinstance(expr, ast.Name):
+            if local_aliases:
+                return local_aliases.get(expr.id)
+            return None
+        if not isinstance(expr, ast.Attribute):
+            return None
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            if class_name is None:
+                return None
+            return self.lock_attrs.get((class_name, expr.attr))
+        return self.unique_lock_attrs.get(expr.attr)
+
+    def resolve_call(self, call: ast.Call,
+                     class_name: str | None) -> FunctionInfo | None:
+        """Best-effort: resolve a call to an analyzed function.
+
+        Conservative by design — ambiguous or generic names (which
+        collide with list/dict/file methods) stay unresolved rather
+        than manufacture false lock-order edges.
+        """
+        func = call.func
+        if isinstance(func, ast.Name):
+            candidates = self.module_funcs.get(func.id, [])
+            if len(candidates) == 1:
+                return candidates[0]
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        method = func.attr
+        receiver = func.value
+        if isinstance(receiver, ast.Name) and receiver.id == "self":
+            if class_name is not None:
+                return self.classes.get(class_name, {}).get(method)
+            return None
+        hint = self._receiver_hint(receiver)
+        if hint is not None:
+            return self.classes.get(hint, {}).get(method)
+        if method in GENERIC_METHOD_NAMES:
+            return None
+        owners = self.method_classes.get(method, set())
+        if len(owners) == 1:
+            return self.classes[next(iter(owners))].get(method)
+        return None
+
+    @staticmethod
+    def _receiver_hint(receiver: ast.expr) -> str | None:
+        if isinstance(receiver, ast.Name):
+            return RECEIVER_CLASS_HINTS.get(receiver.id)
+        if (isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"):
+            return RECEIVER_CLASS_HINTS.get(receiver.attr)
+        return None

@@ -22,7 +22,6 @@ from ..core.config import EngineConfig
 from ..core.db import Database
 from ..core.table import DELETED
 from ..core.types import IsolationLevel
-from ..errors import TransactionAborted
 
 #: When set to a list (``repro.bench --metrics`` does), every
 #: :class:`LStoreEngine` appends its final engine-metrics snapshot here

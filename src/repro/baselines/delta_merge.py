@@ -90,6 +90,7 @@ class DeltaMergeEngine(Engine):
         self._merge_thread: threading.Thread | None = None
         self._stop_merge = threading.Event()
         self.stat_merges = 0
+        # repro: allow(L003) standalone measured baseline oracle; its write path is the comparison floor and must not pay registry costs
         self.stat_drain_waits = 0
 
     # -- plumbing ------------------------------------------------------------
@@ -186,6 +187,7 @@ class DeltaMergeEngine(Engine):
         statement releases its shared hold, and keeps new statements out
         until the merge finishes: the paper's defining DBM cost.
         """
+        # repro: allow(L003) baseline oracle hot path; a plain int under the gate keeps the measured DBM drain cost honest
         self.stat_drain_waits += 1
         self.gate.acquire_exclusive()
         try:

@@ -12,10 +12,11 @@ Blocking Merge baseline).
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from ..analysis.locks import ENABLED as _LOCK_CHECK
+from ..analysis.locks import guard_callback, make_lock
 from .page import Page, RowPage
 
 AnyPage = Page | RowPage
@@ -52,7 +53,7 @@ class EpochManager:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("epoch")
         self._active: dict[int, int] = {}
         self._next_token = 0
         self._retired: list[_RetiredBatch] = []
@@ -107,18 +108,23 @@ class EpochManager:
     # -- retirement ------------------------------------------------------------
 
     def retire(self, pages: Iterable[AnyPage], retired_at: int,
-               on_reclaim: Callable[[AnyPage], None] | None = None) -> None:
+               on_reclaim: Callable[[AnyPage], None] | None = None,
+               reclaim: bool = True) -> None:
         """Park *pages* for reclamation once pre-merge readers drain.
 
         *on_reclaim* (e.g. page-directory unregistration) runs once per
-        page at reclamation time.
+        page at reclamation time.  Callers that hold hot locks (the
+        merge paths) pass ``reclaim=False`` and trigger
+        :meth:`reclaim` themselves after releasing them, so the
+        *on_reclaim* hooks never fire under an engine latch.
         """
         batch = _RetiredBatch(tuple(pages), retired_at, on_reclaim)
         if not batch.pages:
             return
         with self._lock:
             self._retired.append(batch)
-        self.reclaim()
+        if reclaim:
+            self.reclaim()
 
     def reclaim(self) -> int:
         """Free every batch no active query could still reference.
@@ -143,6 +149,8 @@ class EpochManager:
             for page in batch.pages:
                 page.deallocated = True
                 if batch.on_reclaim is not None:
+                    if _LOCK_CHECK:
+                        guard_callback("epoch on_reclaim")
                     batch.on_reclaim(page)
                 count += 1
         with self._lock:

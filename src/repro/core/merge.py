@@ -27,13 +27,13 @@ from time import perf_counter
 from typing import Any, Sequence
 
 from ..errors import LineageError
+from ..analysis.locks import make_lock
 from ..fault import hit as fault_hit
 from ..obs.registry import CounterStat, MetricsRegistry
 from ..obs.trace import TRACE, span
 from .compression import maybe_compress_page
 from .encoding import SchemaEncoding
 from .page import BytesPage, Page, RowPage
-from .page_directory import PageDirectory
 from .schema import (BASE_RID_COLUMN, INDIRECTION_COLUMN, LAST_UPDATED_COLUMN,
                      SCHEMA_ENCODING_COLUMN, START_TIME_COLUMN)
 from .table import ROW_CHAIN_COLUMN, Table, UpdateRange, tps_applied
@@ -76,11 +76,11 @@ class MergeEngine:
                  metrics: MetricsRegistry | None = None) -> None:
         self._queue: deque[MergeTask] = deque()
         self._queued: set[tuple[int, int, str]] = set()
-        self._lock = threading.Lock()
+        self._lock = make_lock("merge.queue")
         self._wakeup = threading.Event()
         self._thread: threading.Thread | None = None
         self._stop = False
-        self._processing = threading.Lock()
+        self._processing = make_lock("merge.processing")
         self._poll_interval = poll_interval
         #: Tasks drained per wakeup/batch: >1 amortises the queue and
         #: processing locks (and the disabled-trace span dispatch) over
@@ -180,6 +180,7 @@ class MergeEngine:
                 if task is None:
                     break
                 result = self._process(task)
+                task.table.epoch_manager.reclaim()
                 if result.retry:
                     self.notifier(task.table, task.range_id, task.kind)
                     self._stat_retries.add()
@@ -220,10 +221,14 @@ class MergeEngine:
                     self._stat_retries.add()
                 elif result.performed:
                     completed += 1
-        # Re-enqueue retries only after the processing lock is released
-        # — the notifier is pluggable (table.merge_notifier is wired
-        # here) and may touch merge state; the single-task path already
-        # orders it after :meth:`_process` returns.
+        # Re-enqueue retries and reclaim retired pages only after the
+        # processing lock is released — the notifier is pluggable
+        # (table.merge_notifier is wired here) and may touch merge
+        # state, and epoch on_reclaim hooks must never fire under a hot
+        # lock; the single-task path orders both after :meth:`_process`
+        # returns.
+        for table in {id(t.table): t.table for t in tasks}.values():
+            table.epoch_manager.reclaim()
         for task in retried:
             self.notifier(task.table, task.range_id, task.kind)
         return completed, bool(retried)
@@ -270,6 +275,7 @@ class MergeEngine:
                 self._wakeup.clear()
                 continue
             result = self._process(task)
+            task.table.epoch_manager.reclaim()
             if result.retry:
                 self.notifier(task.table, task.range_id, task.kind)
                 # Back off: the blocking transaction needs time to finish.
@@ -292,7 +298,8 @@ class MergeEngine:
         if update_range is None:
             return MergeResult(performed=False)
         if task.kind == "insert":
-            result = merge_insert_range(task.table, update_range)
+            result = merge_insert_range(task.table, update_range,
+                                        reclaim=False)
             if result.performed:
                 self._stat_insert_merges.add()
                 self._stat_records_consolidated.add(
@@ -303,11 +310,13 @@ class MergeEngine:
                 # range before becoming a candidate" — materialise
                 # first.
                 insert_result = merge_insert_range(task.table,
-                                                   update_range)
+                                                   update_range,
+                                                   reclaim=False)
                 if not insert_result.performed:
                     return MergeResult(performed=False, retry=True)
                 self._stat_insert_merges.add()
-            result = merge_update_range(task.table, update_range)
+            result = merge_update_range(task.table, update_range,
+                                        reclaim=False)
             if result.performed:
                 self._stat_merges.add()
                 self._stat_records_consolidated.add(
@@ -323,15 +332,23 @@ class MergeEngine:
 # ---------------------------------------------------------------------------
 
 def merge_insert_range(table: Table,
-                       update_range: UpdateRange) -> MergeResult:
+                       update_range: UpdateRange, *,
+                       reclaim: bool = True) -> MergeResult:
     """Materialise base pages for one insert sub-range.
 
     Requires every slot of the sub-range to be written and resolved
     (committed or aborted); returns ``retry`` otherwise. Aborted inserts
     become holes: all-∅ data cells plus a base tombstone.
+
+    ``reclaim=False`` defers epoch reclamation to the caller (the merge
+    engine holds its processing lock here; on_reclaim hooks must only
+    fire once every hot lock is released).
     """
     with update_range.merge_lock:
-        return _merge_insert_range_locked(table, update_range)
+        result = _merge_insert_range_locked(table, update_range)
+    if reclaim and result.performed:
+        table.epoch_manager.reclaim()
+    return result
 
 
 def _merge_insert_range_locked(table: Table,
@@ -409,7 +426,8 @@ def _merge_insert_range_locked(table: Table,
     table.epoch_manager.retire(
         retired, retired_at=table.clock.advance(),
         on_reclaim=lambda page: table.page_directory.unregister(
-            page.page_id))
+            page.page_id),
+        reclaim=False)
     return MergeResult(performed=True, records_consolidated=size,
                        pages_created=pages_created)
 
@@ -419,7 +437,8 @@ def _merge_insert_range_locked(table: Table,
 # ---------------------------------------------------------------------------
 
 def merge_update_range(table: Table, update_range: UpdateRange,
-                       max_records: int | None = None) -> MergeResult:
+                       max_records: int | None = None, *,
+                       reclaim: bool = True) -> MergeResult:
     """Consolidate committed tail records into new merged pages.
 
     Steps follow Algorithm 1: (1) select a consecutive committed prefix
@@ -429,7 +448,10 @@ def merge_update_range(table: Table, update_range: UpdateRange,
     the outdated pages through the epoch manager.
     """
     with update_range.merge_lock:
-        return _merge_update_range_locked(table, update_range, max_records)
+        result = _merge_update_range_locked(table, update_range, max_records)
+    if reclaim and result.performed:
+        table.epoch_manager.reclaim()
+    return result
 
 
 def _merge_update_range_locked(table: Table, update_range: UpdateRange,
@@ -632,9 +654,13 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
     # strictly after the chain swap and watermark advance, so a
     # concurrent scan that already snapshotted the patch-set can only
     # over-patch against the new pages, never under-patch.
+    # Materialise the offsets BEFORE prune_dirty takes the dirty lock:
+    # iter_base_rids acquires the tail segment's allocation latch, and a
+    # lazy generator would drag that acquisition inside the dirty-lock
+    # hold (lock-order inversion witnessed by REPRO_LOCK_CHECK).
     update_range.prune_dirty(
-        base_rid - update_range.start_rid
-        for _, base_rid in tail.iter_base_rids(start_offset, end_offset))
+        [base_rid - update_range.start_rid
+         for _, base_rid in tail.iter_base_rids(start_offset, end_offset)])
     # The consumed prefix left the unmerged tail: recompute the
     # version horizon over the remaining suffix (after the watermark
     # advance, so the scan covers exactly the unmerged records).
@@ -646,7 +672,8 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
     table.epoch_manager.retire(
         old_pages, retired_at=table.clock.advance(),
         on_reclaim=lambda page: table.page_directory.unregister(
-            page.page_id))
+            page.page_id),
+        reclaim=False)
     return MergeResult(performed=True,
                        records_consolidated=end_offset - start_offset,
                        pages_created=pages_created)
@@ -658,7 +685,8 @@ def _merge_update_range_locked(table: Table, update_range: UpdateRange,
 
 def merge_columns(table: Table, update_range: UpdateRange,
                   data_columns: Sequence[int],
-                  max_records: int | None = None) -> MergeResult:
+                  max_records: int | None = None, *,
+                  reclaim: bool = True) -> MergeResult:
     """Merge only *data_columns* of one range, independently.
 
     "There is even no dependency among columns during the merge; thus,
@@ -753,10 +781,14 @@ def merge_columns(table: Table, update_range: UpdateRange,
         table.epoch_manager.retire(
             old_pages, retired_at=table.clock.advance(),
             on_reclaim=lambda page: table.page_directory.unregister(
-                page.page_id))
-        return MergeResult(performed=True,
-                           records_consolidated=end_offset - start_offset,
-                           pages_created=pages_created)
+                page.page_id),
+            reclaim=False)
+        result = MergeResult(performed=True,
+                             records_consolidated=end_offset - start_offset,
+                             pages_created=pages_created)
+    if reclaim:
+        table.epoch_manager.reclaim()
+    return result
 
 
 # ---------------------------------------------------------------------------

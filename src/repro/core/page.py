@@ -30,13 +30,13 @@ scans enjoy the columnar-layout speedup the paper measures in Table 8.
 
 from __future__ import annotations
 
-import threading
 from array import array
 from typing import Any, Iterator, Sequence
 
 import numpy as np
 
 from ..errors import PageFullError, PageImmutableError
+from ..analysis.locks import make_lock
 from .types import NULL, NULL_RID, PageKind, is_null
 
 
@@ -105,7 +105,7 @@ class Page:
         #: Lineage: number of merges this page has been through.
         self.merge_count: int = 0
         self._numpy_cache: np.ndarray | None = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("page")
         #: Set by the epoch manager when the page is reclaimed.
         self.deallocated = False
 
@@ -445,7 +445,7 @@ class BytesPage(Page):
         self.tps_rid: int = NULL_RID
         self.merge_count: int = 0
         self._numpy_cache = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("page")
         self.deallocated = False
 
     # -- storage helpers ---------------------------------------------------
@@ -877,7 +877,7 @@ class RowPage:
         self._frozen = False
         self.tps_rid: int = NULL_RID
         self.merge_count: int = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("page")
         self.deallocated = False
 
     def write_row(self, slot: int, row: Sequence[Any]) -> None:

@@ -20,7 +20,6 @@ This module implements Sections 2 and 3 of the paper:
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
@@ -32,6 +31,8 @@ from ..errors import (DuplicateKeyError, InconsistentReadError,
                       SchemaMismatchError, StorageError, WriteWriteConflict)
 from ..obs.registry import CounterStat, MetricsRegistry
 from ..txn.latch import IndirectionVector
+from ..analysis.locks import ENABLED as _LOCK_CHECK
+from ..analysis.locks import guard_callback, make_lock
 from ..txn.clock import SynchronizedClock
 from .config import EngineConfig
 from .encoding import SchemaEncoding
@@ -183,7 +184,7 @@ class TailSegment:
         self._page_directory = page_directory
         #: Contested block-latch acquisitions (obs counter or None).
         self._latch_waits = latch_waits
-        self._lock = threading.Lock()
+        self._lock = make_lock("segment.alloc")
         self._blocks: list[tuple[int, TailBlock]] = []
         self._pages: dict[int, list[Page]] = {}
         self._row_pages: list[RowPage] = []
@@ -696,7 +697,7 @@ class InsertRange:
         self.size = size
         self.segment = segment
         self._allocated = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("insert.alloc")
 
     def allocate_slot(self) -> int | None:
         """Reserve the next aligned offset, or None when full."""
@@ -756,7 +757,7 @@ class UpdateRange:
         #: Range-level TPS: RID of the newest merged tail record.
         self.tps_rid = NULL_RID
         self.merge_count = 0
-        self._tail_lock = threading.Lock()
+        self._tail_lock = make_lock("range.tail")
         #: Incrementally maintained scan patch-set: range offset →
         #: number of unmerged tail records for that record. Incremented
         #: on every tail append, decremented when the merge consumes the
@@ -775,7 +776,7 @@ class UpdateRange:
         #: dropped when the count returns to zero, so the bits only
         #: ever over-approximate.
         self.dirty_bits: dict[int, int] = {}
-        self._dirty_lock = threading.Lock()
+        self._dirty_lock = make_lock("range.dirty")
         #: Version-horizon summary of the *unmerged* tail: a lower
         #: bound on the commit time of every unmerged regular tail
         #: record (None = no unmerged regular records). Maintained
@@ -802,10 +803,10 @@ class UpdateRange:
         self._rid_array: Any = None
         #: Set while the range sits in the merge queue (dedup).
         self.merge_pending = False
-        self.lock = threading.Lock()
+        self.lock = make_lock("range.watermark")
         #: Serialises merges of this range (the paper runs one merge
         #: thread; this keeps direct merge calls safe alongside it).
-        self.merge_lock = threading.Lock()
+        self.merge_lock = make_lock("range.merge")
 
     def insert_offset(self, offset: int) -> int:
         """Translate a range offset into the parent insert-range offset."""
@@ -990,8 +991,8 @@ class Table:
         self.page_counter = MonotonicCounter()
         self.ranges: dict[int, UpdateRange] = {}
         self.insert_ranges: list[InsertRange] = []
-        self._insert_lock = threading.Lock()
-        self._range_lock = threading.Lock()
+        self._insert_lock = make_lock("table.insert")
+        self._range_lock = make_lock("table.ranges")
         #: Callback the merge engine installs: fn(table, range_id, kind).
         self.merge_notifier: Callable[["Table", int, str], None] | None = None
         #: Optional write-ahead-log adapter (see repro.wal.log.TableWAL).
@@ -1361,6 +1362,8 @@ class Table:
             first_range_id = (insert_range.start_rid - 1) \
                 // self.config.update_range_size
             count = insert_range.size // self.config.update_range_size
+            if _LOCK_CHECK:
+                guard_callback("merge_notifier (insert)")
             for range_id in range(first_range_id, first_range_id + count):
                 self.merge_notifier(self, range_id, "insert")
         return rid
@@ -1711,6 +1714,8 @@ class Table:
             return
         if update_range.unmerged_tail_count() >= self.config.merge_threshold:
             update_range.merge_pending = True
+            if _LOCK_CHECK:
+                guard_callback("merge_notifier (update)")
             self.merge_notifier(self, update_range.range_id, "update")
 
     def _check_conflict_and_cumulate(
@@ -1908,6 +1913,8 @@ class Table:
             return
         if update_range.unmerged_tail_count() >= self.config.merge_threshold:
             update_range.merge_pending = True
+            if _LOCK_CHECK:
+                guard_callback("merge_notifier (update)")
             self.merge_notifier(self, update_range.range_id, "update")
 
     def mark_tail_tombstone(self, base_rid: int, tail_rid: int) -> None:

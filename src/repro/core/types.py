@@ -48,7 +48,7 @@ class _SpecialNull:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "∅"
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type["_SpecialNull"], tuple[()]]:
         return (_SpecialNull, ())
 
     def __bool__(self) -> bool:

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..core.page import Page, RowPage
 from ..errors import BufferPoolFullError, StorageError
+from ..obs.registry import CounterStat, MetricsRegistry
 from .disk import PageFile
 
 AnyPage = Page | RowPage
@@ -38,7 +39,8 @@ class BufferPool:
     """
 
     def __init__(self, page_file: PageFile, capacity: int, *,
-                 allow_steal: bool = True) -> None:
+                 allow_steal: bool = True,
+                 metrics: MetricsRegistry | None = None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self._file = page_file
@@ -47,10 +49,28 @@ class BufferPool:
         self._frames: dict[int, Frame] = {}
         self._clock = 0
         self._lock = threading.Lock()
-        self.stat_hits = 0
-        self.stat_misses = 0
-        self.stat_evictions = 0
-        self.stat_steals = 0
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._stat_hits = metrics.counter(
+            "storage.pool_hits", help="Fetches served from a resident frame")
+        self._stat_misses = metrics.counter(
+            "storage.pool_misses", help="Fetches that loaded from disk")
+        self._stat_evictions = metrics.counter(
+            "storage.pool_evictions", help="Frames evicted to make room")
+        self._stat_steals = metrics.counter(
+            "storage.pool_steals",
+            help="Dirty frames written back at eviction (steal policy)")
+
+    # -- statistics (registry-backed aliases) --------------------------------
+
+    stat_hits = CounterStat(
+        "_stat_hits", "Fetches served from a resident frame.")
+    stat_misses = CounterStat(
+        "_stat_misses", "Fetches that loaded from disk.")
+    stat_evictions = CounterStat(
+        "_stat_evictions", "Frames evicted to make room.")
+    stat_steals = CounterStat(
+        "_stat_steals", "Dirty frames written back at eviction.")
 
     # -- core operations -----------------------------------------------------
 
@@ -70,12 +90,12 @@ class BufferPool:
         with self._lock:
             frame = self._frames.get(page_id)
             if frame is not None:
-                self.stat_hits += 1
+                self._stat_hits.add()
                 frame.pin_count += 1
                 self._clock += 1
                 frame.last_used = self._clock
                 return frame.page
-            self.stat_misses += 1
+            self._stat_misses.add()
             self._ensure_capacity()
         page = self._file.read_page(page_id)
         with self._lock:
@@ -126,9 +146,9 @@ class BufferPool:
                     "all %d frames pinned (or dirty with no-steal)"
                     % self._capacity)
             frame = self._frames.pop(victim_id)
-            self.stat_evictions += 1
+            self._stat_evictions.add()
             if frame.dirty:
-                self.stat_steals += 1
+                self._stat_steals.add()
                 self._file.write_page(frame.page)
 
     # -- durability ------------------------------------------------------------

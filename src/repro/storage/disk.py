@@ -25,6 +25,7 @@ import threading
 from typing import Iterator
 
 from ..core.page import Page, RowPage
+from ..obs.registry import CounterStat, MetricsRegistry
 from ..errors import CorruptPageError, StorageError
 from ..fault import hit as fault_hit
 from ..fault import wrap_file
@@ -47,7 +48,8 @@ def _fsync_dir(path: str) -> None:
 class PageFile:
     """On-disk store of serialized pages for one table."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.path = path
         self.index_path = path + ".idx"
         self._lock = threading.Lock()
@@ -58,8 +60,19 @@ class PageFile:
         if os.path.exists(self.index_path):
             with open(self.index_path, "rb") as handle:
                 self._index = pickle.load(handle)
-        self.stat_writes = 0
-        self.stat_reads = 0
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._stat_writes = metrics.counter(
+            "storage.page_writes", help="Page images appended to disk")
+        self._stat_reads = metrics.counter(
+            "storage.page_reads", help="Page images read from disk")
+
+    # -- statistics (registry-backed aliases) --------------------------
+
+    stat_writes = CounterStat(
+        "_stat_writes", "Page images appended to disk.")
+    stat_reads = CounterStat(
+        "_stat_reads", "Page images read from disk.")
 
     # -- IO ------------------------------------------------------------
 
@@ -72,7 +85,7 @@ class PageFile:
             offset = self._file.tell()
             self._file.write(image)
             self._index[page.page_id] = (offset, len(image))
-            self.stat_writes += 1
+            self._stat_writes.add()
 
     def read_page(self, page_id: int) -> Page | RowPage:
         """Load the page stored under *page_id*.
@@ -88,7 +101,7 @@ class PageFile:
             offset, length = entry
             self._file.seek(offset)
             image = self._file.read(length)
-            self.stat_reads += 1
+            self._stat_reads.add()
         if len(image) < length:
             raise CorruptPageError(
                 "page %d truncated on disk: %d of %d bytes at offset %d"

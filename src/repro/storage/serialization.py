@@ -36,7 +36,6 @@ from __future__ import annotations
 import pickle
 import struct
 import zlib
-from typing import Any
 
 from ..core.page import BytesPage, Page, RowPage
 from ..core.types import NULL, PageKind, is_null

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..core.types import TransactionState
+from ..analysis.locks import ENABLED as _LOCK_CHECK
+from ..analysis.locks import guard_callback, make_lock
 from ..errors import IllegalTransactionState
 from ..obs.registry import CounterStat, MetricsRegistry
 from .clock import SynchronizedClock
@@ -38,7 +40,7 @@ class TransactionManager:
                  metrics: MetricsRegistry | None = None) -> None:
         self.clock = clock if clock is not None else SynchronizedClock()
         self._entries: dict[int, TxnEntry] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("txn.manager")
         if metrics is None:
             metrics = MetricsRegistry()
         self.metrics = metrics
@@ -152,6 +154,8 @@ class TransactionManager:
             assert entry.commit_time is not None
             commit_time = entry.commit_time
         if self.commit_sink is not None:
+            if _LOCK_CHECK:
+                guard_callback("commit_sink")
             self.commit_sink(txn_id, commit_time)
         return commit_time
 
@@ -185,6 +189,8 @@ class TransactionManager:
             entry.state = TransactionState.COMMITTED
             self._stat_committed.add()
         if self.commit_sink is not None:
+            if _LOCK_CHECK:
+                guard_callback("commit_sink")
             self.commit_sink(txn_id, commit_time)
         return commit_time
 
@@ -198,6 +204,8 @@ class TransactionManager:
             entry.state = TransactionState.ABORTED
             self._stat_aborted.add()
         if self.abort_sink is not None:
+            if _LOCK_CHECK:
+                guard_callback("abort_sink")
             self.abort_sink(txn_id)
 
     def _require(self, txn_id: int) -> TxnEntry:

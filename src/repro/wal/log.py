@@ -67,6 +67,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from ..errors import WALError
+from ..analysis.locks import make_lock
 from ..fault import hit as fault_hit
 from ..fault import wrap_file
 from ..obs.registry import (SIZE_BUCKETS, CounterStat, GaugeStat,
@@ -241,7 +242,7 @@ class LogManager:
                  retry_backoff: float = 0.002,
                  metrics: Any | None = None) -> None:
         self._base_path = path
-        self._lock = threading.Lock()
+        self._lock = make_lock("wal.append")
         #: Buffered frames as ``(lsn, frame bytes)`` — the drain clears
         #: an entry only once it is durably on disk (fail-stop).
         self._buffer: list[tuple[int, bytes]] = []
@@ -642,9 +643,13 @@ class LogManager:
             self.flush()
         except WALError:
             pass  # poisoned: nothing more can be made durable
+        # Snapshot the handle under the latch, close it outside: a slow
+        # close() (e.g. a blocking flush of OS buffers) must not stall
+        # concurrent appenders waiting on the latch.
         with self._lock:
-            if not self._file.closed:
-                self._file.close()
+            file = self._file
+        if not file.closed:
+            file.close()
 
     @property
     def last_lsn(self) -> int:

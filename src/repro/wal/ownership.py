@@ -19,6 +19,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from ..obs.registry import CounterStat, MetricsRegistry
 from ..txn.latch import AtomicCounter, SharedExclusiveLatch
 
 
@@ -54,13 +55,29 @@ class OwnershipRelay:
     drains and flushes (the paper's anti-starvation forced flush).
     """
 
-    def __init__(self, *, theta_shared: int = 1024) -> None:
+    def __init__(self, *, theta_shared: int = 1024,
+                 metrics: MetricsRegistry | None = None) -> None:
         self._pages: dict[int, PageLSNTracker] = {}
         self._lock = threading.Lock()
         self._theta = theta_shared
-        self.stat_stamps = 0
-        self.stat_relayed = 0
-        self.stat_forced_flushes = 0
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._stat_stamps = metrics.counter(
+            "wal.or_stamps", help="pageLSN stamps by owning writers")
+        self._stat_relayed = metrics.counter(
+            "wal.or_relayed", help="Writes that relayed ownership")
+        self._stat_forced_flushes = metrics.counter(
+            "wal.or_forced_flushes",
+            help="Anti-starvation forced pageLSN flushes")
+
+    # -- statistics (registry-backed aliases) -------------------------------
+
+    stat_stamps = CounterStat(
+        "_stat_stamps", "pageLSN stamps by owning writers.")
+    stat_relayed = CounterStat(
+        "_stat_relayed", "Writes that relayed ownership.")
+    stat_forced_flushes = CounterStat(
+        "_stat_forced_flushes", "Anti-starvation forced pageLSN flushes.")
 
     def tracker(self, page_id: int) -> PageLSNTracker:
         """Tracker for *page_id* (created on first use)."""
@@ -82,14 +99,14 @@ class OwnershipRelay:
         if tracker.owner_lsn.get() >= lsn:
             # Someone with a higher LSN already owns the page: relay.
             tracker.latch.release_shared()
-            self.stat_relayed += 1
+            self._stat_relayed.add()
             return
         tracker.owner_lsn.max_update(lsn)
         # Promote shared → exclusive; if another writer is promoting,
         # it has (or will take) ownership of a higher LSN — relay.
         if not tracker.latch.promote():
             tracker.latch.release_shared()
-            self.stat_relayed += 1
+            self._stat_relayed.add()
             return
         try:
             # Re-check ownership while exclusive ("checks if it is
@@ -99,7 +116,7 @@ class OwnershipRelay:
             else:
                 tracker.page_lsn = max(tracker.page_lsn,
                                        tracker.owner_lsn.get())
-            self.stat_stamps += 1
+            self._stat_stamps.add()
         finally:
             tracker.latch.release_exclusive()
 
@@ -111,7 +128,7 @@ class OwnershipRelay:
             tracker.page_lsn = max(tracker.page_lsn,
                                    tracker.owner_lsn.get())
             tracker.grants_since_flush = 0
-            self.stat_forced_flushes += 1
+            self._stat_forced_flushes.add()
             return tracker.page_lsn
         finally:
             tracker.latch.release_exclusive()

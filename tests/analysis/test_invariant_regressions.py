@@ -1,0 +1,126 @@
+"""Regression tests for the real violations the analyzers surfaced.
+
+Each test pins one concrete fix so the bug cannot quietly return:
+
+* ``LogManager.close`` used to close the segment file while holding
+  the ``wal.append`` latch (file I/O under a hot lock, REPRO-L002).
+* The single-task merge path used to fire the pluggable retry
+  notifier and epoch ``on_reclaim`` hooks while holding the
+  processing lock (callback under a hot lock).
+* ``EpochManager.retire`` used to reclaim inline unconditionally, so
+  merge callers holding ``merge.processing``/``range.merge`` ran
+  ``on_reclaim`` hooks under those latches.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.core.epoch import EpochManager
+from repro.core.merge import MergeEngine, MergeResult, MergeTask
+from repro.wal.log import LogManager
+
+
+class _ClosingProbe:
+    """File-handle proxy recording the latch state at close() time."""
+
+    def __init__(self, inner, log, seen):
+        self._inner = inner
+        self._log = log
+        self._seen = seen
+
+    def close(self):
+        self._seen.append(self._log._lock.locked())
+        self._inner.close()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestWALCloseOutsideLatch:
+    def test_close_releases_latch_before_file_close(self, tmp_path):
+        log = LogManager(str(tmp_path / "wal.log"))
+        seen: list[bool] = []
+        log._file = _ClosingProbe(log._file, log, seen)
+        log.close()
+        assert seen == [False]
+
+
+def _stub_table(reclaim=lambda: 0):
+    return SimpleNamespace(
+        schema=SimpleNamespace(name="stub"),
+        epoch_manager=SimpleNamespace(reclaim=reclaim))
+
+
+class TestSingleTaskRetryNotifier:
+    def test_retry_notifier_runs_outside_processing_lock(self):
+        """run_pending with merge_batch_ranges=1 (the deterministic
+        test-mode path) must re-enqueue retries only after _process has
+        released the processing lock."""
+        engine = MergeEngine()
+        engine._process_inner = \
+            lambda task: MergeResult(performed=False, retry=True)
+        table = _stub_table()
+        MergeEngine.notifier(engine, table, 0, "update")  # enqueue
+
+        lock_free_at_notify = []
+
+        def probing_notifier(probed_table, range_id, kind):
+            free = engine._processing.acquire(blocking=False)
+            if free:
+                engine._processing.release()
+            lock_free_at_notify.append(free)
+
+        engine.notifier = probing_notifier
+        completed = engine.run_pending()
+        assert completed == 0
+        assert lock_free_at_notify == [True]
+
+    def test_run_pending_reclaims_after_each_task(self):
+        """The single-task path must trigger deferred epoch
+        reclamation itself — _process_inner retires with
+        reclaim=False, so skipping it would leak retired pages until
+        some reader exits."""
+        engine = MergeEngine()
+        engine._process_inner = lambda task: MergeResult(performed=True)
+        reclaims = []
+        table = _stub_table(reclaim=lambda: reclaims.append(True))
+        MergeEngine.notifier(engine, table, 0, "update")
+        engine.run_pending()
+        assert reclaims == [True]
+
+
+class TestDeferredEpochReclamation:
+    def test_retire_with_reclaim_false_defers_hooks(self):
+        manager = EpochManager()
+        fired = []
+        page = SimpleNamespace(deallocated=False)
+        manager.retire([page], retired_at=5, on_reclaim=fired.append,
+                       reclaim=False)
+        assert fired == []
+        assert manager.pending_pages == 1
+        assert manager.reclaim() == 1
+        assert fired == [page]
+        assert page.deallocated
+
+    def test_retire_default_still_reclaims_inline(self):
+        manager = EpochManager()
+        fired = []
+        page = SimpleNamespace(deallocated=False)
+        manager.retire([page], retired_at=5, on_reclaim=fired.append)
+        assert fired == [page]
+        assert manager.pending_pages == 0
+
+    def test_merge_path_leaves_nothing_pending(self, db, table, config):
+        """End-to-end: a full merge retires old base pages with
+        deferred reclamation, and the engine reclaims them before
+        run_merges returns (no readers are active)."""
+        for key in range(config.update_range_size):
+            table.insert([key, 0, 0, 0, 0])
+        rid = table.index.primary.get(0)
+        for _ in range(config.merge_threshold):
+            table.update(rid, {1: 1})
+        db.run_merges()
+        update_range, _ = table.locate(rid)
+        assert update_range.merged
+        assert table.epoch_manager.pending_pages == 0

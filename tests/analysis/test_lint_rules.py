@@ -1,0 +1,272 @@
+"""Fixture-snippet coverage for every REPRO-L00x lint rule."""
+
+from __future__ import annotations
+
+from repro.analysis.lint import lint_sources
+
+#: A module declaring one hot lock the fixtures acquire.
+_DECL = '''
+from repro.analysis.locks import make_lock
+
+class Engine:
+    def __init__(self):
+        self._lock = make_lock("wal.append")
+'''
+
+
+def _rules(result):
+    return [violation.rule for violation in result.violations]
+
+
+class TestL001AcquirePairing:
+    def test_paired_acquire_is_clean(self):
+        result = lint_sources({"core/mod.py": '''
+class Page:
+    def write(self):
+        self._lock.acquire()
+        try:
+            pass
+        finally:
+            self._lock.release()
+'''})
+        assert "L001" not in _rules(result)
+
+    def test_unpaired_acquire_flagged(self):
+        result = lint_sources({"core/mod.py": '''
+class Page:
+    def write(self):
+        self._lock.acquire()
+        self.value = 1
+        self._lock.release()
+'''})
+        assert _rules(result) == ["L001"]
+
+    def test_acquire_last_in_if_body_pairs_with_following_try(self):
+        # The contested-latch idiom: acquire(False) probe, blocking
+        # acquire inside the if body, try/finally right after the if.
+        result = lint_sources({"core/mod.py": '''
+class Segment:
+    def allocate(self):
+        if not self._lock.acquire(False):
+            self.waits += 1
+            self._lock.acquire()
+        try:
+            pass
+        finally:
+            self._lock.release()
+'''})
+        assert "L001" not in _rules(result)
+
+    def test_finally_releasing_different_lock_flagged(self):
+        result = lint_sources({"core/mod.py": '''
+class Page:
+    def write(self):
+        self._lock.acquire()
+        try:
+            pass
+        finally:
+            self._other.release()
+'''})
+        assert _rules(result) == ["L001"]
+
+
+class TestL002HotLockRegions:
+    def test_sleep_under_hot_lock_flagged(self):
+        result = lint_sources({
+            "wal/decl.py": _DECL,
+            "wal/mod.py": '''
+import time
+
+class Engine:
+    def bad(self):
+        with self._lock:
+            time.sleep(0.1)
+''',
+        })
+        assert "L002" in _rules(result)
+
+    def test_callback_under_hot_lock_flagged(self):
+        result = lint_sources({
+            "wal/decl.py": _DECL,
+            "wal/mod.py": '''
+class Engine:
+    def bad(self):
+        with self._lock:
+            self.merge_notifier(self, 1, "update")
+''',
+        })
+        assert "L002" in _rules(result)
+
+    def test_file_io_under_hot_lock_flagged(self):
+        result = lint_sources({
+            "wal/decl.py": _DECL,
+            "wal/mod.py": '''
+class Engine:
+    def bad(self):
+        with self._lock:
+            self._file.write(b"x")
+''',
+        })
+        assert "L002" in _rules(result)
+
+    def test_file_io_in_acquire_region_flagged(self):
+        result = lint_sources({
+            "wal/decl.py": _DECL,
+            "wal/mod.py": '''
+import os
+
+class Engine:
+    def bad(self):
+        self._lock.acquire()
+        try:
+            os.fsync(3)
+        finally:
+            self._lock.release()
+''',
+        })
+        assert "L002" in _rules(result)
+
+    def test_callback_after_release_is_clean(self):
+        result = lint_sources({
+            "wal/decl.py": _DECL,
+            "wal/mod.py": '''
+class Engine:
+    def good(self):
+        with self._lock:
+            value = 1
+        self.merge_notifier(self, value, "update")
+''',
+        })
+        assert "L002" not in _rules(result)
+
+    def test_unnamed_lock_region_not_checked(self):
+        # A plain threading.Lock is not in the hot set: L002 does not
+        # constrain it (the named annotation table scopes the rule).
+        result = lint_sources({"wal/mod.py": '''
+import time
+
+class Other:
+    def fine(self):
+        with self._lock:
+            time.sleep(0.1)
+'''})
+        assert "L002" not in _rules(result)
+
+    def test_lambda_defined_under_lock_not_flagged(self):
+        result = lint_sources({
+            "wal/decl.py": _DECL,
+            "wal/mod.py": '''
+class Engine:
+    def good(self):
+        with self._lock:
+            hook = lambda page: self.merge_notifier(self, 1, "x")
+        return hook
+''',
+        })
+        assert "L002" not in _rules(result)
+
+
+class TestL003StatAttributes:
+    def test_adhoc_stat_assignment_flagged(self):
+        result = lint_sources({"core/mod.py": '''
+class Thing:
+    def __init__(self):
+        self.stat_foo = 0
+
+    def bump(self):
+        self.stat_foo += 1
+'''})
+        assert _rules(result) == ["L003", "L003"]
+
+    def test_registry_alias_store_allowed(self):
+        result = lint_sources({"core/mod.py": '''
+from repro.obs.registry import CounterStat
+
+class Thing:
+    stat_foo = CounterStat("_stat_foo", "doc")
+
+    def restore(self):
+        self.stat_foo = 7
+'''})
+        assert "L003" not in _rules(result)
+
+    def test_obs_package_exempt(self):
+        result = lint_sources({"obs/mod.py": '''
+class Registry:
+    def __init__(self):
+        self.stat_foo = 0
+'''})
+        assert "L003" not in _rules(result)
+
+
+class TestL004WallClock:
+    def test_time_time_in_core_flagged(self):
+        result = lint_sources({"core/mod.py": '''
+import time
+
+def commit_time():
+    return time.time()
+'''})
+        assert _rules(result) == ["L004"]
+
+    def test_perf_counter_allowed(self):
+        result = lint_sources({"core/mod.py": '''
+import time
+
+def measure():
+    return time.perf_counter()
+'''})
+        assert "L004" not in _rules(result)
+
+    def test_obs_package_exempt(self):
+        result = lint_sources({"obs/mod.py": '''
+import time
+
+def wall():
+    return time.time()
+'''})
+        assert "L004" not in _rules(result)
+
+
+class TestSuppressions:
+    def test_reasoned_suppression_downgrades(self):
+        result = lint_sources({"core/mod.py": '''
+class Thing:
+    def __init__(self):
+        # repro: allow(L003) legacy counter kept for the frobnicator
+        self.stat_foo = 0
+'''})
+        assert result.clean
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].reason.startswith("legacy counter")
+
+    def test_same_line_suppression(self):
+        result = lint_sources({"core/mod.py": (
+            "class Thing:\n"
+            "    def __init__(self):\n"
+            "        self.stat_foo = 0"
+            "  # repro: allow(L003) inline justification\n")})
+        assert result.clean
+        assert len(result.suppressed) == 1
+
+    def test_suppression_without_reason_is_violation(self):
+        result = lint_sources({"core/mod.py": '''
+class Thing:
+    def __init__(self):
+        # repro: allow(L003)
+        self.stat_foo = 0
+'''})
+        rules = _rules(result)
+        assert "L000" in rules  # the naked allow() itself
+        assert "L003" in rules  # and it does not suppress
+
+    def test_suppression_only_covers_named_rule(self):
+        result = lint_sources({"core/mod.py": '''
+import time
+
+class Thing:
+    def __init__(self):
+        # repro: allow(L003) wrong rule named here
+        self.when = time.time()
+'''})
+        assert _rules(result) == ["L004"]

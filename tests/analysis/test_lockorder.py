@@ -1,0 +1,131 @@
+"""Static lock-order analysis over synthetic sources."""
+
+from __future__ import annotations
+
+from repro.analysis.lockorder import analyze_sources
+
+#: Declarations only — lock names must come from the annotation table.
+_DECL = '''
+from repro.analysis.locks import make_lock
+
+class Engine:
+    def __init__(self):
+        self._queue = make_lock("merge.queue")
+        self._wal = make_lock("wal.append")
+'''
+
+
+class TestEdgeExtraction:
+    def test_nested_with_yields_edge(self):
+        report = analyze_sources({
+            "core/decl.py": _DECL,
+            "core/mod.py": '''
+class Engine:
+    def drain(self):
+        with self._queue:
+            with self._wal:
+                pass
+''',
+        })
+        assert ("merge.queue", "wal.append") in report.edges
+        assert report.clean
+
+    def test_acquire_try_region_yields_edge(self):
+        report = analyze_sources({
+            "core/decl.py": _DECL,
+            "core/mod.py": '''
+class Engine:
+    def drain(self):
+        self._queue.acquire()
+        try:
+            with self._wal:
+                pass
+        finally:
+            self._queue.release()
+''',
+        })
+        assert ("merge.queue", "wal.append") in report.edges
+
+    def test_sequential_acquisition_yields_no_edge(self):
+        report = analyze_sources({
+            "core/decl.py": _DECL,
+            "core/mod.py": '''
+class Engine:
+    def drain(self):
+        with self._queue:
+            pass
+        with self._wal:
+            pass
+''',
+        })
+        assert not report.edges
+
+    def test_interprocedural_edge_through_call(self):
+        # drain() holds merge.queue and calls flush(), which takes
+        # wal.append: the edge must surface without a lexical nest.
+        report = analyze_sources({
+            "core/decl.py": _DECL,
+            "core/mod.py": '''
+class Engine:
+    def drain(self):
+        with self._queue:
+            self.flush()
+
+    def flush(self):
+        with self._wal:
+            pass
+''',
+        })
+        assert ("merge.queue", "wal.append") in report.edges
+
+
+class TestHierarchyValidation:
+    def test_rank_inversion_reported(self):
+        # wal.append (rank 50) held while taking merge.queue (rank 15).
+        report = analyze_sources({
+            "core/decl.py": _DECL,
+            "core/mod.py": '''
+class Engine:
+    def backwards(self):
+        with self._wal:
+            with self._queue:
+                pass
+''',
+        })
+        assert not report.clean
+        assert report.rank_violations
+
+    def test_cycle_detected(self):
+        report = analyze_sources({
+            "core/decl.py": _DECL,
+            "core/mod.py": '''
+class Engine:
+    def forwards(self):
+        with self._queue:
+            with self._wal:
+                pass
+
+    def backwards(self):
+        with self._wal:
+            with self._queue:
+                pass
+''',
+        })
+        assert report.cycles
+        cycle = report.cycles[0]
+        assert {"merge.queue", "wal.append"} <= set(cycle)
+
+    def test_clean_hierarchy_renders_summary(self):
+        report = analyze_sources({
+            "core/decl.py": _DECL,
+            "core/mod.py": '''
+class Engine:
+    def drain(self):
+        with self._queue:
+            with self._wal:
+                pass
+''',
+        })
+        assert report.clean
+        assert "1 edge(s), 0 cycle(s), 0 rank violation(s)" \
+            in report.render()

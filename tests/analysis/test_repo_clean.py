@@ -1,0 +1,43 @@
+"""The engine source itself must satisfy every enforced invariant.
+
+This is the in-suite version of the CI ``analysis`` gate: the lint
+rules and the static lock-order analysis run over ``src/repro`` on
+every test run, so a violation fails locally before CI sees it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_tree
+from repro.analysis.lockorder import analyze_tree
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert (SRC / "analysis" / "lint.py").is_file()
+
+
+def test_lint_clean():
+    result = lint_tree(SRC)
+    assert result.clean, "\n".join(
+        str(violation) for violation in result.violations)
+
+
+def test_every_suppression_has_a_reason():
+    result = lint_tree(SRC)
+    for suppressed in result.suppressed:
+        assert suppressed.reason.strip(), suppressed
+
+
+def test_lock_order_clean():
+    report = analyze_tree(SRC)
+    assert report.clean, report.render(verbose=True)
+
+
+def test_lock_order_sees_real_edges():
+    # Guards against the analysis silently resolving nothing: the
+    # engine's merge/WAL paths must contribute observed orderings.
+    report = analyze_tree(SRC)
+    assert len(report.edges) >= 5, report.render(verbose=True)

@@ -5,7 +5,17 @@ from __future__ import annotations
 import pytest
 
 from repro import Database, EngineConfig
+from repro.analysis import locks as lock_check
 from repro.core.query import Query
+
+
+@pytest.fixture(autouse=lock_check.ENABLED)
+def _assert_lock_discipline():
+    """With REPRO_LOCK_CHECK=1, fail any test that witnessed a
+    lock-order/rank inversion or a callback fired under a hot lock."""
+    lock_check.reset()
+    yield
+    lock_check.assert_clean()
 
 
 @pytest.fixture

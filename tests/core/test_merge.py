@@ -1,5 +1,7 @@
 """The contention-free merge (Section 4.1, Algorithm 1)."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.core.merge import (MergeEngine, MergeResult, MergeTask,
@@ -291,7 +293,8 @@ class TestBatchRetryNotifier:
             lock_free_at_notify.append(free)
 
         engine.notifier = probing_notifier
-        sentinel = object()
+        sentinel = SimpleNamespace(
+            epoch_manager=SimpleNamespace(reclaim=lambda: 0))
         tasks = [MergeTask(sentinel, range_id, "update")
                  for range_id in range(3)]
         completed, retried = engine._drain_batch(tasks)
