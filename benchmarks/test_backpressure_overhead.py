@@ -1,0 +1,80 @@
+"""Backpressure / deadline overhead guards (ISSUE 10 acceptance bar).
+
+The admission controller follows the ``obs_metrics=False`` zero-cost
+discipline: without watermarks the Database keeps ``table.admission =
+None`` and every write pays exactly one attribute load + is-None test;
+per-transaction deadlines add one ``self._deadline is None`` test to
+``_check_active``. Both ride the fig7-style single-writer update loop
+measured here (every update crosses the admission gate and the
+statement deadline check), so these bars pin the contract to numbers:
+
+* **disabled**: ≥ 0.97× an identical disabled run. Both sides run the
+  same None-checks, so this is a noise guard — it fails only if the
+  disabled path grows real work (an unconditional backlog probe, an
+  ungated clock read).
+* **armed but idle**: ≥ 0.90× the disabled floor. Watermarks far above
+  any reachable backlog make every ``admit()`` take the fast path —
+  one backlog probe (a GIL-atomic ``len``) and one compare per write
+  is allowed single-digit-percent cost, nothing more.
+
+Best-of-N with interleaved rounds, retried on a noisy miss — the same
+discipline as ``test_obs_overhead``.
+"""
+
+from repro.bench.experiments import _spec_for, make_engine
+from repro.bench.harness import load_engine, run_write_workload
+
+from conftest import DURATION, SCALE
+
+_REPEATS = 3
+
+#: Watermarks no workload here can reach: admission is wired (the
+#: controller exists, tables carry it) but every admit() fast-paths.
+_IDLE_ARMED = dict(merge_backlog_soft=10 ** 9, merge_backlog_hard=10 ** 9)
+
+
+def _interleaved_best(*override_sets) -> list[float]:
+    """Best-of-N update throughput per config, rounds interleaved."""
+    spec = _spec_for("low", SCALE)
+    engines = [make_engine("lstore", spec.num_columns, **overrides)
+               for overrides in override_sets]
+    try:
+        for engine in engines:
+            load_engine(engine, spec)
+        best = [0.0] * len(engines)
+        for _ in range(_REPEATS):
+            for index, engine in enumerate(engines):
+                run = run_write_workload(engine, spec, kind="update",
+                                         update_threads=1,
+                                         duration=DURATION)
+                best[index] = max(best[index], run.txn_per_sec)
+        return best
+    finally:
+        for engine in engines:
+            engine.close()
+
+
+def _guard(bar: float, *override_sets, attempts: int = 3) -> None:
+    """Assert side 2 holds ``bar``× side 1, retrying on a noisy miss."""
+    observed = []
+    for _ in range(attempts):
+        baseline, candidate = _interleaved_best(*override_sets)
+        if candidate >= bar * baseline:
+            return
+        observed.append((candidate, baseline, candidate / baseline))
+    raise AssertionError("below %.2fx in all %d attempts: %r"
+                         % (bar, attempts, observed))
+
+
+class TestBackpressureOverhead:
+    def test_disabled_admission_is_free(self):
+        """No watermarks vs no watermarks: the write path's admission
+        cost is one is-None test per write, and the deadline check is
+        one is-None test per statement — a pure noise guard."""
+        _guard(0.97, dict(), dict())
+
+    def test_armed_idle_admission_overhead_bounded(self):
+        """Watermarks armed far above any reachable backlog must hold
+        ≥0.90× the disabled floor: one lock-free backlog probe and one
+        compare per write."""
+        _guard(0.90, dict(), _IDLE_ARMED)

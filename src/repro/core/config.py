@@ -213,6 +213,50 @@ class EngineConfig:
     #: auto-GC (entries then grow until a manual ``gc(before)`` call).
     txn_gc_threshold: int = 4096
 
+    #: Soft merge-backlog watermark (queued merge tasks): at or above
+    #: it, writers pay a bounded throttle wait so the merge daemon can
+    #: catch up (:mod:`repro.health.backpressure`). None disables the
+    #: throttle; disabled watermarks are zero-cost on the write path
+    #: (``benchmarks/test_backpressure_overhead.py`` pins this).
+    merge_backlog_soft: int | None = None
+
+    #: Hard merge-backlog watermark: at or above it, writes fail fast
+    #: with a typed retryable
+    #: :class:`~repro.errors.BackpressureError` instead of letting the
+    #: queue grow without bound. None = never reject.
+    merge_backlog_hard: int | None = None
+
+    #: Seconds of one throttle tick in the soft-watermark zone.
+    backpressure_throttle: float = 0.001
+
+    #: Upper bound on the total throttle wait of one write; past it the
+    #: write proceeds even above the soft watermark (only the hard
+    #: watermark sheds load).
+    backpressure_max_wait: float = 0.05
+
+    #: Crashes one merge task may cause before its range is quarantined
+    #: (kept un-merged on the correct-but-slow row plane; counted by
+    #: the ``merge.quarantined_ranges`` gauge) while every other range
+    #: keeps merging.
+    merge_quarantine_after: int = 3
+
+    #: Seconds a non-empty merge backlog may see no progress before
+    #: :func:`~repro.health.status.check_health` reports the merge
+    #: daemon as stalled.
+    merge_stall_seconds: float = 5.0
+
+    #: First-restart backoff (seconds) of the background-service
+    #: supervisor; each consecutive crash doubles it (with jitter).
+    supervisor_backoff_base: float = 0.01
+
+    #: Cap on the supervisor's exponential restart backoff (seconds).
+    supervisor_backoff_cap: float = 1.0
+
+    #: Consecutive crashes of one supervised service before the
+    #: supervisor gives up (service state FAILED, health FAILED).
+    #: None = restart forever.
+    supervisor_max_restarts: int | None = None
+
     #: Maintain the engine-wide metrics registry (:mod:`repro.obs`).
     #: False hands every component shared no-op instruments — the
     #: "pre-obs floor" the overhead benchmark measures against.
@@ -270,6 +314,35 @@ class EngineConfig:
                 and self.obs_sample_interval <= 0:
             raise ValueError(
                 "obs_sample_interval must be positive or None")
+        if self.merge_backlog_soft is not None \
+                and self.merge_backlog_soft <= 0:
+            raise ValueError("merge_backlog_soft must be positive or None")
+        if self.merge_backlog_hard is not None \
+                and self.merge_backlog_hard <= 0:
+            raise ValueError("merge_backlog_hard must be positive or None")
+        if self.merge_backlog_soft is not None \
+                and self.merge_backlog_hard is not None \
+                and self.merge_backlog_soft > self.merge_backlog_hard:
+            raise ValueError(
+                "merge_backlog_soft (%d) must be <= merge_backlog_hard "
+                "(%d)" % (self.merge_backlog_soft, self.merge_backlog_hard))
+        if self.backpressure_throttle < 0:
+            raise ValueError("backpressure_throttle must be >= 0")
+        if self.backpressure_max_wait < 0:
+            raise ValueError("backpressure_max_wait must be >= 0")
+        if self.merge_quarantine_after < 1:
+            raise ValueError("merge_quarantine_after must be >= 1")
+        if self.merge_stall_seconds <= 0:
+            raise ValueError("merge_stall_seconds must be positive")
+        if self.supervisor_backoff_base <= 0:
+            raise ValueError("supervisor_backoff_base must be positive")
+        if self.supervisor_backoff_cap < self.supervisor_backoff_base:
+            raise ValueError(
+                "supervisor_backoff_cap must be >= supervisor_backoff_base")
+        if self.supervisor_max_restarts is not None \
+                and self.supervisor_max_restarts < 0:
+            raise ValueError(
+                "supervisor_max_restarts must be >= 0 or None")
 
     @property
     def pages_per_range(self) -> int:

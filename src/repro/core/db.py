@@ -43,7 +43,32 @@ class Database:
         self.merge_engine = MergeEngine(
             poll_interval=self.config.merge_poll_interval,
             batch_ranges=self.config.merge_batch_ranges,
+            quarantine_after=self.config.merge_quarantine_after,
             metrics=self.metrics_registry)
+        from ..health import AdmissionController, Supervisor, check_health
+        self._check_health = check_health
+        #: Supervisor for the background services (merge daemon,
+        #: metrics sampler): crash capture, backoff restarts,
+        #: give-up accounting (:mod:`repro.health`).
+        self.supervisor = Supervisor(
+            metrics=self.metrics_registry,
+            backoff_base=self.config.supervisor_backoff_base,
+            backoff_cap=self.config.supervisor_backoff_cap,
+            max_restarts=self.config.supervisor_max_restarts)
+        #: Write-path admission controller; None unless backlog
+        #: watermarks are configured (tables then keep admission=None
+        #: and the write path stays zero-cost).
+        self._admission = None
+        if self.config.merge_backlog_soft is not None \
+                or self.config.merge_backlog_hard is not None:
+            self._admission = AdmissionController(
+                lambda: self.merge_engine.backlog,
+                soft=self.config.merge_backlog_soft,
+                hard=self.config.merge_backlog_hard,
+                throttle_wait=self.config.backpressure_throttle,
+                max_wait=self.config.backpressure_max_wait,
+                drain_kick=self.merge_engine.kick,
+                metrics=self.metrics_registry)
         from ..exec.executor import ScanExecutor
         #: Shared analytical scan executor: all tables' scan partitions
         #: run on one bounded worker pool (config.scan_parallelism).
@@ -81,6 +106,10 @@ class Database:
                         for table in self.tables.values()),
             help="Bytes held in fixed-width page buffers (byte-buffer "
                  "pages; object-list oracle pages report 0)")
+        registry.gauge(
+            "health.state",
+            lambda: int(self.health().state),
+            help="Engine health verdict: 0 OK, 1 DEGRADED, 2 FAILED")
         if self.config.failpoints:
             from ..fault import FAULTS
             FAULTS.configure(self.config.failpoints)
@@ -88,7 +117,7 @@ class Database:
             self.txn_manager.enable_auto_gc(
                 self.epoch_manager, threshold=self.config.txn_gc_threshold)
         if self.config.background_merge:
-            self.merge_engine.start()
+            self.merge_engine.start(supervisor=self.supervisor)
         if self.config.wal_enabled and self.config.data_dir:
             from ..fault import hit as fault_hit
             from ..wal.log import LogManager
@@ -118,8 +147,9 @@ class Database:
                 path = os.path.join(self.config.data_dir, "metrics.jsonl") \
                     if self.config.data_dir else "metrics.jsonl"
             self._sampler = MetricsSampler(
-                self.metrics, path, self.config.obs_sample_interval)
-            self._sampler.start()
+                self.metrics, path, self.config.obs_sample_interval,
+                metrics=self.metrics_registry)
+            self._sampler.start(supervisor=self.supervisor)
 
     # -- tables ------------------------------------------------------------
 
@@ -137,6 +167,7 @@ class Database:
                       txn_source=self.txn_manager,
                       metrics=self.metrics_registry)
         table.scan_executor = self.scan_executor
+        table.admission = self._admission
         self.txn_manager.register_stamp_source(table.stamp_tail_markers)
         self.merge_engine.attach(table)
         if self._wal is not None:
@@ -170,9 +201,16 @@ class Database:
     def begin_transaction(
             self, *,
             isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
+            deadline_seconds: float | None = None,
     ) -> Transaction:
-        """Open a multi-statement transaction."""
-        return Transaction(self.txn_manager, isolation=isolation)
+        """Open a multi-statement transaction.
+
+        *deadline_seconds* bounds its total lifetime: past it, any
+        statement or commit aborts with
+        :class:`~repro.errors.DeadlineExceeded`.
+        """
+        return Transaction(self.txn_manager, isolation=isolation,
+                           deadline_seconds=deadline_seconds)
 
     # -- maintenance ------------------------------------------------------------
 
@@ -205,6 +243,18 @@ class Database:
 
     # -- observability -----------------------------------------------------
 
+    def health(self) -> "Any":
+        """Aggregate component states into one engine verdict.
+
+        Returns a :class:`~repro.health.status.HealthReport`: OK,
+        DEGRADED (merge restarting/stalled, backlog above a watermark,
+        quarantined ranges, sampler dead — still serving correct
+        answers), or FAILED (poisoned WAL, a supervised service past
+        its restart budget) with per-component reasons. Also exported
+        numerically as the ``health.state`` gauge.
+        """
+        return self._check_health(self)
+
     def metrics(self) -> dict[str, Any]:
         """Nested ``{domain: {metric: value}}`` snapshot of the engine.
 
@@ -228,6 +278,11 @@ class Database:
                 "clean": report.clean,
             }
         snapshot["recovery"] = recovery
+        if self._wal is not None:
+            # Surface fail-stop poisoning *before* the first commit-time
+            # WALError: the gauge says that, this says why.
+            snapshot.setdefault("wal", {})["poison_reason"] = \
+                self._wal.poison_reason
         return snapshot
 
     def render_metrics(self) -> str:
@@ -249,6 +304,7 @@ class Database:
         self.scan_executor.close()
         if self._sampler is not None:
             self._sampler.stop()
+        self.supervisor.stop_all()
         if self._wal is not None:
             # close() flushes; a poisoned (fail-stopped) log closes
             # without raising — nothing more can be made durable.

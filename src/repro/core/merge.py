@@ -21,6 +21,7 @@ Two merge flavours exist, matching the paper:
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
@@ -73,6 +74,7 @@ class MergeEngine:
 
     def __init__(self, *, poll_interval: float = 0.001,
                  batch_ranges: int = 1,
+                 quarantine_after: int = 3,
                  metrics: MetricsRegistry | None = None) -> None:
         self._queue: deque[MergeTask] = deque()
         self._queued: set[tuple[int, int, str]] = set()
@@ -87,6 +89,19 @@ class MergeEngine:
         #: several ranges, so deep backlogs drain faster; 1 keeps the
         #: original task-at-a-time discipline.
         self._batch_ranges = max(1, batch_ranges)
+        #: Supervised-service handle when started under a Supervisor.
+        self._service: Any | None = None
+        #: Crashes per task key; at *quarantine_after* the range is
+        #: quarantined (stays un-merged on the row plane) so one bad
+        #: range cannot keep killing the worker for everyone else.
+        self._quarantine_after = max(1, quarantine_after)
+        self._crash_counts: dict[tuple[int, int, str], int] = {}
+        self._quarantined: dict[tuple[int, int, str], MergeTask] = {}
+        #: Human-readable description of the last task crash.
+        self.last_crash: str | None = None
+        #: perf_counter mark of the last forward progress (a processed
+        #: task, or an observed-empty queue) — the stall probe.
+        self._progress_mark = perf_counter()
         if metrics is None:
             metrics = MetricsRegistry()
         self.metrics = metrics
@@ -103,11 +118,24 @@ class MergeEngine:
         self._stat_batched_ranges = metrics.counter(
             "merge.batched_ranges",
             help="Merge tasks drained as part of a multi-task batch")
+        self._stat_task_crashes = metrics.counter(
+            "merge.task_crashes",
+            help="Merge tasks that raised out of the worker")
+        self._stat_stop_timeouts = metrics.counter(
+            "merge.stop_timeouts",
+            help="stop() joins that timed out with the thread alive")
+        self._stat_quarantine_drops = metrics.counter(
+            "merge.quarantine_drops",
+            help="Merge notifications dropped for quarantined ranges")
         self._merge_seconds = metrics.histogram(
             "merge.duration_seconds", unit="seconds",
             help="Wall time of one performed merge task")
-        metrics.gauge("merge.backlog", lambda: self.queue_length,
+        metrics.gauge("merge.backlog", lambda: self.backlog,
                       help="Merge tasks currently queued")
+        metrics.gauge("merge.quarantined_ranges",
+                      lambda: len(self._quarantined),
+                      help="Ranges quarantined after repeated task "
+                           "crashes (served un-merged)")
 
     # -- statistics (registry-backed aliases) ------------------------------
 
@@ -119,17 +147,36 @@ class MergeEngine:
     stat_retries = CounterStat("_stat_retries", "Tasks re-enqueued.")
     stat_batched_ranges = CounterStat(
         "_stat_batched_ranges", "Tasks drained in multi-task batches.")
+    stat_task_crashes = CounterStat(
+        "_stat_task_crashes", "Tasks that raised out of the worker.")
+    stat_stop_timeouts = CounterStat(
+        "_stat_stop_timeouts", "stop() join timeouts.")
+    stat_quarantine_drops = CounterStat(
+        "_stat_quarantine_drops",
+        "Notifications dropped for quarantined ranges.")
 
     # -- queueing -----------------------------------------------------------
 
     def notifier(self, table: Table, range_id: int, kind: str) -> None:
-        """Table callback: enqueue (table, range, kind) once."""
+        """Table callback: enqueue (table, range, kind) once.
+
+        Quarantined tasks are dropped (counted): their range stays
+        un-merged on the always-correct row plane instead of crashing
+        the worker again.
+        """
         key = (id(table), range_id, kind)
         with self._lock:
-            if key in self._queued:
+            if key in self._quarantined:
+                dropped = True
+            elif key in self._queued:
                 return
-            self._queued.add(key)
-            self._queue.append(MergeTask(table, range_id, kind))
+            else:
+                dropped = False
+                self._queued.add(key)
+                self._queue.append(MergeTask(table, range_id, kind))
+        if dropped:
+            self._stat_quarantine_drops.add()
+            return
         self._wakeup.set()
 
     def attach(self, table: Table) -> None:
@@ -141,6 +188,76 @@ class MergeEngine:
         """Tasks currently waiting."""
         with self._lock:
             return len(self._queue)
+
+    @property
+    def backlog(self) -> int:
+        """Lock-free backlog probe for admission control and gauges.
+
+        ``len(deque)`` is atomic under the GIL, so writer threads read
+        the watermark level without touching the merge queue lock.
+        """
+        return len(self._queue)
+
+    def kick(self) -> None:
+        """Wake the background thread (throttled writers call this)."""
+        self._wakeup.set()
+
+    # -- crash accounting and quarantine ------------------------------------
+
+    @property
+    def quarantined_count(self) -> int:
+        """Ranges currently quarantined."""
+        return len(self._quarantined)
+
+    def quarantined_tasks(self) -> tuple[MergeTask, ...]:
+        """The quarantined tasks (for operators and tests)."""
+        with self._lock:
+            return tuple(self._quarantined.values())
+
+    def unquarantine(self, table: Table, range_id: int,
+                     kind: str) -> bool:
+        """Lift a quarantine and re-enqueue the task; True if found."""
+        key = (id(table), range_id, kind)
+        with self._lock:
+            task = self._quarantined.pop(key, None)
+            if task is None:
+                return False
+            self._crash_counts.pop(key, None)
+        self.notifier(task.table, task.range_id, task.kind)
+        return True
+
+    def _note_crash(self, task: MergeTask, exc: Exception) -> None:
+        """Record one task crash; quarantine or re-enqueue the task.
+
+        Called with every hot lock released (the processing-lock hold
+        has already unwound). Until the quarantine threshold the task
+        re-enqueues so a restarted worker retries it; at the threshold
+        the range is quarantined and further notifications drop.
+        """
+        key = (id(task.table), task.range_id, task.kind)
+        with self._lock:
+            count = self._crash_counts.get(key, 0) + 1
+            self._crash_counts[key] = count
+            quarantine = count >= self._quarantine_after
+            if quarantine:
+                self._quarantined[key] = task
+        self.last_crash = (
+            "%s merge of range %d in table %r crashed (%d/%d): %s: %s"
+            % (task.kind, task.range_id, task.table.schema.name, count,
+               self._quarantine_after, type(exc).__name__, exc))
+        self._stat_task_crashes.add()
+        if not quarantine:
+            self.notifier(task.table, task.range_id, task.kind)
+
+    def seconds_stalled(self) -> float:
+        """Seconds the non-empty backlog has seen no forward progress.
+
+        0.0 while the queue is empty; the health probe compares this
+        against ``EngineConfig.merge_stall_seconds``.
+        """
+        if not self._queue:
+            return 0.0
+        return perf_counter() - self._progress_mark
 
     def _dequeue(self) -> MergeTask | None:
         with self._lock:
@@ -179,7 +296,8 @@ class MergeEngine:
                 task = self._dequeue()
                 if task is None:
                     break
-                result = self._process(task)
+                result = self._process_guarded(task)
+                self._progress_mark = perf_counter()
                 task.table.epoch_manager.reclaim()
                 if result.retry:
                     self.notifier(task.table, task.range_id, task.kind)
@@ -208,25 +326,45 @@ class MergeEngine:
             self._stat_batched_ranges.add(len(tasks))
         completed = 0
         retried: list[MergeTask] = []
-        with self._processing:
-            for task in tasks:
-                if TRACE.enabled:
-                    with span("merge.range", table=task.table.schema.name,
-                              range_id=task.range_id, kind=task.kind):
+        cursor = 0
+        try:
+            with self._processing:
+                while cursor < len(tasks):
+                    task = tasks[cursor]
+                    cursor += 1
+                    if TRACE.enabled:
+                        with span("merge.range",
+                                  table=task.table.schema.name,
+                                  range_id=task.range_id, kind=task.kind):
+                            result = self._process_inner(task)
+                    else:
                         result = self._process_inner(task)
-                else:
-                    result = self._process_inner(task)
-                if result.retry:
-                    retried.append(task)
-                    self._stat_retries.add()
-                elif result.performed:
-                    completed += 1
+                    if result.retry:
+                        retried.append(task)
+                        self._stat_retries.add()
+                    elif result.performed:
+                        completed += 1
+        except Exception as exc:
+            # The with-block unwound: the processing lock is released.
+            # Hand untouched tasks back to the queue, account the
+            # crash (quarantine or re-enqueue the crashed task), then
+            # re-raise so a supervised worker thread dies and restarts.
+            for leftover in tasks[cursor:]:
+                self.notifier(leftover.table, leftover.range_id,
+                              leftover.kind)
+            for task in retried:
+                self.notifier(task.table, task.range_id, task.kind)
+            for table in {id(t.table): t.table for t in tasks}.values():
+                table.epoch_manager.reclaim()
+            self._note_crash(tasks[cursor - 1], exc)
+            raise
         # Re-enqueue retries and reclaim retired pages only after the
         # processing lock is released — the notifier is pluggable
         # (table.merge_notifier is wired here) and may touch merge
         # state, and epoch on_reclaim hooks must never fire under a hot
         # lock; the single-task path orders both after :meth:`_process`
         # returns.
+        self._progress_mark = perf_counter()
         for table in {id(t.table): t.table for t in tasks}.values():
             table.epoch_manager.reclaim()
         for task in retried:
@@ -235,31 +373,77 @@ class MergeEngine:
 
     # -- background thread ---------------------------------------------------
 
-    def start(self) -> None:
-        """Start the background merge thread."""
-        if self._thread is not None:
+    def start(self, supervisor: Any | None = None) -> None:
+        """Start the background merge thread.
+
+        With a :class:`~repro.health.supervisor.Supervisor`, the run
+        loop executes under its restart policy: a task crash kills the
+        worker (after :meth:`_note_crash` accounting), the supervisor
+        backs off and relaunches it, and the quarantine keeps one bad
+        range from crashing the worker forever. Without one, the bare
+        thread behaves as before — except crashes are now at least
+        recorded instead of vanishing.
+        """
+        if self._thread is not None or self._service is not None:
             return
         self._stop = False
+        if supervisor is not None:
+            self._service = supervisor.launch(
+                "merge", self._run, stop_hook=self._signal_stop,
+                thread_name="lstore-merge")
+            return
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="lstore-merge")
         self._thread.start()
 
+    def _signal_stop(self) -> None:
+        self._stop = True
+        self._wakeup.set()
+
+    @property
+    def alive(self) -> bool:
+        """True while a background worker (bare or supervised) runs."""
+        if self._service is not None:
+            return bool(self._service.alive)
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
     def stop(self, drain: bool = True) -> None:
-        """Stop the background thread (optionally draining the queue)."""
-        if self._thread is None:
+        """Stop the background thread (optionally draining the queue).
+
+        A join timeout is detected and counted (``merge.stop_timeouts``)
+        and the thread handle is **kept** while the thread is alive, so
+        a later stop() can retry and ``alive`` stays truthful.
+        """
+        if self._thread is None and self._service is None:
             return
         if drain:
             self.run_pending()
         self._stop = True
         self._wakeup.set()
-        self._thread.join(timeout=5.0)
-        self._thread = None
+        if self._service is not None:
+            if self._service.stop(timeout=5.0):
+                self._service = None
+            else:
+                self._stat_stop_timeouts.add()
+                warnings.warn("merge worker did not stop within 5s; "
+                              "keeping the service handle", RuntimeWarning)
+            return
+        thread = self._thread
+        thread.join(timeout=5.0)
+        if thread.is_alive():
+            self._stat_stop_timeouts.add()
+            warnings.warn("merge thread did not stop within 5s; "
+                          "keeping the thread handle", RuntimeWarning)
+        else:
+            self._thread = None
 
     def _run(self) -> None:
         while not self._stop:
             if self._batch_ranges > 1:
                 tasks = self._dequeue_batch(self._batch_ranges)
                 if not tasks:
+                    self._progress_mark = perf_counter()
                     self._wakeup.wait(self._poll_interval)
                     self._wakeup.clear()
                     continue
@@ -271,10 +455,12 @@ class MergeEngine:
                 continue
             task = self._dequeue()
             if task is None:
+                self._progress_mark = perf_counter()
                 self._wakeup.wait(self._poll_interval)
                 self._wakeup.clear()
                 continue
-            result = self._process(task)
+            result = self._process_guarded(task)
+            self._progress_mark = perf_counter()
             task.table.epoch_manager.reclaim()
             if result.retry:
                 self.notifier(task.table, task.range_id, task.kind)
@@ -283,6 +469,14 @@ class MergeEngine:
                 self._wakeup.clear()
 
     # -- processing ------------------------------------------------------------
+
+    def _process_guarded(self, task: MergeTask) -> MergeResult:
+        """:meth:`_process` plus crash accounting (locks released)."""
+        try:
+            return self._process(task)
+        except Exception as exc:
+            self._note_crash(task, exc)
+            raise
 
     def _process(self, task: MergeTask) -> MergeResult:
         """Task-at-a-time processing (the ``merge_batch_ranges=1`` path)."""

@@ -995,6 +995,11 @@ class Table:
         self._range_lock = make_lock("table.ranges")
         #: Callback the merge engine installs: fn(table, range_id, kind).
         self.merge_notifier: Callable[["Table", int, str], None] | None = None
+        #: Admission controller the Database installs when backlog
+        #: watermarks are configured (:mod:`repro.health.backpressure`).
+        #: None (the default) keeps the write path zero-cost: one
+        #: attribute load + is-None test per write, benchmark-guarded.
+        self.admission: Any | None = None
         #: Optional write-ahead-log adapter (see repro.wal.log.TableWAL).
         self.wal: Any | None = None
         # Statistics: registry counters, striped per thread so the
@@ -1318,6 +1323,9 @@ class Table:
         the clock advanced) or a transaction marker installed by the OCC
         layer; in the latter case visibility is deferred to commit.
         """
+        admission = self.admission
+        if admission is not None:
+            admission.admit()
         self.schema.validate_row(values)
         key = values[self.schema.key_index]
         existing = self.index.primary.get(key)
@@ -1675,6 +1683,9 @@ class Table:
         update_range, offset)`` so the install and post-commit merge
         nudge need no re-locate.
         """
+        admission = self.admission
+        if admission is not None:
+            admission.admit()
         update_range, offset = self.locate(rid)
         if not update_range.indirection.try_latch(offset):
             self._stat_ww_conflicts.add()
@@ -1849,6 +1860,9 @@ class Table:
             raise SchemaMismatchError("update requires at least one column")
         if self.schema.key_index in updates:
             raise SchemaMismatchError("primary key updates are not supported")
+        admission = self.admission
+        if admission is not None:
+            admission.admit()
         from ..errors import WriteWriteConflict
         if not self.try_latch(rid):
             self._stat_ww_conflicts.add()
@@ -1873,6 +1887,9 @@ class Table:
 
     def delete(self, rid: int, *, start_cell: int | None = None) -> int:
         """Latch, append a delete record, install (Section 3.1)."""
+        admission = self.admission
+        if admission is not None:
+            admission.admit()
         from ..errors import WriteWriteConflict
         if not self.try_latch(rid):
             self._stat_ww_conflicts.add()

@@ -113,6 +113,38 @@ class ValidationFailure(TransactionAborted):
     """Raised when OCC read validation fails at pre-commit."""
 
 
+class BackpressureError(TransactionAborted):
+    """Raised when admission control rejects a write past the hard
+    backlog watermark (:mod:`repro.health.backpressure`).
+
+    A subclass of :class:`TransactionAborted` on purpose: inside a
+    transaction the statement aborts the transaction like any other
+    conflict, and the :class:`~repro.txn.worker.TransactionWorker`
+    treats it as retryable — back off, let the merge daemon drain,
+    try again. ``retryable`` is True so callers can distinguish the
+    shed-load case from a poisoned component without string matching.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, *, backlog: int | None = None,
+                 watermark: int | None = None) -> None:
+        super().__init__(message)
+        self.backlog = backlog
+        self.watermark = watermark
+
+
+class DeadlineExceeded(TransactionAborted):
+    """Raised when a transaction outlives its per-transaction deadline.
+
+    Statement paths abort the transaction and re-raise; the
+    :class:`~repro.txn.worker.TransactionWorker` gives up instead of
+    retrying (the deadline bounds the *total* attempt budget).
+    """
+
+    retryable = False
+
+
 class IllegalTransactionState(TransactionError):
     """Raised when an operation is invalid for the transaction's state."""
 

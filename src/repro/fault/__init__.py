@@ -77,6 +77,7 @@ from __future__ import annotations
 
 from .files import FaultyFile, wrap_file
 from .registry import FAULTS, FaultError, FaultRegistry, hit
+from .schedule import ChaosEvent, ChaosSchedule
 
 #: Injection points the crash-matrix torture test kills the workload at
 #: (tests/fault/test_crash_matrix.py). Order is append → commit →
@@ -103,6 +104,8 @@ CRASH_POINTS: tuple[str, ...] = (
 
 __all__ = [
     "CRASH_POINTS",
+    "ChaosEvent",
+    "ChaosSchedule",
     "FAULTS",
     "FaultError",
     "FaultRegistry",

@@ -1,0 +1,127 @@
+"""Seeded randomized failpoint schedules: the chaos harness.
+
+The crash matrix kills the engine at single registered points; a
+:class:`ChaosSchedule` instead arms *many* failpoints over a running
+mixed workload — probabilistic multi-point activation, deterministic
+per seed. The schedule is **precomputed** at construction from one
+``random.Random(seed)``: the same seed always produces the same event
+list (times, points, actions), so a failing chaos run replays exactly
+by printing its seed.
+
+Usage::
+
+    schedule = ChaosSchedule.generate(
+        seed=1234,
+        palette=[("merge.before_install", ("raise",)),
+                 ("wal.before_fsync", ("raise", "enospc"))],
+        duration=0.5)
+    schedule.start()          # driver thread arms events at their times
+    ... run the workload ...
+    schedule.stop()
+    print(schedule.describe())  # seed + every event, for replay
+
+Each event arms a **one-shot** spec (``name=action:1``) so a fault
+fires at most once per event — the workload keeps running between
+faults, which is the point: the audit checks conservation and
+acked-writes-survive *while* faults fire, not after a clean stop.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from .registry import FAULTS, FaultRegistry
+
+#: A palette entry: failpoint name plus the candidate actions one event
+#: may arm there (e.g. ``("raise",)`` or ``("raise", "enospc")``).
+PaletteEntry = tuple[str, Sequence[str]]
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled arming: at *at* seconds, arm *spec*."""
+
+    at: float
+    spec: str
+
+
+class ChaosSchedule:
+    """A deterministic, seeded list of failpoint armings over time."""
+
+    def __init__(self, events: tuple[ChaosEvent, ...], seed: int) -> None:
+        self.events = events
+        self.seed = seed
+        #: Events actually armed by :meth:`run` (a stopped run arms a
+        #: prefix).
+        self.fired: list[ChaosEvent] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @classmethod
+    def generate(cls, seed: int, palette: Sequence[PaletteEntry], *,
+                 duration: float, mean_gap: float = 0.02) -> "ChaosSchedule":
+        """Precompute a schedule: uniform gaps around *mean_gap*,
+        events drawn uniformly from *palette* until *duration*."""
+        if not palette:
+            raise ValueError("chaos palette must not be empty")
+        if duration <= 0:
+            raise ValueError("chaos duration must be positive")
+        if mean_gap <= 0:
+            raise ValueError("chaos mean_gap must be positive")
+        rng = random.Random(seed)
+        events: list[ChaosEvent] = []
+        at = 0.0
+        while True:
+            at += rng.uniform(0.25 * mean_gap, 1.75 * mean_gap)
+            if at >= duration:
+                break
+            name, actions = palette[rng.randrange(len(palette))]
+            action = actions[rng.randrange(len(actions))]
+            events.append(ChaosEvent(at, "%s=%s:1" % (name, action)))
+        return cls(tuple(events), seed)
+
+    # -- driving -----------------------------------------------------------
+
+    def run(self, registry: FaultRegistry = FAULTS) -> None:
+        """Arm every event at its offset (blocking; stop() cuts short)."""
+        started = time.monotonic()
+        for event in self.events:
+            delay = started + event.at - time.monotonic()
+            if delay > 0 and self._stop.wait(delay):
+                return
+            if self._stop.is_set():
+                return
+            registry.configure(event.spec)
+            self.fired.append(event)
+
+    def start(self, registry: FaultRegistry = FAULTS) -> None:
+        """Drive the schedule from a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("chaos schedule already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self.run, args=(registry,), daemon=True,
+            name="repro-chaos")
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the driver thread (armed one-shots stay armed)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            self._thread = None
+
+    # -- replay aids -------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable replay header: the seed plus every event."""
+        lines = ["chaos schedule seed=%d (%d events)"
+                 % (self.seed, len(self.events))]
+        lines.extend("  t=%.4fs %s" % (event.at, event.spec)
+                     for event in self.events)
+        return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Engine supervision, admission control, and the health surface.
+
+Three pieces turn "correct until something breaks silently" into
+graceful degradation under overload and partial failure:
+
+* :class:`~repro.health.supervisor.Supervisor` /
+  :class:`~repro.health.supervisor.SupervisedService` — background
+  threads (merge daemon, metrics sampler) run under a restart loop
+  with crash capture and capped, jittered exponential backoff;
+* :class:`~repro.health.backpressure.AdmissionController` — soft/hard
+  merge-backlog watermarks on the write path (bounded throttle, then
+  typed retryable :class:`~repro.errors.BackpressureError`);
+* :func:`~repro.health.status.check_health` — folds component states
+  (WAL poisoned, merge dead/restarting/stalled, backlog level,
+  quarantined ranges, sampler alive) into one
+  :class:`~repro.health.status.HealthReport` verdict, exported through
+  ``Database.health()`` and the ``health.state`` gauge.
+
+Everything here is opt-in and zero-cost when disabled: no watermarks →
+tables carry ``admission = None`` and the write path pays one is-None
+test; no supervisor → components run exactly as before.
+"""
+
+from __future__ import annotations
+
+from .backpressure import (LEVEL_HARD, LEVEL_OK, LEVEL_SOFT,
+                           AdmissionController)
+from .status import (ComponentHealth, HealthReport, HealthState,
+                     check_health)
+from .supervisor import ServiceState, SupervisedService, Supervisor
+
+__all__ = [
+    "AdmissionController",
+    "ComponentHealth",
+    "HealthReport",
+    "HealthState",
+    "LEVEL_HARD",
+    "LEVEL_OK",
+    "LEVEL_SOFT",
+    "ServiceState",
+    "SupervisedService",
+    "Supervisor",
+    "check_health",
+]

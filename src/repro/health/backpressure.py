@@ -1,0 +1,139 @@
+"""Admission control: merge-backlog watermarks on the write path.
+
+L-Store's differential design assumes the merge daemon keeps up: every
+un-merged tail record makes scans a little slower, and a merge thread
+that falls behind (or dies) lets the backlog grow without bound. The
+:class:`AdmissionController` turns that open loop into a closed one
+with two watermarks over ``merge.backlog``:
+
+* **soft** — writers pay a bounded throttle wait (and kick the merge
+  daemon awake) so the consumer can catch up: graceful degradation,
+  throughput bends instead of breaking;
+* **hard** — writes fail fast with a typed, retryable
+  :class:`~repro.errors.BackpressureError` instead of queueing work the
+  engine provably cannot absorb: load shedding.
+
+Disabled watermarks are **zero-cost**: tables hold ``admission = None``
+and the write path pays one attribute load + is-None test — the same
+discipline as ``obs_metrics=False`` null instruments, guarded by
+``benchmarks/test_backpressure_overhead.py``.
+
+The backlog probe must be safe from any writer thread with no lock
+held; :attr:`~repro.core.merge.MergeEngine.backlog` reads
+``len(deque)`` (atomic under the GIL), so admission never touches the
+merge queue lock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..errors import BackpressureError
+from ..obs.registry import MetricsRegistry
+
+#: Backlog levels reported by :meth:`AdmissionController.level`.
+LEVEL_OK = 0
+LEVEL_SOFT = 1
+LEVEL_HARD = 2
+
+
+class AdmissionController:
+    """Watermark-based write admission over a backlog probe."""
+
+    def __init__(self, backlog_probe: Callable[[], int], *,
+                 soft: int | None = None, hard: int | None = None,
+                 throttle_wait: float = 0.001, max_wait: float = 0.05,
+                 drain_kick: Callable[[], None] | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        if soft is None and hard is None:
+            raise ValueError("admission control needs at least one "
+                             "watermark (soft and/or hard)")
+        self._backlog_probe = backlog_probe
+        #: Unset soft → throttle exactly at the hard watermark (the
+        #: reject check fires first); unset hard → never reject.
+        self._soft = soft if soft is not None else hard
+        self._hard = hard
+        self._throttle_wait = throttle_wait
+        self._max_wait = max_wait
+        self._drain_kick = drain_kick
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._stat_throttled = metrics.counter(
+            "health.writes_throttled",
+            help="Writes delayed by the soft backlog watermark")
+        self._stat_rejected = metrics.counter(
+            "health.writes_rejected",
+            help="Writes refused past the hard backlog watermark")
+        self._throttle_seconds = metrics.histogram(
+            "health.throttle_seconds", unit="seconds",
+            help="Per-write admission throttle wait")
+        metrics.gauge("health.backlog_level", self.level,
+                      help="Admission level: 0 ok, 1 soft, 2 hard")
+
+    # -- probes ------------------------------------------------------------
+
+    @property
+    def soft(self) -> int | None:
+        return self._soft
+
+    @property
+    def hard(self) -> int | None:
+        return self._hard
+
+    def level(self) -> int:
+        """Current watermark level (0/1/2) of the backlog."""
+        backlog = self._backlog_probe()
+        if self._hard is not None and backlog >= self._hard:
+            return LEVEL_HARD
+        if self._soft is not None and backlog >= self._soft:
+            return LEVEL_SOFT
+        return LEVEL_OK
+
+    # -- the write-path gate ----------------------------------------------
+
+    def admit(self) -> None:
+        """Gate one write: return fast, throttle, or raise.
+
+        Callers hold **no** latch or lock — the table checks admission
+        before taking its insert lock / indirection latch, so a
+        throttled writer never blocks other writers or the merge
+        daemon.
+        """
+        backlog = self._backlog_probe()
+        soft = self._soft
+        if soft is None or backlog < soft:
+            return
+        hard = self._hard
+        if hard is not None and backlog >= hard:
+            self._reject(backlog, hard)
+        # Soft zone: bounded wait for the merge daemon to drain.
+        self._stat_throttled.add()
+        kick = self._drain_kick
+        if kick is not None:
+            kick()
+        waited = 0.0
+        tick = self._throttle_wait
+        while waited < self._max_wait:
+            if tick <= 0.0:
+                break
+            time.sleep(tick)
+            waited += tick
+            backlog = self._backlog_probe()
+            if hard is not None and backlog >= hard:
+                if self._throttle_seconds.enabled:
+                    self._throttle_seconds.observe(waited)
+                self._reject(backlog, hard)
+            if backlog < soft:
+                break
+        if self._throttle_seconds.enabled:
+            self._throttle_seconds.observe(waited)
+        # Past the bounded wait the write proceeds even above soft:
+        # the throttle shapes load, only the hard watermark sheds it.
+
+    def _reject(self, backlog: int, hard: int) -> None:
+        self._stat_rejected.add()
+        raise BackpressureError(
+            "write rejected: merge backlog %d >= hard watermark %d"
+            % (backlog, hard), backlog=backlog, watermark=hard)

@@ -1,0 +1,188 @@
+"""The engine health surface: component states folded into one verdict.
+
+:func:`check_health` probes every wired component of a
+:class:`~repro.core.db.Database` — WAL poisoning, the supervised merge
+daemon (dead / restarting / stalled), the admission watermark level,
+quarantined merge ranges, the metrics sampler — and folds them into an
+ordered verdict:
+
+* ``OK`` — everything configured is running and keeping up;
+* ``DEGRADED`` — the engine still serves correct answers but something
+  needs attention (merge restarting or stalled, backlog above a
+  watermark, ranges quarantined to the slow row plane, sampler dead);
+* ``FAILED`` — a component is fail-stopped (poisoned WAL, a supervised
+  service that exhausted its restart budget) and operator action is
+  required.
+
+The report is cheap (a handful of atomic reads plus one queue-length
+probe) and lock-light, so it is safe from a metrics scrape callback:
+``Database`` exports ``health.state`` as a registry gauge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from .backpressure import LEVEL_HARD, LEVEL_SOFT
+from .supervisor import ServiceState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.db import Database
+
+
+class HealthState(enum.IntEnum):
+    """Ordered severity: ``max()`` over components is the verdict."""
+
+    OK = 0
+    DEGRADED = 1
+    FAILED = 2
+
+
+@dataclass(frozen=True)
+class ComponentHealth:
+    """One component's verdict and (when not OK) the reason."""
+
+    component: str
+    state: HealthState
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """The folded engine verdict plus every component's detail."""
+
+    state: HealthState
+    components: tuple[ComponentHealth, ...]
+
+    @property
+    def reasons(self) -> tuple[str, ...]:
+        """``component: reason`` for every non-OK component."""
+        return tuple("%s: %s" % (item.component, item.reason)
+                     for item in self.components
+                     if item.state is not HealthState.OK)
+
+    def component(self, name: str) -> ComponentHealth | None:
+        for item in self.components:
+            if item.component == name:
+                return item
+        return None
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (used by the metrics sampler stream)."""
+        return {
+            "state": self.state.name,
+            "components": [
+                {"component": item.component, "state": item.state.name,
+                 "reason": item.reason}
+                for item in self.components],
+        }
+
+
+def check_health(db: "Database") -> HealthReport:
+    """Probe every wired component of *db* and fold the verdict."""
+    components: list[ComponentHealth] = []
+
+    wal = db._wal
+    if wal is not None:
+        reason = getattr(wal, "poison_reason", None)
+        if reason:
+            components.append(ComponentHealth(
+                "wal", HealthState.FAILED, "poisoned: %s" % reason))
+        else:
+            components.append(ComponentHealth("wal", HealthState.OK))
+
+    engine = db.merge_engine
+    if db.config.background_merge:
+        components.append(_merge_health(db, engine))
+
+    quarantined = engine.quarantined_count
+    if quarantined:
+        reason = "%d merge range(s) quarantined to the row plane" \
+            % quarantined
+        last = engine.last_crash
+        if last:
+            reason += " (last crash: %s)" % last
+        components.append(ComponentHealth(
+            "merge.quarantine", HealthState.DEGRADED, reason))
+
+    admission = db._admission
+    if admission is not None:
+        level = admission.level()
+        if level >= LEVEL_HARD:
+            components.append(ComponentHealth(
+                "backpressure", HealthState.DEGRADED,
+                "merge backlog %d at/above hard watermark %d: writes "
+                "shedding" % (engine.backlog, admission.hard or 0)))
+        elif level >= LEVEL_SOFT:
+            components.append(ComponentHealth(
+                "backpressure", HealthState.DEGRADED,
+                "merge backlog %d at/above soft watermark %d: writes "
+                "throttled" % (engine.backlog, admission.soft or 0)))
+        else:
+            components.append(ComponentHealth(
+                "backpressure", HealthState.OK))
+
+    sampler = db._sampler
+    if sampler is not None:
+        if sampler.running:
+            components.append(ComponentHealth("obs.sampler",
+                                              HealthState.OK))
+        else:
+            components.append(ComponentHealth(
+                "obs.sampler", HealthState.DEGRADED,
+                "metrics sampler thread is not running"))
+
+    state = max((item.state for item in components),
+                default=HealthState.OK)
+    return HealthReport(state=HealthState(state),
+                        components=tuple(components))
+
+
+def _merge_health(db: "Database", engine: Any) -> ComponentHealth:
+    service = db.supervisor.service("merge")
+    crash_note = ""
+    if service is not None and service.last_error:
+        crash_note = " (last crash: %s)" % service.last_error
+    if service is None:
+        if engine.alive:
+            running = True
+        else:
+            return ComponentHealth(
+                "merge", HealthState.DEGRADED,
+                "background merge configured but not running")
+    elif service.state == ServiceState.FAILED:
+        return ComponentHealth(
+            "merge", HealthState.FAILED,
+            "merge thread exhausted its restart budget%s" % crash_note)
+    elif service.state == ServiceState.BACKOFF:
+        return ComponentHealth(
+            "merge", HealthState.DEGRADED,
+            "merge thread restarting after a crash%s" % crash_note)
+    elif service.state == ServiceState.STOPPED:
+        return ComponentHealth(
+            "merge", HealthState.DEGRADED,
+            "merge thread stopped while background merge is "
+            "configured%s" % crash_note)
+    else:
+        running = service.alive
+        if not running:
+            return ComponentHealth(
+                "merge", HealthState.DEGRADED,
+                "merge thread is dead%s" % crash_note)
+    stalled = engine.seconds_stalled()
+    if running and stalled > db.config.merge_stall_seconds:
+        return ComponentHealth(
+            "merge", HealthState.DEGRADED,
+            "merge stalled: backlog %d with no progress for %.1fs"
+            % (engine.backlog, stalled))
+    if crash_note:
+        # Running again after earlier crashes: healthy, but carry the
+        # context so a scrape right after recovery still explains the
+        # crash counters.
+        return ComponentHealth(
+            "merge", HealthState.OK,
+            "recovered after %d crash(es)%s"
+            % (service.crash_count if service else 0, crash_note))
+    return ComponentHealth("merge", HealthState.OK)

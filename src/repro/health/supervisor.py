@@ -1,0 +1,216 @@
+"""Supervised background threads: crash capture, backoff, restart.
+
+The engine's background services (the merge daemon, the metrics
+sampler) used to run on bare ``threading.Thread`` objects: one uncaught
+exception killed the thread *silently* and the engine rotted — tails
+grew without bound, scans degraded toward the row plane, and the first
+symptom was a latency graph, not an error. :class:`Supervisor` wraps
+each service body in a restart loop that
+
+* captures the crash (traceback, count, timestamp ordinal),
+* restarts the body after a capped, jittered exponential backoff,
+* optionally gives up after ``max_restarts`` consecutive crashes
+  (state ``FAILED``), and
+* exposes everything (:class:`ServiceState`, last error, counters) to
+  :func:`repro.health.status.check_health`.
+
+A body that *returns* is treated as a clean shutdown — services exit
+their run loop when their own stop flag is set, and ``stop()`` raises
+that flag through the ``stop_hook`` the service registered at launch.
+
+Crash/restart streaks reset once a body has run healthily for
+``healthy_seconds``, so a service that crashes once a day never walks
+up the backoff ladder.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import traceback
+from time import perf_counter
+from typing import Callable
+
+from ..obs.registry import MetricsRegistry
+
+
+class ServiceState:
+    """Lifecycle states of one supervised service (string constants)."""
+
+    NEW = "new"
+    RUNNING = "running"
+    BACKOFF = "backoff"
+    STOPPED = "stopped"
+    FAILED = "failed"
+
+
+class SupervisedService:
+    """One background body running under a restart loop.
+
+    Attributes are written by the service thread and read by health
+    probes without a lock: every field is a single reference/int store
+    (atomic under the GIL), and health only needs a consistent-enough
+    view, never a transactional one.
+    """
+
+    def __init__(self, name: str, body: Callable[[], None], *,
+                 stop_hook: Callable[[], None] | None = None,
+                 thread_name: str | None = None,
+                 backoff_base: float = 0.01,
+                 backoff_cap: float = 1.0,
+                 max_restarts: int | None = None,
+                 healthy_seconds: float = 5.0,
+                 on_crash: Callable[["SupervisedService"], None]
+                 | None = None,
+                 on_restart: Callable[["SupervisedService"], None]
+                 | None = None) -> None:
+        self.name = name
+        self._body = body
+        self._stop_hook = stop_hook
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._max_restarts = max_restarts
+        self._healthy_seconds = healthy_seconds
+        self._on_crash = on_crash
+        self._on_restart = on_restart
+        self._rng = random.Random()
+        self._stop_event = threading.Event()
+        self.state = ServiceState.NEW
+        #: Total crashes captured over the service lifetime.
+        self.crash_count = 0
+        #: Restarts performed (crashes that were followed by a rerun).
+        self.restart_count = 0
+        #: Consecutive crashes since the last healthy run (drives the
+        #: backoff exponent and the max_restarts give-up).
+        self.crash_streak = 0
+        #: ``repr`` of the last exception that killed the body.
+        self.last_error: str | None = None
+        #: Full traceback text of the last crash (for operators).
+        self.last_traceback: str | None = None
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=thread_name or ("supervised-%s" % name))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    @property
+    def alive(self) -> bool:
+        """True while the supervising thread runs (body or backoff)."""
+        return self._thread.is_alive()
+
+    def stop(self, timeout: float = 5.0) -> bool:
+        """Signal shutdown and join; True when the thread exited."""
+        self._stop_event.set()
+        hook = self._stop_hook
+        if hook is not None:
+            hook()
+        self._thread.join(timeout=timeout)
+        return not self._thread.is_alive()
+
+    # -- the restart loop --------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop_event.is_set():
+            started = perf_counter()
+            try:
+                self.state = ServiceState.RUNNING
+                self._body()
+                break  # clean return: shutdown was requested
+            except Exception as exc:
+                self._record_crash(exc, started)
+                if self._max_restarts is not None \
+                        and self.crash_streak > self._max_restarts:
+                    self.state = ServiceState.FAILED
+                    return
+                self.state = ServiceState.BACKOFF
+                if self._stop_event.wait(self._backoff_delay()):
+                    break
+                self.restart_count += 1
+                if self._on_restart is not None:
+                    self._on_restart(self)
+        if self.state != ServiceState.FAILED:
+            self.state = ServiceState.STOPPED
+
+    def _record_crash(self, exc: Exception, started: float) -> None:
+        if perf_counter() - started >= self._healthy_seconds:
+            self.crash_streak = 0
+        self.crash_streak += 1
+        self.crash_count += 1
+        self.last_error = "%s: %s" % (type(exc).__name__, exc)
+        self.last_traceback = "".join(traceback.format_exception(exc))
+        if self._on_crash is not None:
+            self._on_crash(self)
+
+    def _backoff_delay(self) -> float:
+        exponent = min(self.crash_streak - 1, 20)
+        delay = min(self._backoff_cap, self._backoff_base * (1 << exponent))
+        # Full jitter in [0.5, 1.5) de-synchronises restart storms.
+        return delay * (0.5 + self._rng.random())
+
+
+class Supervisor:
+    """Launches and tracks the engine's supervised services by name."""
+
+    def __init__(self, *, metrics: MetricsRegistry | None = None,
+                 backoff_base: float = 0.01, backoff_cap: float = 1.0,
+                 max_restarts: int | None = None,
+                 healthy_seconds: float = 5.0) -> None:
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._max_restarts = max_restarts
+        self._healthy_seconds = healthy_seconds
+        self._services: dict[str, SupervisedService] = {}
+        self._lock = threading.Lock()
+        self._stat_crashes = metrics.counter(
+            "health.service_crashes",
+            help="Uncaught exceptions captured from supervised services")
+        self._stat_restarts = metrics.counter(
+            "health.service_restarts",
+            help="Supervised-service restarts after a crash")
+        metrics.gauge(
+            "health.services_failed",
+            lambda: sum(1 for service in self.services()
+                        if service.state == ServiceState.FAILED),
+            help="Supervised services that exhausted their restart budget")
+
+    def launch(self, name: str, body: Callable[[], None], *,
+               stop_hook: Callable[[], None] | None = None,
+               thread_name: str | None = None) -> SupervisedService:
+        """Start *body* under supervision; replaces a stopped service
+        of the same name (launching over a live one is an error)."""
+        service = SupervisedService(
+            name, body, stop_hook=stop_hook, thread_name=thread_name,
+            backoff_base=self._backoff_base, backoff_cap=self._backoff_cap,
+            max_restarts=self._max_restarts,
+            healthy_seconds=self._healthy_seconds,
+            on_crash=lambda _s: self._stat_crashes.add(),
+            on_restart=lambda _s: self._stat_restarts.add())
+        with self._lock:
+            existing = self._services.get(name)
+            if existing is not None and existing.alive:
+                raise RuntimeError(
+                    "supervised service %r is already running" % name)
+            self._services[name] = service
+        service.start()
+        return service
+
+    def service(self, name: str) -> SupervisedService | None:
+        """The service called *name*, or None."""
+        with self._lock:
+            return self._services.get(name)
+
+    def services(self) -> tuple[SupervisedService, ...]:
+        with self._lock:
+            return tuple(self._services.values())
+
+    def stop_all(self, timeout: float = 5.0) -> None:
+        """Stop every service (idempotent; join-timeouts are ignored
+        here — the owning components count their own stop timeouts)."""
+        for service in self.services():
+            service.stop(timeout=timeout)

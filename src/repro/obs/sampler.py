@@ -8,8 +8,14 @@ one JSON line per tick::
 
 ``stop()`` takes a final sample so short-lived runs still leave a
 record. A snapshot failure is written as an ``{"ts", "error"}`` line
-rather than killing the thread. The Database starts one automatically
-when ``EngineConfig.obs_sample_interval`` is set.
+rather than killing the thread — counted by ``obs.sampler_errors``,
+and **rate-limited**: a repeating identical error writes lines only at
+exponentially spaced repetitions (1st, 2nd, 4th, 8th, ...) with the
+repeat count attached, so a wedged snapshot function cannot flood the
+time series. The Database starts one automatically when
+``EngineConfig.obs_sample_interval`` is set, supervised by the engine
+:class:`~repro.health.supervisor.Supervisor` (a crash in the run loop
+itself — not just the snapshot — restarts the sampler with backoff).
 """
 
 from __future__ import annotations
@@ -19,10 +25,13 @@ import threading
 import time
 from typing import Any, Callable
 
+from .registry import MetricsRegistry
+
 
 class MetricsSampler:
     def __init__(self, snapshot_fn: Callable[[], Any], path: str,
-                 interval: float) -> None:
+                 interval: float, *,
+                 metrics: MetricsRegistry | None = None) -> None:
         if interval <= 0:
             raise ValueError("sampler interval must be positive")
         self.path = path
@@ -30,16 +39,33 @@ class MetricsSampler:
         self._snapshot_fn = snapshot_fn
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._service: Any | None = None
         self._lock = threading.Lock()
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._stat_errors = metrics.counter(
+            "obs.sampler_errors",
+            help="Snapshot failures captured by the metrics sampler")
+        #: Error-line rate limiting: the last error message and how
+        #: many consecutive ticks produced it.
+        self._last_error: str | None = None
+        self._error_repeats = 0
 
     @property
     def running(self) -> bool:
+        if self._service is not None:
+            return bool(self._service.alive)
         return self._thread is not None and self._thread.is_alive()
 
-    def start(self) -> None:
+    def start(self, supervisor: Any | None = None) -> None:
         if self.running:
             return
         self._stop.clear()
+        if supervisor is not None:
+            self._service = supervisor.launch(
+                "obs.sampler", self._run, stop_hook=self._stop.set,
+                thread_name="repro-obs-sampler")
+            return
         self._thread = threading.Thread(
             target=self._run, name="repro-obs-sampler", daemon=True)
         self._thread.start()
@@ -47,10 +73,15 @@ class MetricsSampler:
     def stop(self) -> None:
         """Stop the thread and append one final sample."""
         self._stop.set()
-        thread = self._thread
-        if thread is not None:
-            thread.join(timeout=5.0)
-            self._thread = None
+        service = self._service
+        if service is not None:
+            if service.stop(timeout=5.0):
+                self._service = None
+        else:
+            thread = self._thread
+            if thread is not None:
+                thread.join(timeout=5.0)
+                self._thread = None
         self._sample()
 
     def _run(self) -> None:
@@ -59,11 +90,35 @@ class MetricsSampler:
 
     def _sample(self) -> None:
         try:
-            line = json.dumps({"ts": time.time(),
-                               "metrics": self._snapshot_fn()},
-                              default=str)
+            line: str | None = json.dumps(
+                {"ts": time.time(), "metrics": self._snapshot_fn()},
+                default=str)
+            self._last_error = None
+            self._error_repeats = 0
         except Exception as exc:  # keep the time series alive
-            line = json.dumps({"ts": time.time(), "error": str(exc)})
+            line = self._error_line(exc)
+        if line is None:
+            return
         with self._lock:
             with open(self.path, "a", encoding="utf-8") as handle:
                 handle.write(line + "\n")
+
+    def _error_line(self, exc: Exception) -> str | None:
+        """Count the failure; None when the line is rate-limited.
+
+        Identical consecutive errors emit lines only at power-of-two
+        repetition counts, each carrying ``repeats`` so readers can
+        reconstruct the suppressed span.
+        """
+        self._stat_errors.add()
+        message = "%s: %s" % (type(exc).__name__, exc)
+        if message == self._last_error:
+            self._error_repeats += 1
+            repeats = self._error_repeats
+            if repeats & (repeats - 1):  # not a power of two: suppress
+                return None
+            return json.dumps({"ts": time.time(), "error": message,
+                               "repeats": repeats})
+        self._last_error = message
+        self._error_repeats = 1
+        return json.dumps({"ts": time.time(), "error": message})

@@ -55,6 +55,17 @@ class TransactionManager:
         self._stat_validation_failures = metrics.counter(
             "txn.validation_failures",
             help="Commits aborted by OCC read-set validation")
+        self._stat_deadline_aborts = metrics.counter(
+            "txn.deadline_aborts",
+            help="Transactions aborted past their deadline")
+        self._stat_giveups = metrics.counter(
+            "txn.giveups",
+            help="Worker bodies abandoned after the retry budget "
+                 "or deadline")
+        #: Per-retry backoff waits of the transaction workers.
+        self.retry_backoff_seconds = metrics.histogram(
+            "txn.retry_backoff_seconds", unit="seconds",
+            help="Jittered exponential backoff per OCC retry")
         #: Commit latency of Transaction.commit (both outcomes).
         self.commit_latency = metrics.histogram(
             "txn.commit_seconds", unit="seconds",

@@ -15,8 +15,9 @@ from typing import Any, Callable, Sequence
 
 from ..core.table import DELETED, Table
 from ..core.types import IsolationLevel, TransactionState, is_null
-from ..errors import (IllegalTransactionState, KeyNotFoundError,
-                      TransactionAborted, ValidationFailure)
+from ..errors import (DeadlineExceeded, IllegalTransactionState,
+                      KeyNotFoundError, TransactionAborted,
+                      ValidationFailure)
 from .manager import TransactionManager
 from .occ import (TxnContext, occ_insert, occ_post_commit, occ_read,
                   occ_rollback, occ_validate, occ_write)
@@ -40,6 +41,7 @@ class Transaction:
 
     def __init__(self, manager: TransactionManager, *,
                  isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
+                 deadline_seconds: float | None = None,
                  ) -> None:
         self.manager = manager
         entry = manager.begin()
@@ -47,6 +49,13 @@ class Transaction:
                               begin_time=entry.begin_time,
                               isolation=isolation)
         self._finished = False
+        #: perf_counter deadline, or None (the default: one is-None
+        #: check per statement, nothing else on the hot path). Every
+        #: statement and commit() checks it; past the deadline the
+        #: transaction aborts with :class:`~repro.errors.
+        #: DeadlineExceeded`, which workers treat as *not* retryable.
+        self._deadline = None if deadline_seconds is None \
+            else perf_counter() + deadline_seconds
         self.commit_time: int | None = None
 
     # -- properties ----------------------------------------------------------
@@ -70,6 +79,12 @@ class Transaction:
         if self._finished:
             raise IllegalTransactionState(
                 "txn %d already finished" % self.txn_id)
+        deadline = self._deadline
+        if deadline is not None and perf_counter() >= deadline:
+            self.manager._stat_deadline_aborts.add()
+            self._do_abort()
+            raise DeadlineExceeded(
+                "txn %d exceeded its deadline" % self.txn_id)
 
     def _rid_for_key(self, table: Table, key: Any) -> int:
         rid = table.index.primary.get(key)

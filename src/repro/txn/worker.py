@@ -4,19 +4,31 @@ The benchmark harness (Section 6.1) assigns each stream of short update
 transactions to one thread; :class:`TransactionWorker` is that thread.
 A transaction body is a callable receiving the open
 :class:`~repro.txn.transaction.Transaction`; conflict aborts
-(write-write, validation) are retried up to a bound, mirroring the
-paper's assumption that "roll backs are inexpensive and conflicts are
-rare".
+(write-write, validation, backpressure) are retried up to a bound,
+mirroring the paper's assumption that "roll backs are inexpensive and
+conflicts are rare".
+
+Retries are *civilized*: instead of hot-spinning (which under hot-key
+contention just re-collides the same writers, the thrash the ROADMAP's
+CC item documents), each retry sleeps a capped, jittered exponential
+backoff (``retry_backoff_seconds`` base, doubling per attempt, halved-
+to-1.5× jitter), observed by the ``txn.retry_backoff_seconds``
+histogram. ``deadline_seconds`` bounds a body's total attempt budget in
+wall time: each attempt's transaction carries the remaining time as its
+per-transaction deadline, and :class:`~repro.errors.DeadlineExceeded`
+gives up instead of retrying. Give-ups count into ``txn.giveups``.
 """
 
 from __future__ import annotations
 
+import random
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable
 
 from ..core.types import IsolationLevel
-from ..errors import TransactionAborted
+from ..errors import DeadlineExceeded, TransactionAborted
 from .manager import TransactionManager
 from .transaction import Transaction
 
@@ -32,6 +44,8 @@ class WorkerStats:
     aborted: int = 0
     retries: int = 0
     gave_up: int = 0
+    #: Total seconds this worker slept in retry backoff.
+    backoff_seconds: float = 0.0
 
     def merge(self, other: "WorkerStats") -> None:
         """Accumulate *other* into self."""
@@ -39,6 +53,7 @@ class WorkerStats:
         self.aborted += other.aborted
         self.retries += other.retries
         self.gave_up += other.gave_up
+        self.backoff_seconds += other.backoff_seconds
 
 
 class TransactionWorker:
@@ -46,16 +61,31 @@ class TransactionWorker:
 
     def __init__(self, manager: TransactionManager, *,
                  isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
-                 max_retries: int = 16, name: str | None = None) -> None:
+                 max_retries: int = 16, name: str | None = None,
+                 retry_backoff_seconds: float = 0.0002,
+                 retry_backoff_cap: float = 0.02,
+                 deadline_seconds: float | None = None,
+                 seed: int | None = None) -> None:
         self.manager = manager
         self.isolation = isolation
         self.max_retries = max_retries
         self.name = name
+        #: First-retry backoff; 0 disables sleeping (the original
+        #: hot-spin, still available for deterministic tests).
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.retry_backoff_cap = retry_backoff_cap
+        #: Wall-clock budget per body across all its attempts; each
+        #: attempt's transaction gets the remaining time as its
+        #: deadline. None = bounded by max_retries only.
+        self.deadline_seconds = deadline_seconds
+        self._rng = random.Random(seed)
         self._bodies: list[TransactionBody] = []
         self._thread: threading.Thread | None = None
         self.stats = WorkerStats()
-        #: Engine-wide retry counter mirrored from the per-run stats.
+        #: Engine-wide counters mirrored from the per-run stats.
         self._retry_counter = manager._stat_retries
+        self._giveup_counter = manager._stat_giveups
+        self._backoff_histogram = manager.retry_backoff_seconds
         #: Set by the harness to stop a time-boxed run early.
         self.stop_event = threading.Event()
 
@@ -71,28 +101,65 @@ class TransactionWorker:
 
     def run_one(self, body: TransactionBody) -> bool:
         """Run one body with retries; True when it committed."""
+        deadline = None if self.deadline_seconds is None \
+            else perf_counter() + self.deadline_seconds
         attempts = 0
-        while attempts <= self.max_retries:
+        while True:
             if self.stop_event.is_set():
                 return False
-            txn = Transaction(self.manager, isolation=self.isolation)
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - perf_counter()
+                if remaining <= 0.0:
+                    return self._give_up()
+            txn = Transaction(self.manager, isolation=self.isolation,
+                              deadline_seconds=remaining)
             try:
                 body(txn)
-            except TransactionAborted:
+            except DeadlineExceeded:
                 self.stats.aborted += 1
-                self.stats.retries += 1
-                self._retry_counter.add()
-                attempts += 1
-                continue
-            if txn.commit():
+                return self._give_up()
+            except TransactionAborted:
+                committed = False
+            else:
+                try:
+                    committed = txn.commit()
+                except DeadlineExceeded:
+                    self.stats.aborted += 1
+                    return self._give_up()
+            if committed:
                 self.stats.committed += 1
                 return True
             self.stats.aborted += 1
+            attempts += 1
+            if attempts > self.max_retries:
+                return self._give_up()
             self.stats.retries += 1
             self._retry_counter.add()
-            attempts += 1
+            self._backoff(attempts, deadline)
+
+    def _give_up(self) -> bool:
         self.stats.gave_up += 1
+        self._giveup_counter.add()
         return False
+
+    def _backoff(self, attempts: int, deadline: float | None) -> None:
+        """Sleep the capped, jittered exponential retry backoff."""
+        base = self.retry_backoff_seconds
+        if base <= 0.0:
+            return
+        delay = min(self.retry_backoff_cap,
+                    base * (1 << min(attempts - 1, 16)))
+        delay *= 0.5 + self._rng.random()
+        if deadline is not None:
+            delay = min(delay, deadline - perf_counter())
+        if delay <= 0.0:
+            return
+        if self._backoff_histogram.enabled:
+            self._backoff_histogram.observe(delay)
+        self.stats.backoff_seconds += delay
+        # Event.wait, not sleep: a harness stop cuts the nap short.
+        self.stop_event.wait(delay)
 
     def run(self) -> WorkerStats:
         """Run every queued body in order (in the calling thread)."""

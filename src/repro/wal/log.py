@@ -288,6 +288,13 @@ class LogManager:
         self._batch_sizes = metrics.histogram(
             "wal.group_commit_batch", bounds=SIZE_BUCKETS,
             help="Frames drained per group-commit flush")
+        # Fail-stop poisoning surfaced *before* commit time: without
+        # this gauge the first symptom of a dead log is a WALError out
+        # of some later commit.
+        metrics.gauge("wal.poisoned",
+                      lambda: 1 if self._poisoned is not None else 0,
+                      help="1 once a persistent IO failure fail-stopped "
+                           "the log")
         self._next_lsn = 1
         self._open_active_segment()
 
@@ -666,6 +673,16 @@ class LogManager:
     def poisoned(self) -> bool:
         """True once a persistent IO failure fail-stopped the log."""
         return self._poisoned is not None
+
+    @property
+    def poison_reason(self) -> str | None:
+        """Why the log fail-stopped, or None while healthy.
+
+        Mirrored into ``Database.metrics()['wal']['poison_reason']`` so
+        operators see the cause alongside the ``wal.poisoned`` gauge.
+        """
+        error = self._poisoned
+        return None if error is None else str(error)
 
     # -- reads ------------------------------------------------------------
 

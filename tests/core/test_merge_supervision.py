@@ -1,0 +1,137 @@
+"""Merge-engine robustness: crash accounting, quarantine, stop timeouts.
+
+The threaded restart story lives in ``tests/health/test_health.py``;
+these tests pin the same machinery *synchronously* — ``run_pending``
+propagates a task crash after accounting for it, the crash counter
+walks a range into quarantine deterministically, and ``stop()``
+detects (rather than hides) a worker that refuses to die.
+"""
+
+import warnings
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.core.merge import MergeEngine
+from repro.fault import FAULTS, FaultError
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+def make_db(**overrides):
+    base = dict(records_per_page=8, records_per_tail_page=8,
+                update_range_size=16, merge_threshold=4,
+                insert_range_size=16, background_merge=False,
+                merge_quarantine_after=3)
+    base.update(overrides)
+    return Database(EngineConfig(**base))
+
+
+def load_with_updates(db, rows=16, rounds=2):
+    db.create_table("t", 3)
+    query = db.query("t")
+    for key in range(rows):
+        query.insert(key, key, key)
+    for round_no in range(rounds):
+        for key in range(rows):
+            query.update(key, None, round_no, None)
+    return query
+
+
+class TestSynchronousCrashAccounting:
+    def test_run_pending_propagates_after_accounting(self):
+        with make_db() as db:
+            load_with_updates(db)
+            FAULTS.configure("merge.before_install=raise:1")
+            with pytest.raises(FaultError):
+                db.run_merges()
+            snapshot = db.metrics()["merge"]
+            assert snapshot["task_crashes"] == 1
+            assert "merge.before_install" in db.merge_engine.last_crash
+            # The crashed task re-enqueued: a clean retry drains it.
+            assert db.run_merges() >= 1
+            assert db.merge_engine.quarantined_count == 0
+
+    def test_repeated_crashes_quarantine_the_range(self):
+        with make_db() as db:
+            query = load_with_updates(db)
+            FAULTS.configure("merge.before_install=raise:100")
+            crashes = 0
+            # Each drain crashes once and re-enqueues, until the third
+            # crash of the same range trips the quarantine threshold.
+            while db.merge_engine.quarantined_count == 0 and crashes < 20:
+                with pytest.raises(FaultError):
+                    db.run_merges()
+                crashes += 1
+            assert db.merge_engine.quarantined_count >= 1
+            assert db.metrics()["merge"]["quarantined_ranges"] >= 1
+            FAULTS.clear()
+
+            # Quarantined ranges drop further notifications instead of
+            # re-entering the queue...
+            [task] = db.merge_engine.quarantined_tasks()
+            db.merge_engine.notifier(task.table, task.range_id, task.kind)
+            assert db.merge_engine.backlog == 0
+            assert db.metrics()["merge"]["quarantine_drops"] == 1
+            # ...and the range still serves correct (row-plane) answers.
+            for round_no in range(4):
+                for key in range(16):
+                    query.update(key, None, 100 + round_no, None)
+            assert query.select(3, 0, [1, 1, 1])[0].columns[1] == 103
+
+    def test_unquarantine_restores_merging(self):
+        with make_db() as db:
+            load_with_updates(db)
+            FAULTS.configure("merge.before_install=raise:100")
+            for _ in range(10):
+                if db.merge_engine.quarantined_count:
+                    break
+                with pytest.raises(FaultError):
+                    db.run_merges()
+            FAULTS.clear()
+            [task] = db.merge_engine.quarantined_tasks()
+            assert db.merge_engine.unquarantine(
+                task.table, task.range_id, task.kind)
+            assert not db.merge_engine.unquarantine(
+                task.table, task.range_id, task.kind)  # already lifted
+            assert db.run_merges() >= 1
+            assert db.metrics()["merge"]["ranges_merged"] >= 1
+
+
+class TestStopTimeout:
+    class StuckThread:
+        """A thread handle that never dies (until told to)."""
+
+        def __init__(self):
+            self.stuck = True
+
+        def join(self, timeout=None):
+            pass
+
+        def is_alive(self):
+            return self.stuck
+
+    def test_stop_timeout_is_counted_and_handle_kept(self):
+        registry = MetricsRegistry()
+        engine = MergeEngine(metrics=registry)
+        stuck = self.StuckThread()
+        engine._thread = stuck
+        with pytest.warns(RuntimeWarning, match="did not stop"):
+            engine.stop(drain=False)
+        assert registry.snapshot()["merge"]["stop_timeouts"] == 1
+        # The handle survives so `alive` stays truthful and a later
+        # stop() can retry.
+        assert engine._thread is stuck
+        assert engine.alive
+        stuck.stuck = False
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            engine.stop(drain=False)
+        assert engine._thread is None
+        assert registry.snapshot()["merge"]["stop_timeouts"] == 1

@@ -1,0 +1,213 @@
+"""Chaos harness: seeded fault schedules over a live workload.
+
+The crash matrix kills the process at one point; this suite instead
+keeps the engine *running* while a seeded :class:`ChaosSchedule` arms
+one-shot faults underneath it — merge-install crashes (absorbed by the
+supervisor's restart/quarantine machinery) and transient fsync
+failures (absorbed by the WAL's bounded sync retries). The audit runs
+**while** faults fire, not after a clean stop:
+
+* conservation — bank balances always sum to the initial total,
+* agreement — a ranged scan and per-key point reads see the same state,
+* acked ⊆ durable — every acked transfer's ledger row survives into a
+  recovered database.
+
+Every run prints its seed (``REPRO_CHAOS_SEED`` overrides it), so a
+failure replays exactly: the schedule (times, points, actions) is a
+pure function of the seed.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.db import Database
+from repro.errors import LStoreError
+from repro.fault import FAULTS, ChaosSchedule
+from repro.wal.recovery import recover_database
+
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1108"))
+
+#: Failpoints chaos may arm, and the actions drawn per event. All are
+#: *recoverable* by design: merge crashes restart under supervision,
+#: one-shot fsync/write failures sit inside the WAL's retry budget.
+PALETTE = [
+    ("merge.before_install", ("raise",)),
+    ("merge.after_install", ("raise",)),
+    ("wal.before_fsync", ("raise",)),
+    ("wal.before_write", ("raise",)),
+]
+
+ACCOUNTS = 16
+INITIAL_BALANCE = 100
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_events(self):
+        first = ChaosSchedule.generate(SEED, PALETTE, duration=0.5)
+        second = ChaosSchedule.generate(SEED, PALETTE, duration=0.5)
+        assert first.events == second.events
+        assert first.events  # a 0.5 s window yields events
+
+    def test_different_seeds_differ(self):
+        first = ChaosSchedule.generate(1, PALETTE, duration=0.5)
+        second = ChaosSchedule.generate(2, PALETTE, duration=0.5)
+        assert first.events != second.events
+
+    def test_specs_are_one_shot_palette_draws(self):
+        schedule = ChaosSchedule.generate(SEED, PALETTE, duration=0.5)
+        names = {name for name, _ in PALETTE}
+        for event in schedule.events:
+            name, spec = event.spec.split("=")
+            assert name in names
+            assert spec.endswith(":1")
+
+    def test_generate_validation(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule.generate(SEED, [], duration=0.5)
+        with pytest.raises(ValueError):
+            ChaosSchedule.generate(SEED, PALETTE, duration=0.0)
+        with pytest.raises(ValueError):
+            ChaosSchedule.generate(SEED, PALETTE, duration=0.5,
+                                   mean_gap=0.0)
+
+    def test_describe_names_the_seed(self):
+        schedule = ChaosSchedule.generate(SEED, PALETTE, duration=0.1)
+        text = schedule.describe()
+        assert "seed=%d" % SEED in text
+        assert len(text.splitlines()) == 1 + len(schedule.events)
+
+    def test_stop_cuts_the_driver_short(self):
+        schedule = ChaosSchedule(
+            tuple(ChaosSchedule.generate(SEED, PALETTE,
+                                         duration=60.0,
+                                         mean_gap=10.0).events),
+            SEED)
+        schedule.start()
+        schedule.stop(timeout=5.0)
+        assert schedule.fired == []
+
+    def test_start_twice_rejected(self):
+        schedule = ChaosSchedule.generate(SEED, PALETTE, duration=0.1)
+        schedule.start()
+        with pytest.raises(RuntimeError):
+            schedule.start()
+        schedule.stop()
+
+
+class TestChaosWorkload:
+    """Bank transfers audited live while the schedule fires."""
+
+    def make_db(self, tmp_path):
+        config = EngineConfig(
+            records_per_page=8, records_per_tail_page=8,
+            update_range_size=16, insert_range_size=16, merge_threshold=4,
+            background_merge=True, merge_poll_interval=0.002,
+            merge_quarantine_after=3,
+            supervisor_backoff_base=0.002, supervisor_backoff_cap=0.01,
+            wal_enabled=True, data_dir=str(tmp_path),
+            wal_segment_bytes=4096, wal_retry_backoff=0.0005)
+        return Database(config)
+
+    def audit(self, db, bank):
+        """Conservation + scan-vs-point agreement, mid-flight."""
+        query = db.query("bank")
+        scan_total = query.sum(0, ACCOUNTS - 1, 1)
+        point_total = sum(
+            query.select(key, 0, [0, 1, 0])[0].columns[1]
+            for key in range(ACCOUNTS))
+        assert scan_total == point_total, "scan and point reads disagree"
+        assert scan_total == ACCOUNTS * INITIAL_BALANCE, \
+            "money was created or destroyed"
+
+    def test_conservation_and_acks_survive_chaos(self, tmp_path):
+        schedule = ChaosSchedule.generate(SEED, PALETTE, duration=0.8,
+                                          mean_gap=0.02)
+        print()
+        print(schedule.describe())
+
+        db = self.make_db(tmp_path)
+        acked = []
+        try:
+            bank = db.create_table("bank", 3)
+            ledger = db.create_table("ledger", 3)
+            for account in range(ACCOUNTS):
+                bank.insert([account, INITIAL_BALANCE, 0])
+            db._wal.flush()
+
+            schedule.start()
+            seq = 0
+            deadline = time.monotonic() + 8.0
+            while (schedule._thread.is_alive()
+                   and time.monotonic() < deadline):
+                src = seq % ACCOUNTS
+                dst = (seq * 7 + 3) % ACCOUNTS
+                seq += 1
+                if src == dst:
+                    continue
+                txn = db.begin_transaction()
+                try:
+                    src_bal = txn.select(bank, src, (1,))[1]
+                    dst_bal = txn.select(bank, dst, (1,))[1]
+                    txn.update(bank, src, {1: src_bal - 1})
+                    txn.update(bank, dst, {1: dst_bal + 1})
+                    txn.insert(ledger, [seq, src, dst])
+                    committed = txn.commit()
+                except LStoreError:
+                    continue  # faulted/conflicted attempt: move on
+                if committed:
+                    acked.append(seq)
+                if seq % 20 == 0:
+                    self.audit(db, bank)  # audit WHILE faults fire
+            schedule.stop()
+            FAULTS.clear()
+
+            assert schedule.fired, "schedule armed no events"
+            assert len(acked) >= 20, \
+                "chaos starved the workload: only %d acks" % len(acked)
+            self.audit(db, bank)
+
+            # The supervisor absorbed any merge crashes: the engine is
+            # alive, and whatever crashed is accounted, not silent.
+            snapshot = db.metrics()
+            service = db.supervisor.service("merge")
+            if service is not None and service.crash_count:
+                assert snapshot["health"]["service_restarts"] \
+                    + snapshot["merge"]["quarantined_ranges"] >= 1
+            assert not db._wal.poisoned, \
+                "one-shot fsync faults must sit inside the retry budget"
+        finally:
+            schedule.stop()
+            FAULTS.clear()
+            db.close()
+
+        # Acked ⊆ durable: every acked transfer's ledger row recovers.
+        recovered = recover_database(
+            os.path.join(str(tmp_path), "wal.log"),
+            config=EngineConfig(
+                records_per_page=8, records_per_tail_page=8,
+                update_range_size=16, insert_range_size=16,
+                merge_threshold=4, background_merge=False))
+        try:
+            rledger = recovered.get_table("ledger")
+            for seq in acked:
+                rid = rledger.index.primary.get(seq)
+                assert rid is not None, \
+                    "acked transfer %d lost in recovery (seed=%d)" \
+                    % (seq, SEED)
+            rbank = recovered.get_table("bank")
+            total = sum(
+                rbank.read_latest(rbank.index.primary.get(key), (1,))[1]
+                for key in range(ACCOUNTS))
+            assert total == ACCOUNTS * INITIAL_BALANCE
+        finally:
+            recovered.close()

@@ -1,0 +1,200 @@
+"""Admission control: watermark levels, throttling, load shedding."""
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.errors import (BackpressureError, IllegalTransactionState,
+                          TransactionAborted)
+from repro.health import (LEVEL_HARD, LEVEL_OK, LEVEL_SOFT,
+                          AdmissionController)
+from repro.obs.registry import MetricsRegistry
+
+
+class FakeBacklog:
+    def __init__(self, value=0):
+        self.value = value
+        self.kicks = 0
+
+    def probe(self):
+        return self.value
+
+    def kick(self):
+        self.kicks += 1
+
+
+def make_controller(backlog, **kwargs):
+    kwargs.setdefault("throttle_wait", 0.0005)
+    kwargs.setdefault("max_wait", 0.002)
+    return AdmissionController(backlog.probe, drain_kick=backlog.kick,
+                               metrics=MetricsRegistry(), **kwargs)
+
+
+class TestController:
+    def test_requires_a_watermark(self):
+        with pytest.raises(ValueError):
+            AdmissionController(lambda: 0)
+
+    def test_levels(self):
+        backlog = FakeBacklog()
+        controller = make_controller(backlog, soft=4, hard=8)
+        assert controller.level() == LEVEL_OK
+        backlog.value = 4
+        assert controller.level() == LEVEL_SOFT
+        backlog.value = 8
+        assert controller.level() == LEVEL_HARD
+
+    def test_below_soft_is_a_fast_pass(self):
+        backlog = FakeBacklog(3)
+        controller = make_controller(backlog, soft=4, hard=8)
+        controller.admit()
+        assert backlog.kicks == 0
+        snapshot = controller.metrics.snapshot()["health"]
+        assert snapshot["writes_throttled"] == 0
+        assert snapshot["writes_rejected"] == 0
+
+    def test_soft_zone_throttles_kicks_and_proceeds(self):
+        backlog = FakeBacklog(5)
+        controller = make_controller(backlog, soft=4, hard=8)
+        controller.admit()  # stays above soft: waits out max_wait, proceeds
+        assert backlog.kicks == 1
+        snapshot = controller.metrics.snapshot()["health"]
+        assert snapshot["writes_throttled"] == 1
+        assert snapshot["writes_rejected"] == 0
+        assert snapshot["throttle_seconds"]["count"] == 1
+        assert snapshot["throttle_seconds"]["sum"] > 0.0
+
+    def test_throttle_returns_early_once_drained(self):
+        backlog = FakeBacklog(5)
+        controller = make_controller(backlog, soft=4, hard=8,
+                                     throttle_wait=0.0005, max_wait=10.0)
+
+        real_kick = backlog.kick
+
+        def draining_kick():
+            real_kick()
+            backlog.value = 0  # the daemon catches up immediately
+
+        controller._drain_kick = draining_kick
+        controller.admit()  # must not wait anywhere near max_wait
+        snapshot = controller.metrics.snapshot()["health"]
+        assert snapshot["throttle_seconds"]["sum"] < 1.0
+
+    def test_hard_watermark_sheds(self):
+        backlog = FakeBacklog(8)
+        controller = make_controller(backlog, soft=4, hard=8)
+        with pytest.raises(BackpressureError) as excinfo:
+            controller.admit()
+        error = excinfo.value
+        assert error.retryable
+        assert error.backlog == 8
+        assert error.watermark == 8
+        assert isinstance(error, TransactionAborted)
+        snapshot = controller.metrics.snapshot()["health"]
+        assert snapshot["writes_rejected"] == 1
+        assert snapshot["writes_throttled"] == 0
+
+    def test_escalates_to_reject_while_throttling(self):
+        backlog = FakeBacklog(5)
+        controller = make_controller(backlog, soft=4, hard=8,
+                                     throttle_wait=0.0005, max_wait=10.0)
+
+        def growing_probe():
+            backlog.value += 2  # backlog keeps growing under throttle
+            return backlog.value
+
+        controller._backlog_probe = growing_probe
+        with pytest.raises(BackpressureError):
+            controller.admit()
+
+    def test_hard_only_defaults_soft_to_hard(self):
+        backlog = FakeBacklog(0)
+        controller = make_controller(backlog, hard=8)
+        assert controller.soft == 8
+        backlog.value = 7
+        controller.admit()  # below both: fast pass
+        backlog.value = 8
+        with pytest.raises(BackpressureError):
+            controller.admit()
+
+    def test_soft_only_never_rejects(self):
+        backlog = FakeBacklog(10 ** 6)
+        controller = make_controller(backlog, soft=4)
+        controller.admit()  # throttles, then proceeds: no hard watermark
+
+
+class TestDatabaseWiring:
+    def make_db(self, **overrides):
+        config = EngineConfig(
+            records_per_page=8, records_per_tail_page=8,
+            update_range_size=16, merge_threshold=4,
+            insert_range_size=16, background_merge=False,
+            backpressure_throttle=0.0005, backpressure_max_wait=0.002,
+            **overrides)
+        return Database(config)
+
+    def load(self, db, rows=64):
+        table = db.create_table("t", 3)
+        query = db.query("t")
+        for key in range(rows):
+            query.insert(key, key, key)
+        db.run_merges()  # start each test from an empty backlog
+        return table, query
+
+    def test_no_watermarks_means_no_admission(self):
+        with self.make_db() as db:
+            table, _ = self.load(db)
+            assert db._admission is None
+            assert table.admission is None
+
+    def test_hard_watermark_rejects_then_recovers(self):
+        with self.make_db(merge_backlog_hard=4) as db:
+            table, query = self.load(db)
+            assert table.admission is db._admission
+            with pytest.raises(BackpressureError):
+                for round_no in range(200):
+                    for key in range(64):
+                        query.update(key, None, round_no, None)
+            assert db.merge_engine.backlog >= 4
+            # Draining the queue lifts the gate: writes flow again.
+            db.run_merges()
+            query.update(1, None, 999, None)
+            assert query.select(1, 0, [1, 1, 1])[0].columns[1] == 999
+            rejected = db.metrics()["health"]["writes_rejected"]
+            assert rejected >= 1
+
+    def test_all_write_paths_are_gated(self):
+        with self.make_db(merge_backlog_hard=10 ** 6) as db:
+            table, query = self.load(db, rows=4)
+
+            class AlwaysReject:
+                def admit(self):
+                    raise BackpressureError("gated")
+
+            table.admission = AlwaysReject()
+            with pytest.raises(BackpressureError):
+                query.insert(100, 0, 0)
+            with pytest.raises(BackpressureError):
+                query.update(1, None, 5, None)
+            with pytest.raises(BackpressureError):
+                query.delete(2)
+            txn = db.begin_transaction()
+            with pytest.raises(BackpressureError):
+                txn.update(table, 3, {1: 7})
+            with pytest.raises(IllegalTransactionState):
+                txn.update(table, 3, {1: 8})  # the statement aborted it
+            # Reads are never admission-gated.
+            table.admission = db._admission
+            assert query.select(1, 0, [1, 1, 1])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(merge_backlog_soft=0)
+        with pytest.raises(ValueError):
+            EngineConfig(merge_backlog_soft=8, merge_backlog_hard=4)
+        with pytest.raises(ValueError):
+            EngineConfig(backpressure_throttle=-1.0)
+        with pytest.raises(ValueError):
+            EngineConfig(merge_quarantine_after=0)
+        with pytest.raises(ValueError):
+            EngineConfig(supervisor_backoff_base=0.1,
+                         supervisor_backoff_cap=0.01)

@@ -1,0 +1,233 @@
+"""The engine health surface, and the supervision acceptance story.
+
+The headline test here is the ISSUE 10 acceptance criterion: a
+failpoint crashes the merge worker deterministically, the engine keeps
+serving, the supervisor restarts the worker with backoff, the crashing
+range is quarantined after N crashes, and ``Database.health()``
+explains all of it — then recovers to OK once the fault clears.
+"""
+
+import time
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.errors import BackpressureError
+from repro.fault import FAULTS
+from repro.health import HealthState, ServiceState, check_health
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
+
+
+def wait_until(predicate, timeout=10.0, tick=0.002):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(tick)
+    pytest.fail("condition not reached within %.1fs" % timeout)
+
+
+def small_config(**overrides):
+    base = dict(records_per_page=8, records_per_tail_page=8,
+                update_range_size=16, merge_threshold=4,
+                insert_range_size=16, background_merge=False)
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+def load(db, rows=16):
+    db.create_table("t", 3)
+    query = db.query("t")
+    for key in range(rows):
+        query.insert(key, key, key)
+    return query
+
+
+class TestHealthReport:
+    def test_fresh_database_is_ok(self):
+        with Database(small_config()) as db:
+            report = db.health()
+            assert report.state is HealthState.OK
+            assert report.reasons == ()
+
+    def test_report_shapes(self):
+        with Database(small_config(merge_backlog_hard=4)) as db:
+            report = db.health()
+            assert report.component("backpressure").state is HealthState.OK
+            assert report.component("nope") is None
+            as_dict = report.as_dict()
+            assert as_dict["state"] == "OK"
+            assert {"component": "backpressure", "state": "OK",
+                    "reason": ""} in as_dict["components"]
+
+    def test_health_state_gauge_tracks_report(self):
+        with Database(small_config()) as db:
+            assert db.metrics()["health"]["state"] == 0
+            assert "lstore_health_state 0" in db.render_metrics()
+
+    def test_wal_poisoning_is_failed(self, tmp_path):
+        config = small_config(wal_enabled=True, data_dir=str(tmp_path))
+        with Database(config) as db:
+            load(db)
+            assert db.health().component("wal").state is HealthState.OK
+            db._wal._poisoned = RuntimeError("fsync torn away")
+            report = db.health()
+            assert report.state is HealthState.FAILED
+            assert "poisoned: fsync torn away" in \
+                report.component("wal").reason
+            assert db.metrics()["wal"]["poisoned"] == 1
+            assert db.metrics()["wal"]["poison_reason"] == \
+                "fsync torn away"
+            db._wal._poisoned = None  # let close() flush cleanly
+
+    def test_backpressure_levels_degrade(self):
+        config = small_config(merge_backlog_soft=2, merge_backlog_hard=4,
+                              backpressure_throttle=0.0,
+                              backpressure_max_wait=0.0)
+        with Database(config) as db:
+            query = load(db, rows=64)
+            db.run_merges()  # start from an empty backlog
+            with pytest.raises(BackpressureError):
+                for round_no in range(200):
+                    for key in range(64):
+                        query.update(key, None, round_no, None)
+            report = db.health()
+            assert report.state is HealthState.DEGRADED
+            assert "hard watermark" in \
+                report.component("backpressure").reason
+            db.run_merges()
+            assert db.health().state is HealthState.OK
+
+    def test_sampler_death_degrades(self, tmp_path):
+        config = small_config(
+            obs_sample_interval=30.0,
+            obs_sample_path=str(tmp_path / "metrics.jsonl"))
+        with Database(config) as db:
+            assert db.health().component("obs.sampler").state \
+                is HealthState.OK
+            service = db.supervisor.service("obs.sampler")
+            assert service.stop()
+            report = db.health()
+            assert report.state is HealthState.DEGRADED
+            assert report.component("obs.sampler").state \
+                is HealthState.DEGRADED
+
+    def test_stopped_merge_under_background_config_degrades(self):
+        config = small_config(background_merge=True,
+                              merge_poll_interval=0.005)
+        with Database(config) as db:
+            load(db)
+            assert db.health().component("merge").state is HealthState.OK
+            db.merge_engine.stop(drain=False)
+            report = db.health()
+            assert report.state is HealthState.DEGRADED
+            assert "merge" in report.reasons[0]
+
+
+class TestSupervisedMergeAcceptance:
+    """ISSUE 10 acceptance: crash → restart → quarantine → explain."""
+
+    def make_db(self):
+        return Database(small_config(
+            background_merge=True, merge_poll_interval=0.002,
+            merge_quarantine_after=3,
+            supervisor_backoff_base=0.002, supervisor_backoff_cap=0.01))
+
+    def test_crashing_merge_is_restarted_and_quarantined(self):
+        db = self.make_db()
+        try:
+            query = load(db)
+            # Every install attempt of the (single) update range dies.
+            FAULTS.configure("merge.before_install=raise:100")
+            for round_no in range(6):
+                for key in range(16):
+                    query.update(key, None, round_no, None)
+            wait_until(lambda: db.merge_engine.quarantined_count >= 1)
+
+            service = db.supervisor.service("merge")
+            assert service.crash_count >= 3
+            assert service.restart_count >= 2
+            assert "merge.before_install" in service.last_error
+            assert db.merge_engine.last_crash is not None
+
+            # The engine keeps serving correct answers off the row
+            # plane while the merge worker crashes and restarts.
+            row = query.select(3, 0, [1, 1, 1])[0]
+            assert row.columns == (3, 5, 3)
+            assert query.sum(0, 15, 0) == sum(range(16))
+
+            report = db.health()
+            assert report.state is HealthState.DEGRADED
+            quarantine = report.component("merge.quarantine")
+            assert quarantine.state is HealthState.DEGRADED
+            assert "quarantined" in quarantine.reason
+            assert "merge.before_install" in quarantine.reason
+
+            snapshot = db.metrics()
+            assert snapshot["merge"]["quarantined_ranges"] >= 1
+            assert snapshot["merge"]["task_crashes"] >= 3
+            assert snapshot["health"]["service_crashes"] >= 3
+            assert snapshot["health"]["service_restarts"] >= 2
+        finally:
+            FAULTS.clear()
+            db.close()
+
+    def test_unquarantine_resumes_merging(self):
+        db = self.make_db()
+        try:
+            query = load(db)
+            FAULTS.configure("merge.before_install=raise:100")
+            for round_no in range(6):
+                for key in range(16):
+                    query.update(key, None, round_no, None)
+            wait_until(lambda: db.merge_engine.quarantined_count >= 1)
+            FAULTS.clear()
+
+            [task] = db.merge_engine.quarantined_tasks()
+            assert db.merge_engine.unquarantine(task.table, task.range_id,
+                                                task.kind)
+            assert db.merge_engine.quarantined_count == 0
+            # The re-notified range merges once the worker is healthy.
+            wait_until(
+                lambda: db.metrics()["merge"]["ranges_merged"] >= 1)
+            wait_until(lambda: db.health().state is HealthState.OK,
+                       timeout=15.0)
+        finally:
+            FAULTS.clear()
+            db.close()
+
+    def test_restart_budget_exhaustion_is_failed(self):
+        db = Database(small_config(
+            background_merge=True, merge_poll_interval=0.002,
+            merge_quarantine_after=100,  # never quarantine: keep crashing
+            supervisor_backoff_base=0.002, supervisor_backoff_cap=0.01,
+            supervisor_max_restarts=2))
+        try:
+            query = load(db)
+            FAULTS.configure("merge.before_install=raise:100")
+            for round_no in range(6):
+                for key in range(16):
+                    query.update(key, None, round_no, None)
+            service = db.supervisor.service("merge")
+            wait_until(lambda: service.state == ServiceState.FAILED)
+            report = db.health()
+            assert report.state is HealthState.FAILED
+            assert "restart budget" in report.component("merge").reason
+            assert db.metrics()["health"]["services_failed"] == 1
+            # Foreground serving still works; only merging is dead.
+            assert query.select(3, 0, [1, 1, 1])
+        finally:
+            FAULTS.clear()
+            db.close()
+
+
+class TestCheckHealthDirect:
+    def test_check_health_matches_method(self):
+        with Database(small_config()) as db:
+            assert check_health(db).state is db.health().state

@@ -1,0 +1,160 @@
+"""Supervised services: crash capture, backoff restarts, give-up."""
+
+import threading
+import time
+
+import pytest
+
+from repro.health import ServiceState, SupervisedService, Supervisor
+from repro.obs.registry import MetricsRegistry
+
+# Tight backoffs so restart ladders complete in milliseconds.
+FAST = dict(backoff_base=0.001, backoff_cap=0.004)
+
+
+def wait_until(predicate, timeout=5.0, tick=0.002):
+    """Poll *predicate* until true; fail the test on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(tick)
+    pytest.fail("condition not reached within %.1fs" % timeout)
+
+
+class TestSupervisedService:
+    def test_clean_return_is_stopped_not_crashed(self):
+        ran = threading.Event()
+        service = SupervisedService("svc", ran.set, **FAST)
+        service.start()
+        wait_until(lambda: not service.alive)
+        assert ran.is_set()
+        assert service.state == ServiceState.STOPPED
+        assert service.crash_count == 0
+        assert service.restart_count == 0
+        assert service.last_error is None
+
+    def test_crash_restarts_with_accounting(self):
+        runs = []
+
+        def body():
+            runs.append(1)
+            if len(runs) < 3:
+                raise RuntimeError("boom %d" % len(runs))
+            # Third run: healthy, wait for shutdown.
+            stop.wait()
+
+        stop = threading.Event()
+        service = SupervisedService("svc", body, stop_hook=stop.set, **FAST)
+        service.start()
+        wait_until(lambda: len(runs) >= 3)
+        wait_until(lambda: service.state == ServiceState.RUNNING)
+        assert service.crash_count == 2
+        assert service.restart_count == 2
+        assert service.last_error == "RuntimeError: boom 2"
+        assert "boom 2" in service.last_traceback
+        assert service.stop()
+        assert service.state == ServiceState.STOPPED
+
+    def test_max_restarts_gives_up_as_failed(self):
+        runs = []
+
+        def body():
+            runs.append(1)
+            raise RuntimeError("always")
+
+        service = SupervisedService("svc", body, max_restarts=2, **FAST)
+        service.start()
+        wait_until(lambda: not service.alive)
+        assert service.state == ServiceState.FAILED
+        # Initial run + 2 restarts, then the budget is exhausted.
+        assert len(runs) == 3
+        assert service.crash_count == 3
+        assert service.restart_count == 2
+
+    def test_stop_during_backoff_exits_promptly(self):
+        def body():
+            raise RuntimeError("crash into a long backoff")
+
+        service = SupervisedService("svc", body, backoff_base=30.0,
+                                    backoff_cap=60.0)
+        service.start()
+        wait_until(lambda: service.state == ServiceState.BACKOFF)
+        started = time.monotonic()
+        assert service.stop(timeout=5.0)
+        assert time.monotonic() - started < 5.0
+        assert service.state == ServiceState.STOPPED
+
+    def test_backoff_delay_caps_and_jitters(self):
+        service = SupervisedService("svc", lambda: None,
+                                    backoff_base=0.01, backoff_cap=0.05)
+        service.crash_streak = 1
+        for _ in range(50):
+            assert 0.005 <= service._backoff_delay() < 0.015
+        service.crash_streak = 30  # deep streak: exponent clamps, cap wins
+        for _ in range(50):
+            assert 0.025 <= service._backoff_delay() < 0.075
+
+    def test_healthy_run_resets_the_streak(self):
+        service = SupervisedService("svc", lambda: None,
+                                    healthy_seconds=0.0, **FAST)
+        service.crash_streak = 7
+        service._record_crash(RuntimeError("x"), started=time.perf_counter())
+        # healthy_seconds=0: any run counts as healthy, streak restarts.
+        assert service.crash_streak == 1
+        assert service.crash_count == 1
+
+
+class TestSupervisor:
+    def test_launch_tracks_and_counts(self):
+        registry = MetricsRegistry()
+        supervisor = Supervisor(metrics=registry, **FAST)
+        runs = []
+        stop = threading.Event()
+
+        def body():
+            runs.append(1)
+            if len(runs) == 1:
+                raise RuntimeError("first run dies")
+            stop.wait()
+
+        service = supervisor.launch("merge", body, stop_hook=stop.set)
+        assert supervisor.service("merge") is service
+        wait_until(lambda: service.restart_count >= 1)
+        snapshot = registry.snapshot()
+        assert snapshot["health"]["service_crashes"] == 1
+        assert snapshot["health"]["service_restarts"] == 1
+        assert snapshot["health"]["services_failed"] == 0
+        supervisor.stop_all()
+        assert not service.alive
+
+    def test_failed_service_shows_in_gauge(self):
+        registry = MetricsRegistry()
+        supervisor = Supervisor(metrics=registry, max_restarts=0, **FAST)
+
+        def body():
+            raise RuntimeError("dead on arrival")
+
+        service = supervisor.launch("svc", body)
+        wait_until(lambda: not service.alive)
+        assert service.state == ServiceState.FAILED
+        assert registry.snapshot()["health"]["services_failed"] == 1
+
+    def test_launch_over_live_service_rejected(self):
+        supervisor = Supervisor(**FAST)
+        stop = threading.Event()
+        supervisor.launch("svc", stop.wait, stop_hook=stop.set)
+        with pytest.raises(RuntimeError):
+            supervisor.launch("svc", lambda: None)
+        supervisor.stop_all()
+
+    def test_relaunch_after_stop_allowed(self):
+        supervisor = Supervisor(**FAST)
+        stop = threading.Event()
+        first = supervisor.launch("svc", stop.wait, stop_hook=stop.set)
+        assert first.stop()
+        stop2 = threading.Event()
+        second = supervisor.launch("svc", stop2.wait, stop_hook=stop2.set)
+        assert second is not first
+        assert supervisor.service("svc") is second
+        supervisor.stop_all()

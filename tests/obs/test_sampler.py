@@ -56,7 +56,117 @@ class TestMetricsSampler:
         sampler = MetricsSampler(boom, str(path), interval=60.0)
         sampler.stop()  # takes the final sample without a thread
         lines = _read_lines(path)
-        assert lines[0]["error"] == "snapshot exploded"
+        assert lines[0]["error"] == "RuntimeError: snapshot exploded"
+
+    def test_snapshot_failures_are_counted(self, tmp_path):
+        from repro.obs.registry import MetricsRegistry
+
+        def boom():
+            raise RuntimeError("snapshot exploded")
+
+        registry = MetricsRegistry()
+        sampler = MetricsSampler(boom, str(tmp_path / "m.jsonl"),
+                                 interval=60.0, metrics=registry)
+        sampler._sample()
+        sampler._sample()
+        assert registry.snapshot()["obs"]["sampler_errors"] == 2
+
+    def test_repeated_errors_are_rate_limited(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise RuntimeError("same error every tick")
+
+        sampler = MetricsSampler(boom, str(path), interval=60.0)
+        for _ in range(20):
+            sampler._sample()
+        lines = _read_lines(path)
+        # 20 identical failures emit at repetitions 1, 2, 4, 8, 16.
+        assert len(lines) == 5
+        assert [line.get("repeats") for line in lines] == \
+            [None, 2, 4, 8, 16]
+        assert all(line["error"] == "RuntimeError: same error every tick"
+                   for line in lines)
+
+    def test_new_error_resets_the_rate_limit(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        errors = iter(["a", "a", "a", "b", "b"])
+
+        def boom():
+            raise RuntimeError(next(errors))
+
+        sampler = MetricsSampler(boom, str(path), interval=60.0)
+        for _ in range(5):
+            sampler._sample()
+        lines = _read_lines(path)
+        # a(1), a(2), a(3 suppressed), b(1), b(2).
+        assert [line["error"].split(": ")[1] for line in lines] == \
+            ["a", "a", "b", "b"]
+
+    def test_success_resets_the_rate_limit(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        outcomes = iter(["boom", "boom", "ok", "boom"])
+
+        def snapshot():
+            outcome = next(outcomes)
+            if outcome == "boom":
+                raise RuntimeError("boom")
+            return {"n": 1}
+
+        sampler = MetricsSampler(snapshot, str(path), interval=60.0)
+        for _ in range(4):
+            sampler._sample()
+        lines = _read_lines(path)
+        # boom(1), boom(2), metrics, boom(1 again: fresh line).
+        assert "error" in lines[0] and "error" in lines[1]
+        assert "metrics" in lines[2]
+        assert "error" in lines[3] and "repeats" not in lines[3]
+
+    def test_write_failure_kills_the_run_loop_for_supervision(
+            self, tmp_path):
+        """An unwritable path is a *sampler* crash, not a snapshot
+        error: it propagates out of ``_sample`` so the supervisor's
+        restart machinery (not the rate limiter) owns it."""
+        sampler = MetricsSampler(lambda: {"n": 1},
+                                 str(tmp_path / "no" / "dir" / "m.jsonl"),
+                                 interval=60.0)
+        with pytest.raises(OSError):
+            sampler._sample()
+
+    def test_supervised_start_restarts_after_a_crash(self, tmp_path):
+        import os
+
+        from repro.health import Supervisor
+
+        path = tmp_path / "m.jsonl"
+        os.makedirs(path)  # writes fail: the run loop itself crashes
+
+        sampler = MetricsSampler(lambda: {"n": 1}, str(path),
+                                 interval=0.005)
+        supervisor = Supervisor(backoff_base=0.002, backoff_cap=0.01)
+        sampler.start(supervisor=supervisor)
+        try:
+            service = supervisor.service("obs.sampler")
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if service.crash_count >= 1:
+                    break
+                time.sleep(0.005)
+            assert service.crash_count >= 1
+            os.rmdir(path)  # clear the fault: a restart now succeeds
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if path.exists() and _read_lines(path):
+                    break
+                time.sleep(0.005)
+            assert _read_lines(path)
+            assert sampler.running
+            assert service.restart_count >= 1
+        finally:
+            sampler.stop()
+            supervisor.stop_all()
 
 
 class TestDatabaseIntegration:

@@ -1,0 +1,58 @@
+"""Per-transaction deadlines: statements and commit stop on time."""
+
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceeded, IllegalTransactionState
+
+
+class TestTransactionDeadline:
+    def test_no_deadline_by_default(self, db, table):
+        txn = db.begin_transaction()
+        assert txn._deadline is None
+        txn.insert(table, [1, 0, 0, 0, 0])
+        assert txn.commit()
+
+    def test_generous_deadline_commits(self, db, table):
+        txn = db.begin_transaction(deadline_seconds=60.0)
+        txn.insert(table, [1, 0, 0, 0, 0])
+        assert txn.commit()
+        assert db.query("test").select(1, 0, None)
+
+    def test_expired_deadline_aborts_statement(self, db, loaded, table):
+        txn = db.begin_transaction(deadline_seconds=0.0)
+        time.sleep(0.001)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            txn.select(table, 5)
+        assert not excinfo.value.retryable
+        # The deadline abort finished the transaction.
+        with pytest.raises(IllegalTransactionState):
+            txn.select(table, 5)
+        assert db.metrics()["txn"]["deadline_aborts"] == 1
+
+    def test_expired_deadline_aborts_commit(self, db, loaded, table):
+        txn = db.begin_transaction(deadline_seconds=0.05)
+        txn.update(table, 5, {1: 42})
+        time.sleep(0.06)
+        with pytest.raises(DeadlineExceeded):
+            txn.commit()
+        # The pending update rolled back with the abort.
+        assert db.query("test").select(5, 0, None)[0].columns[1] == 50
+
+    def test_deadline_abort_releases_writes(self, db, loaded, table):
+        txn = db.begin_transaction(deadline_seconds=0.02)
+        txn.update(table, 5, {1: 42})
+        time.sleep(0.03)
+        with pytest.raises(DeadlineExceeded):
+            txn.update(table, 5, {1: 43})
+        # The write intent is gone: another transaction takes key 5.
+        other = db.begin_transaction()
+        other.update(table, 5, {1: 99})
+        assert other.commit()
+        assert db.query("test").select(5, 0, None)[0].columns[1] == 99
+
+    def test_deadline_validated_by_config(self, db):
+        txn = db.begin_transaction(deadline_seconds=10.0)
+        assert txn._deadline is not None
+        txn.abort()

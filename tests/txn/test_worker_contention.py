@@ -1,0 +1,133 @@
+"""Worker retry behavior under hot-key contention (ISSUE 10 sat. d).
+
+The old ``run_one`` hot-spun on conflict: under a Zipfian hot key the
+re-collision rate made retry storms, and a worker facing a *held* write
+intent burned CPU until ``max_retries``. These tests pin the civilized
+replacement: jittered exponential backoff bounds the attempt rate in
+wall time, deadlines turn unbounded retrying into an accounted
+give-up, and the engine-wide counters (``txn.retries``,
+``txn.giveups``, ``txn.retry_backoff_seconds``) reconcile exactly with
+the per-worker stats.
+"""
+
+import random
+import time
+
+from repro.txn.worker import TransactionWorker, WorkerStats
+
+
+def hold_blocker(db, table, key):
+    """Open a transaction holding a write intent on *key*."""
+    blocker = db.begin_transaction()
+    blocker.update(table, key, {1: 1})
+    return blocker
+
+
+class TestDeadlineGiveUp:
+    def test_deadline_bounds_attempts_in_time(self, db, loaded, table):
+        blocker = hold_blocker(db, table, 5)
+        worker = TransactionWorker(
+            db.txn_manager, max_retries=10 ** 9,
+            retry_backoff_seconds=0.002, retry_backoff_cap=0.02,
+            deadline_seconds=0.08, seed=7)
+        started = time.perf_counter()
+        assert not worker.run_one(lambda txn: txn.update(table, 5, {1: 2}))
+        elapsed = time.perf_counter() - started
+        blocker.abort()
+        assert worker.stats.gave_up == 1
+        assert worker.stats.committed == 0
+        # The deadline, not max_retries, ended the run — promptly.
+        assert elapsed < 2.0
+        # Backoff keeps the attempt count small: a hot spin would burn
+        # thousands of aborts in 80 ms, backoff allows only a handful.
+        assert 1 <= worker.stats.aborted < 50
+        assert worker.stats.backoff_seconds > 0.0
+        metrics = db.metrics()["txn"]
+        assert metrics["giveups"] == 1
+        assert metrics["retries"] == worker.stats.retries
+        assert metrics["retry_backoff_seconds"]["count"] \
+            == worker.stats.retries
+
+    def test_zero_backoff_keeps_the_deterministic_hot_spin(
+            self, db, loaded, table):
+        blocker = hold_blocker(db, table, 5)
+        worker = TransactionWorker(db.txn_manager, max_retries=3,
+                                   retry_backoff_seconds=0.0)
+        assert not worker.run_one(lambda txn: txn.update(table, 5, {1: 2}))
+        blocker.abort()
+        assert worker.stats.aborted == 4  # initial try + 3 retries
+        assert worker.stats.backoff_seconds == 0.0
+
+    def test_stop_event_cuts_a_backoff_nap_short(self, db, loaded, table):
+        blocker = hold_blocker(db, table, 5)
+        worker = TransactionWorker(db.txn_manager, max_retries=10,
+                                   retry_backoff_seconds=10.0,
+                                   retry_backoff_cap=30.0)
+        worker.add(lambda txn: txn.update(table, 5, {1: 2}))
+        worker.start()
+        time.sleep(0.05)  # let it conflict and enter the long nap
+        worker.stop_event.set()
+        started = time.perf_counter()
+        stats = worker.join(timeout=10.0)
+        assert time.perf_counter() - started < 5.0
+        blocker.abort()
+        assert stats.committed == 0
+
+
+class TestZipfianContention:
+    def test_hot_key_storm_reconciles_counters(self, db, table):
+        keys = list(range(20))
+        for key in keys:
+            table.insert([key, 0, 0, 0, 0])
+        # Zipf-ish popularity: rank-weighted draws concentrate ~half
+        # of all increments on the two hottest keys.
+        weights = [1.0 / (rank + 1) for rank in range(len(keys))]
+
+        workers = []
+        for index in range(4):
+            rng = random.Random(1000 + index)
+            worker = TransactionWorker(
+                db.txn_manager, max_retries=64, name="zipf-%d" % index,
+                retry_backoff_seconds=0.0002, retry_backoff_cap=0.005,
+                seed=index)
+            for _ in range(40):
+                key = rng.choices(keys, weights=weights)[0]
+                worker.add(lambda txn, key=key:
+                           txn.increment(table, key, 1))
+            worker.start()
+            workers.append(worker)
+
+        total = WorkerStats()
+        for worker in workers:
+            total.merge(worker.join(timeout=60.0))
+
+        assert total.committed + total.gave_up == 160
+        # Every committed increment is reflected exactly once.
+        assert db.query("test").sum(0, 19, 1) == total.committed
+        metrics = db.metrics()["txn"]
+        assert metrics["giveups"] == total.gave_up
+        assert metrics["retries"] == total.retries
+        if total.retries:
+            histogram = metrics["retry_backoff_seconds"]
+            assert histogram["count"] <= total.retries
+            assert histogram["sum"] <= total.backoff_seconds + 1e-6
+
+    def test_workers_with_deadlines_survive_the_storm(self, db, table):
+        for key in range(4):
+            table.insert([key, 0, 0, 0, 0])
+        workers = []
+        for index in range(4):
+            worker = TransactionWorker(
+                db.txn_manager, max_retries=10 ** 9, name="dl-%d" % index,
+                retry_backoff_seconds=0.0002, retry_backoff_cap=0.002,
+                deadline_seconds=5.0, seed=index)
+            for _ in range(25):
+                worker.add(lambda txn, key=index % 2:
+                           txn.increment(table, key, 1))
+            worker.start()
+            workers.append(worker)
+        total = WorkerStats()
+        for worker in workers:
+            total.merge(worker.join(timeout=120.0))
+        assert total.committed + total.gave_up == 100
+        assert db.query("test").sum(0, 3, 1) == total.committed
